@@ -1,0 +1,108 @@
+//! Interval bound propagation (IBP) — the weakest, fastest baseline
+//! (Mirman et al. 2018; Gowal et al. 2018).
+
+use gpupoly_interval::{Fp, Itv};
+use gpupoly_nn::Network;
+
+/// Robustness verdict of a baseline verifier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineVerdict<F> {
+    /// `true` when every margin was proven positive.
+    pub verified: bool,
+    /// Certified lower bound on `y_label − y_o` per other class `o`
+    /// (ascending class order, label skipped).
+    pub margins: Vec<F>,
+}
+
+/// Verifies L∞ robustness with a single sound interval forward pass.
+///
+/// The margin for class `o` is `lo(y_label) − hi(y_o)` — no relational
+/// information survives the interval abstraction, which is why IBP proves
+/// almost nothing on normally-trained networks (paper Table 2, CR-IBP's
+/// interval core).
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_baselines::ibp;
+/// use gpupoly_nn::builder::NetworkBuilder;
+///
+/// let net = NetworkBuilder::new_flat(2)
+///     .dense(&[[1.0_f32, 0.0], [0.0, 1.0]], &[1.0, 0.0])
+///     .build()?;
+/// let v = ibp::verify_robustness(&net, &[0.5, 0.5], 0, 0.1);
+/// assert!(v.verified); // y0 - y1 = 1 regardless of the input
+/// # Ok::<(), gpupoly_nn::NetworkError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics when `image` does not match the network input or `label` is out
+/// of range.
+pub fn verify_robustness<F: Fp>(
+    net: &Network<F>,
+    image: &[F],
+    label: usize,
+    eps: F,
+) -> BaselineVerdict<F> {
+    let input: Vec<Itv<F>> = image
+        .iter()
+        .map(|&x| Itv::new(x - eps, x + eps).clamp_to(F::ZERO, F::ONE))
+        .collect();
+    let out = net.infer_itv(&input);
+    assert!(label < out.len(), "label out of range");
+    let margins: Vec<F> = (0..out.len())
+        .filter(|&o| o != label)
+        .map(|o| out[label].lo - out[o].hi)
+        .collect();
+    BaselineVerdict {
+        verified: margins.iter().all(|&m| m > F::ZERO),
+        margins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_nn::builder::NetworkBuilder;
+
+    #[test]
+    fn ibp_loses_relational_information() {
+        // y0 = relu(x) - relu(x) is exactly 0, y1 = -0.5: always class 0.
+        // IBP cannot see the cancellation and fails.
+        let net = NetworkBuilder::new_flat(1)
+            .dense(&[[1.0_f32], [1.0]], &[0.0, 0.0])
+            .relu()
+            .dense(&[[1.0_f32, -1.0], [0.0, 0.0]], &[0.0, -0.5])
+            .build()
+            .unwrap();
+        let v = verify_robustness(&net, &[0.5], 0, 0.4);
+        assert!(!v.verified, "IBP should fail on cancellation");
+    }
+
+    #[test]
+    fn ibp_verifies_trivially_robust_nets() {
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[0.1_f32, 0.1], [0.1, 0.1]], &[10.0, 0.0])
+            .relu()
+            .dense(&[[1.0_f32, 0.0], [0.0, 1.0]], &[0.0, 0.0])
+            .build()
+            .unwrap();
+        let v = verify_robustness(&net, &[0.5, 0.5], 0, 0.2);
+        assert!(v.verified);
+        assert_eq!(v.margins.len(), 1);
+    }
+
+    #[test]
+    fn margins_shrink_with_eps() {
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, 0.5], [0.5, 1.0]], &[0.6, 0.0])
+            .relu()
+            .dense(&[[1.0_f32, -1.0], [-1.0, 1.0]], &[0.5, 0.0])
+            .build()
+            .unwrap();
+        let m1 = verify_robustness(&net, &[0.5, 0.5], 0, 0.01).margins[0];
+        let m2 = verify_robustness(&net, &[0.5, 0.5], 0, 0.1).margins[0];
+        assert!(m2 < m1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Baseline verifiers for the GPUPoly evaluation.
+//!
+//! The paper compares GPUPoly against two systems, both rebuilt here from
+//! scratch, plus the interval-propagation core they share:
+//!
+//! * [`ibp`] — plain interval bound propagation (Mirman et al. 2018; Gowal
+//!   et al. 2018): one sound forward pass, no relational information.
+//! * [`CrownIbp`] — CROWN-IBP verification (Zhang et al. 2020; Xu et al.
+//!   2020): IBP intermediate bounds plus one CROWN backward pass, in plain
+//!   round-to-nearest arithmetic (the paper stresses it is *not*
+//!   floating-point sound). This is the Table-2/Table-4 competitor.
+//! * [`DeepPolyCpu`] — the parallel CPU DeepPoly of Singh et al. (POPL
+//!   2019) with the sparse expression representation described in §4.4;
+//!   same precision as GPUPoly, orders of magnitude slower at scale. This
+//!   is the Table-3 competitor.
+//!
+//! # Example
+//!
+//! ```
+//! use gpupoly_baselines::{ibp, CrownIbp, DeepPolyCpu};
+//! use gpupoly_nn::builder::NetworkBuilder;
+//!
+//! let net = NetworkBuilder::new_flat(2)
+//!     .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+//!     .relu()
+//!     .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+//!     .build()?;
+//!
+//! let easy = (&[0.4_f32, 0.6], 0, 0.02_f32);
+//! assert!(ibp::verify_robustness(&net, easy.0, easy.1, easy.2).verified);
+//! assert!(CrownIbp::new(&net).verify_robustness(easy.0, easy.1, easy.2).verified);
+//! assert!(DeepPolyCpu::new(&net).verify_robustness(easy.0, easy.1, easy.2).verified);
+//! # Ok::<(), gpupoly_nn::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crown_ibp;
+mod deeppoly_cpu;
+pub mod ibp;
+
+pub use crown_ibp::CrownIbp;
+pub use deeppoly_cpu::DeepPolyCpu;
+pub use ibp::BaselineVerdict;

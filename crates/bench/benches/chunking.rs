@@ -1,0 +1,79 @@
+//! §4.2 "Memory management": when the bound matrix does not fit in device
+//! memory, GPUPoly backsubstitutes it in chunks. This bench measures the
+//! runtime cost of chunking on a memory-constrained device against an
+//! unconstrained run, and checks that the constrained run stays under its
+//! capacity while producing identical verdicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpupoly_core::{GpuPoly, VerifyConfig};
+use gpupoly_device::{Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use std::hint::black_box;
+
+fn mid_net() -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(32);
+    let mut in_len = 32;
+    for layer in 0..3 {
+        let width = 128;
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 48271 + layer) % 1000) as f32 / 1000.0 - 0.5) * 0.15)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.0; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(10, |i| (((i * 7) % 19) as f32 - 9.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("net builds")
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunking");
+    group.sample_size(10);
+    let net = mid_net();
+    let image = vec![0.5f32; 32];
+    let label = net.classify(&image);
+    let eps = 0.02f32;
+
+    // Capacity chosen to force many chunks but never fail outright.
+    let tight = 512 * 1024;
+    for (name, capacity) in [("unconstrained", None), ("constrained_512k", Some(tight))] {
+        group.bench_with_input(BenchmarkId::new("verify", name), &(), |bench, _| {
+            let mut dc = DeviceConfig::new();
+            if let Some(cap) = capacity {
+                dc = dc.memory_capacity(cap);
+            }
+            let device = Device::new(dc);
+            let verifier = GpuPoly::new(device, &net, VerifyConfig::default()).expect("verifier");
+            bench.iter(|| {
+                let v = verifier.verify_robustness(&image, label, eps).unwrap();
+                black_box(v.verified);
+            });
+        });
+    }
+
+    // Equivalence + memory ceiling check.
+    let free_dev = Device::new(DeviceConfig::new());
+    let big = GpuPoly::new(free_dev.clone(), &net, VerifyConfig::default())
+        .unwrap()
+        .verify_robustness(&image, label, eps)
+        .unwrap();
+    let tight_dev = Device::new(DeviceConfig::new().memory_capacity(tight));
+    let small = GpuPoly::new(tight_dev.clone(), &net, VerifyConfig::default())
+        .unwrap()
+        .verify_robustness(&image, label, eps)
+        .unwrap();
+    assert_eq!(big.verified, small.verified);
+    assert!(tight_dev.peak_memory() <= tight, "capacity was violated");
+    println!(
+        "[chunking] chunks: unconstrained {} vs constrained {}; peak memory {} vs {} B (cap {} B)",
+        big.stats.chunks,
+        small.stats.chunks,
+        free_dev.peak_memory(),
+        tight_dev.peak_memory(),
+        tight,
+    );
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

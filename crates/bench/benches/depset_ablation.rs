@@ -1,0 +1,130 @@
+//! §3.1 ablation: dependence-set backsubstitution (the GBC kernel,
+//! Algorithm 1) against the naive alternative that densifies the bound
+//! matrix and multiplies by the materialized convolution matrix.
+//!
+//! The paper's claim: the structured-sparse path wins in both compute and
+//! memory because `M_k` and `F_k` are mostly zeros when handled densely.
+//! The memory ratio is printed alongside the timing comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpupoly_core::expr::ExprBatch;
+use gpupoly_core::steps::{step_conv, step_dense};
+use gpupoly_device::{Device, DeviceConfig};
+use gpupoly_nn::{Conv2d, Dense, Shape};
+use std::hint::black_box;
+
+/// Materializes a convolution as a dense `out_len × in_len` matrix.
+fn conv_as_dense(c: &Conv2d<f32>) -> Dense<f32> {
+    let (out_len, in_len) = (c.out_shape.len(), c.in_shape.len());
+    let mut w = vec![0.0f32; out_len * in_len];
+    let mut bias = vec![0.0f32; out_len];
+    for oh in 0..c.out_shape.h {
+        for ow in 0..c.out_shape.w {
+            for co in 0..c.out_shape.c {
+                let r = c.out_shape.idx(oh, ow, co);
+                bias[r] = c.bias[co];
+                for f in 0..c.kh {
+                    let ih = (oh * c.sh + f) as isize - c.ph as isize;
+                    if ih < 0 || ih as usize >= c.in_shape.h {
+                        continue;
+                    }
+                    for g in 0..c.kw {
+                        let iw = (ow * c.sw + g) as isize - c.pw as isize;
+                        if iw < 0 || iw as usize >= c.in_shape.w {
+                            continue;
+                        }
+                        for ci in 0..c.in_shape.c {
+                            w[r * in_len + c.in_shape.idx(ih as usize, iw as usize, ci)] =
+                                c.weight[c.widx(f, g, co, ci)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Dense::new(out_len, in_len, w, bias).expect("materialized conv is well-formed")
+}
+
+fn two_convs(side: usize, ch: usize) -> (Conv2d<f32>, Conv2d<f32>) {
+    let c1 = Conv2d::new(
+        Shape::new(side, side, ch),
+        ch,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        (0..3 * 3 * ch * ch).map(|i| ((i % 11) as f32 - 5.0) * 0.05).collect(),
+        vec![0.01; ch],
+    )
+    .expect("conv1");
+    let c2 = Conv2d::new(
+        c1.out_shape,
+        ch,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        (0..3 * 3 * ch * ch).map(|i| ((i % 7) as f32 - 3.0) * 0.05).collect(),
+        vec![0.0; ch],
+    )
+    .expect("conv2");
+    (c1, c2)
+}
+
+fn bench_depsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depset_ablation");
+    group.sample_size(10);
+    for &(side, ch) in &[(8usize, 4usize), (14, 8)] {
+        let (c1, c2) = two_convs(side, ch);
+        let neurons: Vec<usize> = (0..c2.out_shape.len()).collect();
+        let dense1 = conv_as_dense(&c1);
+
+        group.bench_with_input(
+            BenchmarkId::new("gbc_dependence_sets", format!("{side}x{side}x{ch}")),
+            &(),
+            |bench, _| {
+                let device = Device::new(DeviceConfig::new());
+                bench.iter(|| {
+                    let batch = ExprBatch::from_conv(&device, &c2, &neurons, 1, None).unwrap();
+                    let out = step_conv(&device, batch, &c1, 0).unwrap();
+                    black_box(out.rows());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_materialized", format!("{side}x{side}x{ch}")),
+            &(),
+            |bench, _| {
+                let device = Device::new(DeviceConfig::new());
+                bench.iter(|| {
+                    let batch = ExprBatch::from_conv(&device, &c2, &neurons, 1, None).unwrap();
+                    let full = batch.densify(&device).unwrap();
+                    let out =
+                        step_dense(&device, full, &dense1, 0, c1.in_shape).unwrap();
+                    black_box(out.rows());
+                });
+            },
+        );
+
+        // Memory comparison at this size.
+        let dev_a = Device::new(DeviceConfig::new());
+        {
+            let batch = ExprBatch::from_conv(&dev_a, &c2, &neurons, 1, None).unwrap();
+            let _out = step_conv(&dev_a, batch, &c1, 0).unwrap();
+        }
+        let dev_b = Device::new(DeviceConfig::new());
+        {
+            let batch = ExprBatch::from_conv(&dev_b, &c2, &neurons, 1, None).unwrap();
+            let full = batch.densify(&dev_b).unwrap();
+            let _out = step_dense(&dev_b, full, &dense1, 0, c1.in_shape).unwrap();
+        }
+        println!(
+            "[depset] {side}x{side}x{ch}: peak memory GBC {} B vs dense {} B ({:.1}x saved)",
+            dev_a.peak_memory(),
+            dev_b.peak_memory(),
+            dev_b.peak_memory() as f64 / dev_a.peak_memory().max(1) as f64,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depsets);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the device primitives GPUPoly is assembled from:
+//! parallel exclusive prefix sum, row compaction (§4.2) and the candidate
+//! concretization kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpupoly_core::expr::ExprBatch;
+use gpupoly_device::{scan, Device, DeviceConfig};
+use gpupoly_interval::Itv;
+use gpupoly_nn::Shape;
+use std::hint::black_box;
+
+fn bench_scan(c: &mut Criterion) {
+    let device = Device::new(DeviceConfig::new());
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for &n in &[4_096usize, 65_536] {
+        let xs: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        group.bench_with_input(BenchmarkId::new("exclusive_scan", n), &(), |b, _| {
+            b.iter(|| black_box(scan::exclusive_scan(&device, black_box(&xs))));
+        });
+        let keep: Vec<bool> = (0..n / 64).map(|i| i % 3 != 0).collect();
+        let mat: Vec<u64> = (0..(n / 64) * 64).map(|i| i as u64).collect();
+        group.bench_with_input(BenchmarkId::new("compact_rows", n / 64), &(), |b, _| {
+            b.iter(|| black_box(scan::compact_rows(&device, black_box(&mat), 64, &keep)));
+        });
+    }
+
+    // Candidate concretization over a conv-shaped cuboid batch.
+    let shape = Shape::new(16, 16, 8);
+    let neurons: Vec<usize> = (0..256).collect();
+    let batch = ExprBatch::<f32>::identity(&device, 1, shape, &neurons).expect("batch");
+    let bounds: Vec<Itv<f32>> = (0..shape.len())
+        .map(|i| Itv::new(-(i as f32) * 1e-3, i as f32 * 1e-3))
+        .collect();
+    group.bench_function("concretize_256_rows", |b| {
+        b.iter(|| black_box(batch.concretize(&device, black_box(&bounds))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

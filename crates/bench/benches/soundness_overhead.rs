@@ -1,0 +1,52 @@
+//! §4.1 claim: floating-point soundness costs ≈2× memory and >2× flops.
+//!
+//! Benchmarks the sound interval×scalar GEMM against the unsound
+//! round-to-nearest scalar GEMM at backsubstitution-shaped sizes, and
+//! prints the analytic flop/byte ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpupoly_device::{gemm, Device, DeviceConfig};
+use gpupoly_interval::Itv;
+use std::hint::black_box;
+
+fn bench_gemms(c: &mut Criterion) {
+    let device = Device::new(DeviceConfig::new().name("bench"));
+    let mut group = c.benchmark_group("soundness_overhead");
+    group.sample_size(10);
+    for &(m, k, n) in &[(64usize, 128usize, 128usize), (128, 256, 256)] {
+        let a_f: Vec<f32> = (0..m * k).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect();
+        let a_itv: Vec<Itv<f32>> = a_f.iter().map(|&x| Itv::point(x)).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
+        group.bench_with_input(
+            BenchmarkId::new("sound_interval", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, &(m, k, n)| {
+                let mut c_out = vec![Itv::<f32>::zero(); m * n];
+                bench.iter(|| {
+                    gemm::gemm_itv_f(&device, black_box(&a_itv), black_box(&b), &mut c_out, m, k, n);
+                    black_box(&c_out);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unsound_scalar", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bench, &(m, k, n)| {
+                let mut c_out = vec![0.0f32; m * n];
+                bench.iter(|| {
+                    gemm::gemm_f_f(&device, black_box(&a_f), black_box(&b), &mut c_out, m, k, n);
+                    black_box(&c_out);
+                });
+            },
+        );
+        println!(
+            "[soundness] {m}x{k}x{n}: flops ratio {} (paper: >2x), memory ratio {} (paper: 2x)",
+            gemm::flops_itv_f(m, k, n) as f64 / gemm::flops_f_f(m, k, n) as f64,
+            std::mem::size_of::<Itv<f32>>() as f64 / std::mem::size_of::<f32>() as f64,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemms);
+criterion_main!(benches);

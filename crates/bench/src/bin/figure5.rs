@@ -1,0 +1,46 @@
+//! Regenerates Figure 5: the cumulative distribution function of GPUPoly's
+//! per-image runtimes on each network.
+//!
+//! The paper's qualitative finding: runtimes on normally/PGD-trained nets
+//! are roughly normally distributed, while DiffAI/CR-IBP-trained nets show
+//! a tight majority (early termination fires) plus a long right tail (the
+//! few images where it does not). Output is one CSV block per network
+//! (`runtime_ms,cum_fraction`), plus a tail-ratio summary.
+//!
+//! Run: `cargo run -p gpupoly-bench --release --bin figure5 [-- --scale 0.12 --images 24]`
+
+use gpupoly_bench::{cdf_series, prepare_model, run_gpupoly, BenchOpts};
+use gpupoly_core::VerifyConfig;
+use gpupoly_nn::zoo;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let device = opts.device();
+    println!(
+        "Figure 5: CDF of GPUPoly runtimes per network ({} images, scale={})",
+        opts.images, opts.scale
+    );
+    let mut summaries = Vec::new();
+    for spec in zoo::table1_specs() {
+        let (net, test) = prepare_model(&spec, &opts);
+        let row = run_gpupoly(&net, &test, spec.eps, &device, VerifyConfig::default());
+        if row.times.is_empty() {
+            println!("\n# {} — no candidates", spec.id);
+            continue;
+        }
+        let cdf = cdf_series(&row.times);
+        println!("\n# {} ({} trained)", spec.id, spec.training.name());
+        println!("runtime_ms,cum_fraction");
+        for (ms, frac) in &cdf {
+            println!("{ms:.3},{frac:.4}");
+        }
+        let p50 = cdf[cdf.len() / 2].0;
+        let max = cdf.last().expect("non-empty").0;
+        summaries.push((spec.id, spec.training, max / p50.max(1e-9)));
+    }
+    println!("\n# Tail summary: max/median runtime ratio per network");
+    println!("# (paper: large ratios for DiffAI/CR-IBP nets, small for Normal/PGD)");
+    for (id, training, ratio) in summaries {
+        println!("{id} ({}): {ratio:.1}x", training.name());
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table 1: the network inventory.
+//!
+//! For each of the paper's 16 networks: dataset, model, type, neuron and
+//! layer counts at the chosen `--scale` (and at scale 1.0 analytically),
+//! training regime, plus the paper's reported counts for comparison.
+//!
+//! Run: `cargo run -p gpupoly-bench --release --bin table1 [-- --scale 0.12]`
+
+use gpupoly_bench::BenchOpts;
+use gpupoly_nn::zoo;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Table 1: Neural networks used in the experiments (scale={})", opts.scale);
+    println!(
+        "{:<8} {:<12} {:<16} {:>12} {:>12} {:>8} {:>9} {:>9}",
+        "Dataset", "Model", "Type", "#Neurons", "(paper)", "#Layers", "(paper)", "Training"
+    );
+    for spec in zoo::table1_specs() {
+        let net = zoo::build_arch(spec.arch, spec.dataset, opts.scale, opts.seed)
+            .expect("zoo architecture must build");
+        println!(
+            "{:<8} {:<12} {:<16} {:>12} {:>12} {:>8} {:>9} {:>9}",
+            spec.dataset.name(),
+            spec.arch.name(),
+            spec.arch.type_name(),
+            net.neuron_count(),
+            spec.paper_neurons,
+            net.layer_count(),
+            spec.paper_layers,
+            spec.training.name(),
+        );
+    }
+    println!();
+    println!("Full-scale counts (scale=1.0, for the paper comparison):");
+    println!(
+        "{:<8} {:<12} {:>12} {:>12} {:>8} {:>9}",
+        "Dataset", "Model", "#Neurons", "(paper)", "#Layers", "(paper)"
+    );
+    let mut seen = std::collections::HashSet::new();
+    for spec in zoo::table1_specs() {
+        if !seen.insert((spec.dataset.name(), spec.arch.name())) {
+            continue;
+        }
+        let net = zoo::build_arch(spec.arch, spec.dataset, 1.0, opts.seed)
+            .expect("zoo architecture must build");
+        println!(
+            "{:<8} {:<12} {:>12} {:>12} {:>8} {:>9}",
+            spec.dataset.name(),
+            spec.arch.name(),
+            net.neuron_count(),
+            spec.paper_neurons,
+            net.layer_count(),
+            spec.paper_layers,
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! The layer-by-layer analysis driver (paper §4.2).
+//!
+//! A forward interval pass seeds concrete bounds for every node; then ReLU
+//! layers are visited in topological order and the bounds of their *inputs*
+//! are refined by backsubstitution — restricted, when early termination is
+//! on, to neurons whose sign is not yet fixed. After each refinement a
+//! forward interval pass updates the approximations of the following layers.
+//! Backsubstitution batches that exceed device memory are processed in
+//! chunks (§4.2, "Memory management").
+
+use gpupoly_device::{Device, DeviceError};
+use gpupoly_interval::{Fp, Itv};
+use gpupoly_nn::{Graph, NodeId, Op};
+
+use crate::expr::ExprBatch;
+use crate::walk::{StopRule, Walker};
+use crate::{VerifyConfig, VerifyError};
+
+/// Work counters of one analysis (and of the spec check run on top of it).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// ReLU layers whose inputs were (possibly) refined.
+    pub relu_nodes: usize,
+    /// Neurons refined by backsubstitution.
+    pub rows_refined: usize,
+    /// Neurons skipped entirely because their sign was already stable
+    /// (early termination, §3.2).
+    pub rows_skipped_stable: usize,
+    /// Rows dropped mid-backsubstitution by the stop rule (§4.2).
+    pub rows_stopped_early: usize,
+    /// Concrete-bound candidate evaluations.
+    pub candidates: usize,
+    /// Chunked backsubstitution launches.
+    pub chunks: usize,
+    /// Times a chunk had to shrink after a device out-of-memory.
+    pub chunk_shrinks: usize,
+}
+
+impl AnalysisStats {
+    pub(crate) fn absorb_walk(&mut self, stopped: usize, candidates: usize) {
+        self.rows_stopped_early += stopped;
+        self.candidates += candidates;
+    }
+}
+
+/// The result of analyzing an input region: sound concrete bounds for every
+/// node of the network graph.
+#[derive(Clone, Debug)]
+pub struct Analysis<F> {
+    /// Per-node concrete bounds (indexed by [`NodeId`]).
+    pub bounds: Vec<Vec<Itv<F>>>,
+    /// Work counters.
+    pub stats: AnalysisStats,
+}
+
+impl<F: Fp> Analysis<F> {
+    /// Bounds of the network output.
+    pub fn output_bounds(&self) -> &[Itv<F>] {
+        self.bounds.last().expect("non-empty graph")
+    }
+}
+
+pub(crate) fn analyze<F: Fp>(
+    device: &Device,
+    graph: &Graph<'_, F>,
+    cfg: &VerifyConfig,
+    input: &[Itv<F>],
+) -> Result<Analysis<F>, VerifyError> {
+    let in_len = graph.nodes[0].shape.len();
+    if input.len() != in_len {
+        return Err(VerifyError::BadQuery(format!(
+            "input has {} values, network expects {in_len}",
+            input.len()
+        )));
+    }
+    // Preliminary forward interval analysis (§4.2).
+    let mut bounds = graph.eval_itv(input);
+    let mut stats = AnalysisStats::default();
+
+    for id in 1..graph.nodes.len() {
+        if !matches!(graph.nodes[id].op, Op::Relu) {
+            continue;
+        }
+        let p = graph.nodes[id].parents[0];
+        if p == 0 {
+            continue; // ReLU directly on the input: bounds already exact
+        }
+        stats.relu_nodes += 1;
+        let sel: Vec<usize> = if cfg.early_termination {
+            (0..bounds[p].len())
+                .filter(|&i| bounds[p][i].straddles_zero())
+                .collect()
+        } else {
+            (0..bounds[p].len()).collect()
+        };
+        stats.rows_skipped_stable += bounds[p].len() - sel.len();
+        if sel.is_empty() {
+            continue;
+        }
+        stats.rows_refined += sel.len();
+        let rule = if cfg.early_termination {
+            StopRule::StableSign
+        } else {
+            StopRule::None
+        };
+        refine_node(device, graph, cfg, &mut bounds, p, &sel, rule, &mut stats)?;
+        // Forward interval update of everything downstream of the refined
+        // node, intersected with the existing (still sound) bounds.
+        forward_update(graph, &mut bounds, p);
+    }
+    Ok(Analysis { bounds, stats })
+}
+
+/// Chunked, OOM-adaptive backsubstitution of the selected neurons of node
+/// `p`; refined bounds are intersected into `bounds[p]`.
+#[allow(clippy::too_many_arguments)]
+fn refine_node<F: Fp>(
+    device: &Device,
+    graph: &Graph<'_, F>,
+    cfg: &VerifyConfig,
+    bounds: &mut [Vec<Itv<F>>],
+    p: NodeId,
+    sel: &[usize],
+    rule: StopRule,
+    stats: &mut AnalysisStats,
+) -> Result<(), VerifyError> {
+    let mut chunk = cfg
+        .chunk_rows
+        .unwrap_or_else(|| default_chunk_rows::<F>(device, graph))
+        .clamp(1, sel.len());
+    let mut i = 0;
+    while i < sel.len() {
+        let end = (i + chunk).min(sel.len());
+        let rows = &sel[i..end];
+        let attempt = {
+            let walker = Walker {
+                device,
+                graph,
+                bounds,
+            };
+            initial_batch(device, graph, cfg, bounds, p, rows)
+                .and_then(|batch| walker.run(batch, rule))
+        };
+        match attempt {
+            Ok(out) => {
+                for (j, &n) in rows.iter().enumerate() {
+                    let cur = bounds[p][n];
+                    bounds[p][n] = cur.intersect(out.best[j]).unwrap_or(cur);
+                }
+                stats.absorb_walk(out.rows_stopped_early, out.candidates);
+                stats.chunks += 1;
+                i = end;
+            }
+            Err(VerifyError::Device(DeviceError::OutOfMemory { .. })) if chunk > 1 => {
+                chunk = (chunk / 2).max(1);
+                stats.chunk_shrinks += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The starting expression for refining node `p`'s neurons: the layer's own
+/// affine expression for dense/conv nodes (skipping one identity step), an
+/// identity batch otherwise (residual Add heads).
+pub(crate) fn initial_batch<F: Fp>(
+    device: &Device,
+    graph: &Graph<'_, F>,
+    cfg: &VerifyConfig,
+    bounds: &[Vec<Itv<F>>],
+    p: NodeId,
+    rows: &[usize],
+) -> Result<ExprBatch<F>, VerifyError> {
+    let node = &graph.nodes[p];
+    match node.op {
+        Op::Dense(d) => {
+            let par = node.parents[0];
+            let widen = cfg
+                .account_inference_error
+                .then(|| bounds[par].as_slice());
+            ExprBatch::from_dense(device, d, rows, par, graph.nodes[par].shape, widen)
+        }
+        Op::Conv(c) => {
+            let par = node.parents[0];
+            let widen = cfg
+                .account_inference_error
+                .then(|| bounds[par].as_slice());
+            ExprBatch::from_conv(device, c, rows, par, widen)
+        }
+        _ => ExprBatch::identity(device, p, node.shape, rows),
+    }
+}
+
+/// Recomputes forward interval bounds for every node after `from`,
+/// intersecting with the existing bounds (both are sound, so the
+/// intersection is sound and at least as tight).
+fn forward_update<F: Fp>(graph: &Graph<'_, F>, bounds: &mut [Vec<Itv<F>>], from: NodeId) {
+    for i in (from + 1)..graph.nodes.len() {
+        let fresh: Vec<Itv<F>> = match &graph.nodes[i].op {
+            Op::Input => continue,
+            Op::Dense(d) => {
+                let x = &bounds[graph.nodes[i].parents[0]];
+                let mut y = vec![Itv::zero(); d.out_len];
+                d.forward_itv(x, &mut y);
+                y
+            }
+            Op::Conv(c) => {
+                let x = &bounds[graph.nodes[i].parents[0]];
+                let mut y = vec![Itv::zero(); c.out_shape.len()];
+                c.forward_itv(x, &mut y);
+                y
+            }
+            Op::Relu => bounds[graph.nodes[i].parents[0]]
+                .iter()
+                .map(|b| Itv::new(b.lo.max(F::ZERO), b.hi.max(F::ZERO)))
+                .collect(),
+            Op::Add { .. } => {
+                let a = &bounds[graph.nodes[i].parents[0]];
+                let b = &bounds[graph.nodes[i].parents[1]];
+                a.iter().zip(b).map(|(&x, &y)| x.add(y)).collect()
+            }
+        };
+        for (cur, new) in bounds[i].iter_mut().zip(fresh) {
+            if let Some(t) = cur.intersect(new) {
+                *cur = t;
+            }
+        }
+    }
+}
+
+/// Estimates how many rows fit in free device memory: the window of a
+/// backsubstituted expression never exceeds a layer's padded spatial extent,
+/// so the per-row footprint is bounded by the largest such window times two
+/// interval planes, double-buffered across a step.
+fn default_chunk_rows<F: Fp>(device: &Device, graph: &Graph<'_, F>) -> usize {
+    let free = device.memory_free();
+    if free == usize::MAX {
+        return usize::MAX;
+    }
+    let margin = 2 * graph
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.op, Op::Conv(_)))
+        .count()
+        .max(2);
+    let max_cols = graph
+        .nodes
+        .iter()
+        .map(|n| (n.shape.h + margin) * (n.shape.w + margin) * n.shape.c)
+        .max()
+        .unwrap_or(1);
+    let bytes_per_row = max_cols * std::mem::size_of::<Itv<F>>() * 2 * 3;
+    (free / bytes_per_row.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_device::DeviceConfig;
+    use gpupoly_nn::builder::NetworkBuilder;
+    use gpupoly_nn::Network;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::new().workers(2))
+    }
+
+    fn deep_net() -> Network<f32> {
+        NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.1, -0.1])
+            .relu()
+            .dense(&[[0.5_f32, -0.5], [1.5, 0.5]], &[0.0, 0.2])
+            .relu()
+            .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analysis_tightens_every_refined_node_vs_ibp() {
+        let device = dev();
+        let net = deep_net();
+        let graph = net.graph();
+        let input = vec![Itv::new(-0.5_f32, 0.5), Itv::new(-0.5, 0.5)];
+        let ibp = graph.eval_itv(&input);
+        let cfg = VerifyConfig {
+            early_termination: false,
+            ..Default::default()
+        };
+        let a = analyze(&device, &graph, &cfg, &input).unwrap();
+        for (node, (refined, loose)) in a.bounds.iter().zip(&ibp).enumerate() {
+            for (r, l) in refined.iter().zip(loose) {
+                assert!(
+                    r.lo >= l.lo - 1e-5 && r.hi <= l.hi + 1e-5,
+                    "node {node}: refined {r} looser than IBP {l}"
+                );
+            }
+        }
+        assert!(a.stats.rows_refined > 0);
+    }
+
+    #[test]
+    fn analysis_is_sound_on_samples() {
+        let device = dev();
+        let net = deep_net();
+        let graph = net.graph();
+        let c = [0.1_f32, -0.2];
+        let eps = 0.4;
+        let input: Vec<Itv<f32>> = c.iter().map(|&v| Itv::new(v - eps, v + eps)).collect();
+        let a = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        for s in 0..100 {
+            let t = (s as f32) / 99.0;
+            let x = [c[0] - eps + 2.0 * eps * t, c[1] - eps + 2.0 * eps * (1.0 - t)];
+            let acts = graph.eval(&x);
+            for (node, act) in acts.iter().enumerate() {
+                for (v, b) in act.iter().zip(&a.bounds[node]) {
+                    assert!(b.contains(*v), "node {node}: {b} misses {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_matches_full_verdict_precision_on_stable_net() {
+        let device = dev();
+        // Large positive biases make every ReLU stable.
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, 0.5], [0.5, 1.0]], &[5.0, 5.0])
+            .relu()
+            .dense(&[[1.0_f32, -1.0]], &[0.0])
+            .build()
+            .unwrap();
+        let graph = net.graph();
+        let input = vec![Itv::new(0.0_f32, 1.0); 2];
+        let et = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        let full = analyze(
+            &device,
+            &graph,
+            &VerifyConfig {
+                early_termination: false,
+                ..Default::default()
+            },
+            &input,
+        )
+        .unwrap();
+        // ET skipped all rows (stable), yet the final output bounds agree,
+        // because stable ReLUs are exact either way.
+        assert_eq!(et.stats.rows_refined, 0);
+        assert!(et.stats.rows_skipped_stable > 0);
+        assert!(full.stats.rows_refined > 0);
+        for (a, b) in et.output_bounds().iter().zip(full.output_bounds()) {
+            assert!((a.lo - b.lo).abs() < 1e-4 && (a.hi - b.hi).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn chunked_analysis_matches_unchunked() {
+        let device = dev();
+        let net = deep_net();
+        let graph = net.graph();
+        let input = vec![Itv::new(-0.5_f32, 0.5); 2];
+        let whole = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        let chunked = analyze(
+            &device,
+            &graph,
+            &VerifyConfig {
+                chunk_rows: Some(1),
+                ..Default::default()
+            },
+            &input,
+        )
+        .unwrap();
+        for (a, b) in whole.bounds.iter().zip(&chunked.bounds) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x.lo - y.lo).abs() < 1e-5 && (x.hi - y.hi).abs() < 1e-5);
+            }
+        }
+        assert!(chunked.stats.chunks >= whole.stats.chunks);
+    }
+
+    #[test]
+    fn constrained_memory_still_completes_via_chunking() {
+        // A device whose memory only fits a handful of rows at a time.
+        let device = Device::new(DeviceConfig::new().workers(2).memory_capacity(1 << 14));
+        let net = NetworkBuilder::new_flat(16)
+            .flatten_dense(64, |i| ((i % 13) as f32 - 6.0) * 0.1, |_| 0.05)
+            .relu()
+            .flatten_dense(64, |i| ((i % 11) as f32 - 5.0) * 0.1, |_| -0.05)
+            .relu()
+            .flatten_dense(4, |i| ((i % 7) as f32 - 3.0) * 0.1, |_| 0.0)
+            .build()
+            .unwrap();
+        let graph = net.graph();
+        let input = vec![Itv::new(-1.0_f32, 1.0); 16];
+        let a = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        assert!(a.stats.chunks > 1, "expected chunked execution");
+        // Compare against an unconstrained device: identical bounds.
+        let big = Device::new(DeviceConfig::new().workers(2));
+        let b = analyze(&big, &graph, &VerifyConfig::default(), &input).unwrap();
+        for (x, y) in a.output_bounds().iter().zip(b.output_bounds()) {
+            assert!((x.lo - y.lo).abs() < 1e-5 && (x.hi - y.hi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bad_input_length_is_reported() {
+        let device = dev();
+        let net = deep_net();
+        let graph = net.graph();
+        let err = analyze(&device, &graph, &VerifyConfig::default(), &[Itv::point(0.0)])
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::BadQuery(_)));
+    }
+}

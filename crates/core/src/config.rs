@@ -1,0 +1,57 @@
+//! Verifier configuration.
+
+/// Tuning knobs of the verifier.
+///
+/// The defaults reproduce the paper's GPUPoly: early termination on,
+/// inference round-off accounted for. Setting
+/// [`VerifyConfig::early_termination`] to `false` yields the plain DeepPoly
+/// schedule (every unstable and stable ReLU input fully backsubstituted) and
+/// is used by the early-termination ablation benchmark.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_core::VerifyConfig;
+///
+/// let cfg = VerifyConfig::default();
+/// assert!(cfg.early_termination);
+/// let ablation = VerifyConfig { early_termination: false, ..Default::default() };
+/// assert!(!ablation.early_termination);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct VerifyConfig {
+    /// Skip backsubstitution for ReLU inputs whose sign is already fixed and
+    /// drop rows that stabilize mid-backsubstitution (paper §3.2, §4.2).
+    pub early_termination: bool,
+    /// Widen affine constants by a forward-error bound so the certificate
+    /// also covers the round-off of the network's own float inference under
+    /// any summation order (paper §4.1, Miné 2004).
+    pub account_inference_error: bool,
+    /// Upper bound on backsubstitution rows processed at once; `None` sizes
+    /// chunks from the device's free memory (paper §4.2, "Memory
+    /// management").
+    pub chunk_rows: Option<usize>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self {
+            early_termination: true,
+            account_inference_error: true,
+            chunk_rows: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = VerifyConfig::default();
+        assert!(c.early_termination);
+        assert!(c.account_inference_error);
+        assert!(c.chunk_rows.is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Dependence-set calculus (paper §3.1 and §4.3).
+//!
+//! The *m-th dependence set* of a neuron collects every neuron `m` layers
+//! earlier that can influence it. For convolutional layers it is a cuboid —
+//! dense in the channel dimension and a contiguous `W × W` window spatially —
+//! which is what lets backsubstitution store only a small dense window per
+//! neuron instead of a full layer-width row (the key to GPUPoly's memory
+//! efficiency).
+//!
+//! This module implements the cuboid algebra: the size recurrence
+//! `W_{m+1} = (W_m − 1)·s + f` (paper Eq. 5), the accumulated-stride origin
+//! recurrence (Eqs. 7–10, generalized to padding: `o' = o·s − p`), the union
+//! used at residual joins (Eq. 4), and clipping against the real layer extent
+//! (padding positions are virtual).
+//!
+//! # Example
+//!
+//! The paper's Fig. 3: a neuron in layer ℓ, backsubstituted through a
+//! 3×3/stride-1 convolution and then a 2×2/stride-1 convolution:
+//!
+//! ```
+//! use gpupoly_core::depset::DepCuboid;
+//!
+//! let d0 = DepCuboid::neuron(1, 3, 2); // D0: the neuron itself, 1×1
+//! let d1 = d0.through_conv((3, 3), (1, 1), (0, 0), 2);
+//! assert_eq!((d1.wh, d1.ww), (3, 3)); // W1 = (1-1)*1 + 3 = 3
+//! let d2 = d1.through_conv((2, 2), (1, 1), (0, 0), 2);
+//! assert_eq!((d2.wh, d2.ww), (4, 4)); // W2 = (3-1)*1 + 2 = 4
+//! assert_eq!(d2.c, 2);                // dense in depth
+//! ```
+
+/// A dependence-set cuboid: a `wh × ww` spatial window at origin
+/// `(h0, w0)` (possibly negative — padding makes origins virtual), dense
+/// over `c` channels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DepCuboid {
+    /// Top row of the window in the source layer (may be negative).
+    pub h0: i64,
+    /// Left column of the window (may be negative).
+    pub w0: i64,
+    /// Window height (`W` in the paper; `W_0 = 1`).
+    pub wh: usize,
+    /// Window width.
+    pub ww: usize,
+    /// Channels (always the full channel count of the source layer).
+    pub c: usize,
+}
+
+impl DepCuboid {
+    /// The zeroth dependence set of the neuron at spatial position
+    /// `(h, w)` in a layer with `c` channels: a `1 × 1` window (Eq. D0).
+    pub fn neuron(h: usize, w: usize, c: usize) -> Self {
+        Self {
+            h0: h as i64,
+            w0: w as i64,
+            wh: 1,
+            ww: 1,
+            c,
+        }
+    }
+
+    /// Number of positions in the cuboid, ignoring clipping (Eq. 6:
+    /// `|D| = W·W·C`).
+    pub fn len(&self) -> usize {
+        self.wh * self.ww * self.c
+    }
+
+    /// `true` when the window is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Steps the cuboid backwards through a convolution with filter
+    /// `(kh, kw)`, stride `(sh, sw)`, padding `(ph, pw)` into a source layer
+    /// with `c_in` channels:
+    ///
+    /// `W' = (W − 1)·s + f` (Eq. 5) and `o' = o·s − p` (Eqs. 7–10 with
+    /// padding).
+    pub fn through_conv(
+        &self,
+        (kh, kw): (usize, usize),
+        (sh, sw): (usize, usize),
+        (ph, pw): (usize, usize),
+        c_in: usize,
+    ) -> Self {
+        Self {
+            h0: self.h0 * sh as i64 - ph as i64,
+            w0: self.w0 * sw as i64 - pw as i64,
+            wh: (self.wh - 1) * sh + kh,
+            ww: (self.ww - 1) * sw + kw,
+            c: c_in,
+        }
+    }
+
+    /// Steps through a ReLU or identity skip: the dependence set is
+    /// unchanged (`j = i` edges in the network DAG).
+    pub fn through_elementwise(&self) -> Self {
+        *self
+    }
+
+    /// The union of the dependence sets arriving from the two branches of a
+    /// residual block (Eq. 4). Both cuboids must come from the same source
+    /// layer, so channel counts must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel counts differ.
+    pub fn union(&self, other: &Self) -> Self {
+        assert_eq!(self.c, other.c, "union of cuboids from different layers");
+        let h0 = self.h0.min(other.h0);
+        let w0 = self.w0.min(other.w0);
+        let h1 = (self.h0 + self.wh as i64).max(other.h0 + other.wh as i64);
+        let w1 = (self.w0 + self.ww as i64).max(other.w0 + other.ww as i64);
+        Self {
+            h0,
+            w0,
+            wh: (h1 - h0) as usize,
+            ww: (w1 - w0) as usize,
+            c: self.c,
+        }
+    }
+
+    /// `true` when window position `(i, j)` maps to a real neuron of a
+    /// layer with spatial extent `lh × lw` (positions outside are padding).
+    #[inline(always)]
+    pub fn is_real(&self, i: usize, j: usize, lh: usize, lw: usize) -> bool {
+        let h = self.h0 + i as i64;
+        let w = self.w0 + j as i64;
+        h >= 0 && w >= 0 && (h as usize) < lh && (w as usize) < lw
+    }
+
+    /// Number of real (non-padding) neurons covered in a `lh × lw` layer.
+    pub fn real_len(&self, lh: usize, lw: usize) -> usize {
+        let h_lo = self.h0.max(0);
+        let w_lo = self.w0.max(0);
+        let h_hi = (self.h0 + self.wh as i64).min(lh as i64);
+        let w_hi = (self.w0 + self.ww as i64).min(lw as i64);
+        if h_hi <= h_lo || w_hi <= w_lo {
+            return 0;
+        }
+        ((h_hi - h_lo) * (w_hi - w_lo)) as usize * self.c
+    }
+}
+
+/// Size of the `(ℓ−k)`-th dependence set after walking a chain of
+/// convolutions from layer `ℓ` down to layer `k` — the paper's Eq. 5/6 as a
+/// standalone helper for cost analysis: `convs` lists `(f, s)` per step.
+pub fn window_after(convs: &[(usize, usize)]) -> usize {
+    let mut w = 1usize;
+    for &(f, s) in convs {
+        w = (w - 1) * s + f;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig3_example() {
+        // Layer ℓ is 3×3×2; neuron (1,3,·) 0-indexed (0,2).
+        let d0 = DepCuboid::neuron(0, 2, 2);
+        assert_eq!(d0.len(), 2);
+        // conv ℓ: 3×3 filter stride 1, source 5×5×2
+        let d1 = d0.through_conv((3, 3), (1, 1), (0, 0), 2);
+        assert_eq!((d1.wh, d1.ww, d1.c), (3, 3, 2));
+        assert_eq!(d1.len(), 3 * 3 * 2);
+        // conv ℓ−1: 2×2 filter stride 1, source 6×6×2
+        let d2 = d1.through_conv((2, 2), (1, 1), (0, 0), 2);
+        assert_eq!((d2.wh, d2.ww, d2.c), (4, 4, 2));
+        assert_eq!(d2.len(), 4 * 4 * 2);
+    }
+
+    #[test]
+    fn stride_accumulates_in_origin() {
+        // Eq. 7-10: origin position is (accumulated stride) * position.
+        let d0 = DepCuboid::neuron(3, 5, 1);
+        let d1 = d0.through_conv((3, 3), (2, 2), (0, 0), 1);
+        assert_eq!((d1.h0, d1.w0), (6, 10));
+        let d2 = d1.through_conv((3, 3), (2, 2), (0, 0), 1);
+        // accumulated stride 4
+        assert_eq!((d2.h0, d2.w0), (12, 20));
+        assert_eq!(d2.wh, ((d1.wh - 1) * 2 + 3));
+    }
+
+    #[test]
+    fn padding_shifts_origin_negative() {
+        let d0 = DepCuboid::neuron(0, 0, 1);
+        let d1 = d0.through_conv((3, 3), (1, 1), (1, 1), 4);
+        assert_eq!((d1.h0, d1.w0), (-1, -1));
+        assert_eq!(d1.c, 4);
+        // top-left corner: only 4 of the 9 spatial taps are real in a big layer
+        let real: usize = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .filter(|&(i, j)| d1.is_real(i, j, 10, 10))
+            .count();
+        assert_eq!(real, 4);
+        assert_eq!(d1.real_len(10, 10), 4 * 4);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = DepCuboid {
+            h0: 0,
+            w0: 0,
+            wh: 3,
+            ww: 3,
+            c: 2,
+        };
+        let b = DepCuboid {
+            h0: -1,
+            w0: 2,
+            wh: 2,
+            ww: 4,
+            c: 2,
+        };
+        let u = a.union(&b);
+        assert_eq!((u.h0, u.w0), (-1, 0));
+        assert_eq!((u.wh, u.ww), (4, 6));
+    }
+
+    #[test]
+    fn real_len_clips_fully_virtual() {
+        let d = DepCuboid {
+            h0: -5,
+            w0: -5,
+            wh: 2,
+            ww: 2,
+            c: 3,
+        };
+        assert_eq!(d.real_len(4, 4), 0);
+    }
+
+    #[test]
+    fn window_after_matches_recurrence() {
+        assert_eq!(window_after(&[]), 1);
+        assert_eq!(window_after(&[(3, 1)]), 3);
+        assert_eq!(window_after(&[(3, 1), (2, 1)]), 4);
+        // two stride-2 3x3 convs: (1-1)*2+3 = 3; (3-1)*2+3 = 7
+        assert_eq!(window_after(&[(3, 2), (3, 2)]), 7);
+    }
+
+    #[test]
+    fn elementwise_is_identity() {
+        let d = DepCuboid::neuron(2, 2, 8);
+        assert_eq!(d.through_elementwise(), d);
+    }
+}

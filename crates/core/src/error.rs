@@ -1,0 +1,68 @@
+//! Error type of the verifier.
+
+use std::fmt;
+
+use gpupoly_device::DeviceError;
+use gpupoly_nn::NetworkError;
+
+/// Errors produced while building or running the verifier.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// The device ran out of memory even after chunking down to single rows.
+    Device(DeviceError),
+    /// The network failed validation.
+    Network(NetworkError),
+    /// The query is malformed (wrong input length, label out of range, ...).
+    BadQuery(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Device(e) => write!(f, "device error: {e}"),
+            VerifyError::Network(e) => write!(f, "network error: {e}"),
+            VerifyError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Device(e) => Some(e),
+            VerifyError::Network(e) => Some(e),
+            VerifyError::BadQuery(_) => None,
+        }
+    }
+}
+
+impl From<DeviceError> for VerifyError {
+    fn from(e: DeviceError) -> Self {
+        VerifyError::Device(e)
+    }
+}
+
+impl From<NetworkError> for VerifyError {
+    fn from(e: NetworkError) -> Self {
+        VerifyError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = VerifyError::Device(DeviceError::OutOfMemory {
+            requested: 1,
+            in_use: 2,
+            capacity: 3,
+        });
+        assert!(e.to_string().contains("device error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let q = VerifyError::BadQuery("label 12 out of range".into());
+        assert!(q.to_string().contains("label 12"));
+        assert!(std::error::Error::source(&q).is_none());
+    }
+}

@@ -1,0 +1,775 @@
+//! Batched polyhedral expressions — the bound matrices `M_k` of the paper.
+//!
+//! An [`ExprBatch`] holds, for a set of target neurons (`rows`), the lower
+//! and upper polyhedral expressions currently defined over a *frontier node*
+//! of the network graph. Coefficients are intervals (floating-point
+//! soundness, §4.1) stored in one of two physical layouts unified under a
+//! single representation:
+//!
+//! * **full window** — the window covers the frontier node's whole spatial
+//!   extent and every origin is `(0, 0)`: this is the dense matrix of
+//!   fully-connected backsubstitution (Fig. 2);
+//! * **cuboid window** — a `win_h × win_w × C` dependence-set window per row
+//!   with a per-row origin (§3.1/§4.3): convolutional backsubstitution only
+//!   stores and processes these small dense windows.
+//!
+//! Window positions that fall outside the frontier layer (negative origins
+//! from padding) are *virtual*: they correspond to zero padding, carry zero
+//! coefficients (an invariant maintained by every step), and are skipped by
+//! all consumers.
+
+use gpupoly_device::{scan, Device, DeviceBuffer};
+use gpupoly_interval::{dot, round, Fp, Itv};
+use gpupoly_nn::{Conv2d, Dense, NodeId, Shape};
+
+use crate::VerifyError;
+
+/// A batch of paired (lower, upper) polyhedral expressions over one node.
+///
+/// See the module docs for the representation. Rows are the neurons being
+/// bounded; [`ExprBatch::concretize`] evaluates one sound candidate bound
+/// per row against the frontier node's concrete bounds, and the `step_*`
+/// functions in [`crate::steps`] move the frontier backwards through the
+/// network.
+#[derive(Debug)]
+pub struct ExprBatch<F: Fp> {
+    node: NodeId,
+    shape: Shape,
+    win_h: usize,
+    win_w: usize,
+    origins: Vec<(i32, i32)>,
+    lo: DeviceBuffer<Itv<F>>,
+    hi: DeviceBuffer<Itv<F>>,
+    cst_lo: Vec<Itv<F>>,
+    cst_hi: Vec<Itv<F>>,
+}
+
+impl<F: Fp> ExprBatch<F> {
+    /// Allocates a zero batch with the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn zeroed(
+        device: &Device,
+        node: NodeId,
+        shape: Shape,
+        (win_h, win_w): (usize, usize),
+        origins: Vec<(i32, i32)>,
+    ) -> Result<Self, VerifyError> {
+        let rows = origins.len();
+        let cols = win_h * win_w * shape.c;
+        Ok(Self {
+            node,
+            shape,
+            win_h,
+            win_w,
+            origins,
+            lo: DeviceBuffer::zeroed(device, rows * cols)?,
+            hi: DeviceBuffer::zeroed(device, rows * cols)?,
+            cst_lo: vec![Itv::zero(); rows],
+            cst_hi: vec![Itv::zero(); rows],
+        })
+    }
+
+    /// The identity batch: one row per listed neuron of `node`, with
+    /// coefficient 1 on that neuron. The window is the `1 × 1 × C`
+    /// zeroth dependence set.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn identity(
+        device: &Device,
+        node: NodeId,
+        shape: Shape,
+        neurons: &[usize],
+    ) -> Result<Self, VerifyError> {
+        let origins = neurons
+            .iter()
+            .map(|&n| {
+                let (h, w, _) = shape.pos(n);
+                (h as i32, w as i32)
+            })
+            .collect();
+        let mut batch = Self::zeroed(device, node, shape, (1, 1), origins)?;
+        let cols = batch.cols();
+        for (r, &n) in neurons.iter().enumerate() {
+            let (_, _, c) = shape.pos(n);
+            batch.lo[r * cols + c] = Itv::point(F::ONE);
+            batch.hi[r * cols + c] = Itv::point(F::ONE);
+        }
+        Ok(batch)
+    }
+
+    /// The initial batch of a dense layer: row `r` is the layer's weight row
+    /// for `neurons[r]`, over the layer's parent node (full window). The
+    /// constant is the bias, optionally widened by the inference round-off
+    /// bound computed from the parent's concrete bounds (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn from_dense(
+        device: &Device,
+        dense: &Dense<F>,
+        neurons: &[usize],
+        parent: NodeId,
+        parent_shape: Shape,
+        widen_from: Option<&[Itv<F>]>,
+    ) -> Result<Self, VerifyError> {
+        debug_assert_eq!(parent_shape.len(), dense.in_len);
+        let origins = vec![(0i32, 0i32); neurons.len()];
+        let mut batch = Self::zeroed(
+            device,
+            parent,
+            parent_shape,
+            (parent_shape.h, parent_shape.w),
+            origins,
+        )?;
+        let cols = batch.cols();
+        for (r, &n) in neurons.iter().enumerate() {
+            let row = dense.row(n);
+            for (j, &w) in row.iter().enumerate() {
+                batch.lo[r * cols + j] = Itv::point(w);
+                batch.hi[r * cols + j] = Itv::point(w);
+            }
+            let mut cst = Itv::point(dense.bias[n]);
+            if let Some(pb) = widen_from {
+                cst = cst.widen(inference_error(row, pb, dense.bias[n]));
+            }
+            batch.cst_lo[r] = cst;
+            batch.cst_hi[r] = cst;
+        }
+        Ok(batch)
+    }
+
+    /// The initial batch of a convolution layer: row `r` holds the filter
+    /// taps of `neurons[r]` in its first dependence set (window `kh × kw`
+    /// at origin `(h·s − p, w·s − p)`), over the layer's parent node.
+    /// Virtual taps (padding) stay zero.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn from_conv(
+        device: &Device,
+        conv: &Conv2d<F>,
+        neurons: &[usize],
+        parent: NodeId,
+        widen_from: Option<&[Itv<F>]>,
+    ) -> Result<Self, VerifyError> {
+        let parent_shape = conv.in_shape;
+        let origins = neurons
+            .iter()
+            .map(|&n| {
+                let (h, w, _) = conv.out_shape.pos(n);
+                (
+                    (h * conv.sh) as i32 - conv.ph as i32,
+                    (w * conv.sw) as i32 - conv.pw as i32,
+                )
+            })
+            .collect();
+        let mut batch = Self::zeroed(device, parent, parent_shape, (conv.kh, conv.kw), origins)?;
+        let cols = batch.cols();
+        let cin = parent_shape.c;
+        for (r, &n) in neurons.iter().enumerate() {
+            let (_, _, d) = conv.out_shape.pos(n);
+            let (oh, ow) = batch.origins[r];
+            let mut abs_acc = F::ZERO;
+            let mut taps = 0usize;
+            for f in 0..conv.kh {
+                for g in 0..conv.kw {
+                    let h = oh + f as i32;
+                    let w = ow + g as i32;
+                    if h < 0
+                        || w < 0
+                        || h as usize >= parent_shape.h
+                        || w as usize >= parent_shape.w
+                    {
+                        continue; // virtual tap: padding, coefficient stays 0
+                    }
+                    for ci in 0..cin {
+                        let wv = conv.weight[conv.widx(f, g, d, ci)];
+                        let at = r * cols + (f * conv.kw + g) * cin + ci;
+                        batch.lo[at] = Itv::point(wv);
+                        batch.hi[at] = Itv::point(wv);
+                        if widen_from.is_some() {
+                            let bi = widen_from.unwrap()
+                                [parent_shape.idx(h as usize, w as usize, ci)];
+                            abs_acc = round::fma_up(wv.abs(), bi.mag(), abs_acc);
+                            taps += 1;
+                        }
+                    }
+                }
+            }
+            let mut cst = Itv::point(conv.bias[d]);
+            if widen_from.is_some() {
+                let total = round::add_up(abs_acc, conv.bias[d].abs());
+                let err = round::mul_up(dot::gamma::<F>(taps + 2), total);
+                cst = cst.widen(err);
+            }
+            batch.cst_lo[r] = cst;
+            batch.cst_hi[r] = cst;
+        }
+        Ok(batch)
+    }
+
+    /// Number of expression rows.
+    pub fn rows(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Coefficients per row (window volume).
+    pub fn cols(&self) -> usize {
+        self.win_h * self.win_w * self.shape.c
+    }
+
+    /// The frontier node the expressions range over.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Shape of the frontier node.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Spatial window extent `(win_h, win_w)`.
+    pub fn window(&self) -> (usize, usize) {
+        (self.win_h, self.win_w)
+    }
+
+    /// Per-row window origins.
+    pub fn origins(&self) -> &[(i32, i32)] {
+        &self.origins
+    }
+
+    /// `true` when the window covers the whole frontier layer for all rows.
+    pub fn is_full(&self) -> bool {
+        self.win_h == self.shape.h
+            && self.win_w == self.shape.w
+            && self.origins.iter().all(|&o| o == (0, 0))
+    }
+
+    /// Raw access for the step kernels.
+    pub(crate) fn planes_mut(
+        &mut self,
+    ) -> (
+        &mut DeviceBuffer<Itv<F>>,
+        &mut DeviceBuffer<Itv<F>>,
+        &mut Vec<Itv<F>>,
+        &mut Vec<Itv<F>>,
+    ) {
+        (&mut self.lo, &mut self.hi, &mut self.cst_lo, &mut self.cst_hi)
+    }
+
+    /// Raw read access for the step kernels.
+    pub(crate) fn planes(&self) -> (&[Itv<F>], &[Itv<F>], &[Itv<F>], &[Itv<F>]) {
+        (&self.lo, &self.hi, &self.cst_lo, &self.cst_hi)
+    }
+
+    pub(crate) fn set_node(&mut self, node: NodeId) {
+        self.node = node;
+    }
+
+    /// `true` when window position `(i, j)` of row `r` maps to a real neuron.
+    #[inline(always)]
+    pub fn is_real(&self, r: usize, i: usize, j: usize) -> bool {
+        let (oh, ow) = self.origins[r];
+        let h = oh + i as i32;
+        let w = ow + j as i32;
+        h >= 0 && w >= 0 && (h as usize) < self.shape.h && (w as usize) < self.shape.w
+    }
+
+    /// Linear index (into the frontier node) of window position
+    /// `(i, j, c)` of row `r`; caller must have checked [`ExprBatch::is_real`].
+    #[inline(always)]
+    pub fn neuron_at(&self, r: usize, i: usize, j: usize, c: usize) -> usize {
+        let (oh, ow) = self.origins[r];
+        self.shape
+            .idx((oh + i as i32) as usize, (ow + j as i32) as usize, c)
+    }
+
+    /// Evaluates one candidate bound per row against the frontier node's
+    /// concrete bounds (the "substitute concrete bounds" step of
+    /// backsubstitution, §2). Returns `[lower, upper]` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` does not match the frontier node's length.
+    pub fn concretize(&self, device: &Device, bounds: &[Itv<F>]) -> Vec<Itv<F>> {
+        assert_eq!(bounds.len(), self.shape.len(), "bounds length mismatch");
+        let mut out = vec![Itv::top(); self.rows()];
+        let cols = self.cols();
+        let chans = self.shape.c;
+        device.par_map_mut(&mut out, |r, v| {
+            let lo_row = &self.lo[r * cols..(r + 1) * cols];
+            let hi_row = &self.hi[r * cols..(r + 1) * cols];
+            let mut lo = self.cst_lo[r].lo;
+            let mut hi = self.cst_hi[r].hi;
+            for i in 0..self.win_h {
+                for j in 0..self.win_w {
+                    if !self.is_real(r, i, j) {
+                        continue;
+                    }
+                    let base = (i * self.win_w + j) * chans;
+                    let nbase = self.neuron_at(r, i, j, 0);
+                    for c in 0..chans {
+                        let b = bounds[nbase + c];
+                        let a = lo_row[base + c];
+                        if !(a.lo == F::ZERO && a.hi == F::ZERO) {
+                            lo = round::add_down(lo, a.mul(b).lo);
+                        }
+                        let a = hi_row[base + c];
+                        if !(a.lo == F::ZERO && a.hi == F::ZERO) {
+                            hi = round::add_up(hi, a.mul(b).hi);
+                        }
+                    }
+                }
+            }
+            *v = Itv { lo, hi: hi.max(lo) };
+        });
+        device.stats().add_flops(4 * (self.rows() * cols) as u64);
+        out
+    }
+
+    /// Removes rows whose `keep` flag is false using the device's
+    /// prefix-sum compaction (§4.2); returns the surviving batch and the
+    /// index array mapping new rows to old rows.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep.len() != rows()`.
+    pub fn filter_rows(
+        self,
+        device: &Device,
+        keep: &[bool],
+    ) -> Result<(Self, Vec<u32>), VerifyError> {
+        assert_eq!(keep.len(), self.rows(), "keep mask length mismatch");
+        let cols = self.cols();
+        let (lo_new, index) = scan::compact_rows(device, &self.lo, cols, keep);
+        let (hi_new, _) = scan::compact_rows(device, &self.hi, cols, keep);
+        let origins = index
+            .iter()
+            .map(|&i| self.origins[i as usize])
+            .collect::<Vec<_>>();
+        let cst_lo = index
+            .iter()
+            .map(|&i| self.cst_lo[i as usize])
+            .collect::<Vec<_>>();
+        let cst_hi = index
+            .iter()
+            .map(|&i| self.cst_hi[i as usize])
+            .collect::<Vec<_>>();
+        let batch = Self {
+            node: self.node,
+            shape: self.shape,
+            win_h: self.win_h,
+            win_w: self.win_w,
+            origins,
+            lo: DeviceBuffer::from_vec(device, lo_new)?,
+            hi: DeviceBuffer::from_vec(device, hi_new)?,
+            cst_lo,
+            cst_hi,
+        };
+        Ok((batch, index))
+    }
+
+    /// Expands the batch to a full window over the frontier node (used when
+    /// a dense layer must consume a cuboid batch).
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn densify(self, device: &Device) -> Result<Self, VerifyError> {
+        if self.is_full() {
+            return Ok(self);
+        }
+        let mut full = Self::zeroed(
+            device,
+            self.node,
+            self.shape,
+            (self.shape.h, self.shape.w),
+            vec![(0, 0); self.rows()],
+        )?;
+        full.cst_lo.copy_from_slice(&self.cst_lo);
+        full.cst_hi.copy_from_slice(&self.cst_hi);
+        let cols = self.cols();
+        let fcols = full.cols();
+        let chans = self.shape.c;
+        let src = &self;
+        let scatter = |r: usize, dst_row: &mut [Itv<F>], plane: &[Itv<F>]| {
+            let row = &plane[r * cols..(r + 1) * cols];
+            for i in 0..src.win_h {
+                for j in 0..src.win_w {
+                    if !src.is_real(r, i, j) {
+                        continue;
+                    }
+                    let nbase = src.neuron_at(r, i, j, 0);
+                    let base = (i * src.win_w + j) * chans;
+                    dst_row[nbase..nbase + chans].copy_from_slice(&row[base..base + chans]);
+                }
+            }
+        };
+        device.par_rows("densify_lo", &mut full.lo, fcols, |r, dst| {
+            scatter(r, dst, &src.lo)
+        });
+        device.par_rows("densify_hi", &mut full.hi, fcols, |r, dst| {
+            scatter(r, dst, &src.hi)
+        });
+        Ok(full)
+    }
+
+    /// Merges the two branch expressions of a residual block at its head:
+    /// coefficients are added on the union window (Eq. 4), constants added.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batches disagree on node, shape or row count.
+    pub fn merge(a: Self, b: Self, device: &Device) -> Result<Self, VerifyError> {
+        assert_eq!(a.node, b.node, "merge: different frontier nodes");
+        assert_eq!(a.shape, b.shape, "merge: different frontier shapes");
+        assert_eq!(a.rows(), b.rows(), "merge: different row counts");
+        let rows = a.rows();
+        // Union geometry: per-row min origin; uniform window sized to cover
+        // the worst row.
+        let mut origins = Vec::with_capacity(rows);
+        let (mut uw_h, mut uw_w) = (0usize, 0usize);
+        for r in 0..rows {
+            let (ah, aw) = a.origins[r];
+            let (bh, bw) = b.origins[r];
+            let oh = ah.min(bh);
+            let ow = aw.min(bw);
+            uw_h = uw_h.max(((ah + a.win_h as i32).max(bh + b.win_h as i32) - oh) as usize);
+            uw_w = uw_w.max(((aw + a.win_w as i32).max(bw + b.win_w as i32) - ow) as usize);
+            origins.push((oh, ow));
+        }
+        let mut m = Self::zeroed(device, a.node, a.shape, (uw_h, uw_w), origins)?;
+        for r in 0..rows {
+            m.cst_lo[r] = a.cst_lo[r].add(b.cst_lo[r]);
+            m.cst_hi[r] = a.cst_hi[r].add(b.cst_hi[r]);
+        }
+        let mcols = m.cols();
+        let chans = m.shape.c;
+        let morigins = m.origins.clone();
+        let add_into = |r: usize, dst_row: &mut [Itv<F>], srcb: &Self, plane_lo: bool| {
+            let cols = srcb.cols();
+            let plane = if plane_lo { &srcb.lo } else { &srcb.hi };
+            let row = &plane[r * cols..(r + 1) * cols];
+            let (so_h, so_w) = srcb.origins[r];
+            let (mo_h, mo_w) = morigins[r];
+            let dh = (so_h - mo_h) as usize;
+            let dw = (so_w - mo_w) as usize;
+            for i in 0..srcb.win_h {
+                for j in 0..srcb.win_w {
+                    let dbase = ((i + dh) * uw_w + (j + dw)) * chans;
+                    let sbase = (i * srcb.win_w + j) * chans;
+                    for c in 0..chans {
+                        let v = row[sbase + c];
+                        if !(v.lo == F::ZERO && v.hi == F::ZERO) {
+                            dst_row[dbase + c] = dst_row[dbase + c].add(v);
+                        }
+                    }
+                }
+            }
+        };
+        device.par_rows("residual_merge_lo", &mut m.lo, mcols, |r, dst| {
+            add_into(r, dst, &a, true);
+            add_into(r, dst, &b, true);
+        });
+        device.par_rows("residual_merge_hi", &mut m.hi, mcols, |r, dst| {
+            add_into(r, dst, &a, false);
+            add_into(r, dst, &b, false);
+        });
+        Ok(m)
+    }
+
+    /// Splits an expression over a residual Add node into the two branch
+    /// expressions (`x_add = x_a + x_b`, so coefficients copy to both; the
+    /// constant stays with branch `a`).
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn split_add(
+        &self,
+        device: &Device,
+        node_a: NodeId,
+        shape_a: Shape,
+        node_b: NodeId,
+        shape_b: Shape,
+    ) -> Result<(Self, Self), VerifyError> {
+        let mk = |node: NodeId, shape: Shape, with_cst: bool| -> Result<Self, VerifyError> {
+            Ok(Self {
+                node,
+                shape,
+                win_h: self.win_h,
+                win_w: self.win_w,
+                origins: self.origins.clone(),
+                lo: DeviceBuffer::from_slice(device, &self.lo)?,
+                hi: DeviceBuffer::from_slice(device, &self.hi)?,
+                cst_lo: if with_cst {
+                    self.cst_lo.clone()
+                } else {
+                    vec![Itv::zero(); self.rows()]
+                },
+                cst_hi: if with_cst {
+                    self.cst_hi.clone()
+                } else {
+                    vec![Itv::zero(); self.rows()]
+                },
+            })
+        };
+        Ok((mk(node_a, shape_a, true)?, mk(node_b, shape_b, false)?))
+    }
+
+    /// Sets a coefficient in both planes (used to assemble spec rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is out of range.
+    pub fn set_coeff(&mut self, row: usize, col: usize, v: Itv<F>) {
+        let cols = self.cols();
+        self.lo[row * cols + col] = v;
+        self.hi[row * cols + col] = v;
+    }
+
+    /// Adds a constant to both planes of one row.
+    pub fn add_cst(&mut self, row: usize, v: Itv<F>) {
+        self.cst_lo[row] = self.cst_lo[row].add(v);
+        self.cst_hi[row] = self.cst_hi[row].add(v);
+    }
+}
+
+/// Forward-error widening for one dense row (paper §4.1 / Miné 2004): a
+/// bound on how far any float evaluation of `Σ w·x + b` (any order, any
+/// rounding mode) can drift from the exact value.
+fn inference_error<F: Fp>(ws: &[F], xs: &[Itv<F>], bias: F) -> F {
+    let mags: Vec<F> = xs.iter().map(|b| b.mag()).collect();
+    let abs = dot::abs_dot_up(ws, &mags);
+    let total = round::add_up(abs, bias.abs());
+    round::mul_up(dot::gamma::<F>(ws.len() + 2), total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_device::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::new().workers(2))
+    }
+
+    #[test]
+    fn identity_concretizes_to_bounds() {
+        let device = dev();
+        let shape = Shape::new(2, 2, 3);
+        let batch = ExprBatch::<f32>::identity(&device, 5, shape, &[0, 7, 11]).unwrap();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.cols(), 3); // 1x1 window, 3 channels
+        let bounds: Vec<Itv<f32>> = (0..12).map(|i| Itv::new(i as f32, i as f32 + 1.0)).collect();
+        let cand = batch.concretize(&device, &bounds);
+        assert_eq!(cand[0], bounds[0]);
+        assert_eq!(cand[1], bounds[7]);
+        assert_eq!(cand[2], bounds[11]);
+    }
+
+    #[test]
+    fn from_dense_concretize_matches_manual_eval() {
+        let device = dev();
+        let d = Dense::new(2, 3, vec![1.0_f32, -2.0, 0.5, 0.0, 1.0, 1.0], vec![0.25, -0.5])
+            .unwrap();
+        let batch =
+            ExprBatch::from_dense(&device, &d, &[0, 1], 0, Shape::flat(3), None).unwrap();
+        assert!(batch.is_full());
+        let bounds = vec![
+            Itv::new(0.0_f32, 1.0),
+            Itv::new(-1.0, 1.0),
+            Itv::new(2.0, 3.0),
+        ];
+        let cand = batch.concretize(&device, &bounds);
+        // row 0 upper: 1*1 + (-2)*(-1) + 0.5*3 + 0.25 = 4.75
+        assert!((cand[0].hi - 4.75).abs() < 1e-5);
+        // row 0 lower: 1*0 + (-2)*1 + 0.5*2 + 0.25 = -0.75
+        assert!((cand[0].lo + 0.75).abs() < 1e-5);
+        // row 1: x1 + x2 - 0.5 in [-1+2-0.5, 1+3-0.5]
+        assert!((cand[1].lo - 0.5).abs() < 1e-5 && (cand[1].hi - 3.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn widening_grows_constants() {
+        let device = dev();
+        let d = Dense::new(1, 2, vec![1.0_f32, 1.0], vec![0.0]).unwrap();
+        let pb = vec![Itv::new(-1.0_f32, 1.0); 2];
+        let plain = ExprBatch::from_dense(&device, &d, &[0], 0, Shape::flat(2), None).unwrap();
+        let wide =
+            ExprBatch::from_dense(&device, &d, &[0], 0, Shape::flat(2), Some(&pb)).unwrap();
+        let cp = plain.concretize(&device, &pb);
+        let cw = wide.concretize(&device, &pb);
+        assert!(cw[0].hi > cp[0].hi);
+        assert!(cw[0].lo < cp[0].lo);
+        assert!(cw[0].hi - cp[0].hi < 1e-4, "widening should be tiny");
+    }
+
+    #[test]
+    fn from_conv_window_is_first_dependence_set() {
+        let device = dev();
+        // 4x4x1 input, 2x2 filter, stride 2, no padding -> out 2x2x1
+        let conv = Conv2d::new(
+            Shape::new(4, 4, 1),
+            1,
+            (2, 2),
+            (2, 2),
+            (0, 0),
+            vec![1.0_f32, 2.0, 3.0, 4.0],
+            vec![0.5],
+        )
+        .unwrap();
+        // neuron (1,1,0) = linear index 3
+        let batch = ExprBatch::from_conv(&device, &conv, &[3], 0, None).unwrap();
+        assert_eq!(batch.window(), (2, 2));
+        assert_eq!(batch.origins()[0], (2, 2));
+        // concretize with point bounds = conv forward on those inputs
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let bounds: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
+        let mut y = vec![0.0_f32; 4];
+        conv.forward(&x, &mut y);
+        let cand = batch.concretize(&device, &bounds);
+        assert!(cand[0].contains(y[3]), "{} misses {}", cand[0], y[3]);
+        assert!(cand[0].width() < 1e-4);
+    }
+
+    #[test]
+    fn from_conv_padding_taps_are_zero() {
+        let device = dev();
+        // 2x2 input, 3x3 filter pad 1: neuron (0,0) has 4 virtual taps rows/cols
+        let conv = Conv2d::new(
+            Shape::new(2, 2, 1),
+            1,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            vec![1.0_f32; 9],
+            vec![0.0],
+        )
+        .unwrap();
+        let batch = ExprBatch::from_conv(&device, &conv, &[0], 0, None).unwrap();
+        assert_eq!(batch.origins()[0], (-1, -1));
+        // Sum over the window with unit bounds = number of real taps = 4.
+        let bounds = vec![Itv::point(1.0_f32); 4];
+        let cand = batch.concretize(&device, &bounds);
+        assert!(cand[0].contains(4.0));
+        assert!(cand[0].width() < 1e-5);
+    }
+
+    #[test]
+    fn filter_rows_keeps_selected() {
+        let device = dev();
+        let shape = Shape::flat(4);
+        let batch = ExprBatch::<f32>::identity(&device, 1, shape, &[0, 1, 2, 3]).unwrap();
+        let (filtered, index) = batch
+            .filter_rows(&device, &[true, false, true, false])
+            .unwrap();
+        assert_eq!(index, vec![0, 2]);
+        assert_eq!(filtered.rows(), 2);
+        let bounds: Vec<Itv<f32>> = (0..4).map(|i| Itv::point(i as f32)).collect();
+        let cand = filtered.concretize(&device, &bounds);
+        assert!(cand[0].contains(0.0) && cand[1].contains(2.0));
+    }
+
+    #[test]
+    fn densify_preserves_semantics() {
+        let device = dev();
+        let conv = Conv2d::new(
+            Shape::new(3, 3, 2),
+            2,
+            (2, 2),
+            (1, 1),
+            (1, 1),
+            (0..2 * 2 * 2 * 2).map(|i| i as f32 * 0.1 - 0.3).collect(),
+            vec![0.1, -0.2],
+        )
+        .unwrap();
+        let batch = ExprBatch::from_conv(&device, &conv, &[0, 5, 17], 0, None).unwrap();
+        let bounds: Vec<Itv<f32>> = (0..18)
+            .map(|i| Itv::new(i as f32 * 0.1 - 0.5, i as f32 * 0.1))
+            .collect();
+        let before = batch.concretize(&device, &bounds);
+        let full = batch.densify(&device).unwrap();
+        assert!(full.is_full());
+        let after = full.concretize(&device, &bounds);
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b.lo - a.lo).abs() < 1e-5 && (b.hi - a.hi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn split_and_merge_round_trip_doubles() {
+        let device = dev();
+        let shape = Shape::new(2, 2, 1);
+        let batch = ExprBatch::<f32>::identity(&device, 3, shape, &[0, 3]).unwrap();
+        // Both branches are identity skips, so both land on the same head.
+        let (a, b) = batch.split_add(&device, 1, shape, 1, shape).unwrap();
+        let merged = ExprBatch::merge(a, b, &device).unwrap();
+        // identity + identity = 2x
+        let bounds: Vec<Itv<f32>> = (0..4).map(|i| Itv::point(i as f32)).collect();
+        let cand = merged.concretize(&device, &bounds);
+        assert!(cand[0].contains(0.0));
+        assert!(cand[1].contains(6.0));
+    }
+
+    #[test]
+    fn merge_aligns_different_windows() {
+        let device = dev();
+        let shape = Shape::new(4, 4, 1);
+        // a: 1x1 window at (1,1); b: full window
+        let a = ExprBatch::<f32>::identity(&device, 2, shape, &[5]).unwrap();
+        let mut b = ExprBatch::<f32>::zeroed(
+            &device,
+            2,
+            shape,
+            (4, 4),
+            vec![(0, 0)],
+        )
+        .unwrap();
+        b.set_coeff(0, 5, Itv::point(2.0)); // same neuron, coefficient 2
+        b.set_coeff(0, 0, Itv::point(1.0)); // neuron 0, coefficient 1
+        let m = ExprBatch::merge(a, b, &device).unwrap();
+        let bounds: Vec<Itv<f32>> = (0..16).map(|i| Itv::point(i as f32)).collect();
+        let cand = m.concretize(&device, &bounds);
+        // 3 * bounds[5] + 1 * bounds[0] = 15
+        assert!(cand[0].contains(15.0), "{}", cand[0]);
+    }
+
+    #[test]
+    fn memory_accounting_flows_through_batches() {
+        let device = Device::new(DeviceConfig::new().workers(1).memory_capacity(1 << 20));
+        let shape = Shape::flat(128);
+        let used0 = device.memory_in_use();
+        {
+            let _b = ExprBatch::<f32>::identity(&device, 0, shape, &[0, 1, 2]).unwrap();
+            assert!(device.memory_in_use() > used0);
+        }
+        assert_eq!(device.memory_in_use(), used0);
+        // A batch too large for the device fails cleanly.
+        let huge: Vec<usize> = (0..128).collect();
+        let r = ExprBatch::<f32>::from_dense(
+            &device,
+            &Dense::new(128, 4096, vec![0.0; 128 * 4096], vec![0.0; 128]).unwrap(),
+            &huge,
+            0,
+            Shape::flat(4096),
+            None,
+        );
+        assert!(matches!(r, Err(VerifyError::Device(_))));
+    }
+}

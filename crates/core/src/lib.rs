@@ -1,0 +1,56 @@
+//! GPUPoly: scalable polyhedral neural-network verification on a (simulated)
+//! GPU — the core contribution of *"Scaling Polyhedral Neural Network
+//! Verification on GPUs"* (MLSys 2021).
+//!
+//! The verifier certifies robustness and safety properties of
+//! fully-connected, convolutional and residual ReLU networks with the
+//! DeepPoly relaxation, made scalable by:
+//!
+//! * expressing backsubstitution as batched (interval) matrix products on a
+//!   data-parallel device ([`crate::steps`], `gpupoly-device`),
+//! * exploiting convolutional sparsity through *dependence sets*
+//!   ([`depset`], [`crate::steps::step_conv`] — the paper's Algorithm 1),
+//! * *early termination* for ReLU neurons with fixed sign, with prefix-sum
+//!   row compaction (§3.2/§4.2),
+//! * memory-aware chunking when bound matrices exceed device memory (§4.2),
+//! * floating-point soundness end to end: interval coefficients with
+//!   outward rounding, plus optional widening that covers the round-off of
+//!   the network's own inference (§4.1).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpupoly_core::{GpuPoly, VerifyConfig};
+//! use gpupoly_device::Device;
+//! use gpupoly_nn::builder::NetworkBuilder;
+//!
+//! let net = NetworkBuilder::new_flat(2)
+//!     .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+//!     .relu()
+//!     .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+//!     .build()?;
+//! let verifier = GpuPoly::new(Device::default(), &net, VerifyConfig::default())?;
+//! let verdict = verifier.verify_robustness(&[0.4, 0.6], 0, 0.05)?;
+//! assert!(verdict.verified);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod config;
+pub mod depset;
+mod error;
+pub mod expr;
+mod relax;
+pub mod steps;
+mod verifier;
+mod walk;
+
+pub use analysis::{Analysis, AnalysisStats};
+pub use config::VerifyConfig;
+pub use error::VerifyError;
+pub use expr::ExprBatch;
+pub use relax::ReluRelax;
+pub use verifier::{GpuPoly, LinearSpec, Margin, RobustnessVerdict, SpecRow, SpecVerdict};

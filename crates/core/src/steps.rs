@@ -1,0 +1,500 @@
+//! One backsubstitution step through each layer kind.
+//!
+//! * [`step_dense`] — the dense matrix product `M_{k-1} = M_k · F_k` of
+//!   Fig. 2, on the device's interval GEMM;
+//! * [`step_conv`] — **GBC** (GPUPoly Backsubstitution for Convolution,
+//!   Algorithm 1): per row, iterate only over the dependence-set window and
+//!   the filter taps instead of the full layer, performing a transpose
+//!   convolution from `D^{ℓ-k}` to `D^{ℓ-k+1}`;
+//! * [`step_relu`] — the diagonal substitution of the DeepPoly ReLU
+//!   relaxation, sign- and sense-aware.
+//!
+//! Residual Add nodes are handled by the walk engine via
+//! [`crate::expr::ExprBatch::split_add`] / [`crate::expr::ExprBatch::merge`].
+
+use gpupoly_device::{gemm, Device};
+use gpupoly_interval::{Fp, Itv};
+use gpupoly_nn::{Conv2d, Dense, NodeId, Shape};
+
+use crate::expr::ExprBatch;
+use crate::relax::ReluRelax;
+use crate::VerifyError;
+
+/// Backsubstitutes through a fully-connected layer: the batch (over the
+/// layer's output) becomes a batch over `parent` (full window). Cuboid
+/// batches are densified first.
+///
+/// # Errors
+///
+/// Device out-of-memory.
+///
+/// # Panics
+///
+/// Panics when the batch frontier does not match the layer's output.
+pub fn step_dense<F: Fp>(
+    device: &Device,
+    batch: ExprBatch<F>,
+    dense: &Dense<F>,
+    parent: NodeId,
+    parent_shape: Shape,
+) -> Result<ExprBatch<F>, VerifyError> {
+    let batch = batch.densify(device)?;
+    assert_eq!(
+        batch.shape().len(),
+        dense.out_len,
+        "dense step: frontier/layer mismatch"
+    );
+    debug_assert_eq!(parent_shape.len(), dense.in_len);
+    let rows = batch.rows();
+    let mut out = ExprBatch::zeroed(
+        device,
+        parent,
+        parent_shape,
+        (parent_shape.h, parent_shape.w),
+        vec![(0, 0); rows],
+    )?;
+    let (src_lo, src_hi, src_cst_lo, src_cst_hi) = batch.planes();
+    {
+        let (out_lo, out_hi, out_cst_lo, out_cst_hi) = out.planes_mut();
+        gemm::gemm_itv_f(
+            device,
+            src_lo,
+            &dense.weight,
+            out_lo,
+            rows,
+            dense.out_len,
+            dense.in_len,
+        );
+        gemm::gemm_itv_f(
+            device,
+            src_hi,
+            &dense.weight,
+            out_hi,
+            rows,
+            dense.out_len,
+            dense.in_len,
+        );
+        // Constants absorb the bias: cst' = cst + Σ_i a_i · b_i.
+        device.par_map_mut(out_cst_lo, |r, v| {
+            let row = &src_lo[r * dense.out_len..(r + 1) * dense.out_len];
+            let mut acc = src_cst_lo[r];
+            for (a, &b) in row.iter().zip(&dense.bias) {
+                acc = a.mul_add_f(b, acc);
+            }
+            *v = acc;
+        });
+        device.par_map_mut(out_cst_hi, |r, v| {
+            let row = &src_hi[r * dense.out_len..(r + 1) * dense.out_len];
+            let mut acc = src_cst_hi[r];
+            for (a, &b) in row.iter().zip(&dense.bias) {
+                acc = a.mul_add_f(b, acc);
+            }
+            *v = acc;
+        });
+    }
+    Ok(out)
+}
+
+/// GBC: backsubstitutes through a convolution (paper Algorithm 1).
+///
+/// The batch's window over the conv output (the `(ℓ−k)`-th dependence set)
+/// grows to `(W−1)·s + f` over the conv input (the `(ℓ−k+1)`-th dependence
+/// set, Eq. 5) with per-row origins `o·s − p` (Eqs. 7–10). Only filter taps
+/// are touched — the loop nest is `rows ∥ (window) (filter) (c_out ⊣) (c_in
+/// contiguous)`, matching the paper's parallelization strategy (§4.4).
+///
+/// # Errors
+///
+/// Device out-of-memory.
+///
+/// # Panics
+///
+/// Panics when the batch frontier does not match the conv's output shape.
+pub fn step_conv<F: Fp>(
+    device: &Device,
+    batch: ExprBatch<F>,
+    conv: &Conv2d<F>,
+    parent: NodeId,
+) -> Result<ExprBatch<F>, VerifyError> {
+    assert_eq!(
+        batch.shape(),
+        conv.out_shape,
+        "conv step: frontier/layer mismatch"
+    );
+    let (wh, ww) = batch.window();
+    let new_win = ((wh - 1) * conv.sh + conv.kh, (ww - 1) * conv.sw + conv.kw);
+    let new_origins: Vec<(i32, i32)> = batch
+        .origins()
+        .iter()
+        .map(|&(oh, ow)| {
+            (
+                oh * conv.sh as i32 - conv.ph as i32,
+                ow * conv.sw as i32 - conv.pw as i32,
+            )
+        })
+        .collect();
+    let rows = batch.rows();
+    let mut out = ExprBatch::zeroed(device, parent, conv.in_shape, new_win, new_origins)?;
+    let cout = conv.out_shape.c;
+    let cin = conv.in_shape.c;
+    let src_cols = batch.cols();
+    let dst_cols = out.cols();
+    let new_ww = new_win.1;
+    let src = &batch;
+
+    // Constants absorb the conv bias over real window positions.
+    {
+        let (_, _, out_cst_lo, out_cst_hi) = out.planes_mut();
+        let (src_lo, src_hi, src_cst_lo, src_cst_hi) = src.planes();
+        let bias_fold = |r: usize, plane: &[Itv<F>], cst: Itv<F>| -> Itv<F> {
+            let row = &plane[r * src_cols..(r + 1) * src_cols];
+            let mut acc = cst;
+            for i in 0..wh {
+                for j in 0..ww {
+                    if !src.is_real(r, i, j) {
+                        continue;
+                    }
+                    let base = (i * ww + j) * cout;
+                    for (d, &b) in conv.bias.iter().enumerate() {
+                        acc = row[base + d].mul_add_f(b, acc);
+                    }
+                }
+            }
+            acc
+        };
+        device.par_map_mut(out_cst_lo, |r, v| *v = bias_fold(r, src_lo, src_cst_lo[r]));
+        device.par_map_mut(out_cst_hi, |r, v| *v = bias_fold(r, src_hi, src_cst_hi[r]));
+    }
+
+    // The transpose-convolution kernel, one launch per plane.
+    let dst_origins = out.origins().to_vec();
+    let gbc = |r: usize, dst_row: &mut [Itv<F>], plane: &[Itv<F>]| {
+        let row = &plane[r * src_cols..(r + 1) * src_cols];
+        let (dst_oh, dst_ow) = dst_origins[r];
+        for i in 0..wh {
+            for j in 0..ww {
+                if !src.is_real(r, i, j) {
+                    continue; // virtual source position: zero by invariant
+                }
+                let sbase = (i * ww + j) * cout;
+                for f in 0..conv.kh {
+                    let a = i * conv.sh + f;
+                    let dh = dst_oh + a as i32;
+                    if dh < 0 || dh as usize >= conv.in_shape.h {
+                        continue; // write would be virtual (padding)
+                    }
+                    for g in 0..conv.kw {
+                        let b = j * conv.sw + g;
+                        let dw = dst_ow + b as i32;
+                        if dw < 0 || dw as usize >= conv.in_shape.w {
+                            continue;
+                        }
+                        let obase = (a * new_ww + b) * cin;
+                        for d in 0..cout {
+                            let m = row[sbase + d];
+                            if m.lo == F::ZERO && m.hi == F::ZERO {
+                                continue;
+                            }
+                            let wbase = conv.widx(f, g, d, 0);
+                            for c in 0..cin {
+                                dst_row[obase + c] =
+                                    m.mul_add_f(conv.weight[wbase + c], dst_row[obase + c]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    {
+        let (src_lo, src_hi, _, _) = src.planes();
+        let (out_lo, out_hi, _, _) = out.planes_mut();
+        device.par_rows("gbc_lo", out_lo, dst_cols, |r, dst| gbc(r, dst, src_lo));
+        device.par_rows("gbc_hi", out_hi, dst_cols, |r, dst| gbc(r, dst, src_hi));
+    }
+    device.stats().add_flops(
+        4 * (rows * wh * ww * conv.kh * conv.kw * cout * cin) as u64 * 2,
+    );
+    Ok(out)
+}
+
+/// Backsubstitutes through a ReLU layer: the diagonal substitution of the
+/// DeepPoly relaxation. For the lower plane a positive coefficient takes the
+/// lower relaxation `(alpha, beta)` and a negative one the upper `(gamma,
+/// delta)`; the upper plane mirrors this. Coefficient intervals straddling
+/// zero (ulp-wide artifacts of float soundness) are folded into the constant
+/// using the ReLU output's concrete bounds.
+///
+/// `relax` must be derived from the bounds of the ReLU's *input* (parent)
+/// and `out_bounds` are the concrete bounds of the ReLU's *output* node.
+///
+/// # Panics
+///
+/// Panics when `relax`/`out_bounds` don't match the frontier length.
+pub fn step_relu<F: Fp>(
+    device: &Device,
+    mut batch: ExprBatch<F>,
+    relax: &[ReluRelax<F>],
+    out_bounds: &[Itv<F>],
+    parent: NodeId,
+) -> ExprBatch<F> {
+    assert_eq!(relax.len(), batch.shape().len(), "relax length mismatch");
+    assert_eq!(
+        out_bounds.len(),
+        batch.shape().len(),
+        "out bounds length mismatch"
+    );
+    let cols = batch.cols();
+    let (win_h, win_w) = batch.window();
+    let chans = batch.shape().c;
+    let shape = batch.shape();
+    let origins = batch.origins().to_vec();
+    let rows = batch.rows();
+    device.stats().add_flops(4 * (rows * cols) as u64 * 2);
+    let is_real = |r: usize, i: usize, j: usize| {
+        let (oh, ow) = origins[r];
+        let h = oh + i as i32;
+        let w = ow + j as i32;
+        h >= 0 && w >= 0 && (h as usize) < shape.h && (w as usize) < shape.w
+    };
+    let neuron_at = |r: usize, i: usize, j: usize| {
+        let (oh, ow) = origins[r];
+        shape.idx((oh + i as i32) as usize, (ow + j as i32) as usize, 0)
+    };
+    {
+        let (lo, hi, cst_lo, cst_hi) = batch.planes_mut();
+        // Lower plane: a >= 0 -> (alpha, beta); a <= 0 -> (gamma, delta).
+        device.par_rows_with("relu_step_lo", lo, cols, cst_lo, |r, row, cst| {
+            for i in 0..win_h {
+                for j in 0..win_w {
+                    if !is_real(r, i, j) {
+                        continue;
+                    }
+                    let nbase = neuron_at(r, i, j);
+                    let base = (i * win_w + j) * chans;
+                    for c in 0..chans {
+                        let a = row[base + c];
+                        if a.lo == F::ZERO && a.hi == F::ZERO {
+                            continue;
+                        }
+                        let rx = &relax[nbase + c];
+                        if a.lo >= F::ZERO {
+                            row[base + c] = a.mul(rx.alpha);
+                            *cst = cst.add(a.mul(rx.beta));
+                        } else if a.hi <= F::ZERO {
+                            row[base + c] = a.mul(rx.gamma);
+                            *cst = cst.add(a.mul(rx.delta));
+                        } else {
+                            let hull = a.mul(out_bounds[nbase + c]);
+                            row[base + c] = Itv::zero();
+                            *cst = cst.add(Itv::point(hull.lo));
+                        }
+                    }
+                }
+            }
+        });
+        // Upper plane: mirrored.
+        device.par_rows_with("relu_step_hi", hi, cols, cst_hi, |r, row, cst| {
+            for i in 0..win_h {
+                for j in 0..win_w {
+                    if !is_real(r, i, j) {
+                        continue;
+                    }
+                    let nbase = neuron_at(r, i, j);
+                    let base = (i * win_w + j) * chans;
+                    for c in 0..chans {
+                        let a = row[base + c];
+                        if a.lo == F::ZERO && a.hi == F::ZERO {
+                            continue;
+                        }
+                        let rx = &relax[nbase + c];
+                        if a.lo >= F::ZERO {
+                            row[base + c] = a.mul(rx.gamma);
+                            *cst = cst.add(a.mul(rx.delta));
+                        } else if a.hi <= F::ZERO {
+                            row[base + c] = a.mul(rx.alpha);
+                            *cst = cst.add(a.mul(rx.beta));
+                        } else {
+                            let hull = a.mul(out_bounds[nbase + c]);
+                            row[base + c] = Itv::zero();
+                            *cst = cst.add(Itv::point(hull.hi));
+                        }
+                    }
+                }
+            }
+        });
+    }
+    batch.set_node(parent);
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_device::DeviceConfig;
+    use gpupoly_nn::Shape;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::new().workers(2))
+    }
+
+    #[test]
+    fn dense_step_composes_affine_maps() {
+        let device = dev();
+        // layer2: y = B z, start from its rows; layer1: z = A x + a.
+        let l1 = Dense::new(
+            2,
+            2,
+            vec![1.0_f32, 2.0, 3.0, 4.0],
+            vec![0.5, -0.5],
+        )
+        .unwrap();
+        let l2 = Dense::new(2, 2, vec![1.0_f32, -1.0, 0.0, 2.0], vec![0.0, 1.0]).unwrap();
+        // batch = rows of l2 over node "z" (id 2), parent chain z <- node1
+        let batch =
+            ExprBatch::from_dense(&device, &l2, &[0, 1], 2, Shape::flat(2), None).unwrap();
+        let out = step_dense(&device, batch, &l1, 1, Shape::flat(2)).unwrap();
+        // composed: y0 = (1,-1)·(Ax+a) = (1*1-1*3, 1*2-1*4)x + (0.5+0.5) = (-2,-2)x + 1... let's check numerically
+        let x = [0.3_f32, -0.7];
+        let mut z = [0.0_f32; 2];
+        l1.forward(&x, &mut z);
+        let mut y = [0.0_f32; 2];
+        l2.forward(&z, &mut y);
+        let bounds: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
+        let cand = out.concretize(&device, &bounds);
+        for (c, want) in cand.iter().zip(&y) {
+            assert!(c.contains(*want), "{c} misses {want}");
+            assert!(c.width() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_step_matches_composed_forward() {
+        let device = dev();
+        // Two stacked convs; backsubstitute conv2's neurons through conv1.
+        let c1 = Conv2d::new(
+            Shape::new(5, 5, 2),
+            3,
+            (3, 3),
+            (1, 1),
+            (0, 0),
+            (0..3 * 3 * 3 * 2).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+            vec![0.1, -0.1, 0.05],
+        )
+        .unwrap(); // out 3x3x3
+        let c2 = Conv2d::new(
+            Shape::new(3, 3, 3),
+            2,
+            (2, 2),
+            (1, 1),
+            (0, 0),
+            (0..2 * 2 * 2 * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect(),
+            vec![0.0, 0.2],
+        )
+        .unwrap(); // out 2x2x2
+        let neurons: Vec<usize> = (0..c2.out_shape.len()).collect();
+        let batch = ExprBatch::from_conv(&device, &c2, &neurons, 2, None).unwrap();
+        assert_eq!(batch.window(), (2, 2));
+        let out = step_conv(&device, batch, &c1, 1).unwrap();
+        // W2 = (2-1)*1 + 3 = 4 (paper Eq. 5)
+        assert_eq!(out.window(), (4, 4));
+        // Check against composed forward on a concrete input.
+        let x: Vec<f32> = (0..50).map(|i| (i as f32 * 0.713).sin() * 0.5).collect();
+        let mut z = vec![0.0_f32; c1.out_shape.len()];
+        c1.forward(&x, &mut z);
+        let mut y = vec![0.0_f32; c2.out_shape.len()];
+        c2.forward(&z, &mut y);
+        let bounds: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
+        let cand = out.concretize(&device, &bounds);
+        for (c, want) in cand.iter().zip(&y) {
+            assert!(c.contains(*want), "{c} misses {want}");
+            assert!(c.width() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_step_with_padding_and_stride() {
+        let device = dev();
+        let c1 = Conv2d::new(
+            Shape::new(4, 4, 1),
+            2,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            (0..3 * 3 * 2).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(),
+            vec![0.2, -0.3],
+        )
+        .unwrap(); // out 4x4x2
+        let c2 = Conv2d::new(
+            Shape::new(4, 4, 2),
+            2,
+            (2, 2),
+            (2, 2),
+            (0, 0),
+            (0..2 * 2 * 2 * 2).map(|i| ((i % 3) as f32 - 1.0) * 0.4).collect(),
+            vec![0.0, 0.1],
+        )
+        .unwrap(); // out 2x2x2
+        let neurons: Vec<usize> = (0..c2.out_shape.len()).collect();
+        let batch = ExprBatch::from_conv(&device, &c2, &neurons, 2, None).unwrap();
+        let out = step_conv(&device, batch, &c1, 1).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).cos()).collect();
+        let mut z = vec![0.0_f32; 32];
+        c1.forward(&x, &mut z);
+        let mut y = vec![0.0_f32; 8];
+        c2.forward(&z, &mut y);
+        let bounds: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
+        let cand = out.concretize(&device, &bounds);
+        for (c, want) in cand.iter().zip(&y) {
+            assert!(c.contains(*want), "{c} misses {want}");
+            assert!(c.width() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn relu_step_stable_positive_is_identity() {
+        let device = dev();
+        let shape = Shape::flat(2);
+        let batch = ExprBatch::<f32>::identity(&device, 2, shape, &[0, 1]).unwrap();
+        let in_bounds = [Itv::new(1.0_f32, 2.0), Itv::new(0.5, 3.0)];
+        let relax = ReluRelax::layer(&in_bounds);
+        let out_bounds = in_bounds; // relu of positive = identity
+        let out = step_relu(&device, batch, &relax, &out_bounds, 1);
+        assert_eq!(out.node(), 1);
+        let cand = out.concretize(&device, &in_bounds);
+        assert!(cand[0].contains(1.0) && cand[0].contains(2.0));
+        assert!(cand[1].contains(0.5) && cand[1].contains(3.0));
+    }
+
+    #[test]
+    fn relu_step_is_sound_for_unstable_neurons() {
+        let device = dev();
+        let shape = Shape::flat(1);
+        // expression y = 1 * relu(x), x in [-1, 2]
+        let batch = ExprBatch::<f32>::identity(&device, 2, shape, &[0]).unwrap();
+        let in_bounds = [Itv::new(-1.0_f32, 2.0)];
+        let relax = ReluRelax::layer(&in_bounds);
+        let out_bounds = [Itv::new(0.0_f32, 2.0)];
+        let out = step_relu(&device, batch, &relax, &out_bounds, 1);
+        let cand = out.concretize(&device, &in_bounds);
+        // true range of relu(x) is [0, 2]; relaxation must contain it
+        assert!(cand[0].lo <= 0.0 && cand[0].hi >= 2.0);
+        // and the DeepPoly triangle is not vacuous
+        assert!(cand[0].lo >= -1.5 && cand[0].hi <= 3.0);
+    }
+
+    #[test]
+    fn relu_step_negative_coefficient_uses_opposite_bound() {
+        let device = dev();
+        let shape = Shape::flat(1);
+        let mut batch = ExprBatch::<f32>::zeroed(&device, 2, shape, (1, 1), vec![(0, 0)]).unwrap();
+        batch.set_coeff(0, 0, Itv::point(-1.0));
+        let in_bounds = [Itv::new(-1.0_f32, 2.0)];
+        let relax = ReluRelax::layer(&in_bounds);
+        let out_bounds = [Itv::new(0.0_f32, 2.0)];
+        let out = step_relu(&device, batch, &relax, &out_bounds, 1);
+        let cand = out.concretize(&device, &in_bounds);
+        // -relu(x) ranges over [-2, 0]
+        assert!(cand[0].lo <= -2.0 && cand[0].hi >= 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Device-memory buffers with allocation accounting.
+
+use std::fmt;
+use std::mem;
+use std::ops::{Deref, DerefMut};
+
+use crate::{Device, DeviceError};
+
+/// A typed allocation charged against a device's memory capacity.
+///
+/// In the simulator the storage is ordinary host memory, but every buffer is
+/// tracked against the device's configured capacity. This is what lets the
+/// verifier's memory-aware chunking (paper §4.2, "Memory management") be
+/// exercised and tested: on a constrained device, a too-large intermediate
+/// bound matrix genuinely fails to allocate.
+///
+/// Dropping the buffer releases the accounting (destructors never fail).
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_device::{Device, DeviceConfig, DeviceBuffer};
+///
+/// let dev = Device::new(DeviceConfig::new().memory_capacity(4096));
+/// let buf = DeviceBuffer::<f32>::zeroed(&dev, 512)?; // 2048 bytes
+/// assert_eq!(dev.memory_in_use(), 2048);
+/// assert!(DeviceBuffer::<f32>::zeroed(&dev, 1024).is_err()); // would exceed
+/// drop(buf);
+/// assert_eq!(dev.memory_in_use(), 0);
+/// # Ok::<(), gpupoly_device::DeviceError>(())
+/// ```
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    bytes: usize,
+    device: Device,
+}
+
+impl<T: fmt::Debug> fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("len", &self.data.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    fn charge(device: &Device, len: usize) -> Result<usize, DeviceError> {
+        let bytes = len.saturating_mul(mem::size_of::<T>());
+        device.track_alloc(bytes)?;
+        Ok(bytes)
+    }
+
+    /// Allocates `len` default-initialized elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
+    /// the device capacity.
+    pub fn zeroed(device: &Device, len: usize) -> Result<Self, DeviceError>
+    where
+        T: Clone + Default,
+    {
+        let bytes = Self::charge(device, len)?;
+        Ok(Self {
+            data: vec![T::default(); len],
+            bytes,
+            device: device.clone(),
+        })
+    }
+
+    /// Uploads a host slice to the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
+    /// the device capacity.
+    pub fn from_slice(device: &Device, src: &[T]) -> Result<Self, DeviceError>
+    where
+        T: Clone,
+    {
+        let bytes = Self::charge(device, src.len())?;
+        Ok(Self {
+            data: src.to_vec(),
+            bytes,
+            device: device.clone(),
+        })
+    }
+
+    /// Wraps an existing host vector as a device allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
+    /// the device capacity.
+    pub fn from_vec(device: &Device, data: Vec<T>) -> Result<Self, DeviceError> {
+        let bytes = Self::charge(device, data.len())?;
+        Ok(Self {
+            data,
+            bytes,
+            device: device.clone(),
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes charged against the device.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Read-only view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Downloads the contents, releasing the device allocation.
+    pub fn into_vec(mut self) -> Vec<T> {
+        self.device.track_free(self.bytes);
+        self.bytes = 0;
+        mem::take(&mut self.data)
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.device.track_free(self.bytes);
+    }
+}
+
+impl<T> Deref for DeviceBuffer<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> DerefMut for DeviceBuffer<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    #[test]
+    fn zeroed_is_default_initialized() {
+        let dev = Device::default();
+        let buf = DeviceBuffer::<f64>::zeroed(&dev, 16).unwrap();
+        assert_eq!(buf.len(), 16);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        assert_eq!(buf.bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let dev = Device::default();
+        let buf = DeviceBuffer::from_slice(&dev, &[1u32, 2, 3]).unwrap();
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+        assert_eq!(buf.into_vec(), vec![1, 2, 3]);
+        assert_eq!(dev.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn accounting_follows_lifetimes() {
+        let dev = Device::new(DeviceConfig::new().memory_capacity(1024));
+        let a = DeviceBuffer::<u8>::zeroed(&dev, 512).unwrap();
+        assert_eq!(dev.memory_in_use(), 512);
+        {
+            let _b = DeviceBuffer::<u8>::zeroed(&dev, 512).unwrap();
+            assert_eq!(dev.memory_in_use(), 1024);
+            assert!(DeviceBuffer::<u8>::zeroed(&dev, 1).is_err());
+        }
+        assert_eq!(dev.memory_in_use(), 512);
+        drop(a);
+        assert_eq!(dev.memory_in_use(), 0);
+        assert_eq!(dev.peak_memory(), 1024);
+    }
+
+    #[test]
+    fn oversized_alloc_reports_numbers() {
+        let dev = Device::new(DeviceConfig::new().memory_capacity(10));
+        match DeviceBuffer::<u8>::zeroed(&dev, 11) {
+            Err(DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            }) => {
+                assert_eq!((requested, in_use, capacity), (11, 0, 10));
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let dev = Device::default();
+        let mut buf = DeviceBuffer::from_slice(&dev, &[0i64; 4]).unwrap();
+        buf[2] = 7;
+        buf.as_mut_slice()[3] = 9;
+        assert_eq!(buf.as_slice(), &[0, 0, 7, 9]);
+    }
+}

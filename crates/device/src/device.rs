@@ -1,0 +1,471 @@
+//! The device handle: worker pool, memory accounting, launch statistics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Configuration of a simulated device.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_device::{Device, DeviceConfig};
+///
+/// // A device with 2 workers and 1 MiB of "device memory", like a tiny GPU.
+/// let dev = Device::new(DeviceConfig::new().workers(2).memory_capacity(1 << 20));
+/// assert_eq!(dev.memory_capacity(), Some(1 << 20));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DeviceConfig {
+    workers: Option<usize>,
+    memory_capacity: Option<usize>,
+    name: Option<String>,
+}
+
+impl DeviceConfig {
+    /// Default configuration: all host cores, unlimited memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parallel workers (the CPU stand-in for GPU SM occupancy).
+    /// Defaults to the number of host cores.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Device memory capacity in bytes. Allocations beyond it fail with
+    /// [`DeviceError::OutOfMemory`], which exercises the verifier's chunked
+    /// backsubstitution path. Defaults to unlimited.
+    pub fn memory_capacity(mut self, bytes: usize) -> Self {
+        self.memory_capacity = Some(bytes);
+        self
+    }
+
+    /// Human-readable device name for diagnostics.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+/// Errors produced by device operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation did not fit into the remaining device memory.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: usize,
+        /// Bytes currently allocated.
+        in_use: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use}/{capacity} B in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Aggregate counters describing the work a device has performed.
+///
+/// Counters are monotone; read them through [`Device::stats`]. Flop counts
+/// are *scalar-equivalent* floating point operations, so the ≈2× overhead of
+/// interval arithmetic (paper §4.1) is directly visible when comparing the
+/// sound and unsound GEMM kernels.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    launches: AtomicU64,
+    flops: AtomicU64,
+    bytes_allocated: AtomicU64,
+    kernel_counts: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl DeviceStats {
+    /// Total kernel launches.
+    pub fn launches(&self) -> u64 {
+        self.launches.load(Ordering::Relaxed)
+    }
+
+    /// Total scalar-equivalent floating point operations reported by kernels.
+    pub fn flops(&self) -> u64 {
+        self.flops.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes ever allocated (not peak; see [`Device::peak_memory`]).
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Number of launches of the kernel with the given label.
+    pub fn kernel_launches(&self, label: &str) -> u64 {
+        self.kernel_counts.lock().get(label).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn record_launch(&self, label: &'static str) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        *self.kernel_counts.lock().entry(label).or_insert(0) += 1;
+    }
+
+    /// Adds scalar-equivalent flops (called by kernels with analytic counts).
+    pub fn add_flops(&self, n: u64) {
+        self.flops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_bytes(&self, n: usize) {
+        self.bytes_allocated.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+pub(crate) struct DeviceInner {
+    pool: rayon::ThreadPool,
+    capacity: Option<usize>,
+    in_use: AtomicUsize,
+    peak: AtomicUsize,
+    stats: DeviceStats,
+    name: String,
+    workers: usize,
+}
+
+/// A handle to a simulated GPU.
+///
+/// Cheap to clone (shared state behind an [`Arc`]); all kernels in this
+/// crate and in `gpupoly-core` take a `&Device`.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_device::{Device, DeviceConfig};
+///
+/// let dev = Device::new(DeviceConfig::new().workers(4).name("sim-v100"));
+/// let sum: u64 = dev.par_reduce(1000, 0u64, |i| i as u64, |a, b| a + b);
+/// assert_eq!(sum, 999 * 1000 / 2);
+/// ```
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Device")
+            .field("name", &self.inner.name)
+            .field("workers", &self.inner.workers)
+            .field("capacity", &self.inner.capacity)
+            .field("in_use", &self.memory_in_use())
+            .finish()
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+}
+
+impl Device {
+    /// Creates a device from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker pool cannot be created.
+    pub fn new(config: DeviceConfig) -> Self {
+        let workers = config
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .thread_name(|i| format!("gpupoly-dev-{i}"))
+            .build()
+            .expect("failed to build device worker pool");
+        Device {
+            inner: Arc::new(DeviceInner {
+                pool,
+                capacity: config.memory_capacity,
+                in_use: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+                stats: DeviceStats::default(),
+                name: config.name.unwrap_or_else(|| "gpupoly-sim".to_string()),
+                workers,
+            }),
+        }
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Number of parallel workers.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Configured memory capacity in bytes (`None` = unlimited).
+    pub fn memory_capacity(&self) -> Option<usize> {
+        self.inner.capacity
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn memory_in_use(&self) -> usize {
+        self.inner.in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_memory(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still allocatable (`usize::MAX` when unlimited).
+    pub fn memory_free(&self) -> usize {
+        match self.inner.capacity {
+            Some(cap) => cap.saturating_sub(self.memory_in_use()),
+            None => usize::MAX,
+        }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.inner.stats
+    }
+
+    pub(crate) fn track_alloc(&self, bytes: usize) -> Result<(), DeviceError> {
+        let in_use = self.inner.in_use.load(Ordering::Relaxed);
+        if let Some(cap) = self.inner.capacity {
+            if in_use.saturating_add(bytes) > cap {
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    in_use,
+                    capacity: cap,
+                });
+            }
+        }
+        let new = self.inner.in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(new, Ordering::Relaxed);
+        self.inner.stats.add_bytes(bytes);
+        Ok(())
+    }
+
+    pub(crate) fn track_free(&self, bytes: usize) {
+        self.inner.in_use.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Launches a kernel over `n` independent indices.
+    ///
+    /// The closure is the kernel body; it runs once per index, in parallel.
+    pub fn par_for(&self, label: &'static str, n: usize, kernel: impl Fn(usize) + Sync) {
+        self.inner.stats.record_launch(label);
+        self.inner
+            .pool
+            .install(|| (0..n).into_par_iter().for_each(|i| kernel(i)));
+    }
+
+    /// Launches a kernel that writes each element of `out` from its index —
+    /// the common "one thread per output element" pattern.
+    pub fn par_map_mut<T: Send>(&self, out: &mut [T], kernel: impl Fn(usize, &mut T) + Sync) {
+        self.inner.stats.record_launch("par_map_mut");
+        self.inner.pool.install(|| {
+            out.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| kernel(i, v))
+        });
+    }
+
+    /// Launches a kernel over the rows of a row-major matrix: `data` is split
+    /// into contiguous rows of `row_len` elements and the kernel receives
+    /// `(row_index, row)` — one GPU thread block per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `row_len` (unless empty).
+    pub fn par_rows<T: Send>(
+        &self,
+        label: &'static str,
+        data: &mut [T],
+        row_len: usize,
+        kernel: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        if data.is_empty() {
+            self.inner.stats.record_launch(label);
+            return;
+        }
+        assert!(
+            row_len > 0 && data.len() % row_len == 0,
+            "par_rows: data length {} not a multiple of row length {row_len}",
+            data.len()
+        );
+        self.inner.stats.record_launch(label);
+        self.inner.pool.install(|| {
+            data.par_chunks_mut(row_len)
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row))
+        });
+    }
+
+    /// Like [`Device::par_rows`], but each row kernel also receives a
+    /// mutable per-row auxiliary element (e.g. the constant term of the
+    /// polyhedral expression stored in that row).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != aux.len() * row_len`.
+    pub fn par_rows_with<T: Send, U: Send>(
+        &self,
+        label: &'static str,
+        data: &mut [T],
+        row_len: usize,
+        aux: &mut [U],
+        kernel: impl Fn(usize, &mut [T], &mut U) + Sync,
+    ) {
+        self.inner.stats.record_launch(label);
+        if aux.is_empty() {
+            return;
+        }
+        assert!(
+            row_len > 0 && data.len() == aux.len() * row_len,
+            "par_rows_with: {} elements is not {} rows of {row_len}",
+            data.len(),
+            aux.len()
+        );
+        self.inner.pool.install(|| {
+            data.par_chunks_mut(row_len)
+                .zip(aux.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, (row, a))| kernel(i, row, a))
+        });
+    }
+
+    /// Parallel map-reduce over `n` indices.
+    pub fn par_reduce<T: Send + Sync + Copy>(
+        &self,
+        n: usize,
+        identity: T,
+        map: impl Fn(usize) -> T + Sync,
+        reduce: impl Fn(T, T) -> T + Sync + Send,
+    ) -> T {
+        self.inner.stats.record_launch("par_reduce");
+        self.inner.pool.install(|| {
+            (0..n)
+                .into_par_iter()
+                .map(|i| map(i))
+                .reduce(|| identity, &reduce)
+        })
+    }
+
+    /// Runs a closure inside the device's worker pool (for custom kernels
+    /// composed of rayon primitives).
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.inner.pool.install(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_for_covers_all_indices() {
+        let dev = Device::new(DeviceConfig::new().workers(3));
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        dev.par_for("test", 100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_rows_partitions_exactly() {
+        let dev = Device::default();
+        let mut data = vec![0usize; 12];
+        dev.par_rows("rows", &mut data, 4, |r, row| {
+            for v in row {
+                *v = r;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn par_rows_rejects_ragged() {
+        let dev = Device::default();
+        let mut data = vec![0u8; 10];
+        dev.par_rows("rows", &mut data, 4, |_, _| {});
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let dev = Device::default();
+        let s = dev.par_reduce(101, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn stats_count_launches_by_label() {
+        let dev = Device::default();
+        dev.par_for("alpha", 1, |_| {});
+        dev.par_for("alpha", 1, |_| {});
+        dev.par_for("beta", 1, |_| {});
+        assert_eq!(dev.stats().kernel_launches("alpha"), 2);
+        assert_eq!(dev.stats().kernel_launches("beta"), 1);
+        assert_eq!(dev.stats().kernel_launches("missing"), 0);
+        assert!(dev.stats().launches() >= 3);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_capacity() {
+        let dev = Device::new(DeviceConfig::new().memory_capacity(100));
+        assert!(dev.track_alloc(60).is_ok());
+        let err = dev.track_alloc(60).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                requested: 60,
+                in_use: 60,
+                capacity: 100
+            }
+        );
+        dev.track_free(60);
+        assert!(dev.track_alloc(100).is_ok());
+        assert_eq!(dev.peak_memory(), 100);
+        dev.track_free(100);
+        assert_eq!(dev.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn unlimited_device_never_ooms() {
+        let dev = Device::default();
+        assert!(dev.track_alloc(usize::MAX / 4).is_ok());
+        assert_eq!(dev.memory_free(), usize::MAX);
+        dev.track_free(usize::MAX / 4);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DeviceError::OutOfMemory {
+            requested: 10,
+            in_use: 5,
+            capacity: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("5") && s.contains("12"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Tiled matrix–matrix kernels.
+//!
+//! Backsubstitution through a fully-connected layer is the matrix product
+//! `M_{k-1} = M_k · F_k` (paper Fig. 2). To stay floating-point sound the
+//! coefficients of `M_k` are intervals while `F_k` holds the scalar network
+//! weights, so the product is an *interval×scalar* GEMM built around the
+//! outward-rounded multiply-add of `gpupoly-interval` — the role cutlass +
+//! custom multiply-add plays in the CUDA implementation (§4.1). A plain
+//! round-to-nearest scalar GEMM is provided for the unsound baselines and for
+//! measuring the soundness overhead (the paper reports ≈2× memory and >2×
+//! flops; compare [`flops_itv_f`] with [`flops_f_f`]).
+//!
+//! All matrices are dense row-major. Parallelism follows the paper's
+//! strategy: the `h` dimension (rows of `M_k`, i.e. neurons being bounded)
+//! is parallelized across workers, the `j` dimension is contiguous in
+//! memory, and the `i` dimension is collapsed (§4.4).
+//!
+//! # Example
+//!
+//! ```
+//! use gpupoly_device::{gemm, Device};
+//! use gpupoly_interval::Itv;
+//!
+//! let dev = Device::default();
+//! // [1 2] · [[1 0],[0 1]] = [1 2]
+//! let a = vec![Itv::point(1.0_f32), Itv::point(2.0)];
+//! let b = vec![1.0_f32, 0.0, 0.0, 1.0];
+//! let mut c = vec![Itv::zero(); 2];
+//! gemm::gemm_itv_f(&dev, &a, &b, &mut c, 1, 2, 2);
+//! assert!(c[0].contains(1.0) && c[1].contains(2.0));
+//! ```
+
+use gpupoly_interval::{Fp, Itv};
+
+use crate::Device;
+
+/// Column-block width: one block of `C`'s row plus one block of `B`'s row
+/// stay cache-resident while `k` streams — the CPU analogue of a cutlass
+/// thread-block tile.
+const TILE_N: usize = 512;
+
+fn check_dims<T, U, V>(a: &[T], b: &[U], c: &[V], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "GEMM: A must be m*k");
+    assert_eq!(b.len(), k * n, "GEMM: B must be k*n");
+    assert_eq!(c.len(), m * n, "GEMM: C must be m*n");
+}
+
+/// Scalar-equivalent flop count of the sound interval×scalar GEMM
+/// (2 multiplies + 2 adds per multiply-add).
+pub fn flops_itv_f(m: usize, k: usize, n: usize) -> u64 {
+    4 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// Scalar-equivalent flop count of the unsound scalar GEMM.
+pub fn flops_f_f(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// Sound interval×scalar GEMM: `C = A · B` with `A: m×k` interval entries,
+/// `B: k×n` scalar entries, outward rounding throughout.
+///
+/// Zero interval entries of `A` are skipped — the sparsity produced by
+/// dependence-set padding costs no flops.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn gemm_itv_f<F: Fp>(
+    device: &Device,
+    a: &[Itv<F>],
+    b: &[F],
+    c: &mut [Itv<F>],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_dims(a, b, c, m, k, n);
+    device.stats().add_flops(flops_itv_f(m, k, n));
+    device.par_rows("gemm_itv_f", c, n.max(1), |i, crow| {
+        if n == 0 {
+            return;
+        }
+        let arow = &a[i * k..(i + 1) * k];
+        for v in crow.iter_mut() {
+            *v = Itv::zero();
+        }
+        for j0 in (0..n).step_by(TILE_N) {
+            let j1 = (j0 + TILE_N).min(n);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                    continue;
+                }
+                let brow = &b[kk * n + j0..kk * n + j1];
+                let ctile = &mut crow[j0..j1];
+                for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                    *cv = aik.mul_add_f(bv, *cv);
+                }
+            }
+        }
+    });
+}
+
+/// Sound interval×scalar GEMM accumulating into `C`: `C += A · B`.
+///
+/// Used when the two branches of a residual block merge their coefficient
+/// matrices at the head of the block.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn gemm_itv_f_acc<F: Fp>(
+    device: &Device,
+    a: &[Itv<F>],
+    b: &[F],
+    c: &mut [Itv<F>],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_dims(a, b, c, m, k, n);
+    device.stats().add_flops(flops_itv_f(m, k, n));
+    device.par_rows("gemm_itv_f_acc", c, n.max(1), |i, crow| {
+        if n == 0 {
+            return;
+        }
+        let arow = &a[i * k..(i + 1) * k];
+        for j0 in (0..n).step_by(TILE_N) {
+            let j1 = (j0 + TILE_N).min(n);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                    continue;
+                }
+                let brow = &b[kk * n + j0..kk * n + j1];
+                let ctile = &mut crow[j0..j1];
+                for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                    *cv = aik.mul_add_f(bv, *cv);
+                }
+            }
+        }
+    });
+}
+
+/// Unsound round-to-nearest scalar GEMM: `C = A · B`.
+///
+/// This is what off-the-shelf BLAS would compute; it exists for the
+/// CROWN-IBP baseline and the soundness-overhead ablation, never for
+/// certification.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn gemm_f_f<F: Fp>(
+    device: &Device,
+    a: &[F],
+    b: &[F],
+    c: &mut [F],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_dims(a, b, c, m, k, n);
+    device.stats().add_flops(flops_f_f(m, k, n));
+    device.par_rows("gemm_f_f", c, n.max(1), |i, crow| {
+        if n == 0 {
+            return;
+        }
+        let arow = &a[i * k..(i + 1) * k];
+        for v in crow.iter_mut() {
+            *v = F::ZERO;
+        }
+        for j0 in (0..n).step_by(TILE_N) {
+            let j1 = (j0 + TILE_N).min(n);
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == F::ZERO {
+                    continue;
+                }
+                let brow = &b[kk * n + j0..kk * n + j1];
+                let ctile = &mut crow[j0..j1];
+                for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                    *cv = aik.mul_add(bv, *cv);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    fn pt(x: f32) -> Itv<f32> {
+        Itv::point(x)
+    }
+
+    /// Serial f64 reference product of point matrices.
+    fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] as f64 * b[kk * n + j] as f64;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity_product() {
+        let dev = Device::default();
+        let a: Vec<Itv<f32>> = vec![pt(1.0), pt(2.0), pt(3.0), pt(4.0)];
+        let b = vec![1.0f32, 0.0, 0.0, 1.0];
+        let mut c = vec![Itv::zero(); 4];
+        gemm_itv_f(&dev, &a, &b, &mut c, 2, 2, 2);
+        for (ci, ai) in c.iter().zip(&a) {
+            assert_eq!(ci, ai);
+        }
+    }
+
+    #[test]
+    fn interval_gemm_contains_f64_reference() {
+        let dev = Device::new(DeviceConfig::new().workers(3));
+        let (m, k, n) = (5, 17, 9);
+        let av: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1).collect();
+        let bv: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.05).collect();
+        let a: Vec<Itv<f32>> = av.iter().map(|&x| pt(x)).collect();
+        let mut c = vec![Itv::zero(); m * n];
+        gemm_itv_f(&dev, &a, &bv, &mut c, m, k, n);
+        let want = reference(&av, &bv, m, k, n);
+        for (ci, wi) in c.iter().zip(&want) {
+            assert!(
+                (ci.lo as f64) <= *wi && *wi <= (ci.hi as f64),
+                "{ci} misses {wi}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_intervals_cover_endpoint_products() {
+        let dev = Device::default();
+        // A = [[-1,1]], B = [[2], [..]]
+        let a = vec![Itv::new(-1.0f32, 1.0), Itv::new(0.0, 0.5)];
+        let b = vec![2.0f32, -4.0];
+        let mut c = vec![Itv::zero(); 1];
+        gemm_itv_f(&dev, &a, &b, &mut c, 1, 2, 1);
+        // extremes: -1*2 + 0.5*-4 = -4 ; 1*2 + 0*-4 = 2
+        assert!(c[0].contains(-4.0) && c[0].contains(2.0));
+    }
+
+    #[test]
+    fn acc_variant_accumulates() {
+        let dev = Device::default();
+        let a = vec![pt(1.0); 2];
+        let b = vec![1.0f32, 1.0];
+        let mut c = vec![Itv::point(10.0); 1];
+        gemm_itv_f_acc(&dev, &a, &b, &mut c, 1, 2, 1);
+        assert!(c[0].contains(12.0));
+        assert!(c[0].lo > 11.0 && c[0].hi < 13.0);
+    }
+
+    #[test]
+    fn scalar_gemm_matches_reference_closely() {
+        let dev = Device::default();
+        let (m, k, n) = (3, 8, 4);
+        let av: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let bv: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm_f_f(&dev, &av, &bv, &mut c, m, k, n);
+        let want = reference(&av, &bv, m, k, n);
+        for (ci, wi) in c.iter().zip(&want) {
+            assert!((*ci as f64 - wi).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn flop_accounting_shows_soundness_overhead() {
+        assert_eq!(flops_itv_f(2, 3, 4), 2 * flops_f_f(2, 3, 4));
+        let dev = Device::default();
+        let a = vec![pt(1.0); 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![Itv::zero(); 4];
+        let before = dev.stats().flops();
+        gemm_itv_f(&dev, &a, &b, &mut c, 2, 2, 2);
+        assert_eq!(dev.stats().flops() - before, flops_itv_f(2, 2, 2));
+    }
+
+    #[test]
+    fn empty_dimensions_are_fine() {
+        let dev = Device::default();
+        let mut c: Vec<Itv<f32>> = vec![];
+        gemm_itv_f::<f32>(&dev, &[], &[], &mut c, 0, 0, 0);
+        let mut c2 = vec![Itv::<f32>::zero(); 2];
+        // m=2, k=0, n=1: product over empty k is zero
+        gemm_itv_f::<f32>(&dev, &[], &[], &mut c2, 2, 0, 1);
+        assert_eq!(c2, vec![Itv::zero(); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be m*k")]
+    fn dimension_mismatch_panics() {
+        let dev = Device::default();
+        let mut c = vec![Itv::<f32>::zero(); 1];
+        gemm_itv_f::<f32>(&dev, &[Itv::zero(); 3], &[1.0; 2], &mut c, 1, 2, 1);
+    }
+
+    #[test]
+    fn tiling_boundary_exactness() {
+        // n spanning multiple TILE_N blocks with an odd remainder.
+        let dev = Device::new(DeviceConfig::new().workers(2));
+        let (m, k, n) = (2, 3, TILE_N + 7);
+        let av: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 1.0).collect();
+        let bv: Vec<f32> = (0..k * n).map(|i| ((i % 13) as f32) * 0.25 - 1.5).collect();
+        let a: Vec<Itv<f32>> = av.iter().map(|&x| pt(x)).collect();
+        let mut c = vec![Itv::zero(); m * n];
+        gemm_itv_f(&dev, &a, &bv, &mut c, m, k, n);
+        let want = reference(&av, &bv, m, k, n);
+        for (ci, wi) in c.iter().zip(&want) {
+            assert!((ci.lo as f64) <= *wi && *wi <= (ci.hi as f64));
+        }
+    }
+}

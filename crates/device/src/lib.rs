@@ -1,0 +1,45 @@
+//! A simulated GPU device for polyhedral verification kernels.
+//!
+//! GPUPoly's algorithms (MLSys 2021) are defined over a data-parallel
+//! shared-memory machine: a CUDA GPU with a hard device-memory capacity, bulk
+//! kernel launches, a parallel prefix-sum used for stream compaction (§4.2),
+//! and cutlass-tiled matrix–matrix kernels built around a custom
+//! directed-rounding multiply-add (§4.1). This crate reproduces that machine
+//! model on the CPU so the verifier's algorithmic structure — dependence-set
+//! kernels, row compaction, memory-aware chunking — runs and is measurable
+//! without CUDA:
+//!
+//! * [`Device`] — a worker pool with *device-memory accounting*: allocations
+//!   through [`DeviceBuffer`] are charged against a configurable capacity and
+//!   fail with [`DeviceError::OutOfMemory`] when exceeded, which is exactly
+//!   the failure mode the paper reports for dense GPU implementations and the
+//!   reason for its chunked backsubstitution.
+//! * [`Device::par_for`] / [`Device::par_rows`] — bulk kernel launches.
+//! * [`scan`] — work-efficient parallel exclusive prefix sum and the
+//!   row-compaction primitive of §4.2.
+//! * [`gemm`] — tiled interval GEMM kernels (interval×scalar, the paper's
+//!   core kernel, plus unsound scalar GEMM for the soundness-overhead
+//!   ablation).
+//!
+//! # Example
+//!
+//! ```
+//! use gpupoly_device::{Device, DeviceConfig};
+//!
+//! let dev = Device::new(DeviceConfig::default());
+//! let mut out = vec![0u32; 1024];
+//! dev.par_map_mut(&mut out, |i, v| *v = i as u32 * 2);
+//! assert_eq!(out[7], 14);
+//! assert!(dev.stats().launches() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod device;
+pub mod gemm;
+pub mod scan;
+
+pub use buffer::DeviceBuffer;
+pub use device::{Device, DeviceConfig, DeviceError, DeviceStats};

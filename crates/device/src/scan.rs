@@ -1,0 +1,239 @@
+//! Parallel prefix sum and stream compaction.
+//!
+//! GPUPoly's early-termination pass removes rows from the bound matrix `M_k`
+//! on the fly (§4.2, "Removing rows from a matrix in a shared memory
+//! context"): every thread checks the termination criterion for its row, a
+//! parallel prefix sum assigns each surviving row a unique destination index,
+//! and the surviving rows are copied into the compacted matrix `M'_k`
+//! together with an index array mapping them back to their original neurons.
+//! This module implements exactly that primitive on the simulated device.
+//!
+//! # Example
+//!
+//! ```
+//! use gpupoly_device::{scan, Device};
+//!
+//! let dev = Device::default();
+//! let (prefix, total) = scan::exclusive_scan(&dev, &[1, 0, 2, 1]);
+//! assert_eq!(prefix, vec![0, 1, 1, 3]);
+//! assert_eq!(total, 4);
+//!
+//! // Keep rows 0 and 2 of a 3-row matrix with 2 columns.
+//! let m = [10, 11, 20, 21, 30, 31];
+//! let (compacted, index) = scan::compact_rows(&dev, &m, 2, &[true, false, true]);
+//! assert_eq!(compacted, vec![10, 11, 30, 31]);
+//! assert_eq!(index, vec![0, 2]);
+//! ```
+
+use rayon::prelude::*;
+
+use crate::Device;
+
+/// Work-efficient parallel exclusive prefix sum.
+///
+/// Returns the scanned vector and the total sum. Three phases, mirroring the
+/// GPU algorithm: per-chunk partial sums in parallel, a serial scan over the
+/// (few) chunk totals, and a parallel per-chunk rescan with offsets.
+pub fn exclusive_scan(device: &Device, xs: &[u32]) -> (Vec<u32>, u32) {
+    device.stats().record_launch("exclusive_scan");
+    let n = xs.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let chunk = n.div_ceil(device.workers() * 4).max(1);
+    let sums: Vec<u32> = device.install(|| {
+        xs.par_chunks(chunk)
+            .map(|c| c.iter().sum::<u32>())
+            .collect()
+    });
+    let mut offsets = Vec::with_capacity(sums.len());
+    let mut acc = 0u32;
+    for s in &sums {
+        offsets.push(acc);
+        acc += s;
+    }
+    let mut out = vec![0u32; n];
+    device.install(|| {
+        out.par_chunks_mut(chunk)
+            .zip(xs.par_chunks(chunk))
+            .zip(offsets.par_iter())
+            .for_each(|((o, x), &off)| {
+                let mut a = off;
+                for (oi, &xi) in o.iter_mut().zip(x) {
+                    *oi = a;
+                    a += xi;
+                }
+            })
+    });
+    (out, acc)
+}
+
+/// Computes the index array of a compaction: the original indices of all
+/// `true` entries, in order, via the prefix-sum scatter of §4.2.
+pub fn compact_indices(device: &Device, keep: &[bool]) -> Vec<u32> {
+    device.stats().record_launch("compact_indices");
+    let n = keep.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let flags: Vec<u32> = keep.iter().map(|&k| k as u32).collect();
+    let (prefix, total) = exclusive_scan(device, &flags);
+    let chunk = n.div_ceil(device.workers() * 4).max(1);
+    let mut kept = vec![0u32; total as usize];
+    // Split the output into the disjoint ranges each input chunk writes to
+    // (chunk c's survivors land at prefix[c*chunk] .. prefix of next chunk).
+    let mut out_parts: Vec<(usize, &mut [u32])> = Vec::new();
+    let mut rest: &mut [u32] = &mut kept;
+    let mut consumed = 0usize;
+    for c0 in (0..n).step_by(chunk) {
+        let c1 = (c0 + chunk).min(n);
+        let end = if c1 < n {
+            prefix[c1] as usize
+        } else {
+            total as usize
+        };
+        let take = end - consumed;
+        let (head, tail) = rest.split_at_mut(take);
+        out_parts.push((c0, head));
+        rest = tail;
+        consumed = end;
+    }
+    device.install(|| {
+        out_parts.par_iter_mut().for_each(|(c0, out)| {
+            let c1 = (*c0 + chunk).min(n);
+            let mut w = 0;
+            for i in *c0..c1 {
+                if keep[i] {
+                    out[w] = i as u32;
+                    w += 1;
+                }
+            }
+            debug_assert_eq!(w, out.len());
+        })
+    });
+    kept
+}
+
+/// Removes the rows of a row-major matrix whose `keep` flag is `false`.
+///
+/// Returns the compacted matrix `M'` and the index array mapping each row of
+/// `M'` to its original row in `M` — the pair GPUPoly threads through its
+/// early-terminated backsubstitutions.
+///
+/// # Panics
+///
+/// Panics when `src.len() != keep.len() * row_len`.
+pub fn compact_rows<T: Copy + Send + Sync>(
+    device: &Device,
+    src: &[T],
+    row_len: usize,
+    keep: &[bool],
+) -> (Vec<T>, Vec<u32>) {
+    assert_eq!(
+        src.len(),
+        keep.len() * row_len,
+        "compact_rows: matrix shape mismatch"
+    );
+    let index = compact_indices(device, keep);
+    device.stats().record_launch("compact_rows");
+    let Some(&fill) = src.first() else {
+        return (Vec::new(), index);
+    };
+    let mut dst = vec![fill; index.len() * row_len];
+    // Parallel gather: each destination row copies from its source row.
+    device.install(|| {
+        dst.par_chunks_mut(row_len)
+            .zip(index.par_iter())
+            .for_each(|(row, &i)| {
+                row.copy_from_slice(&src[i as usize * row_len..(i as usize + 1) * row_len]);
+            })
+    });
+    (dst, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    fn serial_scan(xs: &[u32]) -> (Vec<u32>, u32) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn scan_empty() {
+        let dev = Device::default();
+        assert_eq!(exclusive_scan(&dev, &[]), (vec![], 0));
+    }
+
+    #[test]
+    fn scan_matches_serial_across_sizes_and_workers() {
+        for workers in [1, 2, 7] {
+            let dev = Device::new(DeviceConfig::new().workers(workers));
+            for n in [1usize, 2, 5, 63, 64, 65, 1000, 4097] {
+                let xs: Vec<u32> = (0..n).map(|i| ((i * 2654435761) % 5) as u32).collect();
+                let got = exclusive_scan(&dev, &xs);
+                assert_eq!(got, serial_scan(&xs), "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_indices_matches_filter() {
+        let dev = Device::new(DeviceConfig::new().workers(3));
+        for n in [0usize, 1, 10, 257, 1024] {
+            let keep: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
+            let want: Vec<u32> = (0..n as u32).filter(|&i| keep[i as usize]).collect();
+            assert_eq!(compact_indices(&dev, &keep), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn compact_rows_none_kept() {
+        let dev = Device::default();
+        let (m, idx) = compact_rows(&dev, &[1, 2, 3, 4], 2, &[false, false]);
+        assert!(m.is_empty() && idx.is_empty());
+    }
+
+    #[test]
+    fn compact_rows_all_kept_is_identity() {
+        let dev = Device::default();
+        let src = [1, 2, 3, 4, 5, 6];
+        let (m, idx) = compact_rows(&dev, &src, 3, &[true, true]);
+        assert_eq!(m, src.to_vec());
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn compact_rows_preserves_row_content_and_order() {
+        let dev = Device::new(DeviceConfig::new().workers(4));
+        let rows = 100;
+        let row_len = 7;
+        let src: Vec<u64> = (0..rows * row_len).map(|i| i as u64).collect();
+        let keep: Vec<bool> = (0..rows).map(|i| i % 4 == 0 || i % 7 == 0).collect();
+        let (m, idx) = compact_rows(&dev, &src, row_len, &keep);
+        assert_eq!(m.len(), idx.len() * row_len);
+        for (j, &orig) in idx.iter().enumerate() {
+            assert!(keep[orig as usize]);
+            assert_eq!(
+                &m[j * row_len..(j + 1) * row_len],
+                &src[orig as usize * row_len..(orig as usize + 1) * row_len]
+            );
+        }
+        let want_count = keep.iter().filter(|&&k| k).count();
+        assert_eq!(idx.len(), want_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn compact_rows_rejects_bad_shape() {
+        let dev = Device::default();
+        let _ = compact_rows(&dev, &[1, 2, 3], 2, &[true, true]);
+    }
+}

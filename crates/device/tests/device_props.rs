@@ -1,0 +1,128 @@
+//! Property-based tests of the simulated-GPU primitives: parallel scan and
+//! compaction against serial references, and GEMM containment soundness.
+
+use gpupoly_device::{gemm, scan, Device, DeviceConfig};
+use gpupoly_interval::Itv;
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::new(DeviceConfig::new().workers(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_matches_serial(xs in prop::collection::vec(0u32..7, 0..2000)) {
+        let dev = device();
+        let (got, total) = scan::exclusive_scan(&dev, &xs);
+        let mut acc = 0u32;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn compact_indices_matches_filter(keep in prop::collection::vec(any::<bool>(), 0..1500)) {
+        let dev = device();
+        let got = scan::compact_indices(&dev, &keep);
+        let want: Vec<u32> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i as u32))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn compact_rows_is_a_stable_filter(
+        keep in prop::collection::vec(any::<bool>(), 1..200),
+        row_len in 1usize..8,
+    ) {
+        let dev = device();
+        let src: Vec<u32> = (0..keep.len() * row_len).map(|i| i as u32).collect();
+        let (mat, idx) = scan::compact_rows(&dev, &src, row_len, &keep);
+        prop_assert_eq!(mat.len(), idx.len() * row_len);
+        // Index array is strictly increasing (stability) and flags hold.
+        for w in idx.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for (j, &i) in idx.iter().enumerate() {
+            prop_assert!(keep[i as usize]);
+            prop_assert_eq!(
+                &mat[j * row_len..(j + 1) * row_len],
+                &src[i as usize * row_len..(i as usize + 1) * row_len]
+            );
+        }
+    }
+
+    #[test]
+    fn interval_gemm_contains_f64_reference(
+        m in 1usize..6, k in 1usize..10, n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let mix = |i: usize, s: u64| (((i as u64 + 1) * (s + 3) * 2654435761) % 2000) as f32 / 1000.0 - 1.0;
+        let av: Vec<f32> = (0..m * k).map(|i| mix(i, seed)).collect();
+        let bv: Vec<f32> = (0..k * n).map(|i| mix(i, seed + 1)).collect();
+        let a: Vec<Itv<f32>> = av.iter().map(|&x| Itv::point(x)).collect();
+        let mut c = vec![Itv::zero(); m * n];
+        gemm::gemm_itv_f(&dev, &a, &bv, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let exact: f64 = (0..k)
+                    .map(|kk| av[i * k + kk] as f64 * bv[kk * n + j] as f64)
+                    .sum();
+                let got = c[i * n + j];
+                prop_assert!(
+                    (got.lo as f64) <= exact && exact <= (got.hi as f64),
+                    "C[{i},{j}] = {got} misses {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_equals_gemm_plus_initial(
+        m in 1usize..4, k in 1usize..6, n in 1usize..6,
+    ) {
+        let dev = device();
+        let a: Vec<Itv<f32>> = (0..m * k).map(|i| Itv::point((i % 5) as f32 - 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 3) as f32 - 1.0).collect();
+        let init: Vec<Itv<f32>> = (0..m * n).map(|i| Itv::point(i as f32 * 0.5)).collect();
+        let mut acc = init.clone();
+        gemm::gemm_itv_f_acc(&dev, &a, &b, &mut acc, m, k, n);
+        let mut fresh = vec![Itv::zero(); m * n];
+        gemm::gemm_itv_f(&dev, &a, &b, &mut fresh, m, k, n);
+        for ((z, f), i0) in acc.iter().zip(&fresh).zip(&init) {
+            let sum = f.add(*i0);
+            // same operations in a different association order: equal up to ulps
+            prop_assert!((z.lo - sum.lo).abs() <= 1e-4 && (z.hi - sum.hi).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_never_exceeds_capacity(
+        sizes in prop::collection::vec(1usize..2000, 1..30),
+        cap in 1000usize..10_000,
+    ) {
+        use gpupoly_device::DeviceBuffer;
+        let dev = Device::new(DeviceConfig::new().workers(1).memory_capacity(cap));
+        let mut live = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            match DeviceBuffer::<u8>::zeroed(&dev, s) {
+                Ok(b) => live.push(b),
+                Err(_) => prop_assert!(dev.memory_in_use() + s > cap),
+            }
+            prop_assert!(dev.memory_in_use() <= cap);
+            if i % 3 == 0 && !live.is_empty() {
+                live.remove(0);
+            }
+        }
+        drop(live);
+        prop_assert_eq!(dev.memory_in_use(), 0);
+        prop_assert!(dev.peak_memory() <= cap);
+    }
+}

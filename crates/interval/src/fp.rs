@@ -1,0 +1,209 @@
+//! The float abstraction used throughout the verifier.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar usable for sound verification.
+///
+/// Implemented for `f32` and `f64`. The two essential members are
+/// [`Fp::next_up`] and [`Fp::next_down`], which step to the adjacent
+/// representable values and underpin all directed rounding in
+/// [`crate::round`]. Everything else mirrors the inherent `f32`/`f64` API so
+/// generic code reads like ordinary float code.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_interval::Fp;
+///
+/// fn mag<F: Fp>(x: F) -> F { x.abs() }
+/// assert_eq!(mag(-2.5_f32), 2.5);
+/// assert!(1.0_f64.next_up() > 1.0);
+/// ```
+pub trait Fp:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Negative one.
+    const NEG_ONE: Self;
+    /// One half.
+    const HALF: Self;
+    /// Positive infinity.
+    const INFINITY: Self;
+    /// Negative infinity.
+    const NEG_INFINITY: Self;
+    /// Machine epsilon (distance from 1.0 to the next float).
+    const EPSILON: Self;
+    /// Largest finite value.
+    const MAX: Self;
+    /// Smallest finite value (most negative).
+    const MIN: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+
+    /// The next representable value towards `+inf`.
+    fn next_up(self) -> Self;
+    /// The next representable value towards `-inf`.
+    fn next_down(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// IEEE maximum (NaN-ignoring, like `f32::max`).
+    fn max(self, other: Self) -> Self;
+    /// IEEE minimum (NaN-ignoring, like `f32::min`).
+    fn min(self, other: Self) -> Self;
+    /// `true` when neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+    /// `true` when NaN.
+    fn is_nan(self) -> bool;
+    /// `self * a + b` using the platform FMA when available.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Square root (used by training utilities, never by the sound core).
+    fn sqrt(self) -> Self;
+    /// Lossless widening to `f64` (f64 -> f64 is identity).
+    fn to_f64(self) -> f64;
+    /// Conversion from `f64` with round-to-nearest.
+    fn from_f64(x: f64) -> Self;
+    /// Conversion from a count.
+    fn from_usize(n: usize) -> Self;
+}
+
+macro_rules! impl_fp {
+    ($t:ty) => {
+        impl Fp for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const NEG_ONE: Self = -1.0;
+            const HALF: Self = 0.5;
+            const INFINITY: Self = <$t>::INFINITY;
+            const NEG_INFINITY: Self = <$t>::NEG_INFINITY;
+            const EPSILON: Self = <$t>::EPSILON;
+            const MAX: Self = <$t>::MAX;
+            const MIN: Self = <$t>::MIN;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+
+            #[inline(always)]
+            fn next_up(self) -> Self {
+                self.next_up()
+            }
+            #[inline(always)]
+            fn next_down(self) -> Self {
+                self.next_down()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                self.is_nan()
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn from_usize(n: usize) -> Self {
+                n as $t
+            }
+        }
+    };
+}
+
+impl_fp!(f32);
+impl_fp!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_up_down_are_adjacent() {
+        let x = 1.0_f32;
+        assert!(x.next_up() > x);
+        assert!(x.next_down() < x);
+        assert_eq!(x.next_up().next_down(), x);
+    }
+
+    #[test]
+    fn next_up_down_at_zero_cross_sign() {
+        assert!(0.0_f32.next_up() > 0.0);
+        assert!(0.0_f32.next_down() < 0.0);
+        assert!(0.0_f64.next_down() < 0.0);
+    }
+
+    #[test]
+    fn next_down_of_infinity_is_max() {
+        assert_eq!(<f32 as Fp>::INFINITY.next_down(), f32::MAX);
+        assert_eq!(<f64 as Fp>::NEG_INFINITY.next_up(), f64::MIN);
+    }
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(<f32 as Fp>::EPSILON, f32::EPSILON);
+        assert_eq!(<f64 as Fp>::MAX, f64::MAX);
+        assert_eq!(<f32 as Fp>::HALF, 0.5);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f32::from_f64(0.25), 0.25_f32);
+        assert_eq!(0.25_f32.to_f64(), 0.25_f64);
+        assert_eq!(f64::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn generic_code_compiles_for_both_widths() {
+        fn sum3<F: Fp>(a: F, b: F, c: F) -> F {
+            a + b + c
+        }
+        assert_eq!(sum3(1.0_f32, 2.0, 3.0), 6.0);
+        assert_eq!(sum3(1.0_f64, 2.0, 3.0), 6.0);
+    }
+}

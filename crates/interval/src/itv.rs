@@ -1,0 +1,460 @@
+//! The interval type used for polyhedral coefficients and neuron bounds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::round;
+use crate::Fp;
+
+/// A closed interval `[lo, hi]` with outward-rounded arithmetic.
+///
+/// All operations guarantee *containment soundness*: if `x ∈ a` and `y ∈ b`
+/// then `x ∘ y ∈ a ∘ b` for every supported operation `∘`, including all
+/// floating-point round-off (see [`crate::round`]). Intervals are used both
+/// for the coefficients of polyhedral bounds (GPUPoly §4.1 replaces scalar
+/// coefficients with intervals to stay sound under any rounding mode or
+/// execution order) and for the concrete bounds `l ≤ x ≤ u` of each neuron.
+///
+/// The fields are public: `Itv` is a passive compound value in hot kernels.
+/// The constructor enforces `lo <= hi` in debug builds; arithmetic preserves
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_interval::Itv;
+///
+/// let x = Itv::new(-1.0_f32, 2.0);
+/// let y = x * Itv::point(-2.0) + Itv::point(1.0);
+/// assert!(y.contains(-3.0) && y.contains(3.0));
+/// assert!(x.straddles_zero());
+/// assert!(!y.is_point());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Itv<F> {
+    /// Lower bound.
+    pub lo: F,
+    /// Upper bound.
+    pub hi: F,
+}
+
+impl<F: Fp> Itv<F> {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when `lo > hi` or either bound is NaN.
+    #[inline(always)]
+    pub fn new(lo: F, hi: F) -> Self {
+        debug_assert!(!lo.is_nan() && !hi.is_nan(), "NaN interval bound");
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    #[inline(always)]
+    pub fn point(x: F) -> Self {
+        debug_assert!(!x.is_nan(), "NaN interval point");
+        Self { lo: x, hi: x }
+    }
+
+    /// The interval `[0, 0]`.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self {
+            lo: F::ZERO,
+            hi: F::ZERO,
+        }
+    }
+
+    /// The interval `[-inf, +inf]`.
+    #[inline]
+    pub fn top() -> Self {
+        Self {
+            lo: F::NEG_INFINITY,
+            hi: F::INFINITY,
+        }
+    }
+
+    /// `true` when `lo == hi`.
+    #[inline(always)]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` when both bounds are finite.
+    #[inline(always)]
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// `true` when `x` lies inside the interval.
+    #[inline(always)]
+    pub fn contains(&self, x: F) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// `true` when `other` lies entirely inside the interval.
+    #[inline]
+    pub fn contains_itv(&self, other: Self) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` when `0` is *strictly* inside `(lo, hi)` — the negation of
+    /// GPUPoly's early-termination criterion (§3.2): a ReLU with such input
+    /// bounds is approximated, every other ReLU is exact.
+    #[inline(always)]
+    pub fn straddles_zero(&self) -> bool {
+        self.lo < F::ZERO && self.hi > F::ZERO
+    }
+
+    /// Upper bound of the width `hi - lo`.
+    #[inline]
+    pub fn width(&self) -> F {
+        round::sub_up(self.hi, self.lo)
+    }
+
+    /// Magnitude: `max(|lo|, |hi|)`.
+    #[inline(always)]
+    pub fn mag(&self) -> F {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Midpoint (round-to-nearest; *not* a sound operation, used only by
+    /// heuristics and reporting).
+    #[inline]
+    pub fn mid(&self) -> F {
+        (self.lo + self.hi) * F::HALF
+    }
+
+    /// Smallest interval containing both operands.
+    #[inline]
+    pub fn hull(self, other: Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection, or `None` when disjoint.
+    #[inline]
+    pub fn intersect(self, other: Self) -> Option<Self> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Self { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Interval negation `[-hi, -lo]` (exact).
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        Self {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    /// Outward-rounded interval addition.
+    #[inline(always)]
+    pub fn add(self, other: Self) -> Self {
+        Self {
+            lo: round::add_down(self.lo, other.lo),
+            hi: round::add_up(self.hi, other.hi),
+        }
+    }
+
+    /// Outward-rounded interval subtraction.
+    #[inline(always)]
+    pub fn sub(self, other: Self) -> Self {
+        Self {
+            lo: round::sub_down(self.lo, other.hi),
+            hi: round::sub_up(self.hi, other.lo),
+        }
+    }
+
+    /// Outward-rounded interval multiplication (full 4-product case split).
+    #[inline]
+    pub fn mul(self, other: Self) -> Self {
+        if self.is_point() {
+            return other.mul_f(self.lo);
+        }
+        if other.is_point() {
+            return self.mul_f(other.lo);
+        }
+        let ll = round::mul_down(self.lo, other.lo);
+        let lh = round::mul_down(self.lo, other.hi);
+        let hl = round::mul_down(self.hi, other.lo);
+        let hh = round::mul_down(self.hi, other.hi);
+        let lo = ll.min(lh).min(hl).min(hh);
+        let ll = round::mul_up(self.lo, other.lo);
+        let lh = round::mul_up(self.lo, other.hi);
+        let hl = round::mul_up(self.hi, other.lo);
+        let hh = round::mul_up(self.hi, other.hi);
+        let hi = ll.max(lh).max(hl).max(hh);
+        Self { lo, hi }
+    }
+
+    /// Outward-rounded multiplication by a scalar — the dominant operation of
+    /// backsubstitution, where network weights are exact scalars.
+    #[inline(always)]
+    pub fn mul_f(self, f: F) -> Self {
+        if f >= F::ZERO {
+            Self {
+                lo: round::mul_down(self.lo, f),
+                hi: round::mul_up(self.hi, f),
+            }
+        } else {
+            Self {
+                lo: round::mul_down(self.hi, f),
+                hi: round::mul_up(self.lo, f),
+            }
+        }
+    }
+
+    /// `acc + self * f`, outward-rounded — the inner step of the interval
+    /// GEMM kernels (interval coefficient times scalar network weight).
+    #[inline(always)]
+    pub fn mul_add_f(self, f: F, acc: Self) -> Self {
+        if f == F::ZERO {
+            return acc;
+        }
+        if f > F::ZERO {
+            Self {
+                lo: round::fma_down(self.lo, f, acc.lo),
+                hi: round::fma_up(self.hi, f, acc.hi),
+            }
+        } else {
+            Self {
+                lo: round::fma_down(self.hi, f, acc.lo),
+                hi: round::fma_up(self.lo, f, acc.hi),
+            }
+        }
+    }
+
+    /// `acc + self * other`, outward-rounded.
+    #[inline]
+    pub fn mul_add(self, other: Self, acc: Self) -> Self {
+        acc.add(self.mul(other))
+    }
+
+    /// Widens both bounds outward by `delta >= 0`.
+    #[inline]
+    pub fn widen(self, delta: F) -> Self {
+        debug_assert!(delta >= F::ZERO);
+        Self {
+            lo: round::sub_down(self.lo, delta),
+            hi: round::add_up(self.hi, delta),
+        }
+    }
+
+    /// Clamps the interval into `[min, max]` (e.g. pixel domain `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when the interval lies entirely outside the clamp
+    /// range.
+    #[inline]
+    pub fn clamp_to(self, min: F, max: F) -> Self {
+        let lo = self.lo.max(min).min(max);
+        let hi = self.hi.min(max).max(min);
+        debug_assert!(lo <= hi);
+        Self { lo, hi }
+    }
+
+    /// Converts the scalar width, e.g. `Itv<f32>` to `Itv<f64>` for
+    /// cross-checking (outward-exact since f64 is a superset of f32).
+    #[inline]
+    pub fn to_f64(self) -> Itv<f64> {
+        Itv {
+            lo: self.lo.to_f64(),
+            hi: self.hi.to_f64(),
+        }
+    }
+}
+
+impl<F: Fp> Default for Itv<F> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<F: Fp> fmt::Display for Itv<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl<F: Fp> From<F> for Itv<F> {
+    fn from(x: F) -> Self {
+        Self::point(x)
+    }
+}
+
+impl<F: Fp> Add for Itv<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Itv::add(self, rhs)
+    }
+}
+
+impl<F: Fp> AddAssign for Itv<F> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = Itv::add(*self, rhs);
+    }
+}
+
+impl<F: Fp> Sub for Itv<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Itv::sub(self, rhs)
+    }
+}
+
+impl<F: Fp> Mul for Itv<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Itv::mul(self, rhs)
+    }
+}
+
+impl<F: Fp> Neg for Itv<F> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Itv::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i32f(lo: f32, hi: f32) -> Itv<f32> {
+        Itv::new(lo, hi)
+    }
+
+    #[test]
+    fn point_and_zero() {
+        assert_eq!(Itv::point(3.0_f32), i32f(3.0, 3.0));
+        assert_eq!(Itv::<f32>::zero(), i32f(0.0, 0.0));
+        assert!(Itv::point(3.0_f32).is_point());
+        assert_eq!(Itv::<f32>::default(), Itv::zero());
+    }
+
+    #[test]
+    fn add_sub_contain_endpoint_combinations() {
+        let a = i32f(-1.0, 2.0);
+        let b = i32f(0.5, 3.0);
+        let s = a + b;
+        assert!(s.contains(-0.5) && s.contains(5.0));
+        let d = a - b;
+        assert!(d.contains(-4.0) && d.contains(1.5));
+    }
+
+    #[test]
+    fn mul_handles_all_sign_cases() {
+        let cases = [
+            (i32f(1.0, 2.0), i32f(3.0, 4.0)),
+            (i32f(-2.0, -1.0), i32f(3.0, 4.0)),
+            (i32f(-2.0, 3.0), i32f(-4.0, 5.0)),
+            (i32f(-2.0, 3.0), i32f(-5.0, -4.0)),
+            (i32f(0.0, 0.0), i32f(-5.0, 4.0)),
+        ];
+        for (a, b) in cases {
+            let p = a * b;
+            for &x in &[a.lo, a.hi, a.mid()] {
+                for &y in &[b.lo, b.hi, b.mid()] {
+                    assert!(
+                        p.contains(x * y),
+                        "{a} * {b} = {p} misses {x} * {y} = {}",
+                        x * y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_f_matches_mul_by_point() {
+        let a = i32f(-1.5, 2.5);
+        for f in [-3.0_f32, -1.0, 0.0, 0.5, 2.0] {
+            assert_eq!(a.mul_f(f), a * Itv::point(f));
+        }
+    }
+
+    #[test]
+    fn mul_add_f_contains_fma_combinations() {
+        let a = i32f(0.1, 0.3);
+        let acc = i32f(-1.0, 1.0);
+        let r = a.mul_add_f(-2.0, acc);
+        assert!(r.contains(-1.0 + 0.1 * -2.0));
+        assert!(r.contains(1.0 + 0.3 * -2.0));
+        assert_eq!(a.mul_add_f(0.0, acc), acc);
+    }
+
+    #[test]
+    fn neg_is_exact_involution() {
+        let a = i32f(-1.25, 2.5);
+        assert_eq!(a.neg(), i32f(-2.5, 1.25));
+        assert_eq!(a.neg().neg(), a);
+        assert_eq!(-a, a.neg());
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = i32f(0.0, 2.0);
+        let b = i32f(1.0, 3.0);
+        assert_eq!(a.hull(b), i32f(0.0, 3.0));
+        assert_eq!(a.intersect(b), Some(i32f(1.0, 2.0)));
+        assert_eq!(a.intersect(i32f(5.0, 6.0)), None);
+    }
+
+    #[test]
+    fn straddle_is_strict() {
+        assert!(i32f(-1.0, 1.0).straddles_zero());
+        assert!(!i32f(0.0, 1.0).straddles_zero());
+        assert!(!i32f(-1.0, 0.0).straddles_zero());
+        assert!(!i32f(0.5, 1.0).straddles_zero());
+    }
+
+    #[test]
+    fn clamp_to_domain() {
+        assert_eq!(i32f(-0.5, 0.5).clamp_to(0.0, 1.0), i32f(0.0, 0.5));
+        assert_eq!(i32f(0.9, 1.7).clamp_to(0.0, 1.0), i32f(0.9, 1.0));
+    }
+
+    #[test]
+    fn widen_is_outward() {
+        let w = i32f(-1.0, 1.0).widen(0.25);
+        assert!(w.lo <= -1.25 && w.hi >= 1.25);
+    }
+
+    #[test]
+    fn display_formats_both_bounds() {
+        assert_eq!(format!("{}", i32f(-1.0, 2.0)), "[-1, 2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    #[cfg(debug_assertions)]
+    fn inverted_interval_panics_in_debug() {
+        let _ = i32f(2.0, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = i32f(-1.5, 2.5);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Itv<f32> = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based soundness tests: every interval operation must contain the
+//! result of the corresponding real operation on any members of its operand
+//! intervals. We use f64 arithmetic as the (much more precise) reference for
+//! f32 intervals, and exact rational reasoning where cheap.
+
+use gpupoly_interval::{dot, round, Itv};
+use proptest::prelude::*;
+
+/// Finite, moderately sized floats — the regime verification operates in.
+fn small_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1e6f32..1e6f32),
+        (-1.0f32..1.0f32),
+        Just(0.0f32),
+        Just(1.0f32),
+        Just(-1.0f32),
+    ]
+}
+
+fn itv_f32() -> impl Strategy<Value = Itv<f32>> {
+    (small_f32(), small_f32()).prop_map(|(a, b)| Itv::new(a.min(b), a.max(b)))
+}
+
+/// A point inside an interval, parameterized by t in [0,1].
+fn pick(i: Itv<f32>, t: f32) -> f32 {
+    let x = i.lo as f64 + (i.hi as f64 - i.lo as f64) * t as f64;
+    (x as f32).clamp(i.lo, i.hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn scalar_directed_ops_bracket_f64(a in small_f32(), b in small_f32()) {
+        let (ad, bd) = (a as f64, b as f64);
+        prop_assert!((round::add_down(a, b) as f64) <= ad + bd);
+        prop_assert!((round::add_up(a, b) as f64) >= ad + bd);
+        prop_assert!((round::sub_down(a, b) as f64) <= ad - bd);
+        prop_assert!((round::sub_up(a, b) as f64) >= ad - bd);
+        prop_assert!((round::mul_down(a, b) as f64) <= ad * bd);
+        prop_assert!((round::mul_up(a, b) as f64) >= ad * bd);
+        if b != 0.0 {
+            prop_assert!((round::div_down(a, b) as f64) <= ad / bd);
+            prop_assert!((round::div_up(a, b) as f64) >= ad / bd);
+        }
+    }
+
+    #[test]
+    fn add_contains_member_sums(a in itv_f32(), b in itv_f32(), ta in 0.0f32..1.0, tb in 0.0f32..1.0) {
+        let (x, y) = (pick(a, ta), pick(b, tb));
+        let s = a + b;
+        prop_assert!(s.to_f64().contains(x as f64 + y as f64),
+            "{a}+{b}={s} misses {x}+{y}");
+    }
+
+    #[test]
+    fn sub_contains_member_differences(a in itv_f32(), b in itv_f32(), ta in 0.0f32..1.0, tb in 0.0f32..1.0) {
+        let (x, y) = (pick(a, ta), pick(b, tb));
+        let d = a - b;
+        prop_assert!(d.to_f64().contains(x as f64 - y as f64));
+    }
+
+    #[test]
+    fn mul_contains_member_products(a in itv_f32(), b in itv_f32(), ta in 0.0f32..1.0, tb in 0.0f32..1.0) {
+        let (x, y) = (pick(a, ta), pick(b, tb));
+        let p = a * b;
+        prop_assert!(p.to_f64().contains(x as f64 * y as f64),
+            "{a}*{b}={p} misses {x}*{y}");
+    }
+
+    #[test]
+    fn mul_f_contains_member_products(a in itv_f32(), f in small_f32(), t in 0.0f32..1.0) {
+        let x = pick(a, t);
+        let p = a.mul_f(f);
+        prop_assert!(p.to_f64().contains(x as f64 * f as f64));
+    }
+
+    #[test]
+    fn mul_add_f_contains_member_fma(a in itv_f32(), f in small_f32(), acc in itv_f32(),
+                                     ta in 0.0f32..1.0, tc in 0.0f32..1.0) {
+        let (x, c) = (pick(a, ta), pick(acc, tc));
+        let r = a.mul_add_f(f, acc);
+        prop_assert!(r.to_f64().contains(x as f64 * f as f64 + c as f64));
+    }
+
+    #[test]
+    fn intervals_stay_ordered(a in itv_f32(), b in itv_f32()) {
+        for r in [a + b, a - b, a * b, a.mul_f(b.lo), a.hull(b), -a] {
+            prop_assert!(r.lo <= r.hi, "inverted result {r}");
+        }
+    }
+
+    #[test]
+    fn hull_contains_both(a in itv_f32(), b in itv_f32()) {
+        let h = a.hull(b);
+        prop_assert!(h.contains_itv(a) && h.contains_itv(b));
+    }
+
+    #[test]
+    fn intersect_is_tightest(a in itv_f32(), b in itv_f32()) {
+        if let Some(m) = a.intersect(b) {
+            prop_assert!(a.contains_itv(m) && b.contains_itv(m));
+            prop_assert!(m.lo == a.lo.max(b.lo) && m.hi == a.hi.min(b.hi));
+        } else {
+            prop_assert!(a.hi < b.lo || b.hi < a.lo);
+        }
+    }
+
+    #[test]
+    fn dot_contains_f64_reference(
+        ws in prop::collection::vec(small_f32(), 0..32),
+        xs in prop::collection::vec(small_f32(), 0..32),
+    ) {
+        let n = ws.len().min(xs.len());
+        let coeffs: Vec<Itv<f32>> = ws[..n].iter().map(|&w| Itv::point(w)).collect();
+        let exact: f64 = ws[..n].iter().zip(&xs[..n]).map(|(&w, &x)| w as f64 * x as f64).sum();
+        let d = dot::dot_itv_f(&coeffs, &xs[..n]);
+        prop_assert!(d.to_f64().contains(exact), "dot {d} misses {exact}");
+    }
+
+    #[test]
+    fn concretize_brackets_box_samples(
+        pairs in prop::collection::vec((small_f32(), itv_f32(), 0.0f32..1.0), 0..16),
+        cst in small_f32(),
+    ) {
+        let coeffs: Vec<Itv<f32>> = pairs.iter().map(|&(w, _, _)| Itv::point(w)).collect();
+        let bounds: Vec<Itv<f32>> = pairs.iter().map(|&(_, b, _)| b).collect();
+        let sample: f64 = pairs
+            .iter()
+            .map(|&(w, b, t)| w as f64 * pick(b, t) as f64)
+            .sum::<f64>() + cst as f64;
+        let hi = dot::concretize_upper(&coeffs, &bounds, Itv::point(cst));
+        let lo = dot::concretize_lower(&coeffs, &bounds, Itv::point(cst));
+        prop_assert!((lo as f64) <= sample && sample <= (hi as f64),
+            "[{lo}, {hi}] misses sample {sample}");
+    }
+
+    #[test]
+    fn widen_grows(a in itv_f32(), d in 0.0f32..100.0) {
+        let w = a.widen(d);
+        prop_assert!(w.contains_itv(a));
+    }
+
+    #[test]
+    fn f64_ops_bracket_too(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        // For f64 we at least check ordering and 1-ulp adjacency.
+        let lo = round::mul_down(a, b);
+        let hi = round::mul_up(a, b);
+        prop_assert!(lo <= a * b && a * b <= hi);
+        prop_assert!(hi == lo || hi == lo.next_up() || hi == lo.next_up().next_up());
+    }
+}

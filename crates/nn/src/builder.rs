@@ -1,0 +1,310 @@
+//! Ergonomic construction of networks.
+
+use gpupoly_interval::Fp;
+
+use crate::{Block, Conv2d, Dense, Layer, Network, NetworkError, Shape};
+
+/// Builds the layer list of one residual branch.
+///
+/// Obtained inside the closures passed to [`NetworkBuilder::residual`]; an
+/// untouched branch builder is the identity (skip) branch.
+#[derive(Debug)]
+pub struct BranchBuilder<F> {
+    shape: Shape,
+    layers: Vec<Layer<F>>,
+    error: Option<NetworkError>,
+}
+
+impl<F: Fp> BranchBuilder<F> {
+    fn new(shape: Shape) -> Self {
+        Self {
+            shape,
+            layers: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn push(mut self, layer: Layer<F>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match layer.out_shape(self.shape) {
+            Ok(s) => {
+                self.shape = s;
+                self.layers.push(layer);
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Appends a dense layer from a flat row-major weight vector.
+    pub fn dense_flat(self, out_len: usize, weight: Vec<F>, bias: Vec<F>) -> Self {
+        let in_len = self.shape.len();
+        match Dense::new(out_len, in_len, weight, bias) {
+            Ok(d) => self.push(Layer::Dense(d)),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Appends a convolution; the input shape is the branch's current shape.
+    pub fn conv(
+        self,
+        c_out: usize,
+        k: (usize, usize),
+        s: (usize, usize),
+        p: (usize, usize),
+        weight: Vec<F>,
+        bias: Vec<F>,
+    ) -> Self {
+        match Conv2d::new(self.shape, c_out, k, s, p, weight, bias) {
+            Ok(c) => self.push(Layer::Conv(c)),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(self) -> Self {
+        self.push(Layer::Relu)
+    }
+
+    fn fail(mut self, e: NetworkError) -> Self {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+        self
+    }
+}
+
+/// A consuming builder for [`Network`].
+///
+/// Shape errors are deferred: the first one is reported by
+/// [`NetworkBuilder::build`], so chains stay ergonomic.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_nn::builder::NetworkBuilder;
+/// use gpupoly_nn::Shape;
+///
+/// let net = NetworkBuilder::new(Shape::new(4, 4, 1))
+///     .conv(2, (3, 3), (1, 1), (1, 1), vec![0.1_f32; 3 * 3 * 2 * 1], vec![0.0; 2])
+///     .relu()
+///     .flatten_dense(10, |i| (i as f32).sin() * 0.1, |_| 0.0)
+///     .build()?;
+/// assert_eq!(net.output_len(), 10);
+/// # Ok::<(), gpupoly_nn::NetworkError>(())
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder<F> {
+    input_shape: Shape,
+    shape: Shape,
+    blocks: Vec<Block<F>>,
+    error: Option<NetworkError>,
+}
+
+impl<F: Fp> NetworkBuilder<F> {
+    /// Starts a network with the given input shape.
+    pub fn new(input_shape: Shape) -> Self {
+        Self {
+            input_shape,
+            shape: input_shape,
+            blocks: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Starts a network with a flat input of `n` values.
+    pub fn new_flat(n: usize) -> Self {
+        Self::new(Shape::flat(n))
+    }
+
+    /// The shape the next layer will consume.
+    pub fn current_shape(&self) -> Shape {
+        self.shape
+    }
+
+    fn push(mut self, layer: Layer<F>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match layer.out_shape(self.shape) {
+            Ok(s) => {
+                self.shape = s;
+                self.blocks.push(Block::Single(layer));
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    fn fail(mut self, e: NetworkError) -> Self {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+        self
+    }
+
+    /// Appends a dense layer given its rows (`rows[i]` is output `i`'s
+    /// weight vector).
+    pub fn dense<R: AsRef<[F]>>(self, rows: &[R], bias: &[F]) -> Self {
+        let out_len = rows.len();
+        let mut weight = Vec::with_capacity(out_len * self.shape.len());
+        for r in rows {
+            weight.extend_from_slice(r.as_ref());
+        }
+        self.dense_flat(out_len, weight, bias.to_vec())
+    }
+
+    /// Appends a dense layer from a flat row-major weight vector.
+    pub fn dense_flat(self, out_len: usize, weight: Vec<F>, bias: Vec<F>) -> Self {
+        let in_len = self.shape.len();
+        match Dense::new(out_len, in_len, weight, bias) {
+            Ok(d) => self.push(Layer::Dense(d)),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Appends a dense layer whose weights and biases come from generator
+    /// functions over the flat weight index (useful for synthetic nets).
+    pub fn flatten_dense(
+        self,
+        out_len: usize,
+        weight: impl Fn(usize) -> F,
+        bias: impl Fn(usize) -> F,
+    ) -> Self {
+        let in_len = self.shape.len();
+        let w: Vec<F> = (0..out_len * in_len).map(weight).collect();
+        let b: Vec<F> = (0..out_len).map(bias).collect();
+        self.dense_flat(out_len, w, b)
+    }
+
+    /// Appends a convolution consuming the current shape.
+    pub fn conv(
+        self,
+        c_out: usize,
+        k: (usize, usize),
+        s: (usize, usize),
+        p: (usize, usize),
+        weight: Vec<F>,
+        bias: Vec<F>,
+    ) -> Self {
+        match Conv2d::new(self.shape, c_out, k, s, p, weight, bias) {
+            Ok(c) => self.push(Layer::Conv(c)),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(self) -> Self {
+        self.push(Layer::Relu)
+    }
+
+    /// Appends a residual block; each closure builds one branch from the
+    /// block head's shape. An untouched builder is an identity skip.
+    pub fn residual(
+        mut self,
+        a: impl FnOnce(BranchBuilder<F>) -> BranchBuilder<F>,
+        b: impl FnOnce(BranchBuilder<F>) -> BranchBuilder<F>,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let ba = a(BranchBuilder::new(self.shape));
+        let bb = b(BranchBuilder::new(self.shape));
+        if let Some(e) = ba.error {
+            return self.fail(e);
+        }
+        if let Some(e) = bb.error {
+            return self.fail(e);
+        }
+        if ba.shape.len() != bb.shape.len() {
+            return self.fail(NetworkError::ResidualShapeMismatch(format!(
+                "branch a yields {}, branch b yields {}",
+                ba.shape, bb.shape
+            )));
+        }
+        self.shape = ba.shape;
+        self.blocks.push(Block::Residual {
+            a: ba.layers,
+            b: bb.layers,
+        });
+        self
+    }
+
+    /// Finishes construction, revalidating the whole network.
+    ///
+    /// # Errors
+    ///
+    /// The first deferred error, or any validation error from
+    /// [`Network::new`].
+    pub fn build(self) -> Result<Network<F>, NetworkError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Network::new(self.input_shape, self.blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deferred_errors_surface_at_build() {
+        let r = NetworkBuilder::<f32>::new_flat(3)
+            .dense_flat(2, vec![0.0; 5], vec![0.0; 2]) // wrong weight count
+            .relu()
+            .build();
+        assert!(matches!(r, Err(NetworkError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn dense_from_rows() {
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, 2.0], [3.0, 4.0]], &[0.0, 1.0])
+            .build()
+            .unwrap();
+        assert_eq!(net.infer(&[1.0, 1.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn residual_identity_skip() {
+        let net = NetworkBuilder::new_flat(2)
+            .residual(
+                |a| a.dense_flat(2, vec![2.0, 0.0, 0.0, 2.0], vec![0.0, 0.0]),
+                |b| b,
+            )
+            .build()
+            .unwrap();
+        // out = 2x + x = 3x
+        assert_eq!(net.infer(&[1.0, -1.0]), vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn residual_branch_error_propagates() {
+        let r = NetworkBuilder::<f32>::new_flat(2)
+            .residual(|a| a.dense_flat(3, vec![0.0; 6], vec![0.0; 3]), |b| b)
+            .build();
+        assert!(matches!(r, Err(NetworkError::ResidualShapeMismatch(_))));
+    }
+
+    #[test]
+    fn conv_then_dense_tracks_shapes() {
+        let b = NetworkBuilder::<f32>::new(Shape::new(6, 6, 1)).conv(
+            4,
+            (3, 3),
+            (1, 1),
+            (0, 0),
+            vec![0.0; 3 * 3 * 4],
+            vec![0.0; 4],
+        );
+        assert_eq!(b.current_shape(), Shape::new(4, 4, 4));
+        let net = b
+            .relu()
+            .flatten_dense(5, |_| 0.0, |_| 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(net.infer(&vec![0.5; 36]), vec![1.0; 5]);
+    }
+}

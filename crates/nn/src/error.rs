@@ -1,0 +1,61 @@
+//! Error type for network construction and I/O.
+
+use std::fmt;
+
+/// Errors from building, validating or (de)serializing networks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A weight/bias/input buffer had the wrong number of elements.
+    SizeMismatch {
+        /// What was being checked (e.g. `"dense weight"`).
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        got: usize,
+    },
+    /// A convolution's geometry is impossible (empty output, zero stride...).
+    BadGeometry(String),
+    /// The network has no layers.
+    Empty,
+    /// The two branches of a residual block disagree on their output shape.
+    ResidualShapeMismatch(String),
+    /// Serialization or file I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::SizeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected} elements, got {got}"),
+            NetworkError::BadGeometry(msg) => write!(f, "bad layer geometry: {msg}"),
+            NetworkError::Empty => write!(f, "network has no layers"),
+            NetworkError::ResidualShapeMismatch(msg) => {
+                write!(f, "residual branches disagree: {msg}")
+            }
+            NetworkError::Io(msg) => write!(f, "network i/o failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetworkError::SizeMismatch {
+            what: "dense weight",
+            expected: 6,
+            got: 5,
+        };
+        assert_eq!(e.to_string(), "dense weight: expected 6 elements, got 5");
+        assert!(NetworkError::Empty.to_string().contains("no layers"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Layer definitions: dense (fully-connected), 2-D convolution and ReLU.
+
+use gpupoly_interval::{Fp, Itv};
+use serde::{Deserialize, Serialize};
+
+use crate::{NetworkError, Shape};
+
+/// A fully-connected affine layer `y = W·x + b`.
+///
+/// `weight` is row-major `[out_len × in_len]`; fields are public passive
+/// data (the trainer mutates them in place) but [`Dense::new`] validates
+/// sizes.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_nn::Dense;
+///
+/// let d = Dense::new(2, 3, vec![1.0_f32, 0.0, -1.0, 0.5, 0.5, 0.5], vec![0.0, 1.0])?;
+/// let mut y = [0.0; 2];
+/// d.forward(&[1.0, 2.0, 3.0], &mut y);
+/// assert_eq!(y, [-2.0, 4.0]);
+/// # Ok::<(), gpupoly_nn::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dense<F> {
+    /// Number of outputs (rows of `W`).
+    pub out_len: usize,
+    /// Number of inputs (columns of `W`).
+    pub in_len: usize,
+    /// Row-major `[out_len × in_len]` weights.
+    pub weight: Vec<F>,
+    /// Per-output bias.
+    pub bias: Vec<F>,
+}
+
+impl<F: Fp> Dense<F> {
+    /// Creates a validated dense layer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SizeMismatch`] when the weight or bias length does not
+    /// match `out_len`/`in_len`.
+    pub fn new(
+        out_len: usize,
+        in_len: usize,
+        weight: Vec<F>,
+        bias: Vec<F>,
+    ) -> Result<Self, NetworkError> {
+        if weight.len() != out_len * in_len {
+            return Err(NetworkError::SizeMismatch {
+                what: "dense weight",
+                expected: out_len * in_len,
+                got: weight.len(),
+            });
+        }
+        if bias.len() != out_len {
+            return Err(NetworkError::SizeMismatch {
+                what: "dense bias",
+                expected: out_len,
+                got: bias.len(),
+            });
+        }
+        Ok(Self {
+            out_len,
+            in_len,
+            weight,
+            bias,
+        })
+    }
+
+    /// One row of the weight matrix.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[F] {
+        &self.weight[i * self.in_len..(i + 1) * self.in_len]
+    }
+
+    /// Round-to-nearest forward pass (inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `y` have the wrong length.
+    pub fn forward(&self, x: &[F], y: &mut [F]) {
+        assert_eq!(x.len(), self.in_len, "dense input length");
+        assert_eq!(y.len(), self.out_len, "dense output length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = self.bias[i];
+            for (&w, &xi) in self.row(i).iter().zip(x) {
+                acc = w.mul_add(xi, acc);
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Sound interval forward pass (outward rounding) — interval bound
+    /// propagation through the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `y` have the wrong length.
+    pub fn forward_itv(&self, x: &[Itv<F>], y: &mut [Itv<F>]) {
+        assert_eq!(x.len(), self.in_len, "dense input length");
+        assert_eq!(y.len(), self.out_len, "dense output length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = Itv::point(self.bias[i]);
+            for (&w, &xi) in self.row(i).iter().zip(x) {
+                acc = xi.mul_add_f(w, acc);
+            }
+            *yi = acc;
+        }
+    }
+}
+
+/// A 2-D convolution layer.
+///
+/// Weight layout is `[kh][kw][c_out][c_in]` with `c_in` innermost — the
+/// `F_k[f][g][d][c]` tensor of the paper's Algorithm 1, whose inner loop
+/// over `c` (the layer-`k-1` channels) is the memory-contiguous, parallel
+/// dimension of the GBC kernel. Padding is symmetric zero-padding.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_nn::{Conv2d, Shape};
+///
+/// // 3x3 input, one channel, 2x2 filter of ones, stride 1, no padding.
+/// let c = Conv2d::new(Shape::new(3, 3, 1), 1, (2, 2), (1, 1), (0, 0),
+///                     vec![1.0_f32; 4], vec![0.0])?;
+/// assert_eq!(c.out_shape, Shape::new(2, 2, 1));
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+/// let mut y = [0.0; 4];
+/// c.forward(&x, &mut y);
+/// assert_eq!(y, [12.0, 16.0, 24.0, 28.0]);
+/// # Ok::<(), gpupoly_nn::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d<F> {
+    /// Input activation shape.
+    pub in_shape: Shape,
+    /// Output activation shape (derived).
+    pub out_shape: Shape,
+    /// Filter height.
+    pub kh: usize,
+    /// Filter width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Vertical zero padding (same on both sides).
+    pub ph: usize,
+    /// Horizontal zero padding (same on both sides).
+    pub pw: usize,
+    /// Filter weights, `[kh][kw][c_out][c_in]`, `c_in` innermost.
+    pub weight: Vec<F>,
+    /// Per-output-channel bias.
+    pub bias: Vec<F>,
+}
+
+impl<F: Fp> Conv2d<F> {
+    /// Creates a validated convolution layer; the output shape is derived
+    /// from the geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::BadGeometry`] for zero strides/filters or an empty
+    /// output; [`NetworkError::SizeMismatch`] for wrong weight/bias lengths.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_shape: Shape,
+        c_out: usize,
+        (kh, kw): (usize, usize),
+        (sh, sw): (usize, usize),
+        (ph, pw): (usize, usize),
+        weight: Vec<F>,
+        bias: Vec<F>,
+    ) -> Result<Self, NetworkError> {
+        if kh == 0 || kw == 0 || sh == 0 || sw == 0 || c_out == 0 {
+            return Err(NetworkError::BadGeometry(format!(
+                "conv with zero dimension: k=({kh},{kw}) s=({sh},{sw}) c_out={c_out}"
+            )));
+        }
+        if in_shape.h + 2 * ph < kh || in_shape.w + 2 * pw < kw {
+            return Err(NetworkError::BadGeometry(format!(
+                "filter ({kh},{kw}) larger than padded input {in_shape}"
+            )));
+        }
+        let oh = (in_shape.h + 2 * ph - kh) / sh + 1;
+        let ow = (in_shape.w + 2 * pw - kw) / sw + 1;
+        let out_shape = Shape::new(oh, ow, c_out);
+        let want_w = kh * kw * c_out * in_shape.c;
+        if weight.len() != want_w {
+            return Err(NetworkError::SizeMismatch {
+                what: "conv weight",
+                expected: want_w,
+                got: weight.len(),
+            });
+        }
+        if bias.len() != c_out {
+            return Err(NetworkError::SizeMismatch {
+                what: "conv bias",
+                expected: c_out,
+                got: bias.len(),
+            });
+        }
+        Ok(Self {
+            in_shape,
+            out_shape,
+            kh,
+            kw,
+            sh,
+            sw,
+            ph,
+            pw,
+            weight,
+            bias,
+        })
+    }
+
+    /// Linear index into the weight tensor for `(f, g, co, ci)`.
+    #[inline(always)]
+    pub fn widx(&self, f: usize, g: usize, co: usize, ci: usize) -> usize {
+        ((f * self.kw + g) * self.out_shape.c + co) * self.in_shape.c + ci
+    }
+
+    /// Round-to-nearest forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `y` have the wrong length.
+    pub fn forward(&self, x: &[F], y: &mut [F]) {
+        assert_eq!(x.len(), self.in_shape.len(), "conv input length");
+        assert_eq!(y.len(), self.out_shape.len(), "conv output length");
+        let (ci_n, co_n) = (self.in_shape.c, self.out_shape.c);
+        for oh in 0..self.out_shape.h {
+            for ow in 0..self.out_shape.w {
+                let base = self.out_shape.idx(oh, ow, 0);
+                y[base..base + co_n].copy_from_slice(&self.bias);
+                for f in 0..self.kh {
+                    let ih = (oh * self.sh + f) as isize - self.ph as isize;
+                    if ih < 0 || ih as usize >= self.in_shape.h {
+                        continue;
+                    }
+                    for g in 0..self.kw {
+                        let iw = (ow * self.sw + g) as isize - self.pw as isize;
+                        if iw < 0 || iw as usize >= self.in_shape.w {
+                            continue;
+                        }
+                        let xin = self.in_shape.idx(ih as usize, iw as usize, 0);
+                        for co in 0..co_n {
+                            let mut acc = y[base + co];
+                            let wbase = self.widx(f, g, co, 0);
+                            for ci in 0..ci_n {
+                                acc = self.weight[wbase + ci].mul_add(x[xin + ci], acc);
+                            }
+                            y[base + co] = acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sound interval forward pass (outward rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `y` have the wrong length.
+    pub fn forward_itv(&self, x: &[Itv<F>], y: &mut [Itv<F>]) {
+        assert_eq!(x.len(), self.in_shape.len(), "conv input length");
+        assert_eq!(y.len(), self.out_shape.len(), "conv output length");
+        let (ci_n, co_n) = (self.in_shape.c, self.out_shape.c);
+        for oh in 0..self.out_shape.h {
+            for ow in 0..self.out_shape.w {
+                let base = self.out_shape.idx(oh, ow, 0);
+                for (co, b) in self.bias.iter().enumerate() {
+                    y[base + co] = Itv::point(*b);
+                }
+                for f in 0..self.kh {
+                    let ih = (oh * self.sh + f) as isize - self.ph as isize;
+                    if ih < 0 || ih as usize >= self.in_shape.h {
+                        continue;
+                    }
+                    for g in 0..self.kw {
+                        let iw = (ow * self.sw + g) as isize - self.pw as isize;
+                        if iw < 0 || iw as usize >= self.in_shape.w {
+                            continue;
+                        }
+                        let xin = self.in_shape.idx(ih as usize, iw as usize, 0);
+                        for co in 0..co_n {
+                            let mut acc = y[base + co];
+                            let wbase = self.widx(f, g, co, 0);
+                            for ci in 0..ci_n {
+                                acc = x[xin + ci].mul_add_f(self.weight[wbase + ci], acc);
+                            }
+                            y[base + co] = acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Element-wise ReLU, `y_i = max(x_i, 0)`.
+pub fn relu_forward<F: Fp>(x: &[F], y: &mut [F]) {
+    assert_eq!(x.len(), y.len(), "relu length");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi.max(F::ZERO);
+    }
+}
+
+/// Element-wise interval ReLU: `[max(l,0), max(u,0)]` (exact, no rounding).
+pub fn relu_forward_itv<F: Fp>(x: &[Itv<F>], y: &mut [Itv<F>]) {
+    assert_eq!(x.len(), y.len(), "relu length");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = Itv::new(xi.lo.max(F::ZERO), xi.hi.max(F::ZERO));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_rejects_bad_sizes() {
+        assert!(matches!(
+            Dense::<f32>::new(2, 2, vec![0.0; 3], vec![0.0; 2]),
+            Err(NetworkError::SizeMismatch { what: "dense weight", .. })
+        ));
+        assert!(matches!(
+            Dense::<f32>::new(2, 2, vec![0.0; 4], vec![0.0; 3]),
+            Err(NetworkError::SizeMismatch { what: "dense bias", .. })
+        ));
+    }
+
+    #[test]
+    fn dense_forward_itv_contains_point_forward() {
+        let d = Dense::new(2, 3, vec![0.1_f32, -0.2, 0.3, 0.5, 0.5, -0.5], vec![1.0, -1.0])
+            .unwrap();
+        let x = [0.3_f32, 0.7, -0.2];
+        let mut y = [0.0_f32; 2];
+        d.forward(&x, &mut y);
+        let xi: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
+        let mut yi = [Itv::zero(); 2];
+        d.forward_itv(&xi, &mut yi);
+        for (a, b) in yi.iter().zip(&y) {
+            assert!(a.contains(*b), "{a} misses {b}");
+        }
+    }
+
+    #[test]
+    fn conv_shape_derivation() {
+        let mk = |h, w, c, cout, k, s, p| {
+            Conv2d::<f32>::new(
+                Shape::new(h, w, c),
+                cout,
+                (k, k),
+                (s, s),
+                (p, p),
+                vec![0.0; k * k * cout * c],
+                vec![0.0; cout],
+            )
+            .unwrap()
+            .out_shape
+        };
+        assert_eq!(mk(28, 28, 1, 32, 3, 1, 1), Shape::new(28, 28, 32));
+        assert_eq!(mk(28, 28, 32, 32, 4, 2, 1), Shape::new(14, 14, 32));
+        assert_eq!(mk(5, 5, 2, 2, 2, 1, 0), Shape::new(4, 4, 2));
+    }
+
+    #[test]
+    fn conv_rejects_bad_geometry() {
+        assert!(matches!(
+            Conv2d::<f32>::new(
+                Shape::new(2, 2, 1),
+                1,
+                (3, 3),
+                (1, 1),
+                (0, 0),
+                vec![0.0; 9],
+                vec![0.0]
+            ),
+            Err(NetworkError::BadGeometry(_))
+        ));
+        assert!(matches!(
+            Conv2d::<f32>::new(
+                Shape::new(4, 4, 1),
+                1,
+                (2, 2),
+                (0, 1),
+                (0, 0),
+                vec![0.0; 4],
+                vec![0.0]
+            ),
+            Err(NetworkError::BadGeometry(_))
+        ));
+    }
+
+    #[test]
+    fn conv_padding_zero_pads() {
+        // 1x1 input, 3x3 filter, padding 1: output 1x1 sees only the center.
+        let mut w = vec![0.0_f32; 9];
+        w[4] = 2.0; // center tap (f=1, g=1)
+        let c = Conv2d::new(Shape::new(1, 1, 1), 1, (3, 3), (1, 1), (1, 1), w, vec![0.5]).unwrap();
+        let mut y = [0.0_f32];
+        c.forward(&[3.0], &mut y);
+        assert_eq!(y[0], 6.5);
+    }
+
+    #[test]
+    fn conv_multichannel_accumulates_over_cin() {
+        // 1x1 spatial, 2 in channels, 1 out channel, 1x1 filter.
+        let c = Conv2d::new(
+            Shape::new(1, 1, 2),
+            1,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+            vec![2.0_f32, 3.0],
+            vec![1.0],
+        )
+        .unwrap();
+        let mut y = [0.0_f32];
+        c.forward(&[10.0, 100.0], &mut y);
+        assert_eq!(y[0], 1.0 + 20.0 + 300.0);
+    }
+
+    #[test]
+    fn conv_stride_skips_positions() {
+        // 4x1 input, 2x1 filter of ones, stride 2.
+        let c = Conv2d::new(
+            Shape::new(4, 1, 1),
+            1,
+            (2, 1),
+            (2, 1),
+            (0, 0),
+            vec![1.0_f32, 1.0],
+            vec![0.0],
+        )
+        .unwrap();
+        assert_eq!(c.out_shape, Shape::new(2, 1, 1));
+        let mut y = [0.0_f32; 2];
+        c.forward(&[1.0, 2.0, 3.0, 4.0], &mut y);
+        assert_eq!(y, [3.0, 7.0]);
+    }
+
+    #[test]
+    fn conv_forward_itv_contains_point_forward() {
+        let shape = Shape::new(4, 4, 2);
+        let cout = 3;
+        let n_w = 2 * 2 * cout * 2;
+        let w: Vec<f32> = (0..n_w).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
+        let c = Conv2d::new(shape, cout, (2, 2), (1, 1), (1, 1), w, vec![0.1, -0.1, 0.0]).unwrap();
+        let x: Vec<f32> = (0..shape.len()).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect();
+        let mut y = vec![0.0_f32; c.out_shape.len()];
+        c.forward(&x, &mut y);
+        let xi: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
+        let mut yi = vec![Itv::zero(); c.out_shape.len()];
+        c.forward_itv(&xi, &mut yi);
+        for (a, b) in yi.iter().zip(&y) {
+            assert!(a.contains(*b), "{a} misses {b}");
+        }
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let x = [-1.0_f32, 0.0, 2.5];
+        let mut y = [0.0_f32; 3];
+        relu_forward(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 2.5]);
+        let xi = [Itv::new(-2.0_f32, -1.0), Itv::new(-1.0, 1.0), Itv::new(0.5, 2.0)];
+        let mut yi = [Itv::zero(); 3];
+        relu_forward_itv(&xi, &mut yi);
+        assert_eq!(yi[0], Itv::zero());
+        assert_eq!(yi[1], Itv::new(0.0, 1.0));
+        assert_eq!(yi[2], Itv::new(0.5, 2.0));
+    }
+}

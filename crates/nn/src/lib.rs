@@ -1,0 +1,49 @@
+//! Neural-network substrate for polyhedral verification.
+//!
+//! GPUPoly (MLSys 2021) verifies fully-connected, convolutional and residual
+//! ReLU networks. This crate provides that substrate from scratch:
+//!
+//! * [`Shape`] — activation tensor shapes (channel-innermost, matching the
+//!   memory layout the paper's Algorithm 1 parallelizes over),
+//! * [`Dense`], [`Conv2d`] and ReLU layers with both round-to-nearest
+//!   inference and sound interval (IBP) forward passes,
+//! * [`Network`] — validated structured networks with width-2 residual
+//!   blocks (the paper's §3.1 assumption), flattened on demand into the
+//!   "network DAG" [`Graph`] that drives both inference and backsubstitution,
+//! * [`builder::NetworkBuilder`] — ergonomic construction,
+//! * [`zoo`] — every architecture of the paper's Table 1, generated at a
+//!   configurable scale.
+//!
+//! # Example
+//!
+//! ```
+//! use gpupoly_nn::builder::NetworkBuilder;
+//! use gpupoly_interval::Itv;
+//!
+//! let net = NetworkBuilder::new_flat(2)
+//!     .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.0, 0.0])
+//!     .relu()
+//!     .dense(&[[1.0_f32, 0.0], [0.0, 1.0]], &[0.0, 0.0])
+//!     .build()?;
+//!
+//! // Point inference and sound interval inference agree.
+//! let y = net.infer(&[0.5, 0.25]);
+//! let bounds = net.infer_itv(&[Itv::new(0.4, 0.6), Itv::new(0.2, 0.3)]);
+//! assert!(bounds[0].contains(y[0]) && bounds[1].contains(y[1]));
+//! # Ok::<(), gpupoly_nn::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod error;
+mod layer;
+mod network;
+mod shape;
+pub mod zoo;
+
+pub use error::NetworkError;
+pub use layer::{relu_forward, relu_forward_itv, Conv2d, Dense};
+pub use network::{Block, Graph, Layer, Network, Node, NodeId, Op};
+pub use shape::Shape;

@@ -1,0 +1,566 @@
+//! Structured networks and their flattened computation graphs.
+
+use gpupoly_interval::{Fp, Itv};
+use serde::{Deserialize, Serialize};
+
+use crate::{relu_forward, relu_forward_itv, Conv2d, Dense, NetworkError, Shape};
+
+/// A single layer of a network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Layer<F> {
+    /// Fully-connected affine layer.
+    Dense(Dense<F>),
+    /// 2-D convolution.
+    Conv(Conv2d<F>),
+    /// Element-wise ReLU.
+    Relu,
+}
+
+impl<F: Fp> Layer<F> {
+    /// Output shape given the input shape.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::SizeMismatch`] / [`NetworkError::BadGeometry`] when
+    /// the layer cannot consume the given shape.
+    pub fn out_shape(&self, in_shape: Shape) -> Result<Shape, NetworkError> {
+        match self {
+            Layer::Dense(d) => {
+                if in_shape.len() != d.in_len {
+                    return Err(NetworkError::SizeMismatch {
+                        what: "dense input",
+                        expected: d.in_len,
+                        got: in_shape.len(),
+                    });
+                }
+                Ok(Shape::flat(d.out_len))
+            }
+            Layer::Conv(c) => {
+                if in_shape != c.in_shape {
+                    return Err(NetworkError::BadGeometry(format!(
+                        "conv expects input {}, got {}",
+                        c.in_shape, in_shape
+                    )));
+                }
+                Ok(c.out_shape)
+            }
+            Layer::Relu => Ok(in_shape),
+        }
+    }
+
+    /// `true` for affine (dense/conv) layers.
+    pub fn is_affine(&self) -> bool {
+        matches!(self, Layer::Dense(_) | Layer::Conv(_))
+    }
+}
+
+/// One block of a structured network: a plain layer, or a residual block of
+/// two parallel branches whose outputs are added.
+///
+/// An empty branch is the identity (a skip connection). The paper assumes
+/// residual width two (§3.1), i.e. no nested residual blocks — the type
+/// enforces this: branches are flat layer lists.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Block<F> {
+    /// A single layer.
+    Single(Layer<F>),
+    /// A residual block: `out = a(x) + b(x)`.
+    Residual {
+        /// Main branch (may be empty = identity).
+        a: Vec<Layer<F>>,
+        /// Skip branch (may be empty = identity).
+        b: Vec<Layer<F>>,
+    },
+}
+
+/// A validated feed-forward network with optional residual blocks.
+///
+/// Construct through [`Network::new`] or
+/// [`crate::builder::NetworkBuilder`]; both validate all shapes by building
+/// the computation graph once.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_nn::builder::NetworkBuilder;
+///
+/// let net = NetworkBuilder::new_flat(3)
+///     .dense_flat(2, vec![1.0_f32, 0.0, 0.0, 0.0, 1.0, 0.0], vec![0.0, 0.0])
+///     .relu()
+///     .build()?;
+/// assert_eq!(net.infer(&[1.0, -2.0, 5.0]), vec![1.0, 0.0]);
+/// assert_eq!(net.neuron_count(), 2);
+/// # Ok::<(), gpupoly_nn::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Network<F> {
+    input_shape: Shape,
+    blocks: Vec<Block<F>>,
+}
+
+impl<F: Fp + Serialize + for<'de> Deserialize<'de>> Network<F> {
+    /// Serializes the network to JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Io`] when serialization fails.
+    pub fn to_json(&self) -> Result<String, NetworkError> {
+        serde_json::to_string(self).map_err(|e| NetworkError::Io(e.to_string()))
+    }
+
+    /// Deserializes and validates a network from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Io`] on malformed JSON, or any validation error from
+    /// [`Network::new`].
+    pub fn from_json(s: &str) -> Result<Self, NetworkError> {
+        let raw: Network<F> =
+            serde_json::from_str(s).map_err(|e| NetworkError::Io(e.to_string()))?;
+        Network::new(raw.input_shape, raw.blocks)
+    }
+}
+
+impl<F: Fp> Network<F> {
+    /// Creates a network after validating every layer shape.
+    ///
+    /// # Errors
+    ///
+    /// Any shape or geometry error discovered while threading the input
+    /// shape through the blocks, or [`NetworkError::Empty`] for zero blocks.
+    pub fn new(input_shape: Shape, blocks: Vec<Block<F>>) -> Result<Self, NetworkError> {
+        if blocks.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let net = Self {
+            input_shape,
+            blocks,
+        };
+        net.build_graph()?; // validation
+        Ok(net)
+    }
+
+    /// The input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// The blocks of the network.
+    pub fn blocks(&self) -> &[Block<F>] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks, for in-place weight updates (training).
+    ///
+    /// Mutating weight *values* is always safe; changing layer shapes or the
+    /// block structure may invalidate the network — call
+    /// [`Network::new`] again (or re-validate through `graph()`) if you do.
+    pub fn blocks_mut(&mut self) -> &mut [Block<F>] {
+        &mut self.blocks
+    }
+
+    /// The flattened computation graph (validated at construction).
+    pub fn graph(&self) -> Graph<'_, F> {
+        self.build_graph()
+            .expect("network was validated at construction")
+    }
+
+    fn build_graph(&self) -> Result<Graph<'_, F>, NetworkError> {
+        let mut nodes = vec![Node {
+            op: Op::Input,
+            parents: Vec::new(),
+            shape: self.input_shape,
+        }];
+        let mut cur = 0usize;
+        fn chain<'a, F: Fp>(
+            nodes: &mut Vec<Node<'a, F>>,
+            layers: &'a [Layer<F>],
+            from: NodeId,
+        ) -> Result<NodeId, NetworkError> {
+            let mut at = from;
+            for layer in layers {
+                let shape = layer.out_shape(nodes[at].shape)?;
+                let op = match layer {
+                    Layer::Dense(d) => Op::Dense(d),
+                    Layer::Conv(c) => Op::Conv(c),
+                    Layer::Relu => Op::Relu,
+                };
+                nodes.push(Node {
+                    op,
+                    parents: vec![at],
+                    shape,
+                });
+                at = nodes.len() - 1;
+            }
+            Ok(at)
+        }
+        for block in &self.blocks {
+            match block {
+                Block::Single(layer) => {
+                    cur = chain(&mut nodes, std::slice::from_ref(layer), cur)?;
+                }
+                Block::Residual { a, b } => {
+                    let head = cur;
+                    let ta = chain(&mut nodes, a, head)?;
+                    let tb = chain(&mut nodes, b, head)?;
+                    let (sa, sb) = (nodes[ta].shape, nodes[tb].shape);
+                    if sa.len() != sb.len() {
+                        return Err(NetworkError::ResidualShapeMismatch(format!(
+                            "branch a yields {sa}, branch b yields {sb}"
+                        )));
+                    }
+                    nodes.push(Node {
+                        op: Op::Add { head },
+                        parents: vec![ta, tb],
+                        shape: sa,
+                    });
+                    cur = nodes.len() - 1;
+                }
+            }
+        }
+        Ok(Graph { nodes })
+    }
+
+    /// Number of neurons, counted as the outputs of affine layers (the
+    /// convention of the paper's Table 1: the 6×500 MNIST net has
+    /// 6·500 + 10 = 3010 neurons).
+    pub fn neuron_count(&self) -> usize {
+        self.graph()
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Dense(_) | Op::Conv(_)))
+            .map(|n| n.shape.len())
+            .sum()
+    }
+
+    /// Network depth: the number of affine layers on the longest
+    /// input→output path (the paper's "#Layers" convention — parallel skip
+    /// projections inside residual blocks do not add depth).
+    pub fn layer_count(&self) -> usize {
+        let g = self.graph();
+        let mut depth = vec![0usize; g.nodes.len()];
+        for (i, node) in g.nodes.iter().enumerate() {
+            let parent_depth = node.parents.iter().map(|&p| depth[p]).max().unwrap_or(0);
+            let own = usize::from(matches!(node.op, Op::Dense(_) | Op::Conv(_)));
+            depth[i] = parent_depth + own;
+        }
+        depth[g.output()]
+    }
+
+    /// Total number of affine layers, including parallel skip projections.
+    pub fn affine_count(&self) -> usize {
+        self.graph()
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Dense(_) | Op::Conv(_)))
+            .count()
+    }
+
+    /// Length of the output vector.
+    pub fn output_len(&self) -> usize {
+        self.graph().nodes.last().expect("non-empty").shape.len()
+    }
+
+    /// Round-to-nearest inference; returns the output activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match the input shape.
+    pub fn infer(&self, input: &[F]) -> Vec<F> {
+        let g = self.graph();
+        g.eval(input).pop().expect("non-empty graph")
+    }
+
+    /// The predicted label: index of the maximal output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match the input shape.
+    pub fn classify(&self, input: &[F]) -> usize {
+        let out = self.infer(input);
+        let mut best = 0;
+        for (i, &v) in out.iter().enumerate() {
+            if v > out[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sound interval inference (interval bound propagation); returns the
+    /// output bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match the input shape.
+    pub fn infer_itv(&self, input: &[Itv<F>]) -> Vec<Itv<F>> {
+        let g = self.graph();
+        g.eval_itv(input).pop().expect("non-empty graph")
+    }
+}
+
+/// Identifier of a node in a [`Graph`] (its index; node 0 is the input).
+pub type NodeId = usize;
+
+/// The operation a graph node performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Op<'a, F> {
+    /// The network input.
+    Input,
+    /// Fully-connected affine transform.
+    Dense(&'a Dense<F>),
+    /// 2-D convolution.
+    Conv(&'a Conv2d<F>),
+    /// Element-wise ReLU.
+    Relu,
+    /// Element-wise addition of the two parents (exit of a residual block).
+    Add {
+        /// The node where the two branches forked — the "head" of the
+        /// residual block, at which backsubstituted branch expressions merge.
+        head: NodeId,
+    },
+}
+
+/// One node of the flattened computation graph.
+#[derive(Clone, Debug)]
+pub struct Node<'a, F> {
+    /// The operation.
+    pub op: Op<'a, F>,
+    /// Parent nodes ([] for input, [x] for layers, [a, b] for Add).
+    pub parents: Vec<NodeId>,
+    /// Output shape of this node.
+    pub shape: Shape,
+}
+
+/// A network flattened into a topologically ordered node list — the "network
+/// DAG" of the paper's §3.1, specialized to residual width two.
+#[derive(Clone, Debug)]
+pub struct Graph<'a, F> {
+    /// Topologically ordered nodes; node 0 is the input, the last node is
+    /// the output.
+    pub nodes: Vec<Node<'a, F>>,
+}
+
+impl<F: Fp> Graph<'_, F> {
+    /// The output node's id.
+    pub fn output(&self) -> NodeId {
+        self.nodes.len() - 1
+    }
+
+    /// Evaluates every node round-to-nearest; returns activations per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` has the wrong length.
+    pub fn eval(&self, input: &[F]) -> Vec<Vec<F>> {
+        assert_eq!(
+            input.len(),
+            self.nodes[0].shape.len(),
+            "input length mismatch"
+        );
+        let mut acts: Vec<Vec<F>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = match &node.op {
+                Op::Input => input.to_vec(),
+                Op::Dense(d) => {
+                    let x = &acts[node.parents[0]];
+                    let mut y = vec![F::ZERO; d.out_len];
+                    d.forward(x, &mut y);
+                    y
+                }
+                Op::Conv(c) => {
+                    let x = &acts[node.parents[0]];
+                    let mut y = vec![F::ZERO; c.out_shape.len()];
+                    c.forward(x, &mut y);
+                    y
+                }
+                Op::Relu => {
+                    let x = &acts[node.parents[0]];
+                    let mut y = vec![F::ZERO; x.len()];
+                    relu_forward(x, &mut y);
+                    y
+                }
+                Op::Add { .. } => {
+                    let a = &acts[node.parents[0]];
+                    let b = &acts[node.parents[1]];
+                    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+                }
+            };
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Evaluates every node with sound interval arithmetic; returns bounds
+    /// per node. This is the "forward interval analysis" GPUPoly runs as a
+    /// preliminary step for early termination (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` has the wrong length.
+    pub fn eval_itv(&self, input: &[Itv<F>]) -> Vec<Vec<Itv<F>>> {
+        assert_eq!(
+            input.len(),
+            self.nodes[0].shape.len(),
+            "input length mismatch"
+        );
+        let mut acts: Vec<Vec<Itv<F>>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = match &node.op {
+                Op::Input => input.to_vec(),
+                Op::Dense(d) => {
+                    let x = &acts[node.parents[0]];
+                    let mut y = vec![Itv::zero(); d.out_len];
+                    d.forward_itv(x, &mut y);
+                    y
+                }
+                Op::Conv(c) => {
+                    let x = &acts[node.parents[0]];
+                    let mut y = vec![Itv::zero(); c.out_shape.len()];
+                    c.forward_itv(x, &mut y);
+                    y
+                }
+                Op::Relu => {
+                    let x = &acts[node.parents[0]];
+                    let mut y = vec![Itv::zero(); x.len()];
+                    relu_forward_itv(x, &mut y);
+                    y
+                }
+                Op::Add { .. } => {
+                    let a = &acts[node.parents[0]];
+                    let b = &acts[node.parents[1]];
+                    a.iter().zip(b).map(|(&x, &y)| x.add(y)).collect()
+                }
+            };
+            acts.push(out);
+        }
+        acts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn tiny() -> Network<f32> {
+        NetworkBuilder::new_flat(2)
+            .dense_flat(2, vec![1.0, -1.0, 1.0, 1.0], vec![0.0, 0.0])
+            .relu()
+            .dense_flat(2, vec![1.0, 1.0, 1.0, -1.0], vec![0.5, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(
+            Network::<f32>::new(Shape::flat(2), vec![]).unwrap_err(),
+            NetworkError::Empty
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let bad = Network::new(
+            Shape::flat(3),
+            vec![Block::Single(Layer::Dense(
+                Dense::<f32>::new(2, 2, vec![0.0; 4], vec![0.0; 2]).unwrap(),
+            ))],
+        );
+        assert!(matches!(bad, Err(NetworkError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn residual_branch_mismatch_rejected() {
+        let bad = Network::new(
+            Shape::flat(2),
+            vec![Block::Residual {
+                a: vec![Layer::Dense(
+                    Dense::<f32>::new(3, 2, vec![0.0; 6], vec![0.0; 3]).unwrap(),
+                )],
+                b: vec![],
+            }],
+        );
+        assert!(matches!(
+            bad,
+            Err(NetworkError::ResidualShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn infer_computes_relu_network() {
+        let net = tiny();
+        // x = (0.4, 0.6): layer1 = (-0.2, 1.0) -> relu (0, 1.0)
+        // layer2 = (0 + 1 + 0.5, 0 - 1) = (1.5, -1.0)
+        let out = net.infer(&[0.4, 0.6]);
+        assert!((out[0] - 1.5).abs() < 1e-6);
+        assert!((out[1] + 1.0).abs() < 1e-6);
+        assert_eq!(net.classify(&[0.4, 0.6]), 0);
+    }
+
+    #[test]
+    fn counts_follow_affine_outputs() {
+        let net = tiny();
+        assert_eq!(net.neuron_count(), 4);
+        assert_eq!(net.layer_count(), 2);
+        assert_eq!(net.output_len(), 2);
+    }
+
+    #[test]
+    fn graph_structure_of_residual() {
+        let id = |n: usize| -> Vec<f32> {
+            // identity n x n
+            let mut w = vec![0.0; n * n];
+            for i in 0..n {
+                w[i * n + i] = 1.0;
+            }
+            w
+        };
+        let net = NetworkBuilder::new_flat(2)
+            .residual(
+                |a| a.dense_flat(2, id(2), vec![0.0; 2]).relu(),
+                |b| b,
+            )
+            .build()
+            .unwrap();
+        let g = net.graph();
+        // input, dense, relu, add
+        assert_eq!(g.nodes.len(), 4);
+        match g.nodes[3].op {
+            Op::Add { head } => assert_eq!(head, 0),
+            _ => panic!("expected Add"),
+        }
+        assert_eq!(g.nodes[3].parents, vec![2, 0]);
+        // residual identity: out = relu(x) + x
+        let out = net.infer(&[1.0, -2.0]);
+        assert_eq!(out, vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn interval_eval_contains_point_eval() {
+        let net = tiny();
+        let x = [0.3_f32, 0.9];
+        let point = net.infer(&x);
+        let eps = 0.05;
+        let xi: Vec<Itv<f32>> = x.iter().map(|&v| Itv::new(v - eps, v + eps)).collect();
+        let bounds = net.infer_itv(&xi);
+        for (b, p) in bounds.iter().zip(&point) {
+            assert!(b.contains(*p), "{b} misses {p}");
+        }
+        // And perturbed samples stay inside.
+        let shifted = net.infer(&[0.3 + eps, 0.9 - eps]);
+        for (b, p) in bounds.iter().zip(&shifted) {
+            assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_revalidates() {
+        let net = tiny();
+        let s = net.to_json().unwrap();
+        let back = Network::<f32>::from_json(&s).unwrap();
+        assert_eq!(net, back);
+        assert!(Network::<f32>::from_json("{ not json").is_err());
+    }
+}

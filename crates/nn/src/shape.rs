@@ -1,0 +1,127 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a layer's activation tensor: `h × w × c` with the channel
+/// dimension innermost in memory.
+///
+/// The channel-innermost layout matches the paper's Algorithm 1, where the
+/// loop over channels `c` is "consecutive in memory" (§4.4) and therefore
+/// the vectorized/parallel dimension of the GBC kernel. Flat (fully
+/// connected) activations use `1 × 1 × n`.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_nn::Shape;
+///
+/// let s = Shape::new(5, 4, 3);
+/// assert_eq!(s.len(), 60);
+/// assert_eq!(s.idx(0, 0, 2), 2);       // channels innermost
+/// assert_eq!(s.idx(1, 0, 0), 12);      // one row = w * c
+/// assert_eq!(Shape::flat(10).len(), 10);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+    /// Channels (innermost).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates an `h × w × c` shape.
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c }
+    }
+
+    /// A flat shape holding `n` values (`1 × 1 × n`).
+    pub fn flat(n: usize) -> Self {
+        Self { h: 1, w: 1, c: n }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// `true` when the shape holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for flat (`1 × 1 × n`) shapes.
+    pub fn is_flat(&self) -> bool {
+        self.h == 1 && self.w == 1
+    }
+
+    /// Linear index of position `(h, w, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when the position is out of bounds.
+    #[inline(always)]
+    pub fn idx(&self, h: usize, w: usize, c: usize) -> usize {
+        debug_assert!(h < self.h && w < self.w && c < self.c, "index out of shape");
+        (h * self.w + w) * self.c + c
+    }
+
+    /// Inverse of [`Shape::idx`]: position `(h, w, c)` of a linear index.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when the index is out of bounds.
+    #[inline(always)]
+    pub fn pos(&self, i: usize) -> (usize, usize, usize) {
+        debug_assert!(i < self.len(), "linear index out of shape");
+        let c = i % self.c;
+        let wh = i / self.c;
+        (wh / self.w, wh % self.w, c)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_pos_round_trip() {
+        let s = Shape::new(3, 5, 7);
+        for i in 0..s.len() {
+            let (h, w, c) = s.pos(i);
+            assert_eq!(s.idx(h, w, c), i);
+        }
+    }
+
+    #[test]
+    fn channel_is_innermost() {
+        let s = Shape::new(2, 2, 4);
+        assert_eq!(s.idx(0, 0, 1) - s.idx(0, 0, 0), 1);
+        assert_eq!(s.idx(0, 1, 0) - s.idx(0, 0, 0), 4);
+        assert_eq!(s.idx(1, 0, 0) - s.idx(0, 0, 0), 8);
+    }
+
+    #[test]
+    fn flat_shapes() {
+        let s = Shape::flat(12);
+        assert!(s.is_flat());
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.idx(0, 0, 11), 11);
+        assert!(!Shape::new(2, 1, 3).is_flat());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(28, 28, 1).to_string(), "28x28x1");
+    }
+}

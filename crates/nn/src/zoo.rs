@@ -1,0 +1,538 @@
+//! The model zoo: every architecture of the paper's Table 1.
+//!
+//! Networks are generated at a configurable `scale` (multiplying channel
+//! counts and dense widths) with deterministic He-uniform initialization;
+//! the training regimes of the paper (normal, PGD, DiffAI-style, CROWN-IBP
+//! style) are applied by `gpupoly-train`. Exact neuron counts at `scale=1.0`
+//! land close to the paper's (the originals' private architecture details
+//! are approximated from the ERAN repository's conventions) and the actual
+//! counts are printed by the Table-1 benchmark binary.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::{BranchBuilder, NetworkBuilder};
+use crate::{Network, NetworkError, Shape};
+
+/// The dataset a model is built for (determines the input shape).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 28×28×1 grayscale images, 10 classes (MNIST-like).
+    MnistLike,
+    /// 32×32×3 color images, 10 classes (CIFAR-10-like).
+    Cifar10Like,
+}
+
+impl Dataset {
+    /// Input shape of images from this dataset.
+    pub fn input_shape(self) -> Shape {
+        match self {
+            Dataset::MnistLike => Shape::new(28, 28, 1),
+            Dataset::Cifar10Like => Shape::new(32, 32, 3),
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        10
+    }
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::MnistLike => "MNIST",
+            Dataset::Cifar10Like => "CIFAR10",
+        }
+    }
+}
+
+/// How a model is trained (paper Table 1, "Training" column).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TrainingRegime {
+    /// Standard cross-entropy training.
+    Normal,
+    /// Adversarial training with projected gradient descent.
+    Pgd,
+    /// Provably robust training, DiffAI-style (IBP loss).
+    DiffAi,
+    /// Provably robust training, CROWN-IBP-style (IBP loss, eps schedule).
+    CrownIbp,
+}
+
+impl TrainingRegime {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainingRegime::Normal => "Normal",
+            TrainingRegime::Pgd => "PGD",
+            TrainingRegime::DiffAi => "DiffAI",
+            TrainingRegime::CrownIbp => "CR-IBP",
+        }
+    }
+
+    /// `true` for regimes that certify-train (DiffAI / CROWN-IBP): their
+    /// networks have few unstable ReLUs, so early termination usually fires.
+    pub fn is_provable(self) -> bool {
+        matches!(self, TrainingRegime::DiffAi | TrainingRegime::CrownIbp)
+    }
+}
+
+/// The architecture families of Table 1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ArchId {
+    /// 6 hidden dense layers of 500 (plus a 10-way output).
+    Fc6x500,
+    /// 4 convolutions + 3 dense layers (DiffAI "convBig").
+    ConvBig,
+    /// 4 stride-1 valid convolutions + 3 dense layers ("convSuper").
+    ConvSuper,
+    /// 5 convolutions + 2 dense layers (CROWN-IBP "large"; the paper's
+    /// ConvLarge and IBP_large rows share it).
+    ConvLarge,
+    /// Small residual network (~12 affine layers).
+    ResNetTiny,
+    /// Residual network with conv skips on downsampling stages (18 layers).
+    ResNet18,
+    /// ResNet18 with identity skips wherever shapes allow.
+    SkipNet18,
+    /// Deeper residual network (34 affine layers).
+    ResNet34,
+}
+
+impl ArchId {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchId::Fc6x500 => "6x500",
+            ArchId::ConvBig => "ConvBig",
+            ArchId::ConvSuper => "ConvSuper",
+            ArchId::ConvLarge => "ConvLarge",
+            ArchId::ResNetTiny => "ResNetTiny",
+            ArchId::ResNet18 => "ResNet18",
+            ArchId::SkipNet18 => "SkipNet18",
+            ArchId::ResNet34 => "ResNet34",
+        }
+    }
+
+    /// Network type string for Table 1.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            ArchId::Fc6x500 => "Fully-connected",
+            ArchId::ConvBig | ArchId::ConvSuper | ArchId::ConvLarge => "Convolutional",
+            _ => "Residual",
+        }
+    }
+
+    /// `true` for residual architectures (the paper's "big networks").
+    pub fn is_residual(self) -> bool {
+        matches!(
+            self,
+            ArchId::ResNetTiny | ArchId::ResNet18 | ArchId::SkipNet18 | ArchId::ResNet34
+        )
+    }
+}
+
+/// One row of Table 1: a network to build, train and verify.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Unique identifier, e.g. `"mnist_convbig_diffai"`.
+    pub id: &'static str,
+    /// Dataset the model is trained on.
+    pub dataset: Dataset,
+    /// Architecture family.
+    pub arch: ArchId,
+    /// Training regime.
+    pub training: TrainingRegime,
+    /// The L∞ radius the paper verifies this network with.
+    pub eps: f32,
+    /// Neuron count reported in the paper (for the Table-1 comparison).
+    pub paper_neurons: usize,
+    /// Layer count reported in the paper.
+    pub paper_layers: usize,
+}
+
+/// All 16 networks of the paper's Table 1, with the ε values of Tables 2–4.
+pub fn table1_specs() -> Vec<ModelSpec> {
+    use ArchId::*;
+    use Dataset::*;
+    use TrainingRegime::*;
+    vec![
+        spec("mnist_6x500", MnistLike, Fc6x500, Normal, 8.0 / 255.0, 3_010, 6),
+        spec("mnist_convbig_diffai", MnistLike, ConvBig, DiffAi, 0.3, 48_000, 6),
+        spec("mnist_convsuper", MnistLike, ConvSuper, Normal, 8.0 / 255.0, 88_000, 6),
+        spec("mnist_ibp_large_02", MnistLike, ConvLarge, CrownIbp, 0.258, 176_000, 6),
+        spec("mnist_ibp_large_04", MnistLike, ConvLarge, CrownIbp, 0.3, 176_000, 6),
+        spec("cifar_6x500", Cifar10Like, Fc6x500, Normal, 1.0 / 500.0, 3_010, 6),
+        spec("cifar_convbig_diffai", Cifar10Like, ConvBig, DiffAi, 8.0 / 255.0, 62_000, 6),
+        spec("cifar_convlarge_diffai", Cifar10Like, ConvLarge, DiffAi, 8.0 / 255.0, 230_000, 6),
+        spec("cifar_ibp_large_2_255", Cifar10Like, ConvLarge, CrownIbp, 2.0 / 255.0, 230_000, 6),
+        spec("cifar_ibp_large_8_255", Cifar10Like, ConvLarge, CrownIbp, 8.0 / 255.0, 230_000, 6),
+        spec("cifar_resnettiny_pgd", Cifar10Like, ResNetTiny, Pgd, 1.0 / 500.0, 311_000, 12),
+        spec("cifar_resnet18_pgd", Cifar10Like, ResNet18, Pgd, 1.0 / 500.0, 558_000, 18),
+        spec("cifar_resnettiny_diffai", Cifar10Like, ResNetTiny, DiffAi, 8.0 / 255.0, 311_000, 12),
+        spec("cifar_resnet18_diffai", Cifar10Like, ResNet18, DiffAi, 8.0 / 255.0, 558_000, 18),
+        spec("cifar_skipnet18_diffai", Cifar10Like, SkipNet18, DiffAi, 8.0 / 255.0, 558_000, 18),
+        spec("cifar_resnet34_diffai", Cifar10Like, ResNet34, DiffAi, 8.0 / 255.0, 967_000, 34),
+    ]
+}
+
+fn spec(
+    id: &'static str,
+    dataset: Dataset,
+    arch: ArchId,
+    training: TrainingRegime,
+    eps: f32,
+    paper_neurons: usize,
+    paper_layers: usize,
+) -> ModelSpec {
+    ModelSpec {
+        id,
+        dataset,
+        arch,
+        training,
+        eps,
+        paper_neurons,
+        paper_layers,
+    }
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(1)
+}
+
+/// He-uniform initialization bound for a given fan-in.
+fn he_bound(fan_in: usize) -> f32 {
+    (6.0 / fan_in.max(1) as f32).sqrt()
+}
+
+struct Init {
+    rng: StdRng,
+}
+
+impl Init {
+    fn conv_w(&mut self, kh: usize, kw: usize, co: usize, ci: usize) -> Vec<f32> {
+        let a = he_bound(kh * kw * ci);
+        (0..kh * kw * co * ci)
+            .map(|_| self.rng.random_range(-a..a))
+            .collect()
+    }
+
+    fn dense_w(&mut self, out: usize, inp: usize) -> Vec<f32> {
+        let a = he_bound(inp);
+        (0..out * inp).map(|_| self.rng.random_range(-a..a)).collect()
+    }
+
+    fn bias(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.rng.random_range(-0.01..0.01)).collect()
+    }
+}
+
+/// Builds an architecture at the given width `scale` with deterministic
+/// He-uniform random weights (to be trained by `gpupoly-train`).
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] when the scaled geometry becomes invalid
+/// (e.g. a filter larger than the input at extreme scales).
+pub fn build_arch(
+    arch: ArchId,
+    dataset: Dataset,
+    scale: f64,
+    seed: u64,
+) -> Result<Network<f32>, NetworkError> {
+    let mut init = Init {
+        rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+    };
+    let input = dataset.input_shape();
+    let classes = dataset.classes();
+    let b = NetworkBuilder::new(input);
+    match arch {
+        ArchId::Fc6x500 => {
+            let width = scaled(500, scale);
+            let mut b = b;
+            let mut in_len = input.len();
+            for _ in 0..6 {
+                let w = init.dense_w(width, in_len);
+                let bias = init.bias(width);
+                b = b.dense_flat(width, w, bias).relu();
+                in_len = width;
+            }
+            let w = init.dense_w(classes, in_len);
+            let bias = init.bias(classes);
+            b.dense_flat(classes, w, bias).build()
+        }
+        ArchId::ConvBig => {
+            let (c1, c2) = (scaled(32, scale), scaled(64, scale));
+            let fc = scaled(512, scale);
+            conv_stack(
+                b,
+                &mut init,
+                &[
+                    (c1, 3, 1, 1),
+                    (c1, 4, 2, 1),
+                    (c2, 3, 1, 1),
+                    (c2, 4, 2, 1),
+                ],
+                &[fc, fc],
+                classes,
+            )
+        }
+        ArchId::ConvSuper => {
+            let (c1, c2) = (scaled(32, scale), scaled(64, scale));
+            let fc = scaled(512, scale);
+            conv_stack(
+                b,
+                &mut init,
+                &[
+                    (c1, 3, 1, 0),
+                    (c1, 4, 1, 0),
+                    (c2, 3, 1, 0),
+                    (c2, 4, 1, 0),
+                ],
+                &[fc, fc],
+                classes,
+            )
+        }
+        ArchId::ConvLarge => {
+            let (c1, c2) = (scaled(64, scale), scaled(128, scale));
+            let fc = scaled(512, scale);
+            conv_stack(
+                b,
+                &mut init,
+                &[
+                    (c1, 3, 1, 1),
+                    (c1, 3, 1, 1),
+                    (c2, 3, 2, 1),
+                    (c2, 3, 1, 1),
+                    (c2, 3, 1, 1),
+                ],
+                &[fc],
+                classes,
+            )
+        }
+        // Stage widths of 48/96/192/384 land the full-scale neuron counts
+        // close to the paper's (ERAN's ResNets are narrower than torchvision's).
+        ArchId::ResNetTiny => resnet(
+            b,
+            &mut init,
+            scale,
+            &[(48, 1), (96, 1), (192, 1), (384, 1)],
+            &[512, 256],
+            true,
+            classes,
+        ),
+        ArchId::ResNet18 => resnet(
+            b,
+            &mut init,
+            scale,
+            &[(48, 2), (96, 2), (192, 2), (384, 2)],
+            &[],
+            true,
+            classes,
+        ),
+        ArchId::SkipNet18 => resnet(
+            b,
+            &mut init,
+            scale,
+            &[(64, 2), (128, 2), (256, 2), (512, 2)],
+            &[],
+            false,
+            classes,
+        ),
+        ArchId::ResNet34 => resnet(
+            b,
+            &mut init,
+            scale,
+            &[(48, 3), (96, 4), (192, 6), (384, 3)],
+            &[],
+            true,
+            classes,
+        ),
+    }
+}
+
+/// conv layers described as `(c_out, k, stride, pad)`, each followed by
+/// ReLU, then dense layers, then the classifier head.
+fn conv_stack(
+    mut b: NetworkBuilder<f32>,
+    init: &mut Init,
+    convs: &[(usize, usize, usize, usize)],
+    dense: &[usize],
+    classes: usize,
+) -> Result<Network<f32>, NetworkError> {
+    for &(co, k, s, p) in convs {
+        let ci = b.current_shape().c;
+        let w = init.conv_w(k, k, co, ci);
+        let bias = init.bias(co);
+        b = b.conv(co, (k, k), (s, s), (p, p), w, bias).relu();
+    }
+    for &d in dense {
+        let in_len = b.current_shape().len();
+        let w = init.dense_w(d, in_len);
+        let bias = init.bias(d);
+        b = b.dense_flat(d, w, bias).relu();
+    }
+    let in_len = b.current_shape().len();
+    let w = init.dense_w(classes, in_len);
+    let bias = init.bias(classes);
+    b.dense_flat(classes, w, bias).build()
+}
+
+/// A CIFAR-style ResNet: an entry convolution, then stages of residual
+/// blocks (`(channels, blocks)` per stage; the first block of each stage
+/// after the first downsamples with stride 2), then optional dense layers
+/// and the classifier head. `conv_skip = true` puts a 1×1 convolution on
+/// every skip branch (the paper's ResNet flavor); `false` uses identity
+/// skips wherever the shape allows (SkipNet).
+#[allow(clippy::too_many_arguments)]
+fn resnet(
+    mut b: NetworkBuilder<f32>,
+    init: &mut Init,
+    scale: f64,
+    stages: &[(usize, usize)],
+    dense_head: &[usize],
+    conv_skip: bool,
+    classes: usize,
+) -> Result<Network<f32>, NetworkError> {
+    let c0 = scaled(stages[0].0, scale);
+    {
+        let ci = b.current_shape().c;
+        let w = init.conv_w(3, 3, c0, ci);
+        let bias = init.bias(c0);
+        b = b.conv(c0, (3, 3), (1, 1), (1, 1), w, bias).relu();
+    }
+    for (si, &(ch, blocks)) in stages.iter().enumerate() {
+        let ch = scaled(ch, scale);
+        for bi in 0..blocks {
+            let downsample = si > 0 && bi == 0;
+            let stride = if downsample { 2 } else { 1 };
+            let cin = b.current_shape().c;
+            // Pre-generate weights outside the closures (Init is not Sync).
+            let w1 = init.conv_w(3, 3, ch, cin);
+            let b1 = init.bias(ch);
+            let w2 = init.conv_w(3, 3, ch, ch);
+            let b2 = init.bias(ch);
+            let needs_proj = downsample || cin != ch;
+            let wskip = if conv_skip || needs_proj {
+                Some((init.conv_w(1, 1, ch, cin), init.bias(ch)))
+            } else {
+                None
+            };
+            b = b.residual(
+                move |br: BranchBuilder<f32>| {
+                    br.conv(ch, (3, 3), (stride, stride), (1, 1), w1, b1)
+                        .relu()
+                        .conv(ch, (3, 3), (1, 1), (1, 1), w2, b2)
+                },
+                move |br: BranchBuilder<f32>| match wskip {
+                    Some((w, bias)) => br.conv(ch, (1, 1), (stride, stride), (0, 0), w, bias),
+                    None => br,
+                },
+            );
+            b = b.relu();
+        }
+    }
+    for &d in dense_head {
+        let d = scaled(d, scale);
+        let in_len = b.current_shape().len();
+        let w = init.dense_w(d, in_len);
+        let bias = init.bias(d);
+        b = b.dense_flat(d, w, bias).relu();
+    }
+    let in_len = b.current_shape().len();
+    let w = init.dense_w(classes, in_len);
+    let bias = init.bias(classes);
+    b.dense_flat(classes, w, bias).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_cover_all_sixteen_networks() {
+        let specs = table1_specs();
+        assert_eq!(specs.len(), 16);
+        let mnist = specs.iter().filter(|s| s.dataset == Dataset::MnistLike).count();
+        assert_eq!(mnist, 5);
+        let residual = specs.iter().filter(|s| s.arch.is_residual()).count();
+        assert_eq!(residual, 6);
+        // unique ids
+        let mut ids: Vec<_> = specs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn fc_arch_matches_paper_count_exactly() {
+        let net = build_arch(ArchId::Fc6x500, Dataset::MnistLike, 1.0, 0).unwrap();
+        assert_eq!(net.neuron_count(), 3_010);
+        assert_eq!(net.layer_count(), 7); // 6 hidden + classifier
+    }
+
+    #[test]
+    fn convbig_counts_land_near_paper() {
+        let m = build_arch(ArchId::ConvBig, Dataset::MnistLike, 1.0, 0).unwrap();
+        // paper: 48K (MNIST)
+        assert!((40_000..60_000).contains(&m.neuron_count()), "{}", m.neuron_count());
+        let c = build_arch(ArchId::ConvBig, Dataset::Cifar10Like, 1.0, 0).unwrap();
+        // paper: 62K (CIFAR)
+        assert!((55_000..75_000).contains(&c.neuron_count()), "{}", c.neuron_count());
+    }
+
+    #[test]
+    fn convlarge_counts_land_near_paper() {
+        let m = build_arch(ArchId::ConvLarge, Dataset::MnistLike, 1.0, 0).unwrap();
+        assert!((150_000..200_000).contains(&m.neuron_count()), "{}", m.neuron_count());
+        let c = build_arch(ArchId::ConvLarge, Dataset::Cifar10Like, 1.0, 0).unwrap();
+        assert!((200_000..260_000).contains(&c.neuron_count()), "{}", c.neuron_count());
+    }
+
+    #[test]
+    fn resnets_scale_up_in_size_and_depth() {
+        let scale = 0.25; // keep the test quick
+        let tiny = build_arch(ArchId::ResNetTiny, Dataset::Cifar10Like, scale, 0).unwrap();
+        let r18 = build_arch(ArchId::ResNet18, Dataset::Cifar10Like, scale, 0).unwrap();
+        let r34 = build_arch(ArchId::ResNet34, Dataset::Cifar10Like, scale, 0).unwrap();
+        assert!(tiny.neuron_count() < r18.neuron_count());
+        assert!(r18.neuron_count() < r34.neuron_count());
+        assert!(tiny.layer_count() < r18.layer_count());
+        assert!(r18.layer_count() < r34.layer_count());
+        assert_eq!(r34.layer_count(), 34);
+        assert_eq!(r18.layer_count(), 18);
+    }
+
+    #[test]
+    fn skipnet_uses_identity_skips() {
+        let scale = 0.25;
+        let skip = build_arch(ArchId::SkipNet18, Dataset::Cifar10Like, scale, 0).unwrap();
+        let res = build_arch(ArchId::ResNet18, Dataset::Cifar10Like, scale, 0).unwrap();
+        // identity skips mean fewer total affine layers at the same depth
+        assert!(skip.affine_count() < res.affine_count());
+        assert_eq!(skip.layer_count(), res.layer_count());
+        // but inference still works
+        let x = vec![0.5_f32; 32 * 32 * 3];
+        assert_eq!(skip.infer(&x).len(), 10);
+    }
+
+    #[test]
+    fn scaled_models_infer() {
+        for arch in [ArchId::ConvBig, ArchId::ConvSuper, ArchId::ConvLarge] {
+            let net = build_arch(arch, Dataset::MnistLike, 0.2, 7).unwrap();
+            let x = vec![0.3_f32; 28 * 28];
+            let y = net.infer(&x);
+            assert_eq!(y.len(), 10);
+            assert!(y.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = build_arch(ArchId::ConvBig, Dataset::MnistLike, 0.2, 42).unwrap();
+        let b = build_arch(ArchId::ConvBig, Dataset::MnistLike, 0.2, 42).unwrap();
+        let c = build_arch(ArchId::ConvBig, Dataset::MnistLike, 0.2, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,614 @@
+//! Hand-written backward passes: point gradients and IBP-bound gradients.
+//!
+//! No autodiff framework exists in this workspace; each graph operation gets
+//! an explicit adjoint. Two modes are needed for the paper's training
+//! regimes: ordinary point gradients (normal and PGD training) and gradients
+//! through interval bound propagation (DiffAI / CROWN-IBP style robust
+//! training, where the loss is taken on the worst-case logits).
+
+use gpupoly_nn::{Graph, Op};
+
+/// Parameter and input gradients of one loss evaluation.
+#[derive(Clone, Debug)]
+pub struct Grads {
+    /// `(node_id, weight_grad, bias_grad)` per affine node, in graph order.
+    pub params: Vec<(usize, Vec<f32>, Vec<f32>)>,
+    /// Gradient with respect to the network input.
+    pub input: Vec<f32>,
+}
+
+impl Grads {
+    /// Element-wise accumulation (used to sum over a batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two gradients come from different networks.
+    pub fn add_assign(&mut self, other: &Grads) {
+        assert_eq!(self.params.len(), other.params.len(), "gradient shape mismatch");
+        for ((na, wa, ba), (nb, wb, bb)) in self.params.iter_mut().zip(&other.params) {
+            assert_eq!(na, nb, "gradient node order mismatch");
+            for (x, y) in wa.iter_mut().zip(wb) {
+                *x += *y;
+            }
+            for (x, y) in ba.iter_mut().zip(bb) {
+                *x += *y;
+            }
+        }
+        for (x, y) in self.input.iter_mut().zip(&other.input) {
+            *x += *y;
+        }
+    }
+
+    /// Scales all gradients (e.g. by `1/batch` or a loss mixing weight).
+    pub fn scale(&mut self, s: f32) {
+        for (_, w, b) in &mut self.params {
+            for x in w {
+                *x *= s;
+            }
+            for x in b {
+                *x *= s;
+            }
+        }
+        for x in &mut self.input {
+            *x *= s;
+        }
+    }
+}
+
+/// Softmax cross-entropy: returns `(loss, dL/dlogits)`.
+pub fn softmax_ce(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -(grad[label].max(1e-12)).ln();
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+/// Backpropagates `out_grad` through the graph given cached activations
+/// (from `graph.eval`). Returns parameter and input gradients.
+///
+/// # Panics
+///
+/// Panics when `acts`/`out_grad` do not match the graph.
+pub fn backward_point(graph: &Graph<'_, f32>, acts: &[Vec<f32>], out_grad: Vec<f32>) -> Grads {
+    assert_eq!(acts.len(), graph.nodes.len(), "activation cache mismatch");
+    let mut node_grads: Vec<Vec<f32>> = acts.iter().map(|a| vec![0.0; a.len()]).collect();
+    let last = graph.nodes.len() - 1;
+    assert_eq!(out_grad.len(), node_grads[last].len(), "output grad mismatch");
+    node_grads[last] = out_grad;
+    let mut params: Vec<(usize, Vec<f32>, Vec<f32>)> = Vec::new();
+    for i in (1..graph.nodes.len()).rev() {
+        let g = std::mem::take(&mut node_grads[i]);
+        match &graph.nodes[i].op {
+            Op::Input => unreachable!("input is node 0"),
+            Op::Dense(d) => {
+                let p = graph.nodes[i].parents[0];
+                let x = &acts[p];
+                let mut wg = vec![0.0f32; d.out_len * d.in_len];
+                let mut bg = vec![0.0f32; d.out_len];
+                for r in 0..d.out_len {
+                    let gr = g[r];
+                    if gr == 0.0 {
+                        continue;
+                    }
+                    bg[r] += gr;
+                    let wrow = d.row(r);
+                    let wgrow = &mut wg[r * d.in_len..(r + 1) * d.in_len];
+                    let pg = &mut node_grads[p];
+                    for j in 0..d.in_len {
+                        wgrow[j] += gr * x[j];
+                        pg[j] += gr * wrow[j];
+                    }
+                }
+                params.push((i, wg, bg));
+            }
+            Op::Conv(c) => {
+                let p = graph.nodes[i].parents[0];
+                let x = &acts[p];
+                let mut wg = vec![0.0f32; c.weight.len()];
+                let mut bg = vec![0.0f32; c.bias.len()];
+                for oh in 0..c.out_shape.h {
+                    for ow in 0..c.out_shape.w {
+                        for co in 0..c.out_shape.c {
+                            let gr = g[c.out_shape.idx(oh, ow, co)];
+                            if gr == 0.0 {
+                                continue;
+                            }
+                            bg[co] += gr;
+                            for f in 0..c.kh {
+                                let ih = (oh * c.sh + f) as isize - c.ph as isize;
+                                if ih < 0 || ih as usize >= c.in_shape.h {
+                                    continue;
+                                }
+                                for kg in 0..c.kw {
+                                    let iw = (ow * c.sw + kg) as isize - c.pw as isize;
+                                    if iw < 0 || iw as usize >= c.in_shape.w {
+                                        continue;
+                                    }
+                                    let xin = c.in_shape.idx(ih as usize, iw as usize, 0);
+                                    for ci in 0..c.in_shape.c {
+                                        let wi = c.widx(f, kg, co, ci);
+                                        wg[wi] += gr * x[xin + ci];
+                                        node_grads[p][xin + ci] += gr * c.weight[wi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                params.push((i, wg, bg));
+            }
+            Op::Relu => {
+                let p = graph.nodes[i].parents[0];
+                for (j, &gr) in g.iter().enumerate() {
+                    if acts[p][j] > 0.0 {
+                        node_grads[p][j] += gr;
+                    }
+                }
+            }
+            Op::Add { .. } => {
+                let pa = graph.nodes[i].parents[0];
+                let pb = graph.nodes[i].parents[1];
+                for (j, &gr) in g.iter().enumerate() {
+                    node_grads[pa][j] += gr;
+                }
+                for (j, &gr) in g.iter().enumerate() {
+                    node_grads[pb][j] += gr;
+                }
+            }
+        }
+    }
+    params.sort_unstable_by_key(|(n, _, _)| *n);
+    Grads {
+        params,
+        input: std::mem::take(&mut node_grads[0]),
+    }
+}
+
+/// Plain (round-to-nearest, differentiable) interval forward pass:
+/// per-node `(lo, hi)` activations.
+pub fn ibp_forward(
+    graph: &Graph<'_, f32>,
+    lo0: &[f32],
+    hi0: &[f32],
+) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let mut los: Vec<Vec<f32>> = Vec::with_capacity(graph.nodes.len());
+    let mut his: Vec<Vec<f32>> = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let (lo, hi): (Vec<f32>, Vec<f32>) = match &node.op {
+            Op::Input => (lo0.to_vec(), hi0.to_vec()),
+            Op::Dense(d) => {
+                let (xl, xh) = (&los[node.parents[0]], &his[node.parents[0]]);
+                let mut lo = d.bias.clone();
+                let mut hi = d.bias.clone();
+                for r in 0..d.out_len {
+                    for (j, &w) in d.row(r).iter().enumerate() {
+                        if w >= 0.0 {
+                            lo[r] += w * xl[j];
+                            hi[r] += w * xh[j];
+                        } else {
+                            lo[r] += w * xh[j];
+                            hi[r] += w * xl[j];
+                        }
+                    }
+                }
+                (lo, hi)
+            }
+            Op::Conv(c) => {
+                let (xl, xh) = (&los[node.parents[0]], &his[node.parents[0]]);
+                let n = c.out_shape.len();
+                let mut lo = vec![0.0f32; n];
+                let mut hi = vec![0.0f32; n];
+                for oh in 0..c.out_shape.h {
+                    for ow in 0..c.out_shape.w {
+                        for co in 0..c.out_shape.c {
+                            let at = c.out_shape.idx(oh, ow, co);
+                            lo[at] = c.bias[co];
+                            hi[at] = c.bias[co];
+                            for f in 0..c.kh {
+                                let ih = (oh * c.sh + f) as isize - c.ph as isize;
+                                if ih < 0 || ih as usize >= c.in_shape.h {
+                                    continue;
+                                }
+                                for kg in 0..c.kw {
+                                    let iw = (ow * c.sw + kg) as isize - c.pw as isize;
+                                    if iw < 0 || iw as usize >= c.in_shape.w {
+                                        continue;
+                                    }
+                                    let xin = c.in_shape.idx(ih as usize, iw as usize, 0);
+                                    for ci in 0..c.in_shape.c {
+                                        let w = c.weight[c.widx(f, kg, co, ci)];
+                                        if w >= 0.0 {
+                                            lo[at] += w * xl[xin + ci];
+                                            hi[at] += w * xh[xin + ci];
+                                        } else {
+                                            lo[at] += w * xh[xin + ci];
+                                            hi[at] += w * xl[xin + ci];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (lo, hi)
+            }
+            Op::Relu => {
+                let (xl, xh) = (&los[node.parents[0]], &his[node.parents[0]]);
+                (
+                    xl.iter().map(|&v| v.max(0.0)).collect(),
+                    xh.iter().map(|&v| v.max(0.0)).collect(),
+                )
+            }
+            Op::Add { .. } => {
+                let (al, ah) = (&los[node.parents[0]], &his[node.parents[0]]);
+                let (bl, bh) = (&los[node.parents[1]], &his[node.parents[1]]);
+                (
+                    al.iter().zip(bl).map(|(x, y)| x + y).collect(),
+                    ah.iter().zip(bh).map(|(x, y)| x + y).collect(),
+                )
+            }
+        };
+        los.push(lo);
+        his.push(hi);
+    }
+    (los, his)
+}
+
+/// Backpropagates gradients `(g_lo, g_hi)` on the output bounds through the
+/// IBP forward pass. The sign of each weight decides which input bound it
+/// reads, so the adjoint routes gradients accordingly.
+pub fn backward_ibp(
+    graph: &Graph<'_, f32>,
+    los: &[Vec<f32>],
+    his: &[Vec<f32>],
+    out_glo: Vec<f32>,
+    out_ghi: Vec<f32>,
+) -> Grads {
+    let mut glo: Vec<Vec<f32>> = los.iter().map(|a| vec![0.0; a.len()]).collect();
+    let mut ghi: Vec<Vec<f32>> = his.iter().map(|a| vec![0.0; a.len()]).collect();
+    let last = graph.nodes.len() - 1;
+    glo[last] = out_glo;
+    ghi[last] = out_ghi;
+    let mut params: Vec<(usize, Vec<f32>, Vec<f32>)> = Vec::new();
+    for i in (1..graph.nodes.len()).rev() {
+        let gl = std::mem::take(&mut glo[i]);
+        let gh = std::mem::take(&mut ghi[i]);
+        match &graph.nodes[i].op {
+            Op::Input => unreachable!(),
+            Op::Dense(d) => {
+                let p = graph.nodes[i].parents[0];
+                let (xl, xh) = (&los[p], &his[p]);
+                let mut wg = vec![0.0f32; d.out_len * d.in_len];
+                let mut bg = vec![0.0f32; d.out_len];
+                for r in 0..d.out_len {
+                    let (glr, ghr) = (gl[r], gh[r]);
+                    if glr == 0.0 && ghr == 0.0 {
+                        continue;
+                    }
+                    bg[r] += glr + ghr;
+                    let wrow = d.row(r);
+                    let wgrow = &mut wg[r * d.in_len..(r + 1) * d.in_len];
+                    for j in 0..d.in_len {
+                        let w = wrow[j];
+                        if w >= 0.0 {
+                            wgrow[j] += glr * xl[j] + ghr * xh[j];
+                            glo[p][j] += w * glr;
+                            ghi[p][j] += w * ghr;
+                        } else {
+                            wgrow[j] += glr * xh[j] + ghr * xl[j];
+                            ghi[p][j] += w * glr;
+                            glo[p][j] += w * ghr;
+                        }
+                    }
+                }
+                params.push((i, wg, bg));
+            }
+            Op::Conv(c) => {
+                let p = graph.nodes[i].parents[0];
+                let (xl, xh) = (&los[p], &his[p]);
+                let mut wg = vec![0.0f32; c.weight.len()];
+                let mut bg = vec![0.0f32; c.bias.len()];
+                for oh in 0..c.out_shape.h {
+                    for ow in 0..c.out_shape.w {
+                        for co in 0..c.out_shape.c {
+                            let at = c.out_shape.idx(oh, ow, co);
+                            let (glr, ghr) = (gl[at], gh[at]);
+                            if glr == 0.0 && ghr == 0.0 {
+                                continue;
+                            }
+                            bg[co] += glr + ghr;
+                            for f in 0..c.kh {
+                                let ih = (oh * c.sh + f) as isize - c.ph as isize;
+                                if ih < 0 || ih as usize >= c.in_shape.h {
+                                    continue;
+                                }
+                                for kg in 0..c.kw {
+                                    let iw = (ow * c.sw + kg) as isize - c.pw as isize;
+                                    if iw < 0 || iw as usize >= c.in_shape.w {
+                                        continue;
+                                    }
+                                    let xin = c.in_shape.idx(ih as usize, iw as usize, 0);
+                                    for ci in 0..c.in_shape.c {
+                                        let wi = c.widx(f, kg, co, ci);
+                                        let w = c.weight[wi];
+                                        if w >= 0.0 {
+                                            wg[wi] += glr * xl[xin + ci] + ghr * xh[xin + ci];
+                                            glo[p][xin + ci] += w * glr;
+                                            ghi[p][xin + ci] += w * ghr;
+                                        } else {
+                                            wg[wi] += glr * xh[xin + ci] + ghr * xl[xin + ci];
+                                            ghi[p][xin + ci] += w * glr;
+                                            glo[p][xin + ci] += w * ghr;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                params.push((i, wg, bg));
+            }
+            Op::Relu => {
+                let p = graph.nodes[i].parents[0];
+                for j in 0..gl.len() {
+                    if los[p][j] > 0.0 {
+                        glo[p][j] += gl[j];
+                    }
+                    if his[p][j] > 0.0 {
+                        ghi[p][j] += gh[j];
+                    }
+                }
+            }
+            Op::Add { .. } => {
+                let pa = graph.nodes[i].parents[0];
+                let pb = graph.nodes[i].parents[1];
+                for j in 0..gl.len() {
+                    glo[pa][j] += gl[j];
+                    glo[pb][j] += gl[j];
+                    ghi[pa][j] += gh[j];
+                    ghi[pb][j] += gh[j];
+                }
+            }
+        }
+    }
+    params.sort_unstable_by_key(|(n, _, _)| *n);
+    // Input gradient: combine both planes (only used diagnostically here).
+    let input = glo[0]
+        .iter()
+        .zip(&ghi[0])
+        .map(|(a, b)| a + b)
+        .collect();
+    Grads { params, input }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_nn::builder::NetworkBuilder;
+    use gpupoly_nn::{Block, Layer, Network};
+
+    fn finite_diff_check(net: &Network<f32>, x: &[f32], label: usize) {
+        let graph = net.graph();
+        let acts = graph.eval(x);
+        let (_, og) = softmax_ce(acts.last().unwrap(), label);
+        let grads = backward_point(&graph, &acts, og);
+        // Check a few weight gradients by central differences.
+        let eps = 1e-3f32;
+        let loss_of = |n: &Network<f32>| -> f32 {
+            softmax_ce(&n.infer(x), label).0
+        };
+        for &(node, ref wg, ref bg) in &grads.params {
+            let _ = node;
+            let take = wg.len().min(5);
+            for k in 0..take {
+                let mut plus = net.clone();
+                let mut minus = net.clone();
+                perturb_param(&mut plus, node_to_flat_index(net, node), k, eps, true);
+                perturb_param(&mut minus, node_to_flat_index(net, node), k, eps, false);
+                let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                assert!(
+                    (num - wg[k]).abs() < 2e-2 * (1.0 + num.abs().max(wg[k].abs())),
+                    "weight grad mismatch at node {node} idx {k}: analytic {} vs numeric {num}",
+                    wg[k]
+                );
+            }
+            let _ = bg;
+        }
+    }
+
+    /// Maps a graph node id to the corresponding affine layer position in
+    /// block-flat order (identical orders by construction).
+    fn node_to_flat_index(net: &Network<f32>, node: usize) -> usize {
+        let graph = net.graph();
+        graph
+            .nodes
+            .iter()
+            .take(node)
+            .filter(|n| matches!(n.op, Op::Dense(_) | Op::Conv(_)))
+            .count()
+    }
+
+    fn perturb_param(net: &mut Network<f32>, flat: usize, k: usize, eps: f32, plus: bool) {
+        let mut idx = 0;
+        let delta = if plus { eps } else { -eps };
+        for block in net.blocks_mut() {
+            let layers: Vec<&mut Layer<f32>> = match block {
+                Block::Single(l) => vec![l],
+                Block::Residual { a, b } => a.iter_mut().chain(b.iter_mut()).collect(),
+            };
+            for l in layers {
+                let w = match l {
+                    Layer::Dense(d) => Some(&mut d.weight),
+                    Layer::Conv(c) => Some(&mut c.weight),
+                    Layer::Relu => None,
+                };
+                if let Some(w) = w {
+                    if idx == flat {
+                        w[k] += delta;
+                        return;
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        panic!("flat index {flat} not found");
+    }
+
+    #[test]
+    fn softmax_ce_basic_properties() {
+        let (loss, grad) = softmax_ce(&[2.0, 0.0, 0.0], 0);
+        assert!(loss > 0.0 && loss < 1.0);
+        assert!(grad[0] < 0.0 && grad[1] > 0.0);
+        let s: f32 = grad.iter().sum();
+        assert!(s.abs() < 1e-5, "softmax grad sums to 0");
+    }
+
+    #[test]
+    fn dense_relu_gradients_match_finite_differences() {
+        let net = NetworkBuilder::new_flat(3)
+            .dense_flat(4, (0..12).map(|i| (i as f32 * 0.7).sin() * 0.5).collect(), vec![0.1; 4])
+            .relu()
+            .dense_flat(3, (0..12).map(|i| (i as f32 * 0.3).cos() * 0.5).collect(), vec![0.0; 3])
+            .build()
+            .unwrap();
+        finite_diff_check(&net, &[0.2, 0.8, 0.5], 1);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let net = NetworkBuilder::new(gpupoly_nn::Shape::new(4, 4, 1))
+            .conv(2, (3, 3), (1, 1), (1, 1), (0..18).map(|i| (i as f32 * 0.37).sin() * 0.4).collect(), vec![0.05, -0.05])
+            .relu()
+            .flatten_dense(3, |i| ((i * 7 % 13) as f32 - 6.0) * 0.07, |_| 0.0)
+            .build()
+            .unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.21).cos().abs()).collect();
+        finite_diff_check(&net, &x, 2);
+    }
+
+    #[test]
+    fn residual_gradients_match_finite_differences() {
+        let net = NetworkBuilder::new_flat(3)
+            .residual(
+                |a| a.dense_flat(3, (0..9).map(|i| (i as f32 * 0.5).sin() * 0.4).collect(), vec![0.0; 3]).relu(),
+                |b| b,
+            )
+            .dense(&[[0.3_f32, -0.2, 0.5], [0.1, 0.4, -0.3]], &[0.0, 0.1])
+            .build()
+            .unwrap();
+        finite_diff_check(&net, &[0.4, 0.1, 0.9], 0);
+    }
+
+    #[test]
+    fn ibp_forward_brackets_point_eval() {
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, -0.5], [0.3, 0.8]], &[0.1, -0.1])
+            .relu()
+            .dense(&[[0.7_f32, -0.7], [0.2, 0.9]], &[0.0, 0.0])
+            .build()
+            .unwrap();
+        let graph = net.graph();
+        let x = [0.4f32, 0.6];
+        let eps = 0.05;
+        let lo: Vec<f32> = x.iter().map(|v| v - eps).collect();
+        let hi: Vec<f32> = x.iter().map(|v| v + eps).collect();
+        let (los, his) = ibp_forward(&graph, &lo, &hi);
+        let acts = graph.eval(&x);
+        for (node, act) in acts.iter().enumerate() {
+            for (j, &v) in act.iter().enumerate() {
+                assert!(los[node][j] <= v + 1e-5 && v <= his[node][j] + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn ibp_gradients_match_finite_differences() {
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[0.8_f32, -0.4], [0.3, 0.9]], &[0.1, -0.2])
+            .relu()
+            .dense(&[[0.5_f32, -0.6], [0.4, 0.7]], &[0.0, 0.1])
+            .build()
+            .unwrap();
+        let x = [0.4f32, 0.7];
+        let eps_in = 0.1f32;
+        let label = 0usize;
+        // Robust IBP loss: CE on worst-case logits.
+        let robust_loss = |n: &Network<f32>| -> f32 {
+            let graph = n.graph();
+            let lo: Vec<f32> = x.iter().map(|v| v - eps_in).collect();
+            let hi: Vec<f32> = x.iter().map(|v| v + eps_in).collect();
+            let (los, his) = ibp_forward(&graph, &lo, &hi);
+            let out = graph.output();
+            let worst: Vec<f32> = (0..los[out].len())
+                .map(|j| if j == label { los[out][j] } else { his[out][j] })
+                .collect();
+            softmax_ce(&worst, label).0
+        };
+        // Analytic gradient.
+        let graph = net.graph();
+        let lo: Vec<f32> = x.iter().map(|v| v - eps_in).collect();
+        let hi: Vec<f32> = x.iter().map(|v| v + eps_in).collect();
+        let (los, his) = ibp_forward(&graph, &lo, &hi);
+        let out = graph.output();
+        let worst: Vec<f32> = (0..los[out].len())
+            .map(|j| if j == label { los[out][j] } else { his[out][j] })
+            .collect();
+        let (_, g) = softmax_ce(&worst, label);
+        let mut glo = vec![0.0f32; worst.len()];
+        let mut ghi = vec![0.0f32; worst.len()];
+        for (j, &gj) in g.iter().enumerate() {
+            if j == label {
+                glo[j] = gj;
+            } else {
+                ghi[j] = gj;
+            }
+        }
+        let grads = backward_ibp(&graph, &los, &his, glo, ghi);
+        drop(graph);
+        // Finite differences on a few weights.
+        let fd = 1e-3f32;
+        for &(node, ref wg, _) in &grads.params {
+            for k in 0..wg.len().min(4) {
+                let flat = {
+                    let g = net.graph();
+                    g.nodes
+                        .iter()
+                        .take(node)
+                        .filter(|n| matches!(n.op, Op::Dense(_) | Op::Conv(_)))
+                        .count()
+                };
+                let mut plus = net.clone();
+                let mut minus = net.clone();
+                super::tests::perturb_param(&mut plus, flat, k, fd, true);
+                super::tests::perturb_param(&mut minus, flat, k, fd, false);
+                let num = (robust_loss(&plus) - robust_loss(&minus)) / (2.0 * fd);
+                assert!(
+                    (num - wg[k]).abs() < 2e-2 * (1.0 + num.abs().max(wg[k].abs())),
+                    "IBP grad mismatch node {node} idx {k}: analytic {} numeric {num}",
+                    wg[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grads_add_and_scale() {
+        let net = NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, 0.0], [0.0, 1.0]], &[0.0, 0.0])
+            .build()
+            .unwrap();
+        let graph = net.graph();
+        let acts = graph.eval(&[1.0, 2.0]);
+        let (_, og) = softmax_ce(acts.last().unwrap(), 0);
+        let mut a = backward_point(&graph, &acts, og.clone());
+        let b = backward_point(&graph, &acts, og);
+        let before = a.params[0].1[0];
+        a.add_assign(&b);
+        assert!((a.params[0].1[0] - 2.0 * before).abs() < 1e-6);
+        a.scale(0.5);
+        assert!((a.params[0].1[0] - before).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,211 @@
+//! Seeded synthetic image datasets.
+//!
+//! MNIST and CIFAR-10 are not shipped with this repository; verification
+//! cost and precision depend on the network architecture, the training
+//! regime and ε — not on pixel provenance — so the benchmarks use synthetic
+//! stand-ins with the same shapes (28×28×1 and 32×32×3, 10 classes). Each
+//! class has a smooth low-frequency prototype; samples add per-image
+//! brightness jitter and pixel noise, giving a task that is learnable but
+//! not trivial, with a classifier accuracy (and hence a "#candidates"
+//! filter) qualitatively matching the paper's setup.
+
+use gpupoly_nn::zoo;
+use gpupoly_nn::Shape;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A labelled image dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Flattened images, values in `[0, 1]`, layout matching `shape`.
+    pub images: Vec<Vec<f32>>,
+    /// Class label per image.
+    pub labels: Vec<usize>,
+    /// Image shape.
+    pub shape: Shape,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` when the dataset holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Splits off the last `n` images as a held-out set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > len()`.
+    pub fn split_off(&mut self, n: usize) -> Dataset {
+        assert!(n <= self.len(), "cannot split {n} of {}", self.len());
+        let at = self.len() - n;
+        Dataset {
+            images: self.images.split_off(at),
+            labels: self.labels.split_off(at),
+            shape: self.shape,
+            classes: self.classes,
+        }
+    }
+}
+
+/// Class prototypes: smooth low-frequency patterns, one per class.
+fn prototypes(shape: Shape, classes: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    (0..classes)
+        .map(|_| {
+            // Sum of a few random 2-D sinusoids per channel.
+            let waves: Vec<(f32, f32, f32, f32)> = (0..4)
+                .map(|_| {
+                    (
+                        rng.random_range(0.5..3.0_f32),
+                        rng.random_range(0.5..3.0_f32),
+                        rng.random_range(0.0..std::f32::consts::TAU),
+                        rng.random_range(0.4..1.0_f32),
+                    )
+                })
+                .collect();
+            let chan_phase: Vec<f32> = (0..shape.c)
+                .map(|_| rng.random_range(0.0..std::f32::consts::TAU))
+                .collect();
+            let mut img = vec![0.0f32; shape.len()];
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    for c in 0..shape.c {
+                        let (fy, fx) = (
+                            h as f32 / shape.h.max(1) as f32,
+                            w as f32 / shape.w.max(1) as f32,
+                        );
+                        let mut v = 0.0;
+                        for &(ky, kx, ph, amp) in &waves {
+                            v += amp
+                                * (std::f32::consts::TAU * (ky * fy + kx * fx)
+                                    + ph
+                                    + chan_phase[c])
+                                .sin();
+                        }
+                        img[shape.idx(h, w, c)] = 0.5 + 0.22 * v / waves.len() as f32 * 2.0;
+                    }
+                }
+            }
+            img
+        })
+        .collect()
+}
+
+/// Generates `n` samples of the synthetic stand-in for `dataset`.
+///
+/// Deterministic in `(dataset, n, seed)`. Labels are balanced round-robin.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_train::data;
+/// use gpupoly_nn::zoo::Dataset as D;
+///
+/// let d = data::synthetic(D::MnistLike, 20, 7);
+/// assert_eq!(d.len(), 20);
+/// assert_eq!(d.shape.len(), 28 * 28);
+/// assert!(d.images[0].iter().all(|&p| (0.0..=1.0).contains(&p)));
+/// let again = data::synthetic(D::MnistLike, 20, 7);
+/// assert_eq!(d.images[3], again.images[3]);
+/// ```
+pub fn synthetic(dataset: zoo::Dataset, n: usize, seed: u64) -> Dataset {
+    let shape = dataset.input_shape();
+    let classes = dataset.classes();
+    let proto_seed = match dataset {
+        zoo::Dataset::MnistLike => 0x6d6e_6973_7400,
+        zoo::Dataset::Cifar10Like => 0x6369_6661_7200,
+    };
+    let mut proto_rng = StdRng::seed_from_u64(proto_seed);
+    let protos = prototypes(shape, classes, &mut proto_rng);
+    let mut rng = StdRng::seed_from_u64(seed ^ proto_seed);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % classes;
+        let brightness = rng.random_range(-0.08..0.08f32);
+        let contrast = rng.random_range(0.85..1.15f32);
+        let img: Vec<f32> = protos[label]
+            .iter()
+            .map(|&p| {
+                let noise = rng.random_range(-0.12..0.12f32);
+                (((p - 0.5) * contrast + 0.5) + brightness + noise).clamp(0.0, 1.0)
+            })
+            .collect();
+        images.push(img);
+        labels.push(label);
+    }
+    Dataset {
+        images,
+        labels,
+        shape,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_nn::zoo::Dataset as D;
+
+    #[test]
+    fn shapes_match_dataset() {
+        let m = synthetic(D::MnistLike, 10, 1);
+        assert_eq!(m.shape, Shape::new(28, 28, 1));
+        let c = synthetic(D::Cifar10Like, 10, 1);
+        assert_eq!(c.shape, Shape::new(32, 32, 3));
+        assert_eq!(c.images[0].len(), 32 * 32 * 3);
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let d = synthetic(D::MnistLike, 100, 3);
+        for class in 0..10 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == class).count(), 10);
+        }
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let d = synthetic(D::Cifar10Like, 50, 9);
+        for img in &d.images {
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = synthetic(D::MnistLike, 8, 11);
+        let b = synthetic(D::MnistLike, 8, 11);
+        let c = synthetic(D::MnistLike, 8, 12);
+        assert_eq!(a.images, b.images);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn same_class_samples_are_similar_but_not_identical() {
+        let d = synthetic(D::MnistLike, 40, 5);
+        // samples 0 and 10 share a class, 0 and 1 do not
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>() / a.len() as f32
+        };
+        let same = dist(&d.images[0], &d.images[10]);
+        let diff = dist(&d.images[0], &d.images[1]);
+        assert!(same < diff, "same-class distance {same} >= cross-class {diff}");
+        assert!(same > 0.0);
+    }
+
+    #[test]
+    fn split_off_partitions() {
+        let mut d = synthetic(D::MnistLike, 30, 2);
+        let test = d.split_off(10);
+        assert_eq!(d.len(), 20);
+        assert_eq!(test.len(), 10);
+    }
+}

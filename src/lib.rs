@@ -1,0 +1,46 @@
+//! GPUPoly in Rust — a reproduction of *"Scaling Polyhedral Neural Network
+//! Verification on GPUs"* (Müller, Serre, Singh, Püschel, Vechev, MLSys 2021).
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! * [`interval`] — floating-point-sound directed-rounding interval arithmetic,
+//! * [`device`] — the simulated GPU (kernel launches, memory accounting,
+//!   prefix-sum compaction, tiled interval GEMM),
+//! * [`nn`] — the neural-network substrate (layers, residual networks,
+//!   inference, the Table-1 model zoo),
+//! * [`train`] — synthetic datasets and normal / PGD / IBP-robust training,
+//! * [`core`] — the GPUPoly verifier itself (DeepPoly domain, dependence
+//!   sets, early termination, chunked backsubstitution),
+//! * [`baselines`] — IBP, CROWN-IBP and sparse CPU DeepPoly.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpupoly::core::{GpuPoly, VerifyConfig};
+//! use gpupoly::device::{Device, DeviceConfig};
+//! use gpupoly::nn::builder::NetworkBuilder;
+//!
+//! // A tiny 2-2-2 fully-connected ReLU network.
+//! let net = NetworkBuilder::new_flat(2)
+//!     .dense(&[[1.0, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+//!     .relu()
+//!     .dense(&[[1.0, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+//!     .build()
+//!     .unwrap();
+//!
+//! let device = Device::new(DeviceConfig::default());
+//! let verifier = GpuPoly::new(device, &net, VerifyConfig::default()).unwrap();
+//! // Is the network robust around (0.4, 0.6) for label 0 within eps = 0.05?
+//! let verdict = verifier.verify_robustness(&[0.4, 0.6], 0, 0.05).unwrap();
+//! assert!(verdict.verified);
+//! ```
+
+pub use gpupoly_baselines as baselines;
+pub use gpupoly_core as core;
+pub use gpupoly_device as device;
+pub use gpupoly_interval as interval;
+pub use gpupoly_nn as nn;
+pub use gpupoly_train as train;
