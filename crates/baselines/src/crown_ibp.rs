@@ -98,7 +98,7 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                     .iter()
                     .zip(&box_in)
                 {
-                    acc = acc + if *a >= F::ZERO { *a * b.0 } else { *a * b.1 };
+                    acc += if *a >= F::ZERO { *a * b.0 } else { *a * b.1 };
                 }
                 acc
             })
@@ -122,11 +122,11 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                             let (mut lo, mut hi) = (d.bias[i], d.bias[i]);
                             for (&w, &(xl, xh)) in d.row(i).iter().zip(x) {
                                 if w >= F::ZERO {
-                                    lo = lo + w * xl;
-                                    hi = hi + w * xh;
+                                    lo += w * xl;
+                                    hi += w * xh;
                                 } else {
-                                    lo = lo + w * xh;
-                                    hi = hi + w * xl;
+                                    lo += w * xh;
+                                    hi += w * xl;
                                 }
                             }
                             (lo, hi)
@@ -155,11 +155,11 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                                             let (xl, xh) =
                                                 x[c.in_shape.idx(ih as usize, iw as usize, ci)];
                                             if w >= F::ZERO {
-                                                lo = lo + w * xl;
-                                                hi = hi + w * xh;
+                                                lo += w * xl;
+                                                hi += w * xh;
                                             } else {
-                                                lo = lo + w * xh;
-                                                hi = hi + w * xl;
+                                                lo += w * xh;
+                                                hi += w * xl;
                                             }
                                         }
                                     }
@@ -217,11 +217,11 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                         if a == F::ZERO {
                             continue;
                         }
-                        out.cst[r] = out.cst[r] + a * d.bias[i];
+                        out.cst[r] += a * d.bias[i];
                         let wrow = d.row(i);
                         let orow = &mut out.coeffs[r * d.in_len..(r + 1) * d.in_len];
                         for (o, &w) in orow.iter_mut().zip(wrow) {
-                            *o = *o + a * w;
+                            *o += a * w;
                         }
                     }
                 }
@@ -245,7 +245,7 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                                 if a == F::ZERO {
                                     continue;
                                 }
-                                out.cst[r] = out.cst[r] + a * c.bias[co];
+                                out.cst[r] += a * c.bias[co];
                                 for f in 0..c.kh {
                                     let ih = (oh * c.sh + f) as isize - c.ph as isize;
                                     if ih < 0 || ih as usize >= c.in_shape.h {
@@ -277,6 +277,7 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                 out.node = p;
                 let n = pb.len();
                 for r in 0..out.rows {
+                    #[allow(clippy::needless_range_loop)] // kernel-style index nest
                     for i in 0..n {
                         let a = out.coeffs[r * n + i];
                         if a == F::ZERO {
@@ -295,7 +296,7 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                             // upper relaxation for negative coefficients
                             let lambda = u / (u - l);
                             out.coeffs[r * n + i] = a * lambda;
-                            out.cst[r] = out.cst[r] + a * (-lambda * l);
+                            out.cst[r] += a * (-lambda * l);
                         }
                     }
                 }
@@ -322,10 +323,10 @@ impl<'n, F: Fp> CrownIbp<'n, F> {
                     eb = self.step(eb, bounds, Some(head));
                 }
                 for (a, b) in ea.coeffs.iter_mut().zip(&eb.coeffs) {
-                    *a = *a + *b;
+                    *a += *b;
                 }
                 for (a, b) in ea.cst.iter_mut().zip(&eb.cst) {
-                    *a = *a + *b;
+                    *a += *b;
                 }
                 ea
             }
@@ -398,7 +399,10 @@ mod tests {
     fn residual_networks_are_supported() {
         let n = NetworkBuilder::new_flat(2)
             .residual(
-                |a| a.dense_flat(2, vec![0.5, 0.0, 0.0, 0.5], vec![0.1, 0.1]).relu(),
+                |a| {
+                    a.dense_flat(2, vec![0.5, 0.0, 0.0, 0.5], vec![0.1, 0.1])
+                        .relu()
+                },
                 |b| b,
             )
             .dense(&[[1.0_f32, 0.0], [0.0, 1.0]], &[1.0, 0.0])

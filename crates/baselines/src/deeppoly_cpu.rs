@@ -495,7 +495,14 @@ mod tests {
     #[test]
     fn analysis_bounds_contain_samples() {
         let n = NetworkBuilder::new(Shape::new(3, 3, 1))
-            .conv(2, (2, 2), (1, 1), (0, 0), (0..8).map(|i| i as f32 * 0.1 - 0.4).collect(), vec![0.1, -0.1])
+            .conv(
+                2,
+                (2, 2),
+                (1, 1),
+                (0, 0),
+                (0..8).map(|i| i as f32 * 0.1 - 0.4).collect(),
+                vec![0.1, -0.1],
+            )
             .relu()
             .flatten_dense(3, |i| ((i % 5) as f32 - 2.0) * 0.2, |_| 0.05)
             .build()
@@ -522,7 +529,10 @@ mod tests {
     fn residual_support() {
         let n = NetworkBuilder::new_flat(2)
             .residual(
-                |a| a.dense_flat(2, vec![0.5, 0.0, 0.0, 0.5], vec![0.1, 0.1]).relu(),
+                |a| {
+                    a.dense_flat(2, vec![0.5, 0.0, 0.0, 0.5], vec![0.1, 0.1])
+                        .relu()
+                },
                 |b| b,
             )
             .dense(&[[1.0_f32, 0.0], [0.0, 1.0]], &[1.0, 0.0])

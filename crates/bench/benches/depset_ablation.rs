@@ -52,7 +52,9 @@ fn two_convs(side: usize, ch: usize) -> (Conv2d<f32>, Conv2d<f32>) {
         (3, 3),
         (1, 1),
         (1, 1),
-        (0..3 * 3 * ch * ch).map(|i| ((i % 11) as f32 - 5.0) * 0.05).collect(),
+        (0..3 * 3 * ch * ch)
+            .map(|i| ((i % 11) as f32 - 5.0) * 0.05)
+            .collect(),
         vec![0.01; ch],
     )
     .expect("conv1");
@@ -62,7 +64,9 @@ fn two_convs(side: usize, ch: usize) -> (Conv2d<f32>, Conv2d<f32>) {
         (3, 3),
         (1, 1),
         (1, 1),
-        (0..3 * 3 * ch * ch).map(|i| ((i % 7) as f32 - 3.0) * 0.05).collect(),
+        (0..3 * 3 * ch * ch)
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.05)
+            .collect(),
         vec![0.0; ch],
     )
     .expect("conv2");
@@ -97,8 +101,7 @@ fn bench_depsets(c: &mut Criterion) {
                 bench.iter(|| {
                     let batch = ExprBatch::from_conv(&device, &c2, &neurons, 1, None).unwrap();
                     let full = batch.densify(&device).unwrap();
-                    let out =
-                        step_dense(&device, full, &dense1, 0, c1.in_shape).unwrap();
+                    let out = step_dense(&device, full, &dense1, 0, c1.in_shape).unwrap();
                     black_box(out.rows());
                 });
             },

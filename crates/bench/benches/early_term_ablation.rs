@@ -69,7 +69,10 @@ fn bench_early_term(c: &mut Criterion) {
         .unwrap()
         .verify_robustness(&image, label, eps)
         .unwrap();
-        assert_eq!(on.verified, off.verified, "early termination changed the verdict");
+        assert_eq!(
+            on.verified, off.verified,
+            "early termination changed the verdict"
+        );
         println!(
             "[early-term] {name}: rows skipped as stable = {} / refined = {} (ET on)",
             on.stats.rows_skipped_stable, on.stats.rows_refined

@@ -23,7 +23,15 @@ fn bench_gemms(c: &mut Criterion) {
             |bench, &(m, k, n)| {
                 let mut c_out = vec![Itv::<f32>::zero(); m * n];
                 bench.iter(|| {
-                    gemm::gemm_itv_f(&device, black_box(&a_itv), black_box(&b), &mut c_out, m, k, n);
+                    gemm::gemm_itv_f(
+                        &device,
+                        black_box(&a_itv),
+                        black_box(&b),
+                        &mut c_out,
+                        m,
+                        k,
+                        n,
+                    );
                     black_box(&c_out);
                 });
             },

@@ -1,0 +1,136 @@
+//! Batch-engine throughput: queries/sec of `Engine::verify_batch` against a
+//! sequential `verify_robustness` loop on the same engine, plus the
+//! compatibility-wrapper (`GpuPoly`) sequential path.
+//!
+//! The batch path amortizes the one-time graph validation and weight packing
+//! across queries, reuses pooled device buffers, and runs independent
+//! queries in parallel across device workers — the MLSys 2021 serving shape
+//! ("certify thousands of boxes against one resident network"). Expected
+//! result on a multi-core host: batch ≥ 2× queries/sec over sequential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpupoly_core::{Engine, EngineOptions, GpuPoly, Query, VerifyConfig};
+use gpupoly_device::{Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn mlp(width: usize, depth: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(16);
+    let mut in_len = 16;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5) * 0.25)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.05; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(8, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+fn queries(n: usize) -> Vec<Query<f32>> {
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..16)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            Query::new(image, 0, 0.015)
+        })
+        .collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    let net = mlp(64, 3);
+    let batch = queries(32);
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    group.bench_with_input(
+        BenchmarkId::new("sequential_gpupoly", batch.len()),
+        &(),
+        |b, _| {
+            let device = Device::new(DeviceConfig::new().workers(workers));
+            let verifier = GpuPoly::new(device, &net, VerifyConfig::default()).expect("verifier");
+            b.iter(|| {
+                for q in &batch {
+                    let v = verifier
+                        .verify_robustness(&q.image, q.label, q.eps)
+                        .unwrap();
+                    black_box(v.verified);
+                }
+            });
+        },
+    );
+
+    // Cache disabled here so repeated criterion iterations measure raw
+    // batch throughput, not cache hits.
+    group.bench_with_input(
+        BenchmarkId::new("engine_batch", batch.len()),
+        &(),
+        |b, _| {
+            let device = Device::new(DeviceConfig::new().workers(workers));
+            let opts = EngineOptions {
+                analysis_cache: 0,
+                ..Default::default()
+            };
+            let engine =
+                Engine::with_options(device, &net, VerifyConfig::default(), opts).expect("engine");
+            b.iter(|| {
+                for v in engine.verify_batch(&batch) {
+                    black_box(v.unwrap().verified);
+                }
+            });
+        },
+    );
+    group.finish();
+
+    // Headline number: queries/sec, batch vs sequential, both in steady
+    // state. One fresh engine per phase with the analysis cache disabled
+    // (so neither side re-serves cached analyses), warmed with one full
+    // pass to populate the buffer pool, then timed on a second pass.
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+
+    let device = Device::new(DeviceConfig::new().workers(workers));
+    let engine = Engine::with_options(device, &net, VerifyConfig::default(), opts).expect("engine");
+    assert!(engine.verify_batch(&batch).iter().all(Result::is_ok));
+    let t = Instant::now();
+    for q in &batch {
+        black_box(
+            engine
+                .verify_robustness(&q.image, q.label, q.eps)
+                .unwrap()
+                .verified,
+        );
+    }
+    let seq = t.elapsed();
+
+    let device = Device::new(DeviceConfig::new().workers(workers));
+    let engine =
+        Engine::with_options(device.clone(), &net, VerifyConfig::default(), opts).expect("engine");
+    assert!(engine.verify_batch(&batch).iter().all(Result::is_ok));
+    let bytes_before = device.stats().bytes_allocated();
+    let t = Instant::now();
+    black_box(engine.verify_batch(&batch));
+    let par = t.elapsed();
+    let bytes_after = device.stats().bytes_allocated();
+
+    let qps_seq = batch.len() as f64 / seq.as_secs_f64();
+    let qps_par = batch.len() as f64 / par.as_secs_f64();
+    println!(
+        "[throughput] {} queries, {workers} workers: sequential {qps_seq:.1} q/s, \
+         batch {qps_par:.1} q/s ({:.2}x), bytes allocated during steady-state: {}",
+        batch.len(),
+        qps_par / qps_seq,
+        bytes_after - bytes_before,
+    );
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -11,7 +11,10 @@ use gpupoly_nn::zoo;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("Table 1: Neural networks used in the experiments (scale={})", opts.scale);
+    println!(
+        "Table 1: Neural networks used in the experiments (scale={})",
+        opts.scale
+    );
     println!(
         "{:<8} {:<12} {:<16} {:>12} {:>12} {:>8} {:>9} {:>9}",
         "Dataset", "Model", "Type", "#Neurons", "(paper)", "#Layers", "(paper)", "Training"

@@ -20,7 +20,15 @@ fn main() {
     );
     println!(
         "{:<8} {:<14} {:>9} {:>7} {:>6} | {:>8} {:>8} | {:>12} {:>12}",
-        "Dataset", "Model", "#Neurons", "eps", "#Cand", "#V CRIBP", "#V GPoly", "t~ CR-IBP", "t~ GPUPoly"
+        "Dataset",
+        "Model",
+        "#Neurons",
+        "eps",
+        "#Cand",
+        "#V CRIBP",
+        "#V GPoly",
+        "t~ CR-IBP",
+        "t~ GPUPoly"
     );
     for spec in zoo::table1_specs()
         .into_iter()
@@ -33,7 +41,9 @@ fn main() {
         println!(
             "{:<8} {:<14} {:>9} {:>7} {:>6} | {:>8} {:>8} | {:>12} {:>12}",
             spec.dataset.name(),
-            spec.id.trim_start_matches("mnist_").trim_start_matches("cifar_"),
+            spec.id
+                .trim_start_matches("mnist_")
+                .trim_start_matches("cifar_"),
             net.neuron_count(),
             fmt_eps(spec.eps),
             gpupoly.candidates,

@@ -16,7 +16,15 @@ fn main() {
     );
     println!(
         "{:<12} {:>9} {:<8} {:>7} {:>6} | {:>8} {:>8} | {:>12} {:>12}",
-        "Model", "#Neurons", "Training", "eps", "#Cand", "#V CRIBP", "#V GPoly", "t~ CR-IBP", "t~ GPUPoly"
+        "Model",
+        "#Neurons",
+        "Training",
+        "eps",
+        "#Cand",
+        "#V CRIBP",
+        "#V GPoly",
+        "t~ CR-IBP",
+        "t~ GPUPoly"
     );
     for spec in zoo::table1_specs()
         .into_iter()

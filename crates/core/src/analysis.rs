@@ -12,6 +12,7 @@ use gpupoly_device::{Device, DeviceError};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, NodeId, Op};
 
+use crate::engine::PreparedGraph;
 use crate::expr::ExprBatch;
 use crate::walk::{StopRule, Walker};
 use crate::{VerifyConfig, VerifyError};
@@ -63,6 +64,7 @@ impl<F: Fp> Analysis<F> {
 pub(crate) fn analyze<F: Fp>(
     device: &Device,
     graph: &Graph<'_, F>,
+    prepared: &PreparedGraph<'_, F>,
     cfg: &VerifyConfig,
     input: &[Itv<F>],
 ) -> Result<Analysis<F>, VerifyError> {
@@ -77,14 +79,10 @@ pub(crate) fn analyze<F: Fp>(
     let mut bounds = graph.eval_itv(input);
     let mut stats = AnalysisStats::default();
 
-    for id in 1..graph.nodes.len() {
-        if !matches!(graph.nodes[id].op, Op::Relu) {
-            continue;
-        }
-        let p = graph.nodes[id].parents[0];
-        if p == 0 {
-            continue; // ReLU directly on the input: bounds already exact
-        }
+    // Refine the input of every ReLU in the precomputed topological
+    // schedule (ReLUs directly on the input are skipped at preparation
+    // time: their bounds are already exact).
+    for &(_relu, p) in prepared.relu_plan() {
         stats.relu_nodes += 1;
         let sel: Vec<usize> = if cfg.early_termination {
             (0..bounds[p].len())
@@ -103,7 +101,17 @@ pub(crate) fn analyze<F: Fp>(
         } else {
             StopRule::None
         };
-        refine_node(device, graph, cfg, &mut bounds, p, &sel, rule, &mut stats)?;
+        refine_node(
+            device,
+            graph,
+            prepared,
+            cfg,
+            &mut bounds,
+            p,
+            &sel,
+            rule,
+            &mut stats,
+        )?;
         // Forward interval update of everything downstream of the refined
         // node, intersected with the existing (still sound) bounds.
         forward_update(graph, &mut bounds, p);
@@ -117,6 +125,7 @@ pub(crate) fn analyze<F: Fp>(
 fn refine_node<F: Fp>(
     device: &Device,
     graph: &Graph<'_, F>,
+    prepared: &PreparedGraph<'_, F>,
     cfg: &VerifyConfig,
     bounds: &mut [Vec<Itv<F>>],
     p: NodeId,
@@ -126,7 +135,7 @@ fn refine_node<F: Fp>(
 ) -> Result<(), VerifyError> {
     let mut chunk = cfg
         .chunk_rows
-        .unwrap_or_else(|| default_chunk_rows::<F>(device, graph))
+        .unwrap_or_else(|| prepared.chunk_for(device))
         .clamp(1, sel.len());
     let mut i = 0;
     while i < sel.len() {
@@ -136,9 +145,10 @@ fn refine_node<F: Fp>(
             let walker = Walker {
                 device,
                 graph,
+                prepared,
                 bounds,
             };
-            initial_batch(device, graph, cfg, bounds, p, rows)
+            initial_batch(device, graph, prepared, cfg, bounds, p, rows)
                 .and_then(|batch| walker.run(batch, rule))
         };
         match attempt {
@@ -167,6 +177,7 @@ fn refine_node<F: Fp>(
 pub(crate) fn initial_batch<F: Fp>(
     device: &Device,
     graph: &Graph<'_, F>,
+    prepared: &PreparedGraph<'_, F>,
     cfg: &VerifyConfig,
     bounds: &[Vec<Itv<F>>],
     p: NodeId,
@@ -176,17 +187,24 @@ pub(crate) fn initial_batch<F: Fp>(
     match node.op {
         Op::Dense(d) => {
             let par = node.parents[0];
-            let widen = cfg
-                .account_inference_error
-                .then(|| bounds[par].as_slice());
-            ExprBatch::from_dense(device, d, rows, par, graph.nodes[par].shape, widen)
+            let widen = cfg.account_inference_error.then(|| bounds[par].as_slice());
+            let (weight, bias) = prepared.weights(p);
+            ExprBatch::from_dense_with(
+                device,
+                d,
+                weight,
+                bias,
+                rows,
+                par,
+                graph.nodes[par].shape,
+                widen,
+            )
         }
         Op::Conv(c) => {
             let par = node.parents[0];
-            let widen = cfg
-                .account_inference_error
-                .then(|| bounds[par].as_slice());
-            ExprBatch::from_conv(device, c, rows, par, widen)
+            let widen = cfg.account_inference_error.then(|| bounds[par].as_slice());
+            let (weight, bias) = prepared.weights(p);
+            ExprBatch::from_conv_with(device, c, weight, bias, rows, par, widen)
         }
         _ => ExprBatch::identity(device, p, node.shape, rows),
     }
@@ -229,31 +247,6 @@ fn forward_update<F: Fp>(graph: &Graph<'_, F>, bounds: &mut [Vec<Itv<F>>], from:
     }
 }
 
-/// Estimates how many rows fit in free device memory: the window of a
-/// backsubstituted expression never exceeds a layer's padded spatial extent,
-/// so the per-row footprint is bounded by the largest such window times two
-/// interval planes, double-buffered across a step.
-fn default_chunk_rows<F: Fp>(device: &Device, graph: &Graph<'_, F>) -> usize {
-    let free = device.memory_free();
-    if free == usize::MAX {
-        return usize::MAX;
-    }
-    let margin = 2 * graph
-        .nodes
-        .iter()
-        .filter(|n| matches!(n.op, Op::Conv(_)))
-        .count()
-        .max(2);
-    let max_cols = graph
-        .nodes
-        .iter()
-        .map(|n| (n.shape.h + margin) * (n.shape.w + margin) * n.shape.c)
-        .max()
-        .unwrap_or(1);
-    let bytes_per_row = max_cols * std::mem::size_of::<Itv<F>>() * 2 * 3;
-    (free / bytes_per_row.max(1)).max(1)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +256,17 @@ mod tests {
 
     fn dev() -> Device {
         Device::new(DeviceConfig::new().workers(2))
+    }
+
+    /// Prepares the graph (host-resident weights) and analyzes in one go.
+    fn run(
+        device: &Device,
+        graph: &Graph<'_, f32>,
+        cfg: &VerifyConfig,
+        input: &[Itv<f32>],
+    ) -> Result<Analysis<f32>, VerifyError> {
+        let prepared = PreparedGraph::new(device, graph, false).unwrap();
+        analyze(device, graph, &prepared, cfg, input)
     }
 
     fn deep_net() -> Network<f32> {
@@ -287,7 +291,7 @@ mod tests {
             early_termination: false,
             ..Default::default()
         };
-        let a = analyze(&device, &graph, &cfg, &input).unwrap();
+        let a = run(&device, &graph, &cfg, &input).unwrap();
         for (node, (refined, loose)) in a.bounds.iter().zip(&ibp).enumerate() {
             for (r, l) in refined.iter().zip(loose) {
                 assert!(
@@ -307,10 +311,13 @@ mod tests {
         let c = [0.1_f32, -0.2];
         let eps = 0.4;
         let input: Vec<Itv<f32>> = c.iter().map(|&v| Itv::new(v - eps, v + eps)).collect();
-        let a = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        let a = run(&device, &graph, &VerifyConfig::default(), &input).unwrap();
         for s in 0..100 {
             let t = (s as f32) / 99.0;
-            let x = [c[0] - eps + 2.0 * eps * t, c[1] - eps + 2.0 * eps * (1.0 - t)];
+            let x = [
+                c[0] - eps + 2.0 * eps * t,
+                c[1] - eps + 2.0 * eps * (1.0 - t),
+            ];
             let acts = graph.eval(&x);
             for (node, act) in acts.iter().enumerate() {
                 for (v, b) in act.iter().zip(&a.bounds[node]) {
@@ -332,8 +339,8 @@ mod tests {
             .unwrap();
         let graph = net.graph();
         let input = vec![Itv::new(0.0_f32, 1.0); 2];
-        let et = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
-        let full = analyze(
+        let et = run(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        let full = run(
             &device,
             &graph,
             &VerifyConfig {
@@ -359,8 +366,8 @@ mod tests {
         let net = deep_net();
         let graph = net.graph();
         let input = vec![Itv::new(-0.5_f32, 0.5); 2];
-        let whole = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
-        let chunked = analyze(
+        let whole = run(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        let chunked = run(
             &device,
             &graph,
             &VerifyConfig {
@@ -392,11 +399,11 @@ mod tests {
             .unwrap();
         let graph = net.graph();
         let input = vec![Itv::new(-1.0_f32, 1.0); 16];
-        let a = analyze(&device, &graph, &VerifyConfig::default(), &input).unwrap();
+        let a = run(&device, &graph, &VerifyConfig::default(), &input).unwrap();
         assert!(a.stats.chunks > 1, "expected chunked execution");
         // Compare against an unconstrained device: identical bounds.
         let big = Device::new(DeviceConfig::new().workers(2));
-        let b = analyze(&big, &graph, &VerifyConfig::default(), &input).unwrap();
+        let b = run(&big, &graph, &VerifyConfig::default(), &input).unwrap();
         for (x, y) in a.output_bounds().iter().zip(b.output_bounds()) {
             assert!((x.lo - y.lo).abs() < 1e-5 && (x.hi - y.hi).abs() < 1e-5);
         }
@@ -407,8 +414,13 @@ mod tests {
         let device = dev();
         let net = deep_net();
         let graph = net.graph();
-        let err = analyze(&device, &graph, &VerifyConfig::default(), &[Itv::point(0.0)])
-            .unwrap_err();
+        let err = run(
+            &device,
+            &graph,
+            &VerifyConfig::default(),
+            &[Itv::point(0.0)],
+        )
+        .unwrap_err();
         assert!(matches!(err, VerifyError::BadQuery(_)));
     }
 }

@@ -1,0 +1,700 @@
+//! The network-resident batched verification engine.
+//!
+//! GPUPoly's headline scaling result (MLSys 2021) comes from amortization:
+//! the network is validated and uploaded to the accelerator **once**, and
+//! thousands of certification queries then run against the resident model.
+//! [`Engine`] is that shape:
+//!
+//! * at construction it validates the graph, pre-packs every dense/conv
+//!   layer's weights into device-resident buffers ([`PreparedGraph`]) and
+//!   precomputes per-node metadata (ReLU visit order, chunk sizing);
+//! * queries only allocate transient expression batches, which the device's
+//!   buffer pool recycles so steady-state verification performs no fresh
+//!   device allocations ([`gpupoly_device::DeviceStats::bytes_allocated`]
+//!   stays flat across a batch);
+//! * [`Engine::verify_batch`] runs independent queries in parallel across
+//!   device workers, and an LRU analysis cache keyed by the input box lets
+//!   queries over a repeated box (robustness sweeps over ε, several specs
+//!   over one region) share a single DeepPoly analysis.
+//!
+//! The legacy [`crate::GpuPoly`] API is a thin compatibility wrapper over an
+//! `Engine` in [`EngineOptions::compat`] mode (host-resident weights, no
+//! pool, no cache), preserving the original per-query memory profile.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use gpupoly_device::{Device, DeviceBuffer, DeviceError};
+use gpupoly_interval::{Fp, Itv};
+use gpupoly_nn::{Graph, Network, NodeId, Op};
+
+use crate::analysis::{analyze, Analysis};
+use crate::verifier::{LinearSpec, Margin, RobustnessVerdict, SpecVerdict};
+use crate::walk::{StopRule, Walker};
+use crate::{ExprBatch, VerifyConfig, VerifyError};
+
+/// One robustness query: is `label` certified for every image within `eps`
+/// (L∞) of `image`, clamped to the `[0, 1]` pixel domain?
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query<F> {
+    /// Center image.
+    pub image: Vec<F>,
+    /// Claimed label.
+    pub label: usize,
+    /// L∞ radius.
+    pub eps: F,
+}
+
+impl<F: Fp> Query<F> {
+    /// Builds a query.
+    pub fn new(image: impl Into<Vec<F>>, label: usize, eps: F) -> Self {
+        Self {
+            image: image.into(),
+            label,
+            eps,
+        }
+    }
+}
+
+/// Construction-time knobs of an [`Engine`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Upload dense/conv weights into device-resident buffers at
+    /// construction (falls back per-layer to borrowing host weights when
+    /// the device is too memory-constrained to hold them comfortably).
+    pub pack_weights: bool,
+    /// Recycle transient per-query device buffers through the device's
+    /// buffer pool, eliminating steady-state allocation churn.
+    pub recycle_buffers: bool,
+    /// Capacity (entries) of the LRU analysis cache keyed by input box;
+    /// `0` disables caching.
+    ///
+    /// Each entry pins concrete bounds for every node of the network
+    /// (roughly `2 * size_of::<F>() * total neuron count` host bytes), so
+    /// size this down for very large networks or long-lived engines.
+    pub analysis_cache: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            pack_weights: true,
+            recycle_buffers: true,
+            analysis_cache: 64,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The legacy single-query profile used by [`crate::GpuPoly`]: host
+    /// weights, no buffer pool, no cache — every query leaves the device
+    /// exactly as it found it.
+    pub fn compat() -> Self {
+        Self {
+            pack_weights: false,
+            recycle_buffers: false,
+            analysis_cache: 0,
+        }
+    }
+}
+
+/// Per-layer weight storage: device-resident when packed, borrowed from the
+/// host network otherwise.
+enum PackedAffine<'n, F: Fp> {
+    Resident {
+        weight: DeviceBuffer<F>,
+        bias: DeviceBuffer<F>,
+    },
+    Host {
+        weight: &'n [F],
+        bias: &'n [F],
+    },
+}
+
+impl<F: Fp> PackedAffine<'_, F> {
+    fn slices(&self) -> (&[F], &[F]) {
+        match self {
+            PackedAffine::Resident { weight, bias } => (weight, bias),
+            PackedAffine::Host { weight, bias } => (weight, bias),
+        }
+    }
+}
+
+/// The validated, device-prepared form of a network graph: prepacked affine
+/// weights plus the per-node metadata every walk needs (ReLU visit order,
+/// the worst-case dependence-set window that sizes backsubstitution chunks).
+///
+/// Built once per [`Engine`]; all of `analysis`/`walk`/`steps` borrow their
+/// weight storage from here instead of re-reading host slices per query.
+pub struct PreparedGraph<'n, F: Fp> {
+    affine: Vec<Option<PackedAffine<'n, F>>>,
+    /// `(relu_node, parent)` for every ReLU whose input can be refined,
+    /// in topological order.
+    relu_plan: Vec<(NodeId, NodeId)>,
+    /// Worst-case device bytes per backsubstitution row (from the largest
+    /// padded dependence-set window over all nodes).
+    bytes_per_row: usize,
+    /// Bytes of weights resident on the device.
+    resident_bytes: usize,
+}
+
+impl<'n, F: Fp> PreparedGraph<'n, F> {
+    /// Validates the graph and packs weights.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
+    pub fn new(
+        device: &Device,
+        graph: &Graph<'n, F>,
+        pack_weights: bool,
+    ) -> Result<Self, VerifyError> {
+        for node in &graph.nodes {
+            if let Op::Add { .. } = node.op {
+                let sa = graph.nodes[node.parents[0]].shape;
+                let sb = graph.nodes[node.parents[1]].shape;
+                if sa != sb {
+                    return Err(VerifyError::BadQuery(format!(
+                        "residual branches must agree on shape, got {sa} and {sb}"
+                    )));
+                }
+            }
+        }
+        let mut resident_bytes = 0usize;
+        let affine = graph
+            .nodes
+            .iter()
+            .map(|node| match node.op {
+                Op::Dense(d) => Some(Self::pack_one(
+                    device,
+                    &d.weight,
+                    &d.bias,
+                    pack_weights,
+                    &mut resident_bytes,
+                )),
+                Op::Conv(c) => Some(Self::pack_one(
+                    device,
+                    &c.weight,
+                    &c.bias,
+                    pack_weights,
+                    &mut resident_bytes,
+                )),
+                _ => None,
+            })
+            .collect();
+        let relu_plan = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| matches!(node.op, Op::Relu))
+            .map(|(id, node)| (id, node.parents[0]))
+            .filter(|&(_, parent)| parent != 0)
+            .collect();
+        Ok(Self {
+            affine,
+            relu_plan,
+            bytes_per_row: Self::bytes_per_row(graph),
+            resident_bytes,
+        })
+    }
+
+    /// Uploads one layer's weights, falling back to host borrows when the
+    /// upload fails or would crowd out working memory (more than half the
+    /// device capacity).
+    fn pack_one(
+        device: &Device,
+        weight: &'n [F],
+        bias: &'n [F],
+        enabled: bool,
+        resident_bytes: &mut usize,
+    ) -> PackedAffine<'n, F> {
+        let bytes = std::mem::size_of_val(weight) + std::mem::size_of_val(bias);
+        let fits = device
+            .memory_capacity()
+            .is_none_or(|cap| device.memory_in_use() + bytes <= cap / 2);
+        if enabled && fits {
+            if let (Ok(wb), Ok(bb)) = (
+                DeviceBuffer::from_slice(device, weight),
+                DeviceBuffer::from_slice(device, bias),
+            ) {
+                *resident_bytes += bytes;
+                // Weights live as long as the engine: mark them persistent
+                // so a buffer pool active on the device (this engine's or
+                // another engine's) can never shelve them on drop.
+                return PackedAffine::Resident {
+                    weight: wb.into_persistent(),
+                    bias: bb.into_persistent(),
+                };
+            }
+        }
+        PackedAffine::Host { weight, bias }
+    }
+
+    /// The weight/bias storage for an affine node — device-resident when
+    /// packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is not a dense/conv node.
+    pub(crate) fn weights(&self, node: NodeId) -> (&[F], &[F]) {
+        self.affine[node]
+            .as_ref()
+            .expect("weights() called on a non-affine node")
+            .slices()
+    }
+
+    /// The precomputed `(relu, parent)` refinement schedule.
+    pub(crate) fn relu_plan(&self) -> &[(NodeId, NodeId)] {
+        &self.relu_plan
+    }
+
+    /// Bytes of weights resident on the device.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// How many backsubstitution rows fit in the device's currently free
+    /// memory (the §4.2 chunking heuristic, with the per-row footprint
+    /// precomputed at preparation time).
+    pub(crate) fn chunk_for(&self, device: &Device) -> usize {
+        let free = device.memory_free();
+        if free == usize::MAX {
+            return usize::MAX;
+        }
+        (free / self.bytes_per_row.max(1)).max(1)
+    }
+
+    /// Worst-case per-row footprint: the window of a backsubstituted
+    /// expression never exceeds a layer's padded spatial extent, so the
+    /// per-row bytes are bounded by the largest such window times two
+    /// interval planes, double-buffered across a step.
+    fn bytes_per_row(graph: &Graph<'_, F>) -> usize {
+        let margin = 2 * graph
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv(_)))
+            .count()
+            .max(2);
+        let max_cols = graph
+            .nodes
+            .iter()
+            .map(|n| (n.shape.h + margin) * (n.shape.w + margin) * n.shape.c)
+            .max()
+            .unwrap_or(1);
+        max_cols * std::mem::size_of::<Itv<F>>() * 2 * 3
+    }
+}
+
+/// A box key: the exact bit pattern of the input intervals, shared by
+/// reference between the cache map, the LRU order and the in-flight table
+/// (a multi-KB vector for image-sized inputs — cloned once, never copied).
+type BoxKey = Arc<[u64]>;
+
+/// LRU cache of analyses keyed by the exact bit pattern of the input box.
+struct AnalysisCache<F> {
+    capacity: usize,
+    map: HashMap<BoxKey, Arc<Analysis<F>>>,
+    order: VecDeque<BoxKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<F> AnalysisCache<F> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: &[u64]) -> Option<Arc<Analysis<F>>> {
+        let (stored_key, hit) = self.map.get_key_value(key)?;
+        let (stored_key, hit) = (stored_key.clone(), hit.clone());
+        self.hits += 1;
+        // LRU bump: identity comparison — the deque shares the map's Arcs.
+        if let Some(pos) = self.order.iter().position(|k| Arc::ptr_eq(k, &stored_key)) {
+            let k = self.order.remove(pos).expect("in-range position");
+            self.order.push_back(k);
+        }
+        Some(hit)
+    }
+
+    /// Records one analysis actually computed (a true miss). Counted at
+    /// claim time rather than on every lookup so threads that block on an
+    /// in-flight computation and then hit the cache don't inflate the
+    /// miss count.
+    fn note_computed(&mut self) {
+        self.misses += 1;
+    }
+
+    fn insert(&mut self, key: BoxKey, analysis: Arc<Analysis<F>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), analysis).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            let Some(evicted) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&*evicted);
+        }
+    }
+}
+
+fn box_key<F: Fp>(input: &[Itv<F>]) -> BoxKey {
+    input
+        .iter()
+        .flat_map(|b| [b.lo.bits(), b.hi.bits()])
+        .collect()
+}
+
+/// The network-resident verification engine — see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_core::{Engine, Query, VerifyConfig};
+/// use gpupoly_device::Device;
+/// use gpupoly_nn::builder::NetworkBuilder;
+///
+/// let net = NetworkBuilder::new_flat(2)
+///     .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+///     .relu()
+///     .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+///     .build()?;
+/// let engine = Engine::new(Device::default(), &net, VerifyConfig::default())?;
+/// let queries = vec![
+///     Query::new(vec![0.4_f32, 0.6], 0, 0.05),
+///     Query::new(vec![0.5_f32, 0.5], 0, 0.02),
+/// ];
+/// let verdicts = engine.verify_batch(&queries);
+/// assert!(verdicts.iter().all(|v| v.as_ref().unwrap().verified));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Engine<'n, F: Fp> {
+    device: Device,
+    graph: Graph<'n, F>,
+    cfg: VerifyConfig,
+    prepared: PreparedGraph<'n, F>,
+    cache: Mutex<AnalysisCache<F>>,
+    /// Per-box gates deduplicating concurrent cache misses: the first
+    /// thread to miss a box computes its analysis, concurrent requesters
+    /// for the same box block on the gate and then hit the cache.
+    in_flight: Mutex<HashMap<BoxKey, Arc<Mutex<()>>>>,
+    options: EngineOptions,
+}
+
+impl<'n, F: Fp> Engine<'n, F> {
+    /// Builds an engine with default options (weights packed, buffer pool
+    /// on, analysis cache on).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
+    pub fn new(
+        device: Device,
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+    ) -> Result<Self, VerifyError> {
+        Self::with_options(device, net, cfg, EngineOptions::default())
+    }
+
+    /// Builds an engine with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
+    pub fn with_options(
+        device: Device,
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+    ) -> Result<Self, VerifyError> {
+        let graph = net.graph();
+        // Resident weights are marked persistent at packing time, so a
+        // buffer pool active on the shared device can never shelve them.
+        let prepared = PreparedGraph::new(&device, &graph, options.pack_weights)?;
+        if options.recycle_buffers {
+            device.buffer_pool_retain();
+        }
+        Ok(Self {
+            device,
+            graph,
+            cfg,
+            prepared,
+            cache: Mutex::new(AnalysisCache::new(options.analysis_cache)),
+            in_flight: Mutex::new(HashMap::new()),
+            options,
+        })
+    }
+
+    /// The device this engine runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VerifyConfig {
+        &self.cfg
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The prepared (device-resident) form of the network.
+    pub fn prepared(&self) -> &PreparedGraph<'n, F> {
+        &self.prepared
+    }
+
+    /// `(hits, misses)` of the analysis cache: lookups served from the
+    /// cache versus analyses actually computed. Deterministic for a given
+    /// query stream regardless of batch scheduling.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.lock();
+        (cache.hits, cache.misses)
+    }
+
+    /// Runs (or reuses) the full DeepPoly analysis over an input box,
+    /// producing sound concrete bounds for every node. Results are shared
+    /// through the LRU cache: repeated boxes return the same [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] for a wrong input length,
+    /// [`VerifyError::Device`] when even single-row chunks exceed memory.
+    pub fn analyze(&self, input: &[Itv<F>]) -> Result<Arc<Analysis<F>>, VerifyError> {
+        if self.options.analysis_cache == 0 {
+            return Ok(Arc::new(self.analyze_fresh(input)?));
+        }
+        let key = box_key(input);
+        loop {
+            if let Some(hit) = self.cache.lock().get(&key) {
+                return Ok(hit);
+            }
+            // Claim the box, or wait for the thread already computing it
+            // (concurrent queries over one box in a batch must share one
+            // analysis, not race to duplicate it).
+            let claimed = {
+                let mut in_flight = self.in_flight.lock();
+                match in_flight.get(&key) {
+                    Some(gate) => Err(gate.clone()),
+                    None => {
+                        let gate = Arc::new(Mutex::new(()));
+                        in_flight.insert(key.clone(), gate.clone());
+                        Ok(gate)
+                    }
+                }
+            };
+            match claimed {
+                Err(gate) => {
+                    // Block until the owner finishes, then re-check the cache.
+                    drop(gate.lock());
+                }
+                Ok(gate) => {
+                    let _guard = gate.lock();
+                    // Re-check: an owner may have finished (and dropped its
+                    // gate) between our cache miss and our claim.
+                    if let Some(hit) = self.cache.lock().get(&key) {
+                        self.in_flight.lock().remove(&key);
+                        return Ok(hit);
+                    }
+                    self.cache.lock().note_computed();
+                    let result = self.analyze_fresh(input);
+                    let out = match result {
+                        Ok(analysis) => {
+                            let analysis = Arc::new(analysis);
+                            self.cache.lock().insert(key.clone(), analysis.clone());
+                            Ok(analysis)
+                        }
+                        Err(e) => Err(e),
+                    };
+                    self.in_flight.lock().remove(&key);
+                    return out;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn analyze_fresh(&self, input: &[Itv<F>]) -> Result<Analysis<F>, VerifyError> {
+        analyze(&self.device, &self.graph, &self.prepared, &self.cfg, input)
+    }
+
+    /// Proves (or fails to prove) each row of a linear output spec over an
+    /// input box.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] for an empty spec, out-of-range output
+    /// indices or a wrong input length; [`VerifyError::Device`] on
+    /// unrecoverable OOM.
+    pub fn verify_spec(
+        &self,
+        input: &[Itv<F>],
+        spec: &LinearSpec<F>,
+    ) -> Result<SpecVerdict<F>, VerifyError> {
+        let analysis = self.analyze(input)?;
+        self.check_spec_with(&analysis, spec)
+    }
+
+    /// Spec check reusing an existing analysis (several specs over the same
+    /// input box share one analysis).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] for an empty spec (zero rows would be
+    /// vacuously "all proven") or out-of-range output indices.
+    pub fn check_spec_with(
+        &self,
+        analysis: &Analysis<F>,
+        spec: &LinearSpec<F>,
+    ) -> Result<SpecVerdict<F>, VerifyError> {
+        if spec.rows().is_empty() {
+            return Err(VerifyError::BadQuery(
+                "empty specification: a spec with zero rows proves nothing \
+                 (and `all_proven()` would be vacuously true)"
+                    .to_string(),
+            ));
+        }
+        let out_node = self.graph.output();
+        let out_shape = self.graph.nodes[out_node].shape;
+        let out_len = out_shape.len();
+        for row in spec.rows() {
+            for &(i, _) in &row.coeffs {
+                if i >= out_len {
+                    return Err(VerifyError::BadQuery(format!(
+                        "spec index {i} out of range for {out_len} outputs"
+                    )));
+                }
+            }
+        }
+        let mut batch = ExprBatch::zeroed(
+            &self.device,
+            out_node,
+            out_shape,
+            (out_shape.h, out_shape.w),
+            vec![(0, 0); spec.rows().len()],
+        )?;
+        for (r, row) in spec.rows().iter().enumerate() {
+            for &(i, c) in &row.coeffs {
+                batch.set_coeff(r, i, Itv::point(c));
+            }
+            batch.add_cst(r, Itv::point(row.cst));
+        }
+        let rule = if self.cfg.early_termination {
+            StopRule::ProvenPositive
+        } else {
+            StopRule::None
+        };
+        let walker = Walker {
+            device: &self.device,
+            graph: &self.graph,
+            prepared: &self.prepared,
+            bounds: &analysis.bounds,
+        };
+        let out = walker.run(batch, rule)?;
+        let mut stats = analysis.stats.clone();
+        stats.absorb_walk(out.rows_stopped_early, out.candidates);
+        let lower_bounds: Vec<F> = out.best.iter().map(|b| b.lo).collect();
+        let proven: Vec<bool> = lower_bounds.iter().map(|&l| l > F::ZERO).collect();
+        Ok(SpecVerdict {
+            proven,
+            lower_bounds,
+            stats,
+        })
+    }
+
+    /// Certifies L∞ robustness of one query — identical semantics (and
+    /// bit-identical margins) to [`crate::GpuPoly::verify_robustness`].
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] for a wrong image length, out-of-range
+    /// label or fewer than two outputs; [`VerifyError::Device`] on
+    /// unrecoverable OOM.
+    pub fn verify_robustness(
+        &self,
+        image: &[F],
+        label: usize,
+        eps: F,
+    ) -> Result<RobustnessVerdict<F>, VerifyError> {
+        let out_len = self.graph.nodes[self.graph.output()].shape.len();
+        if label >= out_len {
+            return Err(VerifyError::BadQuery(format!(
+                "label {label} out of range for {out_len} outputs"
+            )));
+        }
+        if eps < F::ZERO {
+            return Err(VerifyError::BadQuery("negative epsilon".to_string()));
+        }
+        let input: Vec<Itv<F>> = image
+            .iter()
+            .map(|&x| Itv::new(x - eps, x + eps).clamp_to(F::ZERO, F::ONE))
+            .collect();
+        let spec = LinearSpec::robustness(label, out_len);
+        let verdict = self.verify_spec(&input, &spec)?;
+        let margins: Vec<Margin<F>> = (0..out_len)
+            .filter(|&o| o != label)
+            .zip(verdict.lower_bounds.iter().zip(&verdict.proven))
+            .map(|(adversary, (&lower, &proven))| Margin {
+                adversary,
+                lower,
+                proven,
+            })
+            .collect();
+        Ok(RobustnessVerdict {
+            verified: verdict.all_proven(),
+            margins,
+            stats: verdict.stats,
+        })
+    }
+
+    /// Verifies a batch of independent robustness queries in parallel
+    /// across the device's workers. Each query is processed exactly as
+    /// [`Engine::verify_robustness`] would — margins are bit-identical to
+    /// the sequential loop — while repeated input boxes share one cached
+    /// analysis and transient buffers recycle through the device pool.
+    pub fn verify_batch(
+        &self,
+        queries: &[Query<F>],
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let mut results: Vec<Result<RobustnessVerdict<F>, VerifyError>> =
+            self.device.install(|| {
+                queries
+                    .par_iter()
+                    .map(|q| self.verify_robustness(&q.image, q.label, q.eps))
+                    .collect()
+            });
+        // On a memory-capped device, concurrent queries share one budget and
+        // a query can transiently OOM (even at single-row chunks) only
+        // because siblings held the remaining capacity. Retry those
+        // sequentially once the parallel phase has drained, so a batch is
+        // never less reliable than the equivalent sequential loop.
+        for (q, slot) in queries.iter().zip(results.iter_mut()) {
+            if matches!(
+                slot,
+                Err(VerifyError::Device(DeviceError::OutOfMemory { .. }))
+            ) {
+                *slot = self.verify_robustness(&q.image, q.label, q.eps);
+            }
+        }
+        results
+    }
+}
+
+impl<F: Fp> Drop for Engine<'_, F> {
+    fn drop(&mut self) {
+        if self.options.recycle_buffers {
+            self.device.buffer_pool_release();
+        }
+    }
+}

@@ -118,6 +118,36 @@ impl<F: Fp> ExprBatch<F> {
         parent_shape: Shape,
         widen_from: Option<&[Itv<F>]>,
     ) -> Result<Self, VerifyError> {
+        Self::from_dense_with(
+            device,
+            dense,
+            &dense.weight,
+            &dense.bias,
+            neurons,
+            parent,
+            parent_shape,
+            widen_from,
+        )
+    }
+
+    /// [`ExprBatch::from_dense`] with explicit weight/bias storage — the
+    /// walk engine passes the device-resident buffers prepacked by
+    /// [`crate::PreparedGraph`] instead of the layer's host vectors.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_dense_with(
+        device: &Device,
+        dense: &Dense<F>,
+        weight: &[F],
+        bias: &[F],
+        neurons: &[usize],
+        parent: NodeId,
+        parent_shape: Shape,
+        widen_from: Option<&[Itv<F>]>,
+    ) -> Result<Self, VerifyError> {
         debug_assert_eq!(parent_shape.len(), dense.in_len);
         let origins = vec![(0i32, 0i32); neurons.len()];
         let mut batch = Self::zeroed(
@@ -129,14 +159,14 @@ impl<F: Fp> ExprBatch<F> {
         )?;
         let cols = batch.cols();
         for (r, &n) in neurons.iter().enumerate() {
-            let row = dense.row(n);
+            let row = &weight[n * dense.in_len..(n + 1) * dense.in_len];
             for (j, &w) in row.iter().enumerate() {
                 batch.lo[r * cols + j] = Itv::point(w);
                 batch.hi[r * cols + j] = Itv::point(w);
             }
-            let mut cst = Itv::point(dense.bias[n]);
+            let mut cst = Itv::point(bias[n]);
             if let Some(pb) = widen_from {
-                cst = cst.widen(inference_error(row, pb, dense.bias[n]));
+                cst = cst.widen(inference_error(row, pb, bias[n]));
             }
             batch.cst_lo[r] = cst;
             batch.cst_hi[r] = cst;
@@ -155,6 +185,33 @@ impl<F: Fp> ExprBatch<F> {
     pub fn from_conv(
         device: &Device,
         conv: &Conv2d<F>,
+        neurons: &[usize],
+        parent: NodeId,
+        widen_from: Option<&[Itv<F>]>,
+    ) -> Result<Self, VerifyError> {
+        Self::from_conv_with(
+            device,
+            conv,
+            &conv.weight,
+            &conv.bias,
+            neurons,
+            parent,
+            widen_from,
+        )
+    }
+
+    /// [`ExprBatch::from_conv`] with explicit weight/bias storage — the
+    /// walk engine passes the device-resident buffers prepacked by
+    /// [`crate::PreparedGraph`] instead of the layer's host vectors.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    pub fn from_conv_with(
+        device: &Device,
+        conv: &Conv2d<F>,
+        weight: &[F],
+        bias: &[F],
         neurons: &[usize],
         parent: NodeId,
         widen_from: Option<&[Itv<F>]>,
@@ -190,22 +247,21 @@ impl<F: Fp> ExprBatch<F> {
                         continue; // virtual tap: padding, coefficient stays 0
                     }
                     for ci in 0..cin {
-                        let wv = conv.weight[conv.widx(f, g, d, ci)];
+                        let wv = weight[conv.widx(f, g, d, ci)];
                         let at = r * cols + (f * conv.kw + g) * cin + ci;
                         batch.lo[at] = Itv::point(wv);
                         batch.hi[at] = Itv::point(wv);
-                        if widen_from.is_some() {
-                            let bi = widen_from.unwrap()
-                                [parent_shape.idx(h as usize, w as usize, ci)];
+                        if let Some(pb) = widen_from {
+                            let bi = pb[parent_shape.idx(h as usize, w as usize, ci)];
                             abs_acc = round::fma_up(wv.abs(), bi.mag(), abs_acc);
                             taps += 1;
                         }
                     }
                 }
             }
-            let mut cst = Itv::point(conv.bias[d]);
+            let mut cst = Itv::point(bias[d]);
             if widen_from.is_some() {
-                let total = round::add_up(abs_acc, conv.bias[d].abs());
+                let total = round::add_up(abs_acc, bias[d].abs());
                 let err = round::mul_up(dot::gamma::<F>(taps + 2), total);
                 cst = cst.widen(err);
             }
@@ -253,6 +309,7 @@ impl<F: Fp> ExprBatch<F> {
     }
 
     /// Raw access for the step kernels.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn planes_mut(
         &mut self,
     ) -> (
@@ -261,10 +318,16 @@ impl<F: Fp> ExprBatch<F> {
         &mut Vec<Itv<F>>,
         &mut Vec<Itv<F>>,
     ) {
-        (&mut self.lo, &mut self.hi, &mut self.cst_lo, &mut self.cst_hi)
+        (
+            &mut self.lo,
+            &mut self.hi,
+            &mut self.cst_lo,
+            &mut self.cst_hi,
+        )
     }
 
     /// Raw read access for the step kernels.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn planes(&self) -> (&[Itv<F>], &[Itv<F>], &[Itv<F>], &[Itv<F>]) {
         (&self.lo, &self.hi, &self.cst_lo, &self.cst_hi)
     }
@@ -352,8 +415,14 @@ impl<F: Fp> ExprBatch<F> {
     ) -> Result<(Self, Vec<u32>), VerifyError> {
         assert_eq!(keep.len(), self.rows(), "keep mask length mismatch");
         let cols = self.cols();
-        let (lo_new, index) = scan::compact_rows(device, &self.lo, cols, keep);
-        let (hi_new, _) = scan::compact_rows(device, &self.hi, cols, keep);
+        let index = scan::compact_indices(device, keep);
+        // Gather surviving rows into pool-recyclable device storage; the
+        // gather overwrites every element, so skip zero-initialization on
+        // pool reuse.
+        let mut lo_new = DeviceBuffer::for_overwrite(device, index.len() * cols)?;
+        let mut hi_new = DeviceBuffer::for_overwrite(device, index.len() * cols)?;
+        scan::gather_rows_into(device, &self.lo, cols, &index, &mut lo_new);
+        scan::gather_rows_into(device, &self.hi, cols, &index, &mut hi_new);
         let origins = index
             .iter()
             .map(|&i| self.origins[i as usize])
@@ -372,8 +441,8 @@ impl<F: Fp> ExprBatch<F> {
             win_h: self.win_h,
             win_w: self.win_w,
             origins,
-            lo: DeviceBuffer::from_vec(device, lo_new)?,
-            hi: DeviceBuffer::from_vec(device, hi_new)?,
+            lo: lo_new,
+            hi: hi_new,
             cst_lo,
             cst_hi,
         };
@@ -576,7 +645,9 @@ mod tests {
         let batch = ExprBatch::<f32>::identity(&device, 5, shape, &[0, 7, 11]).unwrap();
         assert_eq!(batch.rows(), 3);
         assert_eq!(batch.cols(), 3); // 1x1 window, 3 channels
-        let bounds: Vec<Itv<f32>> = (0..12).map(|i| Itv::new(i as f32, i as f32 + 1.0)).collect();
+        let bounds: Vec<Itv<f32>> = (0..12)
+            .map(|i| Itv::new(i as f32, i as f32 + 1.0))
+            .collect();
         let cand = batch.concretize(&device, &bounds);
         assert_eq!(cand[0], bounds[0]);
         assert_eq!(cand[1], bounds[7]);
@@ -586,10 +657,14 @@ mod tests {
     #[test]
     fn from_dense_concretize_matches_manual_eval() {
         let device = dev();
-        let d = Dense::new(2, 3, vec![1.0_f32, -2.0, 0.5, 0.0, 1.0, 1.0], vec![0.25, -0.5])
-            .unwrap();
-        let batch =
-            ExprBatch::from_dense(&device, &d, &[0, 1], 0, Shape::flat(3), None).unwrap();
+        let d = Dense::new(
+            2,
+            3,
+            vec![1.0_f32, -2.0, 0.5, 0.0, 1.0, 1.0],
+            vec![0.25, -0.5],
+        )
+        .unwrap();
+        let batch = ExprBatch::from_dense(&device, &d, &[0, 1], 0, Shape::flat(3), None).unwrap();
         assert!(batch.is_full());
         let bounds = vec![
             Itv::new(0.0_f32, 1.0),
@@ -611,8 +686,7 @@ mod tests {
         let d = Dense::new(1, 2, vec![1.0_f32, 1.0], vec![0.0]).unwrap();
         let pb = vec![Itv::new(-1.0_f32, 1.0); 2];
         let plain = ExprBatch::from_dense(&device, &d, &[0], 0, Shape::flat(2), None).unwrap();
-        let wide =
-            ExprBatch::from_dense(&device, &d, &[0], 0, Shape::flat(2), Some(&pb)).unwrap();
+        let wide = ExprBatch::from_dense(&device, &d, &[0], 0, Shape::flat(2), Some(&pb)).unwrap();
         let cp = plain.concretize(&device, &pb);
         let cw = wide.concretize(&device, &pb);
         assert!(cw[0].hi > cp[0].hi);
@@ -733,14 +807,7 @@ mod tests {
         let shape = Shape::new(4, 4, 1);
         // a: 1x1 window at (1,1); b: full window
         let a = ExprBatch::<f32>::identity(&device, 2, shape, &[5]).unwrap();
-        let mut b = ExprBatch::<f32>::zeroed(
-            &device,
-            2,
-            shape,
-            (4, 4),
-            vec![(0, 0)],
-        )
-        .unwrap();
+        let mut b = ExprBatch::<f32>::zeroed(&device, 2, shape, (4, 4), vec![(0, 0)]).unwrap();
         b.set_coeff(0, 5, Itv::point(2.0)); // same neuron, coefficient 2
         b.set_coeff(0, 0, Itv::point(1.0)); // neuron 0, coefficient 1
         let m = ExprBatch::merge(a, b, &device).unwrap();

@@ -41,6 +41,7 @@
 mod analysis;
 mod config;
 pub mod depset;
+mod engine;
 mod error;
 pub mod expr;
 mod relax;
@@ -50,6 +51,7 @@ mod walk;
 
 pub use analysis::{Analysis, AnalysisStats};
 pub use config::VerifyConfig;
+pub use engine::{Engine, EngineOptions, PreparedGraph, Query};
 pub use error::VerifyError;
 pub use expr::ExprBatch;
 pub use relax::ReluRelax;

@@ -38,6 +38,38 @@ pub fn step_dense<F: Fp>(
     parent: NodeId,
     parent_shape: Shape,
 ) -> Result<ExprBatch<F>, VerifyError> {
+    step_dense_with(
+        device,
+        batch,
+        dense,
+        &dense.weight,
+        &dense.bias,
+        parent,
+        parent_shape,
+    )
+}
+
+/// [`step_dense`] with explicit weight/bias storage: the walk engine passes
+/// the device-resident buffers prepacked by
+/// [`crate::PreparedGraph`] so no host weight slice is touched per query.
+/// `weight`/`bias` must hold the same values and layout as `dense`'s own.
+///
+/// # Errors
+///
+/// Device out-of-memory.
+///
+/// # Panics
+///
+/// Panics when the batch frontier does not match the layer's output.
+pub fn step_dense_with<F: Fp>(
+    device: &Device,
+    batch: ExprBatch<F>,
+    dense: &Dense<F>,
+    weight: &[F],
+    bias: &[F],
+    parent: NodeId,
+    parent_shape: Shape,
+) -> Result<ExprBatch<F>, VerifyError> {
     let batch = batch.densify(device)?;
     assert_eq!(
         batch.shape().len(),
@@ -59,7 +91,7 @@ pub fn step_dense<F: Fp>(
         gemm::gemm_itv_f(
             device,
             src_lo,
-            &dense.weight,
+            weight,
             out_lo,
             rows,
             dense.out_len,
@@ -68,7 +100,7 @@ pub fn step_dense<F: Fp>(
         gemm::gemm_itv_f(
             device,
             src_hi,
-            &dense.weight,
+            weight,
             out_hi,
             rows,
             dense.out_len,
@@ -78,7 +110,7 @@ pub fn step_dense<F: Fp>(
         device.par_map_mut(out_cst_lo, |r, v| {
             let row = &src_lo[r * dense.out_len..(r + 1) * dense.out_len];
             let mut acc = src_cst_lo[r];
-            for (a, &b) in row.iter().zip(&dense.bias) {
+            for (a, &b) in row.iter().zip(bias) {
                 acc = a.mul_add_f(b, acc);
             }
             *v = acc;
@@ -86,7 +118,7 @@ pub fn step_dense<F: Fp>(
         device.par_map_mut(out_cst_hi, |r, v| {
             let row = &src_hi[r * dense.out_len..(r + 1) * dense.out_len];
             let mut acc = src_cst_hi[r];
-            for (a, &b) in row.iter().zip(&dense.bias) {
+            for (a, &b) in row.iter().zip(bias) {
                 acc = a.mul_add_f(b, acc);
             }
             *v = acc;
@@ -114,6 +146,29 @@ pub fn step_conv<F: Fp>(
     device: &Device,
     batch: ExprBatch<F>,
     conv: &Conv2d<F>,
+    parent: NodeId,
+) -> Result<ExprBatch<F>, VerifyError> {
+    step_conv_with(device, batch, conv, &conv.weight, &conv.bias, parent)
+}
+
+/// [`step_conv`] with explicit weight/bias storage: the walk engine passes
+/// the device-resident buffers prepacked by
+/// [`crate::PreparedGraph`] so no host weight slice is touched per query.
+/// `weight`/`bias` must hold the same values and layout as `conv`'s own.
+///
+/// # Errors
+///
+/// Device out-of-memory.
+///
+/// # Panics
+///
+/// Panics when the batch frontier does not match the conv's output shape.
+pub fn step_conv_with<F: Fp>(
+    device: &Device,
+    batch: ExprBatch<F>,
+    conv: &Conv2d<F>,
+    weight: &[F],
+    bias: &[F],
     parent: NodeId,
 ) -> Result<ExprBatch<F>, VerifyError> {
     assert_eq!(
@@ -155,7 +210,7 @@ pub fn step_conv<F: Fp>(
                         continue;
                     }
                     let base = (i * ww + j) * cout;
-                    for (d, &b) in conv.bias.iter().enumerate() {
+                    for (d, &b) in bias.iter().enumerate() {
                         acc = row[base + d].mul_add_f(b, acc);
                     }
                 }
@@ -198,7 +253,7 @@ pub fn step_conv<F: Fp>(
                             let wbase = conv.widx(f, g, d, 0);
                             for c in 0..cin {
                                 dst_row[obase + c] =
-                                    m.mul_add_f(conv.weight[wbase + c], dst_row[obase + c]);
+                                    m.mul_add_f(weight[wbase + c], dst_row[obase + c]);
                             }
                         }
                     }
@@ -212,9 +267,9 @@ pub fn step_conv<F: Fp>(
         device.par_rows("gbc_lo", out_lo, dst_cols, |r, dst| gbc(r, dst, src_lo));
         device.par_rows("gbc_hi", out_hi, dst_cols, |r, dst| gbc(r, dst, src_hi));
     }
-    device.stats().add_flops(
-        4 * (rows * wh * ww * conv.kh * conv.kw * cout * cin) as u64 * 2,
-    );
+    device
+        .stats()
+        .add_flops(4 * (rows * wh * ww * conv.kh * conv.kw * cout * cin) as u64 * 2);
     Ok(out)
 }
 
@@ -342,17 +397,10 @@ mod tests {
     fn dense_step_composes_affine_maps() {
         let device = dev();
         // layer2: y = B z, start from its rows; layer1: z = A x + a.
-        let l1 = Dense::new(
-            2,
-            2,
-            vec![1.0_f32, 2.0, 3.0, 4.0],
-            vec![0.5, -0.5],
-        )
-        .unwrap();
+        let l1 = Dense::new(2, 2, vec![1.0_f32, 2.0, 3.0, 4.0], vec![0.5, -0.5]).unwrap();
         let l2 = Dense::new(2, 2, vec![1.0_f32, -1.0, 0.0, 2.0], vec![0.0, 1.0]).unwrap();
         // batch = rows of l2 over node "z" (id 2), parent chain z <- node1
-        let batch =
-            ExprBatch::from_dense(&device, &l2, &[0, 1], 2, Shape::flat(2), None).unwrap();
+        let batch = ExprBatch::from_dense(&device, &l2, &[0, 1], 2, Shape::flat(2), None).unwrap();
         let out = step_dense(&device, batch, &l1, 1, Shape::flat(2)).unwrap();
         // composed: y0 = (1,-1)·(Ax+a) = (1*1-1*3, 1*2-1*4)x + (0.5+0.5) = (-2,-2)x + 1... let's check numerically
         let x = [0.3_f32, -0.7];
@@ -378,7 +426,9 @@ mod tests {
             (3, 3),
             (1, 1),
             (0, 0),
-            (0..3 * 3 * 3 * 2).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+            (0..3 * 3 * 3 * 2)
+                .map(|i| ((i % 11) as f32 - 5.0) * 0.1)
+                .collect(),
             vec![0.1, -0.1, 0.05],
         )
         .unwrap(); // out 3x3x3
@@ -388,7 +438,9 @@ mod tests {
             (2, 2),
             (1, 1),
             (0, 0),
-            (0..2 * 2 * 2 * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect(),
+            (0..2 * 2 * 2 * 3)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.2)
+                .collect(),
             vec![0.0, 0.2],
         )
         .unwrap(); // out 2x2x2
@@ -421,7 +473,9 @@ mod tests {
             (3, 3),
             (1, 1),
             (1, 1),
-            (0..3 * 3 * 2).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(),
+            (0..3 * 3 * 2)
+                .map(|i| ((i % 5) as f32 - 2.0) * 0.3)
+                .collect(),
             vec![0.2, -0.3],
         )
         .unwrap(); // out 4x4x2
@@ -431,7 +485,9 @@ mod tests {
             (2, 2),
             (2, 2),
             (0, 0),
-            (0..2 * 2 * 2 * 2).map(|i| ((i % 3) as f32 - 1.0) * 0.4).collect(),
+            (0..2 * 2 * 2 * 2)
+                .map(|i| ((i % 3) as f32 - 1.0) * 0.4)
+                .collect(),
             vec![0.0, 0.1],
         )
         .unwrap(); // out 2x2x2

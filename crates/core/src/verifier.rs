@@ -1,12 +1,13 @@
 //! The public verifier API.
 
+use std::sync::Arc;
+
 use gpupoly_device::Device;
 use gpupoly_interval::{Fp, Itv};
-use gpupoly_nn::{Graph, Network, Op};
+use gpupoly_nn::Network;
 
-use crate::analysis::{analyze, Analysis, AnalysisStats};
-use crate::expr::ExprBatch;
-use crate::walk::{StopRule, Walker};
+use crate::analysis::{Analysis, AnalysisStats};
+use crate::engine::{Engine, EngineOptions};
 use crate::{VerifyConfig, VerifyError};
 
 /// A conjunction of strict linear inequalities over the network output:
@@ -125,43 +126,46 @@ pub struct RobustnessVerdict<F> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct GpuPoly<'n, F: Fp> {
-    device: Device,
-    graph: Graph<'n, F>,
-    cfg: VerifyConfig,
+    engine: Engine<'n, F>,
 }
 
 impl<'n, F: Fp> GpuPoly<'n, F> {
     /// Builds a verifier for a network on a device.
+    ///
+    /// The verifier is a thin wrapper over [`Engine`] in
+    /// [`EngineOptions::compat`] mode: weights stay host-resident, no
+    /// buffer pool, no analysis cache — every query leaves the device
+    /// exactly as it found it. For batched / high-throughput verification
+    /// construct an [`Engine`] directly.
     ///
     /// # Errors
     ///
     /// [`VerifyError::BadQuery`] when the network uses residual blocks whose
     /// branches disagree on shape (the cuboid merge needs identical frontier
     /// shapes).
-    pub fn new(device: Device, net: &'n Network<F>, cfg: VerifyConfig) -> Result<Self, VerifyError> {
-        let graph = net.graph();
-        for node in &graph.nodes {
-            if let Op::Add { .. } = node.op {
-                let sa = graph.nodes[node.parents[0]].shape;
-                let sb = graph.nodes[node.parents[1]].shape;
-                if sa != sb {
-                    return Err(VerifyError::BadQuery(format!(
-                        "residual branches must agree on shape, got {sa} and {sb}"
-                    )));
-                }
-            }
-        }
-        Ok(Self { device, graph, cfg })
+    pub fn new(
+        device: Device,
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+    ) -> Result<Self, VerifyError> {
+        Ok(Self {
+            engine: Engine::with_options(device, net, cfg, EngineOptions::compat())?,
+        })
     }
 
     /// The device this verifier runs on.
     pub fn device(&self) -> &Device {
-        &self.device
+        self.engine.device()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &VerifyConfig {
-        &self.cfg
+        self.engine.config()
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine<'n, F> {
+        &self.engine
     }
 
     /// Runs the full DeepPoly analysis over an input box, producing sound
@@ -172,7 +176,8 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
     /// [`VerifyError::BadQuery`] for a wrong input length,
     /// [`VerifyError::Device`] when even single-row chunks exceed memory.
     pub fn analyze(&self, input: &[Itv<F>]) -> Result<Analysis<F>, VerifyError> {
-        analyze(&self.device, &self.graph, &self.cfg, input)
+        let analysis = self.engine.analyze(input)?;
+        Ok(Arc::try_unwrap(analysis).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Proves (or fails to prove) each row of a linear output spec over an
@@ -180,15 +185,15 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
     ///
     /// # Errors
     ///
-    /// [`VerifyError::BadQuery`] for out-of-range output indices or a wrong
-    /// input length; [`VerifyError::Device`] on unrecoverable OOM.
+    /// [`VerifyError::BadQuery`] for an empty spec, out-of-range output
+    /// indices or a wrong input length; [`VerifyError::Device`] on
+    /// unrecoverable OOM.
     pub fn verify_spec(
         &self,
         input: &[Itv<F>],
         spec: &LinearSpec<F>,
     ) -> Result<SpecVerdict<F>, VerifyError> {
-        let analysis = self.analyze(input)?;
-        self.check_spec_with(&analysis, spec)
+        self.engine.verify_spec(input, spec)
     }
 
     /// Spec check reusing an existing analysis (several specs over the same
@@ -196,57 +201,14 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
     ///
     /// # Errors
     ///
-    /// [`VerifyError::BadQuery`] for out-of-range output indices.
+    /// [`VerifyError::BadQuery`] for an empty spec (zero rows would be
+    /// vacuously "all proven") or out-of-range output indices.
     pub fn check_spec_with(
         &self,
         analysis: &Analysis<F>,
         spec: &LinearSpec<F>,
     ) -> Result<SpecVerdict<F>, VerifyError> {
-        let out_node = self.graph.output();
-        let out_shape = self.graph.nodes[out_node].shape;
-        let out_len = out_shape.len();
-        for row in spec.rows() {
-            for &(i, _) in &row.coeffs {
-                if i >= out_len {
-                    return Err(VerifyError::BadQuery(format!(
-                        "spec index {i} out of range for {out_len} outputs"
-                    )));
-                }
-            }
-        }
-        let mut batch = ExprBatch::zeroed(
-            &self.device,
-            out_node,
-            out_shape,
-            (out_shape.h, out_shape.w),
-            vec![(0, 0); spec.rows().len()],
-        )?;
-        for (r, row) in spec.rows().iter().enumerate() {
-            for &(i, c) in &row.coeffs {
-                batch.set_coeff(r, i, Itv::point(c));
-            }
-            batch.add_cst(r, Itv::point(row.cst));
-        }
-        let rule = if self.cfg.early_termination {
-            StopRule::ProvenPositive
-        } else {
-            StopRule::None
-        };
-        let walker = Walker {
-            device: &self.device,
-            graph: &self.graph,
-            bounds: &analysis.bounds,
-        };
-        let out = walker.run(batch, rule)?;
-        let mut stats = analysis.stats.clone();
-        stats.absorb_walk(out.rows_stopped_early, out.candidates);
-        let lower_bounds: Vec<F> = out.best.iter().map(|b| b.lo).collect();
-        let proven: Vec<bool> = lower_bounds.iter().map(|&l| l > F::ZERO).collect();
-        Ok(SpecVerdict {
-            proven,
-            lower_bounds,
-            stats,
-        })
+        self.engine.check_spec_with(analysis, spec)
     }
 
     /// Certifies L∞ robustness: every image within `eps` of `image`
@@ -262,35 +224,7 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
         label: usize,
         eps: F,
     ) -> Result<RobustnessVerdict<F>, VerifyError> {
-        let out_len = self.graph.nodes[self.graph.output()].shape.len();
-        if label >= out_len {
-            return Err(VerifyError::BadQuery(format!(
-                "label {label} out of range for {out_len} outputs"
-            )));
-        }
-        if eps < F::ZERO {
-            return Err(VerifyError::BadQuery("negative epsilon".to_string()));
-        }
-        let input: Vec<Itv<F>> = image
-            .iter()
-            .map(|&x| Itv::new(x - eps, x + eps).clamp_to(F::ZERO, F::ONE))
-            .collect();
-        let spec = LinearSpec::robustness(label, out_len);
-        let verdict = self.verify_spec(&input, &spec)?;
-        let margins: Vec<Margin<F>> = (0..out_len)
-            .filter(|&o| o != label)
-            .zip(verdict.lower_bounds.iter().zip(&verdict.proven))
-            .map(|(adversary, (&lower, &proven))| Margin {
-                adversary,
-                lower,
-                proven,
-            })
-            .collect();
-        Ok(RobustnessVerdict {
-            verified: verdict.all_proven(),
-            margins,
-            stats: verdict.stats,
-        })
+        self.engine.verify_robustness(image, label, eps)
     }
 }
 

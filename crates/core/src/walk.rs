@@ -6,9 +6,10 @@ use gpupoly_device::Device;
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, Op};
 
+use crate::engine::PreparedGraph;
 use crate::expr::ExprBatch;
 use crate::relax::ReluRelax;
-use crate::steps::{step_conv, step_dense, step_relu};
+use crate::steps::{step_conv_with, step_dense_with, step_relu};
 use crate::VerifyError;
 
 /// When a row may be dropped mid-walk.
@@ -35,16 +36,22 @@ pub(crate) struct WalkOutcome<F> {
     pub candidates: usize,
 }
 
-/// Borrowed context for walks: the graph and the current concrete bounds.
+/// Borrowed context for walks: the graph, its prepared (device-resident)
+/// weights, and the current concrete bounds.
 pub(crate) struct Walker<'a, 'n, F: Fp> {
     pub device: &'a Device,
     pub graph: &'a Graph<'n, F>,
+    pub prepared: &'a PreparedGraph<'n, F>,
     pub bounds: &'a [Vec<Itv<F>>],
 }
 
 impl<F: Fp> Walker<'_, '_, F> {
     /// Runs the batch to the input node, returning per-row best bounds.
-    pub fn run(&self, mut batch: ExprBatch<F>, rule: StopRule) -> Result<WalkOutcome<F>, VerifyError> {
+    pub fn run(
+        &self,
+        mut batch: ExprBatch<F>,
+        rule: StopRule,
+    ) -> Result<WalkOutcome<F>, VerifyError> {
         let total = batch.rows();
         let mut best: Vec<Itv<F>> = vec![Itv::top(); total];
         let mut map: Vec<u32> = (0..total as u32).collect();
@@ -106,22 +113,26 @@ impl<F: Fp> Walker<'_, '_, F> {
         match op {
             Op::Dense(d) => {
                 let p = self.graph.nodes[node].parents[0];
-                step_dense(self.device, batch, d, p, self.graph.nodes[p].shape)
+                let (weight, bias) = self.prepared.weights(node);
+                step_dense_with(
+                    self.device,
+                    batch,
+                    d,
+                    weight,
+                    bias,
+                    p,
+                    self.graph.nodes[p].shape,
+                )
             }
             Op::Conv(c) => {
                 let p = self.graph.nodes[node].parents[0];
-                Ok(step_conv(self.device, batch, c, p)?)
+                let (weight, bias) = self.prepared.weights(node);
+                Ok(step_conv_with(self.device, batch, c, weight, bias, p)?)
             }
             Op::Relu => {
                 let p = self.graph.nodes[node].parents[0];
                 let relax = ReluRelax::layer(&self.bounds[p]);
-                Ok(step_relu(
-                    self.device,
-                    batch,
-                    &relax,
-                    &self.bounds[node],
-                    p,
-                ))
+                Ok(step_relu(self.device, batch, &relax, &self.bounds[node], p))
             }
             Op::Add { head } => {
                 let pa = self.graph.nodes[node].parents[0];
@@ -197,19 +208,23 @@ mod tests {
         let graph = net.graph();
         let input = vec![Itv::new(-1.0_f32, 1.0), Itv::new(-1.0, 1.0)];
         let bounds: Vec<Vec<Itv<f32>>> = graph.eval_itv(&input);
+        let prepared = PreparedGraph::new(&device, &graph, false).unwrap();
         let walker = Walker {
             device: &device,
             graph: &graph,
+            prepared: &prepared,
             bounds: &bounds,
         };
         // Bound the output node's neurons via identity start.
         let on = graph.output();
-        let batch =
-            ExprBatch::identity(&device, on, graph.nodes[on].shape, &[0, 1]).unwrap();
+        let batch = ExprBatch::identity(&device, on, graph.nodes[on].shape, &[0, 1]).unwrap();
         let out = walker.run(batch, StopRule::None).unwrap();
         let ibp = &bounds[on];
         for (b, i) in out.best.iter().zip(ibp) {
-            assert!(b.lo >= i.lo - 1e-5 && b.hi <= i.hi + 1e-5, "{b} worse than {i}");
+            assert!(
+                b.lo >= i.lo - 1e-5 && b.hi <= i.hi + 1e-5,
+                "{b} worse than {i}"
+            );
         }
         // exact range of y0+y1: relu in [0,2] each, and they can't both be 2:
         // backsubstitution should see some cancellation vs naive [0,4].
@@ -228,9 +243,11 @@ mod tests {
         let graph = net.graph();
         let input = vec![Itv::new(0.0_f32, 1.0), Itv::new(0.0, 1.0)];
         let bounds = graph.eval_itv(&input);
+        let prepared = PreparedGraph::new(&device, &graph, false).unwrap();
         let walker = Walker {
             device: &device,
             graph: &graph,
+            prepared: &prepared,
             bounds: &bounds,
         };
         let batch = ExprBatch::identity(&device, 2, graph.nodes[2].shape, &[0, 1]).unwrap();
@@ -253,9 +270,11 @@ mod tests {
         let graph = net.graph();
         let input = vec![Itv::new(0.0_f32, 1.0), Itv::new(0.0, 1.0)];
         let bounds = graph.eval_itv(&input);
+        let prepared = PreparedGraph::new(&device, &graph, false).unwrap();
         let walker = Walker {
             device: &device,
             graph: &graph,
+            prepared: &prepared,
             bounds: &bounds,
         };
         let batch = ExprBatch::identity(&device, 1, graph.nodes[1].shape, &[0, 1]).unwrap();
@@ -273,7 +292,10 @@ mod tests {
         // out = relu(2x) + x (identity skip), then sum both outputs.
         let net = NetworkBuilder::new_flat(2)
             .residual(
-                |a| a.dense_flat(2, vec![2.0, 0.0, 0.0, 2.0], vec![0.0, 0.0]).relu(),
+                |a| {
+                    a.dense_flat(2, vec![2.0, 0.0, 0.0, 2.0], vec![0.0, 0.0])
+                        .relu()
+                },
                 |b| b,
             )
             .dense(&[[1.0_f32, 1.0]], &[0.0])
@@ -282,9 +304,11 @@ mod tests {
         let graph = net.graph();
         let input = vec![Itv::new(-1.0_f32, 1.0), Itv::new(0.5, 1.0)];
         let bounds = graph.eval_itv(&input);
+        let prepared = PreparedGraph::new(&device, &graph, false).unwrap();
         let walker = Walker {
             device: &device,
             graph: &graph,
+            prepared: &prepared,
             bounds: &bounds,
         };
         let out_node = graph.output();
@@ -307,9 +331,11 @@ mod tests {
         let eps = 0.3;
         let input: Vec<Itv<f32>> = center.iter().map(|&c| Itv::new(c - eps, c + eps)).collect();
         let bounds = graph.eval_itv(&input);
+        let prepared = PreparedGraph::new(&device, &graph, false).unwrap();
         let walker = Walker {
             device: &device,
             graph: &graph,
+            prepared: &prepared,
             bounds: &bounds,
         };
         let on = graph.output();

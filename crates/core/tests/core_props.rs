@@ -18,8 +18,12 @@ fn random_net(seed: u64, depth: usize, width: usize) -> Network<f32> {
     let mut b = NetworkBuilder::new_flat(4);
     let mut in_len = 4;
     for layer in 0..depth {
-        let w: Vec<f32> = (0..width * in_len).map(|i| mix(i, seed + layer as u64)).collect();
-        let bias: Vec<f32> = (0..width).map(|i| mix(i, seed + 100 + layer as u64) * 0.4).collect();
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| mix(i, seed + layer as u64))
+            .collect();
+        let bias: Vec<f32> = (0..width)
+            .map(|i| mix(i, seed + 100 + layer as u64) * 0.4)
+            .collect();
         b = b.dense_flat(width, w, bias).relu();
         in_len = width;
     }

@@ -16,10 +16,7 @@ fn device() -> Device {
 /// Analysis bounds must contain sampled concrete executions.
 fn check_sound(net: &Network<f32>, image: &[f32], eps: f32) {
     let verifier = GpuPoly::new(device(), net, VerifyConfig::default()).expect("verifier");
-    let input: Vec<Itv<f32>> = image
-        .iter()
-        .map(|&x| Itv::new(x - eps, x + eps))
-        .collect();
+    let input: Vec<Itv<f32>> = image.iter().map(|&x| Itv::new(x - eps, x + eps)).collect();
     let analysis = verifier.analyze(&input).expect("analysis");
     let graph = net.graph();
     for t in 0..7 {
@@ -57,7 +54,9 @@ fn asymmetric_filter_and_stride() {
             (3, 2),
             (2, 1),
             (0, 0),
-            (0..3 * 2 * 3 * 2).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect(),
+            (0..3 * 2 * 3 * 2)
+                .map(|i| ((i % 9) as f32 - 4.0) * 0.1)
+                .collect(),
             vec![0.05, -0.05, 0.0],
         )
         .relu()
@@ -66,16 +65,24 @@ fn asymmetric_filter_and_stride() {
             (2, 3),
             (1, 2),
             (0, 0),
-            (0..2 * 3 * 2 * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.15).collect(),
+            (0..2 * 3 * 2 * 3)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.15)
+                .collect(),
             vec![0.0, 0.1],
         )
         .relu();
     let in_len = b.current_shape().len();
     let net = b
-        .flatten_dense(3, move |i| (((i * 11) % 17) as f32 - 8.0) * 0.5 / in_len as f32, |_| 0.0)
+        .flatten_dense(
+            3,
+            move |i| (((i * 11) % 17) as f32 - 8.0) * 0.5 / in_len as f32,
+            |_| 0.0,
+        )
         .build()
         .expect("net");
-    let image: Vec<f32> = (0..70).map(|i| 0.3 + 0.4 * ((i * 13 % 10) as f32 / 10.0)).collect();
+    let image: Vec<f32> = (0..70)
+        .map(|i| 0.3 + 0.4 * ((i * 13 % 10) as f32 / 10.0))
+        .collect();
     check_sound(&net, &image, 0.04);
 }
 
@@ -95,7 +102,11 @@ fn heavy_padding_exceeding_filter_reach() {
     let in_len = b.current_shape().len();
     assert_eq!(in_len, 6 * 6 * 2); // (4 + 4 - 3) + 1 = 6
     let net = b
-        .flatten_dense(2, move |i| (((i * 3) % 11) as f32 - 5.0) * 0.3 / in_len as f32, |_| 0.0)
+        .flatten_dense(
+            2,
+            move |i| (((i * 3) % 11) as f32 - 5.0) * 0.3 / in_len as f32,
+            |_| 0.0,
+        )
         .build()
         .expect("net");
     let image = vec![0.5f32; 16];
@@ -126,7 +137,11 @@ fn one_by_one_convolutions() {
         .relu();
     let in_len = b.current_shape().len();
     let net = b
-        .flatten_dense(2, move |i| ((i % 13) as f32 - 6.0) * 0.2 / in_len as f32, |_| 0.0)
+        .flatten_dense(
+            2,
+            move |i| ((i % 13) as f32 - 6.0) * 0.2 / in_len as f32,
+            |_| 0.0,
+        )
         .build()
         .expect("net");
     let image: Vec<f32> = (0..36).map(|i| (i as f32 * 0.171).fract()).collect();
@@ -138,11 +153,17 @@ fn conv_after_dense_forces_densification() {
     // Dense -> reshape-as-image -> conv: backsubstitution starting from the
     // conv must pass through the dense layer, densifying the window.
     let net = NetworkBuilder::new_flat(8)
-        .flatten_dense(16, |i| (((i * 5) % 13) as f32 - 6.0) * 0.1, |i| (i % 3) as f32 * 0.05)
+        .flatten_dense(
+            16,
+            |i| (((i * 5) % 13) as f32 - 6.0) * 0.1,
+            |i| (i % 3) as f32 * 0.05,
+        )
         .relu()
         .dense_flat(
             36,
-            (0..36 * 16).map(|i| (((i * 7) % 19) as f32 - 9.0) * 0.05).collect(),
+            (0..36 * 16)
+                .map(|i| (((i * 7) % 19) as f32 - 9.0) * 0.05)
+                .collect(),
             vec![0.0; 36],
         )
         .build()
@@ -160,11 +181,22 @@ fn conv_after_dense_forces_densification() {
 fn residual_with_asymmetric_branch_windows() {
     // Branch a: two 3x3 convs (5x5 receptive field); branch b: 1x1 conv.
     // The merge must align very different cuboid windows.
-    let wa1: Vec<f32> = (0..3 * 3 * 3 * 3).map(|i| ((i % 5) as f32 - 2.0) * 0.1).collect();
-    let wa2: Vec<f32> = (0..3 * 3 * 3 * 3).map(|i| ((i % 7) as f32 - 3.0) * 0.1).collect();
+    let wa1: Vec<f32> = (0..3 * 3 * 3 * 3)
+        .map(|i| ((i % 5) as f32 - 2.0) * 0.1)
+        .collect();
+    let wa2: Vec<f32> = (0..3 * 3 * 3 * 3)
+        .map(|i| ((i % 7) as f32 - 3.0) * 0.1)
+        .collect();
     let wb: Vec<f32> = (0..3 * 3).map(|i| ((i % 3) as f32 - 1.0) * 0.4).collect();
     let b = NetworkBuilder::new(Shape::new(6, 6, 1))
-        .conv(3, (3, 3), (1, 1), (1, 1), (0..27).map(|i| ((i % 4) as f32 - 1.5) * 0.2).collect(), vec![0.1; 3])
+        .conv(
+            3,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            (0..27).map(|i| ((i % 4) as f32 - 1.5) * 0.2).collect(),
+            vec![0.1; 3],
+        )
         .relu()
         .residual(
             move |br| {
@@ -177,7 +209,11 @@ fn residual_with_asymmetric_branch_windows() {
         .relu();
     let in_len = b.current_shape().len();
     let net = b
-        .flatten_dense(2, move |i| (((i * 3) % 7) as f32 - 3.0) * 0.4 / in_len as f32, |_| 0.0)
+        .flatten_dense(
+            2,
+            move |i| (((i * 3) % 7) as f32 - 3.0) * 0.4 / in_len as f32,
+            |_| 0.0,
+        )
         .build()
         .expect("net");
     let image = vec![0.4f32; 36];
@@ -194,7 +230,9 @@ fn verification_through_strided_downsample_chain() {
         let w: Vec<f32> = (0..2 * 2 * cout * cin)
             .map(|i| (((i + step) % 5) as f32 - 2.0) * 0.2)
             .collect();
-        b = b.conv(cout, (2, 2), (2, 2), (0, 0), w, vec![0.05; cout]).relu();
+        b = b
+            .conv(cout, (2, 2), (2, 2), (0, 0), w, vec![0.05; cout])
+            .relu();
         cin = cout;
     }
     let in_len = b.current_shape().len();

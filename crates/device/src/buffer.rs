@@ -29,29 +29,45 @@ use crate::{Device, DeviceError};
 /// assert_eq!(dev.memory_in_use(), 0);
 /// # Ok::<(), gpupoly_device::DeviceError>(())
 /// ```
-pub struct DeviceBuffer<T> {
+pub struct DeviceBuffer<T: Send + 'static> {
     data: Vec<T>,
     bytes: usize,
     device: Device,
+    /// `true` when this allocation may be shelved in the device's buffer
+    /// pool on drop (it was created while the pool was active).
+    pooled: bool,
 }
 
-impl<T: fmt::Debug> fmt::Debug for DeviceBuffer<T> {
+impl<T: Send + fmt::Debug> fmt::Debug for DeviceBuffer<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DeviceBuffer")
             .field("len", &self.data.len())
             .field("bytes", &self.bytes)
+            .field("pooled", &self.pooled)
             .finish()
     }
 }
 
-impl<T> DeviceBuffer<T> {
+impl<T: Send + 'static> DeviceBuffer<T> {
+    /// Charges `len` elements against the device, reclaiming shelved pool
+    /// buffers once before giving up on an out-of-memory condition.
     fn charge(device: &Device, len: usize) -> Result<usize, DeviceError> {
         let bytes = len.saturating_mul(mem::size_of::<T>());
-        device.track_alloc(bytes)?;
-        Ok(bytes)
+        match device.track_alloc(bytes) {
+            Ok(()) => Ok(bytes),
+            Err(first) => {
+                if device.buffer_pool_bytes() == 0 {
+                    return Err(first);
+                }
+                device.buffer_pool_clear();
+                device.track_alloc(bytes)?;
+                Ok(bytes)
+            }
+        }
     }
 
-    /// Allocates `len` default-initialized elements.
+    /// Allocates `len` default-initialized elements, reusing a shelved
+    /// buffer of the same size class when the device's pool is active.
     ///
     /// # Errors
     ///
@@ -61,15 +77,53 @@ impl<T> DeviceBuffer<T> {
     where
         T: Clone + Default,
     {
+        if let Some(mut data) = device.pool_take::<T>(len) {
+            for x in &mut data {
+                *x = T::default();
+            }
+            return Ok(Self {
+                data,
+                bytes: len.saturating_mul(mem::size_of::<T>()),
+                device: device.clone(),
+                pooled: true,
+            });
+        }
+        device.note_pool_miss();
         let bytes = Self::charge(device, len)?;
         Ok(Self {
             data: vec![T::default(); len],
             bytes,
             device: device.clone(),
+            pooled: device.buffer_pool_active(),
         })
     }
 
-    /// Uploads a host slice to the device.
+    /// Allocates `len` elements whose initial contents are unspecified
+    /// (but valid) — for destinations the caller fully overwrites, e.g.
+    /// gather targets. A pool hit skips the re-zeroing pass entirely;
+    /// fresh allocations are still zero-initialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
+    /// the device capacity.
+    pub fn for_overwrite(device: &Device, len: usize) -> Result<Self, DeviceError>
+    where
+        T: Clone + Default,
+    {
+        if let Some(data) = device.pool_take::<T>(len) {
+            return Ok(Self {
+                data,
+                bytes: len.saturating_mul(mem::size_of::<T>()),
+                device: device.clone(),
+                pooled: true,
+            });
+        }
+        Self::zeroed(device, len)
+    }
+
+    /// Uploads a host slice to the device, reusing a shelved buffer of the
+    /// same size class when the device's pool is active.
     ///
     /// # Errors
     ///
@@ -79,11 +133,22 @@ impl<T> DeviceBuffer<T> {
     where
         T: Clone,
     {
+        if let Some(mut data) = device.pool_take::<T>(src.len()) {
+            data.clone_from_slice(src);
+            return Ok(Self {
+                data,
+                bytes: src.len().saturating_mul(mem::size_of::<T>()),
+                device: device.clone(),
+                pooled: true,
+            });
+        }
+        device.note_pool_miss();
         let bytes = Self::charge(device, src.len())?;
         Ok(Self {
             data: src.to_vec(),
             bytes,
             device: device.clone(),
+            pooled: device.buffer_pool_active(),
         })
     }
 
@@ -99,7 +164,17 @@ impl<T> DeviceBuffer<T> {
             data,
             bytes,
             device: device.clone(),
+            pooled: device.buffer_pool_active(),
         })
+    }
+
+    /// Exempts this buffer from pool recycling: on drop its memory is
+    /// always returned to the device, never shelved. For long-lived
+    /// allocations (e.g. packed model weights) that a transient buffer
+    /// pool active on the same device must not capture.
+    pub fn into_persistent(mut self) -> Self {
+        self.pooled = false;
+        self
     }
 
     /// Number of elements.
@@ -135,20 +210,29 @@ impl<T> DeviceBuffer<T> {
     }
 }
 
-impl<T> Drop for DeviceBuffer<T> {
+impl<T: Send + 'static> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
+        if self.bytes == 0 {
+            return;
+        }
+        if self.pooled {
+            let data = mem::take(&mut self.data);
+            if self.device.pool_put(data, self.bytes) {
+                return; // charge stays with the shelved buffer
+            }
+        }
         self.device.track_free(self.bytes);
     }
 }
 
-impl<T> Deref for DeviceBuffer<T> {
+impl<T: Send + 'static> Deref for DeviceBuffer<T> {
     type Target = [T];
     fn deref(&self) -> &[T] {
         &self.data
     }
 }
 
-impl<T> DerefMut for DeviceBuffer<T> {
+impl<T: Send + 'static> DerefMut for DeviceBuffer<T> {
     fn deref_mut(&mut self) -> &mut [T] {
         &mut self.data
     }
@@ -206,6 +290,71 @@ mod tests {
             }
             other => panic!("expected OOM, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pool_recycles_exact_size_classes() {
+        let dev = Device::default();
+        dev.buffer_pool_retain();
+        let before_bytes = dev.stats().bytes_allocated();
+        {
+            let _a = DeviceBuffer::<u64>::zeroed(&dev, 100).unwrap();
+        }
+        assert_eq!(dev.buffer_pool_bytes(), 800, "buffer should be shelved");
+        let in_use_shelved = dev.memory_in_use();
+        {
+            // Same size class: reused, no fresh bytes.
+            let b = DeviceBuffer::<u64>::zeroed(&dev, 100).unwrap();
+            assert!(b.iter().all(|&x| x == 0), "reused buffer must be zeroed");
+            assert_eq!(dev.buffer_pool_bytes(), 0);
+        }
+        assert_eq!(
+            dev.stats().bytes_allocated() - before_bytes,
+            800,
+            "second allocation must not charge fresh bytes"
+        );
+        assert_eq!(dev.stats().pool_hits(), 1);
+        assert_eq!(dev.memory_in_use(), in_use_shelved);
+        // Different element type, same byte size: not shared.
+        {
+            let _c = DeviceBuffer::<i64>::zeroed(&dev, 100).unwrap();
+        }
+        assert!(dev.stats().pool_misses() >= 1);
+        dev.buffer_pool_release();
+        assert_eq!(dev.memory_in_use(), 0, "release drains the pool");
+        assert_eq!(dev.buffer_pool_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_reclaims_before_reporting_oom() {
+        let dev = Device::new(DeviceConfig::new().memory_capacity(1024));
+        dev.buffer_pool_retain();
+        {
+            let _a = DeviceBuffer::<u8>::zeroed(&dev, 1000).unwrap();
+        }
+        assert_eq!(dev.memory_in_use(), 1000, "shelved bytes stay charged");
+        // A different size class would OOM unless the shelf is reclaimed.
+        let b = DeviceBuffer::<u8>::zeroed(&dev, 512).unwrap();
+        assert_eq!(dev.memory_in_use(), 512);
+        drop(b);
+        dev.buffer_pool_release();
+        assert_eq!(dev.memory_in_use(), 0);
+        // Truly hopeless allocations still fail.
+        dev.buffer_pool_retain();
+        assert!(DeviceBuffer::<u8>::zeroed(&dev, 4096).is_err());
+        dev.buffer_pool_release();
+    }
+
+    #[test]
+    fn inactive_pool_changes_nothing() {
+        let dev = Device::default();
+        {
+            let _a = DeviceBuffer::<u32>::zeroed(&dev, 64).unwrap();
+        }
+        assert_eq!(dev.memory_in_use(), 0);
+        assert_eq!(dev.buffer_pool_bytes(), 0);
+        assert_eq!(dev.stats().pool_hits(), 0);
+        assert_eq!(dev.stats().pool_misses(), 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The device handle: worker pool, memory accounting, launch statistics.
 
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -96,6 +97,8 @@ pub struct DeviceStats {
     launches: AtomicU64,
     flops: AtomicU64,
     bytes_allocated: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
     kernel_counts: Mutex<HashMap<&'static str, u64>>,
 }
 
@@ -113,6 +116,18 @@ impl DeviceStats {
     /// Total bytes ever allocated (not peak; see [`Device::peak_memory`]).
     pub fn bytes_allocated(&self) -> u64 {
         self.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool hits: allocations served by recycling a shelved buffer
+    /// instead of charging fresh device memory.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool misses: allocations that went to fresh device memory
+    /// while the pool was active.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.load(Ordering::Relaxed)
     }
 
     /// Number of launches of the kernel with the given label.
@@ -135,6 +150,9 @@ impl DeviceStats {
     }
 }
 
+/// Shelved buffers keyed by `(element type, byte size)`.
+type Shelves = HashMap<(TypeId, usize), Vec<Box<dyn Any + Send>>>;
+
 pub(crate) struct DeviceInner {
     pool: rayon::ThreadPool,
     capacity: Option<usize>,
@@ -143,6 +161,15 @@ pub(crate) struct DeviceInner {
     stats: DeviceStats,
     name: String,
     workers: usize,
+    /// Reference count of buffer-pool users (engines). While non-zero,
+    /// dropped pooled [`crate::DeviceBuffer`]s are shelved here for exact
+    /// size-class reuse instead of being freed.
+    recyclers: AtomicUsize,
+    /// Shelved buffers keyed by `(element type, byte size)`. Shelved bytes
+    /// stay charged against capacity; an allocation that would fail reclaims
+    /// the shelf before reporting out-of-memory.
+    shelves: Mutex<Shelves>,
+    shelved_bytes: AtomicUsize,
 }
 
 /// A handle to a simulated GPU.
@@ -205,6 +232,9 @@ impl Device {
                 stats: DeviceStats::default(),
                 name: config.name.unwrap_or_else(|| "gpupoly-sim".to_string()),
                 workers,
+                recyclers: AtomicUsize::new(0),
+                shelves: Mutex::new(Shelves::new()),
+                shelved_bytes: AtomicUsize::new(0),
             }),
         }
     }
@@ -268,6 +298,93 @@ impl Device {
         self.inner.in_use.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// `true` while at least one buffer-pool user is registered.
+    pub fn buffer_pool_active(&self) -> bool {
+        self.inner.recyclers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Registers a buffer-pool user: while any user is registered, dropped
+    /// pool-eligible buffers are shelved for reuse instead of freed. Pair
+    /// with [`Device::buffer_pool_release`].
+    pub fn buffer_pool_retain(&self) {
+        self.inner.recyclers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deregisters a buffer-pool user; the last release drains the pool and
+    /// returns the shelved memory to the device.
+    pub fn buffer_pool_release(&self) {
+        if self.inner.recyclers.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.buffer_pool_clear();
+        }
+    }
+
+    /// Frees every shelved buffer immediately.
+    pub fn buffer_pool_clear(&self) {
+        let drained: Vec<_> = self.inner.shelves.lock().drain().collect();
+        for ((_, bytes), entries) in drained {
+            let freed = bytes * entries.len();
+            self.inner.shelved_bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.track_free(freed);
+        }
+    }
+
+    /// Bytes currently held by shelved (reusable) buffers. These count
+    /// towards [`Device::memory_in_use`] until reclaimed.
+    pub fn buffer_pool_bytes(&self) -> usize {
+        self.inner.shelved_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Takes a shelved buffer of exactly `len` elements of `T`, if any.
+    /// The returned storage keeps its existing memory charge.
+    pub(crate) fn pool_take<T: Send + 'static>(&self, len: usize) -> Option<Vec<T>> {
+        if !self.buffer_pool_active() {
+            return None;
+        }
+        let bytes = len.saturating_mul(std::mem::size_of::<T>());
+        let key = (TypeId::of::<Vec<T>>(), bytes);
+        let boxed = {
+            let mut shelves = self.inner.shelves.lock();
+            let entry = shelves.get_mut(&key)?;
+            let boxed = entry.pop()?;
+            if entry.is_empty() {
+                shelves.remove(&key);
+            }
+            boxed
+        };
+        self.inner.shelved_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.inner.stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+        let vec = *boxed.downcast::<Vec<T>>().expect("pool key/type mismatch");
+        debug_assert_eq!(vec.len(), len, "pooled buffer length drifted");
+        Some(vec)
+    }
+
+    /// Shelves a buffer's storage for reuse, keeping its memory charge.
+    /// Returns `false` (storage not taken) when the pool is inactive —
+    /// the caller must then free the charge itself.
+    pub(crate) fn pool_put<T: Send + 'static>(&self, data: Vec<T>, bytes: usize) -> bool {
+        if bytes == 0 {
+            return false;
+        }
+        debug_assert_eq!(data.len() * std::mem::size_of::<T>(), bytes);
+        let key = (TypeId::of::<Vec<T>>(), bytes);
+        let mut shelves = self.inner.shelves.lock();
+        // Re-checked under the shelves lock: the final buffer_pool_release
+        // drains under this lock after dropping the user count, so a put
+        // that observes an active pool here cannot land after the drain.
+        if !self.buffer_pool_active() {
+            return false;
+        }
+        shelves.entry(key).or_default().push(Box::new(data));
+        self.inner.shelved_bytes.fetch_add(bytes, Ordering::Relaxed);
+        true
+    }
+
+    pub(crate) fn note_pool_miss(&self) {
+        if self.buffer_pool_active() {
+            self.inner.stats.pool_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Launches a kernel over `n` independent indices.
     ///
     /// The closure is the kernel body; it runs once per index, in parallel.
@@ -275,7 +392,7 @@ impl Device {
         self.inner.stats.record_launch(label);
         self.inner
             .pool
-            .install(|| (0..n).into_par_iter().for_each(|i| kernel(i)));
+            .install(|| (0..n).into_par_iter().for_each(&kernel));
     }
 
     /// Launches a kernel that writes each element of `out` from its index —
@@ -308,7 +425,7 @@ impl Device {
             return;
         }
         assert!(
-            row_len > 0 && data.len() % row_len == 0,
+            row_len > 0 && data.len().is_multiple_of(row_len),
             "par_rows: data length {} not a multiple of row length {row_len}",
             data.len()
         );
@@ -365,7 +482,7 @@ impl Device {
         self.inner.pool.install(|| {
             (0..n)
                 .into_par_iter()
-                .map(|i| map(i))
+                .map(&map)
                 .reduce(|| identity, &reduce)
         })
     }

@@ -222,8 +222,12 @@ mod tests {
     fn interval_gemm_contains_f64_reference() {
         let dev = Device::new(DeviceConfig::new().workers(3));
         let (m, k, n) = (5, 17, 9);
-        let av: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1).collect();
-        let bv: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.05).collect();
+        let av: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1)
+            .collect();
+        let bv: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.05)
+            .collect();
         let a: Vec<Itv<f32>> = av.iter().map(|&x| pt(x)).collect();
         let mut c = vec![Itv::zero(); m * n];
         gemm_itv_f(&dev, &a, &bv, &mut c, m, k, n);

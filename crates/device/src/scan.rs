@@ -70,6 +70,7 @@ pub fn exclusive_scan(device: &Device, xs: &[u32]) -> (Vec<u32>, u32) {
 
 /// Computes the index array of a compaction: the original indices of all
 /// `true` entries, in order, via the prefix-sum scatter of §4.2.
+#[allow(clippy::needless_range_loop)] // index loop mirrors the GPU scatter kernel
 pub fn compact_indices(device: &Device, keep: &[bool]) -> Vec<u32> {
     device.stats().record_launch("compact_indices");
     let n = keep.len();
@@ -140,15 +141,39 @@ pub fn compact_rows<T: Copy + Send + Sync>(
         return (Vec::new(), index);
     };
     let mut dst = vec![fill; index.len() * row_len];
+    gather_rows_into(device, src, row_len, &index, &mut dst);
+    (dst, index)
+}
+
+/// Gathers the rows listed in `index` from a row-major matrix into `dst` —
+/// the scatter half of compaction, split out so callers can gather into
+/// pre-allocated (pooled) device storage.
+///
+/// # Panics
+///
+/// Panics when `dst.len() != index.len() * row_len` or an index is out of
+/// range for `src`.
+pub fn gather_rows_into<T: Copy + Send + Sync>(
+    device: &Device,
+    src: &[T],
+    row_len: usize,
+    index: &[u32],
+    dst: &mut [T],
+) {
+    assert_eq!(
+        dst.len(),
+        index.len() * row_len,
+        "gather_rows_into: destination shape mismatch"
+    );
+    device.stats().record_launch("gather_rows");
     // Parallel gather: each destination row copies from its source row.
     device.install(|| {
-        dst.par_chunks_mut(row_len)
+        dst.par_chunks_mut(row_len.max(1))
             .zip(index.par_iter())
             .for_each(|(row, &i)| {
                 row.copy_from_slice(&src[i as usize * row_len..(i as usize + 1) * row_len]);
             })
     });
-    (dst, index)
 }
 
 #[cfg(test)]

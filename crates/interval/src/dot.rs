@@ -165,7 +165,11 @@ mod tests {
 
     #[test]
     fn sum_itv_adds_componentwise() {
-        let xs = vec![Itv::new(0.0_f32, 1.0), Itv::new(-2.0, -1.0), Itv::point(3.0)];
+        let xs = vec![
+            Itv::new(0.0_f32, 1.0),
+            Itv::new(-2.0, -1.0),
+            Itv::point(3.0),
+        ];
         let s = sum_itv(&xs);
         assert!(s.contains(1.0 - 1.5 + 3.0));
         assert!(s.lo <= 1.0 && s.hi >= 2.0);

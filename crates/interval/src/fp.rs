@@ -88,6 +88,10 @@ pub trait Fp:
     fn from_f64(x: f64) -> Self;
     /// Conversion from a count.
     fn from_usize(n: usize) -> Self;
+    /// Raw IEEE-754 bit pattern widened to 64 bits — a total key for exact
+    /// value identity (analysis caching, hashing); distinguishes `-0.0`
+    /// from `0.0` and every NaN payload.
+    fn bits(self) -> u64;
 }
 
 macro_rules! impl_fp {
@@ -151,6 +155,10 @@ macro_rules! impl_fp {
             #[inline(always)]
             fn from_usize(n: usize) -> Self {
                 n as $t
+            }
+            #[inline(always)]
+            fn bits(self) -> u64 {
+                self.to_bits() as u64
             }
         }
     };

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::round;
 use crate::Fp;
@@ -32,12 +32,27 @@ use crate::Fp;
 /// assert!(x.straddles_zero());
 /// assert!(!y.is_point());
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Itv<F> {
     /// Lower bound.
     pub lo: F,
     /// Upper bound.
     pub hi: F,
+}
+
+impl<F: Serialize> Serialize for Itv<F> {
+    fn to_value(&self) -> Value {
+        Value::obj([("lo", self.lo.to_value()), ("hi", self.hi.to_value())])
+    }
+}
+
+impl<'de, F: Deserialize<'de>> Deserialize<'de> for Itv<F> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Itv {
+            lo: F::from_value(v.field("lo")?)?,
+            hi: F::from_value(v.field("hi")?)?,
+        })
+    }
 }
 
 impl<F: Fp> Itv<F> {
@@ -152,6 +167,7 @@ impl<F: Fp> Itv<F> {
 
     /// Interval negation `[-hi, -lo]` (exact).
     #[inline(always)]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Self {
         Self {
             lo: -self.hi,
@@ -161,6 +177,7 @@ impl<F: Fp> Itv<F> {
 
     /// Outward-rounded interval addition.
     #[inline(always)]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
         Self {
             lo: round::add_down(self.lo, other.lo),
@@ -170,6 +187,7 @@ impl<F: Fp> Itv<F> {
 
     /// Outward-rounded interval subtraction.
     #[inline(always)]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Self) -> Self {
         Self {
             lo: round::sub_down(self.lo, other.hi),
@@ -179,6 +197,7 @@ impl<F: Fp> Itv<F> {
 
     /// Outward-rounded interval multiplication (full 4-product case split).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Self) -> Self {
         if self.is_point() {
             return other.mul_f(self.lo);

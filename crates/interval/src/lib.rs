@@ -42,9 +42,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dot;
 mod fp;
 mod itv;
-pub mod dot;
 pub mod round;
 
 pub use fp::Fp;

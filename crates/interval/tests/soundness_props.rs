@@ -9,8 +9,8 @@ use proptest::prelude::*;
 /// Finite, moderately sized floats — the regime verification operates in.
 fn small_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
-        (-1e6f32..1e6f32),
-        (-1.0f32..1.0f32),
+        -1e6f32..1e6f32,
+        -1.0f32..1.0f32,
         Just(0.0f32),
         Just(1.0f32),
         Just(-1.0f32),

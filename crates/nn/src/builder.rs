@@ -300,11 +300,7 @@ mod tests {
             vec![0.0; 4],
         );
         assert_eq!(b.current_shape(), Shape::new(4, 4, 4));
-        let net = b
-            .relu()
-            .flatten_dense(5, |_| 0.0, |_| 1.0)
-            .build()
-            .unwrap();
-        assert_eq!(net.infer(&vec![0.5; 36]), vec![1.0; 5]);
+        let net = b.relu().flatten_dense(5, |_| 0.0, |_| 1.0).build().unwrap();
+        assert_eq!(net.infer(&[0.5; 36]), vec![1.0; 5]);
     }
 }

@@ -1,7 +1,7 @@
 //! Layer definitions: dense (fully-connected), 2-D convolution and ReLU.
 
 use gpupoly_interval::{Fp, Itv};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::{NetworkError, Shape};
 
@@ -22,7 +22,7 @@ use crate::{NetworkError, Shape};
 /// assert_eq!(y, [-2.0, 4.0]);
 /// # Ok::<(), gpupoly_nn::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dense<F> {
     /// Number of outputs (rows of `W`).
     pub out_len: usize,
@@ -133,7 +133,7 @@ impl<F: Fp> Dense<F> {
 /// assert_eq!(y, [12.0, 16.0, 24.0, 28.0]);
 /// # Ok::<(), gpupoly_nn::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Conv2d<F> {
     /// Input activation shape.
     pub in_shape: Shape,
@@ -302,6 +302,62 @@ impl<F: Fp> Conv2d<F> {
     }
 }
 
+impl<F: Serialize> Serialize for Dense<F> {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("out_len", self.out_len.to_value()),
+            ("in_len", self.in_len.to_value()),
+            ("weight", self.weight.to_value()),
+            ("bias", self.bias.to_value()),
+        ])
+    }
+}
+
+impl<'de, F: Deserialize<'de>> Deserialize<'de> for Dense<F> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Dense {
+            out_len: usize::from_value(v.field("out_len")?)?,
+            in_len: usize::from_value(v.field("in_len")?)?,
+            weight: Vec::from_value(v.field("weight")?)?,
+            bias: Vec::from_value(v.field("bias")?)?,
+        })
+    }
+}
+
+impl<F: Serialize> Serialize for Conv2d<F> {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("in_shape", self.in_shape.to_value()),
+            ("out_shape", self.out_shape.to_value()),
+            ("kh", self.kh.to_value()),
+            ("kw", self.kw.to_value()),
+            ("sh", self.sh.to_value()),
+            ("sw", self.sw.to_value()),
+            ("ph", self.ph.to_value()),
+            ("pw", self.pw.to_value()),
+            ("weight", self.weight.to_value()),
+            ("bias", self.bias.to_value()),
+        ])
+    }
+}
+
+impl<'de, F: Deserialize<'de>> Deserialize<'de> for Conv2d<F> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Conv2d {
+            in_shape: Shape::from_value(v.field("in_shape")?)?,
+            out_shape: Shape::from_value(v.field("out_shape")?)?,
+            kh: usize::from_value(v.field("kh")?)?,
+            kw: usize::from_value(v.field("kw")?)?,
+            sh: usize::from_value(v.field("sh")?)?,
+            sw: usize::from_value(v.field("sw")?)?,
+            ph: usize::from_value(v.field("ph")?)?,
+            pw: usize::from_value(v.field("pw")?)?,
+            weight: Vec::from_value(v.field("weight")?)?,
+            bias: Vec::from_value(v.field("bias")?)?,
+        })
+    }
+}
+
 /// Element-wise ReLU, `y_i = max(x_i, 0)`.
 pub fn relu_forward<F: Fp>(x: &[F], y: &mut [F]) {
     assert_eq!(x.len(), y.len(), "relu length");
@@ -326,18 +382,29 @@ mod tests {
     fn dense_rejects_bad_sizes() {
         assert!(matches!(
             Dense::<f32>::new(2, 2, vec![0.0; 3], vec![0.0; 2]),
-            Err(NetworkError::SizeMismatch { what: "dense weight", .. })
+            Err(NetworkError::SizeMismatch {
+                what: "dense weight",
+                ..
+            })
         ));
         assert!(matches!(
             Dense::<f32>::new(2, 2, vec![0.0; 4], vec![0.0; 3]),
-            Err(NetworkError::SizeMismatch { what: "dense bias", .. })
+            Err(NetworkError::SizeMismatch {
+                what: "dense bias",
+                ..
+            })
         ));
     }
 
     #[test]
     fn dense_forward_itv_contains_point_forward() {
-        let d = Dense::new(2, 3, vec![0.1_f32, -0.2, 0.3, 0.5, 0.5, -0.5], vec![1.0, -1.0])
-            .unwrap();
+        let d = Dense::new(
+            2,
+            3,
+            vec![0.1_f32, -0.2, 0.3, 0.5, 0.5, -0.5],
+            vec![1.0, -1.0],
+        )
+        .unwrap();
         let x = [0.3_f32, 0.7, -0.2];
         let mut y = [0.0_f32; 2];
         d.forward(&x, &mut y);
@@ -452,7 +519,9 @@ mod tests {
         let n_w = 2 * 2 * cout * 2;
         let w: Vec<f32> = (0..n_w).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
         let c = Conv2d::new(shape, cout, (2, 2), (1, 1), (1, 1), w, vec![0.1, -0.1, 0.0]).unwrap();
-        let x: Vec<f32> = (0..shape.len()).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect();
+        let x: Vec<f32> = (0..shape.len())
+            .map(|i| ((i % 5) as f32 - 2.0) * 0.3)
+            .collect();
         let mut y = vec![0.0_f32; c.out_shape.len()];
         c.forward(&x, &mut y);
         let xi: Vec<Itv<f32>> = x.iter().map(|&v| Itv::point(v)).collect();
@@ -469,7 +538,11 @@ mod tests {
         let mut y = [0.0_f32; 3];
         relu_forward(&x, &mut y);
         assert_eq!(y, [0.0, 0.0, 2.5]);
-        let xi = [Itv::new(-2.0_f32, -1.0), Itv::new(-1.0, 1.0), Itv::new(0.5, 2.0)];
+        let xi = [
+            Itv::new(-2.0_f32, -1.0),
+            Itv::new(-1.0, 1.0),
+            Itv::new(0.5, 2.0),
+        ];
         let mut yi = [Itv::zero(); 3];
         relu_forward_itv(&xi, &mut yi);
         assert_eq!(yi[0], Itv::zero());

@@ -1,12 +1,12 @@
 //! Structured networks and their flattened computation graphs.
 
 use gpupoly_interval::{Fp, Itv};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::{relu_forward, relu_forward_itv, Conv2d, Dense, NetworkError, Shape};
 
 /// A single layer of a network.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Layer<F> {
     /// Fully-connected affine layer.
     Dense(Dense<F>),
@@ -60,7 +60,7 @@ impl<F: Fp> Layer<F> {
 /// An empty branch is the identity (a skip connection). The paper assumes
 /// residual width two (§3.1), i.e. no nested residual blocks — the type
 /// enforces this: branches are flat layer lists.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Block<F> {
     /// A single layer.
     Single(Layer<F>),
@@ -92,10 +92,84 @@ pub enum Block<F> {
 /// assert_eq!(net.neuron_count(), 2);
 /// # Ok::<(), gpupoly_nn::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Network<F> {
     input_shape: Shape,
     blocks: Vec<Block<F>>,
+}
+
+// Hand-written serialization over the serde shim's value model, following
+// serde's default conventions (externally tagged enums) so the JSON format
+// matches what the derive macros would have produced.
+
+impl<F: Serialize> Serialize for Layer<F> {
+    fn to_value(&self) -> Value {
+        match self {
+            Layer::Dense(d) => Value::obj([("Dense", d.to_value())]),
+            Layer::Conv(c) => Value::obj([("Conv", c.to_value())]),
+            Layer::Relu => Value::Str("Relu".to_string()),
+        }
+    }
+}
+
+impl<'de, F: Deserialize<'de>> Deserialize<'de> for Layer<F> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s == "Relu" => Ok(Layer::Relu),
+            Value::Obj(fields) if fields.len() == 1 => match fields[0].0.as_str() {
+                "Dense" => Ok(Layer::Dense(Dense::from_value(&fields[0].1)?)),
+                "Conv" => Ok(Layer::Conv(Conv2d::from_value(&fields[0].1)?)),
+                other => Err(DeError(format!("unknown Layer variant `{other}`"))),
+            },
+            _ => Err(DeError("expected a Layer variant".to_string())),
+        }
+    }
+}
+
+impl<F: Serialize> Serialize for Block<F> {
+    fn to_value(&self) -> Value {
+        match self {
+            Block::Single(layer) => Value::obj([("Single", layer.to_value())]),
+            Block::Residual { a, b } => Value::obj([(
+                "Residual",
+                Value::obj([("a", a.to_value()), ("b", b.to_value())]),
+            )]),
+        }
+    }
+}
+
+impl<'de, F: Deserialize<'de>> Deserialize<'de> for Block<F> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) if fields.len() == 1 => match fields[0].0.as_str() {
+                "Single" => Ok(Block::Single(Layer::from_value(&fields[0].1)?)),
+                "Residual" => Ok(Block::Residual {
+                    a: Vec::from_value(fields[0].1.field("a")?)?,
+                    b: Vec::from_value(fields[0].1.field("b")?)?,
+                }),
+                other => Err(DeError(format!("unknown Block variant `{other}`"))),
+            },
+            _ => Err(DeError("expected a Block variant".to_string())),
+        }
+    }
+}
+
+impl<F: Serialize> Serialize for Network<F> {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("input_shape", self.input_shape.to_value()),
+            ("blocks", self.blocks.to_value()),
+        ])
+    }
+}
+
+impl<'de, F: Deserialize<'de>> Deserialize<'de> for Network<F> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Network {
+            input_shape: Shape::from_value(v.field("input_shape")?)?,
+            blocks: Vec::from_value(v.field("blocks")?)?,
+        })
+    }
 }
 
 impl<F: Fp + Serialize + for<'de> Deserialize<'de>> Network<F> {
@@ -482,10 +556,7 @@ mod tests {
                 b: vec![],
             }],
         );
-        assert!(matches!(
-            bad,
-            Err(NetworkError::ResidualShapeMismatch(_))
-        ));
+        assert!(matches!(bad, Err(NetworkError::ResidualShapeMismatch(_))));
     }
 
     #[test]
@@ -518,10 +589,7 @@ mod tests {
             w
         };
         let net = NetworkBuilder::new_flat(2)
-            .residual(
-                |a| a.dense_flat(2, id(2), vec![0.0; 2]).relu(),
-                |b| b,
-            )
+            .residual(|a| a.dense_flat(2, id(2), vec![0.0; 2]).relu(), |b| b)
             .build()
             .unwrap();
         let g = net.graph();

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// The shape of a layer's activation tensor: `h × w × c` with the channel
 /// dimension innermost in memory.
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.idx(1, 0, 0), 12);      // one row = w * c
 /// assert_eq!(Shape::flat(10).len(), 10);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Shape {
     /// Height (rows).
     pub h: usize,
@@ -81,6 +81,26 @@ impl Shape {
         let c = i % self.c;
         let wh = i / self.c;
         (wh / self.w, wh % self.w, c)
+    }
+}
+
+impl Serialize for Shape {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("h", self.h.to_value()),
+            ("w", self.w.to_value()),
+            ("c", self.c.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for Shape {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Shape {
+            h: usize::from_value(v.field("h")?)?,
+            w: usize::from_value(v.field("w")?)?,
+            c: usize::from_value(v.field("c")?)?,
+        })
     }
 }
 

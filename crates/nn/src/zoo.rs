@@ -157,22 +157,150 @@ pub fn table1_specs() -> Vec<ModelSpec> {
     use Dataset::*;
     use TrainingRegime::*;
     vec![
-        spec("mnist_6x500", MnistLike, Fc6x500, Normal, 8.0 / 255.0, 3_010, 6),
-        spec("mnist_convbig_diffai", MnistLike, ConvBig, DiffAi, 0.3, 48_000, 6),
-        spec("mnist_convsuper", MnistLike, ConvSuper, Normal, 8.0 / 255.0, 88_000, 6),
-        spec("mnist_ibp_large_02", MnistLike, ConvLarge, CrownIbp, 0.258, 176_000, 6),
-        spec("mnist_ibp_large_04", MnistLike, ConvLarge, CrownIbp, 0.3, 176_000, 6),
-        spec("cifar_6x500", Cifar10Like, Fc6x500, Normal, 1.0 / 500.0, 3_010, 6),
-        spec("cifar_convbig_diffai", Cifar10Like, ConvBig, DiffAi, 8.0 / 255.0, 62_000, 6),
-        spec("cifar_convlarge_diffai", Cifar10Like, ConvLarge, DiffAi, 8.0 / 255.0, 230_000, 6),
-        spec("cifar_ibp_large_2_255", Cifar10Like, ConvLarge, CrownIbp, 2.0 / 255.0, 230_000, 6),
-        spec("cifar_ibp_large_8_255", Cifar10Like, ConvLarge, CrownIbp, 8.0 / 255.0, 230_000, 6),
-        spec("cifar_resnettiny_pgd", Cifar10Like, ResNetTiny, Pgd, 1.0 / 500.0, 311_000, 12),
-        spec("cifar_resnet18_pgd", Cifar10Like, ResNet18, Pgd, 1.0 / 500.0, 558_000, 18),
-        spec("cifar_resnettiny_diffai", Cifar10Like, ResNetTiny, DiffAi, 8.0 / 255.0, 311_000, 12),
-        spec("cifar_resnet18_diffai", Cifar10Like, ResNet18, DiffAi, 8.0 / 255.0, 558_000, 18),
-        spec("cifar_skipnet18_diffai", Cifar10Like, SkipNet18, DiffAi, 8.0 / 255.0, 558_000, 18),
-        spec("cifar_resnet34_diffai", Cifar10Like, ResNet34, DiffAi, 8.0 / 255.0, 967_000, 34),
+        spec(
+            "mnist_6x500",
+            MnistLike,
+            Fc6x500,
+            Normal,
+            8.0 / 255.0,
+            3_010,
+            6,
+        ),
+        spec(
+            "mnist_convbig_diffai",
+            MnistLike,
+            ConvBig,
+            DiffAi,
+            0.3,
+            48_000,
+            6,
+        ),
+        spec(
+            "mnist_convsuper",
+            MnistLike,
+            ConvSuper,
+            Normal,
+            8.0 / 255.0,
+            88_000,
+            6,
+        ),
+        spec(
+            "mnist_ibp_large_02",
+            MnistLike,
+            ConvLarge,
+            CrownIbp,
+            0.258,
+            176_000,
+            6,
+        ),
+        spec(
+            "mnist_ibp_large_04",
+            MnistLike,
+            ConvLarge,
+            CrownIbp,
+            0.3,
+            176_000,
+            6,
+        ),
+        spec(
+            "cifar_6x500",
+            Cifar10Like,
+            Fc6x500,
+            Normal,
+            1.0 / 500.0,
+            3_010,
+            6,
+        ),
+        spec(
+            "cifar_convbig_diffai",
+            Cifar10Like,
+            ConvBig,
+            DiffAi,
+            8.0 / 255.0,
+            62_000,
+            6,
+        ),
+        spec(
+            "cifar_convlarge_diffai",
+            Cifar10Like,
+            ConvLarge,
+            DiffAi,
+            8.0 / 255.0,
+            230_000,
+            6,
+        ),
+        spec(
+            "cifar_ibp_large_2_255",
+            Cifar10Like,
+            ConvLarge,
+            CrownIbp,
+            2.0 / 255.0,
+            230_000,
+            6,
+        ),
+        spec(
+            "cifar_ibp_large_8_255",
+            Cifar10Like,
+            ConvLarge,
+            CrownIbp,
+            8.0 / 255.0,
+            230_000,
+            6,
+        ),
+        spec(
+            "cifar_resnettiny_pgd",
+            Cifar10Like,
+            ResNetTiny,
+            Pgd,
+            1.0 / 500.0,
+            311_000,
+            12,
+        ),
+        spec(
+            "cifar_resnet18_pgd",
+            Cifar10Like,
+            ResNet18,
+            Pgd,
+            1.0 / 500.0,
+            558_000,
+            18,
+        ),
+        spec(
+            "cifar_resnettiny_diffai",
+            Cifar10Like,
+            ResNetTiny,
+            DiffAi,
+            8.0 / 255.0,
+            311_000,
+            12,
+        ),
+        spec(
+            "cifar_resnet18_diffai",
+            Cifar10Like,
+            ResNet18,
+            DiffAi,
+            8.0 / 255.0,
+            558_000,
+            18,
+        ),
+        spec(
+            "cifar_skipnet18_diffai",
+            Cifar10Like,
+            SkipNet18,
+            DiffAi,
+            8.0 / 255.0,
+            558_000,
+            18,
+        ),
+        spec(
+            "cifar_resnet34_diffai",
+            Cifar10Like,
+            ResNet34,
+            DiffAi,
+            8.0 / 255.0,
+            967_000,
+            34,
+        ),
     ]
 }
 
@@ -219,7 +347,9 @@ impl Init {
 
     fn dense_w(&mut self, out: usize, inp: usize) -> Vec<f32> {
         let a = he_bound(inp);
-        (0..out * inp).map(|_| self.rng.random_range(-a..a)).collect()
+        (0..out * inp)
+            .map(|_| self.rng.random_range(-a..a))
+            .collect()
     }
 
     fn bias(&mut self, n: usize) -> Vec<f32> {
@@ -267,12 +397,7 @@ pub fn build_arch(
             conv_stack(
                 b,
                 &mut init,
-                &[
-                    (c1, 3, 1, 1),
-                    (c1, 4, 2, 1),
-                    (c2, 3, 1, 1),
-                    (c2, 4, 2, 1),
-                ],
+                &[(c1, 3, 1, 1), (c1, 4, 2, 1), (c2, 3, 1, 1), (c2, 4, 2, 1)],
                 &[fc, fc],
                 classes,
             )
@@ -283,12 +408,7 @@ pub fn build_arch(
             conv_stack(
                 b,
                 &mut init,
-                &[
-                    (c1, 3, 1, 0),
-                    (c1, 4, 1, 0),
-                    (c2, 3, 1, 0),
-                    (c2, 4, 1, 0),
-                ],
+                &[(c1, 3, 1, 0), (c1, 4, 1, 0), (c2, 3, 1, 0), (c2, 4, 1, 0)],
                 &[fc, fc],
                 classes,
             )
@@ -453,7 +573,10 @@ mod tests {
     fn specs_cover_all_sixteen_networks() {
         let specs = table1_specs();
         assert_eq!(specs.len(), 16);
-        let mnist = specs.iter().filter(|s| s.dataset == Dataset::MnistLike).count();
+        let mnist = specs
+            .iter()
+            .filter(|s| s.dataset == Dataset::MnistLike)
+            .count();
         assert_eq!(mnist, 5);
         let residual = specs.iter().filter(|s| s.arch.is_residual()).count();
         assert_eq!(residual, 6);
@@ -475,18 +598,34 @@ mod tests {
     fn convbig_counts_land_near_paper() {
         let m = build_arch(ArchId::ConvBig, Dataset::MnistLike, 1.0, 0).unwrap();
         // paper: 48K (MNIST)
-        assert!((40_000..60_000).contains(&m.neuron_count()), "{}", m.neuron_count());
+        assert!(
+            (40_000..60_000).contains(&m.neuron_count()),
+            "{}",
+            m.neuron_count()
+        );
         let c = build_arch(ArchId::ConvBig, Dataset::Cifar10Like, 1.0, 0).unwrap();
         // paper: 62K (CIFAR)
-        assert!((55_000..75_000).contains(&c.neuron_count()), "{}", c.neuron_count());
+        assert!(
+            (55_000..75_000).contains(&c.neuron_count()),
+            "{}",
+            c.neuron_count()
+        );
     }
 
     #[test]
     fn convlarge_counts_land_near_paper() {
         let m = build_arch(ArchId::ConvLarge, Dataset::MnistLike, 1.0, 0).unwrap();
-        assert!((150_000..200_000).contains(&m.neuron_count()), "{}", m.neuron_count());
+        assert!(
+            (150_000..200_000).contains(&m.neuron_count()),
+            "{}",
+            m.neuron_count()
+        );
         let c = build_arch(ArchId::ConvLarge, Dataset::Cifar10Like, 1.0, 0).unwrap();
-        assert!((200_000..260_000).contains(&c.neuron_count()), "{}", c.neuron_count());
+        assert!(
+            (200_000..260_000).contains(&c.neuron_count()),
+            "{}",
+            c.neuron_count()
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl Grads {
     ///
     /// Panics when the two gradients come from different networks.
     pub fn add_assign(&mut self, other: &Grads) {
-        assert_eq!(self.params.len(), other.params.len(), "gradient shape mismatch");
+        assert_eq!(
+            self.params.len(),
+            other.params.len(),
+            "gradient shape mismatch"
+        );
         for ((na, wa, ba), (nb, wb, bb)) in self.params.iter_mut().zip(&other.params) {
             assert_eq!(na, nb, "gradient node order mismatch");
             for (x, y) in wa.iter_mut().zip(wb) {
@@ -76,7 +80,11 @@ pub fn backward_point(graph: &Graph<'_, f32>, acts: &[Vec<f32>], out_grad: Vec<f
     assert_eq!(acts.len(), graph.nodes.len(), "activation cache mismatch");
     let mut node_grads: Vec<Vec<f32>> = acts.iter().map(|a| vec![0.0; a.len()]).collect();
     let last = graph.nodes.len() - 1;
-    assert_eq!(out_grad.len(), node_grads[last].len(), "output grad mismatch");
+    assert_eq!(
+        out_grad.len(),
+        node_grads[last].len(),
+        "output grad mismatch"
+    );
     node_grads[last] = out_grad;
     let mut params: Vec<(usize, Vec<f32>, Vec<f32>)> = Vec::new();
     for i in (1..graph.nodes.len()).rev() {
@@ -313,6 +321,7 @@ pub fn backward_ibp(
                 let mut bg = vec![0.0f32; c.bias.len()];
                 for oh in 0..c.out_shape.h {
                     for ow in 0..c.out_shape.w {
+                        #[allow(clippy::needless_range_loop)] // kernel-style index nest
                         for co in 0..c.out_shape.c {
                             let at = c.out_shape.idx(oh, ow, co);
                             let (glr, ghr) = (gl[at], gh[at]);
@@ -376,11 +385,7 @@ pub fn backward_ibp(
     }
     params.sort_unstable_by_key(|(n, _, _)| *n);
     // Input gradient: combine both planes (only used diagnostically here).
-    let input = glo[0]
-        .iter()
-        .zip(&ghi[0])
-        .map(|(a, b)| a + b)
-        .collect();
+    let input = glo[0].iter().zip(&ghi[0]).map(|(a, b)| a + b).collect();
     Grads { params, input }
 }
 
@@ -397,12 +402,11 @@ mod tests {
         let grads = backward_point(&graph, &acts, og);
         // Check a few weight gradients by central differences.
         let eps = 1e-3f32;
-        let loss_of = |n: &Network<f32>| -> f32 {
-            softmax_ce(&n.infer(x), label).0
-        };
+        let loss_of = |n: &Network<f32>| -> f32 { softmax_ce(&n.infer(x), label).0 };
         for &(node, ref wg, ref bg) in &grads.params {
             let _ = node;
             let take = wg.len().min(5);
+            #[allow(clippy::needless_range_loop)] // kernel-style index nest
             for k in 0..take {
                 let mut plus = net.clone();
                 let mut minus = net.clone();
@@ -469,9 +473,17 @@ mod tests {
     #[test]
     fn dense_relu_gradients_match_finite_differences() {
         let net = NetworkBuilder::new_flat(3)
-            .dense_flat(4, (0..12).map(|i| (i as f32 * 0.7).sin() * 0.5).collect(), vec![0.1; 4])
+            .dense_flat(
+                4,
+                (0..12).map(|i| (i as f32 * 0.7).sin() * 0.5).collect(),
+                vec![0.1; 4],
+            )
             .relu()
-            .dense_flat(3, (0..12).map(|i| (i as f32 * 0.3).cos() * 0.5).collect(), vec![0.0; 3])
+            .dense_flat(
+                3,
+                (0..12).map(|i| (i as f32 * 0.3).cos() * 0.5).collect(),
+                vec![0.0; 3],
+            )
             .build()
             .unwrap();
         finite_diff_check(&net, &[0.2, 0.8, 0.5], 1);
@@ -480,7 +492,14 @@ mod tests {
     #[test]
     fn conv_gradients_match_finite_differences() {
         let net = NetworkBuilder::new(gpupoly_nn::Shape::new(4, 4, 1))
-            .conv(2, (3, 3), (1, 1), (1, 1), (0..18).map(|i| (i as f32 * 0.37).sin() * 0.4).collect(), vec![0.05, -0.05])
+            .conv(
+                2,
+                (3, 3),
+                (1, 1),
+                (1, 1),
+                (0..18).map(|i| (i as f32 * 0.37).sin() * 0.4).collect(),
+                vec![0.05, -0.05],
+            )
             .relu()
             .flatten_dense(3, |i| ((i * 7 % 13) as f32 - 6.0) * 0.07, |_| 0.0)
             .build()
@@ -493,7 +512,14 @@ mod tests {
     fn residual_gradients_match_finite_differences() {
         let net = NetworkBuilder::new_flat(3)
             .residual(
-                |a| a.dense_flat(3, (0..9).map(|i| (i as f32 * 0.5).sin() * 0.4).collect(), vec![0.0; 3]).relu(),
+                |a| {
+                    a.dense_flat(
+                        3,
+                        (0..9).map(|i| (i as f32 * 0.5).sin() * 0.4).collect(),
+                        vec![0.0; 3],
+                    )
+                    .relu()
+                },
                 |b| b,
             )
             .dense(&[[0.3_f32, -0.2, 0.5], [0.1, 0.4, -0.3]], &[0.0, 0.1])
@@ -571,6 +597,7 @@ mod tests {
         // Finite differences on a few weights.
         let fd = 1e-3f32;
         for &(node, ref wg, _) in &grads.params {
+            #[allow(clippy::needless_range_loop)] // kernel-style index nest
             for k in 0..wg.len().min(4) {
                 let flat = {
                     let g = net.graph();

@@ -87,7 +87,7 @@ fn prototypes(shape: Shape, classes: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
                                 * (std::f32::consts::TAU * (ky * fy + kx * fx)
                                     + ph
                                     + chan_phase[c])
-                                .sin();
+                                    .sin();
                         }
                         img[shape.idx(h, w, c)] = 0.5 + 0.22 * v / waves.len() as f32 * 2.0;
                     }
@@ -197,7 +197,10 @@ mod tests {
         };
         let same = dist(&d.images[0], &d.images[10]);
         let diff = dist(&d.images[0], &d.images[1]);
-        assert!(same < diff, "same-class distance {same} >= cross-class {diff}");
+        assert!(
+            same < diff,
+            "same-class distance {same} >= cross-class {diff}"
+        );
         assert!(same > 0.0);
     }
 

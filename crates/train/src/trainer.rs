@@ -158,7 +158,12 @@ fn sample_grads(
 }
 
 /// Applies averaged gradients to the network with momentum SGD.
-fn apply(net: &mut Network<f32>, grads: &Grads, vel: &mut [(Vec<f32>, Vec<f32>)], cfg: &TrainConfig) {
+fn apply(
+    net: &mut Network<f32>,
+    grads: &Grads,
+    vel: &mut [(Vec<f32>, Vec<f32>)],
+    cfg: &TrainConfig,
+) {
     let mut flat = 0usize;
     for block in net.blocks_mut() {
         let layers: Vec<&mut Layer<f32>> = match block {
@@ -358,7 +363,10 @@ mod tests {
         let clean_loss = softmax_ce(&net.infer(img), label).0;
         let adv = pgd_attack(&net, img, label, 0.1, 10);
         let adv_loss = softmax_ce(&net.infer(&adv), label).0;
-        assert!(adv_loss >= clean_loss - 1e-4, "attack should not reduce loss");
+        assert!(
+            adv_loss >= clean_loss - 1e-4,
+            "attack should not reduce loss"
+        );
     }
 
     #[test]

@@ -46,8 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let verifier = GpuPoly::new(device.clone(), &net, VerifyConfig::default())?;
         let verdict = verifier.verify_robustness(&image, label, 0.01)?;
         println!("--- device memory: {name} ---");
-        println!("verified: {} | chunks: {} (shrinks: {})",
-            verdict.verified, verdict.stats.chunks, verdict.stats.chunk_shrinks);
+        println!(
+            "verified: {} | chunks: {} (shrinks: {})",
+            verdict.verified, verdict.stats.chunks, verdict.stats.chunk_shrinks
+        );
         println!(
             "rows refined {} | skipped stable {} | stopped mid-walk {}",
             verdict.stats.rows_refined,
@@ -59,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             device.peak_memory() / 1024,
             capacity.map_or(String::new(), |c| format!(" (cap {} KiB)", c / 1024)),
         );
-        println!("total flops: {:.1}M, launches: {}", device.stats().flops() as f64 / 1e6, device.stats().launches());
+        println!(
+            "total flops: {:.1}M, launches: {}",
+            device.stats().flops() as f64 / 1e6,
+            device.stats().launches()
+        );
         for kernel in [
             "gbc_lo",
             "gbc_hi",

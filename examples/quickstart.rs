@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let label = net.classify(&image);
     let verdict = verifier.verify_robustness(&image, label, 0.05)?;
 
-    println!("label = {label}, robust within eps=0.05: {}", verdict.verified);
+    println!(
+        "label = {label}, robust within eps=0.05: {}",
+        verdict.verified
+    );
     for m in &verdict.margins {
         println!(
             "  margin vs class {}: certified lower bound {:+.4} ({})",

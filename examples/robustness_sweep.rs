@@ -10,7 +10,7 @@
 //! Run: `cargo run --release --example robustness_sweep`
 
 use gpupoly::baselines::{ibp, CrownIbp};
-use gpupoly::core::{GpuPoly, VerifyConfig};
+use gpupoly::core::{Engine, Query, VerifyConfig};
 use gpupoly::device::Device;
 use gpupoly::nn::zoo::{self, Dataset, TrainingRegime};
 use gpupoly::train::{data, trainer};
@@ -44,22 +44,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         nets.push((regime, net));
     }
 
-    println!("\n{:<8} {:>8} | {:>6} {:>9} {:>9}", "net", "eps", "IBP", "CROWN-IBP", "GPUPoly");
+    println!(
+        "\n{:<8} {:>8} | {:>6} {:>9} {:>9}",
+        "net", "eps", "IBP", "CROWN-IBP", "GPUPoly"
+    );
     let device = Device::default();
     for (regime, net) in &nets {
-        let verifier = GpuPoly::new(device.clone(), net, VerifyConfig::default())?;
+        // One resident engine per network: weights are packed once and the
+        // whole ε-sweep runs as parallel batches against it.
+        let engine = Engine::new(device.clone(), net, VerifyConfig::default())?;
         let crown = CrownIbp::new(net);
+        let candidates: Vec<(&Vec<f32>, usize)> = test
+            .images
+            .iter()
+            .zip(&test.labels)
+            .filter(|(img, &label)| net.classify(img) == label)
+            .map(|(img, &label)| (img, label))
+            .collect();
+        let cands = candidates.len();
         for eps in [0.01_f32, 0.03, 0.06] {
-            let mut cands = 0usize;
-            let (mut v_ibp, mut v_crown, mut v_gp) = (0usize, 0usize, 0usize);
-            for (img, &label) in test.images.iter().zip(&test.labels) {
-                if net.classify(img) != label {
-                    continue;
-                }
-                cands += 1;
+            let queries: Vec<Query<f32>> = candidates
+                .iter()
+                .map(|&(img, label)| Query::new(img.clone(), label, eps))
+                .collect();
+            let mut v_gp = 0usize;
+            for verdict in engine.verify_batch(&queries) {
+                v_gp += usize::from(verdict?.verified);
+            }
+            let (mut v_ibp, mut v_crown) = (0usize, 0usize);
+            for &(img, label) in &candidates {
                 v_ibp += usize::from(ibp::verify_robustness(net, img, label, eps).verified);
                 v_crown += usize::from(crown.verify_robustness(img, label, eps).verified);
-                v_gp += usize::from(verifier.verify_robustness(img, label, eps)?.verified);
             }
             println!(
                 "{:<8} {:>8} | {:>3}/{cands} {:>6}/{cands} {:>6}/{cands}",
@@ -69,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 v_crown,
                 v_gp
             );
-            assert!(v_ibp <= v_crown && v_crown <= v_gp, "precision ladder violated");
+            assert!(
+                v_ibp <= v_crown && v_crown <= v_gp,
+                "precision ladder violated"
+            );
         }
     }
     Ok(())

@@ -1,0 +1,203 @@
+//! In-workspace stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! subset of `rand`'s API the workspace uses: a deterministic [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], uniform sampling over ranges
+//! through [`RngExt::random_range`], and Fisher–Yates [`seq::SliceRandom`]
+//! shuffling. The generator is xorshift128+ with a splitmix64-seeded state —
+//! statistically adequate for synthetic data and weight initialization, and
+//! fully reproducible across platforms.
+
+use std::ops::Range;
+
+/// Core random-number source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xorshift128+).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s0 = splitmix64(&mut sm);
+            let mut s1 = splitmix64(&mut sm);
+            if s0 == 0 && s1 == 0 {
+                s1 = 1;
+            }
+            StdRng { s0, s1 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.s0;
+            let y = self.s1;
+            self.s0 = y;
+            x ^= x << 23;
+            self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+            self.s1.wrapping_add(y)
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)` (floats may hit `hi` only through
+    /// rounding at the extreme of the range).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                // 53 uniform bits in [0, 1).
+                let t = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = lo as f64 + (hi as f64 - lo as f64) * t;
+                (v as $t).clamp(lo, hi)
+            }
+        }
+    };
+}
+
+impl_sample_float!(f32);
+impl_sample_float!(f64);
+
+macro_rules! impl_sample_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    };
+}
+
+impl_sample_int!(u8);
+impl_sample_int!(u16);
+impl_sample_int!(u32);
+impl_sample_int!(u64);
+impl_sample_int!(usize);
+impl_sample_int!(i8);
+impl_sample_int!(i16);
+impl_sample_int!(i32);
+impl_sample_int!(i64);
+impl_sample_int!(isize);
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform draw from the half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_in(self, range.start, range.end)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Sequence-related randomness.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<f32> = (0..16).map(|_| a.random_range(-1.0f32..1.0)).collect();
+        let vb: Vec<f32> = (0..16).map(|_| b.random_range(-1.0f32..1.0)).collect();
+        let vc: Vec<f32> = (0..16).map(|_| c.random_range(-1.0f32..1.0)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(0.25f32..0.75);
+            assert!((0.25..=0.75).contains(&x));
+            let n = rng.random_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let i = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn values_spread_across_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..2000).map(|_| rng.random_f64()).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,203 @@
+//! In-workspace stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this shim provides a
+//! small value-model serialization framework with `serde`-shaped trait
+//! names: [`Serialize`] / [`Deserialize`] convert to and from a JSON-like
+//! [`Value`] tree, which `serde_json` (the sibling shim) prints and parses.
+//! Derive macros are not provided — the workspace hand-implements the traits
+//! for its (few) serializable types.
+
+use std::fmt;
+
+/// A JSON-like value tree: the intermediate representation between typed
+/// data and serialized text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (stored as `f64`; `f32` and the integer widths the workspace
+    /// uses round-trip exactly).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object value from `(key, value)` pairs.
+    pub fn obj<const N: usize>(fields: [(&str, Value); N]) -> Value {
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up an object field.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The numeric payload, if any.
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::Num(x) => Ok(*x),
+            other => Err(DeError(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_arr(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the serialization [`Value`] model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the serialization [`Value`] model.
+///
+/// The lifetime parameter exists for signature compatibility with serde's
+/// `Deserialize<'de>` (so bounds like `for<'de> Deserialize<'de>` compile);
+/// this shim always deserializes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of this type from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                Ok(v.as_f64()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_num!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f32::from_value(&0.25f32.to_value()).unwrap(), 0.25);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<f64> = Deserialize::from_value(&vec![1.0f64, 2.0].to_value()).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn f32_extremes_round_trip_exactly() {
+        for x in [0.1f32, f32::MAX, f32::MIN_POSITIVE, -1e-30] {
+            assert_eq!(f32::from_value(&x.to_value()).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let v = Value::obj([("a", Value::Num(1.0))]);
+        assert_eq!(v.field("a").unwrap().as_f64().unwrap(), 1.0);
+        assert!(v.field("b").unwrap_err().0.contains("missing field"));
+    }
+}

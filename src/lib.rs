@@ -37,6 +37,35 @@
 //! let verdict = verifier.verify_robustness(&[0.4, 0.6], 0, 0.05).unwrap();
 //! assert!(verdict.verified);
 //! ```
+//!
+//! # Batched verification
+//!
+//! For many queries against one network, [`core::Engine`] keeps the
+//! network resident on the device (weights packed once), recycles
+//! transient buffers, caches analyses of repeated input boxes, and runs
+//! independent queries in parallel across device workers:
+//!
+//! ```
+//! use gpupoly::core::{Engine, Query, VerifyConfig};
+//! use gpupoly::device::Device;
+//! use gpupoly::nn::builder::NetworkBuilder;
+//!
+//! let net = NetworkBuilder::new_flat(2)
+//!     .dense(&[[1.0, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+//!     .relu()
+//!     .dense(&[[1.0, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+//!     .build()
+//!     .unwrap();
+//! let engine = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();
+//! let queries = vec![
+//!     Query::new(vec![0.4, 0.6], 0, 0.05),
+//!     Query::new(vec![0.45, 0.55], 0, 0.03),
+//! ];
+//! assert!(engine
+//!     .verify_batch(&queries)
+//!     .into_iter()
+//!     .all(|v| v.unwrap().verified));
+//! ```
 
 pub use gpupoly_baselines as baselines;
 pub use gpupoly_core as core;

@@ -29,9 +29,13 @@ fn conv_net() -> Network<f32> {
         )
         .relu();
     let in_len = b.current_shape().len();
-    b.flatten_dense(5, move |i| (((i * 13) % 23) as f32 - 11.0) * 0.4 / in_len as f32, |_| 0.0)
-        .build()
-        .expect("net")
+    b.flatten_dense(
+        5,
+        move |i| (((i * 13) % 23) as f32 - 11.0) * 0.4 / in_len as f32,
+        |_| 0.0,
+    )
+    .build()
+    .expect("net")
 }
 
 #[test]

@@ -111,7 +111,9 @@ fn precision_ladder_ibp_crown_gpupoly() {
         let label = net.classify(&image);
         for eps in [0.01f32, 0.02, 0.04] {
             let vi = ibp::verify_robustness(&net, &image, label, eps).verified;
-            let vc = CrownIbp::new(&net).verify_robustness(&image, label, eps).verified;
+            let vc = CrownIbp::new(&net)
+                .verify_robustness(&image, label, eps)
+                .verified;
             let vg = GpuPoly::new(device.clone(), &net, VerifyConfig::default())
                 .unwrap()
                 .verify_robustness(&image, label, eps)
@@ -157,7 +159,10 @@ fn inference_error_widening_costs_little_precision() {
     .verify_robustness(&image, label, 0.02)
     .unwrap();
     for (a, b) in with.margins.iter().zip(&without.margins) {
-        assert!(a.lower <= b.lower + 1e-6, "widening must not tighten margins");
+        assert!(
+            a.lower <= b.lower + 1e-6,
+            "widening must not tighten margins"
+        );
         assert!(
             (a.lower - b.lower).abs() < 1e-3 * (1.0 + b.lower.abs()),
             "widening should cost only ulp-scale precision: {} vs {}",

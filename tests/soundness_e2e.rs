@@ -40,11 +40,13 @@ fn random_conv_net(rng: &mut StdRng) -> Network<f32> {
         .relu();
     let in_len = b.current_shape().len();
     let w3 = rand_vec(rng, 3 * in_len, 0.4);
-    b.dense_flat(3, w3, vec![0.0; 3]).build().expect("valid net")
+    b.dense_flat(3, w3, vec![0.0; 3])
+        .build()
+        .expect("valid net")
 }
 
 fn random_residual_net(rng: &mut StdRng) -> Network<f32> {
-    let w1 = rand_vec(rng, 4 * 3 * 3 * 1, 0.5);
+    let w1 = rand_vec(rng, 4 * 3 * 3, 0.5);
     let wa1 = rand_vec(rng, 4 * 3 * 3 * 4, 0.4);
     let wa2 = rand_vec(rng, 4 * 3 * 3 * 4, 0.4);
     let wskip = rand_vec(rng, 4 * 4, 0.4);
@@ -56,9 +58,14 @@ fn random_residual_net(rng: &mut StdRng) -> Network<f32> {
         .relu()
         .residual(
             move |br| {
-                br.conv(4, (3, 3), (1, 1), (1, 1), wa1, ba1)
-                    .relu()
-                    .conv(4, (3, 3), (1, 1), (1, 1), wa2, ba2)
+                br.conv(4, (3, 3), (1, 1), (1, 1), wa1, ba1).relu().conv(
+                    4,
+                    (3, 3),
+                    (1, 1),
+                    (1, 1),
+                    wa2,
+                    ba2,
+                )
             },
             move |br| br.conv(4, (1, 1), (1, 1), (0, 0), wskip, bskip),
         )
@@ -162,7 +169,10 @@ fn verified_instances_resist_pgd_attacks() {
             );
         }
     }
-    assert!(verified_seen >= 3, "too few verified instances to be meaningful");
+    assert!(
+        verified_seen >= 3,
+        "too few verified instances to be meaningful"
+    );
 }
 
 #[test]
@@ -180,5 +190,5 @@ fn f64_verifier_works_and_is_sound() {
     let verdict = verifier.verify_robustness(&[0.4, 0.6], 0, 0.05).unwrap();
     assert!(verdict.verified);
     let y = net64.infer(&[0.43, 0.58]);
-    assert!(verdict.margins[0].lower <= (y[0] - y[1]) as f64 + 1e-9);
+    assert!(verdict.margins[0].lower <= (y[0] - y[1]) + 1e-9);
 }
