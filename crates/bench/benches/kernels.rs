@@ -28,7 +28,7 @@ fn bench_scan(c: &mut Criterion) {
     // Candidate concretization over a conv-shaped cuboid batch.
     let shape = Shape::new(16, 16, 8);
     let neurons: Vec<usize> = (0..256).collect();
-    let batch = ExprBatch::<f32>::identity(&device, 1, shape, &neurons).expect("batch");
+    let batch = ExprBatch::<f32, _>::identity(&device, 1, shape, &neurons).expect("batch");
     let bounds: Vec<Itv<f32>> = (0..shape.len())
         .map(|i| Itv::new(-(i as f32) * 1e-3, i as f32 * 1e-3))
         .collect();

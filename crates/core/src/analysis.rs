@@ -8,7 +8,7 @@
 //! Backsubstitution batches that exceed device memory are processed in
 //! chunks (§4.2, "Memory management").
 
-use gpupoly_device::{Device, DeviceError};
+use gpupoly_device::{Backend, Device, DeviceError};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, NodeId, Op};
 
@@ -61,10 +61,10 @@ impl<F: Fp> Analysis<F> {
     }
 }
 
-pub(crate) fn analyze<F: Fp>(
-    device: &Device,
+pub(crate) fn analyze<F: Fp, B: Backend>(
+    device: &Device<B>,
     graph: &Graph<'_, F>,
-    prepared: &PreparedGraph<'_, F>,
+    prepared: &PreparedGraph<'_, F, B>,
     cfg: &VerifyConfig,
     input: &[Itv<F>],
 ) -> Result<Analysis<F>, VerifyError> {
@@ -122,10 +122,10 @@ pub(crate) fn analyze<F: Fp>(
 /// Chunked, OOM-adaptive backsubstitution of the selected neurons of node
 /// `p`; refined bounds are intersected into `bounds[p]`.
 #[allow(clippy::too_many_arguments)]
-fn refine_node<F: Fp>(
-    device: &Device,
+fn refine_node<F: Fp, B: Backend>(
+    device: &Device<B>,
     graph: &Graph<'_, F>,
-    prepared: &PreparedGraph<'_, F>,
+    prepared: &PreparedGraph<'_, F, B>,
     cfg: &VerifyConfig,
     bounds: &mut [Vec<Itv<F>>],
     p: NodeId,
@@ -174,15 +174,15 @@ fn refine_node<F: Fp>(
 /// The starting expression for refining node `p`'s neurons: the layer's own
 /// affine expression for dense/conv nodes (skipping one identity step), an
 /// identity batch otherwise (residual Add heads).
-pub(crate) fn initial_batch<F: Fp>(
-    device: &Device,
+pub(crate) fn initial_batch<F: Fp, B: Backend>(
+    device: &Device<B>,
     graph: &Graph<'_, F>,
-    prepared: &PreparedGraph<'_, F>,
+    prepared: &PreparedGraph<'_, F, B>,
     cfg: &VerifyConfig,
     bounds: &[Vec<Itv<F>>],
     p: NodeId,
     rows: &[usize],
-) -> Result<ExprBatch<F>, VerifyError> {
+) -> Result<ExprBatch<F, B>, VerifyError> {
     let node = &graph.nodes[p];
     match node.op {
         Op::Dense(d) => {

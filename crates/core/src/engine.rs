@@ -27,7 +27,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
-use gpupoly_device::{Device, DeviceBuffer, DeviceError};
+use gpupoly_device::{Backend, Device, DeviceBuffer, DeviceError};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, Network, NodeId, Op};
 
@@ -103,10 +103,10 @@ impl EngineOptions {
 
 /// Per-layer weight storage: device-resident when packed, borrowed from the
 /// host network otherwise.
-enum PackedAffine<'n, F: Fp> {
+enum PackedAffine<'n, F: Fp, B: Backend> {
     Resident {
-        weight: DeviceBuffer<F>,
-        bias: DeviceBuffer<F>,
+        weight: DeviceBuffer<F, B>,
+        bias: DeviceBuffer<F, B>,
     },
     Host {
         weight: &'n [F],
@@ -114,7 +114,7 @@ enum PackedAffine<'n, F: Fp> {
     },
 }
 
-impl<F: Fp> PackedAffine<'_, F> {
+impl<F: Fp, B: Backend> PackedAffine<'_, F, B> {
     fn slices(&self) -> (&[F], &[F]) {
         match self {
             PackedAffine::Resident { weight, bias } => (weight, bias),
@@ -129,8 +129,8 @@ impl<F: Fp> PackedAffine<'_, F> {
 ///
 /// Built once per [`Engine`]; all of `analysis`/`walk`/`steps` borrow their
 /// weight storage from here instead of re-reading host slices per query.
-pub struct PreparedGraph<'n, F: Fp> {
-    affine: Vec<Option<PackedAffine<'n, F>>>,
+pub struct PreparedGraph<'n, F: Fp, B: Backend> {
+    affine: Vec<Option<PackedAffine<'n, F, B>>>,
     /// `(relu_node, parent)` for every ReLU whose input can be refined,
     /// in topological order.
     relu_plan: Vec<(NodeId, NodeId)>,
@@ -141,14 +141,14 @@ pub struct PreparedGraph<'n, F: Fp> {
     resident_bytes: usize,
 }
 
-impl<'n, F: Fp> PreparedGraph<'n, F> {
+impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
     /// Validates the graph and packs weights.
     ///
     /// # Errors
     ///
     /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
     pub fn new(
-        device: &Device,
+        device: &Device<B>,
         graph: &Graph<'n, F>,
         pack_weights: bool,
     ) -> Result<Self, VerifyError> {
@@ -205,28 +205,31 @@ impl<'n, F: Fp> PreparedGraph<'n, F> {
     /// upload fails or would crowd out working memory (more than half the
     /// device capacity).
     fn pack_one(
-        device: &Device,
+        device: &Device<B>,
         weight: &'n [F],
         bias: &'n [F],
         enabled: bool,
         resident_bytes: &mut usize,
-    ) -> PackedAffine<'n, F> {
+    ) -> PackedAffine<'n, F, B> {
         let bytes = std::mem::size_of_val(weight) + std::mem::size_of_val(bias);
         let fits = device
             .memory_capacity()
             .is_none_or(|cap| device.memory_in_use() + bytes <= cap / 2);
         if enabled && fits {
+            // Weights live as long as the engine: mark them persistent
+            // *immediately* so a buffer pool active on the device (this
+            // engine's or another engine's) can never shelve them — not even
+            // when one upload of the pair fails and the other is dropped on
+            // the error path (shelving a weight-sized temporary would pin
+            // device capacity until the pool drains).
             if let (Ok(wb), Ok(bb)) = (
-                DeviceBuffer::from_slice(device, weight),
-                DeviceBuffer::from_slice(device, bias),
+                DeviceBuffer::from_slice(device, weight).map(DeviceBuffer::into_persistent),
+                DeviceBuffer::from_slice(device, bias).map(DeviceBuffer::into_persistent),
             ) {
                 *resident_bytes += bytes;
-                // Weights live as long as the engine: mark them persistent
-                // so a buffer pool active on the device (this engine's or
-                // another engine's) can never shelve them on drop.
                 return PackedAffine::Resident {
-                    weight: wb.into_persistent(),
-                    bias: bb.into_persistent(),
+                    weight: wb,
+                    bias: bb,
                 };
             }
         }
@@ -259,7 +262,7 @@ impl<'n, F: Fp> PreparedGraph<'n, F> {
     /// How many backsubstitution rows fit in the device's currently free
     /// memory (the §4.2 chunking heuristic, with the per-row footprint
     /// precomputed at preparation time).
-    pub(crate) fn chunk_for(&self, device: &Device) -> usize {
+    pub(crate) fn chunk_for(&self, device: &Device<B>) -> usize {
         let free = device.memory_free();
         if free == usize::MAX {
             return usize::MAX;
@@ -379,11 +382,11 @@ fn box_key<F: Fp>(input: &[Itv<F>]) -> BoxKey {
 /// assert!(verdicts.iter().all(|v| v.as_ref().unwrap().verified));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct Engine<'n, F: Fp> {
-    device: Device,
+pub struct Engine<'n, F: Fp, B: Backend> {
+    device: Device<B>,
     graph: Graph<'n, F>,
     cfg: VerifyConfig,
-    prepared: PreparedGraph<'n, F>,
+    prepared: PreparedGraph<'n, F, B>,
     cache: Mutex<AnalysisCache<F>>,
     /// Per-box gates deduplicating concurrent cache misses: the first
     /// thread to miss a box computes its analysis, concurrent requesters
@@ -392,7 +395,7 @@ pub struct Engine<'n, F: Fp> {
     options: EngineOptions,
 }
 
-impl<'n, F: Fp> Engine<'n, F> {
+impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// Builds an engine with default options (weights packed, buffer pool
     /// on, analysis cache on).
     ///
@@ -400,7 +403,7 @@ impl<'n, F: Fp> Engine<'n, F> {
     ///
     /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
     pub fn new(
-        device: Device,
+        device: Device<B>,
         net: &'n Network<F>,
         cfg: VerifyConfig,
     ) -> Result<Self, VerifyError> {
@@ -413,7 +416,7 @@ impl<'n, F: Fp> Engine<'n, F> {
     ///
     /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
     pub fn with_options(
-        device: Device,
+        device: Device<B>,
         net: &'n Network<F>,
         cfg: VerifyConfig,
         options: EngineOptions,
@@ -437,7 +440,7 @@ impl<'n, F: Fp> Engine<'n, F> {
     }
 
     /// The device this engine runs on.
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &Device<B> {
         &self.device
     }
 
@@ -452,7 +455,7 @@ impl<'n, F: Fp> Engine<'n, F> {
     }
 
     /// The prepared (device-resident) form of the network.
-    pub fn prepared(&self) -> &PreparedGraph<'n, F> {
+    pub fn prepared(&self) -> &PreparedGraph<'n, F, B> {
         &self.prepared
     }
 
@@ -691,7 +694,7 @@ impl<'n, F: Fp> Engine<'n, F> {
     }
 }
 
-impl<F: Fp> Drop for Engine<'_, F> {
+impl<F: Fp, B: Backend> Drop for Engine<'_, F, B> {
     fn drop(&mut self) {
         if self.options.recycle_buffers {
             self.device.buffer_pool_release();

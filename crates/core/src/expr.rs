@@ -18,7 +18,7 @@
 //! coefficients (an invariant maintained by every step), and are skipped by
 //! all consumers.
 
-use gpupoly_device::{scan, Device, DeviceBuffer};
+use gpupoly_device::{scan, Backend, Device, DeviceBuffer};
 use gpupoly_interval::{dot, round, Fp, Itv};
 use gpupoly_nn::{Conv2d, Dense, NodeId, Shape};
 
@@ -32,26 +32,26 @@ use crate::VerifyError;
 /// functions in [`crate::steps`] move the frontier backwards through the
 /// network.
 #[derive(Debug)]
-pub struct ExprBatch<F: Fp> {
+pub struct ExprBatch<F: Fp, B: Backend> {
     node: NodeId,
     shape: Shape,
     win_h: usize,
     win_w: usize,
     origins: Vec<(i32, i32)>,
-    lo: DeviceBuffer<Itv<F>>,
-    hi: DeviceBuffer<Itv<F>>,
+    lo: DeviceBuffer<Itv<F>, B>,
+    hi: DeviceBuffer<Itv<F>, B>,
     cst_lo: Vec<Itv<F>>,
     cst_hi: Vec<Itv<F>>,
 }
 
-impl<F: Fp> ExprBatch<F> {
+impl<F: Fp, B: Backend> ExprBatch<F, B> {
     /// Allocates a zero batch with the given geometry.
     ///
     /// # Errors
     ///
     /// Device out-of-memory.
     pub fn zeroed(
-        device: &Device,
+        device: &Device<B>,
         node: NodeId,
         shape: Shape,
         (win_h, win_w): (usize, usize),
@@ -80,7 +80,7 @@ impl<F: Fp> ExprBatch<F> {
     ///
     /// Device out-of-memory.
     pub fn identity(
-        device: &Device,
+        device: &Device<B>,
         node: NodeId,
         shape: Shape,
         neurons: &[usize],
@@ -111,7 +111,7 @@ impl<F: Fp> ExprBatch<F> {
     ///
     /// Device out-of-memory.
     pub fn from_dense(
-        device: &Device,
+        device: &Device<B>,
         dense: &Dense<F>,
         neurons: &[usize],
         parent: NodeId,
@@ -139,7 +139,7 @@ impl<F: Fp> ExprBatch<F> {
     /// Device out-of-memory.
     #[allow(clippy::too_many_arguments)]
     pub fn from_dense_with(
-        device: &Device,
+        device: &Device<B>,
         dense: &Dense<F>,
         weight: &[F],
         bias: &[F],
@@ -183,7 +183,7 @@ impl<F: Fp> ExprBatch<F> {
     ///
     /// Device out-of-memory.
     pub fn from_conv(
-        device: &Device,
+        device: &Device<B>,
         conv: &Conv2d<F>,
         neurons: &[usize],
         parent: NodeId,
@@ -208,7 +208,7 @@ impl<F: Fp> ExprBatch<F> {
     ///
     /// Device out-of-memory.
     pub fn from_conv_with(
-        device: &Device,
+        device: &Device<B>,
         conv: &Conv2d<F>,
         weight: &[F],
         bias: &[F],
@@ -313,8 +313,8 @@ impl<F: Fp> ExprBatch<F> {
     pub(crate) fn planes_mut(
         &mut self,
     ) -> (
-        &mut DeviceBuffer<Itv<F>>,
-        &mut DeviceBuffer<Itv<F>>,
+        &mut DeviceBuffer<Itv<F>, B>,
+        &mut DeviceBuffer<Itv<F>, B>,
         &mut Vec<Itv<F>>,
         &mut Vec<Itv<F>>,
     ) {
@@ -361,7 +361,7 @@ impl<F: Fp> ExprBatch<F> {
     /// # Panics
     ///
     /// Panics when `bounds` does not match the frontier node's length.
-    pub fn concretize(&self, device: &Device, bounds: &[Itv<F>]) -> Vec<Itv<F>> {
+    pub fn concretize(&self, device: &Device<B>, bounds: &[Itv<F>]) -> Vec<Itv<F>> {
         assert_eq!(bounds.len(), self.shape.len(), "bounds length mismatch");
         let mut out = vec![Itv::top(); self.rows()];
         let cols = self.cols();
@@ -410,7 +410,7 @@ impl<F: Fp> ExprBatch<F> {
     /// Panics when `keep.len() != rows()`.
     pub fn filter_rows(
         self,
-        device: &Device,
+        device: &Device<B>,
         keep: &[bool],
     ) -> Result<(Self, Vec<u32>), VerifyError> {
         assert_eq!(keep.len(), self.rows(), "keep mask length mismatch");
@@ -455,7 +455,7 @@ impl<F: Fp> ExprBatch<F> {
     /// # Errors
     ///
     /// Device out-of-memory.
-    pub fn densify(self, device: &Device) -> Result<Self, VerifyError> {
+    pub fn densify(self, device: &Device<B>) -> Result<Self, VerifyError> {
         if self.is_full() {
             return Ok(self);
         }
@@ -504,7 +504,7 @@ impl<F: Fp> ExprBatch<F> {
     /// # Panics
     ///
     /// Panics when the batches disagree on node, shape or row count.
-    pub fn merge(a: Self, b: Self, device: &Device) -> Result<Self, VerifyError> {
+    pub fn merge(a: Self, b: Self, device: &Device<B>) -> Result<Self, VerifyError> {
         assert_eq!(a.node, b.node, "merge: different frontier nodes");
         assert_eq!(a.shape, b.shape, "merge: different frontier shapes");
         assert_eq!(a.rows(), b.rows(), "merge: different row counts");
@@ -571,7 +571,7 @@ impl<F: Fp> ExprBatch<F> {
     /// Device out-of-memory.
     pub fn split_add(
         &self,
-        device: &Device,
+        device: &Device<B>,
         node_a: NodeId,
         shape_a: Shape,
         node_b: NodeId,
@@ -642,7 +642,7 @@ mod tests {
     fn identity_concretizes_to_bounds() {
         let device = dev();
         let shape = Shape::new(2, 2, 3);
-        let batch = ExprBatch::<f32>::identity(&device, 5, shape, &[0, 7, 11]).unwrap();
+        let batch = ExprBatch::<f32, _>::identity(&device, 5, shape, &[0, 7, 11]).unwrap();
         assert_eq!(batch.rows(), 3);
         assert_eq!(batch.cols(), 3); // 1x1 window, 3 channels
         let bounds: Vec<Itv<f32>> = (0..12)
@@ -749,7 +749,7 @@ mod tests {
     fn filter_rows_keeps_selected() {
         let device = dev();
         let shape = Shape::flat(4);
-        let batch = ExprBatch::<f32>::identity(&device, 1, shape, &[0, 1, 2, 3]).unwrap();
+        let batch = ExprBatch::<f32, _>::identity(&device, 1, shape, &[0, 1, 2, 3]).unwrap();
         let (filtered, index) = batch
             .filter_rows(&device, &[true, false, true, false])
             .unwrap();
@@ -790,7 +790,7 @@ mod tests {
     fn split_and_merge_round_trip_doubles() {
         let device = dev();
         let shape = Shape::new(2, 2, 1);
-        let batch = ExprBatch::<f32>::identity(&device, 3, shape, &[0, 3]).unwrap();
+        let batch = ExprBatch::<f32, _>::identity(&device, 3, shape, &[0, 3]).unwrap();
         // Both branches are identity skips, so both land on the same head.
         let (a, b) = batch.split_add(&device, 1, shape, 1, shape).unwrap();
         let merged = ExprBatch::merge(a, b, &device).unwrap();
@@ -806,8 +806,8 @@ mod tests {
         let device = dev();
         let shape = Shape::new(4, 4, 1);
         // a: 1x1 window at (1,1); b: full window
-        let a = ExprBatch::<f32>::identity(&device, 2, shape, &[5]).unwrap();
-        let mut b = ExprBatch::<f32>::zeroed(&device, 2, shape, (4, 4), vec![(0, 0)]).unwrap();
+        let a = ExprBatch::<f32, _>::identity(&device, 2, shape, &[5]).unwrap();
+        let mut b = ExprBatch::<f32, _>::zeroed(&device, 2, shape, (4, 4), vec![(0, 0)]).unwrap();
         b.set_coeff(0, 5, Itv::point(2.0)); // same neuron, coefficient 2
         b.set_coeff(0, 0, Itv::point(1.0)); // neuron 0, coefficient 1
         let m = ExprBatch::merge(a, b, &device).unwrap();
@@ -823,13 +823,13 @@ mod tests {
         let shape = Shape::flat(128);
         let used0 = device.memory_in_use();
         {
-            let _b = ExprBatch::<f32>::identity(&device, 0, shape, &[0, 1, 2]).unwrap();
+            let _b = ExprBatch::<f32, _>::identity(&device, 0, shape, &[0, 1, 2]).unwrap();
             assert!(device.memory_in_use() > used0);
         }
         assert_eq!(device.memory_in_use(), used0);
         // A batch too large for the device fails cleanly.
         let huge: Vec<usize> = (0..128).collect();
-        let r = ExprBatch::<f32>::from_dense(
+        let r = ExprBatch::<f32, _>::from_dense(
             &device,
             &Dense::new(128, 4096, vec![0.0; 128 * 4096], vec![0.0; 128]).unwrap(),
             &huge,

@@ -12,7 +12,7 @@
 //! Residual Add nodes are handled by the walk engine via
 //! [`crate::expr::ExprBatch::split_add`] / [`crate::expr::ExprBatch::merge`].
 
-use gpupoly_device::{gemm, Device};
+use gpupoly_device::{gemm, Backend, Device};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Conv2d, Dense, NodeId, Shape};
 
@@ -31,13 +31,13 @@ use crate::VerifyError;
 /// # Panics
 ///
 /// Panics when the batch frontier does not match the layer's output.
-pub fn step_dense<F: Fp>(
-    device: &Device,
-    batch: ExprBatch<F>,
+pub fn step_dense<F: Fp, B: Backend>(
+    device: &Device<B>,
+    batch: ExprBatch<F, B>,
     dense: &Dense<F>,
     parent: NodeId,
     parent_shape: Shape,
-) -> Result<ExprBatch<F>, VerifyError> {
+) -> Result<ExprBatch<F, B>, VerifyError> {
     step_dense_with(
         device,
         batch,
@@ -61,15 +61,15 @@ pub fn step_dense<F: Fp>(
 /// # Panics
 ///
 /// Panics when the batch frontier does not match the layer's output.
-pub fn step_dense_with<F: Fp>(
-    device: &Device,
-    batch: ExprBatch<F>,
+pub fn step_dense_with<F: Fp, B: Backend>(
+    device: &Device<B>,
+    batch: ExprBatch<F, B>,
     dense: &Dense<F>,
     weight: &[F],
     bias: &[F],
     parent: NodeId,
     parent_shape: Shape,
-) -> Result<ExprBatch<F>, VerifyError> {
+) -> Result<ExprBatch<F, B>, VerifyError> {
     let batch = batch.densify(device)?;
     assert_eq!(
         batch.shape().len(),
@@ -142,12 +142,12 @@ pub fn step_dense_with<F: Fp>(
 /// # Panics
 ///
 /// Panics when the batch frontier does not match the conv's output shape.
-pub fn step_conv<F: Fp>(
-    device: &Device,
-    batch: ExprBatch<F>,
+pub fn step_conv<F: Fp, B: Backend>(
+    device: &Device<B>,
+    batch: ExprBatch<F, B>,
     conv: &Conv2d<F>,
     parent: NodeId,
-) -> Result<ExprBatch<F>, VerifyError> {
+) -> Result<ExprBatch<F, B>, VerifyError> {
     step_conv_with(device, batch, conv, &conv.weight, &conv.bias, parent)
 }
 
@@ -163,14 +163,14 @@ pub fn step_conv<F: Fp>(
 /// # Panics
 ///
 /// Panics when the batch frontier does not match the conv's output shape.
-pub fn step_conv_with<F: Fp>(
-    device: &Device,
-    batch: ExprBatch<F>,
+pub fn step_conv_with<F: Fp, B: Backend>(
+    device: &Device<B>,
+    batch: ExprBatch<F, B>,
     conv: &Conv2d<F>,
     weight: &[F],
     bias: &[F],
     parent: NodeId,
-) -> Result<ExprBatch<F>, VerifyError> {
+) -> Result<ExprBatch<F, B>, VerifyError> {
     assert_eq!(
         batch.shape(),
         conv.out_shape,
@@ -286,13 +286,13 @@ pub fn step_conv_with<F: Fp>(
 /// # Panics
 ///
 /// Panics when `relax`/`out_bounds` don't match the frontier length.
-pub fn step_relu<F: Fp>(
-    device: &Device,
-    mut batch: ExprBatch<F>,
+pub fn step_relu<F: Fp, B: Backend>(
+    device: &Device<B>,
+    mut batch: ExprBatch<F, B>,
     relax: &[ReluRelax<F>],
     out_bounds: &[Itv<F>],
     parent: NodeId,
-) -> ExprBatch<F> {
+) -> ExprBatch<F, B> {
     assert_eq!(relax.len(), batch.shape().len(), "relax length mismatch");
     assert_eq!(
         out_bounds.len(),
@@ -511,7 +511,7 @@ mod tests {
     fn relu_step_stable_positive_is_identity() {
         let device = dev();
         let shape = Shape::flat(2);
-        let batch = ExprBatch::<f32>::identity(&device, 2, shape, &[0, 1]).unwrap();
+        let batch = ExprBatch::<f32, _>::identity(&device, 2, shape, &[0, 1]).unwrap();
         let in_bounds = [Itv::new(1.0_f32, 2.0), Itv::new(0.5, 3.0)];
         let relax = ReluRelax::layer(&in_bounds);
         let out_bounds = in_bounds; // relu of positive = identity
@@ -527,7 +527,7 @@ mod tests {
         let device = dev();
         let shape = Shape::flat(1);
         // expression y = 1 * relu(x), x in [-1, 2]
-        let batch = ExprBatch::<f32>::identity(&device, 2, shape, &[0]).unwrap();
+        let batch = ExprBatch::<f32, _>::identity(&device, 2, shape, &[0]).unwrap();
         let in_bounds = [Itv::new(-1.0_f32, 2.0)];
         let relax = ReluRelax::layer(&in_bounds);
         let out_bounds = [Itv::new(0.0_f32, 2.0)];
@@ -543,7 +543,8 @@ mod tests {
     fn relu_step_negative_coefficient_uses_opposite_bound() {
         let device = dev();
         let shape = Shape::flat(1);
-        let mut batch = ExprBatch::<f32>::zeroed(&device, 2, shape, (1, 1), vec![(0, 0)]).unwrap();
+        let mut batch =
+            ExprBatch::<f32, _>::zeroed(&device, 2, shape, (1, 1), vec![(0, 0)]).unwrap();
         batch.set_coeff(0, 0, Itv::point(-1.0));
         let in_bounds = [Itv::new(-1.0_f32, 2.0)];
         let relax = ReluRelax::layer(&in_bounds);

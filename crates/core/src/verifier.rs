@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use gpupoly_device::Device;
+use gpupoly_device::{Backend, Device};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::Network;
 
@@ -112,7 +112,7 @@ pub struct RobustnessVerdict<F> {
 ///
 /// ```
 /// use gpupoly_core::{GpuPoly, VerifyConfig};
-/// use gpupoly_device::Device;
+/// use gpupoly_device::{Backend, Device};
 /// use gpupoly_nn::builder::NetworkBuilder;
 ///
 /// let net = NetworkBuilder::new_flat(2)
@@ -125,11 +125,11 @@ pub struct RobustnessVerdict<F> {
 /// assert!(verdict.verified);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct GpuPoly<'n, F: Fp> {
-    engine: Engine<'n, F>,
+pub struct GpuPoly<'n, F: Fp, B: Backend> {
+    engine: Engine<'n, F, B>,
 }
 
-impl<'n, F: Fp> GpuPoly<'n, F> {
+impl<'n, F: Fp, B: Backend> GpuPoly<'n, F, B> {
     /// Builds a verifier for a network on a device.
     ///
     /// The verifier is a thin wrapper over [`Engine`] in
@@ -144,7 +144,7 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
     /// branches disagree on shape (the cuboid merge needs identical frontier
     /// shapes).
     pub fn new(
-        device: Device,
+        device: Device<B>,
         net: &'n Network<F>,
         cfg: VerifyConfig,
     ) -> Result<Self, VerifyError> {
@@ -154,7 +154,7 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
     }
 
     /// The device this verifier runs on.
-    pub fn device(&self) -> &Device {
+    pub fn device(&self) -> &Device<B> {
         self.engine.device()
     }
 
@@ -164,7 +164,7 @@ impl<'n, F: Fp> GpuPoly<'n, F> {
     }
 
     /// The underlying engine.
-    pub fn engine(&self) -> &Engine<'n, F> {
+    pub fn engine(&self) -> &Engine<'n, F, B> {
         &self.engine
     }
 
@@ -243,7 +243,7 @@ mod tests {
             .unwrap()
     }
 
-    fn verifier(n: &Network<f32>) -> GpuPoly<'_, f32> {
+    fn verifier(n: &Network<f32>) -> GpuPoly<'_, f32, gpupoly_device::CpuSimBackend> {
         GpuPoly::new(Device::default(), n, VerifyConfig::default()).unwrap()
     }
 

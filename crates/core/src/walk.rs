@@ -2,7 +2,7 @@
 //! to the input layer, taking the best concrete candidate at every frontier
 //! (§2) and optionally compacting away rows that satisfy a stop rule (§4.2).
 
-use gpupoly_device::Device;
+use gpupoly_device::{Backend, Device};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, Op};
 
@@ -38,18 +38,18 @@ pub(crate) struct WalkOutcome<F> {
 
 /// Borrowed context for walks: the graph, its prepared (device-resident)
 /// weights, and the current concrete bounds.
-pub(crate) struct Walker<'a, 'n, F: Fp> {
-    pub device: &'a Device,
+pub(crate) struct Walker<'a, 'n, F: Fp, B: Backend> {
+    pub device: &'a Device<B>,
     pub graph: &'a Graph<'n, F>,
-    pub prepared: &'a PreparedGraph<'n, F>,
+    pub prepared: &'a PreparedGraph<'n, F, B>,
     pub bounds: &'a [Vec<Itv<F>>],
 }
 
-impl<F: Fp> Walker<'_, '_, F> {
+impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
     /// Runs the batch to the input node, returning per-row best bounds.
     pub fn run(
         &self,
-        mut batch: ExprBatch<F>,
+        mut batch: ExprBatch<F, B>,
         rule: StopRule,
     ) -> Result<WalkOutcome<F>, VerifyError> {
         let total = batch.rows();
@@ -107,7 +107,7 @@ impl<F: Fp> Walker<'_, '_, F> {
     }
 
     /// One step backwards through the frontier node's operation.
-    fn step_through(&self, batch: ExprBatch<F>) -> Result<ExprBatch<F>, VerifyError> {
+    fn step_through(&self, batch: ExprBatch<F, B>) -> Result<ExprBatch<F, B>, VerifyError> {
         let node = batch.node();
         let op = self.graph.nodes[node].op;
         match op {
@@ -158,9 +158,9 @@ impl<F: Fp> Walker<'_, '_, F> {
     /// head on the next loop iteration).
     fn branch_to_head(
         &self,
-        mut batch: ExprBatch<F>,
+        mut batch: ExprBatch<F, B>,
         head: usize,
-    ) -> Result<ExprBatch<F>, VerifyError> {
+    ) -> Result<ExprBatch<F, B>, VerifyError> {
         while batch.node() != head {
             let node = batch.node();
             if matches!(self.graph.nodes[node].op, Op::Add { .. }) {

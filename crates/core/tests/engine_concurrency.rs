@@ -1,0 +1,195 @@
+//! Concurrency and error-path guarantees of the engine's caching and
+//! buffer-pool machinery:
+//!
+//! * hammering one input box from many threads runs **exactly one**
+//!   analysis (the in-flight gate deduplicates concurrent misses) and every
+//!   thread shares the same `Arc`;
+//! * a bounded LRU cache under eviction pressure stays allocation-flat
+//!   (`bytes_allocated` stops growing once the pool is warm);
+//! * a `BadQuery` rejected mid-`verify_batch` leaves the buffer pool's
+//!   accounting intact — subsequent queries still recycle, and dropping the
+//!   engine returns every byte (regression test for pool double-release /
+//!   leak on the error path).
+
+use std::sync::Arc;
+
+use gpupoly_core::{Engine, EngineOptions, Query, VerifyConfig, VerifyError};
+use gpupoly_device::{Device, DeviceConfig};
+use gpupoly_interval::Itv;
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+
+fn random_net(seed: u64, depth: usize, width: usize) -> Network<f32> {
+    let mix = |i: usize, s: u64| {
+        ((((i as u64 + 17) * (s + 29)) * 2654435761 % 2001) as f32 / 1000.0 - 1.0) * 0.5
+    };
+    let mut b = NetworkBuilder::new_flat(4);
+    let mut in_len = 4;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| mix(i, seed + layer as u64))
+            .collect();
+        let bias: Vec<f32> = (0..width)
+            .map(|i| mix(i, seed + 100 + layer as u64) * 0.4)
+            .collect();
+        b = b.dense_flat(width, w, bias).relu();
+        in_len = width;
+    }
+    let w: Vec<f32> = (0..3 * in_len).map(|i| mix(i, seed + 999)).collect();
+    b.dense_flat(3, w, vec![0.0; 3]).build().expect("valid net")
+}
+
+fn boxed(image: &[f32], eps: f32) -> Vec<Itv<f32>> {
+    image
+        .iter()
+        .map(|&x| Itv::new(x - eps, x + eps).clamp_to(0.0, 1.0))
+        .collect()
+}
+
+#[test]
+fn concurrent_same_box_runs_exactly_one_analysis() {
+    let net = random_net(11, 3, 8);
+    let device = Device::new(DeviceConfig::new().workers(2));
+    let engine = Engine::new(device, &net, VerifyConfig::default()).unwrap();
+    let input = boxed(&[0.41, 0.62, 0.33, 0.74], 0.015);
+
+    const THREADS: usize = 12;
+    let analyses: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let engine = &engine;
+                let input = &input;
+                s.spawn(move || engine.analyze(input).expect("analysis"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // In-flight dedup: one true miss, everyone else either hit the cache or
+    // blocked on the gate and then hit it.
+    let (hits, misses) = engine.cache_stats();
+    assert_eq!(misses, 1, "exactly one analysis must run for one box");
+    assert_eq!(hits, (THREADS - 1) as u64, "all other threads reuse it");
+    for a in &analyses {
+        assert!(
+            Arc::ptr_eq(a, &analyses[0]),
+            "all threads must share one analysis object"
+        );
+    }
+}
+
+#[test]
+fn eviction_pressure_stays_allocation_flat() {
+    // A capacity-1 cache under a rotating stream of distinct boxes: every
+    // lookup evicts, yet after one warmup round the device pool serves all
+    // transient buffers, so `bytes_allocated` must stop growing — eviction
+    // churn is host-side only and never leaks device memory.
+    let net = random_net(23, 3, 8);
+    let device = Device::new(DeviceConfig::new().workers(2));
+    let engine = Engine::with_options(
+        device.clone(),
+        &net,
+        VerifyConfig {
+            early_termination: false, // deterministic batch geometry
+            ..Default::default()
+        },
+        EngineOptions {
+            analysis_cache: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let images: Vec<Vec<f32>> = (0..4)
+        .map(|q| (0..4).map(|i| 0.2 + 0.1 * ((q + i) as f32)).collect())
+        .collect();
+    for img in &images {
+        engine.analyze(&boxed(img, 0.01)).unwrap();
+    }
+    let bytes_after_warmup = device.stats().bytes_allocated();
+    let in_use_after_warmup = device.memory_in_use();
+
+    for _ in 0..3 {
+        for img in &images {
+            engine.analyze(&boxed(img, 0.01)).unwrap();
+        }
+    }
+    let (hits, misses) = engine.cache_stats();
+    assert_eq!(hits, 0, "capacity-1 cache under rotation never hits");
+    assert_eq!(misses, 16, "every lookup recomputes after eviction");
+    assert_eq!(
+        device.stats().bytes_allocated(),
+        bytes_after_warmup,
+        "eviction churn must not allocate fresh device bytes"
+    );
+    assert_eq!(
+        device.memory_in_use(),
+        in_use_after_warmup,
+        "memory in use (resident weights + shelved pool) must be steady"
+    );
+
+    // Dropping the engine returns everything: weights and pooled buffers.
+    drop(engine);
+    assert_eq!(device.memory_in_use(), 0);
+    assert_eq!(device.buffer_pool_bytes(), 0);
+}
+
+#[test]
+fn bad_query_mid_batch_leaves_pool_accounting_intact() {
+    let net = random_net(5, 3, 8);
+    let device = Device::new(DeviceConfig::new().workers(2));
+    let engine = Engine::new(device.clone(), &net, VerifyConfig::default()).unwrap();
+
+    let good = |q: usize| {
+        let image: Vec<f32> = (0..4)
+            .map(|i| 0.2 + 0.6 * (((q * 31 + i * 7) % 97) as f32 / 97.0))
+            .collect();
+        Query::new(image, q % 3, 0.01)
+    };
+    // Malformed queries interleaved with good ones: wrong image length,
+    // out-of-range label, negative epsilon.
+    let batch = vec![
+        good(0),
+        Query::new(vec![0.5f32; 3], 0, 0.01), // wrong length
+        good(1),
+        Query::new(vec![0.5f32; 4], 9, 0.01), // label out of range
+        good(2),
+        Query::new(vec![0.5f32; 4], 0, -0.5), // negative eps
+    ];
+    let out = engine.verify_batch(&batch);
+    assert!(out[0].is_ok() && out[2].is_ok() && out[4].is_ok());
+    for bad in [1, 3, 5] {
+        assert!(
+            matches!(out[bad], Err(VerifyError::BadQuery(_))),
+            "query {bad}: expected BadQuery, got {:?}",
+            out[bad]
+        );
+    }
+
+    // Pool invariants after the failed queries: shelved bytes are part of
+    // (never exceed) the in-use charge, and the pool still recycles — a
+    // repeat batch must allocate zero fresh device bytes.
+    assert!(device.buffer_pool_bytes() <= device.memory_in_use());
+    let bytes_before_repeat = device.stats().bytes_allocated();
+    let out = engine.verify_batch(&batch);
+    assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 3);
+    assert_eq!(
+        device.stats().bytes_allocated(),
+        bytes_before_repeat,
+        "pool must keep serving after BadQuery errors"
+    );
+
+    // Exactly one balanced release happens on drop: all memory returns and
+    // the pool cannot have been double-released into an inactive state
+    // earlier (the repeat batch above would have allocated fresh bytes).
+    drop(engine);
+    assert_eq!(device.memory_in_use(), 0, "engine drop releases everything");
+    assert_eq!(device.buffer_pool_bytes(), 0);
+    // The device-level underflow guard: even a buggy extra release must not
+    // wrap the pool into a permanently-active state that shelves (leaks)
+    // buffers. In release builds it is ignored; in debug builds it asserts.
+    if !cfg!(debug_assertions) {
+        device.buffer_pool_release();
+        assert!(!device.buffer_pool_active());
+    }
+}

@@ -1,0 +1,513 @@
+//! The pluggable kernel backend.
+//!
+//! GPUPoly's analysis code (in `gpupoly-core`) is written against an
+//! abstract data-parallel machine; everything it needs from that machine is
+//! the kernel surface captured by the [`Backend`] trait:
+//!
+//! * the interval/scalar **GEMM family** with directed rounding (§4.1),
+//! * the **scan / compaction / gather** primitives of early termination
+//!   (§4.2),
+//! * **host↔device copies**, and
+//! * a **pooling policy** deciding whether dropped device buffers may be
+//!   recycled.
+//!
+//! [`crate::Device`] is generic over a `Backend`, so a real CUDA or wgpu
+//! port slots in under the unchanged verifier by implementing this trait
+//! (see `README.md`, "Adding a backend"). Two implementations ship with the
+//! crate:
+//!
+//! * [`CpuSimBackend`] — the production CPU simulation: tiled GEMM and
+//!   chunked scan parallelized across the device's worker pool, buffer
+//!   pooling enabled. This is the default backend.
+//! * [`ReferenceBackend`] — deliberately naive straight-line scalar loops
+//!   with pooling disabled. It exists to *differentially test* the clever
+//!   backend (and any future port): same contract, trivially-auditable
+//!   implementation.
+//!
+//! # The bit-reproducibility contract
+//!
+//! Backends are not merely required to be sound — they must be
+//! **bit-identical** to each other, which is what makes cross-backend
+//! differential testing (and caching/resume across heterogeneous fleets)
+//! possible. Concretely, for every output element of a GEMM kernel the
+//! terms must be accumulated **in ascending `k` order** using the
+//! directed-rounding fused accumulate of `gpupoly-interval`
+//! ([`Itv::mul_add_f`] for interval kernels, [`Fp::mul_add`] for the
+//! unsound scalar kernel). In the *interval* kernels, terms whose
+//! coefficient is exactly zero (`lo == 0 && hi == 0`, either sign of zero)
+//! **must be skipped** — this is how dependence-set padding costs no flops,
+//! and it is a requirement rather than an allowance because accumulating a
+//! zero term is *not* a bitwise no-op when an accumulator bound is `-0.0`
+//! (the directed-rounding add rewrites it to `+0.0`); mandating the skip
+//! makes the `-0.0` case deterministic too. The scalar kernel must *not*
+//! skip (`fma(0, b, -0.0)` is `+0.0` under round-to-nearest, so there the
+//! skip would be the divergence), and reassociating is never allowed. A
+//! GPU port must therefore use a deterministic fixed-order reduction per
+//! output element — the same constraint the paper's cutlass kernels satisfy
+//! by construction, since they privatize one output element per thread.
+//! Scan, compaction and gather are exact integer/copy operations and must
+//! match element-for-element.
+//!
+//! Every implementation is checked against this contract by the
+//! [`crate::conformance`] suite; run
+//! [`crate::conformance::assert_backend_conformance`] over a new backend
+//! before wiring it into an engine.
+//!
+//! # What the trait does not (yet) cover
+//!
+//! The trait captures the BLAS-shaped kernel surface — GEMM, scan,
+//! compaction, gather, copies, pool policy. The verifier's remaining
+//! kernels (GBC transpose convolution, the ReLU step, densify, residual
+//! merge, concretize) still run as host closures over buffer contents via
+//! [`Device::par_rows`]-style launches, and [`crate::DeviceBuffer`] assumes
+//! host-addressable storage. Both are fine for any CPU-resident backend;
+//! a real CUDA/wgpu port must *additionally* move those kernels behind
+//! this trait and introduce a device-resident buffer abstraction — tracked
+//! in `ROADMAP.md`. Passing the conformance suite is therefore necessary,
+//! not sufficient, for a discrete-memory port.
+
+use gpupoly_interval::{Fp, Itv};
+use rayon::prelude::*;
+
+use crate::Device;
+
+/// Column-block width of the CPU-sim tiled GEMM: one block of `C`'s row
+/// plus one block of `B`'s row stay cache-resident while `k` streams — the
+/// CPU analogue of a cutlass thread-block tile. Tiling only reorders the
+/// *writes*; per-element accumulation order is still ascending `k`, so the
+/// result is bit-identical to the straight-line loop.
+const TILE_N: usize = 512;
+
+/// The kernel surface a device implementation must provide.
+///
+/// The GEMM methods take eight arguments (device, three matrices, three
+/// dimensions) mirroring the BLAS signature; the lint for that is allowed
+/// once here rather than reshaping a conventional kernel interface.
+///
+/// Methods receive the owning [`Device`] so implementations can use its
+/// worker pool ([`Device::install`]) and report work to its counters
+/// ([`Device::stats`]). Dimension checks, launch recording and flop
+/// accounting are done by the free wrapper functions in [`crate::gemm`] and
+/// [`crate::scan`] *before* delegating here, so implementations contain
+/// only the math. See the module docs for the bit-reproducibility contract
+/// every implementation must honor.
+#[allow(clippy::too_many_arguments)]
+pub trait Backend: Send + Sync + Sized + 'static {
+    /// Short human-readable backend name for diagnostics (`"cpusim"`,
+    /// `"reference"`, `"cuda"`, ...).
+    fn label(&self) -> &'static str;
+
+    /// Whether dropped pool-eligible [`crate::DeviceBuffer`]s may be
+    /// shelved for reuse. Backends without a meaningful recycling story
+    /// (or that want allocation behavior to stay trivially auditable, like
+    /// [`ReferenceBackend`]) return `false`; the device then treats
+    /// [`Device::buffer_pool_retain`] as a no-op.
+    fn pooling(&self) -> bool {
+        true
+    }
+
+    /// Host→device copy into existing device storage of the same length.
+    /// The simulator's "device memory" is host memory, so the default is a
+    /// plain slice copy; a real port issues a `memcpyHtoD`.
+    fn htod<T: Clone + Send>(&self, src: &[T], dst: &mut [T]) {
+        dst.clone_from_slice(src);
+    }
+
+    /// Device→host copy from device storage into a host slice of the same
+    /// length. The inverse of [`Backend::htod`].
+    fn dtoh<T: Clone + Send>(&self, src: &[T], dst: &mut [T]) {
+        dst.clone_from_slice(src);
+    }
+
+    /// Sound interval×scalar GEMM `C = A · B` (`A: m×k` intervals, `B: k×n`
+    /// scalars), outward rounding, ascending-`k` accumulation per element.
+    fn gemm_itv_f<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[Itv<F>],
+        b: &[F],
+        c: &mut [Itv<F>],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Sound interval×scalar GEMM accumulating into `C`: `C += A · B`.
+    fn gemm_itv_f_acc<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[Itv<F>],
+        b: &[F],
+        c: &mut [Itv<F>],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Unsound round-to-nearest scalar GEMM `C = A · B` (baselines and the
+    /// soundness-overhead ablation only).
+    fn gemm_f_f<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[F],
+        b: &[F],
+        c: &mut [F],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Exclusive prefix sum; returns the scanned vector and the total.
+    fn exclusive_scan(&self, device: &Device<Self>, xs: &[u32]) -> (Vec<u32>, u32);
+
+    /// The original indices of all `true` entries, in order (the prefix-sum
+    /// scatter of §4.2).
+    fn compact_indices(&self, device: &Device<Self>, keep: &[bool]) -> Vec<u32>;
+
+    /// Gathers the rows listed in `index` from a row-major matrix into
+    /// `dst` (`dst.len() == index.len() * row_len`, checked by the caller).
+    fn gather_rows<T: Copy + Send + Sync>(
+        &self,
+        device: &Device<Self>,
+        src: &[T],
+        row_len: usize,
+        index: &[u32],
+        dst: &mut [T],
+    );
+}
+
+/// The production CPU simulation of the paper's GPU machine model: tiled
+/// kernels parallelized across the device worker pool, buffer pooling
+/// enabled. The default backend of [`Device`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CpuSimBackend;
+
+/// One row of the tiled interval×scalar product, shared by the fresh and
+/// accumulating kernels (they differ only in whether `C`'s row is zeroed).
+#[inline]
+fn tiled_itv_row<F: Fp>(arow: &[Itv<F>], b: &[F], crow: &mut [Itv<F>], n: usize) {
+    for j0 in (0..n).step_by(TILE_N) {
+        let j1 = (j0 + TILE_N).min(n);
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                continue;
+            }
+            let brow = &b[kk * n + j0..kk * n + j1];
+            let ctile = &mut crow[j0..j1];
+            for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                *cv = aik.mul_add_f(bv, *cv);
+            }
+        }
+    }
+}
+
+impl Backend for CpuSimBackend {
+    fn label(&self) -> &'static str {
+        "cpusim"
+    }
+
+    fn gemm_itv_f<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[Itv<F>],
+        b: &[F],
+        c: &mut [Itv<F>],
+        _m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if n == 0 {
+            return;
+        }
+        device.install(|| {
+            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                let arow = &a[i * k..(i + 1) * k];
+                for v in crow.iter_mut() {
+                    *v = Itv::zero();
+                }
+                tiled_itv_row(arow, b, crow, n);
+            })
+        });
+    }
+
+    fn gemm_itv_f_acc<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[Itv<F>],
+        b: &[F],
+        c: &mut [Itv<F>],
+        _m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if n == 0 {
+            return;
+        }
+        device.install(|| {
+            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                let arow = &a[i * k..(i + 1) * k];
+                tiled_itv_row(arow, b, crow, n);
+            })
+        });
+    }
+
+    fn gemm_f_f<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[F],
+        b: &[F],
+        c: &mut [F],
+        _m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if n == 0 {
+            return;
+        }
+        device.install(|| {
+            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                let arow = &a[i * k..(i + 1) * k];
+                for v in crow.iter_mut() {
+                    *v = F::ZERO;
+                }
+                for j0 in (0..n).step_by(TILE_N) {
+                    let j1 = (j0 + TILE_N).min(n);
+                    // No zero-skip here, unlike the interval kernels: under
+                    // round-to-nearest, fma(0, b, -0.0) = +0.0, so skipping
+                    // a zero term is not a bitwise no-op for plain scalars.
+                    for (kk, &aik) in arow.iter().enumerate() {
+                        let brow = &b[kk * n + j0..kk * n + j1];
+                        let ctile = &mut crow[j0..j1];
+                        for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                            *cv = aik.mul_add(bv, *cv);
+                        }
+                    }
+                }
+            })
+        });
+    }
+
+    fn exclusive_scan(&self, device: &Device<Self>, xs: &[u32]) -> (Vec<u32>, u32) {
+        let n = xs.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        // Three phases, mirroring the GPU algorithm: per-chunk partial sums
+        // in parallel, a serial scan over the (few) chunk totals, and a
+        // parallel per-chunk rescan with offsets.
+        let chunk = n.div_ceil(device.workers() * 4).max(1);
+        let sums: Vec<u32> = device.install(|| {
+            xs.par_chunks(chunk)
+                .map(|c| c.iter().sum::<u32>())
+                .collect()
+        });
+        let mut offsets = Vec::with_capacity(sums.len());
+        let mut acc = 0u32;
+        for s in &sums {
+            offsets.push(acc);
+            acc += s;
+        }
+        let mut out = vec![0u32; n];
+        device.install(|| {
+            out.par_chunks_mut(chunk)
+                .zip(xs.par_chunks(chunk))
+                .zip(offsets.par_iter())
+                .for_each(|((o, x), &off)| {
+                    let mut a = off;
+                    for (oi, &xi) in o.iter_mut().zip(x) {
+                        *oi = a;
+                        a += xi;
+                    }
+                })
+        });
+        (out, acc)
+    }
+
+    fn compact_indices(&self, device: &Device<Self>, keep: &[bool]) -> Vec<u32> {
+        let n = keep.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let flags: Vec<u32> = keep.iter().map(|&k| k as u32).collect();
+        // Call the backend method, not the `scan::exclusive_scan` wrapper:
+        // the wrapper would record a nested "exclusive_scan" launch that
+        // ReferenceBackend's serial compaction has no counterpart for, and
+        // launch accounting must stay comparable across backends.
+        let (prefix, total) = Backend::exclusive_scan(self, device, &flags);
+        let chunk = n.div_ceil(device.workers() * 4).max(1);
+        let mut kept = vec![0u32; total as usize];
+        // Split the output into the disjoint ranges each input chunk writes
+        // to (chunk c's survivors land at prefix[c*chunk] .. next chunk's).
+        let mut out_parts: Vec<(usize, &mut [u32])> = Vec::new();
+        let mut rest: &mut [u32] = &mut kept;
+        let mut consumed = 0usize;
+        for c0 in (0..n).step_by(chunk) {
+            let c1 = (c0 + chunk).min(n);
+            let end = if c1 < n {
+                prefix[c1] as usize
+            } else {
+                total as usize
+            };
+            let take = end - consumed;
+            let (head, tail) = rest.split_at_mut(take);
+            out_parts.push((c0, head));
+            rest = tail;
+            consumed = end;
+        }
+        device.install(|| {
+            out_parts.par_iter_mut().for_each(|(c0, out)| {
+                let c1 = (*c0 + chunk).min(n);
+                let mut w = 0;
+                for (i, &k) in keep.iter().enumerate().take(c1).skip(*c0) {
+                    if k {
+                        out[w] = i as u32;
+                        w += 1;
+                    }
+                }
+                debug_assert_eq!(w, out.len());
+            })
+        });
+        kept
+    }
+
+    fn gather_rows<T: Copy + Send + Sync>(
+        &self,
+        device: &Device<Self>,
+        src: &[T],
+        row_len: usize,
+        index: &[u32],
+        dst: &mut [T],
+    ) {
+        // Parallel gather: each destination row copies from its source row.
+        device.install(|| {
+            dst.par_chunks_mut(row_len.max(1))
+                .zip(index.par_iter())
+                .for_each(|(row, &i)| {
+                    row.copy_from_slice(&src[i as usize * row_len..(i as usize + 1) * row_len]);
+                })
+        });
+    }
+}
+
+/// A deliberately naive backend: straight-line serial scalar loops and no
+/// buffer pooling. Slow by design — its value is that every kernel is
+/// auditable at a glance, making it the oracle half of cross-backend
+/// differential tests. Honors the same bit-reproducibility contract as
+/// [`CpuSimBackend`] (ascending-`k` accumulation with the shared
+/// directed-rounding primitives), so engine margins computed on it are
+/// bit-identical to the tiled parallel backend's.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceBackend;
+
+impl Backend for ReferenceBackend {
+    fn label(&self) -> &'static str {
+        "reference"
+    }
+
+    fn pooling(&self) -> bool {
+        false
+    }
+
+    fn gemm_itv_f<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        a: &[Itv<F>],
+        b: &[F],
+        c: &mut [Itv<F>],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = Itv::zero();
+                for kk in 0..k {
+                    let aik = a[i * k + kk];
+                    // Mandatory zero-skip — see the module-level contract.
+                    if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                        continue;
+                    }
+                    acc = aik.mul_add_f(b[kk * n + j], acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn gemm_itv_f_acc<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        a: &[Itv<F>],
+        b: &[F],
+        c: &mut [Itv<F>],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for kk in 0..k {
+                    let aik = a[i * k + kk];
+                    // Mandatory zero-skip — see the module-level contract.
+                    if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                        continue;
+                    }
+                    acc = aik.mul_add_f(b[kk * n + j], acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn gemm_f_f<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        a: &[F],
+        b: &[F],
+        c: &mut [F],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = F::ZERO;
+                for kk in 0..k {
+                    acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn exclusive_scan(&self, _device: &Device<Self>, xs: &[u32]) -> (Vec<u32>, u32) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0u32;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    fn compact_indices(&self, _device: &Device<Self>, keep: &[bool]) -> Vec<u32> {
+        keep.iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i as u32))
+            .collect()
+    }
+
+    fn gather_rows<T: Copy + Send + Sync>(
+        &self,
+        _device: &Device<Self>,
+        src: &[T],
+        row_len: usize,
+        index: &[u32],
+        dst: &mut [T],
+    ) {
+        for (row, &i) in dst.chunks_mut(row_len.max(1)).zip(index) {
+            row.copy_from_slice(&src[i as usize * row_len..(i as usize + 1) * row_len]);
+        }
+    }
+}

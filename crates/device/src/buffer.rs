@@ -4,6 +4,7 @@ use std::fmt;
 use std::mem;
 use std::ops::{Deref, DerefMut};
 
+use crate::backend::{Backend, CpuSimBackend};
 use crate::{Device, DeviceError};
 
 /// A typed allocation charged against a device's memory capacity.
@@ -13,6 +14,16 @@ use crate::{Device, DeviceError};
 /// verifier's memory-aware chunking (paper §4.2, "Memory management") be
 /// exercised and tested: on a constrained device, a too-large intermediate
 /// bound matrix genuinely fails to allocate.
+///
+/// Transfers into *existing* device storage go through the backend's
+/// [`Backend::htod`] / [`Backend::dtoh`] hooks ([`DeviceBuffer::from_slice`]
+/// on a pool hit, [`DeviceBuffer::copy_to_host`]). Fresh uploads and
+/// [`DeviceBuffer::into_vec`] instead *adopt/release* the host vector as the
+/// device storage — possible only because the simulator's device memory is
+/// host memory (this type `Deref`s to a slice for the same reason). A real
+/// GPU port needs a device-resident buffer abstraction behind this API; see
+/// the [`crate::backend`] module docs on what the trait does and does not
+/// yet cover.
 ///
 /// Dropping the buffer releases the accounting (destructors never fail).
 ///
@@ -29,16 +40,16 @@ use crate::{Device, DeviceError};
 /// assert_eq!(dev.memory_in_use(), 0);
 /// # Ok::<(), gpupoly_device::DeviceError>(())
 /// ```
-pub struct DeviceBuffer<T: Send + 'static> {
+pub struct DeviceBuffer<T: Send + 'static, B: Backend = CpuSimBackend> {
     data: Vec<T>,
     bytes: usize,
-    device: Device,
+    device: Device<B>,
     /// `true` when this allocation may be shelved in the device's buffer
     /// pool on drop (it was created while the pool was active).
     pooled: bool,
 }
 
-impl<T: Send + fmt::Debug> fmt::Debug for DeviceBuffer<T> {
+impl<T: Send + fmt::Debug, B: Backend> fmt::Debug for DeviceBuffer<T, B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DeviceBuffer")
             .field("len", &self.data.len())
@@ -48,10 +59,10 @@ impl<T: Send + fmt::Debug> fmt::Debug for DeviceBuffer<T> {
     }
 }
 
-impl<T: Send + 'static> DeviceBuffer<T> {
+impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
     /// Charges `len` elements against the device, reclaiming shelved pool
     /// buffers once before giving up on an out-of-memory condition.
-    fn charge(device: &Device, len: usize) -> Result<usize, DeviceError> {
+    fn charge(device: &Device<B>, len: usize) -> Result<usize, DeviceError> {
         let bytes = len.saturating_mul(mem::size_of::<T>());
         match device.track_alloc(bytes) {
             Ok(()) => Ok(bytes),
@@ -73,7 +84,7 @@ impl<T: Send + 'static> DeviceBuffer<T> {
     ///
     /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
     /// the device capacity.
-    pub fn zeroed(device: &Device, len: usize) -> Result<Self, DeviceError>
+    pub fn zeroed(device: &Device<B>, len: usize) -> Result<Self, DeviceError>
     where
         T: Clone + Default,
     {
@@ -107,7 +118,7 @@ impl<T: Send + 'static> DeviceBuffer<T> {
     ///
     /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
     /// the device capacity.
-    pub fn for_overwrite(device: &Device, len: usize) -> Result<Self, DeviceError>
+    pub fn for_overwrite(device: &Device<B>, len: usize) -> Result<Self, DeviceError>
     where
         T: Clone + Default,
     {
@@ -122,19 +133,20 @@ impl<T: Send + 'static> DeviceBuffer<T> {
         Self::zeroed(device, len)
     }
 
-    /// Uploads a host slice to the device, reusing a shelved buffer of the
-    /// same size class when the device's pool is active.
+    /// Uploads a host slice to the device (via [`Backend::htod`]), reusing a
+    /// shelved buffer of the same size class when the device's pool is
+    /// active.
     ///
     /// # Errors
     ///
     /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
     /// the device capacity.
-    pub fn from_slice(device: &Device, src: &[T]) -> Result<Self, DeviceError>
+    pub fn from_slice(device: &Device<B>, src: &[T]) -> Result<Self, DeviceError>
     where
         T: Clone,
     {
         if let Some(mut data) = device.pool_take::<T>(src.len()) {
-            data.clone_from_slice(src);
+            device.backend().htod(src, &mut data);
             return Ok(Self {
                 data,
                 bytes: src.len().saturating_mul(mem::size_of::<T>()),
@@ -144,6 +156,8 @@ impl<T: Send + 'static> DeviceBuffer<T> {
         }
         device.note_pool_miss();
         let bytes = Self::charge(device, src.len())?;
+        // Fresh upload: host staging vector handed to the device (the sim's
+        // device memory *is* host memory, so this is the htod copy).
         Ok(Self {
             data: src.to_vec(),
             bytes,
@@ -158,7 +172,7 @@ impl<T: Send + 'static> DeviceBuffer<T> {
     ///
     /// Returns [`DeviceError::OutOfMemory`] when the allocation would exceed
     /// the device capacity.
-    pub fn from_vec(device: &Device, data: Vec<T>) -> Result<Self, DeviceError> {
+    pub fn from_vec(device: &Device<B>, data: Vec<T>) -> Result<Self, DeviceError> {
         let bytes = Self::charge(device, data.len())?;
         Ok(Self {
             data,
@@ -202,6 +216,20 @@ impl<T: Send + 'static> DeviceBuffer<T> {
         &mut self.data
     }
 
+    /// Downloads the contents into a host slice of the same length (via
+    /// [`Backend::dtoh`]), keeping the device allocation alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dst.len() != self.len()`.
+    pub fn copy_to_host(&self, dst: &mut [T])
+    where
+        T: Clone,
+    {
+        assert_eq!(dst.len(), self.data.len(), "copy_to_host length mismatch");
+        self.device.backend().dtoh(&self.data, dst);
+    }
+
     /// Downloads the contents, releasing the device allocation.
     pub fn into_vec(mut self) -> Vec<T> {
         self.device.track_free(self.bytes);
@@ -210,7 +238,7 @@ impl<T: Send + 'static> DeviceBuffer<T> {
     }
 }
 
-impl<T: Send + 'static> Drop for DeviceBuffer<T> {
+impl<T: Send + 'static, B: Backend> Drop for DeviceBuffer<T, B> {
     fn drop(&mut self) {
         if self.bytes == 0 {
             return;
@@ -225,14 +253,14 @@ impl<T: Send + 'static> Drop for DeviceBuffer<T> {
     }
 }
 
-impl<T: Send + 'static> Deref for DeviceBuffer<T> {
+impl<T: Send + 'static, B: Backend> Deref for DeviceBuffer<T, B> {
     type Target = [T];
     fn deref(&self) -> &[T] {
         &self.data
     }
 }
 
-impl<T: Send + 'static> DerefMut for DeviceBuffer<T> {
+impl<T: Send + 'static, B: Backend> DerefMut for DeviceBuffer<T, B> {
     fn deref_mut(&mut self) -> &mut [T] {
         &mut self.data
     }
@@ -257,6 +285,9 @@ mod tests {
         let dev = Device::default();
         let buf = DeviceBuffer::from_slice(&dev, &[1u32, 2, 3]).unwrap();
         assert_eq!(buf.as_slice(), &[1, 2, 3]);
+        let mut host = [0u32; 3];
+        buf.copy_to_host(&mut host);
+        assert_eq!(host, [1, 2, 3]);
         assert_eq!(buf.into_vec(), vec![1, 2, 3]);
         assert_eq!(dev.memory_in_use(), 0);
     }
@@ -355,6 +386,19 @@ mod tests {
         assert_eq!(dev.buffer_pool_bytes(), 0);
         assert_eq!(dev.stats().pool_hits(), 0);
         assert_eq!(dev.stats().pool_misses(), 0);
+    }
+
+    #[test]
+    fn reference_backend_frees_instead_of_shelving() {
+        let dev = Device::reference(DeviceConfig::new().workers(1));
+        dev.buffer_pool_retain();
+        {
+            let _a = DeviceBuffer::<u64, _>::zeroed(&dev, 100).unwrap();
+        }
+        assert_eq!(dev.buffer_pool_bytes(), 0, "pooling disabled: no shelving");
+        assert_eq!(dev.memory_in_use(), 0, "dropped buffer freed immediately");
+        assert_eq!(dev.stats().pool_hits(), 0);
+        dev.buffer_pool_release();
     }
 
     #[test]

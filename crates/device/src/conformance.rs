@@ -1,0 +1,514 @@
+//! The backend conformance suite.
+//!
+//! Any [`Backend`] implementation — including a future CUDA/wgpu port —
+//! must pass [`assert_backend_conformance`] unmodified. The suite pins the
+//! whole kernel contract of the [`crate::backend`] module docs:
+//!
+//! * **GEMM bit-reproducibility** — every kernel of the GEMM family matches
+//!   a straight-line scalar oracle *bit for bit* (ascending-`k`
+//!   accumulation with the shared directed-rounding primitives), over a
+//!   matrix of shapes that includes empty, single-element, non-square and
+//!   tile-boundary cases;
+//! * **GEMM soundness** — interval results contain the exact (`f64`)
+//!   product;
+//! * **scan / compaction / gather exactness** against serial oracles;
+//! * **host↔device copies** round-trip bit-exactly;
+//! * **launch accounting** — every kernel wrapper records its launch label;
+//! * **memory accounting** — allocations charge and release capacity
+//!   correctly, out-of-memory is reported (not panicked), and the buffer
+//!   pool honors the backend's [`Backend::pooling`] policy.
+//!
+//! The granular `check_*` functions are public so property tests can drive
+//! them with externally generated cases (see `tests/device_props.rs`);
+//! `assert_backend_conformance` runs everything over a deterministic
+//! internal case matrix.
+//!
+//! # Example
+//!
+//! The full run is multi-second work and already executed by
+//! `tests/backend_conformance.rs`, so the example only compiles:
+//!
+//! ```no_run
+//! use gpupoly_device::{conformance, Device, DeviceConfig, ReferenceBackend};
+//!
+//! conformance::assert_backend_conformance(|cfg| Device::new(cfg));
+//! conformance::assert_backend_conformance(|cfg| Device::with_backend(ReferenceBackend, cfg));
+//! ```
+
+use gpupoly_interval::{Fp, Itv};
+
+use crate::backend::Backend;
+use crate::{gemm, scan, Device, DeviceBuffer, DeviceConfig, DeviceError};
+
+/// Deterministic splitmix64 stream for generating test data without
+/// depending on an RNG crate.
+struct Stream(u64);
+
+impl Stream {
+    fn new(seed: u64) -> Self {
+        Stream(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[-1, 1)`.
+    fn next_f32(&mut self) -> f32 {
+        // 24 uniform bits scaled into [0, 1), then mapped to [-1, 1).
+        ((self.next_u64() >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+
+    fn next_range(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+fn bit_eq<F: Fp>(a: Itv<F>, b: Itv<F>) -> bool {
+    a.lo.bits() == b.lo.bits() && a.hi.bits() == b.hi.bits()
+}
+
+/// Straight-line oracle for the interval×scalar GEMM family: ascending-`k`
+/// accumulation with [`Itv::mul_add_f`], starting from `init` (or zero).
+/// Exact-zero terms are skipped, as the contract mandates — accumulating
+/// them would rewrite a `-0.0` accumulator bound to `+0.0` and diverge
+/// from any skipping implementation.
+fn oracle_gemm_itv_f<F: Fp>(
+    a: &[Itv<F>],
+    b: &[F],
+    init: Option<&[Itv<F>]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<Itv<F>> {
+    let mut c = vec![Itv::zero(); m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = init.map_or(Itv::zero(), |c0| c0[i * n + j]);
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                    continue;
+                }
+                acc = aik.mul_add_f(b[kk * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Straight-line oracle for the unsound scalar GEMM.
+fn oracle_gemm_f_f<F: Fp>(a: &[F], b: &[F], m: usize, k: usize, n: usize) -> Vec<F> {
+    let mut c = vec![F::ZERO; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = F::ZERO;
+            for kk in 0..k {
+                acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Checks the full GEMM family on one `f32` shape: bit-identical to the
+/// scalar oracle, interval results contain the exact `f64` product, and the
+/// launch/flop counters advance. Interval inputs mix points, genuinely
+/// wide intervals and exact zeros of both signs (which backends must
+/// skip), and some `acc` inits are `-0.0` — the inputs that make the
+/// mandatory zero-skip observable.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_gemm_against_oracle<B: Backend>(
+    device: &Device<B>,
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed);
+    let a: Vec<Itv<f32>> = (0..m * k)
+        .map(|_| match s.next_range(6) {
+            0 => Itv::zero(),          // exercise the mandatory zero-skip
+            1 => Itv::point(-0.0_f32), // negative zero is a zero term too
+            2 => {
+                let lo = s.next_f32();
+                Itv::new(lo, lo + s.next_f32().abs())
+            }
+            _ => Itv::point(s.next_f32()),
+        })
+        .collect();
+    let b: Vec<f32> = (0..k * n).map(|_| s.next_f32()).collect();
+
+    // gemm_itv_f: bit-identical to the straight-line oracle.
+    let mut c = vec![Itv::new(9.0f32, 9.0); m * n]; // poisoned: must be overwritten
+    let flops0 = device.stats().flops();
+    let launches0 = device.stats().kernel_launches("gemm_itv_f");
+    gemm::gemm_itv_f(device, &a, &b, &mut c, m, k, n);
+    assert_eq!(
+        device.stats().kernel_launches("gemm_itv_f"),
+        launches0 + 1,
+        "[{label}] gemm_itv_f must record its launch"
+    );
+    assert!(
+        device.stats().flops() - flops0 >= gemm::flops_itv_f(m, k, n),
+        "[{label}] gemm_itv_f must account its flops"
+    );
+    let want = oracle_gemm_itv_f(&a, &b, None, m, k, n);
+    for (i, (got, want)) in c.iter().zip(&want).enumerate() {
+        assert!(
+            bit_eq(*got, *want),
+            "[{label}] gemm_itv_f[{i}] ({m}x{k}x{n}): {got} != oracle {want}"
+        );
+    }
+
+    // Soundness: the interval result contains the exact f64 product of the
+    // interval endpoints' midpoints (a point inside every input interval).
+    for i in 0..m {
+        for j in 0..n {
+            let exact: f64 = (0..k)
+                .map(|kk| {
+                    let av = a[i * k + kk];
+                    let mid = (av.lo as f64 + av.hi as f64) / 2.0;
+                    mid * b[kk * n + j] as f64
+                })
+                .sum();
+            let got = c[i * n + j];
+            assert!(
+                (got.lo as f64) <= exact && exact <= (got.hi as f64),
+                "[{label}] gemm_itv_f[{i},{j}] {got} misses exact {exact}"
+            );
+        }
+    }
+
+    // gemm_itv_f_acc: bit-identical to the oracle seeded with the init.
+    // Some accumulators start at -0.0: the case where skipping vs
+    // accumulating a zero term differ bitwise, pinning the mandatory skip.
+    let init: Vec<Itv<f32>> = (0..m * n)
+        .map(|_| {
+            if s.next_range(5) == 0 {
+                Itv::point(-0.0_f32)
+            } else {
+                Itv::point(s.next_f32())
+            }
+        })
+        .collect();
+    let mut acc = init.clone();
+    gemm::gemm_itv_f_acc(device, &a, &b, &mut acc, m, k, n);
+    let want = oracle_gemm_itv_f(&a, &b, Some(&init), m, k, n);
+    for (i, (got, want)) in acc.iter().zip(&want).enumerate() {
+        assert!(
+            bit_eq(*got, *want),
+            "[{label}] gemm_itv_f_acc[{i}] ({m}x{k}x{n}): {got} != oracle {want}"
+        );
+    }
+
+    // gemm_f_f: bit-identical to the oracle.
+    let af: Vec<f32> = (0..m * k).map(|_| s.next_f32()).collect();
+    let mut cf = vec![9.0f32; m * n];
+    gemm::gemm_f_f(device, &af, &b, &mut cf, m, k, n);
+    let wantf = oracle_gemm_f_f(&af, &b, m, k, n);
+    for (i, (got, want)) in cf.iter().zip(&wantf).enumerate() {
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "[{label}] gemm_f_f[{i}] ({m}x{k}x{n}): {got} != oracle {want}"
+        );
+    }
+}
+
+/// Checks [`scan::exclusive_scan`] against the serial oracle on one input.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_scan_against_oracle<B: Backend>(device: &Device<B>, xs: &[u32]) {
+    let label = device.backend().label();
+    let launches0 = device.stats().kernel_launches("exclusive_scan");
+    let (got, total) = scan::exclusive_scan(device, xs);
+    assert_eq!(
+        device.stats().kernel_launches("exclusive_scan"),
+        launches0 + 1,
+        "[{label}] exclusive_scan must record its launch"
+    );
+    let mut acc = 0u32;
+    for (i, &x) in xs.iter().enumerate() {
+        assert_eq!(
+            got[i],
+            acc,
+            "[{label}] exclusive_scan[{i}] wrong (n={})",
+            xs.len()
+        );
+        acc += x;
+    }
+    assert_eq!(got.len(), xs.len(), "[{label}] scan length mismatch");
+    assert_eq!(total, acc, "[{label}] scan total mismatch");
+}
+
+/// Checks compaction and row gather against serial oracles on one keep
+/// mask: `compact_indices` equals the filtered index list, `compact_rows`
+/// is a stable row filter, and `gather_rows_into` handles repeated and
+/// out-of-order indices.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_compaction_against_oracle<B: Backend>(
+    device: &Device<B>,
+    keep: &[bool],
+    row_len: usize,
+) {
+    let label = device.backend().label();
+    let idx = scan::compact_indices(device, keep);
+    let want: Vec<u32> = keep
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i as u32))
+        .collect();
+    assert_eq!(idx, want, "[{label}] compact_indices mismatch");
+
+    let row_len = row_len.max(1);
+    let src: Vec<u64> = (0..keep.len() * row_len).map(|i| i as u64).collect();
+    let (mat, idx2) = scan::compact_rows(device, &src, row_len, keep);
+    assert_eq!(idx2, want, "[{label}] compact_rows index mismatch");
+    for (j, &orig) in idx2.iter().enumerate() {
+        assert_eq!(
+            &mat[j * row_len..(j + 1) * row_len],
+            &src[orig as usize * row_len..(orig as usize + 1) * row_len],
+            "[{label}] compact_rows row {j} content mismatch"
+        );
+    }
+
+    // Gather with repeated, out-of-order indices (a permutation the
+    // compaction path never produces but the gather contract allows).
+    if !keep.is_empty() {
+        let n = keep.len() as u32;
+        let index: Vec<u32> = (0..keep.len().min(17) as u32)
+            .map(|i| (i * 7 + 3) % n)
+            .collect();
+        let mut dst = vec![0u64; index.len() * row_len];
+        scan::gather_rows_into(device, &src, row_len, &index, &mut dst);
+        for (j, &orig) in index.iter().enumerate() {
+            assert_eq!(
+                &dst[j * row_len..(j + 1) * row_len],
+                &src[orig as usize * row_len..(orig as usize + 1) * row_len],
+                "[{label}] gather_rows row {j} mismatch"
+            );
+        }
+    }
+}
+
+/// Host↔device copies round-trip bit-exactly through [`DeviceBuffer`],
+/// including the backend's explicit [`Backend::htod`] / [`Backend::dtoh`]
+/// hooks.
+fn check_copies<B: Backend>(device: &Device<B>) {
+    let label = device.backend().label();
+    let mut s = Stream::new(41);
+    for len in [0usize, 1, 7, 1024] {
+        let host: Vec<f32> = (0..len).map(|_| s.next_f32()).collect();
+        let buf = DeviceBuffer::from_slice(device, &host).expect("upload");
+        let mut back = vec![0.0f32; len];
+        buf.copy_to_host(&mut back); // dtoh hook
+        for (i, (a, b)) in host.iter().zip(&back).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "[{label}] htod/dtoh round-trip corrupted element {i}"
+            );
+        }
+        let down = buf.into_vec();
+        assert_eq!(down.len(), len, "[{label}] into_vec length");
+    }
+
+    // The htod hook proper only runs when uploading into *existing* device
+    // storage, i.e. on a buffer-pool hit — force that path on pooling
+    // backends (on non-pooling backends every upload stages fresh storage
+    // and there is no htod call site to check).
+    if device.backend().pooling() {
+        device.buffer_pool_retain();
+        {
+            let _warm = DeviceBuffer::<f32, B>::zeroed(device, 256).expect("warm");
+        }
+        assert_eq!(
+            device.buffer_pool_bytes(),
+            256 * 4,
+            "[{label}] warmup buffer must be shelved"
+        );
+        let host: Vec<f32> = (0..256).map(|_| s.next_f32()).collect();
+        let hits0 = device.stats().pool_hits();
+        let buf = DeviceBuffer::from_slice(device, &host).expect("recycled upload");
+        assert_eq!(
+            device.stats().pool_hits(),
+            hits0 + 1,
+            "[{label}] recycled upload must be a pool hit (htod path)"
+        );
+        for (i, (a, b)) in host.iter().zip(buf.as_slice()).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "[{label}] htod into recycled storage corrupted element {i}"
+            );
+        }
+        drop(buf);
+        device.buffer_pool_release();
+    }
+}
+
+/// Allocation accounting and the backend's pooling policy.
+fn check_memory_accounting<B: Backend>(make: &impl Fn(DeviceConfig) -> Device<B>) {
+    let device = make(DeviceConfig::new().workers(2).memory_capacity(4096));
+    let label = device.backend().label();
+    let base = device.memory_in_use();
+    {
+        let a = DeviceBuffer::<u8, B>::zeroed(&device, 1000).expect("fits");
+        assert_eq!(
+            device.memory_in_use(),
+            base + 1000,
+            "[{label}] allocation must charge capacity"
+        );
+        // Over-capacity allocation errors without corrupting accounting.
+        match DeviceBuffer::<u8, B>::zeroed(&device, 8192) {
+            Err(DeviceError::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            }) => {
+                assert_eq!((requested, capacity), (8192, 4096), "[{label}] OOM fields");
+            }
+            Ok(_) => panic!("[{label}] over-capacity allocation must fail"),
+        }
+        assert_eq!(
+            device.memory_in_use(),
+            base + 1000,
+            "[{label}] failed allocation must not leak charge"
+        );
+        drop(a);
+    }
+    assert_eq!(
+        device.memory_in_use(),
+        base,
+        "[{label}] drop must release the charge"
+    );
+    assert!(device.peak_memory() >= 1000, "[{label}] peak tracks highs");
+
+    // Pooling policy: shelve-and-reuse when the backend supports pooling,
+    // free-on-drop when it does not. Either way retain/release balance and
+    // all memory returns to the device.
+    let pooling = device.backend().pooling();
+    device.buffer_pool_retain();
+    assert_eq!(
+        device.buffer_pool_active(),
+        pooling,
+        "[{label}] pool activity must follow Backend::pooling()"
+    );
+    {
+        let _a = DeviceBuffer::<u64, B>::zeroed(&device, 128).expect("fits");
+    }
+    if pooling {
+        assert_eq!(
+            device.buffer_pool_bytes(),
+            128 * 8,
+            "[{label}] dropped pooled buffer must be shelved"
+        );
+        let bytes0 = device.stats().bytes_allocated();
+        {
+            let _b = DeviceBuffer::<u64, B>::zeroed(&device, 128).expect("fits");
+        }
+        assert_eq!(
+            device.stats().bytes_allocated(),
+            bytes0,
+            "[{label}] same-size realloc must be served by the pool"
+        );
+        assert!(
+            device.stats().pool_hits() >= 1,
+            "[{label}] pool hit counted"
+        );
+    } else {
+        assert_eq!(
+            device.buffer_pool_bytes(),
+            0,
+            "[{label}] non-pooling backend must never shelve"
+        );
+        assert_eq!(
+            device.memory_in_use(),
+            0,
+            "[{label}] non-pooling backend frees on drop"
+        );
+    }
+    device.buffer_pool_release();
+    assert_eq!(
+        device.memory_in_use(),
+        0,
+        "[{label}] final release must return all memory"
+    );
+    assert_eq!(device.buffer_pool_bytes(), 0, "[{label}] pool drained");
+}
+
+/// GEMM/scan shape matrix: the edge cases every backend must get right plus
+/// a deterministic spread of irregular shapes.
+fn shape_matrix() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (0, 0, 0), // fully empty
+        (1, 1, 1), // single element
+        (1, 0, 1), // empty inner dimension: result is exactly zero
+        (2, 0, 3),
+        (0, 4, 5),   // empty output
+        (3, 1, 1),   // degenerate columns
+        (1, 7, 1),   // dot product
+        (4, 4, 4),   // small square
+        (5, 17, 9),  // non-square
+        (2, 3, 519), // crosses the CPU-sim tile boundary (512)
+    ];
+    let mut s = Stream::new(7);
+    for _ in 0..12 {
+        shapes.push((
+            s.next_range(6) + 1,
+            s.next_range(23) + 1,
+            s.next_range(19) + 1,
+        ));
+    }
+    shapes
+}
+
+/// Runs the full conformance suite against a backend.
+///
+/// `make` builds a device of the backend under test from a configuration
+/// (worker counts and memory caps vary across the suite). Passing this
+/// suite is the admission requirement for wiring a backend into
+/// `gpupoly_core::Engine`; see the [`crate::backend`] module docs for the
+/// contract being enforced.
+///
+/// # Panics
+///
+/// Panics with a labeled, actionable message on the first violation.
+pub fn assert_backend_conformance<B: Backend>(make: impl Fn(DeviceConfig) -> Device<B>) {
+    // Kernels must behave identically at every worker count.
+    for workers in [1usize, 3] {
+        let device = make(DeviceConfig::new().workers(workers));
+        for (case, &(m, k, n)) in shape_matrix().iter().enumerate() {
+            check_gemm_against_oracle(&device, m, k, n, case as u64 * 1013 + workers as u64);
+        }
+        for n in [0usize, 1, 2, 63, 64, 65, 1000, 4097] {
+            let xs: Vec<u32> = (0..n).map(|i| ((i * 2654435761) % 5) as u32).collect();
+            check_scan_against_oracle(&device, &xs);
+            let keep: Vec<bool> = (0..n).map(|i| (i * 31) % 3 != 1).collect();
+            check_compaction_against_oracle(&device, &keep, n % 7);
+        }
+        // All-false and all-true masks.
+        check_compaction_against_oracle(&device, &[false; 9], 2);
+        check_compaction_against_oracle(&device, &[true; 9], 2);
+        check_copies(&device);
+        assert!(
+            device.stats().launches() > 0,
+            "[{}] kernels must record launches",
+            device.backend().label()
+        );
+    }
+    check_memory_accounting(&make);
+}

@@ -9,6 +9,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+use crate::backend::{Backend, CpuSimBackend, ReferenceBackend};
+
 /// Configuration of a simulated device.
 ///
 /// # Example
@@ -135,7 +137,12 @@ impl DeviceStats {
         self.kernel_counts.lock().get(label).copied().unwrap_or(0)
     }
 
-    pub(crate) fn record_launch(&self, label: &'static str) {
+    /// Records one kernel launch under `label`. Called by the device's own
+    /// launch helpers and by the kernel wrappers in [`crate::gemm`] /
+    /// [`crate::scan`]; custom [`Backend`] implementations composing their
+    /// own launches record them here so accounting stays comparable across
+    /// backends.
+    pub fn record_launch(&self, label: &'static str) {
         self.launches.fetch_add(1, Ordering::Relaxed);
         *self.kernel_counts.lock().entry(label).or_insert(0) += 1;
     }
@@ -153,7 +160,8 @@ impl DeviceStats {
 /// Shelved buffers keyed by `(element type, byte size)`.
 type Shelves = HashMap<(TypeId, usize), Vec<Box<dyn Any + Send>>>;
 
-pub(crate) struct DeviceInner {
+pub(crate) struct DeviceInner<B> {
+    backend: B,
     pool: rayon::ThreadPool,
     capacity: Option<usize>,
     in_use: AtomicUsize,
@@ -161,9 +169,9 @@ pub(crate) struct DeviceInner {
     stats: DeviceStats,
     name: String,
     workers: usize,
-    /// Reference count of buffer-pool users (engines). While non-zero,
-    /// dropped pooled [`crate::DeviceBuffer`]s are shelved here for exact
-    /// size-class reuse instead of being freed.
+    /// Reference count of buffer-pool users (engines). While non-zero (and
+    /// the backend supports pooling), dropped pooled [`crate::DeviceBuffer`]s
+    /// are shelved here for exact size-class reuse instead of being freed.
     recyclers: AtomicUsize,
     /// Shelved buffers keyed by `(element type, byte size)`. Shelved bytes
     /// stay charged against capacity; an allocation that would fail reclaims
@@ -172,28 +180,42 @@ pub(crate) struct DeviceInner {
     shelved_bytes: AtomicUsize,
 }
 
-/// A handle to a simulated GPU.
+/// A handle to a simulated GPU, generic over the kernel [`Backend`]
+/// (defaulting to the CPU simulation, [`CpuSimBackend`]).
 ///
 /// Cheap to clone (shared state behind an [`Arc`]); all kernels in this
-/// crate and in `gpupoly-core` take a `&Device`.
+/// crate and in `gpupoly-core` take a `&Device<B>`.
 ///
 /// # Example
 ///
 /// ```
-/// use gpupoly_device::{Device, DeviceConfig};
+/// use gpupoly_device::{Device, DeviceConfig, ReferenceBackend};
 ///
 /// let dev = Device::new(DeviceConfig::new().workers(4).name("sim-v100"));
 /// let sum: u64 = dev.par_reduce(1000, 0u64, |i| i as u64, |a, b| a + b);
 /// assert_eq!(sum, 999 * 1000 / 2);
+///
+/// // The same code runs on the naive reference backend.
+/// let naive = Device::with_backend(ReferenceBackend, DeviceConfig::new());
+/// assert_eq!(naive.backend().label(), "reference");
+/// # use gpupoly_device::Backend;
 /// ```
-#[derive(Clone)]
-pub struct Device {
-    inner: Arc<DeviceInner>,
+pub struct Device<B: Backend = CpuSimBackend> {
+    inner: Arc<DeviceInner<B>>,
 }
 
-impl fmt::Debug for Device {
+impl<B: Backend> Clone for Device<B> {
+    fn clone(&self) -> Self {
+        Device {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<B: Backend> fmt::Debug for Device<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Device")
+            .field("backend", &self.inner.backend.label())
             .field("name", &self.inner.name)
             .field("workers", &self.inner.workers)
             .field("capacity", &self.inner.capacity)
@@ -202,19 +224,41 @@ impl fmt::Debug for Device {
     }
 }
 
-impl Default for Device {
+impl Default for Device<CpuSimBackend> {
     fn default() -> Self {
         Self::new(DeviceConfig::default())
     }
 }
 
-impl Device {
-    /// Creates a device from a configuration.
+impl Device<CpuSimBackend> {
+    /// Creates a CPU-simulation device from a configuration.
     ///
     /// # Panics
     ///
     /// Panics if the worker pool cannot be created.
     pub fn new(config: DeviceConfig) -> Self {
+        Self::with_backend(CpuSimBackend, config)
+    }
+}
+
+impl Device<ReferenceBackend> {
+    /// Creates a device running the naive [`ReferenceBackend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker pool cannot be created.
+    pub fn reference(config: DeviceConfig) -> Self {
+        Self::with_backend(ReferenceBackend, config)
+    }
+}
+
+impl<B: Backend> Device<B> {
+    /// Creates a device running the given kernel backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker pool cannot be created.
+    pub fn with_backend(backend: B, config: DeviceConfig) -> Self {
         let workers = config
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
@@ -225,6 +269,7 @@ impl Device {
             .expect("failed to build device worker pool");
         Device {
             inner: Arc::new(DeviceInner {
+                backend,
                 pool,
                 capacity: config.memory_capacity,
                 in_use: AtomicUsize::new(0),
@@ -237,6 +282,11 @@ impl Device {
                 shelved_bytes: AtomicUsize::new(0),
             }),
         }
+    }
+
+    /// The kernel backend this device runs on.
+    pub fn backend(&self) -> &B {
+        &self.inner.backend
     }
 
     /// The device name.
@@ -298,23 +348,36 @@ impl Device {
         self.inner.in_use.fetch_sub(bytes, Ordering::Relaxed);
     }
 
-    /// `true` while at least one buffer-pool user is registered.
+    /// `true` while at least one buffer-pool user is registered *and* the
+    /// backend supports pooling ([`Backend::pooling`]).
     pub fn buffer_pool_active(&self) -> bool {
-        self.inner.recyclers.load(Ordering::Relaxed) > 0
+        self.inner.backend.pooling() && self.inner.recyclers.load(Ordering::Relaxed) > 0
     }
 
     /// Registers a buffer-pool user: while any user is registered, dropped
     /// pool-eligible buffers are shelved for reuse instead of freed. Pair
-    /// with [`Device::buffer_pool_release`].
+    /// with [`Device::buffer_pool_release`]. A no-op in effect on backends
+    /// that disable pooling (the user count is still balanced).
     pub fn buffer_pool_retain(&self) {
         self.inner.recyclers.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Deregisters a buffer-pool user; the last release drains the pool and
     /// returns the shelved memory to the device.
+    ///
+    /// A release without a matching [`Device::buffer_pool_retain`] is a
+    /// caller bug; it is reported by a debug assertion and otherwise
+    /// ignored, so an unbalanced release can never underflow the user count
+    /// into a permanently-active pool that shelves (leaks) every buffer.
     pub fn buffer_pool_release(&self) {
-        if self.inner.recyclers.fetch_sub(1, Ordering::Relaxed) == 1 {
-            self.buffer_pool_clear();
+        let dec = self
+            .inner
+            .recyclers
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+        match dec {
+            Ok(1) => self.buffer_pool_clear(),
+            Ok(_) => {}
+            Err(_) => debug_assert!(false, "buffer_pool_release without a matching retain"),
         }
     }
 
@@ -584,5 +647,44 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains("5") && s.contains("12"));
+    }
+
+    #[test]
+    fn reference_backend_disables_pooling() {
+        let dev = Device::reference(DeviceConfig::new().workers(2));
+        dev.buffer_pool_retain();
+        assert!(
+            !dev.buffer_pool_active(),
+            "reference backend must never shelve buffers"
+        );
+        dev.buffer_pool_release();
+    }
+
+    #[test]
+    fn unbalanced_pool_release_does_not_underflow() {
+        // A release without a retain must not wrap the user count to
+        // usize::MAX (which would leave the pool permanently active and
+        // shelve — leak — every subsequently dropped buffer).
+        let dev = Device::default();
+        if cfg!(debug_assertions) {
+            let d = dev.clone();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                d.buffer_pool_release();
+            }));
+            assert!(result.is_err(), "debug builds report the caller bug");
+        } else {
+            dev.buffer_pool_release();
+        }
+        assert!(!dev.buffer_pool_active(), "pool must stay inactive");
+        {
+            let _b = crate::DeviceBuffer::<u8>::zeroed(&dev, 64).unwrap();
+        }
+        assert_eq!(dev.memory_in_use(), 0, "dropped buffer must be freed");
+        assert_eq!(dev.buffer_pool_bytes(), 0);
+        // A later retain/release pair still works normally.
+        dev.buffer_pool_retain();
+        assert!(dev.buffer_pool_active());
+        dev.buffer_pool_release();
+        assert!(!dev.buffer_pool_active());
     }
 }

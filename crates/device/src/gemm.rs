@@ -10,10 +10,15 @@
 //! measuring the soundness overhead (the paper reports ≈2× memory and >2×
 //! flops; compare [`flops_itv_f`] with [`flops_f_f`]).
 //!
-//! All matrices are dense row-major. Parallelism follows the paper's
-//! strategy: the `h` dimension (rows of `M_k`, i.e. neurons being bounded)
-//! is parallelized across workers, the `j` dimension is contiguous in
-//! memory, and the `i` dimension is collapsed (§4.4).
+//! All matrices are dense row-major. The functions here are thin wrappers —
+//! dimension checks, launch recording, flop accounting — around the device's
+//! [`crate::Backend`], which supplies the actual kernel (tiled and parallel
+//! on [`crate::CpuSimBackend`], straight-line serial on
+//! [`crate::ReferenceBackend`]). Every backend accumulates each output
+//! element in ascending `k` order with the same directed-rounding
+//! primitives, so results are bit-identical across backends (see the
+//! [`crate::backend`] module docs for the contract and
+//! [`crate::conformance`] for the suite that enforces it).
 //!
 //! # Example
 //!
@@ -32,12 +37,8 @@
 
 use gpupoly_interval::{Fp, Itv};
 
+use crate::backend::Backend;
 use crate::Device;
-
-/// Column-block width: one block of `C`'s row plus one block of `B`'s row
-/// stay cache-resident while `k` streams — the CPU analogue of a cutlass
-/// thread-block tile.
-const TILE_N: usize = 512;
 
 fn check_dims<T, U, V>(a: &[T], b: &[U], c: &[V], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "GEMM: A must be m*k");
@@ -59,14 +60,16 @@ pub fn flops_f_f(m: usize, k: usize, n: usize) -> u64 {
 /// Sound interval×scalar GEMM: `C = A · B` with `A: m×k` interval entries,
 /// `B: k×n` scalar entries, outward rounding throughout.
 ///
-/// Zero interval entries of `A` are skipped — the sparsity produced by
-/// dependence-set padding costs no flops.
+/// Zero interval entries of `A` are skipped — mandatorily, by every
+/// backend — so the sparsity produced by dependence-set padding costs no
+/// flops (see the [`crate::backend`] contract; the scalar [`gemm_f_f`]
+/// must instead never skip).
 ///
 /// # Panics
 ///
 /// Panics on dimension mismatches.
-pub fn gemm_itv_f<F: Fp>(
-    device: &Device,
+pub fn gemm_itv_f<F: Fp, B: Backend>(
+    device: &Device<B>,
     a: &[Itv<F>],
     b: &[F],
     c: &mut [Itv<F>],
@@ -75,29 +78,9 @@ pub fn gemm_itv_f<F: Fp>(
     n: usize,
 ) {
     check_dims(a, b, c, m, k, n);
+    device.stats().record_launch("gemm_itv_f");
     device.stats().add_flops(flops_itv_f(m, k, n));
-    device.par_rows("gemm_itv_f", c, n.max(1), |i, crow| {
-        if n == 0 {
-            return;
-        }
-        let arow = &a[i * k..(i + 1) * k];
-        for v in crow.iter_mut() {
-            *v = Itv::zero();
-        }
-        for j0 in (0..n).step_by(TILE_N) {
-            let j1 = (j0 + TILE_N).min(n);
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik.lo == F::ZERO && aik.hi == F::ZERO {
-                    continue;
-                }
-                let brow = &b[kk * n + j0..kk * n + j1];
-                let ctile = &mut crow[j0..j1];
-                for (cv, &bv) in ctile.iter_mut().zip(brow) {
-                    *cv = aik.mul_add_f(bv, *cv);
-                }
-            }
-        }
-    });
+    device.backend().gemm_itv_f(device, a, b, c, m, k, n);
 }
 
 /// Sound interval×scalar GEMM accumulating into `C`: `C += A · B`.
@@ -108,8 +91,8 @@ pub fn gemm_itv_f<F: Fp>(
 /// # Panics
 ///
 /// Panics on dimension mismatches.
-pub fn gemm_itv_f_acc<F: Fp>(
-    device: &Device,
+pub fn gemm_itv_f_acc<F: Fp, B: Backend>(
+    device: &Device<B>,
     a: &[Itv<F>],
     b: &[F],
     c: &mut [Itv<F>],
@@ -118,26 +101,9 @@ pub fn gemm_itv_f_acc<F: Fp>(
     n: usize,
 ) {
     check_dims(a, b, c, m, k, n);
+    device.stats().record_launch("gemm_itv_f_acc");
     device.stats().add_flops(flops_itv_f(m, k, n));
-    device.par_rows("gemm_itv_f_acc", c, n.max(1), |i, crow| {
-        if n == 0 {
-            return;
-        }
-        let arow = &a[i * k..(i + 1) * k];
-        for j0 in (0..n).step_by(TILE_N) {
-            let j1 = (j0 + TILE_N).min(n);
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik.lo == F::ZERO && aik.hi == F::ZERO {
-                    continue;
-                }
-                let brow = &b[kk * n + j0..kk * n + j1];
-                let ctile = &mut crow[j0..j1];
-                for (cv, &bv) in ctile.iter_mut().zip(brow) {
-                    *cv = aik.mul_add_f(bv, *cv);
-                }
-            }
-        }
-    });
+    device.backend().gemm_itv_f_acc(device, a, b, c, m, k, n);
 }
 
 /// Unsound round-to-nearest scalar GEMM: `C = A · B`.
@@ -149,8 +115,8 @@ pub fn gemm_itv_f_acc<F: Fp>(
 /// # Panics
 ///
 /// Panics on dimension mismatches.
-pub fn gemm_f_f<F: Fp>(
-    device: &Device,
+pub fn gemm_f_f<F: Fp, B: Backend>(
+    device: &Device<B>,
     a: &[F],
     b: &[F],
     c: &mut [F],
@@ -159,29 +125,9 @@ pub fn gemm_f_f<F: Fp>(
     n: usize,
 ) {
     check_dims(a, b, c, m, k, n);
+    device.stats().record_launch("gemm_f_f");
     device.stats().add_flops(flops_f_f(m, k, n));
-    device.par_rows("gemm_f_f", c, n.max(1), |i, crow| {
-        if n == 0 {
-            return;
-        }
-        let arow = &a[i * k..(i + 1) * k];
-        for v in crow.iter_mut() {
-            *v = F::ZERO;
-        }
-        for j0 in (0..n).step_by(TILE_N) {
-            let j1 = (j0 + TILE_N).min(n);
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == F::ZERO {
-                    continue;
-                }
-                let brow = &b[kk * n + j0..kk * n + j1];
-                let ctile = &mut crow[j0..j1];
-                for (cv, &bv) in ctile.iter_mut().zip(brow) {
-                    *cv = aik.mul_add(bv, *cv);
-                }
-            }
-        }
-    });
+    device.backend().gemm_f_f(device, a, b, c, m, k, n);
 }
 
 #[cfg(test)]
@@ -293,10 +239,10 @@ mod tests {
     fn empty_dimensions_are_fine() {
         let dev = Device::default();
         let mut c: Vec<Itv<f32>> = vec![];
-        gemm_itv_f::<f32>(&dev, &[], &[], &mut c, 0, 0, 0);
+        gemm_itv_f::<f32, _>(&dev, &[], &[], &mut c, 0, 0, 0);
         let mut c2 = vec![Itv::<f32>::zero(); 2];
         // m=2, k=0, n=1: product over empty k is zero
-        gemm_itv_f::<f32>(&dev, &[], &[], &mut c2, 2, 0, 1);
+        gemm_itv_f::<f32, _>(&dev, &[], &[], &mut c2, 2, 0, 1);
         assert_eq!(c2, vec![Itv::zero(); 2]);
     }
 
@@ -305,14 +251,14 @@ mod tests {
     fn dimension_mismatch_panics() {
         let dev = Device::default();
         let mut c = vec![Itv::<f32>::zero(); 1];
-        gemm_itv_f::<f32>(&dev, &[Itv::zero(); 3], &[1.0; 2], &mut c, 1, 2, 1);
+        gemm_itv_f::<f32, _>(&dev, &[Itv::zero(); 3], &[1.0; 2], &mut c, 1, 2, 1);
     }
 
     #[test]
     fn tiling_boundary_exactness() {
-        // n spanning multiple TILE_N blocks with an odd remainder.
+        // n spanning multiple tile blocks with an odd remainder.
         let dev = Device::new(DeviceConfig::new().workers(2));
-        let (m, k, n) = (2, 3, TILE_N + 7);
+        let (m, k, n) = (2, 3, 512 + 7);
         let av: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 1.0).collect();
         let bv: Vec<f32> = (0..k * n).map(|i| ((i % 13) as f32) * 0.25 - 1.5).collect();
         let a: Vec<Itv<f32>> = av.iter().map(|&x| pt(x)).collect();

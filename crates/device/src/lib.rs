@@ -9,6 +9,12 @@
 //! kernels, row compaction, memory-aware chunking — runs and is measurable
 //! without CUDA:
 //!
+//! * [`Backend`] — the pluggable kernel surface (GEMM with directed
+//!   rounding, scan/compaction, row gather, host↔device copies, pooling
+//!   policy). [`CpuSimBackend`] is the production CPU simulation,
+//!   [`ReferenceBackend`] a naive straight-line oracle for differential
+//!   testing; a CUDA/wgpu port implements the same trait and must pass
+//!   [`conformance::assert_backend_conformance`].
 //! * [`Device`] — a worker pool with *device-memory accounting*: allocations
 //!   through [`DeviceBuffer`] are charged against a configurable capacity and
 //!   fail with [`DeviceError::OutOfMemory`] when exceeded, which is exactly
@@ -36,10 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod buffer;
+pub mod conformance;
 mod device;
 pub mod gemm;
 pub mod scan;
 
+pub use backend::{Backend, CpuSimBackend, ReferenceBackend};
 pub use buffer::DeviceBuffer;
 pub use device::{Device, DeviceConfig, DeviceError, DeviceStats};

@@ -6,7 +6,11 @@
 //! parallel prefix sum assigns each surviving row a unique destination index,
 //! and the surviving rows are copied into the compacted matrix `M'_k`
 //! together with an index array mapping them back to their original neurons.
-//! This module implements exactly that primitive on the simulated device.
+//! This module is the wrapper layer for exactly that primitive: dimension
+//! checks and launch recording here, the kernel itself supplied by the
+//! device's [`crate::Backend`] (chunked and parallel on
+//! [`crate::CpuSimBackend`], straight-line serial on
+//! [`crate::ReferenceBackend`] — both exact, hence bit-identical).
 //!
 //! # Example
 //!
@@ -25,94 +29,22 @@
 //! assert_eq!(index, vec![0, 2]);
 //! ```
 
-use rayon::prelude::*;
-
+use crate::backend::Backend;
 use crate::Device;
 
 /// Work-efficient parallel exclusive prefix sum.
 ///
-/// Returns the scanned vector and the total sum. Three phases, mirroring the
-/// GPU algorithm: per-chunk partial sums in parallel, a serial scan over the
-/// (few) chunk totals, and a parallel per-chunk rescan with offsets.
-pub fn exclusive_scan(device: &Device, xs: &[u32]) -> (Vec<u32>, u32) {
+/// Returns the scanned vector and the total sum.
+pub fn exclusive_scan<B: Backend>(device: &Device<B>, xs: &[u32]) -> (Vec<u32>, u32) {
     device.stats().record_launch("exclusive_scan");
-    let n = xs.len();
-    if n == 0 {
-        return (Vec::new(), 0);
-    }
-    let chunk = n.div_ceil(device.workers() * 4).max(1);
-    let sums: Vec<u32> = device.install(|| {
-        xs.par_chunks(chunk)
-            .map(|c| c.iter().sum::<u32>())
-            .collect()
-    });
-    let mut offsets = Vec::with_capacity(sums.len());
-    let mut acc = 0u32;
-    for s in &sums {
-        offsets.push(acc);
-        acc += s;
-    }
-    let mut out = vec![0u32; n];
-    device.install(|| {
-        out.par_chunks_mut(chunk)
-            .zip(xs.par_chunks(chunk))
-            .zip(offsets.par_iter())
-            .for_each(|((o, x), &off)| {
-                let mut a = off;
-                for (oi, &xi) in o.iter_mut().zip(x) {
-                    *oi = a;
-                    a += xi;
-                }
-            })
-    });
-    (out, acc)
+    device.backend().exclusive_scan(device, xs)
 }
 
 /// Computes the index array of a compaction: the original indices of all
 /// `true` entries, in order, via the prefix-sum scatter of §4.2.
-#[allow(clippy::needless_range_loop)] // index loop mirrors the GPU scatter kernel
-pub fn compact_indices(device: &Device, keep: &[bool]) -> Vec<u32> {
+pub fn compact_indices<B: Backend>(device: &Device<B>, keep: &[bool]) -> Vec<u32> {
     device.stats().record_launch("compact_indices");
-    let n = keep.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let flags: Vec<u32> = keep.iter().map(|&k| k as u32).collect();
-    let (prefix, total) = exclusive_scan(device, &flags);
-    let chunk = n.div_ceil(device.workers() * 4).max(1);
-    let mut kept = vec![0u32; total as usize];
-    // Split the output into the disjoint ranges each input chunk writes to
-    // (chunk c's survivors land at prefix[c*chunk] .. prefix of next chunk).
-    let mut out_parts: Vec<(usize, &mut [u32])> = Vec::new();
-    let mut rest: &mut [u32] = &mut kept;
-    let mut consumed = 0usize;
-    for c0 in (0..n).step_by(chunk) {
-        let c1 = (c0 + chunk).min(n);
-        let end = if c1 < n {
-            prefix[c1] as usize
-        } else {
-            total as usize
-        };
-        let take = end - consumed;
-        let (head, tail) = rest.split_at_mut(take);
-        out_parts.push((c0, head));
-        rest = tail;
-        consumed = end;
-    }
-    device.install(|| {
-        out_parts.par_iter_mut().for_each(|(c0, out)| {
-            let c1 = (*c0 + chunk).min(n);
-            let mut w = 0;
-            for i in *c0..c1 {
-                if keep[i] {
-                    out[w] = i as u32;
-                    w += 1;
-                }
-            }
-            debug_assert_eq!(w, out.len());
-        })
-    });
-    kept
+    device.backend().compact_indices(device, keep)
 }
 
 /// Removes the rows of a row-major matrix whose `keep` flag is `false`.
@@ -124,8 +56,8 @@ pub fn compact_indices(device: &Device, keep: &[bool]) -> Vec<u32> {
 /// # Panics
 ///
 /// Panics when `src.len() != keep.len() * row_len`.
-pub fn compact_rows<T: Copy + Send + Sync>(
-    device: &Device,
+pub fn compact_rows<T: Copy + Send + Sync, B: Backend>(
+    device: &Device<B>,
     src: &[T],
     row_len: usize,
     keep: &[bool],
@@ -153,8 +85,8 @@ pub fn compact_rows<T: Copy + Send + Sync>(
 ///
 /// Panics when `dst.len() != index.len() * row_len` or an index is out of
 /// range for `src`.
-pub fn gather_rows_into<T: Copy + Send + Sync>(
-    device: &Device,
+pub fn gather_rows_into<T: Copy + Send + Sync, B: Backend>(
+    device: &Device<B>,
     src: &[T],
     row_len: usize,
     index: &[u32],
@@ -166,14 +98,9 @@ pub fn gather_rows_into<T: Copy + Send + Sync>(
         "gather_rows_into: destination shape mismatch"
     );
     device.stats().record_launch("gather_rows");
-    // Parallel gather: each destination row copies from its source row.
-    device.install(|| {
-        dst.par_chunks_mut(row_len.max(1))
-            .zip(index.par_iter())
-            .for_each(|(row, &i)| {
-                row.copy_from_slice(&src[i as usize * row_len..(i as usize + 1) * row_len]);
-            })
-    });
+    device
+        .backend()
+        .gather_rows(device, src, row_len, index, dst);
 }
 
 #[cfg(test)]
@@ -260,5 +187,17 @@ mod tests {
     fn compact_rows_rejects_bad_shape() {
         let dev = Device::default();
         let _ = compact_rows(&dev, &[1, 2, 3], 2, &[true, true]);
+    }
+
+    #[test]
+    fn reference_backend_matches_cpusim() {
+        let cpu = Device::new(DeviceConfig::new().workers(3));
+        let naive = Device::reference(DeviceConfig::new().workers(1));
+        for n in [0usize, 1, 5, 200, 1025] {
+            let xs: Vec<u32> = (0..n).map(|i| ((i * 7919) % 4) as u32).collect();
+            assert_eq!(exclusive_scan(&cpu, &xs), exclusive_scan(&naive, &xs));
+            let keep: Vec<bool> = (0..n).map(|i| i % 5 != 2).collect();
+            assert_eq!(compact_indices(&cpu, &keep), compact_indices(&naive, &keep));
+        }
     }
 }

@@ -1,86 +1,69 @@
-//! Property-based tests of the simulated-GPU primitives: parallel scan and
-//! compaction against serial references, and GEMM containment soundness.
+//! Property-based tests of the simulated-GPU primitives, driven through
+//! the backend conformance suite so every randomly generated case is
+//! checked on **both** in-tree backends: the tiled/parallel
+//! [`CpuSimBackend`] and the straight-line [`ReferenceBackend`]. The
+//! conformance checkers pin bit-identity against scalar oracles (and
+//! containment soundness for the interval GEMM), so these properties are
+//! strictly stronger than the original per-kernel assertions.
 
-use gpupoly_device::{gemm, scan, Device, DeviceConfig};
+use gpupoly_device::{conformance, gemm, CpuSimBackend, Device, DeviceConfig};
+use gpupoly_device::{Backend, ReferenceBackend};
 use gpupoly_interval::Itv;
 use proptest::prelude::*;
 
-fn device() -> Device {
+fn cpusim() -> Device<CpuSimBackend> {
     Device::new(DeviceConfig::new().workers(3))
 }
 
+fn reference() -> Device<ReferenceBackend> {
+    Device::reference(DeviceConfig::new().workers(1))
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn scan_matches_serial(xs in prop::collection::vec(0u32..7, 0..2000)) {
-        let dev = device();
-        let (got, total) = scan::exclusive_scan(&dev, &xs);
-        let mut acc = 0u32;
-        for (i, &x) in xs.iter().enumerate() {
-            prop_assert_eq!(got[i], acc);
-            acc += x;
-        }
-        prop_assert_eq!(total, acc);
+    fn scan_matches_serial_on_both_backends(
+        xs in prop::collection::vec(0u32..7, 0..2000),
+    ) {
+        conformance::check_scan_against_oracle(&cpusim(), &xs);
+        conformance::check_scan_against_oracle(&reference(), &xs);
     }
 
     #[test]
-    fn compact_indices_matches_filter(keep in prop::collection::vec(any::<bool>(), 0..1500)) {
-        let dev = device();
-        let got = scan::compact_indices(&dev, &keep);
-        let want: Vec<u32> = keep
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &k)| k.then_some(i as u32))
-            .collect();
-        prop_assert_eq!(got, want);
-    }
-
-    #[test]
-    fn compact_rows_is_a_stable_filter(
-        keep in prop::collection::vec(any::<bool>(), 1..200),
+    fn compaction_matches_filter_on_both_backends(
+        keep in prop::collection::vec(any::<bool>(), 0..1500),
         row_len in 1usize..8,
     ) {
-        let dev = device();
-        let src: Vec<u32> = (0..keep.len() * row_len).map(|i| i as u32).collect();
-        let (mat, idx) = scan::compact_rows(&dev, &src, row_len, &keep);
-        prop_assert_eq!(mat.len(), idx.len() * row_len);
-        // Index array is strictly increasing (stability) and flags hold.
-        for w in idx.windows(2) {
-            prop_assert!(w[0] < w[1]);
-        }
-        for (j, &i) in idx.iter().enumerate() {
-            prop_assert!(keep[i as usize]);
-            prop_assert_eq!(
-                &mat[j * row_len..(j + 1) * row_len],
-                &src[i as usize * row_len..(i as usize + 1) * row_len]
-            );
-        }
+        conformance::check_compaction_against_oracle(&cpusim(), &keep, row_len);
+        conformance::check_compaction_against_oracle(&reference(), &keep, row_len);
     }
 
     #[test]
-    fn interval_gemm_contains_f64_reference(
-        m in 1usize..6, k in 1usize..10, n in 1usize..8,
+    fn gemm_family_matches_oracles_on_both_backends(
+        m in 0usize..6, k in 0usize..12, n in 0usize..9,
         seed in 0u64..1000,
     ) {
-        let dev = device();
+        // Shapes include empty (m/k/n = 0), 1-element and non-square cases.
+        conformance::check_gemm_against_oracle(&cpusim(), m, k, n, seed);
+        conformance::check_gemm_against_oracle(&reference(), m, k, n, seed);
+    }
+
+    #[test]
+    fn gemm_results_bit_identical_across_backends(
+        m in 1usize..5, k in 1usize..10, n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
         let mix = |i: usize, s: u64| (((i as u64 + 1) * (s + 3) * 2654435761) % 2000) as f32 / 1000.0 - 1.0;
-        let av: Vec<f32> = (0..m * k).map(|i| mix(i, seed)).collect();
-        let bv: Vec<f32> = (0..k * n).map(|i| mix(i, seed + 1)).collect();
-        let a: Vec<Itv<f32>> = av.iter().map(|&x| Itv::point(x)).collect();
-        let mut c = vec![Itv::zero(); m * n];
-        gemm::gemm_itv_f(&dev, &a, &bv, &mut c, m, k, n);
-        for i in 0..m {
-            for j in 0..n {
-                let exact: f64 = (0..k)
-                    .map(|kk| av[i * k + kk] as f64 * bv[kk * n + j] as f64)
-                    .sum();
-                let got = c[i * n + j];
-                prop_assert!(
-                    (got.lo as f64) <= exact && exact <= (got.hi as f64),
-                    "C[{i},{j}] = {got} misses {exact}"
-                );
-            }
+        let a: Vec<Itv<f32>> = (0..m * k).map(|i| Itv::point(mix(i, seed))).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| mix(i, seed + 1)).collect();
+        let mut c1 = vec![Itv::zero(); m * n];
+        let mut c2 = vec![Itv::zero(); m * n];
+        gemm::gemm_itv_f(&cpusim(), &a, &b, &mut c1, m, k, n);
+        gemm::gemm_itv_f(&reference(), &a, &b, &mut c2, m, k, n);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert_eq!(x.lo.to_bits(), y.lo.to_bits());
+            prop_assert_eq!(x.hi.to_bits(), y.hi.to_bits());
         }
     }
 
@@ -88,7 +71,7 @@ proptest! {
     fn gemm_acc_equals_gemm_plus_initial(
         m in 1usize..4, k in 1usize..6, n in 1usize..6,
     ) {
-        let dev = device();
+        let dev = cpusim();
         let a: Vec<Itv<f32>> = (0..m * k).map(|i| Itv::point((i % 5) as f32 - 2.0)).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 3) as f32 - 1.0).collect();
         let init: Vec<Itv<f32>> = (0..m * n).map(|i| Itv::point(i as f32 * 0.5)).collect();
@@ -125,4 +108,17 @@ proptest! {
         prop_assert_eq!(dev.memory_in_use(), 0);
         prop_assert!(dev.peak_memory() <= cap);
     }
+}
+
+#[test]
+fn compaction_edge_masks_on_both_backends() {
+    fn masks<B: Backend>(dev: &Device<B>) {
+        conformance::check_compaction_against_oracle(dev, &[], 3);
+        conformance::check_compaction_against_oracle(dev, &[true], 1);
+        conformance::check_compaction_against_oracle(dev, &[false], 1);
+        conformance::check_compaction_against_oracle(dev, &[false; 257], 2);
+        conformance::check_compaction_against_oracle(dev, &[true; 257], 2);
+    }
+    masks(&cpusim());
+    masks(&reference());
 }
