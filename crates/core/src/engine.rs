@@ -101,6 +101,21 @@ impl EngineOptions {
     }
 }
 
+/// A point-in-time snapshot of the counters a serving layer needs for
+/// admission decisions and observability (see [`Engine::stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Analysis-cache lookups served from the cache.
+    pub cache_hits: u64,
+    /// Analyses actually computed (true cache misses).
+    pub cache_misses: u64,
+    /// Bytes of network weights resident on the device.
+    pub resident_bytes: usize,
+    /// Refinable ReLU layers in the prepared schedule (the depth factor of
+    /// [`Engine::query_cost`]).
+    pub relu_layers: usize,
+}
+
 /// Per-layer weight storage: device-resident when packed, borrowed from the
 /// host network otherwise.
 enum PackedAffine<'n, F: Fp, B: Backend> {
@@ -467,6 +482,45 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         (cache.hits, cache.misses)
     }
 
+    /// A snapshot of the serving-relevant counters: cache hits/misses,
+    /// resident weight bytes and the ReLU schedule depth.
+    pub fn stats(&self) -> EngineStats {
+        let (cache_hits, cache_misses) = self.cache_stats();
+        EngineStats {
+            cache_hits,
+            cache_misses,
+            resident_bytes: self.prepared.resident_bytes(),
+            relu_layers: self.prepared.relu_plan().len(),
+        }
+    }
+
+    /// A cheap, deterministic cost estimate for one query: the total width
+    /// of its clamped input box times the number of refinable ReLU layers.
+    ///
+    /// Wider boxes leave more ReLUs unstable and every unstable ReLU layer
+    /// adds a backsubstitution pass, so this estimate ranks queries by how
+    /// much refinement work they are *prone* to trigger without running any
+    /// analysis. [`Engine::verify_batch`] uses it for LPT-style scheduling;
+    /// serving layers use it for admission (weigh a queue by cost instead
+    /// of query count). Malformed queries (wrong image length, non-finite
+    /// values) get a zero estimate — they will be rejected as
+    /// [`VerifyError::BadQuery`] at verification time, costing nothing.
+    pub fn query_cost(&self, query: &Query<F>) -> f64 {
+        if query.image.len() != self.graph.nodes[0].shape.len() || !query.eps.is_finite() {
+            return 0.0;
+        }
+        let width: f64 = query
+            .image
+            .iter()
+            .map(|&x| {
+                let lo = (x - query.eps).max(F::ZERO).min(F::ONE);
+                let hi = (x + query.eps).max(F::ZERO).min(F::ONE);
+                (hi - lo).max(F::ZERO).to_f64()
+            })
+            .sum();
+        width * self.prepared.relu_plan().len().max(1) as f64
+    }
+
     /// Runs (or reuses) the full DeepPoly analysis over an input box,
     /// producing sound concrete bounds for every node. Results are shared
     /// through the LRU cache: repeated boxes return the same [`Arc`].
@@ -476,6 +530,15 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// [`VerifyError::BadQuery`] for a wrong input length,
     /// [`VerifyError::Device`] when even single-row chunks exceed memory.
     pub fn analyze(&self, input: &[Itv<F>]) -> Result<Arc<Analysis<F>>, VerifyError> {
+        // Validate the dimension before touching the cache, so a malformed
+        // box can never be keyed, gated or deduplicated.
+        let in_len = self.graph.nodes[0].shape.len();
+        if input.len() != in_len {
+            return Err(VerifyError::BadQuery(format!(
+                "input has {} values, network expects {in_len}",
+                input.len()
+            )));
+        }
         if self.options.analysis_cache == 0 {
             return Ok(Arc::new(self.analyze_fresh(input)?));
         }
@@ -561,6 +624,21 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         analysis: &Analysis<F>,
         spec: &LinearSpec<F>,
     ) -> Result<SpecVerdict<F>, VerifyError> {
+        // An analysis produced by a different network would be indexed out
+        // of bounds (or silently mis-read) by the walker below: reject it.
+        if analysis.bounds.len() != self.graph.nodes.len()
+            || analysis
+                .bounds
+                .iter()
+                .zip(&self.graph.nodes)
+                .any(|(b, node)| b.len() != node.shape.len())
+        {
+            return Err(VerifyError::BadQuery(
+                "analysis does not match this network (was it produced by a \
+                 different engine?)"
+                    .to_string(),
+            ));
+        }
         if spec.rows().is_empty() {
             return Err(VerifyError::BadQuery(
                 "empty specification: a spec with zero rows proves nothing \
@@ -630,14 +708,26 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         label: usize,
         eps: F,
     ) -> Result<RobustnessVerdict<F>, VerifyError> {
+        let in_len = self.graph.nodes[0].shape.len();
+        if image.len() != in_len {
+            return Err(VerifyError::BadQuery(format!(
+                "image has {} values, network expects {in_len}",
+                image.len()
+            )));
+        }
+        if image.iter().any(|x| x.is_nan()) {
+            return Err(VerifyError::BadQuery("NaN image value".to_string()));
+        }
         let out_len = self.graph.nodes[self.graph.output()].shape.len();
         if label >= out_len {
             return Err(VerifyError::BadQuery(format!(
                 "label {label} out of range for {out_len} outputs"
             )));
         }
-        if eps < F::ZERO {
-            return Err(VerifyError::BadQuery("negative epsilon".to_string()));
+        if !(eps >= F::ZERO && eps.is_finite()) {
+            return Err(VerifyError::BadQuery(format!(
+                "epsilon must be finite and non-negative, got {eps}"
+            )));
         }
         let input: Vec<Itv<F>> = image
             .iter()
@@ -666,17 +756,39 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// [`Engine::verify_robustness`] would — margins are bit-identical to
     /// the sequential loop — while repeated input boxes share one cached
     /// analysis and transient buffers recycle through the device pool.
+    ///
+    /// Queries are dispatched in descending [`Engine::query_cost`] order
+    /// (longest-processing-time-first): expensive queries start while cheap
+    /// ones backfill the workers, which trims the tail where one late heavy
+    /// query runs alone. Scheduling only — each query's margins are
+    /// bit-identical to any other submission order, and results are
+    /// returned in the callers' order.
     pub fn verify_batch(
         &self,
         queries: &[Query<F>],
     ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
-        let mut results: Vec<Result<RobustnessVerdict<F>, VerifyError>> =
+        let cost: Vec<f64> = queries.iter().map(|q| self.query_cost(q)).collect();
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by(|&a, &b| cost[b].total_cmp(&cost[a]).then(a.cmp(&b)));
+        let computed: Vec<(usize, Result<RobustnessVerdict<F>, VerifyError>)> =
             self.device.install(|| {
-                queries
+                order
                     .par_iter()
-                    .map(|q| self.verify_robustness(&q.image, q.label, q.eps))
+                    .map(|&i| {
+                        let q = &queries[i];
+                        (i, self.verify_robustness(&q.image, q.label, q.eps))
+                    })
                     .collect()
             });
+        let mut slots: Vec<Option<Result<RobustnessVerdict<F>, VerifyError>>> =
+            queries.iter().map(|_| None).collect();
+        for (i, r) in computed {
+            slots[i] = Some(r);
+        }
+        let mut results: Vec<Result<RobustnessVerdict<F>, VerifyError>> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every index scheduled exactly once"))
+            .collect();
         // On a memory-capped device, concurrent queries share one budget and
         // a query can transiently OOM (even at single-row chunks) only
         // because siblings held the remaining capacity. Retry those

@@ -86,6 +86,62 @@ fn batch_margins_bit_identical_to_sequential_gpupoly() {
 }
 
 #[test]
+fn lpt_scheduling_keeps_margins_bit_identical_to_unsorted_order() {
+    // verify_batch dispatches queries by descending query_cost (LPT). That
+    // must be pure scheduling: for a batch whose cost order is the reverse
+    // of its submission order, every margin must match the plain unsorted
+    // sequential loop bit for bit, and results must come back in submission
+    // order.
+    let net = random_net(13, 3, 8);
+    // Ascending eps => ascending cost => LPT visits them in reverse.
+    let qs: Vec<Query<f32>> = (0..10)
+        .map(|q| {
+            let image: Vec<f32> = (0..4)
+                .map(|i| 0.25 + 0.5 * (((q * 13 + i * 5) % 89) as f32 / 89.0))
+                .collect();
+            Query::new(image, q % 3, 0.001 + 0.003 * q as f32)
+        })
+        .collect();
+    let engine = Engine::new(
+        Device::new(DeviceConfig::new().workers(3)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let costs: Vec<f64> = qs.iter().map(|q| engine.query_cost(q)).collect();
+    assert!(
+        costs.windows(2).all(|w| w[0] < w[1]),
+        "test setup: costs must strictly ascend so LPT actually reorders"
+    );
+
+    // Unsorted order: a fresh engine, one query at a time, submission order.
+    let reference = Engine::new(
+        Device::new(DeviceConfig::new().workers(3)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let batch = engine.verify_batch(&qs);
+    for (q, got) in qs.iter().zip(batch) {
+        let got = got.expect("batch query failed");
+        let want = reference
+            .verify_robustness(&q.image, q.label, q.eps)
+            .expect("sequential query failed");
+        assert_eq!(got.verified, want.verified);
+        for (g, w) in got.margins.iter().zip(&want.margins) {
+            assert_eq!(g.adversary, w.adversary, "results out of submission order");
+            assert_eq!(
+                g.lower.to_bits(),
+                w.lower.to_bits(),
+                "LPT scheduling changed a margin ({} vs {})",
+                g.lower,
+                w.lower
+            );
+        }
+    }
+}
+
+#[test]
 fn analysis_cache_shares_repeated_boxes() {
     let net = random_net(5, 2, 6);
     let engine = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();

@@ -167,12 +167,22 @@ fn bad_query_mid_batch_leaves_pool_accounting_intact() {
     }
 
     // Pool invariants after the failed queries: shelved bytes are part of
-    // (never exceed) the in-use charge, and the pool still recycles — a
-    // repeat batch must allocate zero fresh device bytes.
+    // (never exceed) the in-use charge, and a repeat batch still succeeds
+    // against intact accounting.
     assert!(device.buffer_pool_bytes() <= device.memory_in_use());
-    let bytes_before_repeat = device.stats().bytes_allocated();
     let out = engine.verify_batch(&batch);
     assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 3);
+
+    // The pool still recycles: sequential repeats allocate zero fresh
+    // device bytes. (Sequential on purpose — a *parallel* repeat can
+    // legitimately need a second pooled copy of a size class whenever its
+    // cache-hit walks overlap more than the warmup batch's did, which is
+    // thread-timing dependent. One query at a time needs exactly the
+    // single copy the warmup provably shelved.)
+    let bytes_before_repeat = device.stats().bytes_allocated();
+    for q in &batch {
+        let _ = engine.verify_robustness(&q.image, q.label, q.eps);
+    }
     assert_eq!(
         device.stats().bytes_allocated(),
         bytes_before_repeat,
@@ -181,7 +191,7 @@ fn bad_query_mid_batch_leaves_pool_accounting_intact() {
 
     // Exactly one balanced release happens on drop: all memory returns and
     // the pool cannot have been double-released into an inactive state
-    // earlier (the repeat batch above would have allocated fresh bytes).
+    // earlier (the repeats above would have allocated fresh bytes).
     drop(engine);
     assert_eq!(device.memory_in_use(), 0, "engine drop releases everything");
     assert_eq!(device.buffer_pool_bytes(), 0);

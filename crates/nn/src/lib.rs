@@ -41,6 +41,7 @@ mod error;
 mod layer;
 mod network;
 mod shape;
+pub mod store;
 pub mod zoo;
 
 pub use error::NetworkError;

@@ -321,6 +321,29 @@ impl<F: Fp> Network<F> {
         depth[g.output()]
     }
 
+    /// Total number of stored parameters (weights and biases) — times
+    /// `size_of::<F>()`, the device bytes a fully packed engine will pin,
+    /// which is what a serving layer budgets before loading a model.
+    pub fn param_count(&self) -> usize {
+        fn layer_params<F>(layer: &Layer<F>) -> usize {
+            match layer {
+                Layer::Dense(d) => d.weight.len() + d.bias.len(),
+                Layer::Conv(c) => c.weight.len() + c.bias.len(),
+                Layer::Relu => 0,
+            }
+        }
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Single(layer) => layer_params(layer),
+                Block::Residual { a, b } => {
+                    a.iter().map(layer_params).sum::<usize>()
+                        + b.iter().map(layer_params).sum::<usize>()
+                }
+            })
+            .sum()
+    }
+
     /// Total number of affine layers, including parallel skip projections.
     pub fn affine_count(&self) -> usize {
         self.graph()

@@ -1,0 +1,196 @@
+//! Named model storage: a directory of `<name>.json` network files.
+//!
+//! The serving daemon (and any tool that refers to models by name) resolves
+//! a model name to `<dir>/<name>.json` through this module. Names are
+//! restricted to a filesystem-safe alphabet so an untrusted name can never
+//! escape the model directory (`../../etc/passwd` is rejected, not joined).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gpupoly_nn::builder::NetworkBuilder;
+//! use gpupoly_nn::store;
+//!
+//! let net = NetworkBuilder::new_flat(2)
+//!     .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+//!     .relu()
+//!     .dense(&[[1.0_f32, 1.0]], &[0.0])
+//!     .build()?;
+//! store::save("models", "tiny", &net)?;
+//! let back: gpupoly_nn::Network<f32> = store::load("models", "tiny")?;
+//! assert_eq!(store::list("models")?, vec!["tiny".to_string()]);
+//! # Ok::<(), gpupoly_nn::NetworkError>(())
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use gpupoly_interval::Fp;
+use serde::{Deserialize, Serialize};
+
+use crate::{Network, NetworkError};
+
+/// `true` for names that are safe to join onto a model directory: non-empty,
+/// at most 128 bytes, only ASCII alphanumerics, `_`, `-` and non-leading `.`.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+/// The path a model name resolves to: `<dir>/<name>.json`.
+///
+/// # Errors
+///
+/// [`NetworkError::Io`] when the name fails [`valid_name`] — the name is
+/// never joined onto the directory in that case.
+pub fn model_path(dir: impl AsRef<Path>, name: &str) -> Result<PathBuf, NetworkError> {
+    if !valid_name(name) {
+        return Err(NetworkError::Io(format!(
+            "invalid model name {name:?} (allowed: ASCII alphanumerics, `_`, `-`, \
+             non-leading `.`; at most 128 bytes)"
+        )));
+    }
+    Ok(dir.as_ref().join(format!("{name}.json")))
+}
+
+/// Serializes a network to `<dir>/<name>.json`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// [`NetworkError::Io`] on an invalid name, serialization failure or any
+/// filesystem error.
+pub fn save<F: Fp + Serialize + for<'de> Deserialize<'de>>(
+    dir: impl AsRef<Path>,
+    name: &str,
+    net: &Network<F>,
+) -> Result<(), NetworkError> {
+    let path = model_path(&dir, name)?;
+    std::fs::create_dir_all(dir.as_ref())
+        .map_err(|e| NetworkError::Io(format!("create {}: {e}", dir.as_ref().display())))?;
+    let json = net.to_json()?;
+    std::fs::write(&path, json).map_err(|e| NetworkError::Io(format!("write {name}: {e}")))
+}
+
+/// Loads and re-validates the network stored as `<dir>/<name>.json`.
+///
+/// # Errors
+///
+/// [`NetworkError::Io`] on an invalid name, a missing/unreadable file or
+/// malformed JSON; any validation error from [`Network::new`] for a
+/// well-formed file describing an invalid network.
+pub fn load<F: Fp + Serialize + for<'de> Deserialize<'de>>(
+    dir: impl AsRef<Path>,
+    name: &str,
+) -> Result<Network<F>, NetworkError> {
+    let path = model_path(dir, name)?;
+    let json = std::fs::read_to_string(&path)
+        .map_err(|e| NetworkError::Io(format!("read {}: {e}", path.display())))?;
+    Network::from_json(&json)
+}
+
+/// Names of every model stored in `dir` (files ending in `.json` whose stem
+/// passes [`valid_name`]), sorted.
+///
+/// # Errors
+///
+/// [`NetworkError::Io`] when the directory cannot be read.
+pub fn list(dir: impl AsRef<Path>) -> Result<Vec<String>, NetworkError> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| NetworkError::Io(format!("read dir {}: {e}", dir.display())))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| NetworkError::Io(format!("read dir entry: {e}")))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+            if valid_name(stem) {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn tiny() -> Network<f32> {
+        NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+            .relu()
+            .dense(&[[1.0_f32, 1.0]], &[0.5])
+            .build()
+            .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gpupoly-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_list_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let net = tiny();
+        save(&dir, "alpha", &net).unwrap();
+        save(&dir, "beta.v2", &net).unwrap();
+        // Non-model files are ignored by list().
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        assert_eq!(list(&dir).unwrap(), vec!["alpha", "beta.v2"]);
+        let back: Network<f32> = load(&dir, "alpha").unwrap();
+        assert_eq!(back, net);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_names_never_touch_the_filesystem() {
+        let dir = temp_dir("hostile");
+        for name in [
+            "",
+            "..",
+            "../evil",
+            "a/b",
+            "a\\b",
+            ".hidden",
+            "null\0byte",
+            "名前",
+            &"x".repeat(200),
+        ] {
+            assert!(!valid_name(name), "{name:?} accepted");
+            assert!(matches!(load::<f32>(&dir, name), Err(NetworkError::Io(_))));
+            assert!(matches!(
+                save(&dir, name, &tiny()),
+                Err(NetworkError::Io(_))
+            ));
+        }
+        // The directory was never created by any rejected operation.
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn missing_model_and_garbage_json_are_io_errors() {
+        let dir = temp_dir("missing");
+        assert!(matches!(
+            load::<f32>(&dir, "ghost"),
+            Err(NetworkError::Io(_))
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{ not json").unwrap();
+        assert!(load::<f32>(&dir, "bad").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

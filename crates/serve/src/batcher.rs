@@ -1,0 +1,304 @@
+//! The admission batcher: one worker thread per resident model.
+//!
+//! The thread *owns* its `Network` and the `Engine` built over it — the
+//! engine borrows the network, so tying both to one thread's stack gives the
+//! resident pair a single owner with no self-referential storage. Requests
+//! arrive over a bounded channel (the admission queue); the worker coalesces
+//! whatever is in flight into one [`Engine::verify_batch`] call, bounded by
+//! a max-batch / max-delay policy:
+//!
+//! * the first request of a batch is taken blocking (an idle model costs
+//!   nothing),
+//! * further requests are drained until the batch holds `max_batch` queries
+//!   or `max_delay` has passed since the batch opened — the classic
+//!   admission trade of a little latency for a lot of coalescing,
+//! * the whole batch runs as one `verify_batch` (LPT-scheduled, analysis
+//!   cache shared), and every requester gets its own reply.
+//!
+//! Dropping the queue sender shuts the worker down: it answers what is
+//! already queued, then the engine drops and every device byte the model
+//! pinned (weights and pooled buffers) returns to the device.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gpupoly_core::{Engine, Query, RobustnessVerdict, VerifyConfig, VerifyError};
+use gpupoly_device::{Backend, Device};
+use gpupoly_nn::Network;
+
+use crate::stats::ModelStats;
+
+/// How a model worker coalesces queued requests into batches.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest coalesced batch.
+    pub max_batch: usize,
+    /// Longest a batch stays open waiting for more requests once it has one.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a submitted query did not produce a verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkError {
+    /// The engine rejected or failed the query.
+    Verify(VerifyError),
+    /// The verification panicked; the panic was contained in the worker.
+    Panicked,
+}
+
+/// The reply side of one submitted query.
+pub type WorkReply = Result<RobustnessVerdict<f32>, WorkError>;
+
+/// One queued verification request.
+pub(crate) struct WorkItem {
+    pub image: Vec<f32>,
+    pub label: usize,
+    pub eps: f32,
+    pub reply: Sender<WorkReply>,
+}
+
+/// Spawns the worker thread for one model and waits for its engine to come
+/// up. On success the model is resident: `stats.resident_bytes` is set and
+/// the returned sender is the admission queue (capacity `queue_cap`).
+///
+/// # Errors
+///
+/// The engine-construction error message when the network cannot be
+/// prepared on the device.
+pub(crate) fn spawn_worker<B: Backend>(
+    name: String,
+    net: Network<f32>,
+    device: Device<B>,
+    verify: VerifyConfig,
+    policy: BatchPolicy,
+    queue_cap: usize,
+    stats: Arc<ModelStats>,
+) -> Result<(SyncSender<WorkItem>, JoinHandle<()>), String> {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(queue_cap.max(1));
+    let (startup_tx, startup_rx) = std::sync::mpsc::channel::<Result<(), String>>();
+    let join = std::thread::Builder::new()
+        .name(format!("gpupoly-serve-{name}"))
+        .spawn(move || {
+            let engine = match Engine::new(device, &net, verify) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    let _ = startup_tx.send(Err(e.to_string()));
+                    return;
+                }
+            };
+            stats
+                .resident_bytes
+                .store(engine.stats().resident_bytes as u64, Ordering::Release);
+            let _ = startup_tx.send(Ok(()));
+            run_loop(&engine, &rx, policy, &stats);
+        })
+        .map_err(|e| format!("spawn worker thread: {e}"))?;
+    match startup_rx.recv() {
+        Ok(Ok(())) => Ok((tx, join)),
+        Ok(Err(msg)) => {
+            let _ = join.join();
+            Err(msg)
+        }
+        Err(_) => {
+            // The worker died before reporting: surface it as a load failure.
+            let _ = join.join();
+            Err("model worker exited during startup".to_string())
+        }
+    }
+}
+
+fn run_loop<B: Backend>(
+    engine: &Engine<'_, f32, B>,
+    rx: &Receiver<WorkItem>,
+    policy: BatchPolicy,
+    stats: &ModelStats,
+) {
+    loop {
+        // Block for the head of the next batch; channel closed = shut down.
+        let Ok(first) = rx.recv() else {
+            return;
+        };
+        stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+        let mut batch = vec![first];
+        let deadline = Instant::now() + policy.max_delay;
+        while batch.len() < policy.max_batch.max(1) {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(timeout) {
+                Ok(item) => {
+                    stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    batch.push(item);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                // Sender gone: answer what we have, then exit via recv().
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        run_batch(engine, batch, stats);
+    }
+}
+
+fn run_batch<B: Backend>(engine: &Engine<'_, f32, B>, batch: Vec<WorkItem>, stats: &ModelStats) {
+    stats.record_batch(batch.len());
+    // Move each image out of its work item (no per-query copy on the hot
+    // path); only the reply senders survive the split.
+    let (queries, replies): (Vec<Query<f32>>, Vec<Sender<WorkReply>>) = batch
+        .into_iter()
+        .map(|item| (Query::new(item.image, item.label, item.eps), item.reply))
+        .unzip();
+    // A panic anywhere inside verification must reach every requester as a
+    // typed reply, never unwind through the daemon or strand a client.
+    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.verify_batch(&queries)
+    }));
+    // Mirror the engine-side counters *before* replies go out, and settle
+    // each item's gauges before its reply is sent: a requester that has its
+    // verdict in hand must already see consistent stats.
+    let snapshot = engine.stats();
+    stats
+        .cache_hits
+        .store(snapshot.cache_hits, Ordering::Release);
+    stats
+        .cache_misses
+        .store(snapshot.cache_misses, Ordering::Release);
+    let answer = |reply: &Sender<WorkReply>, result: WorkReply| {
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = reply.send(result);
+    };
+    match results {
+        Ok(results) => {
+            for (reply, result) in replies.iter().zip(results) {
+                answer(reply, result.map_err(WorkError::Verify));
+            }
+        }
+        Err(_) => {
+            for reply in &replies {
+                answer(reply, Err(WorkError::Panicked));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_nn::builder::NetworkBuilder;
+
+    fn tiny_net() -> Network<f32> {
+        NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+            .relu()
+            .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    fn submit(
+        tx: &SyncSender<WorkItem>,
+        stats: &ModelStats,
+        image: Vec<f32>,
+        label: usize,
+        eps: f32,
+    ) -> Receiver<WorkReply> {
+        let (reply, rx) = std::sync::mpsc::channel();
+        stats.queue_depth.fetch_add(1, Ordering::AcqRel);
+        stats.in_flight.fetch_add(1, Ordering::AcqRel);
+        tx.try_send(WorkItem {
+            image,
+            label,
+            eps,
+            reply,
+        })
+        .expect("queue has room");
+        rx
+    }
+
+    #[test]
+    fn worker_serves_batches_and_shuts_down_cleanly() {
+        let device = Device::default();
+        let stats = Arc::new(ModelStats::default());
+        let (tx, join) = spawn_worker(
+            "tiny".into(),
+            tiny_net(),
+            device.clone(),
+            VerifyConfig::default(),
+            BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_millis(20),
+            },
+            16,
+            stats.clone(),
+        )
+        .unwrap();
+        assert!(stats.resident_bytes.load(Ordering::Acquire) > 0);
+
+        let replies: Vec<Receiver<WorkReply>> = (0..6)
+            .map(|i| submit(&tx, &stats, vec![0.4, 0.6], 0, 0.01 + 0.005 * i as f32))
+            .collect();
+        for rx in replies {
+            let verdict = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("worker replies")
+                .expect("query succeeds");
+            assert!(verdict.verified);
+        }
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 6);
+        assert!(stats.batches.load(Ordering::Relaxed) >= 1);
+        assert!(stats.idle());
+
+        // Bad queries come back as typed errors through the same queue.
+        let rx = submit(&tx, &stats, vec![0.4], 0, 0.01);
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Err(WorkError::Verify(VerifyError::BadQuery(_))) => {}
+            other => panic!("expected BadQuery, got {other:?}"),
+        }
+
+        drop(tx);
+        join.join().expect("worker exits without panicking");
+        assert_eq!(device.memory_in_use(), 0, "eviction returns every byte");
+    }
+
+    #[test]
+    fn startup_failure_is_reported_not_hung() {
+        // Residual branches that agree in *length* but not in shape pass
+        // network validation (which compares lengths) yet are rejected by
+        // engine preparation (which needs identical shapes for the cuboid
+        // merge) — exactly the kind of model file a daemon must refuse to
+        // load without hanging the requester.
+        use gpupoly_nn::Shape;
+        let net = NetworkBuilder::new(Shape::new(2, 2, 1))
+            .residual(
+                |a| a.conv(1, (1, 1), (1, 1), (0, 0), vec![1.0_f32], vec![0.0]),
+                |b| b.dense_flat(4, vec![0.0_f32; 16], vec![0.0; 4]),
+            )
+            .build()
+            .expect("passes length-based network validation");
+        let device: Device = Device::default();
+        let stats = Arc::new(ModelStats::default());
+        let err = spawn_worker(
+            "mismatched".into(),
+            net,
+            device.clone(),
+            VerifyConfig::default(),
+            BatchPolicy::default(),
+            4,
+            stats,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("shape"), "unhelpful startup error: {err}");
+        assert_eq!(device.memory_in_use(), 0, "failed startup leaks nothing");
+    }
+}

@@ -1,0 +1,297 @@
+//! The `gpupoly-serve` daemon binary.
+//!
+//! ```text
+//! gpupoly-serve serve --models DIR [--addr 127.0.0.1] [--port 7411]
+//!                     [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
+//!                     [--memory-budget BYTES] [--workers N]
+//!                     [--request-timeout-ms MS]
+//! gpupoly-serve init-zoo DIR [--scale S] [--seed N]
+//! gpupoly-serve smoke ADDR [--ping-only]
+//! ```
+//!
+//! The kernel backend is selected with `GPUPOLY_BACKEND=cpusim|reference`
+//! (default `cpusim`), mirroring the test suite's backend matrix.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gpupoly_device::{CpuSimBackend, ReferenceBackend};
+use gpupoly_nn::{store, zoo};
+use gpupoly_serve::{BatchPolicy, Client, ClientError, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("init-zoo") => cmd_init_zoo(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gpupoly-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gpupoly-serve — batch-admission verification daemon over resident engines
+
+USAGE:
+  gpupoly-serve serve --models DIR [--addr A] [--port P] [--max-batch N]
+                      [--max-delay-ms MS] [--queue-cap N]
+                      [--memory-budget BYTES] [--workers N]
+                      [--request-timeout-ms MS] [--max-frame-bytes N]
+  gpupoly-serve init-zoo DIR [--scale S] [--seed N]
+  gpupoly-serve smoke ADDR [--ping-only]
+
+ENVIRONMENT:
+  GPUPOLY_BACKEND   kernel backend: cpusim (default) | reference
+";
+
+/// Pulls `--flag value` out of an argument list; remaining args stay put.
+struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    fn new(args: &[String]) -> Self {
+        Self {
+            args: args.to_vec(),
+        }
+    }
+
+    fn take(&mut self, flag: &str) -> Result<Option<String>, String> {
+        match self.args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) if i + 1 < self.args.len() => {
+                self.args.remove(i);
+                Ok(Some(self.args.remove(i)))
+            }
+            Some(_) => Err(format!("flag {flag} needs a value")),
+        }
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Option<T>, String> {
+        match self.take(flag)? {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag {flag}: cannot parse {raw:?}")),
+        }
+    }
+
+    fn take_bool(&mut self, flag: &str) -> bool {
+        match self.args.iter().position(|a| a == flag) {
+            Some(i) => {
+                self.args.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn finish(self) -> Result<Vec<String>, String> {
+        if let Some(stray) = self.args.iter().find(|a| a.starts_with("--")) {
+            return Err(format!("unknown flag {stray}"));
+        }
+        Ok(self.args)
+    }
+}
+
+fn backend_name() -> Result<&'static str, String> {
+    match std::env::var("GPUPOLY_BACKEND").as_deref() {
+        Ok("reference") => Ok("reference"),
+        Ok("cpusim") | Ok("") | Err(_) => Ok("cpusim"),
+        Ok(other) => Err(format!(
+            "unknown GPUPOLY_BACKEND {other:?} (use cpusim|reference)"
+        )),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let models = flags
+        .take("--models")?
+        .ok_or("serve requires --models DIR")?;
+    let addr = flags.take("--addr")?.unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = flags.take_parsed("--port")?.unwrap_or(7411);
+    let mut cfg = ServerConfig::new(&models);
+    let mut policy = BatchPolicy::default();
+    if let Some(n) = flags.take_parsed::<usize>("--max-batch")? {
+        policy.max_batch = n.max(1);
+    }
+    if let Some(ms) = flags.take_parsed::<u64>("--max-delay-ms")? {
+        policy.max_delay = Duration::from_millis(ms);
+    }
+    cfg.policy = policy;
+    if let Some(n) = flags.take_parsed("--queue-cap")? {
+        cfg.queue_cap = n;
+    }
+    if let Some(b) = flags.take_parsed("--memory-budget")? {
+        cfg.memory_budget = Some(b);
+    }
+    if let Some(w) = flags.take_parsed("--workers")? {
+        cfg.workers = Some(w);
+    }
+    if let Some(ms) = flags.take_parsed::<u64>("--request-timeout-ms")? {
+        cfg.request_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = flags.take_parsed("--max-frame-bytes")? {
+        cfg.max_frame_len = n;
+    }
+    let rest = flags.finish()?;
+    if !rest.is_empty() {
+        return Err(format!("unexpected arguments {rest:?}"));
+    }
+    if !std::path::Path::new(&models).is_dir() {
+        return Err(format!("--models {models}: not a directory"));
+    }
+
+    let backend = backend_name()?;
+    let bind = format!("{addr}:{port}");
+    match backend {
+        "reference" => {
+            let server = Server::<ReferenceBackend>::bind(&bind, cfg).map_err(|e| e.to_string())?;
+            announce(server.local_addr(), backend, &models);
+            server.run();
+        }
+        _ => {
+            let server = Server::<CpuSimBackend>::bind(&bind, cfg).map_err(|e| e.to_string())?;
+            announce(server.local_addr(), backend, &models);
+            server.run();
+        }
+    }
+    Ok(())
+}
+
+fn announce(addr: std::net::SocketAddr, backend: &str, models: &str) {
+    // Scripts (and the CI smoke leg) key on this exact line.
+    println!("gpupoly-serve listening on {addr} backend={backend} models={models}");
+}
+
+fn cmd_init_zoo(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let scale: f64 = flags.take_parsed("--scale")?.unwrap_or(0.05);
+    let seed: u64 = flags.take_parsed("--seed")?.unwrap_or(7);
+    let rest = flags.finish()?;
+    let [dir] = rest.as_slice() else {
+        return Err("init-zoo requires exactly one DIR argument".into());
+    };
+    // Small members of the paper's Table-1 families: one fully-connected,
+    // one convolutional — enough for a multi-model smoke without making CI
+    // wait on a full-scale build.
+    let picks = [
+        ("mnist_6x500", zoo::ArchId::Fc6x500, zoo::Dataset::MnistLike),
+        (
+            "mnist_convbig",
+            zoo::ArchId::ConvBig,
+            zoo::Dataset::MnistLike,
+        ),
+    ];
+    for (i, (name, arch, dataset)) in picks.iter().enumerate() {
+        let net = zoo::build_arch(*arch, *dataset, scale, seed + i as u64)
+            .map_err(|e| format!("build {name}: {e}"))?;
+        store::save(dir, name, &net).map_err(|e| format!("save {name}: {e}"))?;
+        println!(
+            "wrote {dir}/{name}.json ({} neurons, {} layers, input {})",
+            net.neuron_count(),
+            net.layer_count(),
+            net.input_shape().len(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_smoke(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let ping_only = flags.take_bool("--ping-only");
+    let rest = flags.finish()?;
+    let [addr] = rest.as_slice() else {
+        return Err("smoke requires exactly one ADDR argument".into());
+    };
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+    if ping_only {
+        println!("smoke: ping ok");
+        return Ok(());
+    }
+
+    // A malformed frame must earn an error reply on a *surviving*
+    // connection.
+    match client.send_raw("{ this is not json") {
+        Ok(gpupoly_serve::protocol::Reply::Error { .. }) => {}
+        other => {
+            return Err(format!(
+                "malformed frame: expected error reply, got {other:?}"
+            ))
+        }
+    }
+    client
+        .ping()
+        .map_err(|e| format!("connection died after malformed frame: {e}"))?;
+
+    let models = client.models().map_err(|e| format!("models: {e}"))?;
+    if models.is_empty() {
+        return Err("daemon serves no models".into());
+    }
+    for info in &models {
+        let image = vec![0.5f32; info.input_len];
+        let verdict = client
+            .verify(&info.name, &image, 0, 1.0 / 255.0)
+            .map_err(|e| format!("verify {}: {e}", info.name))?;
+        if verdict.margins.len() + 1 != info.outputs {
+            return Err(format!(
+                "verify {}: expected {} margins, got {}",
+                info.name,
+                info.outputs - 1,
+                verdict.margins.len()
+            ));
+        }
+        println!(
+            "smoke: {} verified={} margins={}",
+            info.name,
+            verdict.verified,
+            verdict.margins.len()
+        );
+    }
+
+    // An unknown model and a wrong-dimension query map to their typed codes.
+    use gpupoly_serve::protocol::ErrorCode;
+    match client.verify("no_such_model", &[0.0], 0, 0.01) {
+        Err(ClientError::Server {
+            code: ErrorCode::UnknownModel,
+            ..
+        }) => {}
+        other => return Err(format!("expected unknown_model, got {other:?}")),
+    }
+    match client.verify(&models[0].name, &[0.25], 0, 0.01) {
+        Err(ClientError::Server {
+            code: ErrorCode::BadQuery,
+            ..
+        }) => {}
+        other => return Err(format!("expected bad_query, got {other:?}")),
+    }
+
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    if stats.models.iter().map(|m| m.completed).sum::<u64>() < models.len() as u64 {
+        return Err("stats do not reflect the served queries".into());
+    }
+    println!(
+        "smoke: ok — backend={} models={} completed={}",
+        stats.device.backend,
+        stats.models.len(),
+        stats.models.iter().map(|m| m.completed).sum::<u64>(),
+    );
+    Ok(())
+}

@@ -1,0 +1,594 @@
+//! The wire protocol: line-delimited JSON frames over TCP.
+//!
+//! Every request is one JSON object on one line; every request produces
+//! exactly one reply object on one line, in order. Malformed frames get an
+//! `error` reply with a typed [`ErrorCode`] and the connection stays open —
+//! a client can never crash a connection, only earn error replies.
+//!
+//! Numbers ride as JSON numbers (f64). Every `f32` the verifier produces
+//! round-trips exactly through f64 and shortest-round-trip printing, so a
+//! margin read off the wire is bit-identical to the engine's.
+//!
+//! # Frames
+//!
+//! | request                                                | reply |
+//! |--------------------------------------------------------|-------|
+//! | `{"type":"ping"}`                                      | `{"type":"pong"}` |
+//! | `{"type":"models"}`                                    | `{"type":"models","models":[...]}` |
+//! | `{"type":"stats"}`                                     | `{"type":"stats","device":{...},"models":[...]}` |
+//! | `{"type":"verify","model":m,"image":[..],"label":l,"eps":e}` | `{"type":"verdict",...}` or `{"type":"error",...}` |
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A client request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List the models the daemon can serve.
+    Models,
+    /// Queue depths, batch counters, cache hits, memory/pool accounting.
+    Stats,
+    /// Certify L∞ robustness of `image` for `label` within `eps` on `model`.
+    Verify {
+        /// Model name (resolved against the daemon's model directory).
+        model: String,
+        /// Center image.
+        image: Vec<f32>,
+        /// Claimed label.
+        label: usize,
+        /// L∞ radius.
+        eps: f32,
+    },
+}
+
+/// A server reply frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Models`].
+    Models {
+        /// One entry per model file in the daemon's directory.
+        models: Vec<ModelInfo>,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Successful [`Request::Verify`].
+    Verdict {
+        /// The model that served the query.
+        model: String,
+        /// `true` when every margin was proven positive.
+        verified: bool,
+        /// Certified margins against every adversary class.
+        margins: Vec<WireMargin>,
+    },
+    /// Any failure, with a machine-readable code.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Builds an error reply.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Self {
+        Reply::Error {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// One certified margin on the wire (mirrors `gpupoly_core::Margin<f32>`).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct WireMargin {
+    /// The competing class.
+    pub adversary: usize,
+    /// Certified lower bound on `y_label − y_adversary` (bit-exact f32).
+    pub lower: f32,
+    /// Whether this margin was proven positive.
+    pub proven: bool,
+}
+
+/// One row of a [`Reply::Models`] listing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelInfo {
+    /// Model name (file stem in the model directory).
+    pub name: String,
+    /// Whether a resident engine currently serves this model.
+    pub loaded: bool,
+    /// Input dimension (flattened).
+    pub input_len: usize,
+    /// Output dimension (class count).
+    pub outputs: usize,
+}
+
+/// Device-level counters of a [`Reply::Stats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceStatsWire {
+    /// Kernel backend label (`cpusim` / `reference` / ...).
+    pub backend: String,
+    /// Device worker count.
+    pub workers: u64,
+    /// Bytes currently allocated on the device.
+    pub memory_in_use: u64,
+    /// High-water mark of allocated bytes.
+    pub peak_memory: u64,
+    /// Configured capacity (absent = unlimited).
+    pub capacity: Option<u64>,
+    /// Cumulative bytes ever allocated (flat across a drained steady state).
+    pub bytes_allocated: u64,
+    /// Bytes currently shelved in the buffer pool.
+    pub pool_bytes: u64,
+}
+
+/// Per-model counters of a [`Reply::Stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ModelStatsWire {
+    /// Model name.
+    pub name: String,
+    /// Bytes of this model's weights resident on the device.
+    pub resident_bytes: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Requests admitted but not yet answered.
+    pub in_flight: u64,
+    /// Requests answered (successfully or with a per-query error).
+    pub completed: u64,
+    /// Requests bounced with `overloaded` by the admission queue.
+    pub rejected_overload: u64,
+    /// `verify_batch` calls issued.
+    pub batches: u64,
+    /// Total queries across all batches (`batch_items / batches` = mean
+    /// coalesced batch size).
+    pub batch_items: u64,
+    /// Largest coalesced batch so far.
+    pub max_batch: u64,
+    /// Engine analysis-cache hits.
+    pub cache_hits: u64,
+    /// Engine analysis-cache misses.
+    pub cache_misses: u64,
+}
+
+/// Body of a [`Reply::Stats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReply {
+    /// Device-level counters.
+    pub device: DeviceStatsWire,
+    /// One entry per *loaded* model.
+    pub models: Vec<ModelStatsWire>,
+}
+
+/// Machine-readable error classes. Every failure path of the daemon maps to
+/// exactly one of these; clients can branch on the code without parsing
+/// messages.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not valid JSON.
+    ParseError,
+    /// Valid JSON, but not a well-formed request.
+    BadRequest,
+    /// The named model does not exist in the model directory.
+    UnknownModel,
+    /// The model file exists but could not be loaded/prepared.
+    ModelLoadFailed,
+    /// The verifier rejected the query (wrong dimension, bad label, ...).
+    BadQuery,
+    /// Admission queue full or device memory budget exhausted; retry later.
+    Overloaded,
+    /// The device ran out of memory even after chunking.
+    DeviceOom,
+    /// The request exceeded the server's reply deadline.
+    Timeout,
+    /// A server-side invariant broke; the connection survives.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownModel => "unknown_model",
+            ErrorCode::ModelLoadFailed => "model_load_failed",
+            ErrorCode::BadQuery => "bad_query",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeviceOom => "device_oom",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "parse_error" => ErrorCode::ParseError,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_model" => ErrorCode::UnknownModel,
+            "model_load_failed" => ErrorCode::ModelLoadFailed,
+            "bad_query" => ErrorCode::BadQuery,
+            "overloaded" => ErrorCode::Overloaded,
+            "device_oom" => ErrorCode::DeviceOom,
+            "timeout" => ErrorCode::Timeout,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serde impls (hand-written over the shim's value model)
+
+/// Reads a non-negative integer field (rejecting fractions and negatives,
+/// which `as usize` casts would silently mangle).
+fn as_index(v: &Value) -> Result<usize, DeError> {
+    let x = v.as_f64()?;
+    if x < 0.0 || x.fract() != 0.0 || x > 9.0e15 {
+        return Err(DeError(format!("expected a non-negative integer, got {x}")));
+    }
+    Ok(x as usize)
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Ping => Value::obj([("type", Value::Str("ping".into()))]),
+            Request::Models => Value::obj([("type", Value::Str("models".into()))]),
+            Request::Stats => Value::obj([("type", Value::Str("stats".into()))]),
+            Request::Verify {
+                model,
+                image,
+                label,
+                eps,
+            } => Value::obj([
+                ("type", Value::Str("verify".into())),
+                ("model", Value::Str(model.clone())),
+                ("image", image.to_value()),
+                ("label", Value::Num(*label as f64)),
+                ("eps", Value::Num(f64::from(*eps))),
+            ]),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.field("type")?.as_str()? {
+            "ping" => Ok(Request::Ping),
+            "models" => Ok(Request::Models),
+            "stats" => Ok(Request::Stats),
+            "verify" => Ok(Request::Verify {
+                model: v.field("model")?.as_str()?.to_string(),
+                image: Vec::from_value(v.field("image")?)?,
+                label: as_index(v.field("label")?)?,
+                eps: f32::from_value(v.field("eps")?)?,
+            }),
+            other => Err(DeError(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for WireMargin {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("adversary", Value::Num(self.adversary as f64)),
+            ("lower", Value::Num(f64::from(self.lower))),
+            ("proven", Value::Bool(self.proven)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for WireMargin {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(WireMargin {
+            adversary: as_index(v.field("adversary")?)?,
+            lower: f32::from_value(v.field("lower")?)?,
+            proven: bool::from_value(v.field("proven")?)?,
+        })
+    }
+}
+
+impl Serialize for ModelInfo {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("name", Value::Str(self.name.clone())),
+            ("loaded", Value::Bool(self.loaded)),
+            ("input_len", Value::Num(self.input_len as f64)),
+            ("outputs", Value::Num(self.outputs as f64)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for ModelInfo {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(ModelInfo {
+            name: v.field("name")?.as_str()?.to_string(),
+            loaded: bool::from_value(v.field("loaded")?)?,
+            input_len: as_index(v.field("input_len")?)?,
+            outputs: as_index(v.field("outputs")?)?,
+        })
+    }
+}
+
+impl Serialize for DeviceStatsWire {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("backend", Value::Str(self.backend.clone())),
+            ("workers", Value::Num(self.workers as f64)),
+            ("memory_in_use", Value::Num(self.memory_in_use as f64)),
+            ("peak_memory", Value::Num(self.peak_memory as f64)),
+            (
+                "capacity",
+                match self.capacity {
+                    Some(c) => Value::Num(c as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("bytes_allocated", Value::Num(self.bytes_allocated as f64)),
+            ("pool_bytes", Value::Num(self.pool_bytes as f64)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for DeviceStatsWire {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(DeviceStatsWire {
+            backend: v.field("backend")?.as_str()?.to_string(),
+            workers: as_index(v.field("workers")?)? as u64,
+            memory_in_use: as_index(v.field("memory_in_use")?)? as u64,
+            peak_memory: as_index(v.field("peak_memory")?)? as u64,
+            capacity: match v.field("capacity")? {
+                Value::Null => None,
+                num => Some(as_index(num)? as u64),
+            },
+            bytes_allocated: as_index(v.field("bytes_allocated")?)? as u64,
+            pool_bytes: as_index(v.field("pool_bytes")?)? as u64,
+        })
+    }
+}
+
+impl Serialize for ModelStatsWire {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("name", Value::Str(self.name.clone())),
+            ("resident_bytes", Value::Num(self.resident_bytes as f64)),
+            ("queue_depth", Value::Num(self.queue_depth as f64)),
+            ("in_flight", Value::Num(self.in_flight as f64)),
+            ("completed", Value::Num(self.completed as f64)),
+            (
+                "rejected_overload",
+                Value::Num(self.rejected_overload as f64),
+            ),
+            ("batches", Value::Num(self.batches as f64)),
+            ("batch_items", Value::Num(self.batch_items as f64)),
+            ("max_batch", Value::Num(self.max_batch as f64)),
+            ("cache_hits", Value::Num(self.cache_hits as f64)),
+            ("cache_misses", Value::Num(self.cache_misses as f64)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for ModelStatsWire {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let num = |name: &str| -> Result<u64, DeError> { Ok(as_index(v.field(name)?)? as u64) };
+        Ok(ModelStatsWire {
+            name: v.field("name")?.as_str()?.to_string(),
+            resident_bytes: num("resident_bytes")?,
+            queue_depth: num("queue_depth")?,
+            in_flight: num("in_flight")?,
+            completed: num("completed")?,
+            rejected_overload: num("rejected_overload")?,
+            batches: num("batches")?,
+            batch_items: num("batch_items")?,
+            max_batch: num("max_batch")?,
+            cache_hits: num("cache_hits")?,
+            cache_misses: num("cache_misses")?,
+        })
+    }
+}
+
+impl Serialize for Reply {
+    fn to_value(&self) -> Value {
+        match self {
+            Reply::Pong => Value::obj([("type", Value::Str("pong".into()))]),
+            Reply::Models { models } => Value::obj([
+                ("type", Value::Str("models".into())),
+                ("models", models.to_value()),
+            ]),
+            Reply::Stats(stats) => Value::obj([
+                ("type", Value::Str("stats".into())),
+                ("device", stats.device.to_value()),
+                ("models", stats.models.to_value()),
+            ]),
+            Reply::Verdict {
+                model,
+                verified,
+                margins,
+            } => Value::obj([
+                ("type", Value::Str("verdict".into())),
+                ("model", Value::Str(model.clone())),
+                ("verified", Value::Bool(*verified)),
+                ("margins", margins.to_value()),
+            ]),
+            Reply::Error { code, message } => Value::obj([
+                ("type", Value::Str("error".into())),
+                ("code", Value::Str(code.as_str().into())),
+                ("message", Value::Str(message.clone())),
+            ]),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Reply {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.field("type")?.as_str()? {
+            "pong" => Ok(Reply::Pong),
+            "models" => Ok(Reply::Models {
+                models: Vec::from_value(v.field("models")?)?,
+            }),
+            "stats" => Ok(Reply::Stats(StatsReply {
+                device: DeviceStatsWire::from_value(v.field("device")?)?,
+                models: Vec::from_value(v.field("models")?)?,
+            })),
+            "verdict" => Ok(Reply::Verdict {
+                model: v.field("model")?.as_str()?.to_string(),
+                verified: bool::from_value(v.field("verified")?)?,
+                margins: Vec::from_value(v.field("margins")?)?,
+            }),
+            "error" => {
+                let code = v.field("code")?.as_str()?;
+                Ok(Reply::Error {
+                    code: ErrorCode::parse(code)
+                        .ok_or_else(|| DeError(format!("unknown error code `{code}`")))?,
+                    message: v.field("message")?.as_str()?.to_string(),
+                })
+            }
+            other => Err(DeError(format!("unknown reply type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let text = serde_json::to_string(req).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!(&back, req, "{text}");
+    }
+
+    fn round_trip_reply(reply: &Reply) {
+        let text = serde_json::to_string(reply).unwrap();
+        assert!(!text.contains('\n'), "frames must be single lines");
+        let back: Reply = serde_json::from_str(&text).unwrap();
+        assert_eq!(&back, reply, "{text}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::Ping);
+        round_trip_request(&Request::Models);
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Verify {
+            model: "mnist_6x500".into(),
+            image: vec![0.1, 0.25, f32::MIN_POSITIVE, 1.0],
+            label: 7,
+            eps: 8.0 / 255.0,
+        });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(&Reply::Pong);
+        round_trip_reply(&Reply::Models {
+            models: vec![ModelInfo {
+                name: "m".into(),
+                loaded: true,
+                input_len: 784,
+                outputs: 10,
+            }],
+        });
+        round_trip_reply(&Reply::Verdict {
+            model: "m".into(),
+            verified: false,
+            margins: vec![
+                WireMargin {
+                    adversary: 1,
+                    lower: -0.125,
+                    proven: false,
+                },
+                WireMargin {
+                    adversary: 2,
+                    lower: 1.0e-30,
+                    proven: true,
+                },
+            ],
+        });
+        round_trip_reply(&Reply::Stats(StatsReply {
+            device: DeviceStatsWire {
+                backend: "cpusim".into(),
+                workers: 8,
+                memory_in_use: 123,
+                peak_memory: 456,
+                capacity: None,
+                bytes_allocated: 789,
+                pool_bytes: 10,
+            },
+            models: vec![ModelStatsWire {
+                name: "m".into(),
+                resident_bytes: 1,
+                queue_depth: 2,
+                in_flight: 3,
+                completed: 4,
+                rejected_overload: 5,
+                batches: 6,
+                batch_items: 7,
+                max_batch: 8,
+                cache_hits: 9,
+                cache_misses: 10,
+            }],
+        }));
+        round_trip_reply(&Reply::error(ErrorCode::Overloaded, "queue full"));
+    }
+
+    #[test]
+    fn margins_survive_the_wire_bit_exactly() {
+        for lower in [0.1f32, -1.5e-7, f32::MAX, f32::MIN_POSITIVE, -0.0] {
+            let reply = Reply::Verdict {
+                model: "m".into(),
+                verified: lower > 0.0,
+                margins: vec![WireMargin {
+                    adversary: 0,
+                    lower,
+                    proven: lower > 0.0,
+                }],
+            };
+            let text = serde_json::to_string(&reply).unwrap();
+            let back: Reply = serde_json::from_str(&text).unwrap();
+            match back {
+                Reply::Verdict { margins, .. } => {
+                    assert_eq!(margins[0].lower.to_bits(), lower.to_bits(), "{text}");
+                }
+                other => panic!("wrong reply {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(serde_json::from_str::<Request>("{ nope").is_err());
+        assert!(serde_json::from_str::<Request>("{\"type\":\"warp\"}").is_err());
+        // Negative / fractional labels are rejected, not cast.
+        for bad in [
+            r#"{"type":"verify","model":"m","image":[0.1],"label":-1,"eps":0.1}"#,
+            r#"{"type":"verify","model":"m","image":[0.1],"label":1.5,"eps":0.1}"#,
+        ] {
+            assert!(serde_json::from_str::<Request>(bad).is_err(), "{bad}");
+        }
+        // Every error code round-trips its wire spelling.
+        for code in [
+            ErrorCode::ParseError,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownModel,
+            ErrorCode::ModelLoadFailed,
+            ErrorCode::BadQuery,
+            ErrorCode::Overloaded,
+            ErrorCode::DeviceOom,
+            ErrorCode::Timeout,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The model registry: name → resident engine, loaded lazily, evicted LRU
+//! under a device-memory budget.
+//!
+//! One shared [`Device`] backs every resident model, so
+//! `device.memory_in_use()` is the single source of truth the budget is
+//! enforced against. Loading a model that would exceed the budget reclaims
+//! memory in cost order: first the buffer pool's shelved (idle, recyclable)
+//! bytes, then whole idle models, least-recently-used first. When nothing
+//! reclaimable remains the submission is bounced with a structured
+//! overload — the daemon never wedges itself by thrashing models in and
+//! out under pressure.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use gpupoly_core::VerifyConfig;
+use gpupoly_device::{Backend, Device};
+use gpupoly_nn::{store, Network};
+
+use crate::batcher::{spawn_worker, BatchPolicy, WorkItem, WorkReply};
+use crate::protocol::{ModelInfo, ModelStatsWire};
+use crate::stats::ModelStats;
+
+/// Registry construction knobs.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Directory of `<name>.json` model files.
+    pub model_dir: PathBuf,
+    /// Admission batching policy applied to every model worker.
+    pub policy: BatchPolicy,
+    /// Admission-queue capacity per model; a full queue bounces requests
+    /// with `overloaded` instead of queueing unboundedly.
+    pub queue_cap: usize,
+    /// Device-memory budget in bytes for resident models (`None` =
+    /// whatever the device allows).
+    pub memory_budget: Option<usize>,
+    /// Verifier configuration for every engine.
+    pub verify: VerifyConfig,
+}
+
+impl RegistryConfig {
+    /// Defaults for a model directory.
+    pub fn new(model_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            model_dir: model_dir.into(),
+            policy: BatchPolicy::default(),
+            queue_cap: 128,
+            memory_budget: None,
+            verify: VerifyConfig::default(),
+        }
+    }
+}
+
+/// Why a submission was refused before reaching a worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// No such model file in the model directory.
+    UnknownModel(String),
+    /// The model file exists but could not be loaded or prepared.
+    LoadFailed(String),
+    /// Queue full, memory budget exhausted, or the registry is shutting
+    /// down; the client should retry later (against this or another
+    /// replica).
+    Overloaded(String),
+}
+
+struct ModelEntry {
+    queue: std::sync::mpsc::SyncSender<WorkItem>,
+    join: Option<JoinHandle<()>>,
+    stats: Arc<ModelStats>,
+}
+
+impl ModelEntry {
+    /// Closes the admission queue and waits for the worker to drain and
+    /// drop its engine.
+    fn shut_down(mut self) {
+        drop(self.queue);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The registry of resident models. See the module docs.
+pub struct Registry<B: Backend> {
+    device: Device<B>,
+    cfg: RegistryConfig,
+    epoch: Instant,
+    entries: Mutex<HashMap<String, ModelEntry>>,
+    /// Per-model gates serializing concurrent cold loads: the first
+    /// requester loads, the rest block on the gate and then re-check the
+    /// entries map. Never held together with a long-running operation's
+    /// data locks — see [`Registry::submit`].
+    loading: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// `(input_len, outputs)` per model name, filled on first listing/load.
+    meta: Mutex<HashMap<String, (usize, usize)>>,
+    closed: AtomicBool,
+}
+
+impl<B: Backend> Registry<B> {
+    /// Creates a registry serving models from `cfg.model_dir` on `device`.
+    pub fn new(device: Device<B>, cfg: RegistryConfig) -> Self {
+        Self {
+            device,
+            cfg,
+            epoch: Instant::now(),
+            entries: Mutex::new(HashMap::new()),
+            loading: Mutex::new(HashMap::new()),
+            meta: Mutex::new(HashMap::new()),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared device all resident engines run on.
+    pub fn device(&self) -> &Device<B> {
+        &self.device
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.cfg
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Submits one verification query for `model`, lazily making the model
+    /// resident. Returns the receiver the worker will answer on.
+    ///
+    /// Loading happens *outside* the entries lock, behind a per-model gate:
+    /// the first requester of a cold model loads it, concurrent requesters
+    /// for the same model wait on the gate, and traffic for models that are
+    /// already resident is never blocked behind someone else's slow load.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the model is unknown, cannot be loaded, or the
+    /// daemon is saturated — all structured, none blocking.
+    pub fn submit(
+        &self,
+        model: &str,
+        image: Vec<f32>,
+        label: usize,
+        eps: f32,
+    ) -> Result<Receiver<WorkReply>, SubmitError> {
+        /// Removes the loading-gate map entry even if the claim owner
+        /// unwinds (a leaked gate would wedge the model forever: later
+        /// submitters would find an ownerless gate, lock it instantly and
+        /// busy-spin through the retry loop).
+        struct GateCleanup<'a, B: Backend>(&'a Registry<B>, &'a str);
+        impl<B: Backend> Drop for GateCleanup<'_, B> {
+            fn drop(&mut self) {
+                self.0.loading.lock().remove(self.1);
+            }
+        }
+
+        // Bounded retries: under extreme budget pressure a freshly loaded
+        // model can be evicted by a competing load before this thread
+        // enqueues (load/evict ping-pong). Retrying a few times absorbs
+        // benign races; past that the honest answer is backpressure, not
+        // an unbounded stall inside submit.
+        for _attempt in 0..8 {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(SubmitError::Overloaded("daemon shutting down".into()));
+            }
+            {
+                let mut entries = self.entries.lock();
+                if entries.contains_key(model) {
+                    return self.enqueue_locked(&mut entries, model, image, label, eps);
+                }
+            }
+            // Claim the load, or wait for the thread already performing it
+            // (then re-check the entries map).
+            let claimed = {
+                let mut loading = self.loading.lock();
+                match loading.get(model) {
+                    Some(gate) => Err(gate.clone()),
+                    None => {
+                        let gate = Arc::new(Mutex::new(()));
+                        loading.insert(model.to_string(), gate.clone());
+                        Ok(gate)
+                    }
+                }
+            };
+            match claimed {
+                Err(gate) => {
+                    // Block until the owner finishes, then retry. If the
+                    // owner's load failed, this requester retries the load
+                    // itself (the file may have been fixed meanwhile).
+                    drop(gate.lock());
+                }
+                Ok(gate) => {
+                    let _cleanup = GateCleanup(self, model);
+                    let _guard = gate.lock();
+                    // Re-check: an owner may have finished between our map
+                    // miss and our claim.
+                    if !self.entries.lock().contains_key(model) {
+                        self.load_model(model)?;
+                    }
+                    // Loop back to enqueue through the freshly inserted
+                    // entry.
+                }
+            }
+        }
+        Err(SubmitError::Overloaded(format!(
+            "model `{model}` keeps getting evicted under memory pressure; retry later"
+        )))
+    }
+
+    /// Enqueues one query on a resident model. Caller holds the entries
+    /// lock and has checked the entry exists.
+    fn enqueue_locked(
+        &self,
+        entries: &mut HashMap<String, ModelEntry>,
+        model: &str,
+        image: Vec<f32>,
+        label: usize,
+        eps: f32,
+    ) -> Result<Receiver<WorkReply>, SubmitError> {
+        let entry = entries.get(model).expect("caller checked");
+        entry
+            .stats
+            .last_used_ms
+            .store(self.now_ms(), Ordering::Release);
+
+        let (reply, rx) = std::sync::mpsc::channel();
+        // Gauge up *before* try_send: the worker decrements when it pops,
+        // so the pair can never go negative, and a successfully queued item
+        // is always counted.
+        entry.stats.queue_depth.fetch_add(1, Ordering::AcqRel);
+        entry.stats.in_flight.fetch_add(1, Ordering::AcqRel);
+        match entry.queue.try_send(WorkItem {
+            image,
+            label,
+            eps,
+            reply,
+        }) {
+            Ok(()) => Ok(rx),
+            Err(err) => {
+                entry.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                entry.stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+                match err {
+                    TrySendError::Full(_) => {
+                        entry
+                            .stats
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        Err(SubmitError::Overloaded(format!(
+                            "admission queue for `{model}` is full ({} waiting)",
+                            self.cfg.queue_cap
+                        )))
+                    }
+                    TrySendError::Disconnected(_) => {
+                        // The worker died (it can only exit when its queue
+                        // closes or its thread panicked fatally at startup);
+                        // drop the corpse so a retry reloads cleanly.
+                        if let Some(dead) = entries.remove(model) {
+                            dead.shut_down();
+                        }
+                        Err(SubmitError::LoadFailed(format!(
+                            "model worker for `{model}` is gone; retry to reload"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Loads `model` into a resident worker. Caller holds the model's
+    /// loading gate (so this runs at most once per model at a time) but
+    /// NOT the entries lock — file reads, JSON parsing and engine weight
+    /// packing must never stall traffic for already-resident models. The
+    /// entries lock is taken only briefly, for eviction and insertion.
+    fn load_model(&self, model: &str) -> Result<(), SubmitError> {
+        if !store::valid_name(model)
+            || !store::model_path(&self.cfg.model_dir, model)
+                .map(|p| p.is_file())
+                .unwrap_or(false)
+        {
+            return Err(SubmitError::UnknownModel(format!(
+                "no model `{model}` in {}",
+                self.cfg.model_dir.display()
+            )));
+        }
+        let net: Network<f32> = store::load(&self.cfg.model_dir, model)
+            .map_err(|e| SubmitError::LoadFailed(e.to_string()))?;
+        self.meta.lock().insert(
+            model.to_string(),
+            (net.input_shape().len(), net.output_len()),
+        );
+        let incoming = net.param_count() * std::mem::size_of::<f32>();
+        {
+            let mut entries = self.entries.lock();
+            self.make_room(&mut entries, incoming)?;
+        }
+        let stats = Arc::new(ModelStats::default());
+        stats.last_used_ms.store(self.now_ms(), Ordering::Release);
+        let (queue, join) = spawn_worker(
+            model.to_string(),
+            net,
+            self.device.clone(),
+            self.cfg.verify,
+            self.cfg.policy,
+            self.cfg.queue_cap,
+            stats.clone(),
+        )
+        .map_err(SubmitError::LoadFailed)?;
+        let entry = ModelEntry {
+            queue,
+            join: Some(join),
+            stats,
+        };
+        {
+            let mut entries = self.entries.lock();
+            // Linearize against drain() via the entries lock: a drain that
+            // already swept the map must not be followed by a late insert
+            // whose worker nobody would ever join.
+            if !self.closed.load(Ordering::Acquire) {
+                entries.insert(model.to_string(), entry);
+                return Ok(());
+            }
+        }
+        entry.shut_down();
+        Err(SubmitError::Overloaded("daemon shutting down".into()))
+    }
+
+    /// Reclaims device memory until `incoming` more bytes fit under the
+    /// budget: shelved pool bytes first (an idle cache, cheaper to drop
+    /// than a model), then LRU idle models.
+    ///
+    /// The budget is enforced at admission time; concurrent loads that
+    /// both passed this check can transiently overshoot it, and the
+    /// device's own capacity (set to the budget by the server) is the
+    /// hard backstop — engines fall back to host-resident weights and
+    /// chunked backsubstitution rather than failing.
+    fn make_room(
+        &self,
+        entries: &mut HashMap<String, ModelEntry>,
+        incoming: usize,
+    ) -> Result<(), SubmitError> {
+        let Some(budget) = self.cfg.memory_budget else {
+            return Ok(());
+        };
+        // Clear the pool at most once per call: active workers re-shelve
+        // buffers continuously, so "pool non-empty" alone must never keep
+        // this loop (which holds the entries lock) spinning.
+        let mut pool_cleared = false;
+        loop {
+            if self.device.memory_in_use().saturating_add(incoming) <= budget {
+                return Ok(());
+            }
+            if !pool_cleared && self.device.buffer_pool_bytes() > 0 {
+                self.device.buffer_pool_clear();
+                pool_cleared = true;
+                continue;
+            }
+            let victim = entries
+                .iter()
+                .filter(|(_, e)| e.stats.idle())
+                .min_by_key(|(_, e)| e.stats.last_used_ms.load(Ordering::Acquire))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    let entry = entries.remove(&name).expect("victim exists");
+                    entry.shut_down();
+                }
+                None => {
+                    return Err(SubmitError::Overloaded(format!(
+                        "memory budget exhausted ({} of {budget} bytes in use, \
+                         {incoming} more needed) and every resident model is busy",
+                        self.device.memory_in_use()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Every model the daemon can serve (directory listing), with residency
+    /// flags and I/O shapes.
+    ///
+    /// Dims for never-seen models require parsing their files once (the
+    /// JSON format has no separate header); that parsing happens without
+    /// holding any registry lock, so a `models` request over a directory
+    /// of large files never stalls verification traffic. Parsed dims are
+    /// cached, so the cost is paid once per model per daemon lifetime.
+    ///
+    /// # Errors
+    ///
+    /// The directory-read error message when the model dir is unreadable.
+    pub fn list_models(&self) -> Result<Vec<ModelInfo>, String> {
+        let names = store::list(&self.cfg.model_dir).map_err(|e| e.to_string())?;
+        let resident: std::collections::HashSet<String> =
+            self.entries.lock().keys().cloned().collect();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let cached = self.meta.lock().get(&name).copied();
+            let dims = match cached {
+                Some(dims) => Some(dims),
+                None => match store::load::<f32>(&self.cfg.model_dir, &name) {
+                    Ok(net) => {
+                        let dims = (net.input_shape().len(), net.output_len());
+                        self.meta.lock().insert(name.clone(), dims);
+                        Some(dims)
+                    }
+                    // Listed but unloadable: report it with zero dims so
+                    // clients can see the name (verify will fail typed).
+                    Err(_) => None,
+                },
+            };
+            let (input_len, outputs) = dims.unwrap_or((0, 0));
+            out.push(ModelInfo {
+                loaded: resident.contains(&name),
+                name,
+                input_len,
+                outputs,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Counter snapshots for every resident model, sorted by name.
+    pub fn model_stats(&self) -> Vec<ModelStatsWire> {
+        let entries = self.entries.lock();
+        let mut out: Vec<ModelStatsWire> = entries
+            .iter()
+            .map(|(name, e)| {
+                let s = &e.stats;
+                let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Acquire);
+                ModelStatsWire {
+                    name: name.clone(),
+                    resident_bytes: load(&s.resident_bytes),
+                    queue_depth: load(&s.queue_depth),
+                    in_flight: load(&s.in_flight),
+                    completed: load(&s.completed),
+                    rejected_overload: load(&s.rejected_overload),
+                    batches: load(&s.batches),
+                    batch_items: load(&s.batch_items),
+                    max_batch: load(&s.max_batch),
+                    cache_hits: load(&s.cache_hits),
+                    cache_misses: load(&s.cache_misses),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Evicts one model by name (admin/testing); `true` if it was resident.
+    pub fn evict(&self, model: &str) -> bool {
+        let entry = self.entries.lock().remove(model);
+        match entry {
+            Some(entry) => {
+                entry.shut_down();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names of the currently resident models, sorted.
+    pub fn resident(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Refuses new work, closes every admission queue and joins every
+    /// worker; all resident engines drop and their device memory returns.
+    pub fn drain(&self) {
+        self.closed.store(true, Ordering::Release);
+        let drained: Vec<ModelEntry> = {
+            let mut entries = self.entries.lock();
+            entries.drain().map(|(_, e)| e).collect()
+        };
+        for entry in drained {
+            entry.shut_down();
+        }
+    }
+}
+
+impl<B: Backend> Drop for Registry<B> {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_nn::builder::NetworkBuilder;
+    use std::path::Path;
+    use std::time::Duration;
+
+    fn write_model(dir: &Path, name: &str, inputs: usize, width: usize) {
+        let mix = |i: usize| ((((i + 3) * 2654435761) % 997) as f32 / 499.0 - 1.0) * 0.3;
+        let net = NetworkBuilder::new_flat(inputs)
+            .dense_flat(
+                width,
+                (0..width * inputs).map(mix).collect(),
+                (0..width).map(mix).collect(),
+            )
+            .relu()
+            .dense_flat(3, (0..3 * width).map(mix).collect(), vec![0.0; 3])
+            .build()
+            .unwrap();
+        store::save(dir, name, &net).unwrap();
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gpupoly-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn recv(rx: Receiver<WorkReply>) -> WorkReply {
+        rx.recv_timeout(Duration::from_secs(30)).expect("reply")
+    }
+
+    #[test]
+    fn lazy_load_serve_and_list() {
+        let dir = temp_dir("lazy");
+        write_model(&dir, "a", 4, 6);
+        write_model(&dir, "b", 5, 4);
+        let registry = Registry::new(Device::default(), RegistryConfig::new(&dir));
+        assert!(registry.resident().is_empty());
+
+        let verdict = recv(registry.submit("a", vec![0.5; 4], 0, 0.01).unwrap());
+        assert!(verdict.is_ok());
+        assert_eq!(registry.resident(), vec!["a"]);
+
+        let models = registry.list_models().unwrap();
+        assert_eq!(models.len(), 2);
+        assert!(models[0].loaded && models[0].name == "a" && models[0].input_len == 4);
+        assert!(!models[1].loaded && models[1].name == "b" && models[1].input_len == 5);
+
+        match registry.submit("ghost", vec![0.5; 4], 0, 0.01) {
+            Err(SubmitError::UnknownModel(_)) => {}
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        match registry.submit("../../etc/passwd", vec![0.5; 4], 0, 0.01) {
+            Err(SubmitError::UnknownModel(_)) => {}
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+
+        let stats = registry.model_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].completed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru_idle_models() {
+        let dir = temp_dir("budget");
+        write_model(&dir, "m1", 8, 24);
+        write_model(&dir, "m2", 8, 24);
+        write_model(&dir, "m3", 8, 24);
+        // Each model pins (24*8 + 24 + 3*24 + 3) floats ≈ 1.2 KB of weights:
+        // a 3 KB budget fits two resident models but not three.
+        let device: Device = Device::default();
+        let mut cfg = RegistryConfig::new(&dir);
+        cfg.memory_budget = Some(3000);
+        let registry = Registry::new(device, cfg);
+
+        assert!(recv(registry.submit("m1", vec![0.5; 8], 0, 0.01).unwrap()).is_ok());
+        assert!(recv(registry.submit("m2", vec![0.5; 8], 1, 0.01).unwrap()).is_ok());
+        // Touch m2 so m1 is the LRU victim when m3 needs room.
+        assert!(recv(registry.submit("m2", vec![0.4; 8], 1, 0.01).unwrap()).is_ok());
+        assert!(recv(registry.submit("m3", vec![0.5; 8], 2, 0.01).unwrap()).is_ok());
+        let resident = registry.resident();
+        assert!(
+            resident.contains(&"m3".to_string()),
+            "newly requested model must be resident, got {resident:?}"
+        );
+        assert!(
+            !resident.contains(&"m1".to_string()),
+            "LRU model must have been evicted, got {resident:?}"
+        );
+        // Evicted models reload transparently on the next request.
+        assert!(recv(registry.submit("m1", vec![0.5; 8], 0, 0.01).unwrap()).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_returns_memory() {
+        let dir = temp_dir("drain");
+        write_model(&dir, "m", 4, 8);
+        let device: Device = Device::default();
+        let registry = Registry::new(device.clone(), RegistryConfig::new(&dir));
+        assert!(recv(registry.submit("m", vec![0.5; 4], 0, 0.01).unwrap()).is_ok());
+        assert!(device.memory_in_use() > 0);
+        registry.drain();
+        assert_eq!(device.memory_in_use(), 0);
+        match registry.submit("m", vec![0.5; 4], 0, 0.01) {
+            Err(SubmitError::Overloaded(_)) => {}
+            other => panic!("expected Overloaded after drain, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,426 @@
+//! The TCP serving layer: accept loop, per-connection framing, and the
+//! mapping from every failure to a typed protocol error.
+//!
+//! One thread per connection reads line-delimited JSON frames and answers
+//! each with exactly one reply line. All request handling is wrapped in
+//! `catch_unwind`, and worker replies are awaited with a deadline, so a
+//! connection can observe `error` replies but never a panic, a silent drop
+//! or an unbounded hang.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gpupoly_core::{VerifyConfig, VerifyError};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+
+use crate::batcher::{BatchPolicy, WorkError};
+use crate::protocol::{DeviceStatsWire, ErrorCode, Reply, Request, StatsReply, WireMargin};
+use crate::registry::{Registry, RegistryConfig, SubmitError};
+
+/// Daemon configuration (CLI flags map 1:1 onto this).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory of `<name>.json` model files.
+    pub model_dir: PathBuf,
+    /// Admission batching policy.
+    pub policy: BatchPolicy,
+    /// Admission-queue capacity per model.
+    pub queue_cap: usize,
+    /// Device-memory budget for resident models (also installed as the
+    /// device's capacity so engines chunk/fallback against it).
+    pub memory_budget: Option<usize>,
+    /// Device worker count (`None` = all host cores).
+    pub workers: Option<usize>,
+    /// Deadline for answering one request once admitted.
+    pub request_timeout: Duration,
+    /// Largest accepted request frame in bytes. A connection streaming a
+    /// longer line (hostile or broken framing) gets one `parse_error`
+    /// reply and is closed — memory per connection stays bounded.
+    pub max_frame_len: usize,
+    /// Verifier configuration for every engine.
+    pub verify: VerifyConfig,
+}
+
+impl ServerConfig {
+    /// Defaults for a model directory.
+    pub fn new(model_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            model_dir: model_dir.into(),
+            policy: BatchPolicy::default(),
+            queue_cap: 128,
+            memory_budget: None,
+            workers: None,
+            request_timeout: Duration::from_secs(120),
+            max_frame_len: 8 << 20,
+            verify: VerifyConfig::default(),
+        }
+    }
+}
+
+/// Per-connection limits, fixed at bind time.
+#[derive(Copy, Clone, Debug)]
+struct ConnLimits {
+    request_timeout: Duration,
+    max_frame_len: usize,
+}
+
+/// A bound (not yet serving) daemon over backend `B`.
+pub struct Server<B: Backend> {
+    listener: TcpListener,
+    registry: Arc<Registry<B>>,
+    limits: ConnLimits,
+}
+
+impl<B: Backend + Default> Server<B> {
+    /// Binds `addr` (port 0 = ephemeral) and builds the shared device and
+    /// registry. Nothing is served until [`Server::run`] or
+    /// [`Server::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let mut dev_cfg = DeviceConfig::new().name("gpupoly-serve");
+        if let Some(workers) = cfg.workers {
+            dev_cfg = dev_cfg.workers(workers);
+        }
+        if let Some(budget) = cfg.memory_budget {
+            dev_cfg = dev_cfg.memory_capacity(budget);
+        }
+        let device = Device::with_backend(B::default(), dev_cfg);
+        let registry = Registry::new(
+            device,
+            RegistryConfig {
+                model_dir: cfg.model_dir,
+                policy: cfg.policy,
+                queue_cap: cfg.queue_cap,
+                memory_budget: cfg.memory_budget,
+                verify: cfg.verify,
+            },
+        );
+        Ok(Self {
+            listener,
+            registry: Arc::new(registry),
+            limits: ConnLimits {
+                request_timeout: cfg.request_timeout,
+                max_frame_len: cfg.max_frame_len.max(1024),
+            },
+        })
+    }
+}
+
+impl<B: Backend> Server<B> {
+    /// The bound address (resolves port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (cannot happen for a
+    /// bound listener).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// The registry behind this server.
+    pub fn registry(&self) -> &Arc<Registry<B>> {
+        &self.registry
+    }
+
+    /// Serves connections on the calling thread until the process exits
+    /// (the daemon binary's mode).
+    pub fn run(self) {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        accept_loop(self.listener, self.registry, self.limits, &shutdown);
+    }
+
+    /// Serves connections on a background thread; the returned handle
+    /// shuts the daemon down cleanly when asked (tests, embedding).
+    pub fn spawn(self) -> ServerHandle<B> {
+        let addr = self.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = self.registry.clone();
+        let listener = self.listener;
+        let limits = self.limits;
+        let flag = shutdown.clone();
+        let accept = std::thread::Builder::new()
+            .name("gpupoly-serve-accept".into())
+            .spawn(move || accept_loop(listener, registry, limits, &flag))
+            .expect("spawn accept thread");
+        ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            registry: self.registry,
+        }
+    }
+}
+
+fn accept_loop<B: Backend>(
+    listener: TcpListener,
+    registry: Arc<Registry<B>>,
+    limits: ConnLimits,
+    shutdown: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept errors (EMFILE under connection
+                // exhaustion) would otherwise turn this loop into a
+                // 100%-CPU spin; back off briefly and retry.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let registry = registry.clone();
+        let _ = std::thread::Builder::new()
+            .name("gpupoly-serve-conn".into())
+            .spawn(move || handle_connection(stream, &registry, limits));
+    }
+}
+
+/// A handle to a daemon serving in the background.
+pub struct ServerHandle<B: Backend> {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    registry: Arc<Registry<B>>,
+}
+
+impl<B: Backend> ServerHandle<B> {
+    /// The address the daemon listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry behind this daemon.
+    pub fn registry(&self) -> &Arc<Registry<B>> {
+        &self.registry
+    }
+
+    /// Stops accepting, drains every model worker and joins the accept
+    /// thread. Existing connections die with their sockets.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.registry.drain();
+    }
+}
+
+impl<B: Backend> Drop for ServerHandle<B> {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn handle_connection<B: Backend>(stream: TcpStream, registry: &Registry<B>, limits: ConnLimits) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut buf = Vec::new();
+    loop {
+        let line = match read_frame(&mut reader, &mut buf, limits.max_frame_len) {
+            FrameRead::Frame(line) => line,
+            FrameRead::TooLong => {
+                // The rest of the oversized line was discarded unbuffered;
+                // answer with a typed error and keep serving the connection
+                // (closing here would race the reply against a TCP reset
+                // from the peer's unread bytes).
+                let reply = Reply::error(
+                    ErrorCode::ParseError,
+                    format!("frame exceeds {} bytes", limits.max_frame_len),
+                );
+                if write_reply(&mut writer, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            FrameRead::Closed => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A panic anywhere below must surface as a typed reply on this
+        // connection, not as a dead socket.
+        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_line(&line, registry, limits.request_timeout)
+        }))
+        .unwrap_or_else(|_| {
+            Reply::error(
+                ErrorCode::Internal,
+                "request handling panicked; the connection survives",
+            )
+        });
+        if write_reply(&mut writer, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+enum FrameRead {
+    /// One complete line (newline stripped by the JSON parser's ws rules).
+    Frame(String),
+    /// The line outran the frame limit; its remainder was discarded
+    /// without buffering, so connection memory stays bounded.
+    TooLong,
+    /// Peer closed (or the socket errored).
+    Closed,
+}
+
+/// Reads one newline-delimited frame without ever buffering more than
+/// `max_len + 1` bytes — the bound that keeps a hostile newline-free
+/// stream from growing daemon memory without limit. An over-long line is
+/// consumed (and dropped) through the BufReader's fixed-size buffer up to
+/// its terminating newline, leaving the stream aligned on the next frame.
+fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>, max_len: usize) -> FrameRead {
+    buf.clear();
+    let mut limited = std::io::Read::take(&mut *reader, max_len as u64 + 1);
+    match limited.read_until(b'\n', buf) {
+        Ok(0) => FrameRead::Closed,
+        Ok(_) if buf.last() != Some(&b'\n') && buf.len() > max_len => {
+            // Discard the rest of the line, a buffer at a time.
+            loop {
+                let (consumed, done) = match reader.fill_buf() {
+                    Ok([]) | Err(_) => return FrameRead::Closed,
+                    Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                        Some(at) => (at + 1, true),
+                        None => (chunk.len(), false),
+                    },
+                };
+                reader.consume(consumed);
+                if done {
+                    return FrameRead::TooLong;
+                }
+            }
+        }
+        Ok(_) => FrameRead::Frame(String::from_utf8_lossy(buf).into_owned()),
+        Err(_) => FrameRead::Closed,
+    }
+}
+
+/// Serializes one reply as a single line.
+///
+/// # Errors
+///
+/// Any socket write error (the caller drops the connection).
+pub(crate) fn write_reply(writer: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
+    let text = serde_json::to_string(reply).map_err(std::io::Error::other)?;
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_line<B: Backend>(line: &str, registry: &Registry<B>, request_timeout: Duration) -> Reply {
+    use serde::{Deserialize, Value};
+    let value: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return Reply::error(ErrorCode::ParseError, format!("invalid JSON: {e}")),
+    };
+    let request = match Request::from_value(&value) {
+        Ok(r) => r,
+        Err(e) => return Reply::error(ErrorCode::BadRequest, e.to_string()),
+    };
+    match request {
+        Request::Ping => Reply::Pong,
+        Request::Models => match registry.list_models() {
+            Ok(models) => Reply::Models { models },
+            Err(e) => Reply::error(ErrorCode::Internal, e),
+        },
+        Request::Stats => Reply::Stats(stats_snapshot(registry)),
+        Request::Verify {
+            model,
+            image,
+            label,
+            eps,
+        } => handle_verify(registry, model, image, label, eps, request_timeout),
+    }
+}
+
+fn stats_snapshot<B: Backend>(registry: &Registry<B>) -> StatsReply {
+    let device = registry.device();
+    StatsReply {
+        device: DeviceStatsWire {
+            backend: device.backend().label().to_string(),
+            workers: device.workers() as u64,
+            memory_in_use: device.memory_in_use() as u64,
+            peak_memory: device.peak_memory() as u64,
+            capacity: device.memory_capacity().map(|c| c as u64),
+            bytes_allocated: device.stats().bytes_allocated(),
+            pool_bytes: device.buffer_pool_bytes() as u64,
+        },
+        models: registry.model_stats(),
+    }
+}
+
+fn handle_verify<B: Backend>(
+    registry: &Registry<B>,
+    model: String,
+    image: Vec<f32>,
+    label: usize,
+    eps: f32,
+    request_timeout: Duration,
+) -> Reply {
+    let rx = match registry.submit(&model, image, label, eps) {
+        Ok(rx) => rx,
+        Err(SubmitError::UnknownModel(msg)) => return Reply::error(ErrorCode::UnknownModel, msg),
+        Err(SubmitError::LoadFailed(msg)) => return Reply::error(ErrorCode::ModelLoadFailed, msg),
+        Err(SubmitError::Overloaded(msg)) => return Reply::error(ErrorCode::Overloaded, msg),
+    };
+    match rx.recv_timeout(request_timeout) {
+        Ok(Ok(verdict)) => Reply::Verdict {
+            model,
+            verified: verdict.verified,
+            margins: verdict
+                .margins
+                .iter()
+                .map(|m| WireMargin {
+                    adversary: m.adversary,
+                    lower: m.lower,
+                    proven: m.proven,
+                })
+                .collect(),
+        },
+        Ok(Err(WorkError::Verify(e))) => {
+            let code = match &e {
+                VerifyError::BadQuery(_) => ErrorCode::BadQuery,
+                VerifyError::Device(_) => ErrorCode::DeviceOom,
+                VerifyError::Network(_) => ErrorCode::ModelLoadFailed,
+            };
+            Reply::error(code, e.to_string())
+        }
+        Ok(Err(WorkError::Panicked)) => Reply::error(
+            ErrorCode::Internal,
+            "verification panicked inside the worker; the model stays resident",
+        ),
+        Err(RecvTimeoutError::Timeout) => Reply::error(
+            ErrorCode::Timeout,
+            format!("no verdict within {request_timeout:?}"),
+        ),
+        Err(RecvTimeoutError::Disconnected) => Reply::error(
+            ErrorCode::Internal,
+            "model worker dropped the request; retry to reload the model",
+        ),
+    }
+}

@@ -1,0 +1,75 @@
+//! Lock-free per-model serving counters, shared between the admission path
+//! (connection threads) and the model's worker thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for one resident model. All atomics; reading a snapshot never
+/// blocks the serving path.
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    /// Requests waiting in the admission queue (gauge).
+    pub queue_depth: AtomicU64,
+    /// Requests admitted but not yet answered (gauge).
+    pub in_flight: AtomicU64,
+    /// Requests answered, successfully or with a per-query error.
+    pub completed: AtomicU64,
+    /// Requests bounced with `overloaded` at admission.
+    pub rejected_overload: AtomicU64,
+    /// `verify_batch` calls issued by the worker.
+    pub batches: AtomicU64,
+    /// Total queries across all batches.
+    pub batch_items: AtomicU64,
+    /// Largest coalesced batch so far.
+    pub max_batch: AtomicU64,
+    /// Bytes of this model's weights resident on the device.
+    pub resident_bytes: AtomicU64,
+    /// Engine analysis-cache hits (mirrored by the worker after each batch).
+    pub cache_hits: AtomicU64,
+    /// Engine analysis-cache misses (mirrored likewise).
+    pub cache_misses: AtomicU64,
+    /// Milliseconds since the registry epoch at last use (LRU key).
+    pub last_used_ms: AtomicU64,
+}
+
+impl ModelStats {
+    /// `true` when no request is queued or in flight — safe to evict.
+    pub fn idle(&self) -> bool {
+        self.queue_depth.load(Ordering::Acquire) == 0 && self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    /// Records one coalesced batch of `n` queries.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_items.fetch_add(n as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idleness_tracks_both_gauges() {
+        let s = ModelStats::default();
+        assert!(s.idle());
+        s.queue_depth.fetch_add(1, Ordering::Release);
+        assert!(!s.idle());
+        s.queue_depth.fetch_sub(1, Ordering::Release);
+        s.in_flight.fetch_add(1, Ordering::Release);
+        assert!(!s.idle());
+        s.in_flight.fetch_sub(1, Ordering::Release);
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn batch_recording_tracks_mean_and_max() {
+        let s = ModelStats::default();
+        s.record_batch(3);
+        s.record_batch(8);
+        s.record_batch(1);
+        assert_eq!(s.batches.load(Ordering::Relaxed), 3);
+        assert_eq!(s.batch_items.load(Ordering::Relaxed), 12);
+        assert_eq!(s.max_batch.load(Ordering::Relaxed), 8);
+    }
+}

@@ -135,6 +135,18 @@ macro_rules! impl_num {
 
 impl_num!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -66,7 +66,7 @@ fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
             if !x.is_finite() {
                 return Err(Error(format!("cannot serialize non-finite number {x}")));
             }
-            if x.fract() == 0.0 && x.abs() < 9.0e15 {
+            if x.fract() == 0.0 && x.abs() < 9.0e15 && !(*x == 0.0 && x.is_sign_negative()) {
                 out.push_str(&format!("{}", *x as i64));
             } else {
                 out.push_str(&format!("{x}"));

@@ -11,7 +11,9 @@
 //! * [`train`] — synthetic datasets and normal / PGD / IBP-robust training,
 //! * [`core`] — the GPUPoly verifier itself (DeepPoly domain, dependence
 //!   sets, early termination, chunked backsubstitution),
-//! * [`baselines`] — IBP, CROWN-IBP and sparse CPU DeepPoly.
+//! * [`baselines`] — IBP, CROWN-IBP and sparse CPU DeepPoly,
+//! * [`serve`] — the batch-admission verification daemon (`gpupoly-serve`)
+//!   and its line-JSON protocol + client.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -72,4 +74,5 @@ pub use gpupoly_core as core;
 pub use gpupoly_device as device;
 pub use gpupoly_interval as interval;
 pub use gpupoly_nn as nn;
+pub use gpupoly_serve as serve;
 pub use gpupoly_train as train;
