@@ -1,0 +1,295 @@
+//! Cross-query fusion benchmark: fused vs per-query throughput and device
+//! launches across batch sizes, on both backends.
+//!
+//! Three dispatch shapes over one resident engine:
+//!
+//! * `seq`   — a sequential `verify_robustness` loop (one walk per query);
+//! * `batch` — `verify_batch` (query-level parallelism, LPT-scheduled);
+//! * `fused` — `verify_batch_fused` (rows of all queries stacked into one
+//!   launch per backsubstitution step).
+//!
+//! Margins are bit-identical across all three (pinned by
+//! `crates/core/tests/engine_fusion.rs` and the zoo differential suite);
+//! this harness measures the *scheduling* difference: queries/sec and
+//! device launches per query.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench fusion` — full sweep, writes the machine-readable
+//!   `BENCH_fusion.json` baseline (override the path with
+//!   `BENCH_FUSION_OUT`) so future PRs have a perf trajectory to compare
+//!   against;
+//! * `cargo bench --bench fusion -- --smoke` — tiny shapes, no timing, no
+//!   JSON; asserts the fused path issues strictly fewer launches than the
+//!   sequential loop (the CI guard against silently regressing to
+//!   per-query dispatch). Honors `GPUPOLY_BACKEND=cpusim|reference`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gpupoly_core::{Engine, EngineOptions, Query, VerifyConfig};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+fn mlp(inputs: usize, width: usize, depth: usize, outputs: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(inputs);
+    let mut in_len = inputs;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5) * 0.25)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.05; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(outputs, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+fn queries(n: usize, inputs: usize) -> Vec<Query<f32>> {
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..inputs)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            Query::new(image, q % 3, 0.012 + 0.002 * (q % 4) as f32)
+        })
+        .collect()
+}
+
+/// Launch/GEMM counters delta around one measured closure.
+struct Measured {
+    secs: f64,
+    launches: u64,
+    gemm: u64,
+}
+
+fn measured<B: Backend>(device: &Device<B>, f: impl FnOnce()) -> Measured {
+    let launches0 = device.stats().launches();
+    let gemm0 = device.stats().kernel_launches("gemm_itv_f");
+    let t = Instant::now();
+    f();
+    Measured {
+        secs: t.elapsed().as_secs_f64(),
+        launches: device.stats().launches() - launches0,
+        gemm: device.stats().kernel_launches("gemm_itv_f") - gemm0,
+    }
+}
+
+struct Cell {
+    backend: &'static str,
+    batch: usize,
+    qps_seq: f64,
+    qps_batch: f64,
+    qps_fused: f64,
+    launches_per_query_seq: f64,
+    launches_per_query_fused: f64,
+    gemm_per_query_seq: f64,
+    gemm_per_query_fused: f64,
+    fused_engaged: bool,
+}
+
+impl Cell {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("backend", Value::Str(self.backend.to_string())),
+            ("batch", Value::Num(self.batch as f64)),
+            ("qps_seq", Value::Num(self.qps_seq)),
+            ("qps_batch", Value::Num(self.qps_batch)),
+            ("qps_fused", Value::Num(self.qps_fused)),
+            (
+                "launches_per_query_seq",
+                Value::Num(self.launches_per_query_seq),
+            ),
+            (
+                "launches_per_query_fused",
+                Value::Num(self.launches_per_query_fused),
+            ),
+            ("gemm_per_query_seq", Value::Num(self.gemm_per_query_seq)),
+            (
+                "gemm_per_query_fused",
+                Value::Num(self.gemm_per_query_fused),
+            ),
+            ("fused_engaged", Value::Bool(self.fused_engaged)),
+        ])
+    }
+}
+
+/// One (backend, batch-size) measurement. Fresh engines per dispatch shape
+/// (cache disabled so every pass does full analysis work), one warm pass
+/// each to populate the buffer pool, counters and clock around the second.
+fn run_cell<B: Backend>(
+    backend: &'static str,
+    mk_device: &dyn Fn() -> Device<B>,
+    net: &Network<f32>,
+    k: usize,
+) -> Cell {
+    let inputs = net.input_shape().len();
+    let qs = queries(k, inputs);
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+
+    let device = mk_device();
+    let engine =
+        Engine::with_options(device.clone(), net, VerifyConfig::default(), opts).expect("engine");
+    assert!(engine.verify_batch(&qs).iter().all(Result::is_ok));
+    let seq = measured(&device, || {
+        for q in &qs {
+            black_box(engine.verify_robustness(&q.image, q.label, q.eps).unwrap());
+        }
+    });
+
+    let device = mk_device();
+    let engine =
+        Engine::with_options(device.clone(), net, VerifyConfig::default(), opts).expect("engine");
+    assert!(engine.verify_batch(&qs).iter().all(Result::is_ok));
+    let batch = measured(&device, || {
+        black_box(engine.verify_batch(&qs));
+    });
+
+    let device = mk_device();
+    let engine =
+        Engine::with_options(device.clone(), net, VerifyConfig::default(), opts).expect("engine");
+    assert!(engine.verify_batch(&qs).iter().all(Result::is_ok));
+    let fused = measured(&device, || {
+        black_box(engine.verify_batch_fused(&qs));
+    });
+
+    let per_query = |n: u64| n as f64 / k as f64;
+    Cell {
+        backend,
+        batch: k,
+        qps_seq: k as f64 / seq.secs.max(1e-9),
+        qps_batch: k as f64 / batch.secs.max(1e-9),
+        qps_fused: k as f64 / fused.secs.max(1e-9),
+        launches_per_query_seq: per_query(seq.launches),
+        launches_per_query_fused: per_query(fused.launches),
+        gemm_per_query_seq: per_query(seq.gemm),
+        gemm_per_query_fused: per_query(fused.gemm),
+        fused_engaged: engine.stats().fused_batches > 0,
+    }
+}
+
+fn backend_env() -> String {
+    std::env::var("GPUPOLY_BACKEND").unwrap_or_else(|_| "cpusim".to_string())
+}
+
+fn smoke() {
+    // Tiny shapes: correctness of the dispatch shape, not timing. Fused
+    // launches strictly below sequential launches or the fused path has
+    // silently regressed to per-query dispatch.
+    let net = mlp(8, 12, 2, 3);
+    let k = 4;
+    let backend = backend_env();
+    let cell = match backend.as_str() {
+        "reference" => run_cell(
+            "reference",
+            &|| Device::reference(DeviceConfig::new().workers(2)),
+            &net,
+            k,
+        ),
+        _ => run_cell(
+            "cpusim",
+            &|| Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            k,
+        ),
+    };
+    assert!(cell.fused_engaged, "smoke batch must take the fused path");
+    assert!(
+        cell.launches_per_query_fused < cell.launches_per_query_seq,
+        "fused dispatch must issue fewer launches/query than sequential \
+         ({} vs {})",
+        cell.launches_per_query_fused,
+        cell.launches_per_query_seq
+    );
+    assert!(
+        cell.gemm_per_query_fused < cell.gemm_per_query_seq,
+        "fused dispatch must issue fewer GEMM launches/query than sequential \
+         ({} vs {})",
+        cell.gemm_per_query_fused,
+        cell.gemm_per_query_seq
+    );
+    println!(
+        "[fusion --smoke] ok on {}: launches/query fused {:.1} < seq {:.1}, \
+         gemm/query fused {:.2} < seq {:.2}",
+        cell.backend,
+        cell.launches_per_query_fused,
+        cell.launches_per_query_seq,
+        cell.gemm_per_query_fused,
+        cell.gemm_per_query_seq
+    );
+}
+
+fn full() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let net = mlp(16, 64, 3, 8);
+    let mut cells: Vec<Cell> = Vec::new();
+    for &k in &[1usize, 4, 16, 32] {
+        cells.push(run_cell(
+            "cpusim",
+            &|| Device::new(DeviceConfig::new().workers(workers)),
+            &net,
+            k,
+        ));
+        cells.push(run_cell(
+            "reference",
+            &|| Device::reference(DeviceConfig::new().workers(1)),
+            &net,
+            k,
+        ));
+    }
+    for c in &cells {
+        println!(
+            "[fusion] {:<9} K={:<3} q/s: seq {:>8.1} batch {:>8.1} fused {:>8.1} \
+             ({:.2}x vs seq) | launches/query: seq {:>6.1} fused {:>6.1} | \
+             gemm/query: seq {:>6.2} fused {:>6.2}{}",
+            c.backend,
+            c.batch,
+            c.qps_seq,
+            c.qps_batch,
+            c.qps_fused,
+            c.qps_fused / c.qps_seq.max(1e-9),
+            c.launches_per_query_seq,
+            c.launches_per_query_fused,
+            c.gemm_per_query_seq,
+            c.gemm_per_query_fused,
+            if c.fused_engaged { "" } else { " [fell back]" },
+        );
+    }
+    let doc = Value::obj([
+        ("bench", Value::Str("fusion".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench fusion (release)".to_string()),
+        ),
+        ("workers", Value::Num(workers as f64)),
+        ("net", Value::Str("mlp 16 -> 64x3 (relu) -> 8".to_string())),
+        (
+            "results",
+            Value::Arr(cells.iter().map(Cell::to_value).collect()),
+        ),
+    ]);
+    // `cargo bench` runs with the package as CWD; anchor the baseline at
+    // the workspace root where it is committed.
+    let out = std::env::var("BENCH_FUSION_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fusion.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[fusion] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench fusion`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

@@ -119,6 +119,215 @@ pub(crate) fn analyze<F: Fp, B: Backend>(
     Ok(Analysis { bounds, stats })
 }
 
+/// Fused multi-query analysis — the cross-query kernel-fusion driver.
+///
+/// Runs the §4.2 refinement schedule for `inputs.len()` same-network input
+/// boxes *together*: at every ReLU layer the selected rows of every query
+/// are stacked into one [`ExprBatch`] (tagged with a per-row query-segment
+/// index), so each backsubstitution step issues one large GEMM/GBC/ReLU
+/// launch for all queries instead of one small walk per query.
+///
+/// `preliminary` holds each input's forward interval bounds
+/// (`graph.eval_itv`) — the caller computes them anyway for its fusion
+/// heuristic, and they are exactly the seed bounds [`analyze`] would start
+/// from.
+///
+/// **Bit-identity:** each query's row selections, per-row walk arithmetic
+/// and bound intersections are exactly those of [`analyze`] run on that
+/// query alone (rows never interact across segments; chunk boundaries are
+/// arithmetic-neutral), so every returned [`Analysis`] carries bit-identical
+/// bounds to the sequential path. Work counters differ in shape: fused
+/// launches are shared, so `candidates`/`chunks` count the joint launches a
+/// query's rows participated in, not per-query work.
+pub(crate) fn analyze_fused<F: Fp, B: Backend>(
+    device: &Device<B>,
+    graph: &Graph<'_, F>,
+    prepared: &PreparedGraph<'_, F, B>,
+    cfg: &VerifyConfig,
+    inputs: &[&[Itv<F>]],
+    preliminary: Vec<Vec<Vec<Itv<F>>>>,
+) -> Result<Vec<Analysis<F>>, VerifyError> {
+    let in_len = graph.nodes[0].shape.len();
+    for input in inputs {
+        if input.len() != in_len {
+            return Err(VerifyError::BadQuery(format!(
+                "input has {} values, network expects {in_len}",
+                input.len()
+            )));
+        }
+    }
+    assert_eq!(
+        preliminary.len(),
+        inputs.len(),
+        "one seed bound set per box"
+    );
+    let mut bounds = preliminary;
+    let mut stats: Vec<AnalysisStats> = vec![AnalysisStats::default(); inputs.len()];
+
+    for &(_relu, p) in prepared.relu_plan() {
+        // Per-query row selection — identical to the sequential schedule.
+        let mut sels: Vec<Vec<usize>> = Vec::with_capacity(bounds.len());
+        for (k, b) in bounds.iter().enumerate() {
+            stats[k].relu_nodes += 1;
+            let sel: Vec<usize> = if cfg.early_termination {
+                (0..b[p].len())
+                    .filter(|&i| b[p][i].straddles_zero())
+                    .collect()
+            } else {
+                (0..b[p].len()).collect()
+            };
+            stats[k].rows_skipped_stable += b[p].len() - sel.len();
+            stats[k].rows_refined += sel.len();
+            sels.push(sel);
+        }
+        if sels.iter().all(Vec::is_empty) {
+            continue;
+        }
+        let rule = if cfg.early_termination {
+            StopRule::StableSign
+        } else {
+            StopRule::None
+        };
+        refine_node_fused(
+            device,
+            graph,
+            prepared,
+            cfg,
+            &mut bounds,
+            p,
+            &sels,
+            rule,
+            &mut stats,
+        )?;
+        // Forward interval update per query — exactly when the sequential
+        // path would perform it (a query with nothing selected skips it).
+        for (k, b) in bounds.iter_mut().enumerate() {
+            if !sels[k].is_empty() {
+                forward_update(graph, b, p);
+            }
+        }
+    }
+    Ok(bounds
+        .into_iter()
+        .zip(stats)
+        .map(|(bounds, stats)| Analysis { bounds, stats })
+        .collect())
+}
+
+/// Chunked, OOM-adaptive *fused* backsubstitution: the concatenated
+/// (query, neuron) work list is walked in chunks; each chunk stacks one
+/// initial batch per contributing query (built against that query's own
+/// bounds, including the §4.1 inference-error widening) and runs a single
+/// multi-segment walk.
+#[allow(clippy::too_many_arguments)]
+fn refine_node_fused<F: Fp, B: Backend>(
+    device: &Device<B>,
+    graph: &Graph<'_, F>,
+    prepared: &PreparedGraph<'_, F, B>,
+    cfg: &VerifyConfig,
+    bounds: &mut [Vec<Vec<Itv<F>>>],
+    p: NodeId,
+    sels: &[Vec<usize>],
+    rule: StopRule,
+    stats: &mut [AnalysisStats],
+) -> Result<(), VerifyError> {
+    // Segment-major concatenation: a chunk covers each query at most once,
+    // in one contiguous run. Chunk boundaries are arithmetic-neutral (a
+    // row's walk reads only ancestor bounds, which stay fixed while `p`
+    // refines), so the fused rows compute exactly what per-query chunks
+    // would.
+    let work: Vec<(usize, usize)> = sels
+        .iter()
+        .enumerate()
+        .flat_map(|(k, sel)| sel.iter().map(move |&n| (k, n)))
+        .collect();
+    let mut chunk = cfg
+        .chunk_rows
+        .unwrap_or_else(|| prepared.chunk_for(device))
+        .clamp(1, work.len());
+    let mut i = 0;
+    while i < work.len() {
+        let end = (i + chunk).min(work.len());
+        let rows = &work[i..end];
+        let attempt = fused_chunk_walk(device, graph, prepared, cfg, bounds, p, rows, rule);
+        match attempt {
+            Ok(out) => {
+                for (j, &(k, n)) in rows.iter().enumerate() {
+                    let cur = bounds[k][p][n];
+                    bounds[k][p][n] = cur.intersect(out.best[j]).unwrap_or(cur);
+                }
+                // Attribute the shared launches to every contributing query,
+                // and each stopped row to its own query.
+                let mut seen = vec![false; stats.len()];
+                for &(k, _) in rows {
+                    if !seen[k] {
+                        seen[k] = true;
+                        stats[k].candidates += out.candidates;
+                        stats[k].chunks += 1;
+                    }
+                }
+                for &r in &out.stopped_rows {
+                    stats[rows[r as usize].0].rows_stopped_early += 1;
+                }
+                i = end;
+            }
+            Err(VerifyError::Device(DeviceError::OutOfMemory { .. })) if chunk > 1 => {
+                chunk = (chunk / 2).max(1);
+                // Attribute the shrink to the queries whose rows were in
+                // the failing chunk, mirroring the sequential accounting.
+                let mut seen = vec![false; stats.len()];
+                for &(k, _) in rows {
+                    if !seen[k] {
+                        seen[k] = true;
+                        stats[k].chunk_shrinks += 1;
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One fused chunk: per-query initial batches stacked into a single
+/// multi-segment batch, walked to the input in one pass.
+#[allow(clippy::too_many_arguments)]
+fn fused_chunk_walk<F: Fp, B: Backend>(
+    device: &Device<B>,
+    graph: &Graph<'_, F>,
+    prepared: &PreparedGraph<'_, F, B>,
+    cfg: &VerifyConfig,
+    bounds: &[Vec<Vec<Itv<F>>>],
+    p: NodeId,
+    rows: &[(usize, usize)],
+    rule: StopRule,
+) -> Result<crate::walk::WalkOutcome<F>, VerifyError> {
+    // Contiguous per-query runs of the (query, neuron) chunk.
+    let mut runs: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &(k, n) in rows {
+        match runs.last_mut() {
+            Some((rk, ns)) if *rk == k => ns.push(n),
+            _ => runs.push((k, vec![n])),
+        }
+    }
+    let batches = runs
+        .iter()
+        .map(|(k, ns)| initial_batch(device, graph, prepared, cfg, &bounds[*k], p, ns))
+        .collect::<Result<Vec<_>, _>>()?;
+    let stacked = if batches.len() == 1 {
+        batches.into_iter().next().expect("one batch")
+    } else {
+        ExprBatch::stack(device, batches)?
+    };
+    let walker = Walker {
+        device,
+        graph,
+        prepared,
+        seg_bounds: runs.iter().map(|(k, _)| bounds[*k].as_slice()).collect(),
+    };
+    walker.run(stacked, rule)
+}
+
 /// Chunked, OOM-adaptive backsubstitution of the selected neurons of node
 /// `p`; refined bounds are intersected into `bounds[p]`.
 #[allow(clippy::too_many_arguments)]
@@ -146,7 +355,7 @@ fn refine_node<F: Fp, B: Backend>(
                 device,
                 graph,
                 prepared,
-                bounds,
+                seg_bounds: vec![&*bounds],
             };
             initial_batch(device, graph, prepared, cfg, bounds, p, rows)
                 .and_then(|batch| walker.run(batch, rule))
@@ -157,7 +366,7 @@ fn refine_node<F: Fp, B: Backend>(
                     let cur = bounds[p][n];
                     bounds[p][n] = cur.intersect(out.best[j]).unwrap_or(cur);
                 }
-                stats.absorb_walk(out.rows_stopped_early, out.candidates);
+                stats.absorb_walk(out.stopped_rows.len(), out.candidates);
                 stats.chunks += 1;
                 i = end;
             }

@@ -22,7 +22,9 @@
 //! pool, no cache), preserving the original per-query memory profile.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -31,7 +33,7 @@ use gpupoly_device::{Backend, Device, DeviceBuffer, DeviceError};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, Network, NodeId, Op};
 
-use crate::analysis::{analyze, Analysis};
+use crate::analysis::{analyze, analyze_fused, Analysis};
 use crate::verifier::{LinearSpec, Margin, RobustnessVerdict, SpecVerdict};
 use crate::walk::{StopRule, Walker};
 use crate::{ExprBatch, VerifyConfig, VerifyError};
@@ -60,7 +62,7 @@ impl<F: Fp> Query<F> {
 }
 
 /// Construction-time knobs of an [`Engine`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct EngineOptions {
     /// Upload dense/conv weights into device-resident buffers at
     /// construction (falls back per-layer to borrowing host weights when
@@ -76,6 +78,31 @@ pub struct EngineOptions {
     /// (roughly `2 * size_of::<F>() * total neuron count` host bytes), so
     /// size this down for very large networks or long-lived engines.
     pub analysis_cache: usize,
+    /// ε-monotone cache reuse: on an analysis-cache miss at box `B`, probe
+    /// for a cached analysis whose box *contains* `B` and try to prove the
+    /// spec against it first. Sound for **proving only** (a superset box's
+    /// bounds over-approximate the subset's); whenever the superset proof
+    /// fails, the exact analysis is computed so refutation margins stay
+    /// exact. Off by default because proofs served this way carry the
+    /// superset's (looser, still sound) margins rather than the exact-path
+    /// bit pattern.
+    pub monotone_cache_reuse: bool,
+    /// Minimum unstable-neuron overlap below which
+    /// [`Engine::verify_batch_fused`] falls back to the per-query path.
+    ///
+    /// Overlap measures how much the fused queries agree on *which*
+    /// neurons need refinement: selections and their union are pooled
+    /// across every refinable ReLU layer into one ratio
+    /// `Σ_q |sel_q| / (Q · |∪_q sel_q|)`, which lives in `[1/Q, 1]` — `1`
+    /// when all `Q` to-be-analyzed queries select identical neuron sets,
+    /// `1/Q` when fully disjoint. Because of that floor the default only
+    /// bites for large, heavily divergent batches (disjoint selections
+    /// stack rows that stop at very different walk depths, churning
+    /// compaction and chunk memory for little launch saving); below the
+    /// threshold the engine runs plain [`Engine::verify_batch`] instead.
+    /// Scheduling only — fused and per-query margins are bit-identical
+    /// either way.
+    pub fusion_min_overlap: f64,
 }
 
 impl Default for EngineOptions {
@@ -84,6 +111,8 @@ impl Default for EngineOptions {
             pack_weights: true,
             recycle_buffers: true,
             analysis_cache: 64,
+            monotone_cache_reuse: false,
+            fusion_min_overlap: 0.05,
         }
     }
 }
@@ -97,23 +126,36 @@ impl EngineOptions {
             pack_weights: false,
             recycle_buffers: false,
             analysis_cache: 0,
+            ..Self::default()
         }
     }
 }
 
 /// A point-in-time snapshot of the counters a serving layer needs for
 /// admission decisions and observability (see [`Engine::stats`]).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct EngineStats {
     /// Analysis-cache lookups served from the cache.
     pub cache_hits: u64,
     /// Analyses actually computed (true cache misses).
     pub cache_misses: u64,
+    /// Queries proven through ε-monotone reuse of a containing box's
+    /// analysis ([`EngineOptions::monotone_cache_reuse`]).
+    pub monotone_hits: u64,
     /// Bytes of network weights resident on the device.
     pub resident_bytes: usize,
     /// Refinable ReLU layers in the prepared schedule (the depth factor of
     /// [`Engine::query_cost`]).
     pub relu_layers: usize,
+    /// Batches that ran through the fused cross-query path
+    /// ([`Engine::verify_batch_fused`] without falling back).
+    pub fused_batches: u64,
+    /// Exponentially-weighted moving average of measured wall milliseconds
+    /// per unit of [`Engine::query_cost`], fed by every `verify_batch` /
+    /// `verify_batch_fused` call. `0.0` until the first measured batch.
+    /// Admission layers multiply it with a query's cost hint to weigh a
+    /// queue by estimated *time* instead of raw query count.
+    pub ewma_ms_per_cost: f64,
 }
 
 /// Per-layer weight storage: device-resident when packed, borrowed from the
@@ -311,16 +353,26 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
 /// (a multi-KB vector for image-sized inputs — cloned once, never copied).
 type BoxKey = Arc<[u64]>;
 
+/// Per-query result slots of a fused batch (`None` = not yet resolved).
+type VerdictSlots<F> = Vec<Option<Result<RobustnessVerdict<F>, VerifyError>>>;
+
+/// One cached analysis together with the box it was computed over (kept so
+/// ε-monotone reuse can probe for containment without decoding key bits).
+struct CacheEntry<F> {
+    input: Box<[Itv<F>]>,
+    analysis: Arc<Analysis<F>>,
+}
+
 /// LRU cache of analyses keyed by the exact bit pattern of the input box.
 struct AnalysisCache<F> {
     capacity: usize,
-    map: HashMap<BoxKey, Arc<Analysis<F>>>,
+    map: HashMap<BoxKey, CacheEntry<F>>,
     order: VecDeque<BoxKey>,
     hits: u64,
     misses: u64,
 }
 
-impl<F> AnalysisCache<F> {
+impl<F: Fp> AnalysisCache<F> {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
@@ -333,7 +385,7 @@ impl<F> AnalysisCache<F> {
 
     fn get(&mut self, key: &[u64]) -> Option<Arc<Analysis<F>>> {
         let (stored_key, hit) = self.map.get_key_value(key)?;
-        let (stored_key, hit) = (stored_key.clone(), hit.clone());
+        let (stored_key, hit) = (stored_key.clone(), hit.analysis.clone());
         self.hits += 1;
         // LRU bump: identity comparison — the deque shares the map's Arcs.
         if let Some(pos) = self.order.iter().position(|k| Arc::ptr_eq(k, &stored_key)) {
@@ -341,6 +393,44 @@ impl<F> AnalysisCache<F> {
             self.order.push_back(k);
         }
         Some(hit)
+    }
+
+    /// Whether the exact box is cached, without counting a hit or bumping
+    /// the LRU order (used by planning passes that will probe again).
+    fn peek(&self, key: &[u64]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// ε-monotone probe: a cached analysis whose box strictly *contains*
+    /// `input` (sound over-approximation of it). Exact matches return
+    /// `None` — the caller's normal lookup path handles those. Among
+    /// several containing boxes the tightest (smallest total width) wins,
+    /// ties broken by key bits so the choice never depends on hash-map
+    /// iteration order. Does not count a hit or bump the LRU.
+    fn get_containing(&self, key: &[u64], input: &[Itv<F>]) -> Option<Arc<Analysis<F>>> {
+        let mut best: Option<(&BoxKey, &CacheEntry<F>, f64)> = None;
+        for (k, entry) in &self.map {
+            if **k == *key || entry.input.len() != input.len() {
+                continue;
+            }
+            if !entry
+                .input
+                .iter()
+                .zip(input)
+                .all(|(sup, sub)| sup.contains_itv(*sub))
+            {
+                continue;
+            }
+            let width: f64 = entry.input.iter().map(|b| b.width().to_f64()).sum();
+            let better = match &best {
+                None => true,
+                Some((bk, _, bw)) => width < *bw || (width == *bw && k.as_ref() < bk.as_ref()),
+            };
+            if better {
+                best = Some((k, entry, width));
+            }
+        }
+        best.map(|(_, entry, _)| entry.analysis.clone())
     }
 
     /// Records one analysis actually computed (a true miss). Counted at
@@ -351,11 +441,15 @@ impl<F> AnalysisCache<F> {
         self.misses += 1;
     }
 
-    fn insert(&mut self, key: BoxKey, analysis: Arc<Analysis<F>>) {
+    fn insert(&mut self, key: BoxKey, input: &[Itv<F>], analysis: Arc<Analysis<F>>) {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(key.clone(), analysis).is_none() {
+        let entry = CacheEntry {
+            input: input.into(),
+            analysis,
+        };
+        if self.map.insert(key.clone(), entry).is_none() {
             self.order.push_back(key);
         }
         while self.map.len() > self.capacity {
@@ -372,6 +466,26 @@ fn box_key<F: Fp>(input: &[Itv<F>]) -> BoxKey {
         .iter()
         .flat_map(|b| [b.lo.bits(), b.hi.bits()])
         .collect()
+}
+
+/// The engine-free form of [`Engine::query_cost`]: total clamped input-box
+/// width times the refinable-ReLU-layer count. Admission layers that don't
+/// own the engine (e.g. a serving daemon's connection threads) compute the
+/// same hint from mirrored metadata; multiplied by the measured
+/// [`EngineStats::ewma_ms_per_cost`] it estimates a query's wall time.
+pub fn query_cost_hint<F: Fp>(image: &[F], eps: F, relu_layers: usize) -> f64 {
+    if !eps.is_finite() {
+        return 0.0;
+    }
+    let width: f64 = image
+        .iter()
+        .map(|&x| {
+            let lo = (x - eps).max(F::ZERO).min(F::ONE);
+            let hi = (x + eps).max(F::ZERO).min(F::ONE);
+            (hi - lo).max(F::ZERO).to_f64()
+        })
+        .sum();
+    width * relu_layers.max(1) as f64
 }
 
 /// The network-resident verification engine — see the module docs.
@@ -408,6 +522,13 @@ pub struct Engine<'n, F: Fp, B: Backend> {
     /// for the same box block on the gate and then hit the cache.
     in_flight: Mutex<HashMap<BoxKey, Arc<Mutex<()>>>>,
     options: EngineOptions,
+    /// Queries proven via ε-monotone reuse of a containing box's analysis.
+    monotone_hits: AtomicU64,
+    /// Batches that went through the fused path without falling back.
+    fused_batches: AtomicU64,
+    /// EWMA of measured wall ms per unit of [`Engine::query_cost`] (f64
+    /// bit pattern; `0` until the first measured batch).
+    ewma_ms_per_cost: AtomicU64,
 }
 
 impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
@@ -451,6 +572,9 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             cache: Mutex::new(AnalysisCache::new(options.analysis_cache)),
             in_flight: Mutex::new(HashMap::new()),
             options,
+            monotone_hits: AtomicU64::new(0),
+            fused_batches: AtomicU64::new(0),
+            ewma_ms_per_cost: AtomicU64::new(0),
         })
     }
 
@@ -483,15 +607,39 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     }
 
     /// A snapshot of the serving-relevant counters: cache hits/misses,
-    /// resident weight bytes and the ReLU schedule depth.
+    /// resident weight bytes, the ReLU schedule depth and the measured
+    /// per-cost batch-time EWMA.
     pub fn stats(&self) -> EngineStats {
         let (cache_hits, cache_misses) = self.cache_stats();
         EngineStats {
             cache_hits,
             cache_misses,
+            monotone_hits: self.monotone_hits.load(Ordering::Relaxed),
             resident_bytes: self.prepared.resident_bytes(),
             relu_layers: self.prepared.relu_plan().len(),
+            fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            ewma_ms_per_cost: f64::from_bits(self.ewma_ms_per_cost.load(Ordering::Relaxed)),
         }
+    }
+
+    /// Folds one measured batch (wall time, total [`Engine::query_cost`])
+    /// into the ms-per-cost EWMA exposed via [`EngineStats`].
+    fn note_batch_time(&self, elapsed_ms: f64, total_cost: f64) {
+        if total_cost <= 0.0 || total_cost.is_nan() || !elapsed_ms.is_finite() {
+            return;
+        }
+        let sample = elapsed_ms / total_cost;
+        let _ = self
+            .ewma_ms_per_cost
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                let old = f64::from_bits(bits);
+                let new = if old == 0.0 {
+                    sample
+                } else {
+                    0.2 * sample + 0.8 * old
+                };
+                Some(new.to_bits())
+            });
     }
 
     /// A cheap, deterministic cost estimate for one query: the total width
@@ -506,19 +654,10 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// values) get a zero estimate — they will be rejected as
     /// [`VerifyError::BadQuery`] at verification time, costing nothing.
     pub fn query_cost(&self, query: &Query<F>) -> f64 {
-        if query.image.len() != self.graph.nodes[0].shape.len() || !query.eps.is_finite() {
+        if query.image.len() != self.graph.nodes[0].shape.len() {
             return 0.0;
         }
-        let width: f64 = query
-            .image
-            .iter()
-            .map(|&x| {
-                let lo = (x - query.eps).max(F::ZERO).min(F::ONE);
-                let hi = (x + query.eps).max(F::ZERO).min(F::ONE);
-                (hi - lo).max(F::ZERO).to_f64()
-            })
-            .sum();
-        width * self.prepared.relu_plan().len().max(1) as f64
+        query_cost_hint(&query.image, query.eps, self.prepared.relu_plan().len())
     }
 
     /// Runs (or reuses) the full DeepPoly analysis over an input box,
@@ -579,7 +718,9 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                     let out = match result {
                         Ok(analysis) => {
                             let analysis = Arc::new(analysis);
-                            self.cache.lock().insert(key.clone(), analysis.clone());
+                            self.cache
+                                .lock()
+                                .insert(key.clone(), input, analysis.clone());
                             Ok(analysis)
                         }
                         Err(e) => Err(e),
@@ -598,6 +739,13 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// Proves (or fails to prove) each row of a linear output spec over an
     /// input box.
     ///
+    /// With [`EngineOptions::monotone_cache_reuse`] on, an analysis-cache
+    /// miss first probes for a cached analysis over a *containing* box: its
+    /// bounds soundly over-approximate this box, so a successful proof
+    /// against them stands (with the superset's looser-but-sound margins).
+    /// Any row left unproven falls through to the exact analysis — the
+    /// over-approximation is never used to refute.
+    ///
     /// # Errors
     ///
     /// [`VerifyError::BadQuery`] for an empty spec, out-of-range output
@@ -608,6 +756,27 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         input: &[Itv<F>],
         spec: &LinearSpec<F>,
     ) -> Result<SpecVerdict<F>, VerifyError> {
+        if self.options.monotone_cache_reuse
+            && input.len() == self.graph.nodes[0].shape.len()
+            && input.iter().all(|b| !b.lo.is_nan() && !b.hi.is_nan())
+        {
+            let key = box_key(input);
+            let superset = {
+                let cache = self.cache.lock();
+                if cache.peek(&key) {
+                    None // exact hit: the normal path serves (and counts) it
+                } else {
+                    cache.get_containing(&key, input)
+                }
+            };
+            if let Some(superset) = superset {
+                let verdict = self.check_spec_with(&superset, spec)?;
+                if verdict.all_proven() {
+                    self.monotone_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(verdict);
+                }
+            }
+        }
         let analysis = self.analyze(input)?;
         self.check_spec_with(&analysis, spec)
     }
@@ -680,11 +849,11 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             device: &self.device,
             graph: &self.graph,
             prepared: &self.prepared,
-            bounds: &analysis.bounds,
+            seg_bounds: vec![analysis.bounds.as_slice()],
         };
         let out = walker.run(batch, rule)?;
         let mut stats = analysis.stats.clone();
-        stats.absorb_walk(out.rows_stopped_early, out.candidates);
+        stats.absorb_walk(out.stopped_rows.len(), out.candidates);
         let lower_bounds: Vec<F> = out.best.iter().map(|b| b.lo).collect();
         let proven: Vec<bool> = lower_bounds.iter().map(|&l| l > F::ZERO).collect();
         Ok(SpecVerdict {
@@ -708,6 +877,21 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         label: usize,
         eps: F,
     ) -> Result<RobustnessVerdict<F>, VerifyError> {
+        let input = self.robustness_box(image, label, eps)?;
+        let out_len = self.graph.nodes[self.graph.output()].shape.len();
+        let spec = LinearSpec::robustness(label, out_len);
+        let verdict = self.verify_spec(&input, &spec)?;
+        Ok(Self::robustness_verdict(label, out_len, verdict))
+    }
+
+    /// Validates one robustness query and builds its clamped input box —
+    /// the shared admission gate of the per-query and fused paths.
+    fn robustness_box(
+        &self,
+        image: &[F],
+        label: usize,
+        eps: F,
+    ) -> Result<Vec<Itv<F>>, VerifyError> {
         let in_len = self.graph.nodes[0].shape.len();
         if image.len() != in_len {
             return Err(VerifyError::BadQuery(format!(
@@ -719,6 +903,11 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             return Err(VerifyError::BadQuery("NaN image value".to_string()));
         }
         let out_len = self.graph.nodes[self.graph.output()].shape.len();
+        if out_len < 2 {
+            return Err(VerifyError::BadQuery(format!(
+                "network has {out_len} output(s); robustness needs at least two"
+            )));
+        }
         if label >= out_len {
             return Err(VerifyError::BadQuery(format!(
                 "label {label} out of range for {out_len} outputs"
@@ -729,12 +918,18 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                 "epsilon must be finite and non-negative, got {eps}"
             )));
         }
-        let input: Vec<Itv<F>> = image
+        Ok(image
             .iter()
             .map(|&x| Itv::new(x - eps, x + eps).clamp_to(F::ZERO, F::ONE))
-            .collect();
-        let spec = LinearSpec::robustness(label, out_len);
-        let verdict = self.verify_spec(&input, &spec)?;
+            .collect())
+    }
+
+    /// Shapes a robustness-spec verdict into per-adversary margins.
+    fn robustness_verdict(
+        label: usize,
+        out_len: usize,
+        verdict: SpecVerdict<F>,
+    ) -> RobustnessVerdict<F> {
         let margins: Vec<Margin<F>> = (0..out_len)
             .filter(|&o| o != label)
             .zip(verdict.lower_bounds.iter().zip(&verdict.proven))
@@ -744,11 +939,11 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                 proven,
             })
             .collect();
-        Ok(RobustnessVerdict {
+        RobustnessVerdict {
             verified: verdict.all_proven(),
             margins,
             stats: verdict.stats,
-        })
+        }
     }
 
     /// Verifies a batch of independent robustness queries in parallel
@@ -767,6 +962,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         &self,
         queries: &[Query<F>],
     ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let started = Instant::now();
         let cost: Vec<f64> = queries.iter().map(|q| self.query_cost(q)).collect();
         let mut order: Vec<usize> = (0..queries.len()).collect();
         order.sort_by(|&a, &b| cost[b].total_cmp(&cost[a]).then(a.cmp(&b)));
@@ -780,8 +976,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                     })
                     .collect()
             });
-        let mut slots: Vec<Option<Result<RobustnessVerdict<F>, VerifyError>>> =
-            queries.iter().map(|_| None).collect();
+        let mut slots: VerdictSlots<F> = queries.iter().map(|_| None).collect();
         for (i, r) in computed {
             slots[i] = Some(r);
         }
@@ -802,7 +997,384 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                 *slot = self.verify_robustness(&q.image, q.label, q.eps);
             }
         }
+        self.note_batch_time(
+            started.elapsed().as_secs_f64() * 1e3,
+            cost.iter().sum::<f64>(),
+        );
         results
+    }
+
+    /// Verifies a batch of robustness queries over the same network with
+    /// **cross-query kernel fusion**: the backsubstitution rows of every
+    /// admitted query are stacked into one [`ExprBatch`] per layer step, so
+    /// each step issues one large GEMM/GBC/ReLU/compaction launch for the
+    /// whole batch instead of one small walk per query — the paper's
+    /// batched-bounds scaling lever applied *across* queries.
+    ///
+    /// Semantics are identical to [`Engine::verify_batch`]: each query's
+    /// margins are **bit-identical** to the sequential
+    /// [`Engine::verify_robustness`] path (rows never interact across
+    /// queries; per-row arithmetic, refinement schedules and relaxation
+    /// choices are exactly the per-query ones), repeated input boxes share
+    /// one analysis through the cache, and results come back in submission
+    /// order.
+    ///
+    /// The engine falls back to the per-query path when fusion is
+    /// unprofitable: fewer than two fusable queries, unstable-neuron
+    /// overlap below [`EngineOptions::fusion_min_overlap`], or a device
+    /// out-of-memory inside the fused pipeline (per-query chunking is
+    /// strictly more memory-frugal). With
+    /// [`EngineOptions::monotone_cache_reuse`] enabled the batch also
+    /// delegates to [`Engine::verify_batch`]: under that (off-by-default)
+    /// option proofs may carry a containing box's margins depending on
+    /// cache state, and that probe lives on the per-query path — routing
+    /// through it keeps every entry point's behavior identical.
+    pub fn verify_batch_fused(
+        &self,
+        queries: &[Query<F>],
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        if self.options.monotone_cache_reuse {
+            return self.verify_batch(queries);
+        }
+        let started = Instant::now();
+        let total_cost: f64 = queries.iter().map(|q| self.query_cost(q)).sum();
+
+        // Validate up front: malformed queries get their BadQuery slot and
+        // never reach the fused pipeline.
+        let mut slots: VerdictSlots<F> = queries.iter().map(|_| None).collect();
+        let mut fusable: Vec<usize> = Vec::new();
+        let mut boxes: Vec<Vec<Itv<F>>> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            match self.robustness_box(&q.image, q.label, q.eps) {
+                Ok(input) => {
+                    fusable.push(i);
+                    boxes.push(input);
+                }
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+        if fusable.len() < 2 {
+            return self.verify_batch(queries);
+        }
+
+        // Unique boxes in first-appearance order; `group_of[j]` maps the
+        // j-th fusable query to its group.
+        let keys: Vec<BoxKey> = boxes.iter().map(|b| box_key(b)).collect();
+        let mut group_index: HashMap<&[u64], usize> = HashMap::new();
+        let mut groups: Vec<usize> = Vec::new(); // representative index into `boxes`
+        let mut group_of: Vec<usize> = Vec::with_capacity(fusable.len());
+        for (j, key) in keys.iter().enumerate() {
+            let g = *group_index.entry(key.as_ref()).or_insert_with(|| {
+                groups.push(j);
+                groups.len() - 1
+            });
+            group_of.push(g);
+        }
+
+        // Which groups miss the cache (peeked without counting — the real
+        // lookups below replicate the sequential hit/miss accounting).
+        let caching = self.options.analysis_cache > 0;
+        let missed: Vec<usize> = {
+            let cache = self.cache.lock();
+            (0..groups.len())
+                .filter(|&g| !caching || !cache.peek(&keys[groups[g]]))
+                .collect()
+        };
+
+        // Preliminary forward interval pass per missed box: both the seed
+        // bounds of the fused analysis and the input to the fusion
+        // heuristic. Each pass is independent — run them across the device
+        // workers so a wide batch doesn't serialize this phase on the
+        // calling thread.
+        let prelim: Vec<Vec<Vec<Itv<F>>>> = self.device.install(|| {
+            missed
+                .par_iter()
+                .map(|&g| self.graph.eval_itv(&boxes[groups[g]]))
+                .collect()
+        });
+        if self.fusion_overlap(&prelim) < self.options.fusion_min_overlap {
+            return self.verify_batch(queries);
+        }
+
+        match self.fused_pipeline(
+            queries, &fusable, &boxes, &keys, &groups, &group_of, &missed, prelim,
+        ) {
+            Ok(mut fused_results) => {
+                self.fused_batches.fetch_add(1, Ordering::Relaxed);
+                for (j, &i) in fusable.iter().enumerate() {
+                    slots[i] = Some(fused_results[j].take().expect("one verdict per query"));
+                }
+                self.note_batch_time(started.elapsed().as_secs_f64() * 1e3, total_cost);
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every slot filled"))
+                    .collect()
+            }
+            // Any device failure inside the fused pipeline (OOM while a
+            // stacked chunk held more rows than per-query chunks would):
+            // the per-query path is strictly more memory-frugal, so retry
+            // through it rather than surfacing a fusion artifact.
+            Err(_) => self.verify_batch(queries),
+        }
+    }
+
+    /// Mean agreement of the missed boxes on *which* neurons are unstable
+    /// (see [`EngineOptions::fusion_min_overlap`]); `1.0` when nothing
+    /// needs refining, when fewer than two analyses are missing, or when
+    /// early termination is off (every row is refined regardless).
+    fn fusion_overlap(&self, prelim: &[Vec<Vec<Itv<F>>>]) -> f64 {
+        if prelim.len() < 2 || !self.cfg.early_termination {
+            return 1.0;
+        }
+        let mut total_sel = 0usize;
+        let mut total_union = 0usize;
+        for &(_, p) in self.prepared.relu_plan() {
+            let width = self.graph.nodes[p].shape.len();
+            let mut in_any = vec![false; width];
+            for b in prelim {
+                for (i, flag) in in_any.iter_mut().enumerate() {
+                    if b[p][i].straddles_zero() {
+                        total_sel += 1;
+                        *flag = true;
+                    }
+                }
+            }
+            total_union += in_any.iter().filter(|&&x| x).count();
+        }
+        if total_union == 0 {
+            return 1.0;
+        }
+        total_sel as f64 / (prelim.len() as f64 * total_union as f64)
+    }
+
+    /// The fused pipeline proper: resolve one analysis per unique box
+    /// (cache or fused multi-query analysis), then prove every query's
+    /// robustness spec in one fused multi-segment walk.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_pipeline(
+        &self,
+        queries: &[Query<F>],
+        fusable: &[usize],
+        boxes: &[Vec<Itv<F>>],
+        keys: &[BoxKey],
+        groups: &[usize],
+        group_of: &[usize],
+        missed: &[usize],
+        prelim: Vec<Vec<Vec<Itv<F>>>>,
+    ) -> Result<VerdictSlots<F>, VerifyError> {
+        let caching = self.options.analysis_cache > 0;
+
+        /// Removes claimed in-flight gate entries even if the owner
+        /// unwinds (same hygiene as the sequential path's gate handling).
+        struct GateSet<'a> {
+            map: &'a Mutex<HashMap<BoxKey, Arc<Mutex<()>>>>,
+            keys: Vec<BoxKey>,
+        }
+        impl Drop for GateSet<'_> {
+            fn drop(&mut self) {
+                let mut map = self.map.lock();
+                for key in &self.keys {
+                    map.remove(key);
+                }
+            }
+        }
+
+        let mut analyses: Vec<Option<Arc<Analysis<F>>>> = vec![None; groups.len()];
+        let mut own = vec![false; groups.len()];
+        {
+            // Dedup against concurrent analyses of the same boxes: claim an
+            // in-flight gate per missed box, exactly like [`Engine::analyze`].
+            // A box another thread is already computing is *deferred* — left
+            // out of our fused analysis and resolved through the gated path
+            // below, which blocks on that thread's gate and serves the cache.
+            let (gate_arcs, claimed) = if caching {
+                let mut in_flight = self.in_flight.lock();
+                let mut arcs = Vec::new();
+                let mut claimed = Vec::new();
+                for &g in missed {
+                    let key = &keys[groups[g]];
+                    if in_flight.contains_key(key) {
+                        continue; // someone else is computing this box
+                    }
+                    let gate = Arc::new(Mutex::new(()));
+                    in_flight.insert(key.clone(), gate.clone());
+                    own[g] = true;
+                    arcs.push(gate);
+                    claimed.push(key.clone());
+                }
+                (arcs, claimed)
+            } else {
+                for &g in missed {
+                    own[g] = true;
+                }
+                (Vec::new(), Vec::new())
+            };
+            // Hold every claimed gate for the compute+publish window so
+            // concurrent `analyze` callers park on it instead of spinning.
+            let _guards: Vec<_> = gate_arcs.iter().map(|g| g.lock()).collect();
+            let _gate_set = GateSet {
+                map: &self.in_flight,
+                keys: claimed,
+            };
+
+            // Re-check after the claim, like the sequential path: an owner
+            // may have finished (insert + gate removal) between our cache
+            // peek and our claim — recomputing would waste a full analysis
+            // and double-count the miss.
+            if caching {
+                let mut cache = self.cache.lock();
+                for &g in missed {
+                    if own[g] {
+                        if let Some(hit) = cache.get(&keys[groups[g]]) {
+                            analyses[g] = Some(hit); // counts the hit
+                            own[g] = false;
+                        }
+                    }
+                }
+            }
+
+            // Fused analysis of every owned missed box (`prelim` is indexed
+            // like `missed`; select the owned subset).
+            let mut owned_groups: Vec<usize> = Vec::new();
+            let mut owned_inputs: Vec<&[Itv<F>]> = Vec::new();
+            let mut owned_prelim: Vec<Vec<Vec<Itv<F>>>> = Vec::new();
+            for (&g, pre) in missed.iter().zip(prelim) {
+                if own[g] {
+                    owned_groups.push(g);
+                    owned_inputs.push(boxes[groups[g]].as_slice());
+                    owned_prelim.push(pre);
+                }
+            }
+            let computed: Vec<Arc<Analysis<F>>> = analyze_fused(
+                &self.device,
+                &self.graph,
+                &self.prepared,
+                &self.cfg,
+                &owned_inputs,
+                owned_prelim,
+            )?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+
+            // Publish to the cache with sequential-path accounting: one true
+            // miss per computed analysis, one hit for every other lookup of
+            // a group. Already-cached groups are pinned *before* the inserts
+            // so a small-capacity LRU can't evict them mid-batch.
+            if caching {
+                let mut cache = self.cache.lock();
+                for (g, &rep) in groups.iter().enumerate() {
+                    if !missed.contains(&g) {
+                        analyses[g] = cache.get(&keys[rep]); // counts the hit
+                    }
+                }
+                for (&g, analysis) in owned_groups.iter().zip(&computed) {
+                    cache.note_computed();
+                    cache.insert(keys[groups[g]].clone(), &boxes[groups[g]], analysis.clone());
+                    analyses[g] = Some(analysis.clone());
+                }
+                // Each further query of a group is one more cache-served
+                // lookup.
+                let mut first_use = vec![true; groups.len()];
+                for &g in group_of {
+                    if first_use[g] {
+                        first_use[g] = false;
+                    } else {
+                        let _ = cache.get(&keys[groups[g]]);
+                    }
+                }
+            } else {
+                for (&g, analysis) in owned_groups.iter().zip(&computed) {
+                    analyses[g] = Some(analysis.clone());
+                }
+            }
+            // Gates release here (cache already holds the results), so the
+            // deferred/raced resolution below can never self-deadlock.
+        }
+        // A group can still be unresolved: deferred to a concurrent
+        // thread's in-flight computation, or evicted between our peek and
+        // the pinning get. The normal gated path waits/recomputes.
+        let analyses: Vec<Arc<Analysis<F>>> = analyses
+            .into_iter()
+            .enumerate()
+            .map(|(g, a)| match a {
+                Some(a) => Ok(a),
+                None => self.analyze(&boxes[groups[g]]),
+            })
+            .collect::<Result<_, _>>()?;
+
+        // One fused multi-segment spec walk for every query: segment j uses
+        // query j's analysis bounds, rows are its robustness-spec rows.
+        let out_node = self.graph.output();
+        let out_shape = self.graph.nodes[out_node].shape;
+        let out_len = out_shape.len();
+        let mut spec_batches = Vec::with_capacity(fusable.len());
+        for &i in fusable {
+            let label = queries[i].label;
+            let spec = LinearSpec::robustness(label, out_len);
+            let mut batch = ExprBatch::zeroed(
+                &self.device,
+                out_node,
+                out_shape,
+                (out_shape.h, out_shape.w),
+                vec![(0, 0); spec.rows().len()],
+            )?;
+            for (r, row) in spec.rows().iter().enumerate() {
+                for &(o, c) in &row.coeffs {
+                    batch.set_coeff(r, o, Itv::point(c));
+                }
+                batch.add_cst(r, Itv::point(row.cst));
+            }
+            spec_batches.push(batch);
+        }
+        let rows_per_query: Vec<usize> = spec_batches.iter().map(ExprBatch::rows).collect();
+        let stacked = ExprBatch::stack(&self.device, spec_batches)?;
+        let rule = if self.cfg.early_termination {
+            StopRule::ProvenPositive
+        } else {
+            StopRule::None
+        };
+        let walker = Walker {
+            device: &self.device,
+            graph: &self.graph,
+            prepared: &self.prepared,
+            seg_bounds: group_of
+                .iter()
+                .map(|&g| analyses[g].bounds.as_slice())
+                .collect(),
+        };
+        let out = walker.run(stacked, rule)?;
+
+        // Split the joint outcome back into per-query verdicts.
+        let mut offsets = Vec::with_capacity(fusable.len());
+        let mut at = 0usize;
+        for &rows in &rows_per_query {
+            offsets.push(at);
+            at += rows;
+        }
+        let mut stopped_per_query = vec![0usize; fusable.len()];
+        for &r in &out.stopped_rows {
+            let q = offsets
+                .partition_point(|&o| o <= r as usize)
+                .saturating_sub(1);
+            stopped_per_query[q] += 1;
+        }
+        let mut results = Vec::with_capacity(fusable.len());
+        for (j, &i) in fusable.iter().enumerate() {
+            let label = queries[i].label;
+            let best = &out.best[offsets[j]..offsets[j] + rows_per_query[j]];
+            let lower_bounds: Vec<F> = best.iter().map(|b| b.lo).collect();
+            let proven: Vec<bool> = lower_bounds.iter().map(|&l| l > F::ZERO).collect();
+            let mut stats = analyses[group_of[j]].stats.clone();
+            stats.absorb_walk(stopped_per_query[j], out.candidates);
+            let verdict = SpecVerdict {
+                proven,
+                lower_bounds,
+                stats,
+            };
+            results.push(Some(Ok(Self::robustness_verdict(label, out_len, verdict))));
+        }
+        Ok(results)
     }
 }
 

@@ -17,6 +17,16 @@
 //! from padding) are *virtual*: they correspond to zero padding, carry zero
 //! coefficients (an invariant maintained by every step), and are skipped by
 //! all consumers.
+//!
+//! # Query segments (cross-query fusion)
+//!
+//! A batch additionally carries a per-row **query-segment** index: rows
+//! stacked from several independent queries over the same network fuse into
+//! one batch (one GEMM/scan/gather launch per backsubstitution step instead
+//! of one per query), while [`ExprBatch::concretize_per_seg`] evaluates each
+//! row against *its own* query's concrete bounds. Single-query batches use
+//! segment `0` throughout; every per-row operation is unchanged, so fused
+//! results are bit-identical to running each query's rows alone.
 
 use gpupoly_device::{scan, Backend, Device, DeviceBuffer};
 use gpupoly_interval::{dot, round, Fp, Itv};
@@ -38,6 +48,8 @@ pub struct ExprBatch<F: Fp, B: Backend> {
     win_h: usize,
     win_w: usize,
     origins: Vec<(i32, i32)>,
+    /// Per-row query-segment index (all `0` for single-query batches).
+    seg: Vec<u32>,
     lo: DeviceBuffer<Itv<F>, B>,
     hi: DeviceBuffer<Itv<F>, B>,
     cst_lo: Vec<Itv<F>>,
@@ -65,6 +77,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             win_h,
             win_w,
             origins,
+            seg: vec![0; rows],
             lo: DeviceBuffer::zeroed(device, rows * cols)?,
             hi: DeviceBuffer::zeroed(device, rows * cols)?,
             cst_lo: vec![Itv::zero(); rows],
@@ -301,6 +314,83 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
         &self.origins
     }
 
+    /// Per-row query-segment indices (all `0` for single-query batches).
+    pub fn segments(&self) -> &[u32] {
+        &self.seg
+    }
+
+    /// Number of query segments the rows reference (`max(seg) + 1`).
+    pub fn segment_count(&self) -> usize {
+        self.seg.iter().map(|&s| s as usize + 1).max().unwrap_or(1)
+    }
+
+    /// Copies the segment map from `other` (used by steps that rebuild the
+    /// batch's storage, e.g. the dense GEMM step).
+    pub(crate) fn inherit_segments(&mut self, other: &Self) {
+        debug_assert_eq!(self.rows(), other.rows());
+        self.seg.copy_from_slice(&other.seg);
+    }
+
+    /// Stacks batches from independent queries over the *same frontier*
+    /// into one fused batch: rows concatenate in order and row `r` of input
+    /// batch `k` gets segment index `k`. Every per-row quantity is copied
+    /// verbatim, so downstream per-row arithmetic is bit-identical to
+    /// processing each input batch alone.
+    ///
+    /// # Errors
+    ///
+    /// Device out-of-memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batches` is empty, when the batches disagree on
+    /// node/shape/window, or when an input batch is itself multi-segment.
+    pub fn stack(device: &Device<B>, batches: Vec<Self>) -> Result<Self, VerifyError> {
+        let first = batches.first().expect("stack: empty batch list");
+        let (node, shape) = (first.node, first.shape);
+        let (win_h, win_w) = (first.win_h, first.win_w);
+        let cols = first.cols();
+        let rows: usize = batches.iter().map(ExprBatch::rows).sum();
+        let mut origins = Vec::with_capacity(rows);
+        let mut seg = Vec::with_capacity(rows);
+        let mut cst_lo = Vec::with_capacity(rows);
+        let mut cst_hi = Vec::with_capacity(rows);
+        // The stack overwrites every element, so pool reuse can skip
+        // zero-initialization.
+        let mut lo = DeviceBuffer::for_overwrite(device, rows * cols)?;
+        let mut hi = DeviceBuffer::for_overwrite(device, rows * cols)?;
+        let mut at = 0usize;
+        for (k, b) in batches.iter().enumerate() {
+            assert_eq!(b.node, node, "stack: different frontier nodes");
+            assert_eq!(b.shape, shape, "stack: different frontier shapes");
+            assert_eq!((b.win_h, b.win_w), (win_h, win_w), "stack: window mismatch");
+            debug_assert!(
+                b.seg.iter().all(|&s| s == 0),
+                "stack: input batch is already multi-segment"
+            );
+            let n = b.rows() * cols;
+            lo[at..at + n].copy_from_slice(&b.lo);
+            hi[at..at + n].copy_from_slice(&b.hi);
+            at += n;
+            origins.extend_from_slice(&b.origins);
+            seg.resize(seg.len() + b.rows(), k as u32);
+            cst_lo.extend_from_slice(&b.cst_lo);
+            cst_hi.extend_from_slice(&b.cst_hi);
+        }
+        Ok(Self {
+            node,
+            shape,
+            win_h,
+            win_w,
+            origins,
+            seg,
+            lo,
+            hi,
+            cst_lo,
+            cst_hi,
+        })
+    }
+
     /// `true` when the window covers the whole frontier layer for all rows.
     pub fn is_full(&self) -> bool {
         self.win_h == self.shape.h
@@ -358,15 +448,44 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
     /// concrete bounds (the "substitute concrete bounds" step of
     /// backsubstitution, §2). Returns `[lower, upper]` per row.
     ///
+    /// Single-query convenience over [`ExprBatch::concretize_per_seg`].
+    ///
     /// # Panics
     ///
     /// Panics when `bounds` does not match the frontier node's length.
     pub fn concretize(&self, device: &Device<B>, bounds: &[Itv<F>]) -> Vec<Itv<F>> {
-        assert_eq!(bounds.len(), self.shape.len(), "bounds length mismatch");
+        self.concretize_per_seg(device, &[bounds])
+    }
+
+    /// Segment-aware concretization: row `r` is evaluated against
+    /// `bounds_per_seg[seg[r]]` — each fused query's rows substitute *its
+    /// own* concrete bounds of the frontier node, in one kernel launch for
+    /// the whole stacked batch. Per-row arithmetic is identical to
+    /// [`ExprBatch::concretize`] on the row's own query, so fused candidates
+    /// are bit-identical to per-query ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a segment index is out of range or a bounds slice does
+    /// not match the frontier node's length.
+    pub fn concretize_per_seg(
+        &self,
+        device: &Device<B>,
+        bounds_per_seg: &[&[Itv<F>]],
+    ) -> Vec<Itv<F>> {
+        for b in bounds_per_seg {
+            assert_eq!(b.len(), self.shape.len(), "bounds length mismatch");
+        }
+        assert!(
+            self.segment_count() <= bounds_per_seg.len(),
+            "segment index out of range for {} bounds slices",
+            bounds_per_seg.len()
+        );
         let mut out = vec![Itv::top(); self.rows()];
         let cols = self.cols();
         let chans = self.shape.c;
         device.par_map_mut(&mut out, |r, v| {
+            let bounds = bounds_per_seg[self.seg[r] as usize];
             let lo_row = &self.lo[r * cols..(r + 1) * cols];
             let hi_row = &self.hi[r * cols..(r + 1) * cols];
             let mut lo = self.cst_lo[r].lo;
@@ -427,6 +546,10 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             .iter()
             .map(|&i| self.origins[i as usize])
             .collect::<Vec<_>>();
+        let seg = index
+            .iter()
+            .map(|&i| self.seg[i as usize])
+            .collect::<Vec<_>>();
         let cst_lo = index
             .iter()
             .map(|&i| self.cst_lo[i as usize])
@@ -441,6 +564,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             win_h: self.win_h,
             win_w: self.win_w,
             origins,
+            seg,
             lo: lo_new,
             hi: hi_new,
             cst_lo,
@@ -468,6 +592,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
         )?;
         full.cst_lo.copy_from_slice(&self.cst_lo);
         full.cst_hi.copy_from_slice(&self.cst_hi);
+        full.seg.copy_from_slice(&self.seg);
         let cols = self.cols();
         let fcols = full.cols();
         let chans = self.shape.c;
@@ -508,6 +633,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
         assert_eq!(a.node, b.node, "merge: different frontier nodes");
         assert_eq!(a.shape, b.shape, "merge: different frontier shapes");
         assert_eq!(a.rows(), b.rows(), "merge: different row counts");
+        assert_eq!(a.seg, b.seg, "merge: different segment maps");
         let rows = a.rows();
         // Union geometry: per-row min origin; uniform window sized to cover
         // the worst row.
@@ -523,6 +649,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             origins.push((oh, ow));
         }
         let mut m = Self::zeroed(device, a.node, a.shape, (uw_h, uw_w), origins)?;
+        m.seg.copy_from_slice(&a.seg);
         for r in 0..rows {
             m.cst_lo[r] = a.cst_lo[r].add(b.cst_lo[r]);
             m.cst_hi[r] = a.cst_hi[r].add(b.cst_hi[r]);
@@ -584,6 +711,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
                 win_h: self.win_h,
                 win_w: self.win_w,
                 origins: self.origins.clone(),
+                seg: self.seg.clone(),
                 lo: DeviceBuffer::from_slice(device, &self.lo)?,
                 hi: DeviceBuffer::from_slice(device, &self.hi)?,
                 cst_lo: if with_cst {

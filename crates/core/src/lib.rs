@@ -51,7 +51,7 @@ mod walk;
 
 pub use analysis::{Analysis, AnalysisStats};
 pub use config::VerifyConfig;
-pub use engine::{Engine, EngineOptions, EngineStats, PreparedGraph, Query};
+pub use engine::{query_cost_hint, Engine, EngineOptions, EngineStats, PreparedGraph, Query};
 pub use error::VerifyError;
 pub use expr::ExprBatch;
 pub use relax::ReluRelax;

@@ -85,6 +85,7 @@ pub fn step_dense_with<F: Fp, B: Backend>(
         (parent_shape.h, parent_shape.w),
         vec![(0, 0); rows],
     )?;
+    out.inherit_segments(&batch);
     let (src_lo, src_hi, src_cst_lo, src_cst_hi) = batch.planes();
     {
         let (out_lo, out_hi, out_cst_lo, out_cst_hi) = out.planes_mut();
@@ -190,6 +191,7 @@ pub fn step_conv_with<F: Fp, B: Backend>(
         .collect();
     let rows = batch.rows();
     let mut out = ExprBatch::zeroed(device, parent, conv.in_shape, new_win, new_origins)?;
+    out.inherit_segments(&batch);
     let cout = conv.out_shape.c;
     let cin = conv.in_shape.c;
     let src_cols = batch.cols();
@@ -283,27 +285,63 @@ pub fn step_conv_with<F: Fp, B: Backend>(
 /// `relax` must be derived from the bounds of the ReLU's *input* (parent)
 /// and `out_bounds` are the concrete bounds of the ReLU's *output* node.
 ///
+/// Single-query convenience over [`step_relu_per_seg`].
+///
 /// # Panics
 ///
 /// Panics when `relax`/`out_bounds` don't match the frontier length.
 pub fn step_relu<F: Fp, B: Backend>(
     device: &Device<B>,
-    mut batch: ExprBatch<F, B>,
+    batch: ExprBatch<F, B>,
     relax: &[ReluRelax<F>],
     out_bounds: &[Itv<F>],
     parent: NodeId,
 ) -> ExprBatch<F, B> {
-    assert_eq!(relax.len(), batch.shape().len(), "relax length mismatch");
+    step_relu_per_seg(device, batch, &[relax], &[out_bounds], parent)
+}
+
+/// Segment-aware ReLU step: row `r` substitutes the relaxation derived from
+/// *its own* query's neuron bounds (`relax_per_seg[seg[r]]`), in one launch
+/// per plane for the whole stacked batch. DeepPoly relaxations genuinely
+/// differ per query (each query's analysis gives its ReLU inputs different
+/// bounds), so the fused walk must select coefficients per segment; the
+/// per-row arithmetic is identical to [`step_relu`] on the row's own query.
+///
+/// # Panics
+///
+/// Panics when a segment index is out of range or a relax/out-bounds slice
+/// doesn't match the frontier length.
+pub fn step_relu_per_seg<F: Fp, B: Backend>(
+    device: &Device<B>,
+    mut batch: ExprBatch<F, B>,
+    relax_per_seg: &[&[ReluRelax<F>]],
+    out_bounds_per_seg: &[&[Itv<F>]],
+    parent: NodeId,
+) -> ExprBatch<F, B> {
     assert_eq!(
-        out_bounds.len(),
-        batch.shape().len(),
-        "out bounds length mismatch"
+        relax_per_seg.len(),
+        out_bounds_per_seg.len(),
+        "relax/out-bounds segment counts differ"
     );
+    assert!(
+        batch.segment_count() <= relax_per_seg.len(),
+        "segment index out of range for {} relaxation tables",
+        relax_per_seg.len()
+    );
+    for (relax, out_bounds) in relax_per_seg.iter().zip(out_bounds_per_seg) {
+        assert_eq!(relax.len(), batch.shape().len(), "relax length mismatch");
+        assert_eq!(
+            out_bounds.len(),
+            batch.shape().len(),
+            "out bounds length mismatch"
+        );
+    }
     let cols = batch.cols();
     let (win_h, win_w) = batch.window();
     let chans = batch.shape().c;
     let shape = batch.shape();
     let origins = batch.origins().to_vec();
+    let seg = batch.segments().to_vec();
     let rows = batch.rows();
     device.stats().add_flops(4 * (rows * cols) as u64 * 2);
     let is_real = |r: usize, i: usize, j: usize| {
@@ -320,6 +358,8 @@ pub fn step_relu<F: Fp, B: Backend>(
         let (lo, hi, cst_lo, cst_hi) = batch.planes_mut();
         // Lower plane: a >= 0 -> (alpha, beta); a <= 0 -> (gamma, delta).
         device.par_rows_with("relu_step_lo", lo, cols, cst_lo, |r, row, cst| {
+            let relax = relax_per_seg[seg[r] as usize];
+            let out_bounds = out_bounds_per_seg[seg[r] as usize];
             for i in 0..win_h {
                 for j in 0..win_w {
                     if !is_real(r, i, j) {
@@ -350,6 +390,8 @@ pub fn step_relu<F: Fp, B: Backend>(
         });
         // Upper plane: mirrored.
         device.par_rows_with("relu_step_hi", hi, cols, cst_hi, |r, row, cst| {
+            let relax = relax_per_seg[seg[r] as usize];
+            let out_bounds = out_bounds_per_seg[seg[r] as usize];
             for i in 0..win_h {
                 for j in 0..win_w {
                     if !is_real(r, i, j) {

@@ -9,7 +9,7 @@ use gpupoly_nn::{Graph, Op};
 use crate::engine::PreparedGraph;
 use crate::expr::ExprBatch;
 use crate::relax::ReluRelax;
-use crate::steps::{step_conv_with, step_dense_with, step_relu};
+use crate::steps::{step_conv_with, step_dense_with, step_relu_per_seg};
 use crate::VerifyError;
 
 /// When a row may be dropped mid-walk.
@@ -30,22 +30,32 @@ pub(crate) enum StopRule {
 pub(crate) struct WalkOutcome<F> {
     /// Best interval found per original row.
     pub best: Vec<Itv<F>>,
-    /// Rows removed before reaching the input.
-    pub rows_stopped_early: usize,
+    /// Original indices of the rows removed before reaching the input
+    /// (fused walks attribute them back to their query segments).
+    pub stopped_rows: Vec<u32>,
     /// Candidate evaluations performed.
     pub candidates: usize,
 }
 
 /// Borrowed context for walks: the graph, its prepared (device-resident)
-/// weights, and the current concrete bounds.
+/// weights, and the current concrete bounds — one bounds set per query
+/// segment of the batch being walked. Single-query walks pass one entry;
+/// fused cross-query walks pass one per stacked query, and every launch
+/// (concretize, GEMM, GBC, ReLU, compaction) covers all segments at once.
 pub(crate) struct Walker<'a, 'n, F: Fp, B: Backend> {
     pub device: &'a Device<B>,
     pub graph: &'a Graph<'n, F>,
     pub prepared: &'a PreparedGraph<'n, F, B>,
-    pub bounds: &'a [Vec<Itv<F>>],
+    /// Per-segment concrete bounds, indexed `seg_bounds[segment][node]`.
+    pub seg_bounds: Vec<&'a [Vec<Itv<F>>]>,
 }
 
 impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
+    /// The per-segment bounds of one node, in segment order.
+    fn node_bounds(&self, node: usize) -> Vec<&[Itv<F>]> {
+        self.seg_bounds.iter().map(|b| b[node].as_slice()).collect()
+    }
+
     /// Runs the batch to the input node, returning per-row best bounds.
     pub fn run(
         &self,
@@ -55,12 +65,13 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
         let total = batch.rows();
         let mut best: Vec<Itv<F>> = vec![Itv::top(); total];
         let mut map: Vec<u32> = (0..total as u32).collect();
-        let mut stopped = 0usize;
+        let mut stopped_rows: Vec<u32> = Vec::new();
         let mut candidates = 0usize;
         loop {
             let node = batch.node();
-            // Candidate: substitute the frontier's concrete bounds.
-            let cand = batch.concretize(self.device, &self.bounds[node]);
+            // Candidate: substitute the frontier's concrete bounds (each
+            // row against its own query's bounds).
+            let cand = batch.concretize_per_seg(self.device, &self.node_bounds(node));
             candidates += 1;
             for (r, c) in cand.iter().enumerate() {
                 let b = &mut best[map[r] as usize];
@@ -88,7 +99,12 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
             if let Some(keep) = keep {
                 let dropped = keep.iter().filter(|&&k| !k).count();
                 if dropped > 0 {
-                    stopped += dropped;
+                    stopped_rows.extend(
+                        keep.iter()
+                            .enumerate()
+                            .filter(|&(_, &k)| !k)
+                            .map(|(r, _)| map[r]),
+                    );
                     if dropped == batch.rows() {
                         break;
                     }
@@ -101,7 +117,7 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
         }
         Ok(WalkOutcome {
             best,
-            rows_stopped_early: stopped,
+            stopped_rows,
             candidates,
         })
     }
@@ -131,8 +147,39 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
             }
             Op::Relu => {
                 let p = self.graph.nodes[node].parents[0];
-                let relax = ReluRelax::layer(&self.bounds[p]);
-                Ok(step_relu(self.device, batch, &relax, &self.bounds[node], p))
+                // One relaxation table per *distinct* bounds set: each
+                // query's analysis bounds the ReLU inputs differently, so
+                // the fused step selects coefficients per segment — but
+                // segments sharing one analysis (duplicate input boxes in
+                // a fused batch) share one table instead of recomputing
+                // identical ones. Sharing is by slice identity: duplicate
+                // boxes resolve to the same cached `Analysis`.
+                let n = self.seg_bounds.len();
+                let mut owners: Vec<usize> = Vec::new();
+                let mut table_of: Vec<usize> = Vec::with_capacity(n);
+                for s in 0..n {
+                    let at = owners
+                        .iter()
+                        .position(|&o| std::ptr::eq(self.seg_bounds[o], self.seg_bounds[s]))
+                        .unwrap_or_else(|| {
+                            owners.push(s);
+                            owners.len() - 1
+                        });
+                    table_of.push(at);
+                }
+                let tables: Vec<Vec<ReluRelax<F>>> = owners
+                    .iter()
+                    .map(|&s| ReluRelax::layer(&self.seg_bounds[s][p]))
+                    .collect();
+                let relax_refs: Vec<&[ReluRelax<F>]> =
+                    table_of.iter().map(|&t| tables[t].as_slice()).collect();
+                Ok(step_relu_per_seg(
+                    self.device,
+                    batch,
+                    &relax_refs,
+                    &self.node_bounds(node),
+                    p,
+                ))
             }
             Op::Add { head } => {
                 let pa = self.graph.nodes[node].parents[0];
@@ -213,7 +260,7 @@ mod tests {
             device: &device,
             graph: &graph,
             prepared: &prepared,
-            bounds: &bounds,
+            seg_bounds: vec![bounds.as_slice()],
         };
         // Bound the output node's neurons via identity start.
         let on = graph.output();
@@ -248,7 +295,7 @@ mod tests {
             device: &device,
             graph: &graph,
             prepared: &prepared,
-            bounds: &bounds,
+            seg_bounds: vec![bounds.as_slice()],
         };
         let batch = ExprBatch::identity(&device, 2, graph.nodes[2].shape, &[0, 1]).unwrap();
         let out = walker.run(batch, StopRule::None).unwrap();
@@ -275,12 +322,12 @@ mod tests {
             device: &device,
             graph: &graph,
             prepared: &prepared,
-            bounds: &bounds,
+            seg_bounds: vec![bounds.as_slice()],
         };
         let batch = ExprBatch::identity(&device, 1, graph.nodes[1].shape, &[0, 1]).unwrap();
         let out = walker.run(batch, StopRule::StableSign).unwrap();
         // row 0 (x0+x1+10) is stable positive immediately -> dropped early
-        assert!(out.rows_stopped_early >= 1);
+        assert!(!out.stopped_rows.is_empty());
         assert!(out.best[0].lo >= 10.0 - 1e-4);
         // row 1 (x0-x1) straddles zero -> walked to the input
         assert!(out.best[1].straddles_zero());
@@ -309,7 +356,7 @@ mod tests {
             device: &device,
             graph: &graph,
             prepared: &prepared,
-            bounds: &bounds,
+            seg_bounds: vec![bounds.as_slice()],
         };
         let out_node = graph.output();
         let batch =
@@ -336,7 +383,7 @@ mod tests {
             device: &device,
             graph: &graph,
             prepared: &prepared,
-            bounds: &bounds,
+            seg_bounds: vec![bounds.as_slice()],
         };
         let on = graph.output();
         let batch = ExprBatch::identity(&device, on, graph.nodes[on].shape, &[0, 1]).unwrap();

@@ -1,0 +1,474 @@
+//! Cross-query fused backsubstitution (`Engine::verify_batch_fused`):
+//! bit-identity to the sequential per-query path, launch-count savings,
+//! fallback behavior, cache accounting, ε-monotone reuse and the measured
+//! cost EWMA.
+
+use gpupoly_core::{query_cost_hint, Engine, EngineOptions, Query, VerifyConfig, VerifyError};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::{Network, Shape};
+
+/// A deterministic dense ReLU network.
+fn random_net(seed: u64, depth: usize, width: usize) -> Network<f32> {
+    let mix = |i: usize, s: u64| {
+        ((((i as u64 + 17) * (s + 29)) * 2654435761 % 2001) as f32 / 1000.0 - 1.0) * 0.5
+    };
+    let mut b = NetworkBuilder::new_flat(4);
+    let mut in_len = 4;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| mix(i, seed + layer as u64))
+            .collect();
+        let bias: Vec<f32> = (0..width)
+            .map(|i| mix(i, seed + 100 + layer as u64) * 0.4)
+            .collect();
+        b = b.dense_flat(width, w, bias).relu();
+        in_len = width;
+    }
+    let w: Vec<f32> = (0..3 * in_len).map(|i| mix(i, seed + 999)).collect();
+    b.dense_flat(3, w, vec![0.0; 3]).build().expect("valid net")
+}
+
+/// A small conv+dense network so the fused walk also crosses GBC steps.
+fn conv_net() -> Network<f32> {
+    NetworkBuilder::new(Shape::new(4, 4, 1))
+        .conv(
+            2,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            (0..2 * 3 * 3)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.15)
+                .collect(),
+            vec![0.05, -0.05],
+        )
+        .relu()
+        .flatten_dense(3, |i| ((i % 11) as f32 - 5.0) * 0.1, |_| 0.0)
+        .build()
+        .expect("conv net builds")
+}
+
+fn queries(n: usize, in_len: usize) -> Vec<Query<f32>> {
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..in_len)
+                .map(|i| 0.2 + 0.6 * (((q * 31 + i * 7) % 97) as f32 / 97.0))
+                .collect();
+            Query::new(image, q % 3, 0.01 + 0.004 * (q % 4) as f32)
+        })
+        .collect()
+}
+
+fn assert_bit_identical(
+    got: &[Result<gpupoly_core::RobustnessVerdict<f32>, VerifyError>],
+    want: &[Result<gpupoly_core::RobustnessVerdict<f32>, VerifyError>],
+    tag: &str,
+) {
+    assert_eq!(got.len(), want.len(), "{tag}: result count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        match (g, w) {
+            (Ok(g), Ok(w)) => {
+                assert_eq!(g.verified, w.verified, "{tag}[{i}]: verdict");
+                assert_eq!(g.margins.len(), w.margins.len(), "{tag}[{i}]");
+                for (mg, mw) in g.margins.iter().zip(&w.margins) {
+                    assert_eq!(mg.adversary, mw.adversary, "{tag}[{i}]");
+                    assert_eq!(mg.proven, mw.proven, "{tag}[{i}]");
+                    assert_eq!(
+                        mg.lower.to_bits(),
+                        mw.lower.to_bits(),
+                        "{tag}[{i}]: margin vs class {} drifted ({} vs {})",
+                        mg.adversary,
+                        mg.lower,
+                        mw.lower
+                    );
+                }
+            }
+            (Err(ge), Err(we)) => {
+                assert_eq!(
+                    std::mem::discriminant(ge),
+                    std::mem::discriminant(we),
+                    "{tag}[{i}]: error kind"
+                );
+            }
+            other => panic!("{tag}[{i}]: fused/sequential disagree: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fused_margins_bit_identical_to_sequential_dense() {
+    for seed in [3u64, 41] {
+        let net = random_net(seed, 3, 6);
+        let qs = queries(8, 4);
+
+        let sequential = Engine::new(
+            Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .unwrap();
+        let want: Vec<_> = qs
+            .iter()
+            .map(|q| sequential.verify_robustness(&q.image, q.label, q.eps))
+            .collect();
+
+        let fused_engine = Engine::new(
+            Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .unwrap();
+        let got = fused_engine.verify_batch_fused(&qs);
+        assert_bit_identical(&got, &want, &format!("seed {seed}"));
+        assert_eq!(
+            fused_engine.stats().fused_batches,
+            1,
+            "seed {seed}: batch must not have fallen back"
+        );
+    }
+}
+
+#[test]
+fn fused_margins_bit_identical_on_conv_and_reference_backend() {
+    let net = conv_net();
+    let qs = queries(5, 16);
+
+    let sequential = Engine::new(
+        Device::reference(DeviceConfig::new().workers(1)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let want: Vec<_> = qs
+        .iter()
+        .map(|q| sequential.verify_robustness(&q.image, q.label, q.eps))
+        .collect();
+
+    let fused_engine = Engine::new(
+        Device::reference(DeviceConfig::new().workers(1)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let got = fused_engine.verify_batch_fused(&qs);
+    assert_bit_identical(&got, &want, "conv/reference");
+}
+
+#[test]
+fn fused_batch_issues_fewer_gemm_launches() {
+    let net = random_net(7, 3, 8);
+    let k = 6;
+    let qs = queries(k, 4);
+
+    // Distinct boxes, cache off: both sides do the full analysis work.
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+
+    let dev_seq: Device = Device::new(DeviceConfig::new().workers(2));
+    let seq = Engine::with_options(dev_seq.clone(), &net, VerifyConfig::default(), opts).unwrap();
+    let gemm0 = dev_seq.stats().kernel_launches("gemm_itv_f");
+    let launches0 = dev_seq.stats().launches();
+    for q in &qs {
+        seq.verify_robustness(&q.image, q.label, q.eps).unwrap();
+    }
+    let gemm_seq = dev_seq.stats().kernel_launches("gemm_itv_f") - gemm0;
+    let launches_seq = dev_seq.stats().launches() - launches0;
+
+    let dev_fused: Device = Device::new(DeviceConfig::new().workers(2));
+    let fused =
+        Engine::with_options(dev_fused.clone(), &net, VerifyConfig::default(), opts).unwrap();
+    let gemm1 = dev_fused.stats().kernel_launches("gemm_itv_f");
+    let launches1 = dev_fused.stats().launches();
+    let results = fused.verify_batch_fused(&qs);
+    assert!(results.iter().all(Result::is_ok));
+    let gemm_fused = dev_fused.stats().kernel_launches("gemm_itv_f") - gemm1;
+    let launches_fused = dev_fused.stats().launches() - launches1;
+
+    assert!(gemm_seq > 0, "the walks must exercise the GEMM kernel");
+    assert!(
+        gemm_fused < gemm_seq,
+        "fused batch must issue strictly fewer GEMM launches ({gemm_fused} vs {gemm_seq})"
+    );
+    assert!(
+        gemm_fused <= gemm_seq / 2,
+        "a {k}-query fused batch should issue ~1/{k} the GEMM launches, got {gemm_fused} vs {gemm_seq}"
+    );
+    assert!(
+        launches_fused < launches_seq,
+        "fused batch must issue fewer device launches overall ({launches_fused} vs {launches_seq})"
+    );
+}
+
+#[test]
+fn fused_handles_malformed_duplicate_and_degenerate_queries() {
+    let net = random_net(11, 2, 6);
+    let mut qs = queries(6, 4);
+    qs[2] = qs[0].clone(); // exact duplicate box: shares one analysis
+    qs.push(Query::new(vec![0.5; 3], 0, 0.01)); // wrong length
+    qs.push(Query::new(vec![0.5; 4], 9, 0.01)); // label out of range
+    qs.push(Query::new(vec![0.5; 4], 0, f32::NAN)); // non-finite eps
+
+    let sequential = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();
+    let want: Vec<_> = qs
+        .iter()
+        .map(|q| sequential.verify_robustness(&q.image, q.label, q.eps))
+        .collect();
+
+    let fused_engine = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();
+    let got = fused_engine.verify_batch_fused(&qs);
+    assert_bit_identical(&got, &want, "malformed mix");
+
+    // Cache accounting matches the sequential shape: one miss per unique
+    // valid box, one hit for the duplicate.
+    let (hits, misses) = fused_engine.cache_stats();
+    let (want_hits, want_misses) = sequential.cache_stats();
+    assert_eq!((hits, misses), (want_hits, want_misses));
+    assert_eq!(misses, 5, "five unique valid boxes");
+    assert_eq!(hits, 1, "one duplicate box");
+}
+
+#[test]
+fn fusion_falls_back_below_overlap_threshold_with_identical_results() {
+    let net = random_net(5, 3, 6);
+    let qs = queries(6, 4);
+
+    // A threshold above 1.0 can never be met: the engine must take the
+    // per-query path and still return bit-identical verdicts.
+    let opts = EngineOptions {
+        fusion_min_overlap: 1.5,
+        ..Default::default()
+    };
+    let engine = Engine::with_options(
+        Device::new(DeviceConfig::new().workers(2)),
+        &net,
+        VerifyConfig::default(),
+        opts,
+    )
+    .unwrap();
+    let got = engine.verify_batch_fused(&qs);
+    assert_eq!(engine.stats().fused_batches, 0, "must have fallen back");
+
+    let sequential = Engine::new(
+        Device::new(DeviceConfig::new().workers(2)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let want: Vec<_> = qs
+        .iter()
+        .map(|q| sequential.verify_robustness(&q.image, q.label, q.eps))
+        .collect();
+    assert_bit_identical(&got, &want, "fallback");
+}
+
+#[test]
+fn fused_batch_survives_memory_capped_device() {
+    // A device whose capacity forces chunked walks (and possibly a fused
+    // OOM fallback): results must match the unconstrained engine.
+    let net = random_net(13, 3, 12);
+    let qs = queries(5, 4);
+    let small = Engine::new(
+        Device::new(DeviceConfig::new().workers(2).memory_capacity(1 << 15)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let got = small.verify_batch_fused(&qs);
+    let big = Engine::new(
+        Device::new(DeviceConfig::new().workers(2)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let want = big.verify_batch_fused(&qs);
+    assert_bit_identical(&got, &want, "memory-capped");
+}
+
+#[test]
+fn monotone_cache_reuse_serves_sweeps_from_superset_analyses() {
+    let net = random_net(19, 2, 6);
+    let image = vec![0.45_f32, 0.55, 0.35, 0.6];
+
+    let opts = EngineOptions {
+        monotone_cache_reuse: true,
+        ..Default::default()
+    };
+    let engine =
+        Engine::with_options(Device::default(), &net, VerifyConfig::default(), opts).unwrap();
+
+    // Anchor: a proven query at the largest radius of the sweep.
+    let label = net.classify(&image);
+    let anchor = engine.verify_robustness(&image, label, 0.02).unwrap();
+    assert!(anchor.verified, "anchor must be provable for this net");
+    let (_, misses_after_anchor) = engine.cache_stats();
+    assert_eq!(misses_after_anchor, 1);
+
+    // Downward ε sweep: every box is contained in the anchor's, so every
+    // query is served by the superset analysis — zero new analyses.
+    let sweep: Vec<f32> = (1..=8).map(|i| 0.02 * i as f32 / 10.0).collect();
+    for eps in &sweep {
+        let v = engine.verify_robustness(&image, label, *eps).unwrap();
+        assert!(v.verified, "subset of a proven box must prove");
+        // Sound but looser: the superset margin still lower-bounds the
+        // anchor's concrete behavior.
+        for (m, a) in v.margins.iter().zip(&anchor.margins) {
+            assert_eq!(m.lower.to_bits(), a.lower.to_bits());
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "the sweep must not compute new analyses"
+    );
+    assert_eq!(stats.monotone_hits, sweep.len() as u64);
+
+    // Control: the same sweep without the flag computes one analysis per ε.
+    let control = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();
+    control.verify_robustness(&image, label, 0.02).unwrap();
+    for eps in &sweep {
+        control.verify_robustness(&image, label, *eps).unwrap();
+    }
+    assert_eq!(control.stats().cache_misses, 1 + sweep.len() as u64);
+    assert_eq!(control.stats().monotone_hits, 0);
+}
+
+#[test]
+fn monotone_reuse_never_refutes_from_a_superset() {
+    // A query that fails at a big ε but succeeds at a small one: with
+    // monotone reuse on, the small-ε query must fall through to its own
+    // exact analysis (the superset's failed proof is not a refutation) and
+    // return exactly what the flag-off engine returns.
+    let net = random_net(23, 3, 8);
+    let image = vec![0.5_f32, 0.5, 0.5, 0.5];
+    let plain = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();
+    // Find a label/eps pair where the big ball fails but the point proves.
+    let label = net.classify(&image);
+    let big_eps = 0.5_f32;
+    let small_eps = 1e-4_f32;
+    let big = plain.verify_robustness(&image, label, big_eps).unwrap();
+    let small_want = plain.verify_robustness(&image, label, small_eps).unwrap();
+    if big.verified || !small_want.verified {
+        // Net geometry made the premise vacuous; nothing to assert.
+        return;
+    }
+
+    let opts = EngineOptions {
+        monotone_cache_reuse: true,
+        ..Default::default()
+    };
+    let engine =
+        Engine::with_options(Device::default(), &net, VerifyConfig::default(), opts).unwrap();
+    let big_got = engine.verify_robustness(&image, label, big_eps).unwrap();
+    assert!(!big_got.verified);
+    let small_got = engine.verify_robustness(&image, label, small_eps).unwrap();
+    assert!(small_got.verified);
+    for (g, w) in small_got.margins.iter().zip(&small_want.margins) {
+        assert_eq!(
+            g.lower.to_bits(),
+            w.lower.to_bits(),
+            "unproven-superset path must recompute exactly"
+        );
+    }
+    assert_eq!(engine.stats().monotone_hits, 0);
+    assert_eq!(engine.stats().cache_misses, 2, "both ε get exact analyses");
+}
+
+#[test]
+fn ewma_cost_hint_warms_up_and_matches_free_function() {
+    let net = random_net(29, 2, 6);
+    let engine = Engine::new(
+        Device::new(DeviceConfig::new().workers(2)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(engine.stats().ewma_ms_per_cost, 0.0, "cold EWMA");
+
+    let qs = queries(4, 4);
+    for q in &qs {
+        let via_engine = engine.query_cost(q);
+        let via_hint = query_cost_hint(&q.image, q.eps, engine.stats().relu_layers);
+        assert_eq!(via_engine, via_hint, "admission hint must match engine");
+    }
+
+    assert!(engine.verify_batch(&qs).iter().all(Result::is_ok));
+    let after_batch = engine.stats().ewma_ms_per_cost;
+    assert!(
+        after_batch > 0.0 && after_batch.is_finite(),
+        "one measured batch must warm the EWMA, got {after_batch}"
+    );
+    assert!(engine.verify_batch_fused(&qs).iter().all(Result::is_ok));
+    assert!(engine.stats().ewma_ms_per_cost > 0.0);
+}
+
+/// Concurrent fused batches over the same boxes must share analyses
+/// through the in-flight gates exactly like concurrent `analyze` calls:
+/// each unique box is computed exactly once engine-wide, and every thread
+/// gets bit-identical verdicts.
+#[test]
+fn concurrent_fused_batches_share_one_analysis_per_box() {
+    let net = random_net(37, 2, 6);
+    let engine = Engine::new(
+        Device::new(DeviceConfig::new().workers(2)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    let qs = queries(4, 4);
+    let all_bits: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                s.spawn(|| {
+                    engine
+                        .verify_batch_fused(&qs)
+                        .into_iter()
+                        .flat_map(|r| {
+                            r.expect("query succeeds")
+                                .margins
+                                .into_iter()
+                                .map(|m| m.lower.to_bits())
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for bits in &all_bits[1..] {
+        assert_eq!(bits, &all_bits[0], "threads must agree bit-for-bit");
+    }
+    let (_, misses) = engine.cache_stats();
+    assert_eq!(
+        misses, 4,
+        "each unique box must be analyzed exactly once across concurrent \
+         fused batches"
+    );
+}
+
+/// The fused path must be backend-generic: run one fused batch per backend
+/// through the same seed and compare across backends bit-for-bit.
+#[test]
+fn fused_batches_bit_identical_across_backends() {
+    let net = random_net(31, 3, 6);
+    let qs = queries(6, 4);
+    fn run<B: Backend>(device: Device<B>, net: &Network<f32>, qs: &[Query<f32>]) -> Vec<u32> {
+        let engine = Engine::new(device, net, VerifyConfig::default()).unwrap();
+        engine
+            .verify_batch_fused(qs)
+            .into_iter()
+            .flat_map(|r| {
+                r.unwrap()
+                    .margins
+                    .into_iter()
+                    .map(|m| m.lower.to_bits())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+    let cpusim = run(Device::new(DeviceConfig::new().workers(2)), &net, &qs);
+    let reference = run(Device::reference(DeviceConfig::new().workers(1)), &net, &qs);
+    assert_eq!(cpusim, reference, "fused margins drifted across backends");
+}

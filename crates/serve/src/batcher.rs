@@ -61,11 +61,19 @@ pub enum WorkError {
 /// The reply side of one submitted query.
 pub type WorkReply = Result<RobustnessVerdict<f32>, WorkError>;
 
+/// A reply channel paired with the admission cost charge it must credit
+/// back when answered.
+type ChargedReply = (Sender<WorkReply>, u64);
+
 /// One queued verification request.
 pub(crate) struct WorkItem {
     pub image: Vec<f32>,
     pub label: usize,
     pub eps: f32,
+    /// Estimated wall microseconds charged to `pending_cost_us` at
+    /// admission; the worker credits back exactly this amount when the
+    /// reply goes out, so the gauge can never drift.
+    pub cost_us: u64,
     pub reply: Sender<WorkReply>,
 }
 
@@ -98,9 +106,14 @@ pub(crate) fn spawn_worker<B: Backend>(
                     return;
                 }
             };
+            let snapshot = engine.stats();
             stats
                 .resident_bytes
-                .store(engine.stats().resident_bytes as u64, Ordering::Release);
+                .store(snapshot.resident_bytes as u64, Ordering::Release);
+            // Admission threads compute cost hints from this mirrored depth.
+            stats
+                .relu_layers
+                .store(snapshot.relu_layers as u64, Ordering::Release);
             let _ = startup_tx.send(Ok(()));
             run_loop(&engine, &rx, policy, &stats);
         })
@@ -152,15 +165,25 @@ fn run_loop<B: Backend>(
 fn run_batch<B: Backend>(engine: &Engine<'_, f32, B>, batch: Vec<WorkItem>, stats: &ModelStats) {
     stats.record_batch(batch.len());
     // Move each image out of its work item (no per-query copy on the hot
-    // path); only the reply senders survive the split.
-    let (queries, replies): (Vec<Query<f32>>, Vec<Sender<WorkReply>>) = batch
+    // path); only the reply senders and admission cost charges survive the
+    // split.
+    let (queries, replies): (Vec<Query<f32>>, Vec<ChargedReply>) = batch
         .into_iter()
-        .map(|item| (Query::new(item.image, item.label, item.eps), item.reply))
+        .map(|item| {
+            (
+                Query::new(item.image, item.label, item.eps),
+                (item.reply, item.cost_us),
+            )
+        })
         .unzip();
-    // A panic anywhere inside verification must reach every requester as a
-    // typed reply, never unwind through the daemon or strand a client.
+    // A coalesced admission batch is exactly a set of same-network queries:
+    // dispatch through the fused cross-query path, which stacks their
+    // backsubstitution rows into one launch per layer step (and falls back
+    // to per-query dispatch itself when fusion is unprofitable). A panic
+    // anywhere inside verification must reach every requester as a typed
+    // reply, never unwind through the daemon or strand a client.
     let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.verify_batch(&queries)
+        engine.verify_batch_fused(&queries)
     }));
     // Mirror the engine-side counters *before* replies go out, and settle
     // each item's gauges before its reply is sent: a requester that has its
@@ -172,20 +195,29 @@ fn run_batch<B: Backend>(engine: &Engine<'_, f32, B>, batch: Vec<WorkItem>, stat
     stats
         .cache_misses
         .store(snapshot.cache_misses, Ordering::Release);
-    let answer = |reply: &Sender<WorkReply>, result: WorkReply| {
+    stats
+        .fused_batches
+        .store(snapshot.fused_batches, Ordering::Release);
+    // Feed the measured per-batch wall time (folded by the engine into its
+    // ms-per-cost EWMA) back to the admission side.
+    stats
+        .ewma_ms_per_cost_bits
+        .store(snapshot.ewma_ms_per_cost.to_bits(), Ordering::Release);
+    let answer = |reply: &Sender<WorkReply>, cost_us: u64, result: WorkReply| {
         stats.completed.fetch_add(1, Ordering::Relaxed);
         stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+        stats.pending_cost_us.fetch_sub(cost_us, Ordering::AcqRel);
         let _ = reply.send(result);
     };
     match results {
         Ok(results) => {
-            for (reply, result) in replies.iter().zip(results) {
-                answer(reply, result.map_err(WorkError::Verify));
+            for ((reply, cost_us), result) in replies.iter().zip(results) {
+                answer(reply, *cost_us, result.map_err(WorkError::Verify));
             }
         }
         Err(_) => {
-            for reply in &replies {
-                answer(reply, Err(WorkError::Panicked));
+            for (reply, cost_us) in &replies {
+                answer(reply, *cost_us, Err(WorkError::Panicked));
             }
         }
     }
@@ -219,6 +251,7 @@ mod tests {
             image,
             label,
             eps,
+            cost_us: 0,
             reply,
         })
         .expect("queue has room");

@@ -3,8 +3,8 @@
 //! ```text
 //! gpupoly-serve serve --models DIR [--addr 127.0.0.1] [--port 7411]
 //!                     [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
-//!                     [--memory-budget BYTES] [--workers N]
-//!                     [--request-timeout-ms MS]
+//!                     [--queue-cost-ms MS] [--memory-budget BYTES]
+//!                     [--workers N] [--request-timeout-ms MS]
 //! gpupoly-serve init-zoo DIR [--scale S] [--seed N]
 //! gpupoly-serve smoke ADDR [--ping-only]
 //! ```
@@ -45,7 +45,7 @@ gpupoly-serve — batch-admission verification daemon over resident engines
 
 USAGE:
   gpupoly-serve serve --models DIR [--addr A] [--port P] [--max-batch N]
-                      [--max-delay-ms MS] [--queue-cap N]
+                      [--max-delay-ms MS] [--queue-cap N] [--queue-cost-ms MS]
                       [--memory-budget BYTES] [--workers N]
                       [--request-timeout-ms MS] [--max-frame-bytes N]
   gpupoly-serve init-zoo DIR [--scale S] [--seed N]
@@ -134,6 +134,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     cfg.policy = policy;
     if let Some(n) = flags.take_parsed("--queue-cap")? {
         cfg.queue_cap = n;
+    }
+    if let Some(ms) = flags.take_parsed::<u64>("--queue-cost-ms")? {
+        // 0 disables cost weighing; the count cap then governs alone.
+        cfg.queue_cost_cap = (ms > 0).then(|| Duration::from_millis(ms));
     }
     if let Some(b) = flags.take_parsed("--memory-budget")? {
         cfg.memory_budget = Some(b);

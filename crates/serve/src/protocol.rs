@@ -151,6 +151,16 @@ pub struct ModelStatsWire {
     pub cache_hits: u64,
     /// Engine analysis-cache misses.
     pub cache_misses: u64,
+    /// Batches served by the engine's fused cross-query path.
+    pub fused_batches: u64,
+    /// Estimated microseconds of admitted-but-unanswered work.
+    pub pending_cost_us: u64,
+    /// Requests bounced by the cost-aware admission cap (subset of
+    /// `rejected_overload`).
+    pub rejected_cost: u64,
+    /// Measured wall milliseconds per unit of query cost (EWMA; `0` until
+    /// the first measured batch).
+    pub ewma_ms_per_cost: f64,
 }
 
 /// Body of a [`Reply::Stats`].
@@ -374,6 +384,10 @@ impl Serialize for ModelStatsWire {
             ("max_batch", Value::Num(self.max_batch as f64)),
             ("cache_hits", Value::Num(self.cache_hits as f64)),
             ("cache_misses", Value::Num(self.cache_misses as f64)),
+            ("fused_batches", Value::Num(self.fused_batches as f64)),
+            ("pending_cost_us", Value::Num(self.pending_cost_us as f64)),
+            ("rejected_cost", Value::Num(self.rejected_cost as f64)),
+            ("ewma_ms_per_cost", Value::Num(self.ewma_ms_per_cost)),
         ])
     }
 }
@@ -393,6 +407,10 @@ impl<'de> Deserialize<'de> for ModelStatsWire {
             max_batch: num("max_batch")?,
             cache_hits: num("cache_hits")?,
             cache_misses: num("cache_misses")?,
+            fused_batches: num("fused_batches")?,
+            pending_cost_us: num("pending_cost_us")?,
+            rejected_cost: num("rejected_cost")?,
+            ewma_ms_per_cost: v.field("ewma_ms_per_cost")?.as_f64()?,
         })
     }
 }
@@ -537,6 +555,10 @@ mod tests {
                 max_batch: 8,
                 cache_hits: 9,
                 cache_misses: 10,
+                fused_batches: 11,
+                pending_cost_us: 12,
+                rejected_cost: 13,
+                ewma_ms_per_cost: 0.25,
             }],
         }));
         round_trip_reply(&Reply::error(ErrorCode::Overloaded, "queue full"));

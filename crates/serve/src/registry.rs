@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -26,7 +26,7 @@ use gpupoly_nn::{store, Network};
 
 use crate::batcher::{spawn_worker, BatchPolicy, WorkItem, WorkReply};
 use crate::protocol::{ModelInfo, ModelStatsWire};
-use crate::stats::ModelStats;
+use crate::stats::{cost_admission_ok, ModelStats};
 
 /// Registry construction knobs.
 #[derive(Clone, Debug)]
@@ -38,6 +38,14 @@ pub struct RegistryConfig {
     /// Admission-queue capacity per model; a full queue bounces requests
     /// with `overloaded` instead of queueing unboundedly.
     pub queue_cap: usize,
+    /// Cost-aware admission cap: the most *estimated* wall time of
+    /// admitted-but-unanswered work a model may hold (each query weighed by
+    /// its `gpupoly_core::query_cost_hint` times the engine's measured
+    /// ms-per-cost EWMA). Queries beyond it bounce with the same structured
+    /// `overloaded` as a full queue — the count-based `queue_cap` stays as
+    /// the backstop (and governs alone while the EWMA is cold or this is
+    /// `None`). A query is never bounced into an empty backlog.
+    pub queue_cost_cap: Option<Duration>,
     /// Device-memory budget in bytes for resident models (`None` =
     /// whatever the device allows).
     pub memory_budget: Option<usize>,
@@ -52,6 +60,7 @@ impl RegistryConfig {
             model_dir: model_dir.into(),
             policy: BatchPolicy::default(),
             queue_cap: 128,
+            queue_cost_cap: Some(Duration::from_secs(30)),
             memory_budget: None,
             verify: VerifyConfig::default(),
         }
@@ -132,6 +141,20 @@ impl<B: Backend> Registry<B> {
         self.epoch.elapsed().as_millis() as u64
     }
 
+    /// Whether `model` names a loadable file in the model directory — the
+    /// single resolution rule shared by `submit`'s cold-path fast check
+    /// and `load_model`'s authoritative check under the loading gate.
+    fn model_file_exists(&self, model: &str) -> bool {
+        store::valid_name(model)
+            && store::model_path(&self.cfg.model_dir, model)
+                .map(|p| p.is_file())
+                .unwrap_or(false)
+    }
+
+    fn unknown_model_error(&self, model: &str) -> String {
+        format!("no model `{model}` in {}", self.cfg.model_dir.display())
+    }
+
     /// Submits one verification query for `model`, lazily making the model
     /// resident. Returns the receiver the worker will answer on.
     ///
@@ -176,6 +199,18 @@ impl<B: Backend> Registry<B> {
                 if entries.contains_key(model) {
                     return self.enqueue_locked(&mut entries, model, image, label, eps);
                 }
+            }
+            // Cold path only (a resident model must stay serveable even if
+            // its backing file vanished, and hot traffic must not stat the
+            // disk): answer unknown models from a direct file check before
+            // touching the loading gate. Nonexistent names — typos,
+            // hostile probes, many clients chasing the same ghost in
+            // lockstep — must neither serialize behind loading gates nor
+            // exhaust the retry budget and get misreported as
+            // `Overloaded`. `load_model` re-checks under the gate, so a
+            // racing file deletion is still handled correctly.
+            if !self.model_file_exists(model) {
+                return Err(SubmitError::UnknownModel(self.unknown_model_error(model)));
             }
             // Claim the load, or wait for the thread already performing it
             // (then re-check the entries map).
@@ -231,22 +266,51 @@ impl<B: Backend> Registry<B> {
             .last_used_ms
             .store(self.now_ms(), Ordering::Release);
 
+        // Cost-aware admission: weigh the backlog by estimated wall time
+        // (cost hint × measured EWMA), not only by query count. Same
+        // structured bounce as a full queue.
+        let cost_us = entry.stats.estimate_cost_us(&image, eps);
+        if let Some(cap) = self.cfg.queue_cost_cap {
+            let pending = entry.stats.pending_cost_us.load(Ordering::Acquire);
+            let cap_us = u64::try_from(cap.as_micros()).unwrap_or(u64::MAX);
+            if !cost_admission_ok(pending, cost_us, cap_us) {
+                entry.stats.rejected_cost.fetch_add(1, Ordering::Relaxed);
+                entry
+                    .stats
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded(format!(
+                    "estimated backlog for `{model}` exceeds {cap:?} \
+                     ({pending} us pending, {cost_us} us incoming)"
+                )));
+            }
+        }
+
         let (reply, rx) = std::sync::mpsc::channel();
-        // Gauge up *before* try_send: the worker decrements when it pops,
-        // so the pair can never go negative, and a successfully queued item
-        // is always counted.
+        // Gauge up *before* try_send: the worker decrements when it pops
+        // (cost when it answers), so the pairs can never go negative, and a
+        // successfully queued item is always counted.
         entry.stats.queue_depth.fetch_add(1, Ordering::AcqRel);
         entry.stats.in_flight.fetch_add(1, Ordering::AcqRel);
+        entry
+            .stats
+            .pending_cost_us
+            .fetch_add(cost_us, Ordering::AcqRel);
         match entry.queue.try_send(WorkItem {
             image,
             label,
             eps,
+            cost_us,
             reply,
         }) {
             Ok(()) => Ok(rx),
             Err(err) => {
                 entry.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 entry.stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+                entry
+                    .stats
+                    .pending_cost_us
+                    .fetch_sub(cost_us, Ordering::AcqRel);
                 match err {
                     TrySendError::Full(_) => {
                         entry
@@ -280,15 +344,8 @@ impl<B: Backend> Registry<B> {
     /// packing must never stall traffic for already-resident models. The
     /// entries lock is taken only briefly, for eviction and insertion.
     fn load_model(&self, model: &str) -> Result<(), SubmitError> {
-        if !store::valid_name(model)
-            || !store::model_path(&self.cfg.model_dir, model)
-                .map(|p| p.is_file())
-                .unwrap_or(false)
-        {
-            return Err(SubmitError::UnknownModel(format!(
-                "no model `{model}` in {}",
-                self.cfg.model_dir.display()
-            )));
+        if !self.model_file_exists(model) {
+            return Err(SubmitError::UnknownModel(self.unknown_model_error(model)));
         }
         let net: Network<f32> = store::load(&self.cfg.model_dir, model)
             .map_err(|e| SubmitError::LoadFailed(e.to_string()))?;
@@ -446,6 +503,10 @@ impl<B: Backend> Registry<B> {
                     max_batch: load(&s.max_batch),
                     cache_hits: load(&s.cache_hits),
                     cache_misses: load(&s.cache_misses),
+                    fused_batches: load(&s.fused_batches),
+                    pending_cost_us: load(&s.pending_cost_us),
+                    rejected_cost: load(&s.rejected_cost),
+                    ewma_ms_per_cost: s.ewma_ms_per_cost(),
                 }
             })
             .collect();
@@ -590,6 +651,53 @@ mod tests {
         );
         // Evicted models reload transparently on the next request.
         assert!(recv(registry.submit("m1", vec![0.5; 8], 0, 0.01).unwrap()).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cost_cap_bounces_only_into_nonempty_backlogs() {
+        let dir = temp_dir("costcap");
+        write_model(&dir, "m", 8, 24);
+        let mut cfg = RegistryConfig::new(&dir);
+        // A zero-microsecond cost cap: once the EWMA is warm, any query
+        // behind pending work must bounce on estimated cost.
+        cfg.queue_cost_cap = Some(Duration::from_nanos(1));
+        // A long coalescing window keeps the probe query unanswered (its
+        // cost pending) while the bounce candidate arrives.
+        cfg.policy = BatchPolicy {
+            max_batch: 16,
+            max_delay: Duration::from_millis(1500),
+        };
+        let registry = Registry::new(Device::default(), cfg);
+
+        // Cold EWMA estimates zero cost: count-based admission governs.
+        assert!(recv(registry.submit("m", vec![0.5; 8], 0, 0.05).unwrap()).is_ok());
+        let stats = registry.model_stats();
+        assert!(
+            stats[0].ewma_ms_per_cost > 0.0,
+            "first measured batch must warm the EWMA: {stats:?}"
+        );
+
+        // Warm EWMA + zero cap: the first query of an empty backlog is
+        // still admitted (bouncing it would starve the model), the query
+        // behind it bounces with structured overload.
+        let rx = registry.submit("m", vec![0.45; 8], 1, 0.05).unwrap();
+        match registry.submit("m", vec![0.4; 8], 2, 0.05) {
+            Err(SubmitError::Overloaded(msg)) => {
+                assert!(msg.contains("backlog"), "untyped bounce: {msg}")
+            }
+            other => panic!("expected cost bounce, got {other:?}"),
+        }
+        assert!(recv(rx).is_ok(), "the admitted query still completes");
+
+        let stats = registry.model_stats();
+        assert_eq!(stats[0].rejected_cost, 1);
+        assert_eq!(stats[0].rejected_overload, 1);
+        assert_eq!(stats[0].completed, 2);
+        assert_eq!(
+            stats[0].pending_cost_us, 0,
+            "every admitted cost must be credited back on reply"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -32,6 +32,10 @@ pub struct ServerConfig {
     pub policy: BatchPolicy,
     /// Admission-queue capacity per model.
     pub queue_cap: usize,
+    /// Cost-aware admission cap: maximum *estimated* wall time of queued
+    /// work per model (see `RegistryConfig::queue_cost_cap`); `None`
+    /// disables cost weighing, leaving only the count-based bound.
+    pub queue_cost_cap: Option<Duration>,
     /// Device-memory budget for resident models (also installed as the
     /// device's capacity so engines chunk/fallback against it).
     pub memory_budget: Option<usize>,
@@ -54,6 +58,7 @@ impl ServerConfig {
             model_dir: model_dir.into(),
             policy: BatchPolicy::default(),
             queue_cap: 128,
+            queue_cost_cap: Some(Duration::from_secs(30)),
             memory_budget: None,
             workers: None,
             request_timeout: Duration::from_secs(120),
@@ -101,6 +106,7 @@ impl<B: Backend + Default> Server<B> {
                 model_dir: cfg.model_dir,
                 policy: cfg.policy,
                 queue_cap: cfg.queue_cap,
+                queue_cost_cap: cfg.queue_cost_cap,
                 memory_budget: cfg.memory_budget,
                 verify: cfg.verify,
             },

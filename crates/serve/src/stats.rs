@@ -27,6 +27,21 @@ pub struct ModelStats {
     pub cache_hits: AtomicU64,
     /// Engine analysis-cache misses (mirrored likewise).
     pub cache_misses: AtomicU64,
+    /// Batches served by the engine's fused cross-query path (mirrored).
+    pub fused_batches: AtomicU64,
+    /// Refinable ReLU layers of the resident engine (set at startup; the
+    /// depth factor of the admission-side `query_cost_hint`).
+    pub relu_layers: AtomicU64,
+    /// Bit pattern of the engine's measured ms-per-cost EWMA (`f64`,
+    /// mirrored by the worker after each batch; `0` until warmed).
+    pub ewma_ms_per_cost_bits: AtomicU64,
+    /// Estimated microseconds of admitted-but-unanswered work (gauge):
+    /// each admission adds its cost hint × EWMA, each reply subtracts the
+    /// same amount — the queue weight cost-aware admission bounds.
+    pub pending_cost_us: AtomicU64,
+    /// Requests bounced because the estimated queued work exceeded the
+    /// cost cap (a subset of `rejected_overload`).
+    pub rejected_cost: AtomicU64,
     /// Milliseconds since the registry epoch at last use (LRU key).
     pub last_used_ms: AtomicU64,
 }
@@ -43,6 +58,38 @@ impl ModelStats {
         self.batch_items.fetch_add(n as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(n as u64, Ordering::Relaxed);
     }
+
+    /// The measured ms-per-cost EWMA mirrored from the engine.
+    pub fn ewma_ms_per_cost(&self) -> f64 {
+        f64::from_bits(self.ewma_ms_per_cost_bits.load(Ordering::Acquire))
+    }
+
+    /// Estimated wall microseconds one query adds to the backlog: its
+    /// admission cost hint converted through the measured EWMA. `0` while
+    /// the EWMA is cold (count-based admission then governs alone).
+    pub fn estimate_cost_us(&self, image: &[f32], eps: f32) -> u64 {
+        let cost = gpupoly_core::query_cost_hint(
+            image,
+            eps,
+            self.relu_layers.load(Ordering::Acquire) as usize,
+        );
+        let us = cost * self.ewma_ms_per_cost() * 1000.0;
+        if us.is_finite() && us > 0.0 {
+            us as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// The cost-aware admission test: refuse when the backlog already holds
+/// pending work and this query would push the *estimated* queued wall time
+/// over the cap. A query is never refused into an empty backlog (however
+/// expensive, stalling it forever would be worse than running it), and a
+/// cold EWMA estimates `0`, leaving the count-based queue bound in sole
+/// charge — overload semantics are unchanged, only the weight is.
+pub fn cost_admission_ok(pending_us: u64, incoming_us: u64, cap_us: u64) -> bool {
+    pending_us == 0 || incoming_us == 0 || pending_us.saturating_add(incoming_us) <= cap_us
 }
 
 #[cfg(test)]
@@ -60,6 +107,35 @@ mod tests {
         assert!(!s.idle());
         s.in_flight.fetch_sub(1, Ordering::Release);
         assert!(s.idle());
+    }
+
+    #[test]
+    fn cost_admission_spares_empty_backlogs_and_caps_full_ones() {
+        // Empty backlog: always admitted, however expensive.
+        assert!(cost_admission_ok(0, u64::MAX, 1));
+        // Cold EWMA (zero estimate): always admitted.
+        assert!(cost_admission_ok(500, 0, 1));
+        // Backlog + incoming within the cap: admitted.
+        assert!(cost_admission_ok(400, 100, 500));
+        // Over the cap: bounced.
+        assert!(!cost_admission_ok(400, 101, 500));
+        // Saturating add must not wrap into admission.
+        assert!(!cost_admission_ok(u64::MAX, u64::MAX, u64::MAX - 1));
+    }
+
+    #[test]
+    fn cost_estimate_follows_ewma_and_depth() {
+        let s = ModelStats::default();
+        // Cold EWMA: estimate is zero.
+        assert_eq!(s.estimate_cost_us(&[0.5; 4], 0.1), 0);
+        s.relu_layers.store(3, Ordering::Release);
+        s.ewma_ms_per_cost_bits
+            .store(2.0_f64.to_bits(), Ordering::Release);
+        // width 4*0.2, 3 layers, 2 ms/cost -> 4.8 ms = 4800 us.
+        let est = s.estimate_cost_us(&[0.5; 4], 0.1);
+        assert!((4700..=4900).contains(&est), "estimate {est}");
+        // Wider boxes estimate strictly more.
+        assert!(s.estimate_cost_us(&[0.5; 4], 0.3) > est);
     }
 
     #[test]

@@ -178,6 +178,117 @@ fn zoo_margins_bit_identical_across_backends_and_sound() {
     }
 }
 
+/// Cross-query fusion over the zoo: for every Table-1 build and both
+/// backends, `verify_batch_fused` must return margins **bit-identical** to
+/// the sequential per-query path, while issuing strictly fewer device
+/// launches — and on the GEMM kernel specifically, about 1/K of them (the
+/// fused walk shares each step's launch across all K queries; early
+/// termination lets some queries stop sooner, so the bound asserted is
+/// fused ≤ seq/2 for K ≥ 2).
+#[test]
+fn zoo_fused_margins_bit_identical_and_launches_collapse() {
+    for (arch, dataset, net) in zoo_builds() {
+        let id = format!("{}/{}", arch.name(), dataset.name());
+        let eps = family_eps(arch);
+        let k = if arch.is_residual() { 2 } else { 3 };
+        let qs = queries(&net, dataset.input_shape().len(), eps, k);
+
+        for reference in [false, true] {
+            // Sequential per-query loop and fused batch, each on a fresh
+            // device of the selected backend, counting launches.
+            let (seq_margins, seq_gemm, seq_launches) = if reference {
+                count_sequential(Device::reference(DeviceConfig::new().workers(1)), &net, &qs)
+            } else {
+                count_sequential(Device::new(DeviceConfig::new().workers(2)), &net, &qs)
+            };
+            let (fused_margins, fused_gemm, fused_launches) = if reference {
+                count_fused(Device::reference(DeviceConfig::new().workers(1)), &net, &qs)
+            } else {
+                count_fused(Device::new(DeviceConfig::new().workers(2)), &net, &qs)
+            };
+            let tag = format!("{id} ({})", if reference { "reference" } else { "cpusim" });
+            assert_eq!(
+                fused_margins, seq_margins,
+                "{tag}: fused margins drifted from sequential"
+            );
+            assert!(
+                fused_launches < seq_launches,
+                "{tag}: fused must issue fewer launches ({fused_launches} vs {seq_launches})"
+            );
+            // The fused walk shares each step's GEMM across queries, so its
+            // launch count is the *longest* single query's walk, not the
+            // sum: never more than sequential, and strictly fewer whenever
+            // the queries overlap in depth. (The exact ~1/K collapse on
+            // homogeneous batches is pinned by
+            // `crates/core/tests/engine_fusion.rs`; all-conv walks may
+            // never reach the dense GEMM kernel at all.)
+            assert!(
+                fused_gemm <= seq_gemm,
+                "{tag}: fused GEMM launches exceed sequential \
+                 ({fused_gemm} vs {seq_gemm})"
+            );
+        }
+    }
+}
+
+fn count_sequential<B: gpupoly::device::Backend>(
+    device: Device<B>,
+    net: &Network<f32>,
+    qs: &[Query<f32>],
+) -> (Vec<Vec<u32>>, u64, u64) {
+    let engine = Engine::new(device.clone(), net, VerifyConfig::default()).expect("engine");
+    let gemm0 = device.stats().kernel_launches("gemm_itv_f");
+    let launches0 = device.stats().launches();
+    let margins = qs
+        .iter()
+        .map(|q| {
+            engine
+                .verify_robustness(&q.image, q.label, q.eps)
+                .expect("sequential query")
+                .margins
+                .iter()
+                .map(|m| m.lower.to_bits())
+                .collect()
+        })
+        .collect();
+    (
+        margins,
+        device.stats().kernel_launches("gemm_itv_f") - gemm0,
+        device.stats().launches() - launches0,
+    )
+}
+
+fn count_fused<B: gpupoly::device::Backend>(
+    device: Device<B>,
+    net: &Network<f32>,
+    qs: &[Query<f32>],
+) -> (Vec<Vec<u32>>, u64, u64) {
+    let engine = Engine::new(device.clone(), net, VerifyConfig::default()).expect("engine");
+    let gemm0 = device.stats().kernel_launches("gemm_itv_f");
+    let launches0 = device.stats().launches();
+    let margins = engine
+        .verify_batch_fused(qs)
+        .into_iter()
+        .map(|r| {
+            r.expect("fused query")
+                .margins
+                .iter()
+                .map(|m| m.lower.to_bits())
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        engine.stats().fused_batches,
+        1,
+        "zoo batch must not fall back to per-query dispatch"
+    );
+    (
+        margins,
+        device.stats().kernel_launches("gemm_itv_f") - gemm0,
+        device.stats().launches() - launches0,
+    )
+}
+
 #[test]
 fn zoo_margins_match_cpu_deeppoly_baseline() {
     // Parity against the sparse CPU DeepPoly baseline on the MNIST
