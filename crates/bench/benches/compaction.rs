@@ -1,0 +1,270 @@
+//! Stable-zero column compaction benchmark: GEMM flops per query with the
+//! dense schedule vs the compacted one, on a network with stably-dead
+//! ReLUs, on both backends.
+//!
+//! After a ReLU substitution step, neurons whose relaxation is identically
+//! zero (stably-negative inputs) leave all-`[0,0]` coefficient columns;
+//! with [`gpupoly_core::VerifyConfig::stable_zero_compaction`] on, the
+//! following dense GEMM gathers only the live columns (and the matching
+//! live weight rows), so metered flops scale with live columns while
+//! margins stay bit-identical (pinned by
+//! `crates/core/tests/engine_compaction.rs`).
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench compaction` — full sweep over dead-neuron
+//!   fractions, writes the machine-readable `BENCH_compaction.json`
+//!   baseline (override the path with `BENCH_COMPACTION_OUT`);
+//! * `cargo bench --bench compaction -- --smoke` — tiny shapes, no JSON;
+//!   asserts compaction engages (`flops_per_query` compacted < dense) on a
+//!   stably-dead net — the CI guard. Honors `GPUPOLY_BACKEND`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gpupoly_core::{Engine, EngineOptions, Query, VerifyConfig};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+/// An MLP where `dead_per_mille` of hidden neurons carry a `-4` bias: with
+/// inputs in `[0, 1]` and small weights their pre-activations stay
+/// negative, so those ReLUs are stably dead on every query.
+fn dead_mlp(inputs: usize, width: usize, depth: usize, dead_per_mille: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(inputs);
+    let mut in_len = inputs;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| {
+                (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5)
+                    * (0.5 / in_len as f32).min(0.25)
+            })
+            .collect();
+        let bias: Vec<f32> = (0..width)
+            .map(|i| {
+                if (i * 2654435761 + layer) % 1000 < dead_per_mille {
+                    -4.0
+                } else {
+                    0.05
+                }
+            })
+            .collect();
+        b = b.dense_flat(width, w, bias).relu();
+        in_len = width;
+    }
+    b.flatten_dense(4, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+fn queries(n: usize, inputs: usize) -> Vec<Query<f32>> {
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..inputs)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            Query::new(image, q % 4, 0.01 + 0.002 * (q % 3) as f32)
+        })
+        .collect()
+}
+
+struct Cell {
+    backend: &'static str,
+    dead_per_mille: usize,
+    flops_per_query_dense: f64,
+    flops_per_query_compacted: f64,
+    qps_dense: f64,
+    qps_compacted: f64,
+    compaction_engaged: bool,
+}
+
+impl Cell {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("backend", Value::Str(self.backend.to_string())),
+            ("dead_per_mille", Value::Num(self.dead_per_mille as f64)),
+            (
+                "flops_per_query_dense",
+                Value::Num(self.flops_per_query_dense),
+            ),
+            (
+                "flops_per_query_compacted",
+                Value::Num(self.flops_per_query_compacted),
+            ),
+            ("qps_dense", Value::Num(self.qps_dense)),
+            ("qps_compacted", Value::Num(self.qps_compacted)),
+            ("compaction_engaged", Value::Bool(self.compaction_engaged)),
+        ])
+    }
+}
+
+/// One (backend, compaction) measurement: fresh device and engine, cache
+/// off so every query does full analysis work, one warm pass to populate
+/// the buffer pool, flop counters and clock around the second.
+fn measure<B: Backend>(
+    mk_device: &dyn Fn() -> Device<B>,
+    net: &Network<f32>,
+    qs: &[Query<f32>],
+    compaction: bool,
+) -> (f64, f64, u64) {
+    let device = mk_device();
+    let cfg = VerifyConfig {
+        stable_zero_compaction: compaction,
+        ..Default::default()
+    };
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+    let engine = Engine::with_options(device.clone(), net, cfg, opts).expect("engine");
+    assert!(engine.verify_batch(qs).iter().all(Result::is_ok));
+    let flops0 = device.stats().flops();
+    let compact0 = device.stats().kernel_launches("compact_indices");
+    let t = Instant::now();
+    for q in qs {
+        black_box(engine.verify_robustness(&q.image, q.label, q.eps).unwrap());
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let flops = (device.stats().flops() - flops0) as f64 / qs.len() as f64;
+    let compact_launches = device.stats().kernel_launches("compact_indices") - compact0;
+    (flops, qs.len() as f64 / secs.max(1e-9), compact_launches)
+}
+
+fn run_cell<B: Backend>(
+    backend: &'static str,
+    mk_device: &dyn Fn() -> Device<B>,
+    net: &Network<f32>,
+    dead_per_mille: usize,
+    k: usize,
+) -> Cell {
+    let inputs = net.input_shape().len();
+    let qs = queries(k, inputs);
+    let (flops_dense, qps_dense, compact_dense) = measure(mk_device, net, &qs, false);
+    let (flops_comp, qps_comp, compact_comp) = measure(mk_device, net, &qs, true);
+    // Early termination's *row* compaction launches the kernel in both
+    // runs; column compaction engaged iff the compacted run launched it
+    // strictly more often.
+    let engaged = compact_comp > compact_dense;
+    Cell {
+        backend,
+        dead_per_mille,
+        flops_per_query_dense: flops_dense,
+        flops_per_query_compacted: flops_comp,
+        qps_dense,
+        qps_compacted: qps_comp,
+        compaction_engaged: engaged,
+    }
+}
+
+fn backend_env() -> String {
+    std::env::var("GPUPOLY_BACKEND").unwrap_or_else(|_| "cpusim".to_string())
+}
+
+fn smoke() {
+    // Tiny shapes: pin the inequality, not timing. Half the hidden neurons
+    // are stably dead, so the compacted GEMMs must meter measurably fewer
+    // flops per query than the dense schedule.
+    let net = dead_mlp(8, 16, 2, 500);
+    let cell = match backend_env().as_str() {
+        "reference" => run_cell(
+            "reference",
+            &|| Device::reference(DeviceConfig::new().workers(2)),
+            &net,
+            500,
+            4,
+        ),
+        _ => run_cell(
+            "cpusim",
+            &|| Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            500,
+            4,
+        ),
+    };
+    assert!(
+        cell.flops_per_query_compacted < cell.flops_per_query_dense,
+        "compaction must cut flops/query on a stably-dead net ({} vs {})",
+        cell.flops_per_query_compacted,
+        cell.flops_per_query_dense
+    );
+    println!(
+        "[compaction --smoke] ok on {}: flops/query compacted {:.0} < dense {:.0} ({:.1}% saved)",
+        cell.backend,
+        cell.flops_per_query_compacted,
+        cell.flops_per_query_dense,
+        100.0 * (1.0 - cell.flops_per_query_compacted / cell.flops_per_query_dense)
+    );
+}
+
+fn full() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut cells: Vec<Cell> = Vec::new();
+    for &dead in &[0usize, 250, 500, 750] {
+        let net = dead_mlp(16, 64, 3, dead);
+        cells.push(run_cell(
+            "cpusim",
+            &|| Device::new(DeviceConfig::new().workers(workers)),
+            &net,
+            dead,
+            16,
+        ));
+        cells.push(run_cell(
+            "reference",
+            &|| Device::reference(DeviceConfig::new().workers(1)),
+            &net,
+            dead,
+            16,
+        ));
+    }
+    for c in &cells {
+        println!(
+            "[compaction] {:<9} dead={:<4} flops/query: dense {:>12.0} compacted {:>12.0} \
+             ({:>5.1}% saved) | q/s: dense {:>8.1} compacted {:>8.1}{}",
+            c.backend,
+            format!("{}‰", c.dead_per_mille),
+            c.flops_per_query_dense,
+            c.flops_per_query_compacted,
+            100.0 * (1.0 - c.flops_per_query_compacted / c.flops_per_query_dense.max(1.0)),
+            c.qps_dense,
+            c.qps_compacted,
+            if c.compaction_engaged {
+                ""
+            } else {
+                " [no dead cols]"
+            },
+        );
+    }
+    let doc = Value::obj([
+        ("bench", Value::Str("compaction".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench compaction (release)".to_string()),
+        ),
+        ("workers", Value::Num(workers as f64)),
+        (
+            "net",
+            Value::Str("mlp 16 -> 64x3 (relu, dead‰ of -4 biases) -> 4".to_string()),
+        ),
+        (
+            "results",
+            Value::Arr(cells.iter().map(Cell::to_value).collect()),
+        ),
+    ]);
+    let out = std::env::var("BENCH_COMPACTION_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compaction.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[compaction] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench compaction`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

@@ -247,7 +247,12 @@ fn refine_node_fused<F: Fp, B: Backend>(
         .clamp(1, work.len());
     let mut i = 0;
     while i < work.len() {
-        let end = (i + chunk).min(work.len());
+        // Segment-aware sizing: snap the chunk end back to the last
+        // query boundary inside it, so a chunk covers whole queries
+        // whenever it can. A failing (OOM) chunk then re-runs — and has
+        // its `chunk_shrinks` attributed to — the fewest whole queries;
+        // only a query too large for the chunk on its own is ever split.
+        let end = seg_aware_end(&work[i..], chunk) + i;
         let rows = &work[i..end];
         let attempt = fused_chunk_walk(device, graph, prepared, cfg, bounds, p, rows, rule);
         match attempt {
@@ -289,6 +294,22 @@ fn refine_node_fused<F: Fp, B: Backend>(
     Ok(())
 }
 
+/// The exclusive end (relative to `rest`) of the next fused chunk of at
+/// most `chunk` rows: the largest prefix of whole-query runs that fits, or
+/// — when even the first query's run exceeds `chunk` — the plain `chunk`
+/// cut into that single query. Chunk boundaries are arithmetic-neutral, so
+/// this is scheduling/attribution only.
+fn seg_aware_end(rest: &[(usize, usize)], chunk: usize) -> usize {
+    let end = chunk.min(rest.len());
+    if end == rest.len() || rest[end - 1].0 != rest[end].0 {
+        return end; // already on a query boundary
+    }
+    match (1..end).rev().find(|&e| rest[e - 1].0 != rest[e].0) {
+        Some(boundary) => boundary,
+        None => end, // one query larger than the chunk: split it
+    }
+}
+
 /// One fused chunk: per-query initial batches stacked into a single
 /// multi-segment batch, walked to the input in one pass.
 #[allow(clippy::too_many_arguments)]
@@ -324,6 +345,7 @@ fn fused_chunk_walk<F: Fp, B: Backend>(
         graph,
         prepared,
         seg_bounds: runs.iter().map(|(k, _)| bounds[*k].as_slice()).collect(),
+        compact_dead_cols: cfg.stable_zero_compaction,
     };
     walker.run(stacked, rule)
 }
@@ -356,6 +378,7 @@ fn refine_node<F: Fp, B: Backend>(
                 graph,
                 prepared,
                 seg_bounds: vec![&*bounds],
+                compact_dead_cols: cfg.stable_zero_compaction,
             };
             initial_batch(device, graph, prepared, cfg, bounds, p, rows)
                 .and_then(|batch| walker.run(batch, rule))

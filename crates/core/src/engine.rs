@@ -150,6 +150,17 @@ pub struct EngineStats {
     /// Batches that ran through the fused cross-query path
     /// ([`Engine::verify_batch_fused`] without falling back).
     pub fused_batches: u64,
+    /// Kernel launches on the engine's device (device-wide counter: shared
+    /// with other engines on the same device).
+    pub launches: u64,
+    /// Scalar-equivalent flops metered on the engine's device
+    /// (device-wide). Divided by queries served, this is the
+    /// `flops_per_query` figure the stable-zero compaction benchmark
+    /// tracks.
+    pub flops: u64,
+    /// Bytes read + written by kernels on the engine's device
+    /// (device-wide).
+    pub bytes_moved: u64,
     /// Exponentially-weighted moving average of measured wall milliseconds
     /// per unit of [`Engine::query_cost`], fed by every `verify_batch` /
     /// `verify_batch_fused` call. `0.0` until the first measured batch.
@@ -191,6 +202,12 @@ pub struct PreparedGraph<'n, F: Fp, B: Backend> {
     /// `(relu_node, parent)` for every ReLU whose input can be refined,
     /// in topological order.
     relu_plan: Vec<(NodeId, NodeId)>,
+    /// Per-node: `true` when the node's weights and bias are all finite
+    /// (trivially `true` for non-affine nodes). Stable-zero column
+    /// compaction only engages on finite-weight dense layers — dropping a
+    /// zero column is bit-neutral for finite weights but could swallow a
+    /// NaN product otherwise.
+    weights_finite: Vec<bool>,
     /// Worst-case device bytes per backsubstitution row (from the largest
     /// padded dependence-set window over all nodes).
     bytes_per_row: usize,
@@ -250,9 +267,23 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
             .map(|(id, node)| (id, node.parents[0]))
             .filter(|&(_, parent)| parent != 0)
             .collect();
+        let weights_finite = graph
+            .nodes
+            .iter()
+            .map(|node| match node.op {
+                Op::Dense(d) => {
+                    d.weight.iter().all(|w| w.is_finite()) && d.bias.iter().all(|b| b.is_finite())
+                }
+                Op::Conv(c) => {
+                    c.weight.iter().all(|w| w.is_finite()) && c.bias.iter().all(|b| b.is_finite())
+                }
+                _ => true,
+            })
+            .collect();
         Ok(Self {
             affine,
             relu_plan,
+            weights_finite,
             bytes_per_row: Self::bytes_per_row(graph),
             resident_bytes,
         })
@@ -309,6 +340,12 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
     /// The precomputed `(relu, parent)` refinement schedule.
     pub(crate) fn relu_plan(&self) -> &[(NodeId, NodeId)] {
         &self.relu_plan
+    }
+
+    /// `true` when the node's weights and bias are all finite (trivially
+    /// `true` for non-affine nodes) — the stable-zero compaction guard.
+    pub(crate) fn weights_finite(&self, node: NodeId) -> bool {
+        self.weights_finite[node]
     }
 
     /// Bytes of weights resident on the device.
@@ -611,6 +648,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// per-cost batch-time EWMA.
     pub fn stats(&self) -> EngineStats {
         let (cache_hits, cache_misses) = self.cache_stats();
+        let device = self.device.stats();
         EngineStats {
             cache_hits,
             cache_misses,
@@ -618,6 +656,9 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             resident_bytes: self.prepared.resident_bytes(),
             relu_layers: self.prepared.relu_plan().len(),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            launches: device.launches(),
+            flops: device.flops(),
+            bytes_moved: device.bytes_moved(),
             ewma_ms_per_cost: f64::from_bits(self.ewma_ms_per_cost.load(Ordering::Relaxed)),
         }
     }
@@ -850,6 +891,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             graph: &self.graph,
             prepared: &self.prepared,
             seg_bounds: vec![analysis.bounds.as_slice()],
+            compact_dead_cols: self.cfg.stable_zero_compaction,
         };
         let out = walker.run(batch, rule)?;
         let mut stats = analysis.stats.clone();
@@ -1023,19 +1065,20 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// unprofitable: fewer than two fusable queries, unstable-neuron
     /// overlap below [`EngineOptions::fusion_min_overlap`], or a device
     /// out-of-memory inside the fused pipeline (per-query chunking is
-    /// strictly more memory-frugal). With
-    /// [`EngineOptions::monotone_cache_reuse`] enabled the batch also
-    /// delegates to [`Engine::verify_batch`]: under that (off-by-default)
-    /// option proofs may carry a containing box's margins depending on
-    /// cache state, and that probe lives on the per-query path — routing
-    /// through it keeps every entry point's behavior identical.
+    /// strictly more memory-frugal). Fallbacks only re-verify queries not
+    /// already resolved.
+    ///
+    /// With [`EngineOptions::monotone_cache_reuse`] enabled, each query
+    /// whose exact box misses the cache first probes for a cached analysis
+    /// over a *containing* box — exactly like [`Engine::verify_spec`] —
+    /// and a successful superset proof resolves it without entering the
+    /// fused pipeline, so downward ε-sweeps submitted as fused batches hit
+    /// the anchor analysis too (proving only; unproven queries fall
+    /// through to the exact fused analysis).
     pub fn verify_batch_fused(
         &self,
         queries: &[Query<F>],
     ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
-        if self.options.monotone_cache_reuse {
-            return self.verify_batch(queries);
-        }
         let started = Instant::now();
         let total_cost: f64 = queries.iter().map(|q| self.query_cost(q)).sum();
 
@@ -1053,8 +1096,52 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                 Err(e) => slots[i] = Some(Err(e)),
             }
         }
+
+        // ε-monotone pre-resolution (the fused mirror of the probe in
+        // [`Engine::verify_spec`]): a query whose exact box misses but is
+        // contained in a cached box tries a proof against the superset
+        // analysis first. Resolved queries leave the fused batch; any
+        // probe failure (unproven rows or a device error) simply falls
+        // through to the exact path below.
+        if self.options.monotone_cache_reuse {
+            let out_len = self.graph.nodes[self.graph.output()].shape.len();
+            let mut still: Vec<usize> = Vec::new();
+            let mut still_boxes: Vec<Vec<Itv<F>>> = Vec::new();
+            for (j, &i) in fusable.iter().enumerate() {
+                let key = box_key(&boxes[j]);
+                let superset = {
+                    let cache = self.cache.lock();
+                    if cache.peek(&key) {
+                        None // exact hit: the fused pipeline serves it
+                    } else {
+                        cache.get_containing(&key, &boxes[j])
+                    }
+                };
+                let resolved = superset.is_some_and(|superset| {
+                    let spec = LinearSpec::robustness(queries[i].label, out_len);
+                    match self.check_spec_with(&superset, &spec) {
+                        Ok(verdict) if verdict.all_proven() => {
+                            self.monotone_hits.fetch_add(1, Ordering::Relaxed);
+                            slots[i] = Some(Ok(Self::robustness_verdict(
+                                queries[i].label,
+                                out_len,
+                                verdict,
+                            )));
+                            true
+                        }
+                        _ => false,
+                    }
+                });
+                if !resolved {
+                    still.push(i);
+                    still_boxes.push(std::mem::take(&mut boxes[j]));
+                }
+            }
+            fusable = still;
+            boxes = still_boxes;
+        }
         if fusable.len() < 2 {
-            return self.verify_batch(queries);
+            return self.finish_per_query(queries, slots, &fusable);
         }
 
         // Unique boxes in first-appearance order; `group_of[j]` maps the
@@ -1093,7 +1180,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                 .collect()
         });
         if self.fusion_overlap(&prelim) < self.options.fusion_min_overlap {
-            return self.verify_batch(queries);
+            return self.finish_per_query(queries, slots, &fusable);
         }
 
         match self.fused_pipeline(
@@ -1114,8 +1201,28 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             // stacked chunk held more rows than per-query chunks would):
             // the per-query path is strictly more memory-frugal, so retry
             // through it rather than surfacing a fusion artifact.
-            Err(_) => self.verify_batch(queries),
+            Err(_) => self.finish_per_query(queries, slots, &fusable),
         }
+    }
+
+    /// Completes a fused batch through the per-query path: verifies the
+    /// still-pending indices with [`Engine::verify_batch`] and fills their
+    /// slots, leaving already-resolved slots (validation errors, monotone
+    /// superset proofs) untouched.
+    fn finish_per_query(
+        &self,
+        queries: &[Query<F>],
+        mut slots: VerdictSlots<F>,
+        pending: &[usize],
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let subset: Vec<Query<F>> = pending.iter().map(|&i| queries[i].clone()).collect();
+        for (&i, r) in pending.iter().zip(self.verify_batch(&subset)) {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
     }
 
     /// Mean agreement of the missed boxes on *which* neurons are unstable
@@ -1342,6 +1449,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
                 .iter()
                 .map(|&g| analyses[g].bounds.as_slice())
                 .collect(),
+            compact_dead_cols: self.cfg.stable_zero_compaction,
         };
         let out = walker.run(stacked, rule)?;
 

@@ -28,7 +28,7 @@
 //! segment `0` throughout; every per-row operation is unchanged, so fused
 //! results are bit-identical to running each query's rows alone.
 
-use gpupoly_device::{scan, Backend, Device, DeviceBuffer};
+use gpupoly_device::{kernels, scan, Backend, Device, DeviceBuffer, ExprGeom};
 use gpupoly_interval::{dot, round, Fp, Itv};
 use gpupoly_nn::{Conv2d, Dense, NodeId, Shape};
 
@@ -54,6 +54,13 @@ pub struct ExprBatch<F: Fp, B: Backend> {
     hi: DeviceBuffer<Itv<F>, B>,
     cst_lo: Vec<Itv<F>>,
     cst_hi: Vec<Itv<F>>,
+    /// Per-frontier-neuron stable-zero mask: `true` marks a neuron whose
+    /// coefficient column is exactly `[0, 0]` in *every* row of both
+    /// planes (set by the walker after a ReLU step whose relaxation is
+    /// identically zero for that neuron in all segments). Consumed by the
+    /// dense step's stable-zero column compaction; cleared by any step
+    /// that changes the frontier.
+    dead_cols: Option<Vec<bool>>,
 }
 
 impl<F: Fp, B: Backend> ExprBatch<F, B> {
@@ -82,6 +89,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             hi: DeviceBuffer::zeroed(device, rows * cols)?,
             cst_lo: vec![Itv::zero(); rows],
             cst_hi: vec![Itv::zero(); rows],
+            dead_cols: None,
         })
     }
 
@@ -331,6 +339,40 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
         self.seg.copy_from_slice(&other.seg);
     }
 
+    /// The device-side view of this batch's window geometry — what the
+    /// backend walk-step kernels consume.
+    pub(crate) fn geom(&self) -> ExprGeom<'_> {
+        ExprGeom {
+            win_h: self.win_h,
+            win_w: self.win_w,
+            shape_h: self.shape.h,
+            shape_w: self.shape.w,
+            chans: self.shape.c,
+            origins: &self.origins,
+            seg: &self.seg,
+        }
+    }
+
+    /// The stable-zero column mask, if the walker attached one (see the
+    /// field docs): `mask[n]` marks frontier neuron `n`'s column as exactly
+    /// zero in every row of both planes.
+    pub(crate) fn dead_cols(&self) -> Option<&[bool]> {
+        self.dead_cols.as_deref()
+    }
+
+    /// Attaches a stable-zero column mask. The caller asserts the masked
+    /// columns are exact zeros in both planes (the ReLU step guarantees
+    /// this for neurons whose relaxation is identically zero in every
+    /// segment — pinned by the conformance suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask does not cover the frontier.
+    pub(crate) fn set_dead_cols(&mut self, mask: Vec<bool>) {
+        assert_eq!(mask.len(), self.shape.len(), "dead-col mask length");
+        self.dead_cols = Some(mask);
+    }
+
     /// Stacks batches from independent queries over the *same frontier*
     /// into one fused batch: rows concatenate in order and row `r` of input
     /// batch `k` gets segment index `k`. Every per-row quantity is copied
@@ -369,8 +411,8 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
                 "stack: input batch is already multi-segment"
             );
             let n = b.rows() * cols;
-            lo[at..at + n].copy_from_slice(&b.lo);
-            hi[at..at + n].copy_from_slice(&b.hi);
+            kernels::dtod(device, "stack_copy", &b.lo, &mut lo[at..at + n]);
+            kernels::dtod(device, "stack_copy", &b.hi, &mut hi[at..at + n]);
             at += n;
             origins.extend_from_slice(&b.origins);
             seg.resize(seg.len() + b.rows(), k as u32);
@@ -388,6 +430,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             hi,
             cst_lo,
             cst_hi,
+            dead_cols: None,
         })
     }
 
@@ -473,46 +516,22 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
         device: &Device<B>,
         bounds_per_seg: &[&[Itv<F>]],
     ) -> Vec<Itv<F>> {
-        for b in bounds_per_seg {
-            assert_eq!(b.len(), self.shape.len(), "bounds length mismatch");
-        }
         assert!(
             self.segment_count() <= bounds_per_seg.len(),
             "segment index out of range for {} bounds slices",
             bounds_per_seg.len()
         );
         let mut out = vec![Itv::top(); self.rows()];
-        let cols = self.cols();
-        let chans = self.shape.c;
-        device.par_map_mut(&mut out, |r, v| {
-            let bounds = bounds_per_seg[self.seg[r] as usize];
-            let lo_row = &self.lo[r * cols..(r + 1) * cols];
-            let hi_row = &self.hi[r * cols..(r + 1) * cols];
-            let mut lo = self.cst_lo[r].lo;
-            let mut hi = self.cst_hi[r].hi;
-            for i in 0..self.win_h {
-                for j in 0..self.win_w {
-                    if !self.is_real(r, i, j) {
-                        continue;
-                    }
-                    let base = (i * self.win_w + j) * chans;
-                    let nbase = self.neuron_at(r, i, j, 0);
-                    for c in 0..chans {
-                        let b = bounds[nbase + c];
-                        let a = lo_row[base + c];
-                        if !(a.lo == F::ZERO && a.hi == F::ZERO) {
-                            lo = round::add_down(lo, a.mul(b).lo);
-                        }
-                        let a = hi_row[base + c];
-                        if !(a.lo == F::ZERO && a.hi == F::ZERO) {
-                            hi = round::add_up(hi, a.mul(b).hi);
-                        }
-                    }
-                }
-            }
-            *v = Itv { lo, hi: hi.max(lo) };
-        });
-        device.stats().add_flops(4 * (self.rows() * cols) as u64);
+        kernels::concretize(
+            device,
+            &self.lo,
+            &self.hi,
+            &self.cst_lo,
+            &self.cst_hi,
+            &self.geom(),
+            bounds_per_seg,
+            &mut out,
+        );
         out
     }
 
@@ -569,6 +588,8 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             hi: hi_new,
             cst_lo,
             cst_hi,
+            // Row removal leaves column zero-ness intact.
+            dead_cols: self.dead_cols,
         };
         Ok((batch, index))
     }
@@ -593,29 +614,24 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
         full.cst_lo.copy_from_slice(&self.cst_lo);
         full.cst_hi.copy_from_slice(&self.cst_hi);
         full.seg.copy_from_slice(&self.seg);
-        let cols = self.cols();
+        full.dead_cols = self.dead_cols.clone();
         let fcols = full.cols();
-        let chans = self.shape.c;
-        let src = &self;
-        let scatter = |r: usize, dst_row: &mut [Itv<F>], plane: &[Itv<F>]| {
-            let row = &plane[r * cols..(r + 1) * cols];
-            for i in 0..src.win_h {
-                for j in 0..src.win_w {
-                    if !src.is_real(r, i, j) {
-                        continue;
-                    }
-                    let nbase = src.neuron_at(r, i, j, 0);
-                    let base = (i * src.win_w + j) * chans;
-                    dst_row[nbase..nbase + chans].copy_from_slice(&row[base..base + chans]);
-                }
-            }
-        };
-        device.par_rows("densify_lo", &mut full.lo, fcols, |r, dst| {
-            scatter(r, dst, &src.lo)
-        });
-        device.par_rows("densify_hi", &mut full.hi, fcols, |r, dst| {
-            scatter(r, dst, &src.hi)
-        });
+        kernels::densify(
+            device,
+            "densify_lo",
+            &self.lo,
+            &self.geom(),
+            &mut full.lo,
+            fcols,
+        );
+        kernels::densify(
+            device,
+            "densify_hi",
+            &self.hi,
+            &self.geom(),
+            &mut full.hi,
+            fcols,
+        );
         Ok(full)
     }
 
@@ -655,37 +671,31 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
             m.cst_hi[r] = a.cst_hi[r].add(b.cst_hi[r]);
         }
         let mcols = m.cols();
-        let chans = m.shape.c;
         let morigins = m.origins.clone();
-        let add_into = |r: usize, dst_row: &mut [Itv<F>], srcb: &Self, plane_lo: bool| {
-            let cols = srcb.cols();
-            let plane = if plane_lo { &srcb.lo } else { &srcb.hi };
-            let row = &plane[r * cols..(r + 1) * cols];
-            let (so_h, so_w) = srcb.origins[r];
-            let (mo_h, mo_w) = morigins[r];
-            let dh = (so_h - mo_h) as usize;
-            let dw = (so_w - mo_w) as usize;
-            for i in 0..srcb.win_h {
-                for j in 0..srcb.win_w {
-                    let dbase = ((i + dh) * uw_w + (j + dw)) * chans;
-                    let sbase = (i * srcb.win_w + j) * chans;
-                    for c in 0..chans {
-                        let v = row[sbase + c];
-                        if !(v.lo == F::ZERO && v.hi == F::ZERO) {
-                            dst_row[dbase + c] = dst_row[dbase + c].add(v);
-                        }
-                    }
-                }
-            }
-        };
-        device.par_rows("residual_merge_lo", &mut m.lo, mcols, |r, dst| {
-            add_into(r, dst, &a, true);
-            add_into(r, dst, &b, true);
-        });
-        device.par_rows("residual_merge_hi", &mut m.hi, mcols, |r, dst| {
-            add_into(r, dst, &a, false);
-            add_into(r, dst, &b, false);
-        });
+        kernels::residual_merge(
+            device,
+            "residual_merge_lo",
+            &a.lo,
+            &a.geom(),
+            &b.lo,
+            &b.geom(),
+            &mut m.lo,
+            &morigins,
+            mcols,
+            uw_w,
+        );
+        kernels::residual_merge(
+            device,
+            "residual_merge_hi",
+            &a.hi,
+            &a.geom(),
+            &b.hi,
+            &b.geom(),
+            &mut m.hi,
+            &morigins,
+            mcols,
+            uw_w,
+        );
         Ok(m)
     }
 
@@ -712,8 +722,16 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
                 win_w: self.win_w,
                 origins: self.origins.clone(),
                 seg: self.seg.clone(),
-                lo: DeviceBuffer::from_slice(device, &self.lo)?,
-                hi: DeviceBuffer::from_slice(device, &self.hi)?,
+                lo: {
+                    let mut l = DeviceBuffer::for_overwrite(device, self.lo.len())?;
+                    kernels::dtod(device, "split_add_copy", &self.lo, &mut l);
+                    l
+                },
+                hi: {
+                    let mut h = DeviceBuffer::for_overwrite(device, self.hi.len())?;
+                    kernels::dtod(device, "split_add_copy", &self.hi, &mut h);
+                    h
+                },
                 cst_lo: if with_cst {
                     self.cst_lo.clone()
                 } else {
@@ -724,6 +742,7 @@ impl<F: Fp, B: Backend> ExprBatch<F, B> {
                 } else {
                     vec![Itv::zero(); self.rows()]
                 },
+                dead_cols: None,
             })
         };
         Ok((mk(node_a, shape_a, true)?, mk(node_b, shape_b, false)?))

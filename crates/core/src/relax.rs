@@ -1,184 +1,8 @@
 //! The DeepPoly ReLU relaxation.
+//!
+//! The relaxation table is consumed by the backend's ReLU substitution
+//! kernel, so the type (and its derivation) lives in `gpupoly-device`; this
+//! module re-exports it so existing `gpupoly_core::ReluRelax` call sites
+//! are unchanged.
 
-use gpupoly_interval::{round, Fp, Itv};
-
-/// The four relaxation coefficients DeepPoly attaches to a ReLU neuron
-/// `y = max(x, 0)` with input bounds `l ≤ x ≤ u`:
-///
-/// `alpha·x + beta  ≤  y  ≤  gamma·x + delta`.
-///
-/// Coefficients are intervals for floating-point soundness: `gamma = u/(u-l)`
-/// involves a division, so its directed-rounding enclosure is genuinely wide
-/// (a few ulps), and every downstream use takes the worst case over the
-/// enclosure.
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub struct ReluRelax<F> {
-    /// Lower slope (`0` or `1`, chosen adaptively — the DeepPoly heuristic
-    /// minimizing relaxation area).
-    pub alpha: Itv<F>,
-    /// Lower intercept (always `0` for ReLU).
-    pub beta: Itv<F>,
-    /// Upper slope.
-    pub gamma: Itv<F>,
-    /// Upper intercept.
-    pub delta: Itv<F>,
-    /// `true` when the relaxation is exact (`l >= 0` or `u <= 0`); exact
-    /// neurons satisfy the early-termination criterion of §3.2.
-    pub exact: bool,
-}
-
-impl<F: Fp> ReluRelax<F> {
-    /// Derives the relaxation from the input bounds `x ∈ [l, u]`.
-    ///
-    /// * `l >= 0`: identity, exact.
-    /// * `u <= 0`: zero, exact.
-    /// * otherwise: the triangle relaxation `y ≤ u(x-l)/(u-l)` above and
-    ///   `y >= alpha·x` below with `alpha ∈ {0, 1}` picked by the smaller-area
-    ///   rule (`1` iff `u > -l`).
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use gpupoly_core::ReluRelax;
-    /// use gpupoly_interval::Itv;
-    ///
-    /// let r = ReluRelax::from_bounds(Itv::new(-1.0_f32, 3.0));
-    /// assert!(!r.exact);
-    /// // upper slope ~ 3/4, delta ~ 3/4
-    /// assert!(r.gamma.contains(0.75) && r.delta.contains(0.75));
-    /// let id = ReluRelax::from_bounds(Itv::new(0.0_f32, 2.0));
-    /// assert!(id.exact && id.gamma.contains(1.0));
-    /// ```
-    pub fn from_bounds(b: Itv<F>) -> Self {
-        let (l, u) = (b.lo, b.hi);
-        if l >= F::ZERO {
-            return Self {
-                alpha: Itv::point(F::ONE),
-                beta: Itv::zero(),
-                gamma: Itv::point(F::ONE),
-                delta: Itv::zero(),
-                exact: true,
-            };
-        }
-        if u <= F::ZERO {
-            return Self {
-                alpha: Itv::zero(),
-                beta: Itv::zero(),
-                gamma: Itv::zero(),
-                delta: Itv::zero(),
-                exact: true,
-            };
-        }
-        // Unstable: l < 0 < u. gamma = u / (u - l), enclosed outward.
-        let den_lo = round::sub_down(u, l);
-        let den_hi = round::sub_up(u, l);
-        debug_assert!(den_lo > F::ZERO);
-        let gamma = Itv::new(round::div_down(u, den_hi), round::div_up(u, den_lo));
-        // delta = -gamma * l  (l < 0 so delta > 0); take the worst case over
-        // the gamma enclosure.
-        let delta = gamma.mul_f(l).neg();
-        let alpha = if u > -l { F::ONE } else { F::ZERO };
-        Self {
-            alpha: Itv::point(alpha),
-            beta: Itv::zero(),
-            gamma,
-            delta: Itv::new(delta.lo.max(F::ZERO), delta.hi),
-            exact: false,
-        }
-    }
-
-    /// Computes the relaxation for every neuron of a layer.
-    pub fn layer(bounds: &[Itv<F>]) -> Vec<Self> {
-        bounds.iter().map(|&b| Self::from_bounds(b)).collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn check_sound(l: f32, u: f32) {
-        let r = ReluRelax::from_bounds(Itv::new(l, u));
-        // Sample x across [l, u]; relaxation must sandwich relu(x), for the
-        // worst-case instantiation of the interval coefficients.
-        for i in 0..=100 {
-            let x = l + (u - l) * (i as f32) / 100.0;
-            let y = x.max(0.0);
-            let lo = r.alpha.mul_f(x).add(r.beta);
-            let hi = r.gamma.mul_f(x).add(r.delta);
-            assert!(
-                lo.lo <= y + 1e-5,
-                "lower violated at x={x}: {} > {y} (l={l}, u={u})",
-                lo.lo
-            );
-            assert!(
-                hi.hi >= y - 1e-5,
-                "upper violated at x={x}: {} < {y} (l={l}, u={u})",
-                hi.hi
-            );
-        }
-    }
-
-    #[test]
-    fn stable_positive_is_identity() {
-        let r = ReluRelax::from_bounds(Itv::new(0.5_f32, 2.0));
-        assert!(r.exact);
-        assert_eq!(r.alpha, Itv::point(1.0));
-        assert_eq!(r.delta, Itv::zero());
-        check_sound(0.5, 2.0);
-    }
-
-    #[test]
-    fn stable_negative_is_zero() {
-        let r = ReluRelax::from_bounds(Itv::new(-3.0_f32, -0.1));
-        assert!(r.exact);
-        assert_eq!(r.gamma, Itv::zero());
-        check_sound(-3.0, -0.1);
-    }
-
-    #[test]
-    fn boundary_zero_lower_is_exact_identity() {
-        let r = ReluRelax::from_bounds(Itv::new(0.0_f32, 1.0));
-        assert!(r.exact);
-        let r = ReluRelax::from_bounds(Itv::new(-1.0_f32, 0.0));
-        assert!(r.exact);
-        assert_eq!(r.gamma, Itv::zero());
-    }
-
-    #[test]
-    fn unstable_triangle_is_sound() {
-        for (l, u) in [(-1.0, 1.0), (-3.0, 0.5), (-0.25, 4.0), (-1e-3, 1e3)] {
-            check_sound(l, u);
-        }
-    }
-
-    #[test]
-    fn alpha_heuristic_minimizes_area() {
-        // |u| > |l| -> alpha = 1; |u| < |l| -> alpha = 0.
-        let r = ReluRelax::from_bounds(Itv::new(-0.5_f32, 2.0));
-        assert_eq!(r.alpha, Itv::point(1.0));
-        let r = ReluRelax::from_bounds(Itv::new(-2.0_f32, 0.5));
-        assert_eq!(r.alpha, Itv::point(0.0));
-    }
-
-    #[test]
-    fn gamma_encloses_real_slope() {
-        let (l, u) = (-1.0_f32, 3.0_f32);
-        let r = ReluRelax::from_bounds(Itv::new(l, u));
-        let exact = (u as f64) / ((u - l) as f64);
-        assert!((r.gamma.lo as f64) <= exact && exact <= (r.gamma.hi as f64));
-        assert!(r.gamma.hi - r.gamma.lo < 1e-5, "enclosure should be tight");
-    }
-
-    #[test]
-    fn layer_maps_all_neurons() {
-        let bounds = [
-            Itv::new(-1.0_f32, 1.0),
-            Itv::new(1.0, 2.0),
-            Itv::new(-2.0, -1.0),
-        ];
-        let rs = ReluRelax::layer(&bounds);
-        assert_eq!(rs.len(), 3);
-        assert!(!rs[0].exact && rs[1].exact && rs[2].exact);
-    }
-}
+pub use gpupoly_device::ReluRelax;

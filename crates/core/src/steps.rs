@@ -12,7 +12,7 @@
 //! Residual Add nodes are handled by the walk engine via
 //! [`crate::expr::ExprBatch::split_add`] / [`crate::expr::ExprBatch::merge`].
 
-use gpupoly_device::{gemm, Backend, Device};
+use gpupoly_device::{gemm, kernels, scan, Backend, Device, DeviceBuffer, ExprGeom, GbcShape};
 use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Conv2d, Dense, NodeId, Shape};
 
@@ -86,46 +86,123 @@ pub fn step_dense_with<F: Fp, B: Backend>(
         vec![(0, 0); rows],
     )?;
     out.inherit_segments(&batch);
+    let geom = batch.geom();
+    let live = live_columns(device, &batch, dense.out_len);
     let (src_lo, src_hi, src_cst_lo, src_cst_hi) = batch.planes();
     {
         let (out_lo, out_hi, out_cst_lo, out_cst_hi) = out.planes_mut();
-        gemm::gemm_itv_f(
+        // Constants absorb the bias first, over the *uncompacted* batch:
+        // cst' = cst + Σ_i a_i · b_i. The fold accumulates every term (no
+        // zero-skip — see the backend contract), so its bit pattern must
+        // never depend on whether column compaction engages below.
+        kernels::bias_fold(
             device,
+            "bias_fold_lo",
             src_lo,
-            weight,
-            out_lo,
-            rows,
-            dense.out_len,
-            dense.in_len,
+            &geom,
+            bias,
+            src_cst_lo,
+            out_cst_lo,
         );
-        gemm::gemm_itv_f(
+        kernels::bias_fold(
             device,
+            "bias_fold_hi",
             src_hi,
-            weight,
-            out_hi,
-            rows,
-            dense.out_len,
-            dense.in_len,
+            &geom,
+            bias,
+            src_cst_hi,
+            out_cst_hi,
         );
-        // Constants absorb the bias: cst' = cst + Σ_i a_i · b_i.
-        device.par_map_mut(out_cst_lo, |r, v| {
-            let row = &src_lo[r * dense.out_len..(r + 1) * dense.out_len];
-            let mut acc = src_cst_lo[r];
-            for (a, &b) in row.iter().zip(bias) {
-                acc = a.mul_add_f(b, acc);
+        match live {
+            // Stable-zero column compaction: gather the live columns of
+            // both planes (an element gather — `gather_rows` over the
+            // transposed view) and the matching live rows of the weight
+            // matrix, then run the GEMM over `k_live` instead of `k`.
+            // Bit-identical to the dense product because every backend
+            // mandatorily skips exact-zero A terms: the surviving
+            // ascending-k fma sequence per output element is unchanged.
+            Some(live) => {
+                let k_live = live.len();
+                let mut col_index: Vec<u32> = Vec::with_capacity(rows * k_live);
+                for r in 0..rows {
+                    let base = (r * dense.out_len) as u32;
+                    col_index.extend(live.iter().map(|&c| base + c));
+                }
+                // Scratch sized to the *full* (uncompacted) classes and
+                // sliced to the live prefix: the live count varies per
+                // query, and pooling is by exact size class — stable
+                // classes keep steady-state `bytes_allocated` flat.
+                let mut a_lo = DeviceBuffer::for_overwrite(device, rows * dense.out_len)?;
+                let mut a_hi = DeviceBuffer::for_overwrite(device, rows * dense.out_len)?;
+                scan::gather_rows_into(device, src_lo, 1, &col_index, &mut a_lo[..rows * k_live]);
+                scan::gather_rows_into(device, src_hi, 1, &col_index, &mut a_hi[..rows * k_live]);
+                let mut w_live = DeviceBuffer::for_overwrite(device, dense.out_len * dense.in_len)?;
+                scan::gather_rows_into(
+                    device,
+                    weight,
+                    dense.in_len,
+                    &live,
+                    &mut w_live[..k_live * dense.in_len],
+                );
+                gemm::gemm_itv_f(
+                    device,
+                    &a_lo[..rows * k_live],
+                    &w_live[..k_live * dense.in_len],
+                    out_lo,
+                    rows,
+                    k_live,
+                    dense.in_len,
+                );
+                gemm::gemm_itv_f(
+                    device,
+                    &a_hi[..rows * k_live],
+                    &w_live[..k_live * dense.in_len],
+                    out_hi,
+                    rows,
+                    k_live,
+                    dense.in_len,
+                );
             }
-            *v = acc;
-        });
-        device.par_map_mut(out_cst_hi, |r, v| {
-            let row = &src_hi[r * dense.out_len..(r + 1) * dense.out_len];
-            let mut acc = src_cst_hi[r];
-            for (a, &b) in row.iter().zip(bias) {
-                acc = a.mul_add_f(b, acc);
+            None => {
+                gemm::gemm_itv_f(
+                    device,
+                    src_lo,
+                    weight,
+                    out_lo,
+                    rows,
+                    dense.out_len,
+                    dense.in_len,
+                );
+                gemm::gemm_itv_f(
+                    device,
+                    src_hi,
+                    weight,
+                    out_hi,
+                    rows,
+                    dense.out_len,
+                    dense.in_len,
+                );
             }
-            *v = acc;
-        });
+        }
     }
     Ok(out)
+}
+
+/// The live-column index of a stable-zero-masked batch, or `None` when
+/// compaction should not engage (no mask, nothing dead, or an index that
+/// would not fit the gather's `u32` addressing).
+fn live_columns<F: Fp, B: Backend>(
+    device: &Device<B>,
+    batch: &ExprBatch<F, B>,
+    k: usize,
+) -> Option<Vec<u32>> {
+    let dead = batch.dead_cols()?;
+    debug_assert_eq!(dead.len(), k, "dead-col mask covers the frontier");
+    if !dead.iter().any(|&d| d) || batch.rows().checked_mul(k)? > u32::MAX as usize {
+        return None;
+    }
+    let alive: Vec<bool> = dead.iter().map(|&d| !d).collect();
+    Some(scan::compact_indices(device, &alive))
 }
 
 /// GBC: backsubstitutes through a convolution (paper Algorithm 1).
@@ -189,89 +266,70 @@ pub fn step_conv_with<F: Fp, B: Backend>(
             )
         })
         .collect();
-    let rows = batch.rows();
     let mut out = ExprBatch::zeroed(device, parent, conv.in_shape, new_win, new_origins)?;
     out.inherit_segments(&batch);
-    let cout = conv.out_shape.c;
-    let cin = conv.in_shape.c;
-    let src_cols = batch.cols();
+    let shape = GbcShape {
+        kh: conv.kh,
+        kw: conv.kw,
+        sh: conv.sh,
+        sw: conv.sw,
+        cout: conv.out_shape.c,
+        cin: conv.in_shape.c,
+        in_h: conv.in_shape.h,
+        in_w: conv.in_shape.w,
+    };
     let dst_cols = out.cols();
     let new_ww = new_win.1;
-    let src = &batch;
-
-    // Constants absorb the conv bias over real window positions.
-    {
-        let (_, _, out_cst_lo, out_cst_hi) = out.planes_mut();
-        let (src_lo, src_hi, src_cst_lo, src_cst_hi) = src.planes();
-        let bias_fold = |r: usize, plane: &[Itv<F>], cst: Itv<F>| -> Itv<F> {
-            let row = &plane[r * src_cols..(r + 1) * src_cols];
-            let mut acc = cst;
-            for i in 0..wh {
-                for j in 0..ww {
-                    if !src.is_real(r, i, j) {
-                        continue;
-                    }
-                    let base = (i * ww + j) * cout;
-                    for (d, &b) in bias.iter().enumerate() {
-                        acc = row[base + d].mul_add_f(b, acc);
-                    }
-                }
-            }
-            acc
-        };
-        device.par_map_mut(out_cst_lo, |r, v| *v = bias_fold(r, src_lo, src_cst_lo[r]));
-        device.par_map_mut(out_cst_hi, |r, v| *v = bias_fold(r, src_hi, src_cst_hi[r]));
-    }
-
-    // The transpose-convolution kernel, one launch per plane.
+    let geom = batch.geom();
     let dst_origins = out.origins().to_vec();
-    let gbc = |r: usize, dst_row: &mut [Itv<F>], plane: &[Itv<F>]| {
-        let row = &plane[r * src_cols..(r + 1) * src_cols];
-        let (dst_oh, dst_ow) = dst_origins[r];
-        for i in 0..wh {
-            for j in 0..ww {
-                if !src.is_real(r, i, j) {
-                    continue; // virtual source position: zero by invariant
-                }
-                let sbase = (i * ww + j) * cout;
-                for f in 0..conv.kh {
-                    let a = i * conv.sh + f;
-                    let dh = dst_oh + a as i32;
-                    if dh < 0 || dh as usize >= conv.in_shape.h {
-                        continue; // write would be virtual (padding)
-                    }
-                    for g in 0..conv.kw {
-                        let b = j * conv.sw + g;
-                        let dw = dst_ow + b as i32;
-                        if dw < 0 || dw as usize >= conv.in_shape.w {
-                            continue;
-                        }
-                        let obase = (a * new_ww + b) * cin;
-                        for d in 0..cout {
-                            let m = row[sbase + d];
-                            if m.lo == F::ZERO && m.hi == F::ZERO {
-                                continue;
-                            }
-                            let wbase = conv.widx(f, g, d, 0);
-                            for c in 0..cin {
-                                dst_row[obase + c] =
-                                    m.mul_add_f(weight[wbase + c], dst_row[obase + c]);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    };
+    let (src_lo, src_hi, src_cst_lo, src_cst_hi) = batch.planes();
     {
-        let (src_lo, src_hi, _, _) = src.planes();
-        let (out_lo, out_hi, _, _) = out.planes_mut();
-        device.par_rows("gbc_lo", out_lo, dst_cols, |r, dst| gbc(r, dst, src_lo));
-        device.par_rows("gbc_hi", out_hi, dst_cols, |r, dst| gbc(r, dst, src_hi));
+        let (out_lo, out_hi, out_cst_lo, out_cst_hi) = out.planes_mut();
+        // Constants absorb the conv bias over real window positions.
+        kernels::bias_fold(
+            device,
+            "bias_fold_lo",
+            src_lo,
+            &geom,
+            bias,
+            src_cst_lo,
+            out_cst_lo,
+        );
+        kernels::bias_fold(
+            device,
+            "bias_fold_hi",
+            src_hi,
+            &geom,
+            bias,
+            src_cst_hi,
+            out_cst_hi,
+        );
+        // The transpose-convolution kernel, one launch per plane.
+        kernels::gbc(
+            device,
+            "gbc_lo",
+            src_lo,
+            &geom,
+            weight,
+            &shape,
+            out_lo,
+            &dst_origins,
+            dst_cols,
+            new_ww,
+        );
+        kernels::gbc(
+            device,
+            "gbc_hi",
+            src_hi,
+            &geom,
+            weight,
+            &shape,
+            out_hi,
+            &dst_origins,
+            dst_cols,
+            new_ww,
+        );
     }
-    device
-        .stats()
-        .add_flops(4 * (rows * wh * ww * conv.kh * conv.kw * cout * cin) as u64 * 2);
     Ok(out)
 }
 
@@ -328,98 +386,43 @@ pub fn step_relu_per_seg<F: Fp, B: Backend>(
         "segment index out of range for {} relaxation tables",
         relax_per_seg.len()
     );
-    for (relax, out_bounds) in relax_per_seg.iter().zip(out_bounds_per_seg) {
-        assert_eq!(relax.len(), batch.shape().len(), "relax length mismatch");
-        assert_eq!(
-            out_bounds.len(),
-            batch.shape().len(),
-            "out bounds length mismatch"
-        );
-    }
-    let cols = batch.cols();
     let (win_h, win_w) = batch.window();
-    let chans = batch.shape().c;
     let shape = batch.shape();
     let origins = batch.origins().to_vec();
     let seg = batch.segments().to_vec();
-    let rows = batch.rows();
-    device.stats().add_flops(4 * (rows * cols) as u64 * 2);
-    let is_real = |r: usize, i: usize, j: usize| {
-        let (oh, ow) = origins[r];
-        let h = oh + i as i32;
-        let w = ow + j as i32;
-        h >= 0 && w >= 0 && (h as usize) < shape.h && (w as usize) < shape.w
-    };
-    let neuron_at = |r: usize, i: usize, j: usize| {
-        let (oh, ow) = origins[r];
-        shape.idx((oh + i as i32) as usize, (ow + j as i32) as usize, 0)
+    let geom = ExprGeom {
+        win_h,
+        win_w,
+        shape_h: shape.h,
+        shape_w: shape.w,
+        chans: shape.c,
+        origins: &origins,
+        seg: &seg,
     };
     {
         let (lo, hi, cst_lo, cst_hi) = batch.planes_mut();
-        // Lower plane: a >= 0 -> (alpha, beta); a <= 0 -> (gamma, delta).
-        device.par_rows_with("relu_step_lo", lo, cols, cst_lo, |r, row, cst| {
-            let relax = relax_per_seg[seg[r] as usize];
-            let out_bounds = out_bounds_per_seg[seg[r] as usize];
-            for i in 0..win_h {
-                for j in 0..win_w {
-                    if !is_real(r, i, j) {
-                        continue;
-                    }
-                    let nbase = neuron_at(r, i, j);
-                    let base = (i * win_w + j) * chans;
-                    for c in 0..chans {
-                        let a = row[base + c];
-                        if a.lo == F::ZERO && a.hi == F::ZERO {
-                            continue;
-                        }
-                        let rx = &relax[nbase + c];
-                        if a.lo >= F::ZERO {
-                            row[base + c] = a.mul(rx.alpha);
-                            *cst = cst.add(a.mul(rx.beta));
-                        } else if a.hi <= F::ZERO {
-                            row[base + c] = a.mul(rx.gamma);
-                            *cst = cst.add(a.mul(rx.delta));
-                        } else {
-                            let hull = a.mul(out_bounds[nbase + c]);
-                            row[base + c] = Itv::zero();
-                            *cst = cst.add(Itv::point(hull.lo));
-                        }
-                    }
-                }
-            }
-        });
-        // Upper plane: mirrored.
-        device.par_rows_with("relu_step_hi", hi, cols, cst_hi, |r, row, cst| {
-            let relax = relax_per_seg[seg[r] as usize];
-            let out_bounds = out_bounds_per_seg[seg[r] as usize];
-            for i in 0..win_h {
-                for j in 0..win_w {
-                    if !is_real(r, i, j) {
-                        continue;
-                    }
-                    let nbase = neuron_at(r, i, j);
-                    let base = (i * win_w + j) * chans;
-                    for c in 0..chans {
-                        let a = row[base + c];
-                        if a.lo == F::ZERO && a.hi == F::ZERO {
-                            continue;
-                        }
-                        let rx = &relax[nbase + c];
-                        if a.lo >= F::ZERO {
-                            row[base + c] = a.mul(rx.gamma);
-                            *cst = cst.add(a.mul(rx.delta));
-                        } else if a.hi <= F::ZERO {
-                            row[base + c] = a.mul(rx.alpha);
-                            *cst = cst.add(a.mul(rx.beta));
-                        } else {
-                            let hull = a.mul(out_bounds[nbase + c]);
-                            row[base + c] = Itv::zero();
-                            *cst = cst.add(Itv::point(hull.hi));
-                        }
-                    }
-                }
-            }
-        });
+        // Lower plane: a >= 0 -> (alpha, beta); a <= 0 -> (gamma, delta);
+        // the upper plane mirrors the choice (`upper = true`).
+        kernels::relu_step(
+            device,
+            "relu_step_lo",
+            lo,
+            cst_lo,
+            &geom,
+            relax_per_seg,
+            out_bounds_per_seg,
+            false,
+        );
+        kernels::relu_step(
+            device,
+            "relu_step_hi",
+            hi,
+            cst_hi,
+            &geom,
+            relax_per_seg,
+            out_bounds_per_seg,
+            true,
+        );
     }
     batch.set_node(parent);
     batch

@@ -48,6 +48,13 @@ pub(crate) struct Walker<'a, 'n, F: Fp, B: Backend> {
     pub prepared: &'a PreparedGraph<'n, F, B>,
     /// Per-segment concrete bounds, indexed `seg_bounds[segment][node]`.
     pub seg_bounds: Vec<&'a [Vec<Itv<F>>]>,
+    /// Stable-zero column compaction
+    /// ([`crate::VerifyConfig::stable_zero_compaction`]): after a ReLU step
+    /// whose relaxation is identically zero for a neuron in *every*
+    /// segment, mark that neuron's (all-zero) column so a following dense
+    /// step can compact it out of the GEMM. Scheduling/metering only —
+    /// margins are bit-identical either way.
+    pub compact_dead_cols: bool,
 }
 
 impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
@@ -173,13 +180,27 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
                     .collect();
                 let relax_refs: Vec<&[ReluRelax<F>]> =
                     table_of.iter().map(|&t| tables[t].as_slice()).collect();
-                Ok(step_relu_per_seg(
-                    self.device,
-                    batch,
-                    &relax_refs,
-                    &self.node_bounds(node),
-                    p,
-                ))
+                let mut out =
+                    step_relu_per_seg(self.device, batch, &relax_refs, &self.node_bounds(node), p);
+                // Stable-zero column compaction: a neuron whose relaxation
+                // is the zero function in *every* segment's table leaves an
+                // exactly-zero coefficient column (pinned by the backend
+                // conformance suite), so the next dense GEMM can drop it.
+                // Engage only when the consumer is a dense layer with
+                // finite weights — non-finite weights could turn a dropped
+                // zero term into a dropped NaN.
+                if self.compact_dead_cols
+                    && matches!(self.graph.nodes[p].op, Op::Dense(_))
+                    && self.prepared.weights_finite(p)
+                {
+                    let dead: Vec<bool> = (0..self.graph.nodes[p].shape.len())
+                        .map(|n| tables.iter().all(|t| t[n].is_zero()))
+                        .collect();
+                    if dead.iter().any(|&d| d) {
+                        out.set_dead_cols(dead);
+                    }
+                }
+                Ok(out)
             }
             Op::Add { head } => {
                 let pa = self.graph.nodes[node].parents[0];
@@ -261,6 +282,7 @@ mod tests {
             graph: &graph,
             prepared: &prepared,
             seg_bounds: vec![bounds.as_slice()],
+            compact_dead_cols: true,
         };
         // Bound the output node's neurons via identity start.
         let on = graph.output();
@@ -296,6 +318,7 @@ mod tests {
             graph: &graph,
             prepared: &prepared,
             seg_bounds: vec![bounds.as_slice()],
+            compact_dead_cols: true,
         };
         let batch = ExprBatch::identity(&device, 2, graph.nodes[2].shape, &[0, 1]).unwrap();
         let out = walker.run(batch, StopRule::None).unwrap();
@@ -323,6 +346,7 @@ mod tests {
             graph: &graph,
             prepared: &prepared,
             seg_bounds: vec![bounds.as_slice()],
+            compact_dead_cols: true,
         };
         let batch = ExprBatch::identity(&device, 1, graph.nodes[1].shape, &[0, 1]).unwrap();
         let out = walker.run(batch, StopRule::StableSign).unwrap();
@@ -357,6 +381,7 @@ mod tests {
             graph: &graph,
             prepared: &prepared,
             seg_bounds: vec![bounds.as_slice()],
+            compact_dead_cols: true,
         };
         let out_node = graph.output();
         let batch =
@@ -384,6 +409,7 @@ mod tests {
             graph: &graph,
             prepared: &prepared,
             seg_bounds: vec![bounds.as_slice()],
+            compact_dead_cols: true,
         };
         let on = graph.output();
         let batch = ExprBatch::identity(&device, on, graph.nodes[on].shape, &[0, 1]).unwrap();

@@ -1,0 +1,240 @@
+//! Stable-zero column compaction: after a ReLU step, stably-dead neurons
+//! (relaxation identically zero) leave all-zero coefficient columns, and
+//! the following dense GEMM drops them — fewer metered flops, bit-identical
+//! margins.
+
+use gpupoly_core::{Engine, Query, VerifyConfig};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+
+/// An MLP whose even hidden neurons carry a strongly negative bias: with
+/// inputs clamped to `[0, 1]` and |w| ≤ 0.2, their pre-activations stay
+/// below `-4 + 1.2 < 0`, so those ReLUs are stably dead on every query.
+fn dead_relu_net() -> Network<f32> {
+    let w = |seed: usize| {
+        move |i: usize| (((i * 2654435761 + seed * 97) % 1000) as f32 / 1000.0 - 0.5) * 0.4
+    };
+    NetworkBuilder::new_flat(6)
+        .flatten_dense(16, w(1), |i| if i % 2 == 0 { -4.0 } else { 0.1 })
+        .relu()
+        .flatten_dense(16, w(2), |i| if i % 3 == 0 { -4.0 } else { 0.05 })
+        .relu()
+        .flatten_dense(3, w(3), |_| 0.0)
+        .build()
+        .expect("net builds")
+}
+
+/// The same architecture with biases large enough that every pre-activation
+/// is stably *positive* (|w·x| ≤ 1.2 < 2): no neuron is ever stably dead,
+/// so compaction never engages.
+fn live_relu_net() -> Network<f32> {
+    let w = |seed: usize| {
+        move |i: usize| (((i * 2654435761 + seed * 97) % 1000) as f32 / 1000.0 - 0.5) * 0.4
+    };
+    NetworkBuilder::new_flat(6)
+        .flatten_dense(16, w(1), |_| 2.0)
+        .relu()
+        .flatten_dense(16, w(2), |_| 8.0)
+        .relu()
+        .flatten_dense(3, w(3), |_| 0.0)
+        .build()
+        .expect("net builds")
+}
+
+fn queries() -> Vec<Query<f32>> {
+    (0..4)
+        .map(|q| {
+            let image: Vec<f32> = (0..6)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            Query::new(image, q % 3, 0.03)
+        })
+        .collect()
+}
+
+/// Margins (bit patterns) + device flops + compaction-kernel launches of
+/// one sequential run over fresh engine/device.
+fn run<B: Backend>(
+    device: Device<B>,
+    net: &Network<f32>,
+    compaction: bool,
+) -> (Vec<Vec<u32>>, u64, u64) {
+    let cfg = VerifyConfig {
+        stable_zero_compaction: compaction,
+        ..Default::default()
+    };
+    let engine = Engine::new(device.clone(), net, cfg).expect("engine");
+    let mut margins = Vec::new();
+    for q in queries() {
+        let v = engine
+            .verify_robustness(&q.image, q.label, q.eps)
+            .expect("query verifies");
+        margins.push(v.margins.iter().map(|m| m.lower.to_bits()).collect());
+    }
+    (
+        margins,
+        device.stats().flops(),
+        device.stats().kernel_launches("compact_indices"),
+    )
+}
+
+#[test]
+fn compaction_cuts_flops_with_bit_identical_margins_on_both_backends() {
+    let net = dead_relu_net();
+    for reference in [false, true] {
+        let (dense_m, dense_flops, _) = if reference {
+            run(
+                Device::reference(DeviceConfig::new().workers(1)),
+                &net,
+                false,
+            )
+        } else {
+            run(Device::new(DeviceConfig::new().workers(2)), &net, false)
+        };
+        let (comp_m, comp_flops, comp_compact) = if reference {
+            run(
+                Device::reference(DeviceConfig::new().workers(1)),
+                &net,
+                true,
+            )
+        } else {
+            run(Device::new(DeviceConfig::new().workers(2)), &net, true)
+        };
+        let tag = if reference { "reference" } else { "cpusim" };
+        assert_eq!(
+            comp_m, dense_m,
+            "{tag}: compaction must not change a single margin bit"
+        );
+        assert!(
+            comp_flops < dense_flops,
+            "{tag}: compacted flops {comp_flops} must undercut dense {dense_flops}"
+        );
+        assert!(
+            comp_compact > 0,
+            "{tag}: compaction must run the prefix-sum compaction kernel"
+        );
+    }
+}
+
+#[test]
+fn compacted_margins_bit_identical_across_backends() {
+    let net = dead_relu_net();
+    let (cpusim, _, _) = run(Device::new(DeviceConfig::new().workers(2)), &net, true);
+    let (reference, _, _) = run(
+        Device::reference(DeviceConfig::new().workers(1)),
+        &net,
+        true,
+    );
+    assert_eq!(
+        cpusim, reference,
+        "compacted margins drifted across backends"
+    );
+}
+
+#[test]
+fn compaction_is_a_no_op_without_dead_neurons() {
+    let net = live_relu_net();
+    let (dense_m, dense_flops, dense_compact) =
+        run(Device::new(DeviceConfig::new().workers(2)), &net, false);
+    let (comp_m, comp_flops, comp_compact) =
+        run(Device::new(DeviceConfig::new().workers(2)), &net, true);
+    assert_eq!(comp_m, dense_m);
+    assert_eq!(
+        comp_flops, dense_flops,
+        "no dead columns: the flag must change nothing"
+    );
+    // Early termination's row compaction also uses the kernel; the counts
+    // must simply agree, proving no *column* compaction ran.
+    assert_eq!(comp_compact, dense_compact);
+}
+
+#[test]
+fn non_finite_weights_disengage_compaction() {
+    // A `-inf` bias makes its neurons stably dead (pre-activation bounds
+    // collapse to -inf) while failing the layer's finiteness guard: the
+    // flag must then change neither flops nor results.
+    let w = |i: usize| (((i * 131) % 17) as f32 - 8.0) * 0.02;
+    let net = NetworkBuilder::new_flat(4)
+        .flatten_dense(8, w, |i| if i % 2 == 0 { f32::NEG_INFINITY } else { 0.1 })
+        .relu()
+        .flatten_dense(3, |i| w(i + 5), |_| 0.0)
+        .build()
+        .expect("net builds");
+    let run_one = |compaction: bool| {
+        let device = Device::new(DeviceConfig::new().workers(2));
+        let cfg = VerifyConfig {
+            stable_zero_compaction: compaction,
+            ..Default::default()
+        };
+        let engine = Engine::new(device.clone(), &net, cfg).expect("engine");
+        let q = Query::new(vec![0.4_f32, 0.6, 0.5, 0.3], 0, 0.02);
+        let v = engine.verify_robustness(&q.image, q.label, q.eps);
+        let bits: Vec<Vec<u32>> = v
+            .into_iter()
+            .map(|v| v.margins.iter().map(|m| m.lower.to_bits()).collect())
+            .collect();
+        (bits, device.stats().flops())
+    };
+    let (dense_m, dense_flops) = run_one(false);
+    let (comp_m, comp_flops) = run_one(true);
+    assert_eq!(comp_m, dense_m, "guard must keep results identical");
+    assert_eq!(
+        comp_flops, dense_flops,
+        "non-finite weights: compaction must not engage"
+    );
+}
+
+#[test]
+fn compaction_survives_memory_capped_devices() {
+    // Chunked (OOM-adaptive) walks with compaction on must match the
+    // uncapped margins bit for bit.
+    let net = dead_relu_net();
+    let (want, _, _) = run(Device::new(DeviceConfig::new().workers(2)), &net, true);
+    let capped = Device::new(DeviceConfig::new().workers(2).memory_capacity(1 << 15));
+    let (got, _, _) = run(capped, &net, true);
+    assert_eq!(got, want, "capped compacted margins drifted");
+}
+
+#[test]
+fn zero_relaxation_annihilates_non_finite_coefficients() {
+    // The load-bearing fact behind compaction soundness even for
+    // overflowed walks: a stably-dead neuron's zero relaxation maps *any*
+    // coefficient — including ±inf and NaN from upstream blowup — to an
+    // exact-zero interval (the directed-rounding multiply special-cases
+    // zero operands), so a dead column is exactly `[0, 0]` and dropping
+    // it from the GEMM can never swallow a NaN the dense path would have
+    // propagated.
+    use gpupoly_core::expr::ExprBatch;
+    use gpupoly_core::{steps, ReluRelax};
+    use gpupoly_device::Device;
+    use gpupoly_interval::Itv;
+    use gpupoly_nn::Shape;
+
+    let device = Device::default();
+    let shape = Shape::flat(3);
+    let mut batch =
+        ExprBatch::<f32, _>::zeroed(&device, 2, shape, (1, 1), vec![(0, 0), (0, 0), (0, 0)])
+            .unwrap();
+    // Rows carry pathological coefficients on their own neuron. (NaN
+    // bounds are unconstructible — `Itv::new` debug-asserts them away —
+    // so overflow to ±inf is the worst a blown-up walk can feed in.)
+    batch.set_coeff(0, 0, Itv::new(f32::INFINITY, f32::INFINITY));
+    batch.set_coeff(1, 0, Itv::new(f32::NEG_INFINITY, f32::INFINITY));
+    batch.set_coeff(2, 0, Itv::new(f32::MAX, f32::INFINITY));
+    // Every neuron stably dead: zero relaxation, zero output bounds.
+    let in_bounds = [Itv::new(-2.0_f32, -1.0); 3];
+    let relax = ReluRelax::layer(&in_bounds);
+    assert!(relax.iter().all(ReluRelax::is_zero));
+    let out_bounds = [Itv::new(0.0_f32, 0.0); 3];
+    let out = steps::step_relu(&device, batch, &relax, &out_bounds, 1);
+    let bounds = [Itv::new(0.0_f32, 1.0); 3];
+    let cand = out.concretize(&device, &bounds);
+    for (r, c) in cand.iter().enumerate() {
+        assert_eq!(
+            (c.lo.to_bits(), c.hi.to_bits()),
+            (0.0_f32.to_bits(), 0.0_f32.to_bits()),
+            "row {r}: dead column must be exactly zero, got {c}"
+        );
+    }
+}

@@ -203,3 +203,190 @@ fn bad_query_mid_batch_leaves_pool_accounting_intact() {
         assert!(!device.buffer_pool_active());
     }
 }
+
+/// A conv + residual + dense network whose walks exercise every promoted
+/// backend kernel: GBC transpose conv, densify, residual merge/split
+/// copies, the ReLU step and concretize.
+fn kernel_zoo_net() -> Network<f32> {
+    use gpupoly_nn::Shape;
+    NetworkBuilder::new(Shape::new(4, 4, 2))
+        .conv(
+            2,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            (0..2 * 3 * 3 * 2)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.08)
+                .collect(),
+            vec![0.05, -0.05],
+        )
+        .relu()
+        .residual(
+            |a| {
+                a.conv(
+                    2,
+                    (3, 3),
+                    (1, 1),
+                    (1, 1),
+                    (0..2 * 3 * 3 * 2)
+                        .map(|i| ((i % 5) as f32 - 2.0) * 0.06)
+                        .collect(),
+                    vec![0.0, 0.02],
+                )
+                .relu()
+            },
+            |b| b,
+        )
+        .flatten_dense(3, |i| ((i % 11) as f32 - 5.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("kernel zoo net builds")
+}
+
+#[test]
+fn promoted_kernel_walks_stay_allocation_flat_on_the_pooling_backend() {
+    // Repeated walks over the conv/residual net run every promoted trait
+    // kernel (GBC, densify, merge, split copies, ReLU step, concretize);
+    // with early termination off the batch shapes repeat exactly, so after
+    // one warmup query every scratch allocation — including the kernels'
+    // gather/duplicate targets — must come from the pool.
+    let cfg = VerifyConfig {
+        early_termination: false,
+        ..Default::default()
+    };
+    let device = Device::new(DeviceConfig::new().workers(2));
+    let net = kernel_zoo_net();
+    let engine = Engine::new(device.clone(), &net, cfg).unwrap();
+
+    let image = |q: usize| -> Vec<f32> {
+        (0..32)
+            .map(|i| 0.2 + 0.6 * (((q * 37 + i * 13) % 100) as f32 / 100.0))
+            .collect()
+    };
+    engine.verify_robustness(&image(0), 0, 0.01).unwrap();
+    let bytes_after_warmup = device.stats().bytes_allocated();
+    for q in 1..6 {
+        // Distinct images (cache misses), identical batch geometry.
+        engine.verify_robustness(&image(q), q % 3, 0.01).unwrap();
+    }
+    // The walks must actually have crossed the promoted kernels.
+    for label in [
+        "gbc_lo",
+        "gbc_hi",
+        "residual_merge_lo",
+        "residual_merge_hi",
+        "split_add_copy",
+        "relu_step_lo",
+        "relu_step_hi",
+        "bias_fold_lo",
+        "bias_fold_hi",
+        "concretize",
+    ] {
+        assert!(
+            device.stats().kernel_launches(label) > 0,
+            "walks must exercise {label}"
+        );
+    }
+    assert_eq!(
+        device.stats().bytes_allocated(),
+        bytes_after_warmup,
+        "steady-state walks over the promoted kernels must reuse pooled \
+         buffers only"
+    );
+    assert!(device.stats().pool_hits() > 0);
+}
+
+#[test]
+fn compaction_scratch_stays_allocation_flat_and_drop_returns_every_byte() {
+    // The stable-zero compaction path allocates gather scratch (plane
+    // column gathers + the live-weight view). Those buffers use stable
+    // full-size classes, so steady-state stays flat; dropping the engine
+    // must return every byte including the scratch.
+    let w = |i: usize| (((i * 2654435761 + 13) % 1000) as f32 / 1000.0 - 0.5) * 0.4;
+    let net = NetworkBuilder::new_flat(6)
+        .flatten_dense(16, w, |i| if i % 2 == 0 { -4.0 } else { 0.1 })
+        .relu()
+        .flatten_dense(16, |i| w(i + 31), |i| if i % 3 == 0 { -4.0 } else { 0.05 })
+        .relu()
+        .flatten_dense(3, |i| w(i + 77), |_| 0.0)
+        .build()
+        .unwrap();
+    let cfg = VerifyConfig {
+        early_termination: false,
+        ..Default::default()
+    };
+    let device = Device::new(DeviceConfig::new().workers(2));
+    {
+        let engine = Engine::new(device.clone(), &net, cfg).unwrap();
+        let image = |q: usize| -> Vec<f32> {
+            (0..6)
+                .map(|i| 0.3 + 0.4 * (((q * 41 + i * 17) % 100) as f32 / 100.0))
+                .collect()
+        };
+        engine.verify_robustness(&image(0), 0, 0.02).unwrap();
+        let flops0 = device.stats().flops();
+        let bytes_after_warmup = device.stats().bytes_allocated();
+        for q in 1..6 {
+            engine.verify_robustness(&image(q), q % 3, 0.02).unwrap();
+        }
+        assert!(
+            device.stats().flops() > flops0,
+            "queries after warmup must do metered work"
+        );
+        assert!(
+            device.stats().kernel_launches("compact_indices") > 0,
+            "the dead-ReLU net must engage column compaction"
+        );
+        assert_eq!(
+            device.stats().bytes_allocated(),
+            bytes_after_warmup,
+            "compaction gather scratch must recycle through the pool"
+        );
+    }
+    // Engine drop: pool drained, every byte returned.
+    assert_eq!(device.memory_in_use(), 0, "drop must return every byte");
+    assert_eq!(device.buffer_pool_bytes(), 0, "drop must drain the pool");
+}
+
+#[test]
+fn densify_scratch_recycles_through_the_pool() {
+    // `densify` only engages when a cuboid batch reaches a dense step, a
+    // shape the walk tests above never produce — drive it directly:
+    // repeated densify of identical cuboid geometry must stop allocating
+    // once the pool is warm, and every byte must return on release.
+    use gpupoly_core::expr::ExprBatch;
+    use gpupoly_nn::{Conv2d, Shape};
+
+    let device = Device::new(DeviceConfig::new().workers(2));
+    device.buffer_pool_retain();
+    let conv = Conv2d::new(
+        Shape::new(4, 4, 2),
+        2,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+        (0..2 * 3 * 3 * 2)
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.1)
+            .collect(),
+        vec![0.1, -0.1],
+    )
+    .unwrap();
+    let neurons: Vec<usize> = (0..8).collect();
+    let mk = || ExprBatch::from_conv(&device, &conv, &neurons, 0, None).unwrap();
+    {
+        let _warm = mk().densify(&device).unwrap();
+    }
+    let launches0 = device.stats().kernel_launches("densify_lo");
+    let bytes_after_warmup = device.stats().bytes_allocated();
+    for _ in 0..5 {
+        let full = mk().densify(&device).unwrap();
+        assert!(full.is_full());
+    }
+    assert!(device.stats().kernel_launches("densify_lo") >= launches0 + 5);
+    assert_eq!(
+        device.stats().bytes_allocated(),
+        bytes_after_warmup,
+        "repeated densify must be served by the pool"
+    );
+    device.buffer_pool_release();
+    assert_eq!(device.memory_in_use(), 0, "release must return every byte");
+}

@@ -472,3 +472,220 @@ fn fused_batches_bit_identical_across_backends() {
     let reference = run(Device::reference(DeviceConfig::new().workers(1)), &net, &qs);
     assert_eq!(cpusim, reference, "fused margins drifted across backends");
 }
+
+#[test]
+fn fused_sweep_hits_monotone_anchor_analysis() {
+    // With ε-monotone reuse on, a fused downward sweep must be served from
+    // the anchor's cached analysis: zero new analyses, one monotone hit
+    // per query, margins bit-identical to the anchor's (superset margins,
+    // exactly like the per-query monotone path).
+    let net = random_net(19, 2, 6);
+    let image = vec![0.45_f32, 0.55, 0.35, 0.6];
+    let opts = EngineOptions {
+        monotone_cache_reuse: true,
+        ..Default::default()
+    };
+    let engine =
+        Engine::with_options(Device::default(), &net, VerifyConfig::default(), opts).unwrap();
+
+    let label = net.classify(&image);
+    let anchor = engine.verify_robustness(&image, label, 0.02).unwrap();
+    assert!(anchor.verified, "anchor must be provable for this net");
+    assert_eq!(engine.cache_stats().1, 1);
+
+    // The sweep submitted as ONE fused batch: every box is strictly inside
+    // the anchor's.
+    let sweep: Vec<Query<f32>> = (1..=6)
+        .map(|i| Query::new(image.clone(), label, 0.02 * i as f32 / 10.0))
+        .collect();
+    let got = engine.verify_batch_fused(&sweep);
+    for v in &got {
+        let v = v.as_ref().unwrap();
+        assert!(v.verified, "subset of a proven box must prove");
+        for (m, a) in v.margins.iter().zip(&anchor.margins) {
+            assert_eq!(
+                m.lower.to_bits(),
+                a.lower.to_bits(),
+                "superset proof must carry the anchor's margins"
+            );
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "the fused sweep must not compute new analyses"
+    );
+    assert_eq!(
+        stats.monotone_hits,
+        sweep.len() as u64,
+        "every fused sweep query must count a monotone hit"
+    );
+
+    // Per-query and fused monotone paths agree bit for bit.
+    let control =
+        Engine::with_options(Device::default(), &net, VerifyConfig::default(), opts).unwrap();
+    control.verify_robustness(&image, label, 0.02).unwrap();
+    for (q, v) in sweep.iter().zip(&got) {
+        let want = control.verify_robustness(&q.image, q.label, q.eps).unwrap();
+        let got = v.as_ref().unwrap();
+        for (g, w) in got.margins.iter().zip(&want.margins) {
+            assert_eq!(g.lower.to_bits(), w.lower.to_bits());
+        }
+    }
+}
+
+#[test]
+fn fused_monotone_unproven_queries_fall_through_to_exact_fused_analyses() {
+    // Queries NOT covered by a cached superset (or not provable from it)
+    // must still flow through the exact fused pipeline — and refutation
+    // margins must be exact-path bits, never superset bits.
+    let net = random_net(23, 3, 8);
+    let image = vec![0.5_f32, 0.5, 0.5, 0.5];
+    let plain = Engine::new(Device::default(), &net, VerifyConfig::default()).unwrap();
+    let label = net.classify(&image);
+    let big = plain.verify_robustness(&image, label, 0.5).unwrap();
+    if big.verified {
+        return; // net geometry made the premise vacuous
+    }
+    let opts = EngineOptions {
+        monotone_cache_reuse: true,
+        ..Default::default()
+    };
+    let engine =
+        Engine::with_options(Device::default(), &net, VerifyConfig::default(), opts).unwrap();
+    engine.verify_robustness(&image, label, 0.5).unwrap(); // cache the (failed) anchor
+    let qs: Vec<Query<f32>> = vec![
+        Query::new(image.clone(), label, 0.4),
+        Query::new(image.clone(), label, 0.3),
+    ];
+    let got = engine.verify_batch_fused(&qs);
+    for (q, v) in qs.iter().zip(&got) {
+        let want = plain.verify_robustness(&q.image, q.label, q.eps).unwrap();
+        let got = v.as_ref().unwrap();
+        assert_eq!(got.verified, want.verified);
+        if !want.verified {
+            for (g, w) in got.margins.iter().zip(&want.margins) {
+                assert_eq!(
+                    g.lower.to_bits(),
+                    w.lower.to_bits(),
+                    "unproven queries must carry exact-path margins"
+                );
+            }
+        }
+    }
+}
+
+/// A single-ReLU-layer net where the number of unstable neurons is set
+/// pixel by pixel: neuron i = x_i - 0.5, so a pixel at 0.5 straddles zero
+/// (unstable) and a pixel at 0.9 is stably positive.
+fn pixel_controlled_net() -> Network<f32> {
+    let eye = |i: usize| if i.is_multiple_of(9) { 1.0_f32 } else { 0.0 };
+    NetworkBuilder::new_flat(8)
+        .flatten_dense(8, eye, |_| -0.5)
+        .relu()
+        .flatten_dense(2, |i| ((i % 5) as f32 - 2.0) * 0.3, |_| 0.0)
+        .build()
+        .expect("net builds")
+}
+
+#[test]
+fn fused_chunks_split_on_query_segment_boundaries() {
+    // q0 selects 2 unstable neurons, q1 selects 6; with chunk_rows = 6 the
+    // fused work list is [q0 x2, q1 x6]. Segment-aware sizing snaps the
+    // first chunk to q0's boundary, so each query runs in exactly one
+    // chunk of its own — q1 must NOT report a second chunk from straddling
+    // the old fixed-size cut.
+    let net = pixel_controlled_net();
+    let image = |unstable: usize| -> Vec<f32> {
+        (0..8)
+            .map(|i| if i < unstable { 0.5 } else { 0.9 })
+            .collect()
+    };
+    let qs = vec![Query::new(image(2), 0, 0.1), Query::new(image(6), 1, 0.1)];
+    let cfg = VerifyConfig {
+        chunk_rows: Some(6),
+        ..Default::default()
+    };
+    let engine = Engine::new(Device::new(DeviceConfig::new().workers(2)), &net, cfg).unwrap();
+    let got = engine.verify_batch_fused(&qs);
+    assert!(got.iter().all(Result::is_ok));
+    assert_eq!(engine.stats().fused_batches, 1, "batch must fuse");
+    let chunks: Vec<usize> = got
+        .iter()
+        .map(|v| v.as_ref().unwrap().stats.chunks)
+        .collect();
+    assert_eq!(
+        chunks,
+        vec![1, 1],
+        "each query's refinement must run in exactly one whole-query chunk"
+    );
+
+    // And the schedule change is invisible in the margins.
+    let control = Engine::new(
+        Device::new(DeviceConfig::new().workers(2)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .unwrap();
+    for (q, v) in qs.iter().zip(&got) {
+        let want = control.verify_robustness(&q.image, q.label, q.eps).unwrap();
+        for (g, w) in v.as_ref().unwrap().margins.iter().zip(&want.margins) {
+            assert_eq!(g.lower.to_bits(), w.lower.to_bits());
+        }
+    }
+}
+
+#[test]
+fn fused_chunk_shrinks_attribute_to_the_failing_chunk_only() {
+    // On a memory-capped device, segment-aware chunks mean an OOM retry
+    // re-runs (and blames) only whole queries: q0's tiny 2-row chunk fits,
+    // so every `chunk_shrinks` must land on q1 alone. Scan a capacity
+    // window so the test stays robust to allocator-accounting drift.
+    let net = pixel_controlled_net();
+    let image = |unstable: usize| -> Vec<f32> {
+        (0..8)
+            .map(|i| if i < unstable { 0.5 } else { 0.9 })
+            .collect()
+    };
+    let qs = vec![Query::new(image(2), 0, 0.1), Query::new(image(6), 1, 0.1)];
+    let mut pinned = false;
+    for cap in [768usize, 704, 640, 576, 512, 448] {
+        let cfg = VerifyConfig {
+            chunk_rows: Some(6),
+            ..Default::default()
+        };
+        let device = Device::new(DeviceConfig::new().workers(1).memory_capacity(cap));
+        let engine = Engine::with_options(
+            device,
+            &net,
+            cfg,
+            EngineOptions {
+                pack_weights: false,
+                recycle_buffers: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let got = engine.verify_batch_fused(&qs);
+        if !got.iter().all(Result::is_ok) || engine.stats().fused_batches != 1 {
+            continue; // too tight (fell back / errored): try the next cap
+        }
+        let shrinks: Vec<usize> = got
+            .iter()
+            .map(|v| v.as_ref().unwrap().stats.chunk_shrinks)
+            .collect();
+        if shrinks[1] > 0 {
+            assert_eq!(
+                shrinks[0], 0,
+                "q0's whole-query chunk fit; shrinks of q1's chunk must not \
+                 be attributed to q0 (got {shrinks:?} at cap {cap})"
+            );
+            pinned = true;
+        }
+    }
+    assert!(
+        pinned,
+        "no capacity in the scan window produced a q1-only shrink; \
+         widen the window"
+    );
+}

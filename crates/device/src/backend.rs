@@ -55,21 +55,339 @@
 //!
 //! # What the trait does not (yet) cover
 //!
-//! The trait captures the BLAS-shaped kernel surface — GEMM, scan,
-//! compaction, gather, copies, pool policy. The verifier's remaining
-//! kernels (GBC transpose convolution, the ReLU step, densify, residual
-//! merge, concretize) still run as host closures over buffer contents via
-//! [`Device::par_rows`]-style launches, and [`crate::DeviceBuffer`] assumes
-//! host-addressable storage. Both are fine for any CPU-resident backend;
-//! a real CUDA/wgpu port must *additionally* move those kernels behind
-//! this trait and introduce a device-resident buffer abstraction — tracked
-//! in `ROADMAP.md`. Passing the conformance suite is therefore necessary,
-//! not sufficient, for a discrete-memory port.
+//! The trait now captures the *complete* verifier kernel surface: the
+//! BLAS-shaped family (GEMM, scan, compaction, gather, copies, pool policy)
+//! plus the walk-step kernels (GBC transpose convolution, bias fold, the
+//! ReLU substitution step, densify, residual merge, concretize) and
+//! device↔device copies. What remains for a discrete-memory CUDA/wgpu port
+//! is the storage side: [`crate::DeviceBuffer`] still assumes
+//! host-addressable memory (`Deref<[T]>`) — tracked in `ROADMAP.md`.
+//! Passing the conformance suite is the admission gate for the kernels; the
+//! buffer abstraction is the one remaining structural gap.
 
 use gpupoly_interval::{Fp, Itv};
 use rayon::prelude::*;
 
+use crate::relax::ReluRelax;
 use crate::Device;
+
+/// Per-row window geometry of a batched polyhedral expression — the
+/// device-side view of `gpupoly_core::ExprBatch`'s layout that the walk-step
+/// kernels need: the `win_h × win_w × chans` cuboid window per row, each
+/// row's origin in the frontier node's `shape_h × shape_w × chans` extent,
+/// and the per-row query-segment index of fused cross-query batches.
+///
+/// Window positions falling outside the frontier extent (negative origins
+/// from padding) are *virtual*: they carry zero coefficients by invariant
+/// and every kernel skips them via [`ExprGeom::is_real`].
+#[derive(Copy, Clone, Debug)]
+pub struct ExprGeom<'a> {
+    /// Window height.
+    pub win_h: usize,
+    /// Window width.
+    pub win_w: usize,
+    /// Frontier node height.
+    pub shape_h: usize,
+    /// Frontier node width.
+    pub shape_w: usize,
+    /// Channels (innermost dimension of both window and frontier).
+    pub chans: usize,
+    /// Per-row window origins in the frontier extent.
+    pub origins: &'a [(i32, i32)],
+    /// Per-row query-segment indices (all `0` for single-query batches).
+    pub seg: &'a [u32],
+}
+
+impl ExprGeom<'_> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Coefficients per row (window volume).
+    pub fn cols(&self) -> usize {
+        self.win_h * self.win_w * self.chans
+    }
+
+    /// Total neurons of the frontier node the windows map into.
+    pub fn frontier_len(&self) -> usize {
+        self.shape_h * self.shape_w * self.chans
+    }
+
+    /// `true` when window position `(i, j)` of row `r` maps to a real
+    /// neuron of the frontier node.
+    #[inline(always)]
+    pub fn is_real(&self, r: usize, i: usize, j: usize) -> bool {
+        let (oh, ow) = self.origins[r];
+        let h = oh + i as i32;
+        let w = ow + j as i32;
+        h >= 0 && w >= 0 && (h as usize) < self.shape_h && (w as usize) < self.shape_w
+    }
+
+    /// Linear frontier index of window position `(i, j, channel 0)` of row
+    /// `r`; the caller must have checked [`ExprGeom::is_real`].
+    #[inline(always)]
+    pub fn neuron_at(&self, r: usize, i: usize, j: usize) -> usize {
+        let (oh, ow) = self.origins[r];
+        ((oh + i as i32) as usize * self.shape_w + (ow + j as i32) as usize) * self.chans
+    }
+}
+
+/// The convolution geometry of one GBC (transpose-convolution) launch —
+/// everything Algorithm 1 needs beyond the source batch geometry.
+#[derive(Copy, Clone, Debug)]
+pub struct GbcShape {
+    /// Filter height / width.
+    pub kh: usize,
+    /// Filter width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Output channels (the conv layer's, i.e. the *source* batch's chans).
+    pub cout: usize,
+    /// Input channels (the *destination* batch's chans).
+    pub cin: usize,
+    /// Conv input height (destination frontier extent).
+    pub in_h: usize,
+    /// Conv input width.
+    pub in_w: usize,
+}
+
+impl GbcShape {
+    /// Linear index into the `[kh][kw][c_out][c_in]` filter tensor.
+    #[inline(always)]
+    pub fn widx(&self, f: usize, g: usize, d: usize, c: usize) -> usize {
+        ((f * self.kw + g) * self.cout + d) * self.cin + c
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-row kernel bodies. Both backends dispatch these row functions
+// (in parallel on CpuSimBackend, serially on ReferenceBackend), so per-row
+// arithmetic — and therefore every result bit — is identical by
+// construction. The conformance suite still checks each backend against
+// *independent* straight-line oracles, so a port that reimplements the rows
+// is held to the same bits.
+// ---------------------------------------------------------------------------
+
+/// One row of the GBC transpose convolution (paper Algorithm 1): scatter
+/// the row's dependence-set window through the filter taps into the grown
+/// destination window. Exact-zero source coefficients are skipped
+/// (mandatory, like the GEMM zero-skip).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gbc_row<F: Fp>(
+    r: usize,
+    src_row: &[Itv<F>],
+    src_geom: &ExprGeom<'_>,
+    weight: &[F],
+    conv: &GbcShape,
+    dst_row: &mut [Itv<F>],
+    dst_origin: (i32, i32),
+    dst_ww: usize,
+) {
+    let (wh, ww) = (src_geom.win_h, src_geom.win_w);
+    let (cout, cin) = (conv.cout, conv.cin);
+    let (dst_oh, dst_ow) = dst_origin;
+    for i in 0..wh {
+        for j in 0..ww {
+            if !src_geom.is_real(r, i, j) {
+                continue; // virtual source position: zero by invariant
+            }
+            let sbase = (i * ww + j) * cout;
+            for f in 0..conv.kh {
+                let a = i * conv.sh + f;
+                let dh = dst_oh + a as i32;
+                if dh < 0 || dh as usize >= conv.in_h {
+                    continue; // write would be virtual (padding)
+                }
+                for g in 0..conv.kw {
+                    let b = j * conv.sw + g;
+                    let dw = dst_ow + b as i32;
+                    if dw < 0 || dw as usize >= conv.in_w {
+                        continue;
+                    }
+                    let obase = (a * dst_ww + b) * cin;
+                    for d in 0..cout {
+                        let m = src_row[sbase + d];
+                        if m.lo == F::ZERO && m.hi == F::ZERO {
+                            continue;
+                        }
+                        let wbase = conv.widx(f, g, d, 0);
+                        for c in 0..cin {
+                            dst_row[obase + c] = m.mul_add_f(weight[wbase + c], dst_row[obase + c]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One row of the bias fold: `cst' = cst + Σ a_t · bias[t mod |bias|]` over
+/// the real window positions, in ascending window order. Zero coefficients
+/// are **not** skipped here — the fold predates the trait and its bit
+/// pattern is pinned by the differential suite, so the accumulation is the
+/// plain ascending walk (unlike the GEMM family's mandatory zero-skip).
+#[inline]
+fn bias_fold_row<F: Fp>(
+    r: usize,
+    row: &[Itv<F>],
+    geom: &ExprGeom<'_>,
+    bias: &[F],
+    cst: Itv<F>,
+) -> Itv<F> {
+    let mut acc = cst;
+    let blen = bias.len();
+    for i in 0..geom.win_h {
+        for j in 0..geom.win_w {
+            if !geom.is_real(r, i, j) {
+                continue;
+            }
+            let base = (i * geom.win_w + j) * geom.chans;
+            for c in 0..geom.chans {
+                acc = row[base + c].mul_add_f(bias[(base + c) % blen], acc);
+            }
+        }
+    }
+    acc
+}
+
+/// One row of the ReLU substitution step (DeepPoly diagonal substitution).
+/// `upper` selects the mirrored coefficient choice of the upper plane.
+#[inline]
+fn relu_step_row<F: Fp>(
+    r: usize,
+    row: &mut [Itv<F>],
+    cst: &mut Itv<F>,
+    geom: &ExprGeom<'_>,
+    relax: &[ReluRelax<F>],
+    out_bounds: &[Itv<F>],
+    upper: bool,
+) {
+    for i in 0..geom.win_h {
+        for j in 0..geom.win_w {
+            if !geom.is_real(r, i, j) {
+                continue;
+            }
+            let nbase = geom.neuron_at(r, i, j);
+            let base = (i * geom.win_w + j) * geom.chans;
+            for c in 0..geom.chans {
+                let a = row[base + c];
+                if a.lo == F::ZERO && a.hi == F::ZERO {
+                    continue;
+                }
+                let rx = &relax[nbase + c];
+                // Lower plane: a >= 0 -> (alpha, beta); a <= 0 -> (gamma,
+                // delta). Upper plane mirrors the choice.
+                let (pos_s, pos_c, neg_s, neg_c) = if upper {
+                    (rx.gamma, rx.delta, rx.alpha, rx.beta)
+                } else {
+                    (rx.alpha, rx.beta, rx.gamma, rx.delta)
+                };
+                if a.lo >= F::ZERO {
+                    row[base + c] = a.mul(pos_s);
+                    *cst = cst.add(a.mul(pos_c));
+                } else if a.hi <= F::ZERO {
+                    row[base + c] = a.mul(neg_s);
+                    *cst = cst.add(a.mul(neg_c));
+                } else {
+                    let hull = a.mul(out_bounds[nbase + c]);
+                    row[base + c] = Itv::zero();
+                    let point = if upper { hull.hi } else { hull.lo };
+                    *cst = cst.add(Itv::point(point));
+                }
+            }
+        }
+    }
+}
+
+/// One row of the densify scatter: copy the cuboid window's real positions
+/// into their linear frontier slots of a full-window row (assumed zeroed).
+#[inline]
+fn densify_row<F: Fp>(r: usize, src_row: &[Itv<F>], geom: &ExprGeom<'_>, dst_row: &mut [Itv<F>]) {
+    for i in 0..geom.win_h {
+        for j in 0..geom.win_w {
+            if !geom.is_real(r, i, j) {
+                continue;
+            }
+            let nbase = geom.neuron_at(r, i, j);
+            let base = (i * geom.win_w + j) * geom.chans;
+            dst_row[nbase..nbase + geom.chans].copy_from_slice(&src_row[base..base + geom.chans]);
+        }
+    }
+}
+
+/// Adds one source batch's row into a destination row on the union window
+/// of a residual merge (Eq. 4). Zero source coefficients are skipped so the
+/// destination's exact zeros stay bit-stable.
+#[inline]
+fn merge_add_row<F: Fp>(
+    r: usize,
+    src_row: &[Itv<F>],
+    src_geom: &ExprGeom<'_>,
+    dst_row: &mut [Itv<F>],
+    dst_origin: (i32, i32),
+    dst_ww: usize,
+) {
+    let (so_h, so_w) = src_geom.origins[r];
+    let (mo_h, mo_w) = dst_origin;
+    let dh = (so_h - mo_h) as usize;
+    let dw = (so_w - mo_w) as usize;
+    let chans = src_geom.chans;
+    for i in 0..src_geom.win_h {
+        for j in 0..src_geom.win_w {
+            let dbase = ((i + dh) * dst_ww + (j + dw)) * chans;
+            let sbase = (i * src_geom.win_w + j) * chans;
+            for c in 0..chans {
+                let v = src_row[sbase + c];
+                if !(v.lo == F::ZERO && v.hi == F::ZERO) {
+                    dst_row[dbase + c] = dst_row[dbase + c].add(v);
+                }
+            }
+        }
+    }
+}
+
+/// One row of concretization: substitute the row's segment's concrete
+/// bounds into both plane expressions and return the sound candidate.
+#[inline]
+fn concretize_row<F: Fp>(
+    r: usize,
+    lo_row: &[Itv<F>],
+    hi_row: &[Itv<F>],
+    cst_lo: Itv<F>,
+    cst_hi: Itv<F>,
+    geom: &ExprGeom<'_>,
+    bounds: &[Itv<F>],
+) -> Itv<F> {
+    use gpupoly_interval::round;
+    let mut lo = cst_lo.lo;
+    let mut hi = cst_hi.hi;
+    for i in 0..geom.win_h {
+        for j in 0..geom.win_w {
+            if !geom.is_real(r, i, j) {
+                continue;
+            }
+            let base = (i * geom.win_w + j) * geom.chans;
+            let nbase = geom.neuron_at(r, i, j);
+            for c in 0..geom.chans {
+                let b = bounds[nbase + c];
+                let a = lo_row[base + c];
+                if !(a.lo == F::ZERO && a.hi == F::ZERO) {
+                    lo = round::add_down(lo, a.mul(b).lo);
+                }
+                let a = hi_row[base + c];
+                if !(a.lo == F::ZERO && a.hi == F::ZERO) {
+                    hi = round::add_up(hi, a.mul(b).hi);
+                }
+            }
+        }
+    }
+    Itv { lo, hi: hi.max(lo) }
+}
 
 /// Column-block width of the CPU-sim tiled GEMM: one block of `C`'s row
 /// plus one block of `B`'s row stay cache-resident while `k` streams — the
@@ -173,6 +491,107 @@ pub trait Backend: Send + Sync + Sized + 'static {
         row_len: usize,
         index: &[u32],
         dst: &mut [T],
+    );
+
+    /// Device→device copy between buffers of the same length. The
+    /// simulator's device memory is host memory, so the default is a plain
+    /// slice copy; a real port issues a `memcpyDtoD`.
+    fn dtod<T: Clone + Send>(&self, src: &[T], dst: &mut [T]) {
+        dst.clone_from_slice(src);
+    }
+
+    /// GBC transpose convolution (paper Algorithm 1), one coefficient
+    /// plane per launch: every source row's dependence-set window is pushed
+    /// one convolution backwards into the grown destination window
+    /// (`dst_cols` wide, spatial width `dst_ww`, per-row origins
+    /// `dst_origins`). `dst` must be zeroed. Exact-zero source coefficients
+    /// must be skipped (same contract as the interval GEMM family).
+    #[allow(clippy::too_many_arguments)]
+    fn gbc<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        src: &[Itv<F>],
+        src_geom: &ExprGeom<'_>,
+        weight: &[F],
+        conv: &GbcShape,
+        dst: &mut [Itv<F>],
+        dst_origins: &[(i32, i32)],
+        dst_cols: usize,
+        dst_ww: usize,
+    );
+
+    /// Bias absorption of the affine steps, one plane per launch:
+    /// `out_cst[r] = src_cst[r] + Σ_t plane[r][t] · bias[t mod |bias|]`
+    /// over the real window positions in ascending order, with **no**
+    /// zero-skip (see [`bias_fold_row`]'s bit-pattern note).
+    fn bias_fold<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        plane: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        bias: &[F],
+        src_cst: &[Itv<F>],
+        out_cst: &mut [Itv<F>],
+    );
+
+    /// The DeepPoly ReLU substitution step, one plane per launch (`upper`
+    /// selects the mirrored coefficient choice): row `r` substitutes the
+    /// relaxation of *its own* query segment
+    /// (`relax_per_seg[geom.seg[r]]`), in place.
+    #[allow(clippy::too_many_arguments)]
+    fn relu_step<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        plane: &mut [Itv<F>],
+        cst: &mut [Itv<F>],
+        geom: &ExprGeom<'_>,
+        relax_per_seg: &[&[ReluRelax<F>]],
+        out_bounds_per_seg: &[&[Itv<F>]],
+        upper: bool,
+    );
+
+    /// Expands cuboid windows to full rows over the frontier node, one
+    /// plane per launch: scatter each row's real window positions into
+    /// their linear frontier slots. `dst` must be zeroed.
+    fn densify<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        src: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        dst: &mut [Itv<F>],
+        dst_cols: usize,
+    );
+
+    /// Residual-merge accumulation (Eq. 4), one plane per launch: add both
+    /// branch expressions into the zeroed union-window destination.
+    #[allow(clippy::too_many_arguments)]
+    fn residual_merge<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[Itv<F>],
+        a_geom: &ExprGeom<'_>,
+        b: &[Itv<F>],
+        b_geom: &ExprGeom<'_>,
+        dst: &mut [Itv<F>],
+        dst_origins: &[(i32, i32)],
+        dst_cols: usize,
+        dst_ww: usize,
+    );
+
+    /// Candidate concretization: substitute each row's segment's concrete
+    /// bounds (`bounds_per_seg[geom.seg[r]]`) into both plane expressions,
+    /// writing one sound `[lower, upper]` candidate per row into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn concretize<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        lo: &[Itv<F>],
+        hi: &[Itv<F>],
+        cst_lo: &[Itv<F>],
+        cst_hi: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        bounds_per_seg: &[&[Itv<F>]],
+        out: &mut [Itv<F>],
     );
 }
 
@@ -387,6 +806,170 @@ impl Backend for CpuSimBackend {
                 })
         });
     }
+
+    fn gbc<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        src: &[Itv<F>],
+        src_geom: &ExprGeom<'_>,
+        weight: &[F],
+        conv: &GbcShape,
+        dst: &mut [Itv<F>],
+        dst_origins: &[(i32, i32)],
+        dst_cols: usize,
+        dst_ww: usize,
+    ) {
+        if dst.is_empty() {
+            return;
+        }
+        let src_cols = src_geom.cols();
+        device.install(|| {
+            dst.par_chunks_mut(dst_cols)
+                .enumerate()
+                .for_each(|(r, row)| {
+                    gbc_row(
+                        r,
+                        &src[r * src_cols..(r + 1) * src_cols],
+                        src_geom,
+                        weight,
+                        conv,
+                        row,
+                        dst_origins[r],
+                        dst_ww,
+                    )
+                })
+        });
+    }
+
+    fn bias_fold<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        plane: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        bias: &[F],
+        src_cst: &[Itv<F>],
+        out_cst: &mut [Itv<F>],
+    ) {
+        if out_cst.is_empty() {
+            return;
+        }
+        let cols = geom.cols();
+        device.install(|| {
+            out_cst.par_iter_mut().enumerate().for_each(|(r, v)| {
+                *v = bias_fold_row(r, &plane[r * cols..(r + 1) * cols], geom, bias, src_cst[r])
+            })
+        });
+    }
+
+    fn relu_step<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        plane: &mut [Itv<F>],
+        cst: &mut [Itv<F>],
+        geom: &ExprGeom<'_>,
+        relax_per_seg: &[&[ReluRelax<F>]],
+        out_bounds_per_seg: &[&[Itv<F>]],
+        upper: bool,
+    ) {
+        if cst.is_empty() {
+            return;
+        }
+        let cols = geom.cols();
+        device.install(|| {
+            plane
+                .par_chunks_mut(cols.max(1))
+                .zip(cst.par_iter_mut())
+                .enumerate()
+                .for_each(|(r, (row, c))| {
+                    let s = geom.seg[r] as usize;
+                    relu_step_row(
+                        r,
+                        row,
+                        c,
+                        geom,
+                        relax_per_seg[s],
+                        out_bounds_per_seg[s],
+                        upper,
+                    )
+                })
+        });
+    }
+
+    fn densify<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        src: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        dst: &mut [Itv<F>],
+        dst_cols: usize,
+    ) {
+        if dst.is_empty() {
+            return;
+        }
+        let cols = geom.cols();
+        device.install(|| {
+            dst.par_chunks_mut(dst_cols)
+                .enumerate()
+                .for_each(|(r, row)| densify_row(r, &src[r * cols..(r + 1) * cols], geom, row))
+        });
+    }
+
+    fn residual_merge<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        a: &[Itv<F>],
+        a_geom: &ExprGeom<'_>,
+        b: &[Itv<F>],
+        b_geom: &ExprGeom<'_>,
+        dst: &mut [Itv<F>],
+        dst_origins: &[(i32, i32)],
+        dst_cols: usize,
+        dst_ww: usize,
+    ) {
+        if dst.is_empty() {
+            return;
+        }
+        let (a_cols, b_cols) = (a_geom.cols(), b_geom.cols());
+        device.install(|| {
+            dst.par_chunks_mut(dst_cols)
+                .enumerate()
+                .for_each(|(r, row)| {
+                    let o = dst_origins[r];
+                    merge_add_row(r, &a[r * a_cols..(r + 1) * a_cols], a_geom, row, o, dst_ww);
+                    merge_add_row(r, &b[r * b_cols..(r + 1) * b_cols], b_geom, row, o, dst_ww);
+                })
+        });
+    }
+
+    fn concretize<F: Fp>(
+        &self,
+        device: &Device<Self>,
+        lo: &[Itv<F>],
+        hi: &[Itv<F>],
+        cst_lo: &[Itv<F>],
+        cst_hi: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        bounds_per_seg: &[&[Itv<F>]],
+        out: &mut [Itv<F>],
+    ) {
+        if out.is_empty() {
+            return;
+        }
+        let cols = geom.cols();
+        device.install(|| {
+            out.par_iter_mut().enumerate().for_each(|(r, v)| {
+                *v = concretize_row(
+                    r,
+                    &lo[r * cols..(r + 1) * cols],
+                    &hi[r * cols..(r + 1) * cols],
+                    cst_lo[r],
+                    cst_hi[r],
+                    geom,
+                    bounds_per_seg[geom.seg[r] as usize],
+                )
+            })
+        });
+    }
 }
 
 /// A deliberately naive backend: straight-line serial scalar loops and no
@@ -508,6 +1091,145 @@ impl Backend for ReferenceBackend {
     ) {
         for (row, &i) in dst.chunks_mut(row_len.max(1)).zip(index) {
             row.copy_from_slice(&src[i as usize * row_len..(i as usize + 1) * row_len]);
+        }
+    }
+
+    fn gbc<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        src: &[Itv<F>],
+        src_geom: &ExprGeom<'_>,
+        weight: &[F],
+        conv: &GbcShape,
+        dst: &mut [Itv<F>],
+        dst_origins: &[(i32, i32)],
+        dst_cols: usize,
+        dst_ww: usize,
+    ) {
+        if dst.is_empty() {
+            return;
+        }
+        let src_cols = src_geom.cols();
+        for (r, row) in dst.chunks_mut(dst_cols).enumerate() {
+            gbc_row(
+                r,
+                &src[r * src_cols..(r + 1) * src_cols],
+                src_geom,
+                weight,
+                conv,
+                row,
+                dst_origins[r],
+                dst_ww,
+            );
+        }
+    }
+
+    fn bias_fold<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        plane: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        bias: &[F],
+        src_cst: &[Itv<F>],
+        out_cst: &mut [Itv<F>],
+    ) {
+        let cols = geom.cols();
+        for (r, v) in out_cst.iter_mut().enumerate() {
+            *v = bias_fold_row(r, &plane[r * cols..(r + 1) * cols], geom, bias, src_cst[r]);
+        }
+    }
+
+    fn relu_step<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        plane: &mut [Itv<F>],
+        cst: &mut [Itv<F>],
+        geom: &ExprGeom<'_>,
+        relax_per_seg: &[&[ReluRelax<F>]],
+        out_bounds_per_seg: &[&[Itv<F>]],
+        upper: bool,
+    ) {
+        let cols = geom.cols();
+        for (r, (row, c)) in plane
+            .chunks_mut(cols.max(1))
+            .zip(cst.iter_mut())
+            .enumerate()
+        {
+            let s = geom.seg[r] as usize;
+            relu_step_row(
+                r,
+                row,
+                c,
+                geom,
+                relax_per_seg[s],
+                out_bounds_per_seg[s],
+                upper,
+            );
+        }
+    }
+
+    fn densify<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        src: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        dst: &mut [Itv<F>],
+        dst_cols: usize,
+    ) {
+        if dst.is_empty() {
+            return;
+        }
+        let cols = geom.cols();
+        for (r, row) in dst.chunks_mut(dst_cols).enumerate() {
+            densify_row(r, &src[r * cols..(r + 1) * cols], geom, row);
+        }
+    }
+
+    fn residual_merge<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        a: &[Itv<F>],
+        a_geom: &ExprGeom<'_>,
+        b: &[Itv<F>],
+        b_geom: &ExprGeom<'_>,
+        dst: &mut [Itv<F>],
+        dst_origins: &[(i32, i32)],
+        dst_cols: usize,
+        dst_ww: usize,
+    ) {
+        if dst.is_empty() {
+            return;
+        }
+        let (a_cols, b_cols) = (a_geom.cols(), b_geom.cols());
+        for (r, row) in dst.chunks_mut(dst_cols).enumerate() {
+            let o = dst_origins[r];
+            merge_add_row(r, &a[r * a_cols..(r + 1) * a_cols], a_geom, row, o, dst_ww);
+            merge_add_row(r, &b[r * b_cols..(r + 1) * b_cols], b_geom, row, o, dst_ww);
+        }
+    }
+
+    fn concretize<F: Fp>(
+        &self,
+        _device: &Device<Self>,
+        lo: &[Itv<F>],
+        hi: &[Itv<F>],
+        cst_lo: &[Itv<F>],
+        cst_hi: &[Itv<F>],
+        geom: &ExprGeom<'_>,
+        bounds_per_seg: &[&[Itv<F>]],
+        out: &mut [Itv<F>],
+    ) {
+        let cols = geom.cols();
+        for (r, v) in out.iter_mut().enumerate() {
+            *v = concretize_row(
+                r,
+                &lo[r * cols..(r + 1) * cols],
+                &hi[r * cols..(r + 1) * cols],
+                cst_lo[r],
+                cst_hi[r],
+                geom,
+                bounds_per_seg[geom.seg[r] as usize],
+            );
         }
     }
 }

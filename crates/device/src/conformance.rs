@@ -12,7 +12,12 @@
 //! * **GEMM soundness** — interval results contain the exact (`f64`)
 //!   product;
 //! * **scan / compaction / gather exactness** against serial oracles;
-//! * **host↔device copies** round-trip bit-exactly;
+//! * **walk-step kernels** — GBC transpose convolution, bias fold, the
+//!   ReLU substitution step (including its stable-zero column guarantee),
+//!   densify, residual merge and concretize each match an independent
+//!   straight-line oracle bit for bit over cuboid/full windows, padding
+//!   origins and fused multi-segment batches;
+//! * **host↔device and device↔device copies** round-trip bit-exactly;
 //! * **launch accounting** — every kernel wrapper records its launch label;
 //! * **memory accounting** — allocations charge and release capacity
 //!   correctly, out-of-memory is reported (not panicked), and the buffer
@@ -35,10 +40,11 @@
 //! conformance::assert_backend_conformance(|cfg| Device::with_backend(ReferenceBackend, cfg));
 //! ```
 
-use gpupoly_interval::{Fp, Itv};
+use gpupoly_interval::{round, Fp, Itv};
 
-use crate::backend::Backend;
-use crate::{gemm, scan, Device, DeviceBuffer, DeviceConfig, DeviceError};
+use crate::backend::{Backend, ExprGeom, GbcShape};
+use crate::relax::ReluRelax;
+use crate::{gemm, kernels, scan, Device, DeviceBuffer, DeviceConfig, DeviceError};
 
 /// Deterministic splitmix64 stream for generating test data without
 /// depending on an RNG crate.
@@ -306,6 +312,711 @@ pub fn check_compaction_against_oracle<B: Backend>(
     }
 }
 
+/// A deterministic test geometry for the walk-step kernels: `rows` cuboid
+/// windows (`win_h × win_w × chans`) over a `shape_h × shape_w × chans`
+/// frontier, with origins spread across the extent including negative
+/// (padding) positions, and rows alternating between `segments` query
+/// segments.
+struct GeomCase {
+    win_h: usize,
+    win_w: usize,
+    shape_h: usize,
+    shape_w: usize,
+    chans: usize,
+    origins: Vec<(i32, i32)>,
+    seg: Vec<u32>,
+}
+
+impl GeomCase {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        rows: usize,
+        win_h: usize,
+        win_w: usize,
+        shape_h: usize,
+        shape_w: usize,
+        chans: usize,
+        segments: usize,
+        s: &mut Stream,
+    ) -> Self {
+        let origins = (0..rows)
+            .map(|_| {
+                (
+                    s.next_range(shape_h + win_h) as i32 - win_h as i32,
+                    s.next_range(shape_w + win_w) as i32 - win_w as i32,
+                )
+            })
+            .collect();
+        let seg = (0..rows).map(|r| (r % segments.max(1)) as u32).collect();
+        Self {
+            win_h,
+            win_w,
+            shape_h,
+            shape_w,
+            chans,
+            origins,
+            seg,
+        }
+    }
+
+    fn geom(&self) -> ExprGeom<'_> {
+        ExprGeom {
+            win_h: self.win_h,
+            win_w: self.win_w,
+            shape_h: self.shape_h,
+            shape_w: self.shape_w,
+            chans: self.chans,
+            origins: &self.origins,
+            seg: &self.seg,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.origins.len()
+    }
+
+    fn cols(&self) -> usize {
+        self.win_h * self.win_w * self.chans
+    }
+
+    fn frontier_len(&self) -> usize {
+        self.shape_h * self.shape_w * self.chans
+    }
+
+    /// A coefficient plane honoring the zero-on-virtual invariant, mixing
+    /// exact zeros (both signs), stable-sign and straddling intervals.
+    fn plane(&self, s: &mut Stream) -> Vec<Itv<f32>> {
+        let g = self.geom();
+        let mut plane = vec![Itv::zero(); self.rows() * self.cols()];
+        for r in 0..self.rows() {
+            for i in 0..self.win_h {
+                for j in 0..self.win_w {
+                    if !g.is_real(r, i, j) {
+                        continue; // virtual taps stay exactly zero
+                    }
+                    let base = r * self.cols() + (i * self.win_w + j) * self.chans;
+                    for c in 0..self.chans {
+                        plane[base + c] = match s.next_range(6) {
+                            0 => Itv::zero(),
+                            1 => Itv::point(-0.0_f32),
+                            2 => {
+                                let v = s.next_f32().abs() + 1e-3;
+                                Itv::new(-v, v * 0.5) // straddles zero
+                            }
+                            3 => Itv::point(-(s.next_f32().abs()) - 1e-3),
+                            _ => Itv::point(s.next_f32().abs() + 1e-3),
+                        };
+                    }
+                }
+            }
+        }
+        plane
+    }
+
+    fn csts(&self, s: &mut Stream) -> Vec<Itv<f32>> {
+        (0..self.rows())
+            .map(|_| {
+                if s.next_range(5) == 0 {
+                    Itv::point(-0.0_f32)
+                } else {
+                    Itv::point(s.next_f32())
+                }
+            })
+            .collect()
+    }
+}
+
+fn assert_planes_bit_eq<F: Fp>(label: &str, kernel: &str, got: &[Itv<F>], want: &[Itv<F>]) {
+    assert_eq!(got.len(), want.len(), "[{label}] {kernel} length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(bit_eq(*g, *w), "[{label}] {kernel}[{i}]: {g} != oracle {w}");
+    }
+}
+
+/// Checks the GBC transpose-convolution kernel on one deterministic
+/// geometry: bit-identical to a straight-line serial oracle that walks the
+/// window, filter taps and channels exactly as Algorithm 1 prescribes
+/// (skipping virtual positions and exact-zero coefficients), and launch +
+/// flop accounting advances under the launch label.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_gbc_against_oracle<B: Backend>(device: &Device<B>, seed: u64) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed);
+    let conv = GbcShape {
+        kh: 1 + s.next_range(3),
+        kw: 1 + s.next_range(3),
+        sh: 1 + s.next_range(2),
+        sw: 1 + s.next_range(2),
+        cout: 1 + s.next_range(3),
+        cin: 1 + s.next_range(3),
+        in_h: 4 + s.next_range(4),
+        in_w: 4 + s.next_range(4),
+    };
+    let rows = 1 + s.next_range(7);
+    let (wh, ww) = (1 + s.next_range(3), 1 + s.next_range(3));
+    let case = GeomCase::new(rows, wh, ww, 6, 6, conv.cout, 1, &mut s);
+    let src = case.plane(&mut s);
+    let weight: Vec<f32> = (0..conv.kh * conv.kw * conv.cout * conv.cin)
+        .map(|_| s.next_f32())
+        .collect();
+    let dst_win = ((wh - 1) * conv.sh + conv.kh, (ww - 1) * conv.sw + conv.kw);
+    let dst_cols = dst_win.0 * dst_win.1 * conv.cin;
+    let dst_origins: Vec<(i32, i32)> = case
+        .origins
+        .iter()
+        .map(|&(oh, ow)| (oh * conv.sh as i32 - 1, ow * conv.sw as i32 - 1))
+        .collect();
+
+    let mut dst = vec![Itv::zero(); rows * dst_cols];
+    let launches0 = device.stats().kernel_launches("gbc_lo");
+    let flops0 = device.stats().kernel_flops("gbc_lo");
+    kernels::gbc(
+        device,
+        "gbc_lo",
+        &src,
+        &case.geom(),
+        &weight,
+        &conv,
+        &mut dst,
+        &dst_origins,
+        dst_cols,
+        dst_win.1,
+    );
+    assert_eq!(
+        device.stats().kernel_launches("gbc_lo"),
+        launches0 + 1,
+        "[{label}] gbc must record its launch"
+    );
+    assert!(
+        device.stats().kernel_flops("gbc_lo") > flops0,
+        "[{label}] gbc must meter its flops"
+    );
+
+    // Independent straight-line oracle.
+    let g = case.geom();
+    let mut want = vec![Itv::zero(); rows * dst_cols];
+    for r in 0..rows {
+        let row = &src[r * case.cols()..(r + 1) * case.cols()];
+        let (dst_oh, dst_ow) = dst_origins[r];
+        let out = &mut want[r * dst_cols..(r + 1) * dst_cols];
+        for i in 0..wh {
+            for j in 0..ww {
+                if !g.is_real(r, i, j) {
+                    continue;
+                }
+                let sbase = (i * ww + j) * conv.cout;
+                for f in 0..conv.kh {
+                    let a = i * conv.sh + f;
+                    let dh = dst_oh + a as i32;
+                    if dh < 0 || dh as usize >= conv.in_h {
+                        continue;
+                    }
+                    for gg in 0..conv.kw {
+                        let b = j * conv.sw + gg;
+                        let dw = dst_ow + b as i32;
+                        if dw < 0 || dw as usize >= conv.in_w {
+                            continue;
+                        }
+                        let obase = (a * dst_win.1 + b) * conv.cin;
+                        for d in 0..conv.cout {
+                            let m = row[sbase + d];
+                            if m.lo == 0.0 && m.hi == 0.0 {
+                                continue;
+                            }
+                            let wbase = conv.widx(f, gg, d, 0);
+                            for c in 0..conv.cin {
+                                out[obase + c] = m.mul_add_f(weight[wbase + c], out[obase + c]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_planes_bit_eq(label, "gbc", &dst, &want);
+}
+
+/// Checks the bias-fold kernel on one deterministic geometry against the
+/// serial no-skip ascending fold.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_bias_fold_against_oracle<B: Backend>(device: &Device<B>, seed: u64) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed ^ 0x5ca1e);
+    let case = GeomCase::new(
+        1 + s.next_range(6),
+        1 + s.next_range(3),
+        1 + s.next_range(3),
+        4,
+        4,
+        1 + s.next_range(3),
+        1,
+        &mut s,
+    );
+    let plane = case.plane(&mut s);
+    let src_cst = case.csts(&mut s);
+    let bias: Vec<f32> = (0..case.chans).map(|_| s.next_f32()).collect();
+    let mut out_cst = vec![Itv::point(9.0_f32); case.rows()]; // poisoned
+    let launches0 = device.stats().kernel_launches("bias_fold_lo");
+    kernels::bias_fold(
+        device,
+        "bias_fold_lo",
+        &plane,
+        &case.geom(),
+        &bias,
+        &src_cst,
+        &mut out_cst,
+    );
+    assert_eq!(
+        device.stats().kernel_launches("bias_fold_lo"),
+        launches0 + 1,
+        "[{label}] bias_fold must record its launch"
+    );
+    let g = case.geom();
+    for r in 0..case.rows() {
+        let row = &plane[r * case.cols()..(r + 1) * case.cols()];
+        let mut acc = src_cst[r];
+        for i in 0..case.win_h {
+            for j in 0..case.win_w {
+                if !g.is_real(r, i, j) {
+                    continue;
+                }
+                let base = (i * case.win_w + j) * case.chans;
+                for c in 0..case.chans {
+                    // No zero-skip: the fold accumulates every real term.
+                    acc = row[base + c].mul_add_f(bias[(base + c) % bias.len()], acc);
+                }
+            }
+        }
+        assert!(
+            bit_eq(out_cst[r], acc),
+            "[{label}] bias_fold[{r}]: {} != oracle {acc}",
+            out_cst[r]
+        );
+    }
+}
+
+/// Checks the ReLU substitution kernel (both plane variants) on one
+/// deterministic multi-segment geometry against a serial oracle applying
+/// the DeepPoly coefficient selection per row/segment.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_relu_step_against_oracle<B: Backend>(device: &Device<B>, seed: u64) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed ^ 0x0e1f);
+    let segments = 1 + s.next_range(3);
+    let case = GeomCase::new(
+        1 + s.next_range(8),
+        1 + s.next_range(3),
+        1 + s.next_range(3),
+        4,
+        4,
+        1 + s.next_range(2),
+        segments,
+        &mut s,
+    );
+    // Per-segment input bounds spanning stable-positive, stable-negative
+    // (the stable-zero columns compaction keys on) and unstable neurons.
+    let bounds: Vec<Vec<Itv<f32>>> = (0..segments)
+        .map(|_| {
+            (0..case.frontier_len())
+                .map(|_| match s.next_range(4) {
+                    0 => {
+                        let v = s.next_f32().abs() + 1e-3;
+                        Itv::new(v * 0.5, v) // stable positive
+                    }
+                    1 => {
+                        let v = s.next_f32().abs() + 1e-3;
+                        Itv::new(-v, -v * 0.5) // stable negative -> zero relax
+                    }
+                    _ => {
+                        let v = s.next_f32().abs() + 1e-3;
+                        Itv::new(-v * 0.7, v) // unstable
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let relax: Vec<Vec<ReluRelax<f32>>> = bounds.iter().map(|b| ReluRelax::layer(b)).collect();
+    let out_bounds: Vec<Vec<Itv<f32>>> = bounds
+        .iter()
+        .map(|b| {
+            b.iter()
+                .map(|x| Itv::new(x.lo.max(0.0), x.hi.max(0.0)))
+                .collect()
+        })
+        .collect();
+    let relax_refs: Vec<&[ReluRelax<f32>]> = relax.iter().map(Vec::as_slice).collect();
+    let ob_refs: Vec<&[Itv<f32>]> = out_bounds.iter().map(Vec::as_slice).collect();
+
+    for upper in [false, true] {
+        let klabel: &'static str = if upper {
+            "relu_step_hi"
+        } else {
+            "relu_step_lo"
+        };
+        let plane0 = case.plane(&mut s);
+        let cst0 = case.csts(&mut s);
+        let mut plane = plane0.clone();
+        let mut cst = cst0.clone();
+        let launches0 = device.stats().kernel_launches(klabel);
+        kernels::relu_step(
+            device,
+            klabel,
+            &mut plane,
+            &mut cst,
+            &case.geom(),
+            &relax_refs,
+            &ob_refs,
+            upper,
+        );
+        assert_eq!(
+            device.stats().kernel_launches(klabel),
+            launches0 + 1,
+            "[{label}] relu_step must record its launch"
+        );
+
+        // Serial oracle with the original lower/upper branch spelling.
+        let g = case.geom();
+        let mut wplane = plane0;
+        let mut wcst = cst0;
+        for r in 0..case.rows() {
+            let rx_tab = &relax[case.seg[r] as usize];
+            let ob = &out_bounds[case.seg[r] as usize];
+            let row = &mut wplane[r * case.cols()..(r + 1) * case.cols()];
+            let c0 = &mut wcst[r];
+            for i in 0..case.win_h {
+                for j in 0..case.win_w {
+                    if !g.is_real(r, i, j) {
+                        continue;
+                    }
+                    let nbase = g.neuron_at(r, i, j);
+                    let base = (i * case.win_w + j) * case.chans;
+                    for c in 0..case.chans {
+                        let a = row[base + c];
+                        if a.lo == 0.0 && a.hi == 0.0 {
+                            continue;
+                        }
+                        let rx = &rx_tab[nbase + c];
+                        if a.lo >= 0.0 {
+                            let (sl, ic) = if upper {
+                                (rx.gamma, rx.delta)
+                            } else {
+                                (rx.alpha, rx.beta)
+                            };
+                            row[base + c] = a.mul(sl);
+                            *c0 = c0.add(a.mul(ic));
+                        } else if a.hi <= 0.0 {
+                            let (sl, ic) = if upper {
+                                (rx.alpha, rx.beta)
+                            } else {
+                                (rx.gamma, rx.delta)
+                            };
+                            row[base + c] = a.mul(sl);
+                            *c0 = c0.add(a.mul(ic));
+                        } else {
+                            let hull = a.mul(ob[nbase + c]);
+                            row[base + c] = Itv::zero();
+                            let p = if upper { hull.hi } else { hull.lo };
+                            *c0 = c0.add(Itv::point(p));
+                        }
+                    }
+                }
+            }
+        }
+        assert_planes_bit_eq(label, klabel, &plane, &wplane);
+        assert_planes_bit_eq(label, klabel, &cst, &wcst);
+
+        // Stable-zero guarantee: columns of stably-negative neurons (zero
+        // relaxation in every segment) are exact zeros after the step —
+        // the invariant stable-zero column compaction builds on.
+        for n in 0..case.frontier_len() {
+            if !relax.iter().all(|t| t[n].is_zero()) {
+                continue;
+            }
+            for r in 0..case.rows() {
+                for i in 0..case.win_h {
+                    for j in 0..case.win_w {
+                        if !g.is_real(r, i, j) || g.neuron_at(r, i, j) > n {
+                            continue;
+                        }
+                        let c = n - g.neuron_at(r, i, j);
+                        if c >= case.chans {
+                            continue;
+                        }
+                        let v = plane[r * case.cols() + (i * case.win_w + j) * case.chans + c];
+                        assert!(
+                            v.lo == 0.0 && v.hi == 0.0,
+                            "[{label}] {klabel}: stably-dead neuron {n} left a \
+                             non-zero column entry {v} in row {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks the densify scatter against a serial oracle.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_densify_against_oracle<B: Backend>(device: &Device<B>, seed: u64) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed ^ 0xd15f);
+    let case = GeomCase::new(
+        1 + s.next_range(7),
+        1 + s.next_range(3),
+        1 + s.next_range(3),
+        4,
+        5,
+        1 + s.next_range(3),
+        1,
+        &mut s,
+    );
+    let src = case.plane(&mut s);
+    let dst_cols = case.frontier_len();
+    let mut dst = vec![Itv::zero(); case.rows() * dst_cols];
+    let launches0 = device.stats().kernel_launches("densify_lo");
+    kernels::densify(device, "densify_lo", &src, &case.geom(), &mut dst, dst_cols);
+    assert_eq!(
+        device.stats().kernel_launches("densify_lo"),
+        launches0 + 1,
+        "[{label}] densify must record its launch"
+    );
+    let g = case.geom();
+    let mut want = vec![Itv::zero(); case.rows() * dst_cols];
+    for r in 0..case.rows() {
+        for i in 0..case.win_h {
+            for j in 0..case.win_w {
+                if !g.is_real(r, i, j) {
+                    continue;
+                }
+                let nbase = g.neuron_at(r, i, j);
+                let base = (i * case.win_w + j) * case.chans;
+                for c in 0..case.chans {
+                    want[r * dst_cols + nbase + c] = src[r * case.cols() + base + c];
+                }
+            }
+        }
+    }
+    assert_planes_bit_eq(label, "densify", &dst, &want);
+}
+
+/// Checks the residual-merge accumulation against a serial oracle on two
+/// branches with different windows and origins.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+#[allow(clippy::needless_range_loop)]
+pub fn check_residual_merge_against_oracle<B: Backend>(device: &Device<B>, seed: u64) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed ^ 0x3e53);
+    let rows = 1 + s.next_range(6);
+    let chans = 1 + s.next_range(2);
+    let a_case = GeomCase::new(
+        rows,
+        1 + s.next_range(3),
+        1 + s.next_range(3),
+        4,
+        4,
+        chans,
+        1,
+        &mut s,
+    );
+    let mut b_case = GeomCase::new(
+        rows,
+        1 + s.next_range(3),
+        1 + s.next_range(3),
+        4,
+        4,
+        chans,
+        1,
+        &mut s,
+    );
+    b_case.seg = a_case.seg.clone();
+    let a = a_case.plane(&mut s);
+    let b = b_case.plane(&mut s);
+    // Union geometry exactly as `ExprBatch::merge` computes it.
+    let mut dst_origins = Vec::with_capacity(rows);
+    let (mut uw_h, mut uw_w) = (0usize, 0usize);
+    for r in 0..rows {
+        let (ah, aw) = a_case.origins[r];
+        let (bh, bw) = b_case.origins[r];
+        let oh = ah.min(bh);
+        let ow = aw.min(bw);
+        uw_h = uw_h.max(((ah + a_case.win_h as i32).max(bh + b_case.win_h as i32) - oh) as usize);
+        uw_w = uw_w.max(((aw + a_case.win_w as i32).max(bw + b_case.win_w as i32) - ow) as usize);
+        dst_origins.push((oh, ow));
+    }
+    let dst_cols = uw_h * uw_w * chans;
+    let mut dst = vec![Itv::zero(); rows * dst_cols];
+    let launches0 = device.stats().kernel_launches("residual_merge_lo");
+    kernels::residual_merge(
+        device,
+        "residual_merge_lo",
+        &a,
+        &a_case.geom(),
+        &b,
+        &b_case.geom(),
+        &mut dst,
+        &dst_origins,
+        dst_cols,
+        uw_w,
+    );
+    assert_eq!(
+        device.stats().kernel_launches("residual_merge_lo"),
+        launches0 + 1,
+        "[{label}] residual_merge must record its launch"
+    );
+    let mut want = vec![Itv::zero(); rows * dst_cols];
+    for (case, plane) in [(&a_case, &a), (&b_case, &b)] {
+        for r in 0..rows {
+            let (so_h, so_w) = case.origins[r];
+            let (mo_h, mo_w) = dst_origins[r];
+            let dh = (so_h - mo_h) as usize;
+            let dw = (so_w - mo_w) as usize;
+            for i in 0..case.win_h {
+                for j in 0..case.win_w {
+                    let dbase = r * dst_cols + ((i + dh) * uw_w + (j + dw)) * chans;
+                    let sbase = r * case.cols() + (i * case.win_w + j) * chans;
+                    for c in 0..chans {
+                        let v = plane[sbase + c];
+                        if !(v.lo == 0.0 && v.hi == 0.0) {
+                            want[dbase + c] = want[dbase + c].add(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_planes_bit_eq(label, "residual_merge", &dst, &want);
+}
+
+/// Checks candidate concretization against a serial oracle on a
+/// multi-segment geometry (each row substitutes its own segment's bounds).
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_concretize_against_oracle<B: Backend>(device: &Device<B>, seed: u64) {
+    let label = device.backend().label();
+    let mut s = Stream::new(seed ^ 0xc0c0);
+    let segments = 1 + s.next_range(3);
+    let case = GeomCase::new(
+        1 + s.next_range(8),
+        1 + s.next_range(3),
+        1 + s.next_range(3),
+        4,
+        4,
+        1 + s.next_range(2),
+        segments,
+        &mut s,
+    );
+    let lo = case.plane(&mut s);
+    let hi = case.plane(&mut s);
+    let cst_lo = case.csts(&mut s);
+    let cst_hi = case.csts(&mut s);
+    let bounds: Vec<Vec<Itv<f32>>> = (0..segments)
+        .map(|_| {
+            (0..case.frontier_len())
+                .map(|_| {
+                    let l = s.next_f32();
+                    Itv::new(l, l + s.next_f32().abs())
+                })
+                .collect()
+        })
+        .collect();
+    let bref: Vec<&[Itv<f32>]> = bounds.iter().map(Vec::as_slice).collect();
+    let mut out = vec![Itv::point(9.0_f32); case.rows()]; // poisoned
+    let launches0 = device.stats().kernel_launches("concretize");
+    kernels::concretize(
+        device,
+        &lo,
+        &hi,
+        &cst_lo,
+        &cst_hi,
+        &case.geom(),
+        &bref,
+        &mut out,
+    );
+    assert_eq!(
+        device.stats().kernel_launches("concretize"),
+        launches0 + 1,
+        "[{label}] concretize must record its launch"
+    );
+    let g = case.geom();
+    for r in 0..case.rows() {
+        let b = &bounds[case.seg[r] as usize];
+        let lo_row = &lo[r * case.cols()..(r + 1) * case.cols()];
+        let hi_row = &hi[r * case.cols()..(r + 1) * case.cols()];
+        let mut l = cst_lo[r].lo;
+        let mut h = cst_hi[r].hi;
+        for i in 0..case.win_h {
+            for j in 0..case.win_w {
+                if !g.is_real(r, i, j) {
+                    continue;
+                }
+                let base = (i * case.win_w + j) * case.chans;
+                let nbase = g.neuron_at(r, i, j);
+                for c in 0..case.chans {
+                    let bb = b[nbase + c];
+                    let a = lo_row[base + c];
+                    if !(a.lo == 0.0 && a.hi == 0.0) {
+                        l = round::add_down(l, a.mul(bb).lo);
+                    }
+                    let a = hi_row[base + c];
+                    if !(a.lo == 0.0 && a.hi == 0.0) {
+                        h = round::add_up(h, a.mul(bb).hi);
+                    }
+                }
+            }
+        }
+        let want = Itv {
+            lo: l,
+            hi: h.max(l),
+        };
+        assert!(
+            bit_eq(out[r], want),
+            "[{label}] concretize[{r}]: {} != oracle {want}",
+            out[r]
+        );
+    }
+}
+
+/// The device→device copy hook must round-trip bit-exactly and record its
+/// launch label.
+fn check_dtod<B: Backend>(device: &Device<B>) {
+    let label = device.backend().label();
+    let mut s = Stream::new(97);
+    for len in [0usize, 1, 513] {
+        let src: Vec<f32> = (0..len).map(|_| s.next_f32()).collect();
+        let mut dst = vec![0.0f32; len];
+        let launches0 = device.stats().kernel_launches("dtod_test");
+        kernels::dtod(device, "dtod_test", &src, &mut dst);
+        assert_eq!(
+            device.stats().kernel_launches("dtod_test"),
+            launches0 + 1,
+            "[{label}] dtod must record its launch"
+        );
+        for (i, (a, b)) in src.iter().zip(&dst).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "[{label}] dtod corrupted element {i}"
+            );
+        }
+    }
+}
+
 /// Host↔device copies round-trip bit-exactly through [`DeviceBuffer`],
 /// including the backend's explicit [`Backend::htod`] / [`Backend::dtoh`]
 /// hooks.
@@ -503,6 +1214,19 @@ pub fn assert_backend_conformance<B: Backend>(make: impl Fn(DeviceConfig) -> Dev
         // All-false and all-true masks.
         check_compaction_against_oracle(&device, &[false; 9], 2);
         check_compaction_against_oracle(&device, &[true; 9], 2);
+        // The walk-step kernel surface: every promoted kernel against its
+        // independent serial oracle, over a deterministic geometry spread
+        // (cuboid and full windows, negative origins, fused segments).
+        for case in 0..6u64 {
+            let seed = case * 7919 + workers as u64;
+            check_gbc_against_oracle(&device, seed);
+            check_bias_fold_against_oracle(&device, seed);
+            check_relu_step_against_oracle(&device, seed);
+            check_densify_against_oracle(&device, seed);
+            check_residual_merge_against_oracle(&device, seed);
+            check_concretize_against_oracle(&device, seed);
+        }
+        check_dtod(&device);
         check_copies(&device);
         assert!(
             device.stats().launches() > 0,

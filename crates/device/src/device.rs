@@ -7,7 +7,6 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rayon::prelude::*;
 
 use crate::backend::{Backend, CpuSimBackend, ReferenceBackend};
 
@@ -88,20 +87,36 @@ impl fmt::Display for DeviceError {
 
 impl std::error::Error for DeviceError {}
 
+/// Per-kernel-label work counters: how many launches a label has recorded
+/// and how much arithmetic / data movement those launches performed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelWork {
+    /// Launches recorded under this label.
+    pub launches: u64,
+    /// Scalar-equivalent floating-point operations (analytic counts).
+    pub flops: u64,
+    /// Bytes read plus bytes written by the kernel (analytic counts).
+    pub bytes_moved: u64,
+}
+
 /// Aggregate counters describing the work a device has performed.
 ///
 /// Counters are monotone; read them through [`Device::stats`]. Flop counts
 /// are *scalar-equivalent* floating point operations, so the ≈2× overhead of
 /// interval arithmetic (paper §4.1) is directly visible when comparing the
-/// sound and unsound GEMM kernels.
+/// sound and unsound GEMM kernels. Every kernel wrapper additionally
+/// reports its work under its launch label, so per-kernel flop and
+/// bytes-moved breakdowns ([`DeviceStats::kernel_work`]) are available to
+/// benchmarks and the serving stats endpoint.
 #[derive(Debug, Default)]
 pub struct DeviceStats {
     launches: AtomicU64,
     flops: AtomicU64,
+    bytes_moved: AtomicU64,
     bytes_allocated: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
-    kernel_counts: Mutex<HashMap<&'static str, u64>>,
+    kernel_counts: Mutex<HashMap<&'static str, KernelWork>>,
 }
 
 impl DeviceStats {
@@ -113,6 +128,12 @@ impl DeviceStats {
     /// Total scalar-equivalent floating point operations reported by kernels.
     pub fn flops(&self) -> u64 {
         self.flops.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read + written by kernels (analytic counts reported by
+    /// the kernel wrappers; excludes allocation traffic).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved.load(Ordering::Relaxed)
     }
 
     /// Total bytes ever allocated (not peak; see [`Device::peak_memory`]).
@@ -134,22 +155,73 @@ impl DeviceStats {
 
     /// Number of launches of the kernel with the given label.
     pub fn kernel_launches(&self, label: &str) -> u64 {
-        self.kernel_counts.lock().get(label).copied().unwrap_or(0)
+        self.kernel_work(label).launches
+    }
+
+    /// Scalar-equivalent flops recorded under the given kernel label.
+    pub fn kernel_flops(&self, label: &str) -> u64 {
+        self.kernel_work(label).flops
+    }
+
+    /// The full work counters recorded under the given kernel label.
+    pub fn kernel_work(&self, label: &str) -> KernelWork {
+        self.kernel_counts
+            .lock()
+            .get(label)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// A snapshot of every label's work counters, sorted by label.
+    pub fn kernel_work_all(&self) -> Vec<(&'static str, KernelWork)> {
+        let mut all: Vec<_> = self
+            .kernel_counts
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        all.sort_by_key(|&(k, _)| k);
+        all
     }
 
     /// Records one kernel launch under `label`. Called by the device's own
     /// launch helpers and by the kernel wrappers in [`crate::gemm`] /
-    /// [`crate::scan`]; custom [`Backend`] implementations composing their
-    /// own launches record them here so accounting stays comparable across
-    /// backends.
+    /// [`crate::scan`] / [`crate::kernels`]; custom [`Backend`]
+    /// implementations composing their own launches record them here so
+    /// accounting stays comparable across backends.
     pub fn record_launch(&self, label: &'static str) {
-        self.launches.fetch_add(1, Ordering::Relaxed);
-        *self.kernel_counts.lock().entry(label).or_insert(0) += 1;
+        self.record_work(label, 0, 0);
     }
 
-    /// Adds scalar-equivalent flops (called by kernels with analytic counts).
-    pub fn add_flops(&self, n: u64) {
-        self.flops.fetch_add(n, Ordering::Relaxed);
+    /// Records one kernel launch under `label` together with its analytic
+    /// flop and bytes-moved counts — the one entry point behind the FLOP
+    /// meter, so per-label and aggregate counters can never drift apart.
+    pub fn record_work(&self, label: &'static str, flops: u64, bytes_moved: u64) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        if flops > 0 {
+            self.flops.fetch_add(flops, Ordering::Relaxed);
+        }
+        if bytes_moved > 0 {
+            self.bytes_moved.fetch_add(bytes_moved, Ordering::Relaxed);
+        }
+        let mut counts = self.kernel_counts.lock();
+        let work = counts.entry(label).or_default();
+        work.launches += 1;
+        work.flops += flops;
+        work.bytes_moved += bytes_moved;
+    }
+
+    /// Records one device↔device copy under `label`: tracked per label and
+    /// in [`DeviceStats::bytes_moved`], but **not** in
+    /// [`DeviceStats::launches`] — copies ride the copy engine, not the
+    /// kernel pipeline (host↔device transfers are likewise uncounted), so
+    /// launch-count comparisons across engine versions stay about kernels.
+    pub fn record_copy(&self, label: &'static str, bytes_moved: u64) {
+        self.bytes_moved.fetch_add(bytes_moved, Ordering::Relaxed);
+        let mut counts = self.kernel_counts.lock();
+        let work = counts.entry(label).or_default();
+        work.launches += 1;
+        work.bytes_moved += bytes_moved;
     }
 
     pub(crate) fn add_bytes(&self, n: usize) {
@@ -189,11 +261,11 @@ pub(crate) struct DeviceInner<B> {
 /// # Example
 ///
 /// ```
-/// use gpupoly_device::{Device, DeviceConfig, ReferenceBackend};
+/// use gpupoly_device::{scan, Device, DeviceConfig, ReferenceBackend};
 ///
 /// let dev = Device::new(DeviceConfig::new().workers(4).name("sim-v100"));
-/// let sum: u64 = dev.par_reduce(1000, 0u64, |i| i as u64, |a, b| a + b);
-/// assert_eq!(sum, 999 * 1000 / 2);
+/// let (prefix, total) = scan::exclusive_scan(&dev, &[1, 2, 3]);
+/// assert_eq!((prefix, total), (vec![0, 1, 3], 6));
 ///
 /// // The same code runs on the naive reference backend.
 /// let naive = Device::with_backend(ReferenceBackend, DeviceConfig::new());
@@ -448,110 +520,12 @@ impl<B: Backend> Device<B> {
         }
     }
 
-    /// Launches a kernel over `n` independent indices.
-    ///
-    /// The closure is the kernel body; it runs once per index, in parallel.
-    pub fn par_for(&self, label: &'static str, n: usize, kernel: impl Fn(usize) + Sync) {
-        self.inner.stats.record_launch(label);
-        self.inner
-            .pool
-            .install(|| (0..n).into_par_iter().for_each(&kernel));
-    }
-
-    /// Launches a kernel that writes each element of `out` from its index —
-    /// the common "one thread per output element" pattern.
-    pub fn par_map_mut<T: Send>(&self, out: &mut [T], kernel: impl Fn(usize, &mut T) + Sync) {
-        self.inner.stats.record_launch("par_map_mut");
-        self.inner.pool.install(|| {
-            out.par_iter_mut()
-                .enumerate()
-                .for_each(|(i, v)| kernel(i, v))
-        });
-    }
-
-    /// Launches a kernel over the rows of a row-major matrix: `data` is split
-    /// into contiguous rows of `row_len` elements and the kernel receives
-    /// `(row_index, row)` — one GPU thread block per row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len()` is not a multiple of `row_len` (unless empty).
-    pub fn par_rows<T: Send>(
-        &self,
-        label: &'static str,
-        data: &mut [T],
-        row_len: usize,
-        kernel: impl Fn(usize, &mut [T]) + Sync,
-    ) {
-        if data.is_empty() {
-            self.inner.stats.record_launch(label);
-            return;
-        }
-        assert!(
-            row_len > 0 && data.len().is_multiple_of(row_len),
-            "par_rows: data length {} not a multiple of row length {row_len}",
-            data.len()
-        );
-        self.inner.stats.record_launch(label);
-        self.inner.pool.install(|| {
-            data.par_chunks_mut(row_len)
-                .enumerate()
-                .for_each(|(i, row)| kernel(i, row))
-        });
-    }
-
-    /// Like [`Device::par_rows`], but each row kernel also receives a
-    /// mutable per-row auxiliary element (e.g. the constant term of the
-    /// polyhedral expression stored in that row).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `data.len() != aux.len() * row_len`.
-    pub fn par_rows_with<T: Send, U: Send>(
-        &self,
-        label: &'static str,
-        data: &mut [T],
-        row_len: usize,
-        aux: &mut [U],
-        kernel: impl Fn(usize, &mut [T], &mut U) + Sync,
-    ) {
-        self.inner.stats.record_launch(label);
-        if aux.is_empty() {
-            return;
-        }
-        assert!(
-            row_len > 0 && data.len() == aux.len() * row_len,
-            "par_rows_with: {} elements is not {} rows of {row_len}",
-            data.len(),
-            aux.len()
-        );
-        self.inner.pool.install(|| {
-            data.par_chunks_mut(row_len)
-                .zip(aux.par_iter_mut())
-                .enumerate()
-                .for_each(|(i, (row, a))| kernel(i, row, a))
-        });
-    }
-
-    /// Parallel map-reduce over `n` indices.
-    pub fn par_reduce<T: Send + Sync + Copy>(
-        &self,
-        n: usize,
-        identity: T,
-        map: impl Fn(usize) -> T + Sync,
-        reduce: impl Fn(T, T) -> T + Sync + Send,
-    ) -> T {
-        self.inner.stats.record_launch("par_reduce");
-        self.inner.pool.install(|| {
-            (0..n)
-                .into_par_iter()
-                .map(&map)
-                .reduce(|| identity, &reduce)
-        })
-    }
-
-    /// Runs a closure inside the device's worker pool (for custom kernels
-    /// composed of rayon primitives).
+    /// Runs a closure inside the device's worker pool. This is how
+    /// [`Backend`] implementations parallelize their kernels (compose
+    /// rayon primitives inside); it is *not* a launch — the wrapper layer
+    /// ([`crate::gemm`] / [`crate::scan`] / [`crate::kernels`]) records
+    /// launches and work before delegating to the backend, so verifier
+    /// compute can never bypass the metered kernel surface.
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         self.inner.pool.install(f)
     }
@@ -562,52 +536,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn par_for_covers_all_indices() {
+    fn install_runs_in_the_worker_pool() {
+        use rayon::prelude::*;
         let dev = Device::new(DeviceConfig::new().workers(3));
-        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        dev.par_for("test", 100, |i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
+        let sum: u64 = dev.install(|| {
+            (0..101usize)
+                .into_par_iter()
+                .map(|i| i as u64)
+                .reduce(|| 0, |a, b| a + b)
         });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(sum, 5050);
     }
 
     #[test]
-    fn par_rows_partitions_exactly() {
+    fn stats_count_launches_flops_and_bytes_by_label() {
         let dev = Device::default();
-        let mut data = vec![0usize; 12];
-        dev.par_rows("rows", &mut data, 4, |r, row| {
-            for v in row {
-                *v = r;
-            }
-        });
-        assert_eq!(data, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
-    }
-
-    #[test]
-    #[should_panic(expected = "not a multiple")]
-    fn par_rows_rejects_ragged() {
-        let dev = Device::default();
-        let mut data = vec![0u8; 10];
-        dev.par_rows("rows", &mut data, 4, |_, _| {});
-    }
-
-    #[test]
-    fn par_reduce_sums() {
-        let dev = Device::default();
-        let s = dev.par_reduce(101, 0u64, |i| i as u64, |a, b| a + b);
-        assert_eq!(s, 5050);
-    }
-
-    #[test]
-    fn stats_count_launches_by_label() {
-        let dev = Device::default();
-        dev.par_for("alpha", 1, |_| {});
-        dev.par_for("alpha", 1, |_| {});
-        dev.par_for("beta", 1, |_| {});
+        dev.stats().record_work("alpha", 10, 100);
+        dev.stats().record_work("alpha", 5, 50);
+        dev.stats().record_launch("beta");
         assert_eq!(dev.stats().kernel_launches("alpha"), 2);
+        assert_eq!(dev.stats().kernel_flops("alpha"), 15);
+        assert_eq!(dev.stats().kernel_work("alpha").bytes_moved, 150);
         assert_eq!(dev.stats().kernel_launches("beta"), 1);
         assert_eq!(dev.stats().kernel_launches("missing"), 0);
-        assert!(dev.stats().launches() >= 3);
+        assert_eq!(dev.stats().launches(), 3);
+        assert_eq!(dev.stats().flops(), 15);
+        assert_eq!(dev.stats().bytes_moved(), 150);
+    }
+
+    #[test]
+    fn copies_meter_bytes_without_counting_as_launches() {
+        let dev = Device::default();
+        dev.stats().record_copy("dtod_example", 64);
+        assert_eq!(dev.stats().launches(), 0, "copies are not kernel launches");
+        assert_eq!(dev.stats().kernel_launches("dtod_example"), 1);
+        assert_eq!(dev.stats().bytes_moved(), 64);
     }
 
     #[test]

@@ -46,6 +46,11 @@ fn check_dims<T, U, V>(a: &[T], b: &[U], c: &[V], m: usize, k: usize, n: usize) 
     assert_eq!(c.len(), m * n, "GEMM: C must be m*n");
 }
 
+/// Bytes read + written by one GEMM launch (A, B and C each touched once).
+fn bytes_moved<T, U, V>(a: &[T], b: &[U], c: &[V]) -> u64 {
+    (std::mem::size_of_val(a) + std::mem::size_of_val(b) + std::mem::size_of_val(c)) as u64
+}
+
 /// Scalar-equivalent flop count of the sound interval×scalar GEMM
 /// (2 multiplies + 2 adds per multiply-add).
 pub fn flops_itv_f(m: usize, k: usize, n: usize) -> u64 {
@@ -78,8 +83,9 @@ pub fn gemm_itv_f<F: Fp, B: Backend>(
     n: usize,
 ) {
     check_dims(a, b, c, m, k, n);
-    device.stats().record_launch("gemm_itv_f");
-    device.stats().add_flops(flops_itv_f(m, k, n));
+    device
+        .stats()
+        .record_work("gemm_itv_f", flops_itv_f(m, k, n), bytes_moved(a, b, c));
     device.backend().gemm_itv_f(device, a, b, c, m, k, n);
 }
 
@@ -101,8 +107,9 @@ pub fn gemm_itv_f_acc<F: Fp, B: Backend>(
     n: usize,
 ) {
     check_dims(a, b, c, m, k, n);
-    device.stats().record_launch("gemm_itv_f_acc");
-    device.stats().add_flops(flops_itv_f(m, k, n));
+    device
+        .stats()
+        .record_work("gemm_itv_f_acc", flops_itv_f(m, k, n), bytes_moved(a, b, c));
     device.backend().gemm_itv_f_acc(device, a, b, c, m, k, n);
 }
 
@@ -125,8 +132,9 @@ pub fn gemm_f_f<F: Fp, B: Backend>(
     n: usize,
 ) {
     check_dims(a, b, c, m, k, n);
-    device.stats().record_launch("gemm_f_f");
-    device.stats().add_flops(flops_f_f(m, k, n));
+    device
+        .stats()
+        .record_work("gemm_f_f", flops_f_f(m, k, n), bytes_moved(a, b, c));
     device.backend().gemm_f_f(device, a, b, c, m, k, n);
 }
 

@@ -9,9 +9,12 @@
 //! kernels, row compaction, memory-aware chunking — runs and is measurable
 //! without CUDA:
 //!
-//! * [`Backend`] — the pluggable kernel surface (GEMM with directed
-//!   rounding, scan/compaction, row gather, host↔device copies, pooling
-//!   policy). [`CpuSimBackend`] is the production CPU simulation,
+//! * [`Backend`] — the pluggable kernel surface, now covering the *whole*
+//!   verifier: the GEMM family with directed rounding, scan/compaction,
+//!   row gather, the walk-step kernels (GBC transpose conv, bias fold,
+//!   ReLU substitution, densify, residual merge, concretize — see
+//!   [`kernels`]), and host↔device/device↔device copies plus the pooling
+//!   policy. [`CpuSimBackend`] is the production CPU simulation,
 //!   [`ReferenceBackend`] a naive straight-line oracle for differential
 //!   testing; a CUDA/wgpu port implements the same trait and must pass
 //!   [`conformance::assert_backend_conformance`].
@@ -19,23 +22,23 @@
 //!   through [`DeviceBuffer`] are charged against a configurable capacity and
 //!   fail with [`DeviceError::OutOfMemory`] when exceeded, which is exactly
 //!   the failure mode the paper reports for dense GPU implementations and the
-//!   reason for its chunked backsubstitution.
-//! * [`Device::par_for`] / [`Device::par_rows`] — bulk kernel launches.
-//! * [`scan`] — work-efficient parallel exclusive prefix sum and the
-//!   row-compaction primitive of §4.2.
-//! * [`gemm`] — tiled interval GEMM kernels (interval×scalar, the paper's
-//!   core kernel, plus unsound scalar GEMM for the soundness-overhead
-//!   ablation).
+//!   reason for its chunked backsubstitution. Its [`DeviceStats`] meter
+//!   attributes launches, scalar-equivalent flops and bytes moved to every
+//!   kernel label.
+//! * [`gemm`] / [`scan`] / [`kernels`] — the launch wrappers (dimension
+//!   checks + work metering) over the backend's GEMM family, prefix-sum /
+//!   compaction primitives (§4.2) and walk-step kernels. All verifier
+//!   compute enters the backend through these; there is no host-closure
+//!   launch API to bypass them.
 //!
 //! # Example
 //!
 //! ```
-//! use gpupoly_device::{Device, DeviceConfig};
+//! use gpupoly_device::{scan, Device, DeviceConfig};
 //!
 //! let dev = Device::new(DeviceConfig::default());
-//! let mut out = vec![0u32; 1024];
-//! dev.par_map_mut(&mut out, |i, v| *v = i as u32 * 2);
-//! assert_eq!(out[7], 14);
+//! let (prefix, total) = scan::exclusive_scan(&dev, &[1, 0, 2, 1]);
+//! assert_eq!((prefix, total), (vec![0, 1, 1, 3], 4));
 //! assert!(dev.stats().launches() >= 1);
 //! ```
 
@@ -47,8 +50,11 @@ mod buffer;
 pub mod conformance;
 mod device;
 pub mod gemm;
+pub mod kernels;
+mod relax;
 pub mod scan;
 
-pub use backend::{Backend, CpuSimBackend, ReferenceBackend};
+pub use backend::{Backend, CpuSimBackend, ExprGeom, GbcShape, ReferenceBackend};
 pub use buffer::DeviceBuffer;
-pub use device::{Device, DeviceConfig, DeviceError, DeviceStats};
+pub use device::{Device, DeviceConfig, DeviceError, DeviceStats, KernelWork};
+pub use relax::ReluRelax;

@@ -36,14 +36,18 @@ use crate::Device;
 ///
 /// Returns the scanned vector and the total sum.
 pub fn exclusive_scan<B: Backend>(device: &Device<B>, xs: &[u32]) -> (Vec<u32>, u32) {
-    device.stats().record_launch("exclusive_scan");
+    device
+        .stats()
+        .record_work("exclusive_scan", 0, 2 * std::mem::size_of_val(xs) as u64);
     device.backend().exclusive_scan(device, xs)
 }
 
 /// Computes the index array of a compaction: the original indices of all
 /// `true` entries, in order, via the prefix-sum scatter of §4.2.
 pub fn compact_indices<B: Backend>(device: &Device<B>, keep: &[bool]) -> Vec<u32> {
-    device.stats().record_launch("compact_indices");
+    device
+        .stats()
+        .record_work("compact_indices", 0, 5 * keep.len() as u64);
     device.backend().compact_indices(device, keep)
 }
 
@@ -97,7 +101,11 @@ pub fn gather_rows_into<T: Copy + Send + Sync, B: Backend>(
         index.len() * row_len,
         "gather_rows_into: destination shape mismatch"
     );
-    device.stats().record_launch("gather_rows");
+    device.stats().record_work(
+        "gather_rows",
+        0,
+        2 * std::mem::size_of_val(dst) as u64 + std::mem::size_of_val(index) as u64,
+    );
     device
         .backend()
         .gather_rows(device, src, row_len, index, dst);

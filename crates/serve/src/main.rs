@@ -291,6 +291,16 @@ fn cmd_smoke(args: &[String]) -> Result<(), String> {
     if stats.models.iter().map(|m| m.completed).sum::<u64>() < models.len() as u64 {
         return Err("stats do not reflect the served queries".into());
     }
+    // The device work meter must round-trip the wire: the verifies above
+    // launched kernels and metered flops, so zeros here mean the counters
+    // fell off the stats endpoint.
+    if stats.device.launches == 0 || stats.device.flops == 0 {
+        return Err(format!(
+            "device launch/flop counters did not round-trip through stats \
+             (launches={} flops={})",
+            stats.device.launches, stats.device.flops
+        ));
+    }
     println!(
         "smoke: ok — backend={} models={} completed={}",
         stats.device.backend,

@@ -123,6 +123,12 @@ pub struct DeviceStatsWire {
     pub bytes_allocated: u64,
     /// Bytes currently shelved in the buffer pool.
     pub pool_bytes: u64,
+    /// Kernel launches issued by the device.
+    pub launches: u64,
+    /// Scalar-equivalent flops metered by the device's kernels.
+    pub flops: u64,
+    /// Bytes read + written by the device's kernels.
+    pub bytes_moved: u64,
 }
 
 /// Per-model counters of a [`Reply::Stats`].
@@ -346,6 +352,9 @@ impl Serialize for DeviceStatsWire {
             ),
             ("bytes_allocated", Value::Num(self.bytes_allocated as f64)),
             ("pool_bytes", Value::Num(self.pool_bytes as f64)),
+            ("launches", Value::Num(self.launches as f64)),
+            ("flops", Value::Num(self.flops as f64)),
+            ("bytes_moved", Value::Num(self.bytes_moved as f64)),
         ])
     }
 }
@@ -363,6 +372,9 @@ impl<'de> Deserialize<'de> for DeviceStatsWire {
             },
             bytes_allocated: as_index(v.field("bytes_allocated")?)? as u64,
             pool_bytes: as_index(v.field("pool_bytes")?)? as u64,
+            launches: as_index(v.field("launches")?)? as u64,
+            flops: as_index(v.field("flops")?)? as u64,
+            bytes_moved: as_index(v.field("bytes_moved")?)? as u64,
         })
     }
 }
@@ -542,6 +554,9 @@ mod tests {
                 capacity: None,
                 bytes_allocated: 789,
                 pool_bytes: 10,
+                launches: 41,
+                flops: 123_456,
+                bytes_moved: 7_890,
             },
             models: vec![ModelStatsWire {
                 name: "m".into(),

@@ -375,6 +375,9 @@ fn stats_snapshot<B: Backend>(registry: &Registry<B>) -> StatsReply {
             capacity: device.memory_capacity().map(|c| c as u64),
             bytes_allocated: device.stats().bytes_allocated(),
             pool_bytes: device.buffer_pool_bytes() as u64,
+            launches: device.stats().launches(),
+            flops: device.stats().flops(),
+            bytes_moved: device.stats().bytes_moved(),
         },
         models: registry.model_stats(),
     }
