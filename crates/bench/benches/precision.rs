@@ -1,0 +1,320 @@
+//! Precision-tier benchmark: tiered (`f32` fast pass + `f64` escalation)
+//! versus all-`f64` verification on zoo-style workloads.
+//!
+//! The tiered engine's bet is that most robustness queries are decided far
+//! from the threshold, where the `f32` walk (half the bytes, wider SIMD)
+//! already proves them clear of the escalation envelope; only the narrow
+//! or Unknown remainder pays for the `f64` walk. This harness measures the
+//! bet on MLP workloads across query radii: fast-pass resolution rate and
+//! end-to-end throughput against a pure-`f64` engine answering the same
+//! queries. Verdicts agree by construction (escalation, never trust —
+//! pinned by `tests/backend_differential.rs` and the core tier suite);
+//! this measures *speed*.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench precision` — full sweep, writes the
+//!   machine-readable `BENCH_precision.json` baseline (override the path
+//!   with `BENCH_PRECISION_OUT`);
+//! * `cargo bench --bench precision -- --smoke` — one tiny workload, no
+//!   timing, no JSON; asserts the fast pass resolves at least one query
+//!   outright and that tiered verdicts equal the all-`f64` engine's (the
+//!   CI guard that the tier neither trusts what it must escalate nor
+//!   escalates everything). Honors `GPUPOLY_BACKEND=cpusim|reference`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gpupoly_core::{Engine, EngineOptions, Query, TieredEngine, VerifyConfig};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+fn mlp(inputs: usize, width: usize, depth: usize, outputs: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(inputs);
+    let mut in_len = inputs;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5) * 0.25)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.05; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(outputs, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+/// A query stream around deterministic images; the labels are the net's
+/// own predictions so small radii verify and large radii go Unknown.
+fn queries(net: &Network<f32>, n: usize, eps: f32) -> Vec<Query<f32>> {
+    let inputs = net.input_shape().len();
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..inputs)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            let label = net.classify(&image);
+            Query::new(image, label, eps)
+        })
+        .collect()
+}
+
+fn widen_queries(qs: &[Query<f32>]) -> Vec<Query<f64>> {
+    qs.iter()
+        .map(|q| {
+            Query::new(
+                q.image.iter().map(|&x| x as f64).collect::<Vec<f64>>(),
+                q.label,
+                q.eps as f64,
+            )
+        })
+        .collect()
+}
+
+struct Cell {
+    backend: &'static str,
+    eps: f32,
+    queries: usize,
+    fast_pass_resolved: u64,
+    escalated: u64,
+    qps_tiered: f64,
+    qps_f64: f64,
+    bytes_per_query_tiered: f64,
+    bytes_per_query_f64: f64,
+}
+
+impl Cell {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("backend", Value::Str(self.backend.to_string())),
+            ("eps", Value::Num(self.eps as f64)),
+            ("queries", Value::Num(self.queries as f64)),
+            (
+                "fast_pass_resolved",
+                Value::Num(self.fast_pass_resolved as f64),
+            ),
+            ("escalated", Value::Num(self.escalated as f64)),
+            ("qps_tiered", Value::Num(self.qps_tiered)),
+            ("qps_f64", Value::Num(self.qps_f64)),
+            (
+                "speedup",
+                Value::Num(self.qps_tiered / self.qps_f64.max(1e-9)),
+            ),
+            (
+                "bytes_per_query_tiered",
+                Value::Num(self.bytes_per_query_tiered),
+            ),
+            ("bytes_per_query_f64", Value::Num(self.bytes_per_query_f64)),
+        ])
+    }
+}
+
+/// One (backend, eps) measurement: fresh engines with the analysis cache
+/// disabled (every pass does full analysis work, as in the fusion bench);
+/// one warm batch each to populate the buffer pool, clocks around the
+/// second.
+fn run_cell<B: Backend>(
+    backend: &'static str,
+    mk_device: &dyn Fn() -> Device<B>,
+    net: &Network<f32>,
+    wide: &Network<f64>,
+    k: usize,
+    eps: f32,
+    check_parity: bool,
+) -> Cell {
+    let qs = queries(net, k, eps);
+    let wide_qs = widen_queries(&qs);
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        precision_tier: true,
+        ..Default::default()
+    };
+
+    let tiered_device = mk_device();
+    let tiered = TieredEngine::with_options(
+        tiered_device.clone(),
+        net,
+        wide,
+        VerifyConfig::default(),
+        opts,
+    )
+    .expect("tiered engine");
+    let warm = tiered.verify_batch(&qs);
+    assert!(warm.iter().all(Result::is_ok));
+    let bytes0 = tiered_device.stats().bytes_moved();
+    let t = Instant::now();
+    let tiered_verdicts = tiered.verify_batch_f64(&qs);
+    let secs_tiered = t.elapsed().as_secs_f64();
+    let bytes_tiered = tiered_device.stats().bytes_moved() - bytes0;
+    black_box(&tiered_verdicts);
+
+    let baseline_device = mk_device();
+    let baseline =
+        Engine::with_options(baseline_device.clone(), wide, VerifyConfig::default(), opts)
+            .expect("f64 engine");
+    let warm = baseline.verify_batch_fused(&wide_qs);
+    assert!(warm.iter().all(Result::is_ok));
+    let bytes0 = baseline_device.stats().bytes_moved();
+    let t = Instant::now();
+    let f64_verdicts = baseline.verify_batch_fused(&wide_qs);
+    let secs_f64 = t.elapsed().as_secs_f64();
+    let bytes_f64 = baseline_device.stats().bytes_moved() - bytes0;
+    black_box(&f64_verdicts);
+
+    if check_parity {
+        for (g, w) in tiered_verdicts.iter().zip(&f64_verdicts) {
+            let g = g.as_ref().expect("tiered query");
+            let w = w.as_ref().expect("f64 query");
+            assert_eq!(
+                g.verified, w.verified,
+                "{backend} eps={eps}: tiered verdict diverged from all-f64"
+            );
+            for (gm, wm) in g.margins.iter().zip(&w.margins) {
+                assert_eq!(
+                    gm.proven, wm.proven,
+                    "{backend} eps={eps}: proven flag diverged"
+                );
+            }
+        }
+    }
+
+    // The timed batch ran each query through the tier machinery twice
+    // (warm + timed); halve the counters back to one pass's split.
+    let stats = tiered.stats();
+    Cell {
+        backend,
+        eps,
+        queries: k,
+        fast_pass_resolved: stats.fast_pass_resolved / 2,
+        escalated: stats.escalated / 2,
+        qps_tiered: k as f64 / secs_tiered.max(1e-9),
+        qps_f64: k as f64 / secs_f64.max(1e-9),
+        bytes_per_query_tiered: bytes_tiered as f64 / k as f64,
+        bytes_per_query_f64: bytes_f64 as f64 / k as f64,
+    }
+}
+
+fn backend_env() -> String {
+    std::env::var("GPUPOLY_BACKEND").unwrap_or_else(|_| "cpusim".to_string())
+}
+
+fn smoke() {
+    let net = mlp(8, 12, 2, 3);
+    let wide = net.widen();
+    // Two radii: the small one decides far from the threshold, so the fast
+    // pass must resolve at least one query; the huge one goes Unknown, so
+    // the escalation path must run at least once. Parity against the
+    // all-f64 engine is asserted inside `run_cell` for both.
+    let run = |eps: f32| match backend_env().as_str() {
+        "reference" => run_cell(
+            "reference",
+            &|| Device::reference(DeviceConfig::new().workers(2)),
+            &net,
+            &wide,
+            6,
+            eps,
+            true,
+        ),
+        _ => run_cell(
+            "cpusim",
+            &|| Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            &wide,
+            6,
+            eps,
+            true,
+        ),
+    };
+    let easy = run(0.004);
+    assert!(
+        easy.fast_pass_resolved > 0,
+        "the f32 fast pass resolved nothing on an easy workload"
+    );
+    let hard = run(0.5);
+    assert!(
+        hard.escalated > 0,
+        "a hopeless workload must exercise the escalation path"
+    );
+    println!(
+        "[precision --smoke] ok on {}: easy {}/{} fast-resolved, hard {}/{} \
+         escalated, verdicts match all-f64",
+        easy.backend, easy.fast_pass_resolved, easy.queries, hard.escalated, hard.queries
+    );
+}
+
+fn full() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let net = mlp(16, 64, 3, 8);
+    let wide = net.widen();
+    let k = 24;
+    let mut cells: Vec<Cell> = Vec::new();
+    // Sweep the radius from comfortably-provable to mostly-Unknown: the
+    // resolution rate (and with it the speedup) degrades gracefully.
+    for &eps in &[0.004f32, 0.012, 0.03] {
+        cells.push(run_cell(
+            "cpusim",
+            &|| Device::new(DeviceConfig::new().workers(workers)),
+            &net,
+            &wide,
+            k,
+            eps,
+            true,
+        ));
+        cells.push(run_cell(
+            "reference",
+            &|| Device::reference(DeviceConfig::new().workers(1)),
+            &net,
+            &wide,
+            k,
+            eps,
+            true,
+        ));
+    }
+    for c in &cells {
+        println!(
+            "[precision] {:<9} eps={:<6} fast {:>2}/{:<2} | q/s tiered {:>8.1} \
+             f64 {:>8.1} ({:.2}x) | MB/query tiered {:>6.1} f64 {:>6.1} ({:.2}x)",
+            c.backend,
+            c.eps,
+            c.fast_pass_resolved,
+            c.queries,
+            c.qps_tiered,
+            c.qps_f64,
+            c.qps_tiered / c.qps_f64.max(1e-9),
+            c.bytes_per_query_tiered / 1e6,
+            c.bytes_per_query_f64 / 1e6,
+            c.bytes_per_query_f64 / c.bytes_per_query_tiered.max(1.0),
+        );
+    }
+    let doc = Value::obj([
+        ("bench", Value::Str("precision".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench precision (release)".to_string()),
+        ),
+        ("workers", Value::Num(workers as f64)),
+        ("net", Value::Str("mlp 16 -> 64x3 (relu) -> 8".to_string())),
+        (
+            "results",
+            Value::Arr(cells.iter().map(Cell::to_value).collect()),
+        ),
+    ]);
+    let out = std::env::var("BENCH_PRECISION_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_precision.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[precision] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench precision`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

@@ -103,6 +103,13 @@ pub struct EngineOptions {
     /// Scheduling only — fused and per-query margins are bit-identical
     /// either way.
     pub fusion_min_overlap: f64,
+    /// Enable the precision-tiered fast pass of a
+    /// [`crate::TieredEngine`]: queries run in `f32` first (sound, directed
+    /// rounding) and only Unknown or narrow-margin verdicts are re-run in
+    /// `f64`. Off (the default), a tiered engine escalates *every* query —
+    /// pure-`f64` behavior behind the tiered API. Ignored by a plain
+    /// single-precision [`Engine`].
+    pub precision_tier: bool,
 }
 
 impl Default for EngineOptions {
@@ -113,6 +120,7 @@ impl Default for EngineOptions {
             analysis_cache: 64,
             monotone_cache_reuse: false,
             fusion_min_overlap: 0.05,
+            precision_tier: false,
         }
     }
 }
@@ -167,6 +175,14 @@ pub struct EngineStats {
     /// Admission layers multiply it with a query's cost hint to weigh a
     /// queue by estimated *time* instead of raw query count.
     pub ewma_ms_per_cost: f64,
+    /// Queries resolved by the `f32` fast tier of a
+    /// [`crate::TieredEngine`] without touching `f64` (always `0` for a
+    /// plain [`Engine`]).
+    pub fast_pass_resolved: u64,
+    /// Queries escalated to the `f64` full tier — Unknown fast verdicts or
+    /// margins inside the conservative `f32` error envelope (always `0`
+    /// for a plain [`Engine`]).
+    pub escalated: u64,
 }
 
 /// Per-layer weight storage: device-resident when packed, borrowed from the
@@ -660,6 +676,8 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             flops: device.flops(),
             bytes_moved: device.bytes_moved(),
             ewma_ms_per_cost: f64::from_bits(self.ewma_ms_per_cost.load(Ordering::Relaxed)),
+            fast_pass_resolved: 0,
+            escalated: 0,
         }
     }
 

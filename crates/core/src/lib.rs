@@ -46,6 +46,7 @@ mod error;
 pub mod expr;
 mod relax;
 pub mod steps;
+mod tiered;
 mod verifier;
 mod walk;
 
@@ -55,4 +56,5 @@ pub use engine::{query_cost_hint, Engine, EngineOptions, EngineStats, PreparedGr
 pub use error::VerifyError;
 pub use expr::ExprBatch;
 pub use relax::ReluRelax;
+pub use tiered::{escalation_cost_weight, TieredEngine};
 pub use verifier::{GpuPoly, LinearSpec, Margin, RobustnessVerdict, SpecRow, SpecVerdict};

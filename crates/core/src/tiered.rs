@@ -1,0 +1,546 @@
+//! Precision-tiered verification: an `f32` fast pass with sound `f64`
+//! escalation.
+//!
+//! Directed rounding makes the `f32` walk *sound* on its own — any margin it
+//! proves really holds. What it does not make is *identical* to the `f64`
+//! walk: the DeepPoly ReLU relaxation picks its λ from the computed bounds,
+//! and near the decision threshold the two precisions can pick differently.
+//! A [`TieredEngine`] therefore never trusts a borderline fast verdict.
+//! Every query runs in `f32` first; a query is kept only when it is fully
+//! proven with every margin clear of the conservative round-off envelope
+//! ([`Fp::escalation_envelope`]), and everything else — Unknown verdicts,
+//! narrow margins, errors — is re-run through a resident `f64` engine whose
+//! answer is returned verbatim. The escalated answers are bit-identical to
+//! an all-`f64` run; the fast-resolved ones are proofs the `f64` walk would
+//! only have widened.
+//!
+//! The payoff is throughput: the `f32` walk moves half the bytes and (on
+//! wide SIMD backends) retires twice the lanes per instruction, and on
+//! typical robustness workloads it resolves the large majority of queries
+//! outright. `benches/precision.rs` measures the split and the end-to-end
+//! speedup against an all-`f64` engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gpupoly_device::{Backend, Device};
+use gpupoly_interval::Fp;
+use gpupoly_nn::Network;
+
+use crate::config::VerifyConfig;
+use crate::engine::{Engine, EngineOptions, EngineStats, Query};
+use crate::error::VerifyError;
+use crate::verifier::{Margin, RobustnessVerdict};
+
+/// How much a query stream's unit of [`Engine::query_cost`] is expected to
+/// cost relative to a pure fast-tier pass, given the escalation history.
+///
+/// A fast-resolved query costs one `f32` walk; an escalated query costs the
+/// `f32` walk *plus* an `f64` walk that is roughly twice as expensive
+/// (double the bytes moved), i.e. ~3× a fast-only query. The weight
+/// interpolates linearly from `1.0` (nothing ever escalated) to `3.0`
+/// (everything escalates) over the observed escalation rate, and is `1.0`
+/// when nothing has been measured yet.
+///
+/// Serving layers multiply their cost-hint × EWMA time estimate by this
+/// weight so that admission control prices in escalations instead of
+/// assuming every query stops at the fast tier.
+pub fn escalation_cost_weight(escalated: u64, fast_resolved: u64) -> f64 {
+    let total = escalated + fast_resolved;
+    if total == 0 {
+        return 1.0;
+    }
+    1.0 + 2.0 * (escalated as f64 / total as f64)
+}
+
+/// A two-tier verification engine: an `f32` fast pass backed by a sound
+/// `f64` escalation path over the same network and device.
+///
+/// Both tiers share one [`Device`] (weights of both precisions are resident
+/// simultaneously) and one [`VerifyConfig`]. The caller keeps ownership of
+/// both network precisions — the widened copy must equal
+/// [`Network::widen`] of the narrow one, which the constructor checks.
+///
+/// With [`EngineOptions::precision_tier`] off the fast tier is bypassed and
+/// every query runs `f64`-only — the tiered API with pure-`f64` behavior,
+/// which the parity tests and benchmarks use as their baseline.
+///
+/// # Example
+///
+/// ```
+/// use gpupoly_core::{Query, TieredEngine, VerifyConfig};
+/// use gpupoly_device::Device;
+/// use gpupoly_nn::builder::NetworkBuilder;
+///
+/// let net = NetworkBuilder::new_flat(2)
+///     .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+///     .relu()
+///     .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+///     .build()?;
+/// let wide = net.widen();
+/// let engine = TieredEngine::new(Device::default(), &net, &wide, VerifyConfig::default())?;
+/// let verdicts = engine.verify_batch(&[Query::new(vec![0.4_f32, 0.6], 0, 0.05)]);
+/// assert!(verdicts[0].as_ref().unwrap().verified);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TieredEngine<'n, B: Backend> {
+    fast: Engine<'n, f32, B>,
+    full: Engine<'n, f64, B>,
+    /// Layer count of the network — the depth factor of the escalation
+    /// envelope.
+    depth: usize,
+    fast_pass_resolved: AtomicU64,
+    escalated: AtomicU64,
+    /// EWMA of measured wall ms per *escalation-weighted* unit of
+    /// [`Engine::query_cost`] (f64 bit pattern; `0` until measured).
+    ewma_ms_per_cost: AtomicU64,
+}
+
+impl<'n, B: Backend> TieredEngine<'n, B> {
+    /// Builds a tiered engine with the fast pass enabled and otherwise
+    /// default options.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when `wide` is not `net.widen()` or when
+    /// either tier's engine fails validation.
+    pub fn new(
+        device: Device<B>,
+        net: &'n Network<f32>,
+        wide: &'n Network<f64>,
+        cfg: VerifyConfig,
+    ) -> Result<Self, VerifyError> {
+        let options = EngineOptions {
+            precision_tier: true,
+            ..EngineOptions::default()
+        };
+        Self::with_options(device, net, wide, cfg, options)
+    }
+
+    /// Builds a tiered engine with explicit options. Both tiers get the
+    /// same options; [`EngineOptions::precision_tier`] decides whether the
+    /// fast pass runs at all.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when `wide` is not `net.widen()` or when
+    /// either tier's engine fails validation.
+    pub fn with_options(
+        device: Device<B>,
+        net: &'n Network<f32>,
+        wide: &'n Network<f64>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+    ) -> Result<Self, VerifyError> {
+        if *wide != net.widen() {
+            return Err(VerifyError::BadQuery(
+                "tiered engine: `wide` must be exactly `net.widen()` \
+                 (the f64 tier would otherwise verify a different network)"
+                    .into(),
+            ));
+        }
+        let depth = net.layer_count();
+        let fast = Engine::with_options(device.clone(), net, cfg, options)?;
+        let full = Engine::with_options(device, wide, cfg, options)?;
+        Ok(Self {
+            fast,
+            full,
+            depth,
+            fast_pass_resolved: AtomicU64::new(0),
+            escalated: AtomicU64::new(0),
+            ewma_ms_per_cost: AtomicU64::new(0),
+        })
+    }
+
+    /// The device both tiers run on.
+    pub fn device(&self) -> &Device<B> {
+        self.fast.device()
+    }
+
+    /// The `f32` fast-tier engine.
+    pub fn fast(&self) -> &Engine<'n, f32, B> {
+        &self.fast
+    }
+
+    /// The `f64` full-precision engine.
+    pub fn full(&self) -> &Engine<'n, f64, B> {
+        &self.full
+    }
+
+    /// The fast tier's cost estimate for one query (see
+    /// [`Engine::query_cost`]). The tiered EWMA already folds escalation
+    /// overhead into its per-cost time, so this stays the raw hint.
+    pub fn query_cost(&self, query: &Query<f32>) -> f64 {
+        self.fast.query_cost(query)
+    }
+
+    /// `true` when the fast tier may keep this verdict without escalating:
+    /// fully proven, with every margin clear of the round-off envelope at
+    /// this network's depth. Anything else — Unknown, unproven margins,
+    /// margins inside the envelope — goes to the `f64` tier.
+    fn fast_resolves(&self, verdict: &RobustnessVerdict<f32>) -> bool {
+        verdict.verified
+            && verdict
+                .margins
+                .iter()
+                .all(|m| m.proven && m.lower > f32::escalation_envelope(self.depth, m.lower))
+    }
+
+    /// Verifies a batch at full (`f64`) output precision: fast-resolved
+    /// verdicts widened losslessly, escalated verdicts exactly as an
+    /// all-`f64` engine would produce them.
+    ///
+    /// This is the parity-testing surface: with the fast pass disabled
+    /// ([`EngineOptions::precision_tier`] `= false`) the output is
+    /// bit-identical to `Engine::<f64>::verify_batch` on the widened
+    /// queries, and the tier tests assert the escalated subset matches it
+    /// bit-for-bit even with the fast pass on.
+    pub fn verify_batch_f64(
+        &self,
+        queries: &[Query<f32>],
+    ) -> Vec<Result<RobustnessVerdict<f64>, VerifyError>> {
+        let start = Instant::now();
+        let total_cost: f64 = queries.iter().map(|q| self.fast.query_cost(q)).sum();
+
+        let mut out: Vec<Option<Result<RobustnessVerdict<f64>, VerifyError>>> =
+            vec![None; queries.len()];
+        let mut escalate: Vec<usize> = Vec::new();
+        if self.fast.options().precision_tier && !queries.is_empty() {
+            let fast_verdicts = self.fast.verify_batch_fused(queries);
+            for (i, result) in fast_verdicts.into_iter().enumerate() {
+                match result {
+                    Ok(v) if self.fast_resolves(&v) => out[i] = Some(Ok(widen_verdict(&v))),
+                    // Errors escalate too: the f64 tier re-derives them so
+                    // messages (which format eps at f64 width) match an
+                    // all-f64 run exactly.
+                    _ => escalate.push(i),
+                }
+            }
+        } else {
+            escalate.extend(0..queries.len());
+        }
+
+        let resolved = queries.len() - escalate.len();
+        if !escalate.is_empty() {
+            let wide_queries: Vec<Query<f64>> =
+                escalate.iter().map(|&i| widen_query(&queries[i])).collect();
+            let full_verdicts = self.full.verify_batch_fused(&wide_queries);
+            for (&i, result) in escalate.iter().zip(full_verdicts) {
+                out[i] = Some(result);
+            }
+        }
+
+        self.fast_pass_resolved
+            .fetch_add(resolved as u64, Ordering::Relaxed);
+        self.escalated
+            .fetch_add(escalate.len() as u64, Ordering::Relaxed);
+        let weight = escalation_cost_weight(
+            self.escalated.load(Ordering::Relaxed),
+            self.fast_pass_resolved.load(Ordering::Relaxed),
+        );
+        self.note_batch_time(start.elapsed().as_secs_f64() * 1e3, total_cost * weight);
+
+        out.into_iter()
+            .map(|r| r.expect("every query is either fast-resolved or escalated"))
+            .collect()
+    }
+
+    /// Verifies a batch at the serving (`f32`) output precision.
+    ///
+    /// Fast-resolved verdicts are returned as the fast tier produced them.
+    /// Escalated verdicts keep the `f64` tier's `verified`/`proven`
+    /// decisions (those are exact) and round each margin's lower bound
+    /// *down* to the nearest `f32` at or below it, so the narrowed bound
+    /// is still a sound certificate.
+    pub fn verify_batch(
+        &self,
+        queries: &[Query<f32>],
+    ) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>> {
+        // Fast-resolved verdicts round-trip losslessly through f64 (widen
+        // is exact, and narrowing an exactly-representable value is the
+        // identity), so one pipeline serves both output precisions.
+        self.verify_batch_f64(queries)
+            .into_iter()
+            .map(|r| r.map(|v| narrow_verdict(&v)))
+            .collect()
+    }
+
+    /// Merged counters of both tiers plus the tier split.
+    ///
+    /// Engine-local counters (cache activity, resident bytes, fused
+    /// batches) are summed across the tiers. Device-wide counters
+    /// (launches, flops, bytes moved) are shared by both tiers' common
+    /// device and therefore taken once. The EWMA is the tiered engine's
+    /// own, folded over escalation-weighted cost.
+    pub fn stats(&self) -> EngineStats {
+        let fast = self.fast.stats();
+        let full = self.full.stats();
+        EngineStats {
+            cache_hits: fast.cache_hits + full.cache_hits,
+            cache_misses: fast.cache_misses + full.cache_misses,
+            monotone_hits: fast.monotone_hits + full.monotone_hits,
+            resident_bytes: fast.resident_bytes + full.resident_bytes,
+            relu_layers: fast.relu_layers,
+            fused_batches: fast.fused_batches + full.fused_batches,
+            launches: fast.launches,
+            flops: fast.flops,
+            bytes_moved: fast.bytes_moved,
+            ewma_ms_per_cost: f64::from_bits(self.ewma_ms_per_cost.load(Ordering::Relaxed)),
+            fast_pass_resolved: self.fast_pass_resolved.load(Ordering::Relaxed),
+            escalated: self.escalated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds one measured batch into the ms-per-weighted-cost EWMA, with
+    /// the same 0.2/0.8 fold as the per-engine EWMA so the two estimates
+    /// stay directly comparable.
+    fn note_batch_time(&self, elapsed_ms: f64, weighted_cost: f64) {
+        if weighted_cost <= 0.0 || weighted_cost.is_nan() || !elapsed_ms.is_finite() {
+            return;
+        }
+        let sample = elapsed_ms / weighted_cost;
+        let _ = self
+            .ewma_ms_per_cost
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                let old = f64::from_bits(bits);
+                let new = if old == 0.0 {
+                    sample
+                } else {
+                    0.2 * sample + 0.8 * old
+                };
+                Some(new.to_bits())
+            });
+    }
+}
+
+/// Widens a query losslessly (`f32 → f64` is exact for every value).
+fn widen_query(q: &Query<f32>) -> Query<f64> {
+    Query::new(
+        q.image.iter().map(|&x| x as f64).collect::<Vec<f64>>(),
+        q.label,
+        q.eps as f64,
+    )
+}
+
+/// Widens a fast-tier verdict losslessly to the `f64` output surface.
+fn widen_verdict(v: &RobustnessVerdict<f32>) -> RobustnessVerdict<f64> {
+    RobustnessVerdict {
+        verified: v.verified,
+        margins: v
+            .margins
+            .iter()
+            .map(|m| Margin {
+                adversary: m.adversary,
+                lower: m.lower as f64,
+                proven: m.proven,
+            })
+            .collect(),
+        stats: v.stats.clone(),
+    }
+}
+
+/// Narrows a full-tier verdict to `f32`, rounding every margin's lower
+/// bound *toward `-inf`* so the narrowed bound is still sound. The
+/// `verified`/`proven` flags are the `f64` tier's exact decisions and are
+/// kept as-is.
+fn narrow_verdict(v: &RobustnessVerdict<f64>) -> RobustnessVerdict<f32> {
+    RobustnessVerdict {
+        verified: v.verified,
+        margins: v
+            .margins
+            .iter()
+            .map(|m| Margin {
+                adversary: m.adversary,
+                lower: narrow_down(m.lower),
+                proven: m.proven,
+            })
+            .collect(),
+        stats: v.stats.clone(),
+    }
+}
+
+/// The largest `f32` that is `<= m`: round-to-nearest narrowing followed by
+/// `next_down` steps while the result still exceeds `m`. (Values beyond
+/// `f32::MAX` saturate to infinity first and step back to `f32::MAX`.)
+fn narrow_down(m: f64) -> f32 {
+    if m.is_nan() {
+        return f32::NAN;
+    }
+    let mut v = m as f32;
+    while (v as f64) > m {
+        v = v.next_down();
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpupoly_nn::builder::NetworkBuilder;
+
+    fn zoo_net() -> Network<f32> {
+        NetworkBuilder::new_flat(2)
+            .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+            .relu()
+            .dense(&[[1.0_f32, 1.0], [1.0, -1.0]], &[0.5, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    fn zoo_queries() -> Vec<Query<f32>> {
+        vec![
+            Query::new(vec![0.4_f32, 0.6], 0, 0.05),
+            Query::new(vec![0.5_f32, 0.5], 0, 0.02),
+            // Malformed: wrong image length (errors must escalate and
+            // match the f64 engine's message exactly).
+            Query::new(vec![0.5_f32], 0, 0.02),
+            // Hard: huge eps, expected Unknown.
+            Query::new(vec![0.5_f32, 0.5], 1, 0.9),
+        ]
+    }
+
+    #[test]
+    fn escalation_cost_weight_interpolates() {
+        assert_eq!(escalation_cost_weight(0, 0), 1.0);
+        assert_eq!(escalation_cost_weight(0, 10), 1.0);
+        assert_eq!(escalation_cost_weight(10, 0), 3.0);
+        assert_eq!(escalation_cost_weight(5, 5), 2.0);
+    }
+
+    #[test]
+    fn narrow_down_is_sound_and_tight() {
+        // Exactly representable values are the identity.
+        assert_eq!(narrow_down(0.25), 0.25_f32);
+        assert_eq!(narrow_down(-3.0), -3.0_f32);
+        // A value strictly between two f32s narrows to the one below,
+        // even when round-to-nearest would go up.
+        let above = 1.0_f32.next_up();
+        let between = (1.0_f64 + above as f64) / 2.0 + 1e-12;
+        assert!(narrow_down(between) as f64 <= between);
+        // Saturation steps back from infinity.
+        assert_eq!(narrow_down(f64::MAX), f32::MAX);
+        assert_eq!(narrow_down(f64::INFINITY), f32::INFINITY);
+        assert!(narrow_down(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn constructor_rejects_mismatched_wide_network() {
+        let net = zoo_net();
+        let other = NetworkBuilder::new_flat(2)
+            .dense(&[[2.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+            .build()
+            .unwrap()
+            .widen();
+        let err = TieredEngine::new(Device::default(), &net, &other, VerifyConfig::default())
+            .err()
+            .expect("mismatched widened network must be rejected");
+        assert!(matches!(err, VerifyError::BadQuery(_)));
+    }
+
+    #[test]
+    fn tiered_verdicts_match_pure_f64_engine() {
+        let net = zoo_net();
+        let wide = net.widen();
+        let queries = zoo_queries();
+        let tiered =
+            TieredEngine::new(Device::default(), &net, &wide, VerifyConfig::default()).unwrap();
+        let baseline = Engine::new(Device::default(), &wide, VerifyConfig::default()).unwrap();
+        let wide_queries: Vec<Query<f64>> = queries.iter().map(widen_query).collect();
+
+        let got = tiered.verify_batch_f64(&queries);
+        let want = baseline.verify_batch_fused(&wide_queries);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            match (g, w) {
+                (Ok(gv), Ok(wv)) => {
+                    assert_eq!(gv.verified, wv.verified);
+                    for (gm, wm) in gv.margins.iter().zip(&wv.margins) {
+                        assert_eq!(gm.adversary, wm.adversary);
+                        assert_eq!(gm.proven, wm.proven);
+                        if gm.proven {
+                            // Escalated margins are bit-identical; fast-
+                            // resolved ones are sound (never above f64).
+                            assert!(
+                                gm.lower <= wm.lower || gm.lower.to_bits() == wm.lower.to_bits()
+                            );
+                            assert!(gm.lower > 0.0);
+                        }
+                    }
+                }
+                (Err(ge), Err(we)) => assert_eq!(ge, we),
+                _ => panic!("tiered/f64 verdicts disagree on Ok vs Err"),
+            }
+        }
+
+        let stats = tiered.stats();
+        assert_eq!(
+            stats.fast_pass_resolved + stats.escalated,
+            queries.len() as u64
+        );
+        // The malformed and the huge-eps query must have escalated.
+        assert!(stats.escalated >= 2);
+    }
+
+    #[test]
+    fn disabled_tier_escalates_everything() {
+        let net = zoo_net();
+        let wide = net.widen();
+        let options = EngineOptions {
+            precision_tier: false,
+            ..EngineOptions::default()
+        };
+        let tiered = TieredEngine::with_options(
+            Device::default(),
+            &net,
+            &wide,
+            VerifyConfig::default(),
+            options,
+        )
+        .unwrap();
+        let queries = zoo_queries();
+        let baseline = Engine::new(Device::default(), &wide, VerifyConfig::default()).unwrap();
+        let wide_queries: Vec<Query<f64>> = queries.iter().map(widen_query).collect();
+
+        let got = tiered.verify_batch_f64(&queries);
+        let want = baseline.verify_batch_fused(&wide_queries);
+        for (g, w) in got.iter().zip(&want) {
+            match (g, w) {
+                (Ok(gv), Ok(wv)) => {
+                    assert_eq!(gv.verified, wv.verified);
+                    let gb: Vec<u64> = gv.margins.iter().map(|m| m.lower.to_bits()).collect();
+                    let wb: Vec<u64> = wv.margins.iter().map(|m| m.lower.to_bits()).collect();
+                    assert_eq!(gb, wb, "escalated margins must be bit-identical");
+                }
+                (Err(ge), Err(we)) => assert_eq!(ge, we),
+                _ => panic!("disabled-tier verdicts disagree on Ok vs Err"),
+            }
+        }
+        let stats = tiered.stats();
+        assert_eq!(stats.fast_pass_resolved, 0);
+        assert_eq!(stats.escalated, queries.len() as u64);
+    }
+
+    #[test]
+    fn narrow_output_agrees_with_wide_output() {
+        let net = zoo_net();
+        let wide = net.widen();
+        let tiered =
+            TieredEngine::new(Device::default(), &net, &wide, VerifyConfig::default()).unwrap();
+        let queries = zoo_queries();
+        let narrow = tiered.verify_batch(&queries);
+        let widened = tiered.verify_batch_f64(&queries);
+        for (n, w) in narrow.iter().zip(&widened) {
+            match (n, w) {
+                (Ok(nv), Ok(wv)) => {
+                    assert_eq!(nv.verified, wv.verified);
+                    for (nm, wm) in nv.margins.iter().zip(&wv.margins) {
+                        assert_eq!(nm.proven, wm.proven);
+                        assert!((nm.lower as f64) <= wm.lower, "narrowing must round down");
+                    }
+                }
+                (Err(ne), Err(we)) => assert_eq!(ne, we),
+                _ => panic!("narrow/wide outputs disagree on Ok vs Err"),
+            }
+        }
+    }
+}

@@ -48,6 +48,17 @@
 //! Scan, compaction and gather are exact integer/copy operations and must
 //! match element-for-element.
 //!
+//! **Blocking rule.** Cache/tensor-core blocking of the GEMM family is
+//! allowed — but only over `m` and `n`. [`CpuSimBackend`] tiles `C` into
+//! [`GemmTile`]-sized blocks and packs `B` into contiguous per-tile panels
+//! (packing is a pure copy, so it cannot change a bit); inside a tile each
+//! output element still accumulates over the **full `k` extent in ascending
+//! order** with the zero-skip rule above. A port may tile `m`/`n`, pack
+//! operands, and register-block freely, but must never split, reorder or
+//! tree-reduce `k`. [`crate::conformance::check_gemm_blocking`] pins the
+//! blocked kernels against the straight-line oracle across tile-boundary
+//! and remainder shapes for several tile geometries.
+//!
 //! Every implementation is checked against this contract by the
 //! [`crate::conformance`] suite; run
 //! [`crate::conformance::assert_backend_conformance`] over a new backend
@@ -396,6 +407,64 @@ fn concretize_row<F: Fp>(
 /// result is bit-identical to the straight-line loop.
 const TILE_N: usize = 512;
 
+/// Tile geometry of the blocked GEMM family — the CPU analogue of a
+/// cutlass / tensor-core tile configuration, carried by the device
+/// ([`crate::DeviceConfig::gemm_tile`]) so a future wgpu/CUDA port inherits
+/// the same knobs instead of inventing its own. `tile_m × tile_n` is the
+/// block tile (one packed panel of `B` is `tile_n` columns wide) and
+/// `mr × nr` the register-blocked micro-kernel footprint inside it — the
+/// role the warp-level WMMA fragment shape plays on tensor cores.
+///
+/// The geometry never changes results: blocking only tiles the `m`/`n`
+/// dimensions and packs contiguous copies of `B` panels, while every output
+/// element is still accumulated over the full `k` extent in ascending order
+/// (see the module-level bit-reproducibility contract). It is purely a
+/// performance knob; `benches/gemm.rs` in `gpupoly-bench` sweeps it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GemmTile {
+    /// Rows of `C` per block tile (upper bound — the device shrinks it to
+    /// keep all workers busy on short matrices).
+    pub tile_m: usize,
+    /// Columns of `C` — and packed-panel width of `B` — per block tile.
+    pub tile_n: usize,
+    /// Rows of the register-blocked micro-kernel (clamped to
+    /// [`GemmTile::MAX_MR`]).
+    pub mr: usize,
+    /// Columns of the register-blocked micro-kernel (clamped to
+    /// [`GemmTile::MAX_NR`]).
+    pub nr: usize,
+}
+
+impl Default for GemmTile {
+    fn default() -> Self {
+        Self {
+            tile_m: 64,
+            tile_n: TILE_N,
+            mr: 4,
+            nr: 8,
+        }
+    }
+}
+
+impl GemmTile {
+    /// Largest supported micro-kernel row count (accumulator budget).
+    pub const MAX_MR: usize = 8;
+    /// Largest supported micro-kernel column count (accumulator budget).
+    pub const MAX_NR: usize = 16;
+
+    /// Clamps every dimension into its supported range: at least 1
+    /// everywhere, `mr`/`nr` at most the fixed accumulator budget. The
+    /// device clamps its configured geometry once at construction.
+    pub fn clamped(self) -> Self {
+        Self {
+            tile_m: self.tile_m.max(1),
+            tile_n: self.tile_n.max(1),
+            mr: self.mr.clamp(1, Self::MAX_MR),
+            nr: self.nr.clamp(1, Self::MAX_NR),
+        }
+    }
+}
+
 /// The kernel surface a device implementation must provide.
 ///
 /// The GEMM methods take eight arguments (device, three matrices, three
@@ -601,8 +670,150 @@ pub trait Backend: Send + Sync + Sized + 'static {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CpuSimBackend;
 
+/// Packs `B` (`k×n`, row-major) into panel-major layout: the panel covering
+/// columns `j0 .. j0+w` occupies `packed[j0 * k ..][.. w * k]` as `k`
+/// contiguous rows of width `w`. A pure copy — packing cannot change a bit
+/// of the product — that makes the micro-kernel's `B` accesses unit-stride
+/// and cache-resident regardless of `n`.
+fn pack_b_panels<F: Fp>(
+    device: &Device<CpuSimBackend>,
+    b: &[F],
+    k: usize,
+    n: usize,
+    tile_n: usize,
+    packed: &mut [F],
+) {
+    let mut panels: Vec<(usize, &mut [F])> = Vec::new();
+    let mut rest = packed;
+    for j0 in (0..n).step_by(tile_n) {
+        let w = (j0 + tile_n).min(n) - j0;
+        let (head, tail) = rest.split_at_mut(w * k);
+        panels.push((j0, head));
+        rest = tail;
+    }
+    device.install(|| {
+        panels.par_iter_mut().for_each(|(j0, panel)| {
+            let w = panel.len() / k;
+            for kk in 0..k {
+                panel[kk * w..(kk + 1) * w].copy_from_slice(&b[kk * n + *j0..kk * n + *j0 + w]);
+            }
+        })
+    });
+}
+
+/// One m-tile of the blocked interval product: for every packed panel of
+/// `B`, an `mr × nr` register block of `C` streams the **full** `k` extent
+/// with ascending-`k` accumulation and the mandatory zero-skip per
+/// `(row, k)` term — bit-identical to the straight-line loop (see the
+/// module contract; blocking only tiles `m`/`n`). The register block loads
+/// from `C` first, so the same body serves the fresh kernel (rows zeroed by
+/// the caller) and the accumulating one.
+fn blocked_itv_tile<F: Fp>(
+    atile: &[Itv<F>],
+    packed: &[F],
+    ctile: &mut [Itv<F>],
+    k: usize,
+    n: usize,
+    tile: GemmTile,
+) {
+    let rows = ctile.len() / n;
+    let mut acc = [[Itv::<F>::zero(); GemmTile::MAX_NR]; GemmTile::MAX_MR];
+    for j0 in (0..n).step_by(tile.tile_n) {
+        let w = (j0 + tile.tile_n).min(n) - j0;
+        let panel = &packed[j0 * k..j0 * k + w * k];
+        for i0 in (0..rows).step_by(tile.mr) {
+            let mr = (i0 + tile.mr).min(rows) - i0;
+            for jj0 in (0..w).step_by(tile.nr) {
+                let nr = (jj0 + tile.nr).min(w) - jj0;
+                for (ri, areg) in acc.iter_mut().enumerate().take(mr) {
+                    let at = (i0 + ri) * n + j0 + jj0;
+                    areg[..nr].copy_from_slice(&ctile[at..at + nr]);
+                }
+                for kk in 0..k {
+                    let brow = &panel[kk * w + jj0..kk * w + jj0 + nr];
+                    for (ri, areg) in acc.iter_mut().enumerate().take(mr) {
+                        let aik = atile[(i0 + ri) * k + kk];
+                        // Mandatory zero-skip — see the module contract.
+                        if aik.lo == F::ZERO && aik.hi == F::ZERO {
+                            continue;
+                        }
+                        for (av, &bv) in areg[..nr].iter_mut().zip(brow) {
+                            *av = aik.mul_add_f(bv, *av);
+                        }
+                    }
+                }
+                for (ri, areg) in acc.iter().enumerate().take(mr) {
+                    let at = (i0 + ri) * n + j0 + jj0;
+                    ctile[at..at + nr].copy_from_slice(&areg[..nr]);
+                }
+            }
+        }
+    }
+}
+
+/// The scalar counterpart of [`blocked_itv_tile`]: same blocking, no
+/// zero-skip (under round-to-nearest, `fma(0, b, -0.0)` is `+0.0`, so
+/// there skipping would be the divergence).
+fn blocked_f_tile<F: Fp>(
+    atile: &[F],
+    packed: &[F],
+    ctile: &mut [F],
+    k: usize,
+    n: usize,
+    tile: GemmTile,
+) {
+    let rows = ctile.len() / n;
+    let mut acc = [[F::ZERO; GemmTile::MAX_NR]; GemmTile::MAX_MR];
+    for j0 in (0..n).step_by(tile.tile_n) {
+        let w = (j0 + tile.tile_n).min(n) - j0;
+        let panel = &packed[j0 * k..j0 * k + w * k];
+        for i0 in (0..rows).step_by(tile.mr) {
+            let mr = (i0 + tile.mr).min(rows) - i0;
+            for jj0 in (0..w).step_by(tile.nr) {
+                let nr = (jj0 + tile.nr).min(w) - jj0;
+                for areg in acc.iter_mut().take(mr) {
+                    areg[..nr].fill(F::ZERO);
+                }
+                for kk in 0..k {
+                    let brow = &panel[kk * w + jj0..kk * w + jj0 + nr];
+                    for (ri, areg) in acc.iter_mut().enumerate().take(mr) {
+                        let aik = atile[(i0 + ri) * k + kk];
+                        for (av, &bv) in areg[..nr].iter_mut().zip(brow) {
+                            *av = aik.mul_add(bv, *av);
+                        }
+                    }
+                }
+                for (ri, areg) in acc.iter().enumerate().take(mr) {
+                    let at = (i0 + ri) * n + j0 + jj0;
+                    ctile[at..at + nr].copy_from_slice(&areg[..nr]);
+                }
+            }
+        }
+    }
+}
+
+/// Effective m-tile height: the configured `tile_m`, shrunk so short
+/// matrices still split into enough row blocks to keep every worker busy.
+/// Purely a scheduling choice — per-element bits do not depend on it.
+fn effective_tile_m(tile_m: usize, m: usize, workers: usize) -> usize {
+    tile_m.min(m.div_ceil(workers * 4).max(1)).max(1)
+}
+
+/// Allocation size of the packed-panel scratch for a `k×n` operand: the
+/// element count rounded up to a power of two, with a floor merging all
+/// small operands into one class. Stable-zero compaction makes `k` depend
+/// on each query's zero pattern; exact-size scratch would mint a fresh
+/// buffer-pool size class per compacted width, defeating steady-state pool
+/// reuse. Bucketing bounds the class count (≤2× transient over-allocation,
+/// recycled through the pool either way).
+fn panel_scratch_len(elems: usize) -> usize {
+    elems.checked_next_power_of_two().unwrap_or(elems).max(256)
+}
+
 /// One row of the tiled interval×scalar product, shared by the fresh and
 /// accumulating kernels (they differ only in whether `C`'s row is zeroed).
+/// The unpacked fallback of the blocked path: same bits, used when the
+/// panel scratch does not fit on a capacity-limited device.
 #[inline]
 fn tiled_itv_row<F: Fp>(arow: &[Itv<F>], b: &[F], crow: &mut [Itv<F>], n: usize) {
     for j0 in (0..n).step_by(TILE_N) {
@@ -620,6 +831,63 @@ fn tiled_itv_row<F: Fp>(arow: &[Itv<F>], b: &[F], crow: &mut [Itv<F>], n: usize)
     }
 }
 
+/// Driver of the CPU-sim interval GEMM family: pack `B` once into a pooled
+/// panel buffer ([`crate::DeviceBuffer::for_overwrite`], so steady-state
+/// launches recycle the scratch instead of charging fresh bytes), then run
+/// the blocked micro-kernel over disjoint m-tiles in parallel. When the
+/// panel scratch does not fit on a capacity-limited device, falls back to
+/// the unpacked flat row loop — same bits either way.
+#[allow(clippy::too_many_arguments)]
+fn gemm_itv_blocked<F: Fp>(
+    device: &Device<CpuSimBackend>,
+    a: &[Itv<F>],
+    b: &[F],
+    c: &mut [Itv<F>],
+    m: usize,
+    k: usize,
+    n: usize,
+    fresh: bool,
+) {
+    if n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Empty reduction: C is all zeros (fresh) / unchanged (acc).
+        if fresh {
+            c.fill(Itv::zero());
+        }
+        return;
+    }
+    if let Ok(mut packed) =
+        crate::DeviceBuffer::<F>::for_overwrite(device, panel_scratch_len(k * n))
+    {
+        let tile = device.gemm_tile();
+        pack_b_panels(device, b, k, n, tile.tile_n, &mut packed[..k * n]);
+        let tm = effective_tile_m(tile.tile_m, m, device.workers());
+        let packed: &[F] = &packed[..k * n];
+        device.install(|| {
+            c.par_chunks_mut(tm * n).enumerate().for_each(|(t, ctile)| {
+                let i0 = t * tm;
+                let rows = ctile.len() / n;
+                if fresh {
+                    ctile.fill(Itv::zero());
+                }
+                blocked_itv_tile(&a[i0 * k..(i0 + rows) * k], packed, ctile, k, n, tile);
+            })
+        });
+    } else {
+        device.install(|| {
+            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                let arow = &a[i * k..(i + 1) * k];
+                if fresh {
+                    crow.fill(Itv::zero());
+                }
+                tiled_itv_row(arow, b, crow, n);
+            })
+        });
+    }
+}
+
 impl Backend for CpuSimBackend {
     fn label(&self) -> &'static str {
         "cpusim"
@@ -631,22 +899,11 @@ impl Backend for CpuSimBackend {
         a: &[Itv<F>],
         b: &[F],
         c: &mut [Itv<F>],
-        _m: usize,
+        m: usize,
         k: usize,
         n: usize,
     ) {
-        if n == 0 {
-            return;
-        }
-        device.install(|| {
-            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-                let arow = &a[i * k..(i + 1) * k];
-                for v in crow.iter_mut() {
-                    *v = Itv::zero();
-                }
-                tiled_itv_row(arow, b, crow, n);
-            })
-        });
+        gemm_itv_blocked(device, a, b, c, m, k, n, true);
     }
 
     fn gemm_itv_f_acc<F: Fp>(
@@ -655,19 +912,11 @@ impl Backend for CpuSimBackend {
         a: &[Itv<F>],
         b: &[F],
         c: &mut [Itv<F>],
-        _m: usize,
+        m: usize,
         k: usize,
         n: usize,
     ) {
-        if n == 0 {
-            return;
-        }
-        device.install(|| {
-            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-                let arow = &a[i * k..(i + 1) * k];
-                tiled_itv_row(arow, b, crow, n);
-            })
-        });
+        gemm_itv_blocked(device, a, b, c, m, k, n, false);
     }
 
     fn gemm_f_f<F: Fp>(
@@ -676,34 +925,53 @@ impl Backend for CpuSimBackend {
         a: &[F],
         b: &[F],
         c: &mut [F],
-        _m: usize,
+        m: usize,
         k: usize,
         n: usize,
     ) {
         if n == 0 {
             return;
         }
-        device.install(|| {
-            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-                let arow = &a[i * k..(i + 1) * k];
-                for v in crow.iter_mut() {
-                    *v = F::ZERO;
-                }
-                for j0 in (0..n).step_by(TILE_N) {
-                    let j1 = (j0 + TILE_N).min(n);
-                    // No zero-skip here, unlike the interval kernels: under
-                    // round-to-nearest, fma(0, b, -0.0) = +0.0, so skipping
-                    // a zero term is not a bitwise no-op for plain scalars.
-                    for (kk, &aik) in arow.iter().enumerate() {
-                        let brow = &b[kk * n + j0..kk * n + j1];
-                        let ctile = &mut crow[j0..j1];
-                        for (cv, &bv) in ctile.iter_mut().zip(brow) {
-                            *cv = aik.mul_add(bv, *cv);
+        if k == 0 {
+            c.fill(F::ZERO);
+            return;
+        }
+        if let Ok(mut packed) =
+            crate::DeviceBuffer::<F>::for_overwrite(device, panel_scratch_len(k * n))
+        {
+            let tile = device.gemm_tile();
+            pack_b_panels(device, b, k, n, tile.tile_n, &mut packed[..k * n]);
+            let tm = effective_tile_m(tile.tile_m, m, device.workers());
+            let packed: &[F] = &packed[..k * n];
+            device.install(|| {
+                c.par_chunks_mut(tm * n).enumerate().for_each(|(t, ctile)| {
+                    let i0 = t * tm;
+                    let rows = ctile.len() / n;
+                    blocked_f_tile(&a[i0 * k..(i0 + rows) * k], packed, ctile, k, n, tile);
+                })
+            });
+        } else {
+            device.install(|| {
+                c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                    let arow = &a[i * k..(i + 1) * k];
+                    crow.fill(F::ZERO);
+                    for j0 in (0..n).step_by(TILE_N) {
+                        let j1 = (j0 + TILE_N).min(n);
+                        // No zero-skip here, unlike the interval kernels:
+                        // under round-to-nearest, fma(0, b, -0.0) = +0.0, so
+                        // skipping a zero term is not a bitwise no-op for
+                        // plain scalars.
+                        for (kk, &aik) in arow.iter().enumerate() {
+                            let brow = &b[kk * n + j0..kk * n + j1];
+                            let ctile = &mut crow[j0..j1];
+                            for (cv, &bv) in ctile.iter_mut().zip(brow) {
+                                *cv = aik.mul_add(bv, *cv);
+                            }
                         }
                     }
-                }
-            })
-        });
+                })
+            });
+        }
     }
 
     fn exclusive_scan(&self, device: &Device<Self>, xs: &[u32]) -> (Vec<u32>, u32) {

@@ -231,6 +231,94 @@ pub fn check_gemm_against_oracle<B: Backend>(
     }
 }
 
+/// Pins the GEMM blocking rule (see the [`crate::backend`] module docs):
+/// several tile geometries — the default, degenerate 1×1 tiles, odd
+/// non-divisor tiles, and the maximal micro-kernel — must all produce
+/// results bit-identical to the straight-line oracle on tile-boundary and
+/// remainder shapes, and steady-state launches on a pool-retaining device
+/// must recycle the packed-panel scratch instead of charging fresh bytes.
+///
+/// `make` builds a device of the backend under test from a configuration
+/// (the suite varies [`DeviceConfig::gemm_tile`]). Backends that ignore the
+/// tile geometry (like [`crate::ReferenceBackend`]) pass trivially — the
+/// check then simply re-pins the oracle on more shapes.
+///
+/// # Panics
+///
+/// Panics with a labeled message on any contract violation.
+pub fn check_gemm_blocking<B: Backend>(make: &impl Fn(DeviceConfig) -> Device<B>) {
+    use crate::backend::GemmTile;
+    let tiles = [
+        GemmTile::default(),
+        // Degenerate: every loop hits its remainder path on every step.
+        GemmTile {
+            tile_m: 1,
+            tile_n: 1,
+            mr: 1,
+            nr: 1,
+        },
+        // Odd non-divisor tiles: boundary logic everywhere.
+        GemmTile {
+            tile_m: 2,
+            tile_n: 7,
+            mr: 2,
+            nr: 3,
+        },
+        // Maximal register block inside a small panel.
+        GemmTile {
+            tile_m: 5,
+            tile_n: 9,
+            mr: GemmTile::MAX_MR,
+            nr: GemmTile::MAX_NR,
+        },
+        // All-zero geometry: must be clamped, not crash.
+        GemmTile {
+            tile_m: 0,
+            tile_n: 0,
+            mr: 0,
+            nr: 0,
+        },
+    ];
+    // Shapes chosen to land exactly on and just past the tile and
+    // micro-kernel boundaries of the geometries above.
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (3, 5, 7),
+        (4, 4, 4),
+        (5, 9, 9),
+        (6, 10, 11),
+        (9, 16, 130),
+        (2, 3, 519), // crosses the default 512-wide panel, remainder 7
+    ];
+    for (ti, tile) in tiles.iter().enumerate() {
+        let device = make(DeviceConfig::new().workers(3).gemm_tile(*tile));
+        let label = device.backend().label();
+        device.buffer_pool_retain();
+        for (ci, &(m, k, n)) in shapes.iter().enumerate() {
+            check_gemm_against_oracle(&device, m, k, n, (ti * 101 + ci) as u64);
+        }
+        // Steady state: a repeated shape must recycle its panel scratch
+        // through the buffer pool — bytes_allocated stays flat per launch.
+        let (m, k, n) = (6, 10, 11);
+        check_gemm_against_oracle(&device, m, k, n, 4242);
+        let bytes0 = device.stats().bytes_allocated();
+        check_gemm_against_oracle(&device, m, k, n, 4243);
+        if device.buffer_pool_active() {
+            assert_eq!(
+                device.stats().bytes_allocated(),
+                bytes0,
+                "[{label}] steady-state GEMM launches must recycle panel scratch ({tile:?})"
+            );
+        }
+        device.buffer_pool_release();
+        assert_eq!(
+            device.memory_in_use(),
+            0,
+            "[{label}] GEMM panel scratch must be returned on pool release"
+        );
+    }
+}
+
 /// Checks [`scan::exclusive_scan`] against the serial oracle on one input.
 ///
 /// # Panics
@@ -1234,5 +1322,6 @@ pub fn assert_backend_conformance<B: Backend>(make: impl Fn(DeviceConfig) -> Dev
             device.backend().label()
         );
     }
+    check_gemm_blocking(&make);
     check_memory_accounting(&make);
 }

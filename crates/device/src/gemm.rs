@@ -12,13 +12,18 @@
 //!
 //! All matrices are dense row-major. The functions here are thin wrappers —
 //! dimension checks, launch recording, flop accounting — around the device's
-//! [`crate::Backend`], which supplies the actual kernel (tiled and parallel
-//! on [`crate::CpuSimBackend`], straight-line serial on
-//! [`crate::ReferenceBackend`]). Every backend accumulates each output
-//! element in ascending `k` order with the same directed-rounding
-//! primitives, so results are bit-identical across backends (see the
-//! [`crate::backend`] module docs for the contract and
-//! [`crate::conformance`] for the suite that enforces it).
+//! [`crate::Backend`], which supplies the actual kernel (cache-blocked and
+//! parallel on [`crate::CpuSimBackend`]: `C` is tiled by the device's
+//! [`crate::GemmTile`] geometry with `B` packed into per-tile panels and an
+//! `mr × nr` register-blocked micro-kernel inside — straight-line serial on
+//! [`crate::ReferenceBackend`]). Blocking only covers `m`/`n`; every backend
+//! still accumulates each output element over the full `k` extent in
+//! ascending order with the same directed-rounding primitives, so results
+//! are bit-identical across backends and tile geometries (see the
+//! [`crate::backend`] module docs for the contract, and
+//! [`crate::conformance`] — in particular
+//! [`crate::conformance::check_gemm_blocking`] — for the suite that
+//! enforces it).
 //!
 //! # Example
 //!

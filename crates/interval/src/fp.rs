@@ -92,6 +92,24 @@ pub trait Fp:
     /// value identity (analysis caching, hashing); distinguishes `-0.0`
     /// from `0.0` and every NaN payload.
     fn bits(self) -> u64;
+
+    /// A conservative round-off envelope for a bound threaded through a
+    /// `depth`-layer verification walk: roughly `64 · depth` ulps at the
+    /// scale of `magnitude` (plus one, so tiny magnitudes still get an
+    /// absolute floor of `64 · depth · EPSILON`).
+    ///
+    /// A precision-tiered verifier uses this as its *escalation* band: a
+    /// fast-precision margin whose distance from the decision threshold is
+    /// within the envelope is re-run at full precision instead of being
+    /// trusted, because at that distance the two precisions' relaxation
+    /// choices (which depend on the computed bounds themselves) can
+    /// plausibly diverge. The constant is deliberately generous — directed
+    /// rounding loses at most one ulp per accumulation step, so `64·depth`
+    /// ulps dominates any realistic per-layer fan-in error growth while
+    /// still leaving comfortably-proven margins to the fast tier.
+    fn escalation_envelope(depth: usize, magnitude: Self) -> Self {
+        Self::EPSILON * Self::from_usize(64 * depth.max(1)) * (Self::ONE + magnitude.abs())
+    }
 }
 
 macro_rules! impl_fp {
@@ -204,6 +222,28 @@ mod tests {
         assert_eq!(f32::from_f64(0.25), 0.25_f32);
         assert_eq!(0.25_f32.to_f64(), 0.25_f64);
         assert_eq!(f64::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn escalation_envelope_scales_with_depth_and_magnitude() {
+        let base = f32::escalation_envelope(1, 0.0);
+        assert_eq!(base, 64.0 * f32::EPSILON);
+        // Deeper walks and larger magnitudes widen the band.
+        assert!(f32::escalation_envelope(8, 0.0) > base);
+        assert!(f32::escalation_envelope(1, 100.0) > base);
+        // Sign of the magnitude is irrelevant.
+        assert_eq!(
+            f32::escalation_envelope(3, -2.5),
+            f32::escalation_envelope(3, 2.5)
+        );
+        // Depth zero clamps to one (an envelope of zero would trust every
+        // fast-tier margin, however marginal).
+        assert_eq!(
+            f32::escalation_envelope(0, 1.0),
+            f32::escalation_envelope(1, 1.0)
+        );
+        // The f64 envelope at equal depth/magnitude is vastly tighter.
+        assert!(f64::escalation_envelope(8, 1.0) < f32::escalation_envelope(8, 1.0) as f64);
     }
 
     #[test]

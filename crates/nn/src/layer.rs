@@ -109,6 +109,17 @@ impl<F: Fp> Dense<F> {
             *yi = acc;
         }
     }
+
+    /// The same layer with every parameter widened to `f64` (lossless for
+    /// `f32` parameters — every `f32` is exactly representable in `f64`).
+    pub fn widen(&self) -> Dense<f64> {
+        Dense {
+            out_len: self.out_len,
+            in_len: self.in_len,
+            weight: self.weight.iter().map(|w| w.to_f64()).collect(),
+            bias: self.bias.iter().map(|b| b.to_f64()).collect(),
+        }
+    }
 }
 
 /// A 2-D convolution layer.
@@ -298,6 +309,23 @@ impl<F: Fp> Conv2d<F> {
                     }
                 }
             }
+        }
+    }
+
+    /// The same layer with every parameter widened to `f64` (lossless for
+    /// `f32` parameters); the geometry is unchanged.
+    pub fn widen(&self) -> Conv2d<f64> {
+        Conv2d {
+            in_shape: self.in_shape,
+            out_shape: self.out_shape,
+            kh: self.kh,
+            kw: self.kw,
+            sh: self.sh,
+            sw: self.sw,
+            ph: self.ph,
+            pw: self.pw,
+            weight: self.weight.iter().map(|w| w.to_f64()).collect(),
+            bias: self.bias.iter().map(|b| b.to_f64()).collect(),
         }
     }
 }

@@ -394,6 +394,39 @@ impl<F: Fp> Network<F> {
         let g = self.graph();
         g.eval_itv(input).pop().expect("non-empty graph")
     }
+
+    /// The same network with every parameter widened to `f64`.
+    ///
+    /// For an `f32` network the widening is **lossless** — every `f32`
+    /// value is exactly representable in `f64` — so the widened network
+    /// computes over the *identical* real-valued function; only the
+    /// arithmetic precision of downstream analyses changes. This is the
+    /// full-precision companion a precision-tiered verifier escalates to.
+    /// Shapes are untouched, so no revalidation is needed.
+    pub fn widen(&self) -> Network<f64> {
+        fn widen_layer<F: Fp>(layer: &Layer<F>) -> Layer<f64> {
+            match layer {
+                Layer::Dense(d) => Layer::Dense(d.widen()),
+                Layer::Conv(c) => Layer::Conv(c.widen()),
+                Layer::Relu => Layer::Relu,
+            }
+        }
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|block| match block {
+                Block::Single(layer) => Block::Single(widen_layer(layer)),
+                Block::Residual { a, b } => Block::Residual {
+                    a: a.iter().map(widen_layer).collect(),
+                    b: b.iter().map(widen_layer).collect(),
+                },
+            })
+            .collect();
+        Network {
+            input_shape: self.input_shape,
+            blocks,
+        }
+    }
 }
 
 /// Identifier of a node in a [`Graph`] (its index; node 0 is the input).
@@ -644,6 +677,44 @@ mod tests {
         for (b, p) in bounds.iter().zip(&shifted) {
             assert!(b.contains(*p));
         }
+    }
+
+    #[test]
+    fn widen_is_lossless_and_structure_preserving() {
+        let net = tiny();
+        let wide = net.widen();
+        assert_eq!(wide.layer_count(), net.layer_count());
+        assert_eq!(wide.neuron_count(), net.neuron_count());
+        assert_eq!(wide.param_count(), net.param_count());
+        // Every widened parameter is the exact f64 image of its f32 source.
+        let (Block::Single(Layer::Dense(d32)), Block::Single(Layer::Dense(d64))) =
+            (&net.blocks()[0], &wide.blocks()[0])
+        else {
+            panic!("expected dense first blocks");
+        };
+        for (w32, w64) in d32.weight.iter().zip(&d64.weight) {
+            assert_eq!(*w32 as f64, *w64);
+        }
+        // Inference on exactly-representable inputs agrees exactly.
+        let out32 = net.infer(&[0.25, 0.5]);
+        let out64 = wide.infer(&[0.25, 0.5]);
+        for (a, b) in out32.iter().zip(&out64) {
+            assert_eq!(*a as f64, *b);
+        }
+        // Residual structure survives widening.
+        let res = NetworkBuilder::new_flat(2)
+            .residual(
+                |a| {
+                    a.dense_flat(2, vec![1.0, 0.0, 0.0, 1.0], vec![0.0; 2])
+                        .relu()
+                },
+                |b| b,
+            )
+            .build()
+            .unwrap();
+        let wide_res = res.widen();
+        assert!(matches!(wide_res.blocks()[0], Block::Residual { .. }));
+        assert_eq!(wide_res.infer(&[1.0, -2.0]), vec![2.0, -2.0]);
     }
 
     #[test]

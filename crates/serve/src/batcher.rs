@@ -25,11 +25,40 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gpupoly_core::{Engine, Query, RobustnessVerdict, VerifyConfig, VerifyError};
+use gpupoly_core::{
+    Engine, EngineStats, Query, RobustnessVerdict, TieredEngine, VerifyConfig, VerifyError,
+};
 use gpupoly_device::{Backend, Device};
 use gpupoly_nn::Network;
 
 use crate::stats::ModelStats;
+
+/// What the batching loop needs from a resident verification engine: one
+/// fused batch call at serving precision and a stats snapshot to mirror.
+/// Implemented by the plain `f32` [`Engine`] and by the precision-tiered
+/// [`TieredEngine`], so one loop serves both worker flavors.
+trait BatchVerifier {
+    fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>>;
+    fn stats(&self) -> EngineStats;
+}
+
+impl<B: Backend> BatchVerifier for Engine<'_, f32, B> {
+    fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>> {
+        self.verify_batch_fused(queries)
+    }
+    fn stats(&self) -> EngineStats {
+        Engine::stats(self)
+    }
+}
+
+impl<B: Backend> BatchVerifier for TieredEngine<'_, B> {
+    fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>> {
+        self.verify_batch(queries)
+    }
+    fn stats(&self) -> EngineStats {
+        TieredEngine::stats(self)
+    }
+}
 
 /// How a model worker coalesces queued requests into batches.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -85,6 +114,7 @@ pub(crate) struct WorkItem {
 ///
 /// The engine-construction error message when the network cannot be
 /// prepared on the device.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_worker<B: Backend>(
     name: String,
     net: Network<f32>,
@@ -92,6 +122,7 @@ pub(crate) fn spawn_worker<B: Backend>(
     verify: VerifyConfig,
     policy: BatchPolicy,
     queue_cap: usize,
+    precision_tier: bool,
     stats: Arc<ModelStats>,
 ) -> Result<(SyncSender<WorkItem>, JoinHandle<()>), String> {
     let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(queue_cap.max(1));
@@ -99,23 +130,43 @@ pub(crate) fn spawn_worker<B: Backend>(
     let join = std::thread::Builder::new()
         .name(format!("gpupoly-serve-{name}"))
         .spawn(move || {
-            let engine = match Engine::new(device, &net, verify) {
-                Ok(engine) => engine,
-                Err(e) => {
-                    let _ = startup_tx.send(Err(e.to_string()));
-                    return;
-                }
+            // Both engine flavors borrow networks living on this thread's
+            // stack; the startup handshake and batching loop are shared.
+            let startup = |engine: &dyn BatchVerifier| {
+                let snapshot = engine.stats();
+                stats
+                    .resident_bytes
+                    .store(snapshot.resident_bytes as u64, Ordering::Release);
+                // Admission threads compute cost hints from this depth.
+                stats
+                    .relu_layers
+                    .store(snapshot.relu_layers as u64, Ordering::Release);
+                let _ = startup_tx.send(Ok(()));
             };
-            let snapshot = engine.stats();
-            stats
-                .resident_bytes
-                .store(snapshot.resident_bytes as u64, Ordering::Release);
-            // Admission threads compute cost hints from this mirrored depth.
-            stats
-                .relu_layers
-                .store(snapshot.relu_layers as u64, Ordering::Release);
-            let _ = startup_tx.send(Ok(()));
-            run_loop(&engine, &rx, policy, &stats);
+            if precision_tier {
+                // The widened copy also lives on this stack, so the tiered
+                // engine's two borrows share the worker as their owner.
+                let wide = net.widen();
+                let engine = match TieredEngine::new(device, &net, &wide, verify) {
+                    Ok(engine) => engine,
+                    Err(e) => {
+                        let _ = startup_tx.send(Err(e.to_string()));
+                        return;
+                    }
+                };
+                startup(&engine);
+                run_loop(&engine, &rx, policy, &stats);
+            } else {
+                let engine = match Engine::new(device, &net, verify) {
+                    Ok(engine) => engine,
+                    Err(e) => {
+                        let _ = startup_tx.send(Err(e.to_string()));
+                        return;
+                    }
+                };
+                startup(&engine);
+                run_loop(&engine, &rx, policy, &stats);
+            }
         })
         .map_err(|e| format!("spawn worker thread: {e}"))?;
     match startup_rx.recv() {
@@ -132,8 +183,8 @@ pub(crate) fn spawn_worker<B: Backend>(
     }
 }
 
-fn run_loop<B: Backend>(
-    engine: &Engine<'_, f32, B>,
+fn run_loop(
+    engine: &dyn BatchVerifier,
     rx: &Receiver<WorkItem>,
     policy: BatchPolicy,
     stats: &ModelStats,
@@ -162,7 +213,7 @@ fn run_loop<B: Backend>(
     }
 }
 
-fn run_batch<B: Backend>(engine: &Engine<'_, f32, B>, batch: Vec<WorkItem>, stats: &ModelStats) {
+fn run_batch(engine: &dyn BatchVerifier, batch: Vec<WorkItem>, stats: &ModelStats) {
     stats.record_batch(batch.len());
     // Move each image out of its work item (no per-query copy on the hot
     // path); only the reply senders and admission cost charges survive the
@@ -182,9 +233,8 @@ fn run_batch<B: Backend>(engine: &Engine<'_, f32, B>, batch: Vec<WorkItem>, stat
     // to per-query dispatch itself when fusion is unprofitable). A panic
     // anywhere inside verification must reach every requester as a typed
     // reply, never unwind through the daemon or strand a client.
-    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.verify_batch_fused(&queries)
-    }));
+    let results =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.verify(&queries)));
     // Mirror the engine-side counters *before* replies go out, and settle
     // each item's gauges before its reply is sent: a requester that has its
     // verdict in hand must already see consistent stats.
@@ -198,6 +248,10 @@ fn run_batch<B: Backend>(engine: &Engine<'_, f32, B>, batch: Vec<WorkItem>, stat
     stats
         .fused_batches
         .store(snapshot.fused_batches, Ordering::Release);
+    stats
+        .fast_pass_resolved
+        .store(snapshot.fast_pass_resolved, Ordering::Release);
+    stats.escalated.store(snapshot.escalated, Ordering::Release);
     // Feed the measured per-batch wall time (folded by the engine into its
     // ms-per-cost EWMA) back to the admission side.
     stats
@@ -272,6 +326,7 @@ mod tests {
                 max_delay: Duration::from_millis(20),
             },
             16,
+            false,
             stats.clone(),
         )
         .unwrap();
@@ -304,6 +359,58 @@ mod tests {
     }
 
     #[test]
+    fn tiered_worker_serves_and_reports_tier_split() {
+        let device = Device::default();
+        let stats = Arc::new(ModelStats::default());
+        let (tx, join) = spawn_worker(
+            "tiny-tiered".into(),
+            tiny_net(),
+            device.clone(),
+            VerifyConfig::default(),
+            BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_millis(20),
+            },
+            16,
+            true,
+            stats.clone(),
+        )
+        .unwrap();
+        // Both precisions' weights are resident.
+        assert!(stats.resident_bytes.load(Ordering::Acquire) > 0);
+
+        // Easy queries resolve in the fast tier; the hopeless one escalates.
+        let easy: Vec<Receiver<WorkReply>> = (0..4)
+            .map(|_| submit(&tx, &stats, vec![0.4, 0.6], 0, 0.01))
+            .collect();
+        for rx in easy {
+            let verdict = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("worker replies")
+                .expect("query succeeds");
+            assert!(verdict.verified);
+        }
+        let rx = submit(&tx, &stats, vec![0.5, 0.5], 1, 0.9);
+        let verdict = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("worker replies")
+            .expect("query runs");
+        assert!(!verdict.verified);
+
+        assert_eq!(
+            stats.fast_pass_resolved.load(Ordering::Acquire)
+                + stats.escalated.load(Ordering::Acquire),
+            5,
+            "every query is attributed to exactly one tier"
+        );
+        assert!(stats.escalated.load(Ordering::Acquire) >= 1);
+
+        drop(tx);
+        join.join().expect("worker exits without panicking");
+        assert_eq!(device.memory_in_use(), 0, "both tiers return every byte");
+    }
+
+    #[test]
     fn startup_failure_is_reported_not_hung() {
         // Residual branches that agree in *length* but not in shape pass
         // network validation (which compares lengths) yet are rejected by
@@ -327,6 +434,7 @@ mod tests {
             VerifyConfig::default(),
             BatchPolicy::default(),
             4,
+            false,
             stats,
         )
         .map(|_| ())

@@ -48,6 +48,7 @@ USAGE:
                       [--max-delay-ms MS] [--queue-cap N] [--queue-cost-ms MS]
                       [--memory-budget BYTES] [--workers N]
                       [--request-timeout-ms MS] [--max-frame-bytes N]
+                      [--precision-tier]
   gpupoly-serve init-zoo DIR [--scale S] [--seed N]
   gpupoly-serve smoke ADDR [--ping-only]
 
@@ -151,6 +152,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(n) = flags.take_parsed("--max-frame-bytes")? {
         cfg.max_frame_len = n;
     }
+    // f32 fast pass with sound f64 escalation; ~3× resident bytes/model.
+    cfg.precision_tier = flags.take_bool("--precision-tier");
     let rest = flags.finish()?;
     if !rest.is_empty() {
         return Err(format!("unexpected arguments {rest:?}"));

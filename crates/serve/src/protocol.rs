@@ -167,6 +167,11 @@ pub struct ModelStatsWire {
     /// Measured wall milliseconds per unit of query cost (EWMA; `0` until
     /// the first measured batch).
     pub ewma_ms_per_cost: f64,
+    /// Queries resolved by the `f32` fast tier (precision-tiered workers
+    /// only; `0` otherwise).
+    pub fast_pass_resolved: u64,
+    /// Queries escalated to the `f64` tier (precision-tiered workers only).
+    pub escalated: u64,
 }
 
 /// Body of a [`Reply::Stats`].
@@ -400,6 +405,11 @@ impl Serialize for ModelStatsWire {
             ("pending_cost_us", Value::Num(self.pending_cost_us as f64)),
             ("rejected_cost", Value::Num(self.rejected_cost as f64)),
             ("ewma_ms_per_cost", Value::Num(self.ewma_ms_per_cost)),
+            (
+                "fast_pass_resolved",
+                Value::Num(self.fast_pass_resolved as f64),
+            ),
+            ("escalated", Value::Num(self.escalated as f64)),
         ])
     }
 }
@@ -423,6 +433,8 @@ impl<'de> Deserialize<'de> for ModelStatsWire {
             pending_cost_us: num("pending_cost_us")?,
             rejected_cost: num("rejected_cost")?,
             ewma_ms_per_cost: v.field("ewma_ms_per_cost")?.as_f64()?,
+            fast_pass_resolved: num("fast_pass_resolved")?,
+            escalated: num("escalated")?,
         })
     }
 }
@@ -574,6 +586,8 @@ mod tests {
                 pending_cost_us: 12,
                 rejected_cost: 13,
                 ewma_ms_per_cost: 0.25,
+                fast_pass_resolved: 14,
+                escalated: 15,
             }],
         }));
         round_trip_reply(&Reply::error(ErrorCode::Overloaded, "queue full"));

@@ -51,6 +51,12 @@ pub struct RegistryConfig {
     pub memory_budget: Option<usize>,
     /// Verifier configuration for every engine.
     pub verify: VerifyConfig,
+    /// Serve every model through a precision-tiered engine: an `f32` fast
+    /// pass with sound `f64` escalation for Unknown or narrow-margin
+    /// verdicts. Costs roughly 3× the resident weight bytes per model
+    /// (both precisions stay resident); escalated verdicts match an
+    /// all-`f64` engine exactly.
+    pub precision_tier: bool,
 }
 
 impl RegistryConfig {
@@ -63,6 +69,7 @@ impl RegistryConfig {
             queue_cost_cap: Some(Duration::from_secs(30)),
             memory_budget: None,
             verify: VerifyConfig::default(),
+            precision_tier: false,
         }
     }
 }
@@ -353,7 +360,11 @@ impl<B: Backend> Registry<B> {
             model.to_string(),
             (net.input_shape().len(), net.output_len()),
         );
-        let incoming = net.param_count() * std::mem::size_of::<f32>();
+        // A tiered worker keeps both precisions resident: f32 + f64 weights
+        // are 3× the f32 bytes, so budget-driven eviction must make room
+        // for the real footprint up front.
+        let tier_factor = if self.cfg.precision_tier { 3 } else { 1 };
+        let incoming = net.param_count() * std::mem::size_of::<f32>() * tier_factor;
         {
             let mut entries = self.entries.lock();
             self.make_room(&mut entries, incoming)?;
@@ -367,6 +378,7 @@ impl<B: Backend> Registry<B> {
             self.cfg.verify,
             self.cfg.policy,
             self.cfg.queue_cap,
+            self.cfg.precision_tier,
             stats.clone(),
         )
         .map_err(SubmitError::LoadFailed)?;
@@ -507,6 +519,8 @@ impl<B: Backend> Registry<B> {
                     pending_cost_us: load(&s.pending_cost_us),
                     rejected_cost: load(&s.rejected_cost),
                     ewma_ms_per_cost: s.ewma_ms_per_cost(),
+                    fast_pass_resolved: load(&s.fast_pass_resolved),
+                    escalated: load(&s.escalated),
                 }
             })
             .collect();

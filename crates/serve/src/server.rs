@@ -49,6 +49,9 @@ pub struct ServerConfig {
     pub max_frame_len: usize,
     /// Verifier configuration for every engine.
     pub verify: VerifyConfig,
+    /// Serve through precision-tiered engines (`f32` fast pass, sound
+    /// `f64` escalation). See `RegistryConfig::precision_tier`.
+    pub precision_tier: bool,
 }
 
 impl ServerConfig {
@@ -64,6 +67,7 @@ impl ServerConfig {
             request_timeout: Duration::from_secs(120),
             max_frame_len: 8 << 20,
             verify: VerifyConfig::default(),
+            precision_tier: false,
         }
     }
 }
@@ -109,6 +113,7 @@ impl<B: Backend + Default> Server<B> {
                 queue_cost_cap: cfg.queue_cost_cap,
                 memory_budget: cfg.memory_budget,
                 verify: cfg.verify,
+                precision_tier: cfg.precision_tier,
             },
         );
         Ok(Self {

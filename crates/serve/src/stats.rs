@@ -42,6 +42,11 @@ pub struct ModelStats {
     /// Requests bounced because the estimated queued work exceeded the
     /// cost cap (a subset of `rejected_overload`).
     pub rejected_cost: AtomicU64,
+    /// Queries resolved by the `f32` fast tier without touching `f64`
+    /// (mirrored from the tiered engine; `0` for single-precision workers).
+    pub fast_pass_resolved: AtomicU64,
+    /// Queries escalated to the `f64` tier (mirrored likewise).
+    pub escalated: AtomicU64,
     /// Milliseconds since the registry epoch at last use (LRU key).
     pub last_used_ms: AtomicU64,
 }
@@ -65,15 +70,24 @@ impl ModelStats {
     }
 
     /// Estimated wall microseconds one query adds to the backlog: its
-    /// admission cost hint converted through the measured EWMA. `0` while
-    /// the EWMA is cold (count-based admission then governs alone).
+    /// admission cost hint converted through the measured EWMA, weighted by
+    /// the observed escalation rate so a precision-tiered worker's
+    /// escalations (which run the query at both widths) are priced in
+    /// instead of every query being costed as a fast-tier pass. `0` while
+    /// the EWMA is cold (count-based admission then governs alone); the
+    /// weight is `1.0` for single-precision workers, whose tier counters
+    /// stay zero.
     pub fn estimate_cost_us(&self, image: &[f32], eps: f32) -> u64 {
         let cost = gpupoly_core::query_cost_hint(
             image,
             eps,
             self.relu_layers.load(Ordering::Acquire) as usize,
         );
-        let us = cost * self.ewma_ms_per_cost() * 1000.0;
+        let weight = gpupoly_core::escalation_cost_weight(
+            self.escalated.load(Ordering::Acquire),
+            self.fast_pass_resolved.load(Ordering::Acquire),
+        );
+        let us = cost * self.ewma_ms_per_cost() * 1000.0 * weight;
         if us.is_finite() && us > 0.0 {
             us as u64
         } else {
@@ -136,6 +150,23 @@ mod tests {
         assert!((4700..=4900).contains(&est), "estimate {est}");
         // Wider boxes estimate strictly more.
         assert!(s.estimate_cost_us(&[0.5; 4], 0.3) > est);
+    }
+
+    #[test]
+    fn cost_estimate_prices_in_escalations() {
+        let s = ModelStats::default();
+        s.relu_layers.store(3, Ordering::Release);
+        s.ewma_ms_per_cost_bits
+            .store(2.0_f64.to_bits(), Ordering::Release);
+        let base = s.estimate_cost_us(&[0.5; 4], 0.1);
+        // Every query escalating triples the estimate (fast + full pass).
+        s.escalated.store(10, Ordering::Release);
+        let all_escalated = s.estimate_cost_us(&[0.5; 4], 0.1);
+        assert!((all_escalated as f64 / base as f64 - 3.0).abs() < 0.05);
+        // A 50/50 split lands in between.
+        s.fast_pass_resolved.store(10, Ordering::Release);
+        let half = s.estimate_cost_us(&[0.5; 4], 0.1);
+        assert!(base < half && half < all_escalated);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use std::collections::HashSet;
 
 use gpupoly::baselines::DeepPolyCpu;
-use gpupoly::core::{Engine, Query, VerifyConfig};
+use gpupoly::core::{Engine, Query, TieredEngine, VerifyConfig};
 use gpupoly::device::{Device, DeviceConfig};
 use gpupoly::nn::zoo::{self, ArchId, Dataset};
 use gpupoly::nn::Network;
@@ -287,6 +287,93 @@ fn count_fused<B: gpupoly::device::Backend>(
         device.stats().kernel_launches("gemm_itv_f") - gemm0,
         device.stats().launches() - launches0,
     )
+}
+
+/// Precision-tiered verification over the zoo: on both backends, the
+/// tiered engine's verdicts must agree with an all-`f64` engine on every
+/// Table-1 build — fast-resolved queries are never flips the `f64` walk
+/// would have caught (escalation is monotone), and across the whole zoo
+/// the `f32` fast pass must resolve at least one query outright (the tier
+/// actually earns its keep on realistic workloads).
+#[test]
+fn zoo_tiered_verdicts_agree_with_all_f64() {
+    let mut fast_resolved_total = 0u64;
+    for (arch, dataset, net) in zoo_builds() {
+        let id = format!("{}/{}", arch.name(), dataset.name());
+        let eps = family_eps(arch);
+        let n_queries = if arch.is_residual() { 1 } else { 2 };
+        let qs = queries(&net, dataset.input_shape().len(), eps, n_queries);
+        let wide = net.widen();
+        let wide_qs: Vec<Query<f64>> = qs
+            .iter()
+            .map(|q| {
+                Query::new(
+                    q.image.iter().map(|&x| x as f64).collect::<Vec<f64>>(),
+                    q.label,
+                    q.eps as f64,
+                )
+            })
+            .collect();
+
+        fast_resolved_total += check_tiered_parity(
+            &format!("{id} (cpusim)"),
+            Device::new(DeviceConfig::new().workers(2)),
+            Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            &wide,
+            &qs,
+            &wide_qs,
+        );
+        fast_resolved_total += check_tiered_parity(
+            &format!("{id} (reference)"),
+            Device::reference(DeviceConfig::new().workers(1)),
+            Device::reference(DeviceConfig::new().workers(1)),
+            &net,
+            &wide,
+            &qs,
+            &wide_qs,
+        );
+    }
+    assert!(
+        fast_resolved_total > 0,
+        "the f32 fast pass resolved nothing across the whole zoo"
+    );
+}
+
+/// Runs one tiered-vs-all-`f64` comparison and returns how many queries
+/// the fast tier resolved.
+#[allow(clippy::too_many_arguments)]
+fn check_tiered_parity<B: gpupoly::device::Backend>(
+    tag: &str,
+    tiered_device: Device<B>,
+    baseline_device: Device<B>,
+    net: &Network<f32>,
+    wide: &Network<f64>,
+    qs: &[Query<f32>],
+    wide_qs: &[Query<f64>],
+) -> u64 {
+    let tiered = TieredEngine::new(tiered_device, net, wide, VerifyConfig::default())
+        .expect("tiered engine");
+    let baseline = Engine::new(baseline_device, wide, VerifyConfig::default()).expect("f64 engine");
+    let got = tiered.verify_batch_f64(qs);
+    let want = baseline.verify_batch_fused(wide_qs);
+    for (g, w) in got.iter().zip(&want) {
+        let g = g.as_ref().expect("tiered query");
+        let w = w.as_ref().expect("baseline query");
+        assert_eq!(g.verified, w.verified, "{tag}: tiered verdict flipped");
+        assert_eq!(g.margins.len(), w.margins.len(), "{tag}");
+        for (gm, wm) in g.margins.iter().zip(&w.margins) {
+            assert_eq!(gm.adversary, wm.adversary, "{tag}");
+            assert_eq!(gm.proven, wm.proven, "{tag}: proven flag flipped");
+        }
+    }
+    let stats = tiered.stats();
+    assert_eq!(
+        stats.fast_pass_resolved + stats.escalated,
+        qs.len() as u64,
+        "{tag}: every query attributed to exactly one tier"
+    );
+    stats.fast_pass_resolved
 }
 
 #[test]
