@@ -1,0 +1,285 @@
+//! Branch-and-bound refinement benchmark: how many base-Unknown verdicts
+//! the split tier converts, and what each conversion costs in bisections.
+//!
+//! The workload is built around *relaxation cancellation*: a network whose
+//! decision margin subtracts a ReLU from a stable passthrough, so DeepPoly's
+//! lower bound loses the correlation between the two paths and goes Unknown
+//! at radii where the true margin is still comfortably positive. Input
+//! bisection re-couples the paths (each half-box re-analyzes with tighter
+//! ReLU relaxations), so these queries convert in a handful of splits —
+//! the exact regime the refinement tier is built for.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench bnb` — full sweep over ε on both backends, writes
+//!   the machine-readable `BENCH_bnb.json` baseline (override the path with
+//!   `BENCH_BNB_OUT`);
+//! * `cargo bench --bench bnb -- --smoke` — one small cell, no JSON;
+//!   asserts at least one Unknown → Proven conversion within the default
+//!   budget and that every query stayed budget-bounded. Honors
+//!   `GPUPOLY_BACKEND=cpusim|reference`.
+
+use std::time::Instant;
+
+use gpupoly_core::{CompleteVerdict, Engine, Query, RefineBudget, VerifyConfig};
+use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+/// Margin `y1 − y0 = (x1 + x2) − relu(x1 − x2)`: the stable-positive
+/// passthrough and the ReLU path cancel in the relaxation, so DeepPoly
+/// under-approximates the margin by up to the relaxation gap while the
+/// true margin stays positive on a wide band of centers.
+fn cancel_net() -> Network<f32> {
+    NetworkBuilder::new_flat(2)
+        .dense(&[[1.0_f32, -1.0], [1.0, 1.0]], &[0.0, 0.0])
+        .relu()
+        .dense(&[[0.0_f32, 0.0], [-1.0, 1.0]], &[0.0, 0.0])
+        .build()
+        .expect("cancellation net builds")
+}
+
+/// Deterministic centers on the diagonal band where the net's margin is
+/// truly positive but relaxation-loose; labels are the net's own
+/// predictions, so every query is honest.
+fn queries(net: &Network<f32>, n: usize, eps: f32) -> Vec<Query<f32>> {
+    (0..n)
+        .map(|q| {
+            let t = 0.02 * (q % 8) as f32;
+            let image = vec![0.52 + t, 0.48 - t];
+            let label = net.classify(&image);
+            Query::new(image, label, eps)
+        })
+        .collect()
+}
+
+struct Cell {
+    backend: &'static str,
+    eps: f32,
+    queries: usize,
+    base_proven: usize,
+    converted: usize,
+    falsified: usize,
+    unknown: usize,
+    splits_total: u64,
+    secs: f64,
+}
+
+impl Cell {
+    /// Share of base-Unknown queries the refinement decided (proved or
+    /// soundly refuted).
+    fn conversion_rate(&self) -> f64 {
+        let base_unknown = self.queries - self.base_proven;
+        if base_unknown == 0 {
+            return 1.0;
+        }
+        (self.converted + self.falsified) as f64 / base_unknown as f64
+    }
+
+    fn splits_per_query(&self) -> f64 {
+        self.splits_total as f64 / self.queries.max(1) as f64
+    }
+
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("backend", Value::Str(self.backend.to_string())),
+            ("eps", Value::Num(f64::from(self.eps))),
+            ("queries", Value::Num(self.queries as f64)),
+            ("base_proven", Value::Num(self.base_proven as f64)),
+            ("converted", Value::Num(self.converted as f64)),
+            ("falsified", Value::Num(self.falsified as f64)),
+            ("unknown", Value::Num(self.unknown as f64)),
+            ("splits_total", Value::Num(self.splits_total as f64)),
+            ("conversion_rate", Value::Num(self.conversion_rate())),
+            ("splits_per_query", Value::Num(self.splits_per_query())),
+            ("secs", Value::Num(self.secs)),
+        ])
+    }
+}
+
+/// One (backend, ε) measurement: a fresh engine runs the whole stream
+/// through `verify_complete_batch` under `budget`. Every outcome class is
+/// derived from the typed verdict alone — `Proven { base: Some(_) }` means
+/// the base analysis already decided it, `Proven { base: None }` is a
+/// genuine Unknown → Proven conversion.
+fn run_cell<B: Backend>(
+    backend: &'static str,
+    device: Device<B>,
+    net: &Network<f32>,
+    k: usize,
+    eps: f32,
+    budget: &RefineBudget,
+) -> Cell {
+    let engine = Engine::new(device, net, VerifyConfig::default()).expect("engine");
+    let qs = queries(net, k, eps);
+    let t = Instant::now();
+    let verdicts = engine.verify_complete_batch(&qs, budget);
+    let secs = t.elapsed().as_secs_f64();
+    let mut cell = Cell {
+        backend,
+        eps,
+        queries: k,
+        base_proven: 0,
+        converted: 0,
+        falsified: 0,
+        unknown: 0,
+        splits_total: 0,
+        secs,
+    };
+    for v in verdicts {
+        let v = v.expect("well-formed query");
+        assert!(
+            v.splits() <= u64::from(budget.max_splits),
+            "{backend} eps={eps}: verdict overspent its split budget"
+        );
+        cell.splits_total += v.splits();
+        match v {
+            CompleteVerdict::Proven { base: Some(_), .. } => cell.base_proven += 1,
+            CompleteVerdict::Proven { base: None, .. } => cell.converted += 1,
+            CompleteVerdict::Falsified { .. } => cell.falsified += 1,
+            CompleteVerdict::Unknown { .. } => cell.unknown += 1,
+        }
+    }
+    cell
+}
+
+fn backend_env() -> String {
+    std::env::var("GPUPOLY_BACKEND").unwrap_or_else(|_| "cpusim".to_string())
+}
+
+fn smoke() {
+    let net = cancel_net();
+    let budget = RefineBudget::default();
+    let t = Instant::now();
+    // ε = 0.35 sits in the incompleteness gap: truly robust on these
+    // centers, but DeepPoly's bound is ≈ −0.15 — refinement must convert.
+    let cell = match backend_env().as_str() {
+        "reference" => run_cell(
+            "reference",
+            Device::reference(DeviceConfig::new().workers(2)),
+            &net,
+            8,
+            0.35,
+            &budget,
+        ),
+        _ => run_cell(
+            "cpusim",
+            Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            8,
+            0.35,
+            &budget,
+        ),
+    };
+    assert!(
+        cell.converted >= 1,
+        "refinement converted no Unknown into Proven on a workload built \
+         to convert (base_proven={}, unknown={})",
+        cell.base_proven,
+        cell.unknown
+    );
+    assert!(
+        cell.splits_total <= u64::from(budget.max_splits) * cell.queries as u64,
+        "total splits exceeded the per-query budget times the stream"
+    );
+    // Budget-bounded runtime: a tiny stream under a 32-split budget has no
+    // business taking minutes; this guards against frontier runaways.
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed.as_secs() < 60,
+        "smoke cell took {elapsed:?} — refinement is not budget-bounded"
+    );
+    println!(
+        "[bnb --smoke] ok on {}: {}/{} base-proven, {} converted (avg {:.1} \
+         splits/query), {} falsified, {} unknown in {:?}",
+        cell.backend,
+        cell.base_proven,
+        cell.queries,
+        cell.converted,
+        cell.splits_per_query(),
+        cell.falsified,
+        cell.unknown,
+        elapsed
+    );
+}
+
+fn full() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let net = cancel_net();
+    let budget = RefineBudget::default();
+    let k = 16;
+    let mut cells: Vec<Cell> = Vec::new();
+    // Sweep the radius across the regimes: all base-proven, convertible
+    // Unknowns, and balls that touch the true decision boundary (margin
+    // infimum exactly 0 — undecidable, so every split is spent and the
+    // typed Unknown reports the exhausted budget).
+    for &eps in &[0.1f32, 0.25, 0.35, 0.48] {
+        cells.push(run_cell(
+            "cpusim",
+            Device::new(DeviceConfig::new().workers(workers)),
+            &net,
+            k,
+            eps,
+            &budget,
+        ));
+        cells.push(run_cell(
+            "reference",
+            Device::reference(DeviceConfig::new().workers(1)),
+            &net,
+            k,
+            eps,
+            &budget,
+        ));
+    }
+    for c in &cells {
+        println!(
+            "[bnb] {:<9} eps={:<5} base {:>2}/{:<2} | converted {:>2} \
+             falsified {:>2} unknown {:>2} | conv rate {:>5.2} | \
+             {:>4.1} splits/query | {:>7.4}s",
+            c.backend,
+            c.eps,
+            c.base_proven,
+            c.queries,
+            c.converted,
+            c.falsified,
+            c.unknown,
+            c.conversion_rate(),
+            c.splits_per_query(),
+            c.secs,
+        );
+    }
+    let doc = Value::obj([
+        ("bench", Value::Str("bnb".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench bnb (release)".to_string()),
+        ),
+        ("workers", Value::Num(workers as f64)),
+        (
+            "net",
+            Value::Str("cancel2: margin = (x1+x2) - relu(x1-x2)".to_string()),
+        ),
+        ("max_splits", Value::Num(f64::from(budget.max_splits))),
+        (
+            "results",
+            Value::Arr(cells.iter().map(Cell::to_value).collect()),
+        ),
+    ]);
+    let out = std::env::var("BENCH_BNB_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bnb.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[bnb] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench bnb`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

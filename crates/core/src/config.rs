@@ -1,5 +1,7 @@
 //! Verifier configuration.
 
+use std::time::Duration;
+
 /// Tuning knobs of the verifier.
 ///
 /// The defaults reproduce the paper's GPUPoly: early termination on,
@@ -53,6 +55,64 @@ impl Default for VerifyConfig {
     }
 }
 
+/// How the branch-and-bound refinement tier splits an undecided query
+/// (see [`crate::Engine::verify_complete`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SplitRule {
+    /// Bisect the widest input dimension at its midpoint — the v1 rule of
+    /// the "Fast and Complete" line of work (arXiv 2011.13824): both
+    /// halves re-analyze with a strictly narrower box, so unstable ReLUs
+    /// progressively stabilize.
+    #[default]
+    InputBisection,
+    /// Branch on the most influential unstable ReLU (fixing its phase to
+    /// active/inactive in each child). Reserved: the hook exists so the
+    /// budget/frontier machinery is rule-agnostic, but selecting it today
+    /// yields a typed [`crate::VerifyError::BadQuery`].
+    UnstableRelu,
+}
+
+/// Work budget of one branch-and-bound refinement
+/// ([`crate::Engine::verify_complete`]).
+///
+/// `max_splits` bounds the *splits* spent on one query (each split turns
+/// one undecided sub-box into two children, so the total sub-boxes ever
+/// analyzed is at most `1 + 2 * max_splits`); `deadline` bounds wall time,
+/// checked between frontier generations. Whichever runs out first stops
+/// refinement with a typed `Unknown { splits_exhausted, frontier_remaining }`
+/// — never a panic, never an unsound verdict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RefineBudget {
+    /// Maximum bisections per query; `0` degenerates to plain analysis
+    /// plus a concrete counterexample probe.
+    pub max_splits: u32,
+    /// Optional wall-clock allowance for the whole refinement, measured
+    /// from the `verify_complete` call. `None` means splits-only budgeting.
+    pub deadline: Option<Duration>,
+    /// Which branching rule drives refinement.
+    pub split_rule: SplitRule,
+}
+
+impl Default for RefineBudget {
+    fn default() -> Self {
+        Self {
+            max_splits: 32,
+            deadline: None,
+            split_rule: SplitRule::InputBisection,
+        }
+    }
+}
+
+impl RefineBudget {
+    /// A splits-only budget with the default rule.
+    pub fn with_max_splits(max_splits: u32) -> Self {
+        Self {
+            max_splits,
+            ..Self::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +124,14 @@ mod tests {
         assert!(c.account_inference_error);
         assert!(c.chunk_rows.is_none());
         assert!(c.stable_zero_compaction);
+    }
+
+    #[test]
+    fn refine_budget_defaults() {
+        let b = RefineBudget::default();
+        assert_eq!(b.max_splits, 32);
+        assert!(b.deadline.is_none());
+        assert_eq!(b.split_rule, SplitRule::InputBisection);
+        assert_eq!(RefineBudget::with_max_splits(4).max_splits, 4);
     }
 }

@@ -183,6 +183,36 @@ pub struct EngineStats {
     /// margins inside the conservative `f32` error envelope (always `0`
     /// for a plain [`Engine`]).
     pub escalated: u64,
+    /// Input-box bisections spent by branch-and-bound refinement
+    /// ([`Engine::verify_complete`]).
+    pub splits: u64,
+    /// Largest split frontier (pending sub-boxes of one generation)
+    /// observed by any refinement so far.
+    pub frontier_peak: u64,
+    /// Queries whose `Unknown` base verdict refinement converted to
+    /// `Proven` by discharging every leaf of the split tree.
+    pub proven_by_split: u64,
+    /// Queries refinement refuted with a *verified* concrete
+    /// counterexample (sound interval evaluation at a point).
+    pub cex_found: u64,
+}
+
+/// The branch-and-bound refinement counters of an engine (split off so the
+/// `bnb` module can account work without reaching into private engine
+/// fields).
+#[derive(Default)]
+pub(crate) struct SplitCounters {
+    pub(crate) splits: AtomicU64,
+    pub(crate) frontier_peak: AtomicU64,
+    pub(crate) proven_by_split: AtomicU64,
+    pub(crate) cex_found: AtomicU64,
+}
+
+impl SplitCounters {
+    /// Raises the recorded frontier peak to at least `len`.
+    pub(crate) fn note_frontier(&self, len: usize) {
+        self.frontier_peak.fetch_max(len as u64, Ordering::Relaxed);
+    }
 }
 
 /// Per-layer weight storage: device-resident when packed, borrowed from the
@@ -582,6 +612,8 @@ pub struct Engine<'n, F: Fp, B: Backend> {
     /// EWMA of measured wall ms per unit of [`Engine::query_cost`] (f64
     /// bit pattern; `0` until the first measured batch).
     ewma_ms_per_cost: AtomicU64,
+    /// Branch-and-bound refinement counters (see [`crate::bnb`]).
+    split_counters: SplitCounters,
 }
 
 impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
@@ -628,6 +660,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             monotone_hits: AtomicU64::new(0),
             fused_batches: AtomicU64::new(0),
             ewma_ms_per_cost: AtomicU64::new(0),
+            split_counters: SplitCounters::default(),
         })
     }
 
@@ -678,7 +711,23 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             ewma_ms_per_cost: f64::from_bits(self.ewma_ms_per_cost.load(Ordering::Relaxed)),
             fast_pass_resolved: 0,
             escalated: 0,
+            splits: self.split_counters.splits.load(Ordering::Relaxed),
+            frontier_peak: self.split_counters.frontier_peak.load(Ordering::Relaxed),
+            proven_by_split: self.split_counters.proven_by_split.load(Ordering::Relaxed),
+            cex_found: self.split_counters.cex_found.load(Ordering::Relaxed),
         }
+    }
+
+    /// The branch-and-bound refinement counters (accounting surface of
+    /// [`crate::bnb`]).
+    pub(crate) fn split_counters(&self) -> &SplitCounters {
+        &self.split_counters
+    }
+
+    /// The engine's validated graph view (the `bnb` module evaluates
+    /// concrete counterexample candidates through it).
+    pub(crate) fn graph(&self) -> &Graph<'n, F> {
+        &self.graph
     }
 
     /// Folds one measured batch (wall time, total [`Engine::query_cost`])
@@ -945,8 +994,9 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     }
 
     /// Validates one robustness query and builds its clamped input box —
-    /// the shared admission gate of the per-query and fused paths.
-    fn robustness_box(
+    /// the shared admission gate of the per-query, fused and
+    /// branch-and-bound paths.
+    pub(crate) fn robustness_box(
         &self,
         image: &[F],
         label: usize,
@@ -1201,9 +1251,8 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             return self.finish_per_query(queries, slots, &fusable);
         }
 
-        match self.fused_pipeline(
-            queries, &fusable, &boxes, &keys, &groups, &group_of, &missed, prelim,
-        ) {
+        let labels: Vec<usize> = fusable.iter().map(|&i| queries[i].label).collect();
+        match self.fused_pipeline(&labels, &boxes, &keys, &groups, &group_of, &missed, prelim) {
             Ok(mut fused_results) => {
                 self.fused_batches.fetch_add(1, Ordering::Relaxed);
                 for (j, &i) in fusable.iter().enumerate() {
@@ -1275,11 +1324,15 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// The fused pipeline proper: resolve one analysis per unique box
     /// (cache or fused multi-query analysis), then prove every query's
     /// robustness spec in one fused multi-segment walk.
+    ///
+    /// `labels[j]` is the claimed label of the j-th admitted query; the
+    /// pipeline needs nothing else from a [`Query`], which is what lets
+    /// branch-and-bound sub-boxes (arbitrary boxes, one label each) share
+    /// this exact path.
     #[allow(clippy::too_many_arguments)]
     fn fused_pipeline(
         &self,
-        queries: &[Query<F>],
-        fusable: &[usize],
+        labels: &[usize],
         boxes: &[Vec<Itv<F>>],
         keys: &[BoxKey],
         groups: &[usize],
@@ -1433,9 +1486,8 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         let out_node = self.graph.output();
         let out_shape = self.graph.nodes[out_node].shape;
         let out_len = out_shape.len();
-        let mut spec_batches = Vec::with_capacity(fusable.len());
-        for &i in fusable {
-            let label = queries[i].label;
+        let mut spec_batches = Vec::with_capacity(labels.len());
+        for &label in labels {
             let spec = LinearSpec::robustness(label, out_len);
             let mut batch = ExprBatch::zeroed(
                 &self.device,
@@ -1472,22 +1524,21 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         let out = walker.run(stacked, rule)?;
 
         // Split the joint outcome back into per-query verdicts.
-        let mut offsets = Vec::with_capacity(fusable.len());
+        let mut offsets = Vec::with_capacity(labels.len());
         let mut at = 0usize;
         for &rows in &rows_per_query {
             offsets.push(at);
             at += rows;
         }
-        let mut stopped_per_query = vec![0usize; fusable.len()];
+        let mut stopped_per_query = vec![0usize; labels.len()];
         for &r in &out.stopped_rows {
             let q = offsets
                 .partition_point(|&o| o <= r as usize)
                 .saturating_sub(1);
             stopped_per_query[q] += 1;
         }
-        let mut results = Vec::with_capacity(fusable.len());
-        for (j, &i) in fusable.iter().enumerate() {
-            let label = queries[i].label;
+        let mut results = Vec::with_capacity(labels.len());
+        for (j, &label) in labels.iter().enumerate() {
             let best = &out.best[offsets[j]..offsets[j] + rows_per_query[j]];
             let lower_bounds: Vec<F> = best.iter().map(|b| b.lo).collect();
             let proven: Vec<bool> = lower_bounds.iter().map(|&l| l > F::ZERO).collect();
@@ -1501,6 +1552,176 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             results.push(Some(Ok(Self::robustness_verdict(label, out_len, verdict))));
         }
         Ok(results)
+    }
+
+    /// Verifies a batch of *arbitrary* input boxes (one robustness spec,
+    /// hence one `labels[j]`, each) through the fused cross-query pipeline
+    /// — the dispatch surface of branch-and-bound refinement, where a
+    /// frontier generation of sibling sub-boxes shares one launch per
+    /// layer step exactly like a fused query batch.
+    ///
+    /// Boxes must already be valid for this network (right length, finite,
+    /// inside the input domain) — refinement only ever bisects boxes that
+    /// passed [`Engine::robustness_box`]. With `monotone` set, a box whose
+    /// exact analysis misses the cache first probes for a cached analysis
+    /// over a *containing* box (typically an ancestor from an earlier
+    /// refinement or a sibling query) and a successful superset proof
+    /// resolves it without any new analysis — proving only, same
+    /// soundness rule as [`EngineOptions::monotone_cache_reuse`].
+    pub(crate) fn verify_boxes_fused(
+        &self,
+        labels: &[usize],
+        boxes: &[Vec<Itv<F>>],
+        monotone: bool,
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let started = Instant::now();
+        let relu_layers = self.prepared.relu_plan().len();
+        let total_cost: f64 = boxes
+            .iter()
+            .map(|b| {
+                b.iter().map(|iv| iv.width().to_f64()).sum::<f64>() * relu_layers.max(1) as f64
+            })
+            .sum();
+        let out_len = self.graph.nodes[self.graph.output()].shape.len();
+
+        let mut slots: VerdictSlots<F> = boxes.iter().map(|_| None).collect();
+        let mut fusable: Vec<usize> = (0..boxes.len()).collect();
+        let mut live: Vec<Vec<Itv<F>>> = boxes.to_vec();
+
+        // ε-monotone pre-resolution, mirroring `verify_batch_fused`.
+        if monotone && self.options.analysis_cache > 0 {
+            let mut still: Vec<usize> = Vec::new();
+            let mut still_boxes: Vec<Vec<Itv<F>>> = Vec::new();
+            for (j, bx) in live.iter_mut().enumerate() {
+                let i = fusable[j];
+                let key = box_key(bx);
+                let superset = {
+                    let cache = self.cache.lock();
+                    if cache.peek(&key) {
+                        None // exact hit: the fused pipeline serves it
+                    } else {
+                        cache.get_containing(&key, bx)
+                    }
+                };
+                let resolved = superset.is_some_and(|superset| {
+                    let spec = LinearSpec::robustness(labels[i], out_len);
+                    match self.check_spec_with(&superset, &spec) {
+                        Ok(verdict) if verdict.all_proven() => {
+                            self.monotone_hits.fetch_add(1, Ordering::Relaxed);
+                            slots[i] =
+                                Some(Ok(Self::robustness_verdict(labels[i], out_len, verdict)));
+                            true
+                        }
+                        _ => false,
+                    }
+                });
+                if !resolved {
+                    still.push(i);
+                    still_boxes.push(std::mem::take(bx));
+                }
+            }
+            fusable = still;
+            live = still_boxes;
+        }
+        if fusable.len() < 2 {
+            return self.finish_boxes_per_query(labels, &live, slots, &fusable);
+        }
+
+        let keys: Vec<BoxKey> = live.iter().map(|b| box_key(b)).collect();
+        let mut group_index: HashMap<&[u64], usize> = HashMap::new();
+        let mut groups: Vec<usize> = Vec::new();
+        let mut group_of: Vec<usize> = Vec::with_capacity(fusable.len());
+        for (j, key) in keys.iter().enumerate() {
+            let g = *group_index.entry(key.as_ref()).or_insert_with(|| {
+                groups.push(j);
+                groups.len() - 1
+            });
+            group_of.push(g);
+        }
+        let caching = self.options.analysis_cache > 0;
+        let missed: Vec<usize> = {
+            let cache = self.cache.lock();
+            (0..groups.len())
+                .filter(|&g| !caching || !cache.peek(&keys[groups[g]]))
+                .collect()
+        };
+        let prelim: Vec<Vec<Vec<Itv<F>>>> = self.device.install(|| {
+            missed
+                .par_iter()
+                .map(|&g| self.graph.eval_itv(&live[groups[g]]))
+                .collect()
+        });
+        if self.fusion_overlap(&prelim) < self.options.fusion_min_overlap {
+            return self.finish_boxes_per_query(labels, &live, slots, &fusable);
+        }
+
+        let fused_labels: Vec<usize> = fusable.iter().map(|&i| labels[i]).collect();
+        match self.fused_pipeline(
+            &fused_labels,
+            &live,
+            &keys,
+            &groups,
+            &group_of,
+            &missed,
+            prelim,
+        ) {
+            Ok(mut fused_results) => {
+                self.fused_batches.fetch_add(1, Ordering::Relaxed);
+                for (j, &i) in fusable.iter().enumerate() {
+                    slots[i] = Some(fused_results[j].take().expect("one verdict per box"));
+                }
+                self.note_batch_time(started.elapsed().as_secs_f64() * 1e3, total_cost);
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every slot filled"))
+                    .collect()
+            }
+            Err(_) => self.finish_boxes_per_query(labels, &live, slots, &fusable),
+        }
+    }
+
+    /// Per-box completion of [`Engine::verify_boxes_fused`]: analyze and
+    /// spec-check each still-pending box across the device workers (with
+    /// the same sequential OOM retry as [`Engine::verify_batch`]).
+    ///
+    /// `live[j]` holds the box of the query whose index is `pending[j]`.
+    fn finish_boxes_per_query(
+        &self,
+        labels: &[usize],
+        live: &[Vec<Itv<F>>],
+        mut slots: VerdictSlots<F>,
+        pending: &[usize],
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let out_len = self.graph.nodes[self.graph.output()].shape.len();
+        let one = |label: usize, bx: &[Itv<F>]| -> Result<RobustnessVerdict<F>, VerifyError> {
+            let analysis = self.analyze(bx)?;
+            let spec = LinearSpec::robustness(label, out_len);
+            let verdict = self.check_spec_with(&analysis, &spec)?;
+            Ok(Self::robustness_verdict(label, out_len, verdict))
+        };
+        let computed: Vec<(usize, Result<RobustnessVerdict<F>, VerifyError>)> =
+            self.device.install(|| {
+                pending
+                    .par_iter()
+                    .zip(live)
+                    .map(|(&i, bx)| (i, one(labels[i], bx)))
+                    .collect()
+            });
+        for (i, r) in computed {
+            slots[i] = Some(r);
+        }
+        for (&i, bx) in pending.iter().zip(live) {
+            if matches!(
+                slots[i],
+                Some(Err(VerifyError::Device(DeviceError::OutOfMemory { .. })))
+            ) {
+                slots[i] = Some(one(labels[i], bx));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
     }
 }
 

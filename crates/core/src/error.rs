@@ -14,6 +14,11 @@ pub enum VerifyError {
     Network(NetworkError),
     /// The query is malformed (wrong input length, label out of range, ...).
     BadQuery(String),
+    /// An engine-internal invariant broke (a bug in the verifier, not in
+    /// the query). Surfaced as a typed error so serving layers can reply
+    /// with a structured `internal` code instead of recovering a panic
+    /// through `catch_unwind`.
+    Internal(String),
 }
 
 impl fmt::Display for VerifyError {
@@ -22,6 +27,7 @@ impl fmt::Display for VerifyError {
             VerifyError::Device(e) => write!(f, "device error: {e}"),
             VerifyError::Network(e) => write!(f, "network error: {e}"),
             VerifyError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            VerifyError::Internal(msg) => write!(f, "internal invariant broke: {msg}"),
         }
     }
 }
@@ -31,7 +37,7 @@ impl std::error::Error for VerifyError {
         match self {
             VerifyError::Device(e) => Some(e),
             VerifyError::Network(e) => Some(e),
-            VerifyError::BadQuery(_) => None,
+            VerifyError::BadQuery(_) | VerifyError::Internal(_) => None,
         }
     }
 }
@@ -64,5 +70,9 @@ mod tests {
         let q = VerifyError::BadQuery("label 12 out of range".into());
         assert!(q.to_string().contains("label 12"));
         assert!(std::error::Error::source(&q).is_none());
+        let i = VerifyError::Internal("slot never settled".into());
+        assert!(i.to_string().contains("internal invariant"));
+        assert!(i.to_string().contains("slot never settled"));
+        assert!(std::error::Error::source(&i).is_none());
     }
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod bnb;
 mod config;
 pub mod depset;
 mod engine;
@@ -51,7 +52,8 @@ mod verifier;
 mod walk;
 
 pub use analysis::{Analysis, AnalysisStats};
-pub use config::VerifyConfig;
+pub use bnb::CompleteVerdict;
+pub use config::{RefineBudget, SplitRule, VerifyConfig};
 pub use engine::{query_cost_hint, Engine, EngineOptions, EngineStats, PreparedGraph, Query};
 pub use error::VerifyError;
 pub use expr::ExprBatch;

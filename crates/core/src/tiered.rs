@@ -45,12 +45,18 @@ use crate::verifier::{Margin, RobustnessVerdict};
 /// Serving layers multiply their cost-hint × EWMA time estimate by this
 /// weight so that admission control prices in escalations instead of
 /// assuming every query stops at the fast tier.
+///
+/// Hardened against garbage counters: the sum saturates instead of
+/// overflowing, and the result is clamped to `[1.0, 3.0]` so a corrupted
+/// (or maliciously mirrored) counter pair can never misprice admission by
+/// more than the model's own dynamic range. Cold start (`0, 0`) is pinned
+/// to `1.0`.
 pub fn escalation_cost_weight(escalated: u64, fast_resolved: u64) -> f64 {
-    let total = escalated + fast_resolved;
+    let total = escalated.saturating_add(fast_resolved);
     if total == 0 {
         return 1.0;
     }
-    1.0 + 2.0 * (escalated as f64 / total as f64)
+    (1.0 + 2.0 * (escalated as f64 / total as f64)).clamp(1.0, 3.0)
 }
 
 /// A two-tier verification engine: an `f32` fast pass backed by a sound
@@ -240,9 +246,7 @@ impl<'n, B: Backend> TieredEngine<'n, B> {
         );
         self.note_batch_time(start.elapsed().as_secs_f64() * 1e3, total_cost * weight);
 
-        out.into_iter()
-            .map(|r| r.expect("every query is either fast-resolved or escalated"))
-            .collect()
+        settle_slots(out)
     }
 
     /// Verifies a batch at the serving (`f32`) output precision.
@@ -263,6 +267,72 @@ impl<'n, B: Backend> TieredEngine<'n, B> {
             .into_iter()
             .map(|r| r.map(|v| narrow_verdict(&v)))
             .collect()
+    }
+
+    /// Complete (branch-and-bound) verification of one query through the
+    /// tiers — see [`TieredEngine::verify_complete_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Engine::verify_complete`].
+    pub fn verify_complete(
+        &self,
+        query: &Query<f32>,
+        budget: &crate::RefineBudget,
+    ) -> Result<crate::CompleteVerdict<f64>, VerifyError> {
+        self.verify_complete_batch(std::slice::from_ref(query), budget)
+            .pop()
+            .unwrap_or_else(|| {
+                Err(VerifyError::Internal(
+                    "tiered verify_complete_batch returned no verdict for a one-query batch".into(),
+                ))
+            })
+    }
+
+    /// Batch complete verification with tier composition: **escalate
+    /// before splitting**. The `f32` fast pass may only *prove* — a query
+    /// it fully resolves (clear of the round-off envelope) comes back
+    /// `Proven` with zero splits; everything else escalates to the `f64`
+    /// engine's branch-and-bound, so every split is analyzed — and every
+    /// refutation decided — at the precision that will judge it. Output is
+    /// always the `f64` surface (widening a fast proof is lossless).
+    pub fn verify_complete_batch(
+        &self,
+        queries: &[Query<f32>],
+        budget: &crate::RefineBudget,
+    ) -> Vec<Result<crate::CompleteVerdict<f64>, VerifyError>> {
+        let mut out: Vec<Option<Result<crate::CompleteVerdict<f64>, VerifyError>>> =
+            vec![None; queries.len()];
+        let mut escalate: Vec<usize> = Vec::new();
+        if self.fast.options().precision_tier && !queries.is_empty() {
+            let fast_verdicts = self.fast.verify_batch_fused(queries);
+            for (i, result) in fast_verdicts.into_iter().enumerate() {
+                match result {
+                    Ok(v) if self.fast_resolves(&v) => {
+                        out[i] = Some(Ok(crate::CompleteVerdict::Proven {
+                            base: Some(widen_verdict(&v)),
+                            splits: 0,
+                        }));
+                    }
+                    _ => escalate.push(i),
+                }
+            }
+        } else {
+            escalate.extend(0..queries.len());
+        }
+        self.fast_pass_resolved
+            .fetch_add((queries.len() - escalate.len()) as u64, Ordering::Relaxed);
+        self.escalated
+            .fetch_add(escalate.len() as u64, Ordering::Relaxed);
+        if !escalate.is_empty() {
+            let wide_queries: Vec<Query<f64>> =
+                escalate.iter().map(|&i| widen_query(&queries[i])).collect();
+            let full_verdicts = self.full.verify_complete_batch(&wide_queries, budget);
+            for (&i, result) in escalate.iter().zip(full_verdicts) {
+                out[i] = Some(result);
+            }
+        }
+        settle_slots(out)
     }
 
     /// Merged counters of both tiers plus the tier split.
@@ -288,6 +358,10 @@ impl<'n, B: Backend> TieredEngine<'n, B> {
             ewma_ms_per_cost: f64::from_bits(self.ewma_ms_per_cost.load(Ordering::Relaxed)),
             fast_pass_resolved: self.fast_pass_resolved.load(Ordering::Relaxed),
             escalated: self.escalated.load(Ordering::Relaxed),
+            splits: fast.splits + full.splits,
+            frontier_peak: fast.frontier_peak.max(full.frontier_peak),
+            proven_by_split: fast.proven_by_split + full.proven_by_split,
+            cex_found: fast.cex_found + full.cex_found,
         }
     }
 
@@ -313,6 +387,24 @@ impl<'n, B: Backend> TieredEngine<'n, B> {
     }
 }
 
+/// Settles the per-query dispatch slots of a tiered batch. Every slot must
+/// have been filled by either the fast-resolve or the escalation arm; a
+/// slot left `None` is an engine bug, surfaced as a *typed*
+/// [`VerifyError::Internal`] so serving layers reply with a structured
+/// error instead of recovering a panic through `catch_unwind`.
+fn settle_slots<T>(slots: Vec<Option<Result<T, VerifyError>>>) -> Vec<Result<T, VerifyError>> {
+    slots
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(VerifyError::Internal(
+                    "tiered dispatch left a query neither fast-resolved nor escalated".into(),
+                ))
+            })
+        })
+        .collect()
+}
+
 /// Widens a query losslessly (`f32 → f64` is exact for every value).
 fn widen_query(q: &Query<f32>) -> Query<f64> {
     Query::new(
@@ -323,7 +415,7 @@ fn widen_query(q: &Query<f32>) -> Query<f64> {
 }
 
 /// Widens a fast-tier verdict losslessly to the `f64` output surface.
-fn widen_verdict(v: &RobustnessVerdict<f32>) -> RobustnessVerdict<f64> {
+pub(crate) fn widen_verdict(v: &RobustnessVerdict<f32>) -> RobustnessVerdict<f64> {
     RobustnessVerdict {
         verified: v.verified,
         margins: v
@@ -405,6 +497,38 @@ mod tests {
         assert_eq!(escalation_cost_weight(0, 10), 1.0);
         assert_eq!(escalation_cost_weight(10, 0), 3.0);
         assert_eq!(escalation_cost_weight(5, 5), 2.0);
+    }
+
+    #[test]
+    fn escalation_cost_weight_survives_garbage_counters() {
+        // The sum saturates instead of wrapping to a tiny total that would
+        // put the ratio far above 1.
+        let w = escalation_cost_weight(u64::MAX, u64::MAX);
+        assert!(
+            (1.0..=3.0).contains(&w),
+            "saturated weight {w} out of range"
+        );
+        // Counter pairs near the saturation edge still clamp into range.
+        assert!((1.0..=3.0).contains(&escalation_cost_weight(u64::MAX, 1)));
+        assert!((1.0..=3.0).contains(&escalation_cost_weight(1, u64::MAX)));
+        assert_eq!(escalation_cost_weight(u64::MAX, 0), 3.0);
+        assert_eq!(escalation_cost_weight(0, u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn unsettled_slot_is_a_typed_error_not_a_panic() {
+        // An invariant break (a slot the dispatch never filled) must come
+        // back as `VerifyError::Internal`, never a panic.
+        let slots: Vec<Option<Result<RobustnessVerdict<f64>, VerifyError>>> =
+            vec![Some(Err(VerifyError::BadQuery("kept".into()))), None];
+        let settled = settle_slots(slots);
+        assert!(matches!(&settled[0], Err(VerifyError::BadQuery(m)) if m == "kept"));
+        match &settled[1] {
+            Err(VerifyError::Internal(msg)) => {
+                assert!(msg.contains("neither fast-resolved nor escalated"));
+            }
+            other => panic!("expected typed Internal error, got {other:?}"),
+        }
     }
 
     #[test]

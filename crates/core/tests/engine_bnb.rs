@@ -1,0 +1,130 @@
+//! Property-based soundness tests of branch-and-bound refinement: a
+//! `verify_complete` verdict never contradicts plain `verify`, a decided
+//! base verdict is returned unchanged with zero splits spent, and every
+//! `Falsified` outcome carries an independently re-verifiable concrete
+//! counterexample.
+
+use gpupoly_core::{CompleteVerdict, Engine, Query, RefineBudget, VerifyConfig};
+use gpupoly_device::{Device, DeviceConfig};
+use gpupoly_interval::Itv;
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use proptest::prelude::*;
+
+/// A random small dense ReLU network (same seeding idiom as
+/// `core_props.rs`).
+fn random_net(seed: u64, depth: usize, width: usize) -> Network<f32> {
+    let mix = |i: usize, s: u64| {
+        ((((i as u64 + 17) * (s + 29)) * 2654435761 % 2001) as f32 / 1000.0 - 1.0) * 0.5
+    };
+    let mut b = NetworkBuilder::new_flat(4);
+    let mut in_len = 4;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| mix(i, seed + layer as u64))
+            .collect();
+        let bias: Vec<f32> = (0..width)
+            .map(|i| mix(i, seed + 100 + layer as u64) * 0.4)
+            .collect();
+        b = b.dense_flat(width, w, bias).relu();
+        in_len = width;
+    }
+    let w: Vec<f32> = (0..3 * in_len).map(|i| mix(i, seed + 999)).collect();
+    b.dense_flat(3, w, vec![0.0; 3]).build().expect("valid net")
+}
+
+fn device() -> Device {
+    Device::new(DeviceConfig::new().workers(2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `verify_complete` never contradicts plain `verify`: a base verdict
+    /// that is already decided comes back unchanged (bit-identical
+    /// margins) with zero splits spent, and a refined outcome never flips
+    /// a plain `Proven` — while every refinement-level decision is
+    /// internally consistent (splits within budget, counterexamples
+    /// re-verifiable).
+    #[test]
+    fn complete_never_contradicts_plain(
+        seed in 0u64..400,
+        depth in 1usize..3,
+        width in 2usize..5,
+        x in proptest::collection::vec(0.0f32..1.0, 4..5),
+        label in 0usize..3,
+        eps in 0.0f32..0.4,
+    ) {
+        let net = random_net(seed, depth, width);
+        let engine = Engine::new(device(), &net, VerifyConfig::default()).unwrap();
+        let query = Query::new(x, label, eps);
+        let budget = RefineBudget::with_max_splits(8);
+
+        let plain = engine.verify_robustness(&query.image, query.label, query.eps);
+        let complete = engine.verify_complete(&query, &budget);
+
+        match (plain, complete) {
+            (Ok(p), Ok(c)) => {
+                if p.verified {
+                    // A proven base must be returned unchanged, no splits.
+                    match c {
+                        CompleteVerdict::Proven { base: Some(b), splits } => {
+                            prop_assert_eq!(splits, 0, "proven base must spend no splits");
+                            let got: Vec<u32> =
+                                b.margins.iter().map(|m| m.lower.to_bits()).collect();
+                            let want: Vec<u32> =
+                                p.margins.iter().map(|m| m.lower.to_bits()).collect();
+                            prop_assert_eq!(got, want, "base margins must be bit-identical");
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "plain Proven must stay Proven with its base, got {other:?}"
+                            )));
+                        }
+                    }
+                } else {
+                    // An Unknown base may refine to anything, but the
+                    // refinement's own claims must hold up.
+                    match c {
+                        CompleteVerdict::Proven { base, splits } => {
+                            prop_assert!(base.is_none());
+                            prop_assert!((1..=8).contains(&splits));
+                        }
+                        CompleteVerdict::Falsified { counterexample, adversary, .. } => {
+                            // Independently re-verify the counterexample:
+                            // inside the ball, and provably misclassified.
+                            prop_assert_eq!(counterexample.len(), query.image.len());
+                            for (cx, &xi) in counterexample.iter().zip(&query.image) {
+                                let lo = (xi - query.eps).clamp(0.0, 1.0);
+                                let hi = (xi + query.eps).clamp(0.0, 1.0);
+                                prop_assert!(*cx >= lo && *cx <= hi,
+                                    "counterexample leaves the clamped ball");
+                            }
+                            let cx_box: Vec<Itv<f32>> =
+                                counterexample.iter().map(|&v| Itv::point(v)).collect();
+                            let bounds = net.graph().eval_itv(&cx_box);
+                            let outs = &bounds[net.graph().output()];
+                            prop_assert!(
+                                outs[query.label].sub(outs[adversary]).hi < 0.0,
+                                "counterexample must provably misclassify"
+                            );
+                        }
+                        CompleteVerdict::Unknown { base, splits_exhausted, .. } => {
+                            prop_assert!(!base.verified);
+                            prop_assert!(splits_exhausted <= 8);
+                        }
+                    }
+                }
+            }
+            // Malformed queries (label out of range for a 3-class net is
+            // impossible here, but keep the arm total): both paths must
+            // agree on erroring.
+            (Err(_), Err(_)) => {}
+            (p, c) => {
+                return Err(TestCaseError::fail(format!(
+                    "plain and complete disagree on Ok/Err: {p:?} vs {c:?}"
+                )));
+            }
+        }
+    }
+}

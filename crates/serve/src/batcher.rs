@@ -26,7 +26,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpupoly_core::{
-    Engine, EngineStats, Query, RobustnessVerdict, TieredEngine, VerifyConfig, VerifyError,
+    CompleteVerdict, Engine, EngineStats, Query, RefineBudget, RobustnessVerdict, TieredEngine,
+    VerifyConfig, VerifyError,
 };
 use gpupoly_device::{Backend, Device};
 use gpupoly_nn::Network;
@@ -34,17 +35,36 @@ use gpupoly_nn::Network;
 use crate::stats::ModelStats;
 
 /// What the batching loop needs from a resident verification engine: one
-/// fused batch call at serving precision and a stats snapshot to mirror.
-/// Implemented by the plain `f32` [`Engine`] and by the precision-tiered
-/// [`TieredEngine`], so one loop serves both worker flavors.
+/// fused batch call at serving precision, one branch-and-bound refinement
+/// call, and a stats snapshot to mirror. Implemented by the plain `f32`
+/// [`Engine`] and by the precision-tiered [`TieredEngine`], so one loop
+/// serves both worker flavors.
 trait BatchVerifier {
     fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>>;
+    /// Complete-mode verdicts always cross the worker boundary as `f64`:
+    /// the tiered engine escalates before splitting, and the plain `f32`
+    /// engine's verdicts widen losslessly.
+    fn verify_complete(
+        &self,
+        queries: &[Query<f32>],
+        budget: &RefineBudget,
+    ) -> Vec<Result<CompleteVerdict<f64>, VerifyError>>;
     fn stats(&self) -> EngineStats;
 }
 
 impl<B: Backend> BatchVerifier for Engine<'_, f32, B> {
     fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>> {
         self.verify_batch_fused(queries)
+    }
+    fn verify_complete(
+        &self,
+        queries: &[Query<f32>],
+        budget: &RefineBudget,
+    ) -> Vec<Result<CompleteVerdict<f64>, VerifyError>> {
+        self.verify_complete_batch(queries, budget)
+            .into_iter()
+            .map(|r| r.map(|v| v.widen()))
+            .collect()
     }
     fn stats(&self) -> EngineStats {
         Engine::stats(self)
@@ -54,6 +74,13 @@ impl<B: Backend> BatchVerifier for Engine<'_, f32, B> {
 impl<B: Backend> BatchVerifier for TieredEngine<'_, B> {
     fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>> {
         self.verify_batch(queries)
+    }
+    fn verify_complete(
+        &self,
+        queries: &[Query<f32>],
+        budget: &RefineBudget,
+    ) -> Vec<Result<CompleteVerdict<f64>, VerifyError>> {
+        self.verify_complete_batch(queries, budget)
     }
     fn stats(&self) -> EngineStats {
         TieredEngine::stats(self)
@@ -85,10 +112,32 @@ pub enum WorkError {
     Verify(VerifyError),
     /// The verification panicked; the panic was contained in the worker.
     Panicked,
+    /// The item sat in the admission queue past its deadline and was
+    /// dropped before dispatch — the requester already timed out, so
+    /// verifying it would only delay live queries.
+    Expired,
+}
+
+/// Which verification flavor a queued item asks for.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum WorkKind {
+    /// One incomplete (DeepPoly) robustness pass.
+    Plain,
+    /// Branch-and-bound refinement under this budget.
+    Complete(RefineBudget),
+}
+
+/// A successful verification outcome, shaped by the request's [`WorkKind`].
+#[derive(Clone, Debug)]
+pub enum WorkOutput {
+    /// Reply to a plain robustness query.
+    Plain(RobustnessVerdict<f32>),
+    /// Reply to a complete-mode query (always `f64`; see `BatchVerifier`).
+    Complete(CompleteVerdict<f64>),
 }
 
 /// The reply side of one submitted query.
-pub type WorkReply = Result<RobustnessVerdict<f32>, WorkError>;
+pub type WorkReply = Result<WorkOutput, WorkError>;
 
 /// A reply channel paired with the admission cost charge it must credit
 /// back when answered.
@@ -99,6 +148,12 @@ pub(crate) struct WorkItem {
     pub image: Vec<f32>,
     pub label: usize,
     pub eps: f32,
+    pub kind: WorkKind,
+    /// The admission-time reply deadline. Items still queued past it are
+    /// dropped with a typed `Expired` reply instead of dispatched — the
+    /// serving layer stopped waiting at exactly this instant, so any
+    /// verification after it is pure waste.
+    pub deadline: Option<Instant>,
     /// Estimated wall microseconds charged to `pending_cost_us` at
     /// admission; the worker credits back exactly this amount when the
     /// reply goes out, so the gauge can never drift.
@@ -213,31 +268,10 @@ fn run_loop(
     }
 }
 
-fn run_batch(engine: &dyn BatchVerifier, batch: Vec<WorkItem>, stats: &ModelStats) {
-    stats.record_batch(batch.len());
-    // Move each image out of its work item (no per-query copy on the hot
-    // path); only the reply senders and admission cost charges survive the
-    // split.
-    let (queries, replies): (Vec<Query<f32>>, Vec<ChargedReply>) = batch
-        .into_iter()
-        .map(|item| {
-            (
-                Query::new(item.image, item.label, item.eps),
-                (item.reply, item.cost_us),
-            )
-        })
-        .unzip();
-    // A coalesced admission batch is exactly a set of same-network queries:
-    // dispatch through the fused cross-query path, which stacks their
-    // backsubstitution rows into one launch per layer step (and falls back
-    // to per-query dispatch itself when fusion is unprofitable). A panic
-    // anywhere inside verification must reach every requester as a typed
-    // reply, never unwind through the daemon or strand a client.
-    let results =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.verify(&queries)));
-    // Mirror the engine-side counters *before* replies go out, and settle
-    // each item's gauges before its reply is sent: a requester that has its
-    // verdict in hand must already see consistent stats.
+/// Mirrors the engine-side counters into the serving stats. Called after
+/// every engine call and *before* the replies it produced go out, so a
+/// requester that has its verdict in hand already sees consistent stats.
+fn mirror_engine_stats(engine: &dyn BatchVerifier, stats: &ModelStats) {
     let snapshot = engine.stats();
     stats
         .cache_hits
@@ -252,28 +286,123 @@ fn run_batch(engine: &dyn BatchVerifier, batch: Vec<WorkItem>, stats: &ModelStat
         .fast_pass_resolved
         .store(snapshot.fast_pass_resolved, Ordering::Release);
     stats.escalated.store(snapshot.escalated, Ordering::Release);
+    stats.splits.store(snapshot.splits, Ordering::Release);
+    stats
+        .frontier_peak
+        .store(snapshot.frontier_peak, Ordering::Release);
+    stats
+        .proven_by_split
+        .store(snapshot.proven_by_split, Ordering::Release);
+    stats.cex_found.store(snapshot.cex_found, Ordering::Release);
     // Feed the measured per-batch wall time (folded by the engine into its
     // ms-per-cost EWMA) back to the admission side.
     stats
         .ewma_ms_per_cost_bits
         .store(snapshot.ewma_ms_per_cost.to_bits(), Ordering::Release);
+}
+
+fn run_batch(engine: &dyn BatchVerifier, batch: Vec<WorkItem>, stats: &ModelStats) {
     let answer = |reply: &Sender<WorkReply>, cost_us: u64, result: WorkReply| {
         stats.completed.fetch_add(1, Ordering::Relaxed);
         stats.in_flight.fetch_sub(1, Ordering::AcqRel);
         stats.pending_cost_us.fetch_sub(cost_us, Ordering::AcqRel);
         let _ = reply.send(result);
     };
-    match results {
-        Ok(results) => {
-            for ((reply, cost_us), result) in replies.iter().zip(results) {
-                answer(reply, *cost_us, result.map_err(WorkError::Verify));
+
+    // Drop expired items before any engine work: their requesters stopped
+    // waiting at the stamped deadline, so dispatching them would spend
+    // engine time on queries nobody can receive — and delay live ones.
+    let now = Instant::now();
+    let mut plain: Vec<WorkItem> = Vec::new();
+    let mut complete: Vec<(RefineBudget, Vec<WorkItem>)> = Vec::new();
+    for item in batch {
+        if item.deadline.is_some_and(|d| now >= d) {
+            stats.expired_dropped.fetch_add(1, Ordering::Relaxed);
+            answer(&item.reply, item.cost_us, Err(WorkError::Expired));
+            continue;
+        }
+        match item.kind {
+            WorkKind::Plain => plain.push(item),
+            // Complete-mode items coalesce per identical budget, so one
+            // frontier dispatch refines all sub-boxes of a budget class
+            // together (distinct budgets per batch are rare and few).
+            WorkKind::Complete(budget) => match complete.iter_mut().find(|(b, _)| *b == budget) {
+                Some((_, items)) => items.push(item),
+                None => complete.push((budget, vec![item])),
+            },
+        }
+    }
+    let live = plain.len() + complete.iter().map(|(_, items)| items.len()).sum::<usize>();
+    if live == 0 {
+        return;
+    }
+    stats.record_batch(live);
+
+    // Move each image out of its work item (no per-query copy on the hot
+    // path); only the reply senders and admission cost charges survive the
+    // split. A coalesced admission batch is exactly a set of same-network
+    // queries: dispatch through the fused cross-query path, which stacks
+    // their backsubstitution rows into one launch per layer step (and falls
+    // back to per-query dispatch itself when fusion is unprofitable). A
+    // panic anywhere inside verification must reach every requester as a
+    // typed reply, never unwind through the daemon or strand a client.
+    let split = |items: Vec<WorkItem>| -> (Vec<Query<f32>>, Vec<ChargedReply>) {
+        items
+            .into_iter()
+            .map(|item| {
+                (
+                    Query::new(item.image, item.label, item.eps),
+                    (item.reply, item.cost_us),
+                )
+            })
+            .unzip()
+    };
+    let settle = |replies: &[ChargedReply], results: Result<Vec<WorkReply>, ()>| {
+        mirror_engine_stats(engine, stats);
+        match results {
+            Ok(results) => {
+                for ((reply, cost_us), result) in replies.iter().zip(results) {
+                    answer(reply, *cost_us, result);
+                }
+            }
+            Err(()) => {
+                for (reply, cost_us) in replies {
+                    answer(reply, *cost_us, Err(WorkError::Panicked));
+                }
             }
         }
-        Err(_) => {
-            for (reply, cost_us) in &replies {
-                answer(reply, *cost_us, Err(WorkError::Panicked));
-            }
-        }
+    };
+
+    if !plain.is_empty() {
+        let (queries, replies) = split(plain);
+        let results =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.verify(&queries)));
+        settle(
+            &replies,
+            results
+                .map(|rs| {
+                    rs.into_iter()
+                        .map(|r| r.map(WorkOutput::Plain).map_err(WorkError::Verify))
+                        .collect()
+                })
+                .map_err(|_| ()),
+        );
+    }
+    for (budget, items) in complete {
+        let (queries, replies) = split(items);
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.verify_complete(&queries, &budget)
+        }));
+        settle(
+            &replies,
+            results
+                .map(|rs| {
+                    rs.into_iter()
+                        .map(|r| r.map(WorkOutput::Complete).map_err(WorkError::Verify))
+                        .collect()
+                })
+                .map_err(|_| ()),
+        );
     }
 }
 
@@ -291,12 +420,14 @@ mod tests {
             .unwrap()
     }
 
-    fn submit(
+    fn submit_item(
         tx: &SyncSender<WorkItem>,
         stats: &ModelStats,
         image: Vec<f32>,
         label: usize,
         eps: f32,
+        kind: WorkKind,
+        deadline: Option<Instant>,
     ) -> Receiver<WorkReply> {
         let (reply, rx) = std::sync::mpsc::channel();
         stats.queue_depth.fetch_add(1, Ordering::AcqRel);
@@ -305,11 +436,30 @@ mod tests {
             image,
             label,
             eps,
+            kind,
+            deadline,
             cost_us: 0,
             reply,
         })
         .expect("queue has room");
         rx
+    }
+
+    fn submit(
+        tx: &SyncSender<WorkItem>,
+        stats: &ModelStats,
+        image: Vec<f32>,
+        label: usize,
+        eps: f32,
+    ) -> Receiver<WorkReply> {
+        submit_item(tx, stats, image, label, eps, WorkKind::Plain, None)
+    }
+
+    fn plain(output: WorkOutput) -> RobustnessVerdict<f32> {
+        match output {
+            WorkOutput::Plain(v) => v,
+            other => panic!("expected a plain verdict, got {other:?}"),
+        }
     }
 
     #[test]
@@ -336,10 +486,11 @@ mod tests {
             .map(|i| submit(&tx, &stats, vec![0.4, 0.6], 0, 0.01 + 0.005 * i as f32))
             .collect();
         for rx in replies {
-            let verdict = rx
-                .recv_timeout(Duration::from_secs(10))
-                .expect("worker replies")
-                .expect("query succeeds");
+            let verdict = plain(
+                rx.recv_timeout(Duration::from_secs(10))
+                    .expect("worker replies")
+                    .expect("query succeeds"),
+            );
             assert!(verdict.verified);
         }
         assert_eq!(stats.completed.load(Ordering::Relaxed), 6);
@@ -384,17 +535,19 @@ mod tests {
             .map(|_| submit(&tx, &stats, vec![0.4, 0.6], 0, 0.01))
             .collect();
         for rx in easy {
-            let verdict = rx
-                .recv_timeout(Duration::from_secs(10))
-                .expect("worker replies")
-                .expect("query succeeds");
+            let verdict = plain(
+                rx.recv_timeout(Duration::from_secs(10))
+                    .expect("worker replies")
+                    .expect("query succeeds"),
+            );
             assert!(verdict.verified);
         }
         let rx = submit(&tx, &stats, vec![0.5, 0.5], 1, 0.9);
-        let verdict = rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("worker replies")
-            .expect("query runs");
+        let verdict = plain(
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("worker replies")
+                .expect("query runs"),
+        );
         assert!(!verdict.verified);
 
         assert_eq!(
@@ -408,6 +561,106 @@ mod tests {
         drop(tx);
         join.join().expect("worker exits without panicking");
         assert_eq!(device.memory_in_use(), 0, "both tiers return every byte");
+    }
+
+    #[test]
+    fn expired_items_are_dropped_before_dispatch_with_typed_replies() {
+        let device = Device::default();
+        let stats = Arc::new(ModelStats::default());
+        let (tx, join) = spawn_worker(
+            "expiry".into(),
+            tiny_net(),
+            device,
+            VerifyConfig::default(),
+            BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_millis(20),
+            },
+            16,
+            false,
+            stats.clone(),
+        )
+        .unwrap();
+
+        // One item admitted with an already-passed deadline (deterministic:
+        // no sleep needed, the worker must see it as expired however fast
+        // it pops) coalesced with one live item.
+        let past = Instant::now() - Duration::from_secs(1);
+        let dead = submit_item(
+            &tx,
+            &stats,
+            vec![0.4, 0.6],
+            0,
+            0.01,
+            WorkKind::Plain,
+            Some(past),
+        );
+        let live = submit_item(
+            &tx,
+            &stats,
+            vec![0.4, 0.6],
+            0,
+            0.01,
+            WorkKind::Plain,
+            Some(Instant::now() + Duration::from_secs(60)),
+        );
+
+        match dead.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Err(WorkError::Expired) => {}
+            other => panic!("expected Expired, got {other:?}"),
+        }
+        let verdict = plain(
+            live.recv_timeout(Duration::from_secs(10))
+                .unwrap()
+                .expect("live item still verifies"),
+        );
+        assert!(verdict.verified);
+        assert_eq!(stats.expired_dropped.load(Ordering::Acquire), 1);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 2);
+        assert!(stats.idle(), "expired items settle every gauge");
+
+        drop(tx);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn complete_mode_items_ride_the_same_queue() {
+        let device = Device::default();
+        let stats = Arc::new(ModelStats::default());
+        let (tx, join) = spawn_worker(
+            "complete".into(),
+            tiny_net(),
+            device,
+            VerifyConfig::default(),
+            BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_millis(20),
+            },
+            16,
+            false,
+            stats.clone(),
+        )
+        .unwrap();
+
+        let rx = submit_item(
+            &tx,
+            &stats,
+            vec![0.4, 0.6],
+            0,
+            0.01,
+            WorkKind::Complete(RefineBudget::with_max_splits(4)),
+            None,
+        );
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap().unwrap() {
+            WorkOutput::Complete(CompleteVerdict::Proven { base, splits }) => {
+                assert!(base.is_some(), "decided base rides along");
+                assert_eq!(splits, 0, "an easy query spends no splits");
+            }
+            other => panic!("expected a complete Proven verdict, got {other:?}"),
+        }
+
+        drop(tx);
+        join.join().unwrap();
     }
 
     #[test]

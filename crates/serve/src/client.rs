@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use serde::Deserialize;
 
-use crate::protocol::{ErrorCode, ModelInfo, Reply, Request, StatsReply, WireMargin};
+use crate::protocol::{
+    CompleteStatus, ErrorCode, ModelInfo, Reply, Request, StatsReply, WireMargin,
+};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -54,6 +56,23 @@ pub struct Verdict {
     pub verified: bool,
     /// Certified margins (bit-exact engine `f32`s).
     pub margins: Vec<WireMargin>,
+}
+
+/// A complete-mode outcome as the client sees it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompleteOutcome {
+    /// The model that served the query.
+    pub model: String,
+    /// Refinement outcome (`Proven` / `Falsified` / `Unknown`).
+    pub status: CompleteStatus,
+    /// Bisections the refinement spent.
+    pub splits: u64,
+    /// Sub-boxes still undecided when the budget ran out.
+    pub frontier_remaining: u64,
+    /// The verified adversarial input, when falsified.
+    pub counterexample: Option<Vec<f64>>,
+    /// The class that counterexample provably wins, when falsified.
+    pub adversary: Option<usize>,
 }
 
 /// A blocking connection to a `gpupoly-serve` daemon.
@@ -204,6 +223,53 @@ impl Client {
             }),
             other => Err(ClientError::Protocol(format!(
                 "expected verdict, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs one complete-mode query: plain analysis plus budgeted
+    /// branch-and-bound refinement of an Unknown verdict. `max_splits`
+    /// `None` uses the server default budget; `deadline_ms` bounds the
+    /// refinement's wall time.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on any failure, including an error reply.
+    pub fn verify_complete(
+        &mut self,
+        model: &str,
+        image: &[f32],
+        label: usize,
+        eps: f32,
+        max_splits: Option<u32>,
+        deadline_ms: Option<u64>,
+    ) -> Result<CompleteOutcome, ClientError> {
+        let reply = self.exchange(&Request::VerifyComplete {
+            model: model.to_string(),
+            image: image.to_vec(),
+            label,
+            eps,
+            max_splits,
+            deadline_ms,
+        })?;
+        match Self::expect_ok(reply)? {
+            Reply::Complete {
+                model,
+                status,
+                splits,
+                frontier_remaining,
+                counterexample,
+                adversary,
+            } => Ok(CompleteOutcome {
+                model,
+                status,
+                splits,
+                frontier_remaining,
+                counterexample,
+                adversary,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected complete, got {other:?}"
             ))),
         }
     }

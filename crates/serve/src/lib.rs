@@ -51,8 +51,8 @@ mod registry;
 mod server;
 mod stats;
 
-pub use batcher::{BatchPolicy, WorkError};
-pub use client::{Client, ClientError, Verdict};
+pub use batcher::{BatchPolicy, WorkError, WorkOutput, WorkReply};
+pub use client::{Client, ClientError, CompleteOutcome, Verdict};
 pub use registry::{Registry, RegistryConfig, SubmitError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::ModelStats;

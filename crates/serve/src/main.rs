@@ -273,6 +273,27 @@ fn cmd_smoke(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Complete mode round-trips: the same query refines under a small
+    // split budget and must answer with a typed status, never an error.
+    let first = &models[0];
+    let outcome = client
+        .verify_complete(
+            &first.name,
+            &vec![0.5f32; first.input_len],
+            0,
+            1.0 / 255.0,
+            Some(8),
+            Some(30_000),
+        )
+        .map_err(|e| format!("verify_complete {}: {e}", first.name))?;
+    println!(
+        "smoke: {} complete status={} splits={} frontier={}",
+        first.name,
+        outcome.status.as_str(),
+        outcome.splits,
+        outcome.frontier_remaining
+    );
+
     // An unknown model and a wrong-dimension query map to their typed codes.
     use gpupoly_serve::protocol::ErrorCode;
     match client.verify("no_such_model", &[0.0], 0, 0.01) {
@@ -291,8 +312,20 @@ fn cmd_smoke(args: &[String]) -> Result<(), String> {
     }
 
     let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
-    if stats.models.iter().map(|m| m.completed).sum::<u64>() < models.len() as u64 {
+    // The plain verifies plus the complete-mode query must all be counted.
+    if stats.models.iter().map(|m| m.completed).sum::<u64>() < models.len() as u64 + 1 {
         return Err("stats do not reflect the served queries".into());
+    }
+    // The refinement and expiry counters must round-trip the stats wire
+    // (typed deserialization already proves the fields are present; sanity:
+    // nothing expired during this smoke, and split counters are coherent).
+    let expired: u64 = stats.models.iter().map(|m| m.expired_dropped).sum();
+    if expired != 0 {
+        return Err(format!("smoke queries unexpectedly expired ({expired})"));
+    }
+    let splits: u64 = stats.models.iter().map(|m| m.splits).sum();
+    if outcome.splits > 0 && splits == 0 {
+        return Err("split counter did not round-trip through stats".into());
     }
     // The device work meter must round-trip the wire: the verifies above
     // launched kernels and metered flops, so zeros here mean the counters

@@ -40,6 +40,24 @@ pub enum Request {
         /// L∞ radius.
         eps: f32,
     },
+    /// Complete-mode verification: plain analysis first, then budgeted
+    /// branch-and-bound refinement of an Unknown verdict (input-box
+    /// bisection). Answers [`Reply::Complete`].
+    VerifyComplete {
+        /// Model name (resolved against the daemon's model directory).
+        model: String,
+        /// Center image.
+        image: Vec<f32>,
+        /// Claimed label.
+        label: usize,
+        /// L∞ radius.
+        eps: f32,
+        /// Maximum bisections to spend (`None` = server default of 32).
+        max_splits: Option<u32>,
+        /// Wall-clock allowance for the refinement in milliseconds
+        /// (`None` = splits-only budgeting).
+        deadline_ms: Option<u64>,
+    },
 }
 
 /// A server reply frame.
@@ -63,6 +81,24 @@ pub enum Reply {
         /// Certified margins against every adversary class.
         margins: Vec<WireMargin>,
     },
+    /// Successful [`Request::VerifyComplete`].
+    Complete {
+        /// The model that served the query.
+        model: String,
+        /// Refinement outcome.
+        status: CompleteStatus,
+        /// Bisections actually spent.
+        splits: u64,
+        /// Sub-boxes still undecided when the budget ran out (`0` unless
+        /// `status` is `Unknown`).
+        frontier_remaining: u64,
+        /// The verified adversarial input, when `status` is `Falsified`.
+        /// `f64` on the wire: complete-mode verdicts are produced at (or
+        /// widened to) full precision server-side.
+        counterexample: Option<Vec<f64>>,
+        /// The class the counterexample provably wins, when `Falsified`.
+        adversary: Option<usize>,
+    },
     /// Any failure, with a machine-readable code.
     Error {
         /// The error class.
@@ -79,6 +115,38 @@ impl Reply {
             code,
             message: message.into(),
         }
+    }
+}
+
+/// Outcome class of a [`Reply::Complete`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CompleteStatus {
+    /// Every sub-box (or the base analysis) certified the property.
+    Proven,
+    /// A concrete counterexample was found and independently verified.
+    Falsified,
+    /// The split or wall-clock budget ran out with sub-boxes undecided.
+    Unknown,
+}
+
+impl CompleteStatus {
+    /// The wire spelling of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompleteStatus::Proven => "proven",
+            CompleteStatus::Falsified => "falsified",
+            CompleteStatus::Unknown => "unknown",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "proven" => CompleteStatus::Proven,
+            "falsified" => CompleteStatus::Falsified,
+            "unknown" => CompleteStatus::Unknown,
+            _ => return None,
+        })
     }
 }
 
@@ -172,6 +240,17 @@ pub struct ModelStatsWire {
     pub fast_pass_resolved: u64,
     /// Queries escalated to the `f64` tier (precision-tiered workers only).
     pub escalated: u64,
+    /// Queued items dropped unverified because their admission deadline
+    /// passed before dispatch (each answered with a typed `timeout`).
+    pub expired_dropped: u64,
+    /// Branch-and-bound bisections spent across all complete-mode queries.
+    pub splits: u64,
+    /// Largest refinement frontier any single generation held.
+    pub frontier_peak: u64,
+    /// Complete-mode queries that flipped Unknown → Proven via splitting.
+    pub proven_by_split: u64,
+    /// Complete-mode queries refuted by a verified concrete counterexample.
+    pub cex_found: u64,
 }
 
 /// Body of a [`Reply::Stats`].
@@ -260,6 +339,14 @@ fn as_index(v: &Value) -> Result<usize, DeError> {
     Ok(x as usize)
 }
 
+/// Reads an optional field: absent and JSON `null` both mean `None`.
+fn opt_field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    match v.field(name) {
+        Ok(Value::Null) | Err(_) => None,
+        Ok(x) => Some(x),
+    }
+}
+
 impl Serialize for Request {
     fn to_value(&self) -> Value {
         match self {
@@ -278,6 +365,34 @@ impl Serialize for Request {
                 ("label", Value::Num(*label as f64)),
                 ("eps", Value::Num(f64::from(*eps))),
             ]),
+            Request::VerifyComplete {
+                model,
+                image,
+                label,
+                eps,
+                max_splits,
+                deadline_ms,
+            } => Value::obj([
+                ("type", Value::Str("verify_complete".into())),
+                ("model", Value::Str(model.clone())),
+                ("image", image.to_value()),
+                ("label", Value::Num(*label as f64)),
+                ("eps", Value::Num(f64::from(*eps))),
+                (
+                    "max_splits",
+                    match max_splits {
+                        Some(n) => Value::Num(f64::from(*n)),
+                        None => Value::Null,
+                    },
+                ),
+                (
+                    "deadline_ms",
+                    match deadline_ms {
+                        Some(ms) => Value::Num(*ms as f64),
+                        None => Value::Null,
+                    },
+                ),
+            ]),
         }
     }
 }
@@ -293,6 +408,22 @@ impl<'de> Deserialize<'de> for Request {
                 image: Vec::from_value(v.field("image")?)?,
                 label: as_index(v.field("label")?)?,
                 eps: f32::from_value(v.field("eps")?)?,
+            }),
+            "verify_complete" => Ok(Request::VerifyComplete {
+                model: v.field("model")?.as_str()?.to_string(),
+                image: Vec::from_value(v.field("image")?)?,
+                label: as_index(v.field("label")?)?,
+                eps: f32::from_value(v.field("eps")?)?,
+                max_splits: match opt_field(v, "max_splits") {
+                    Some(n) => Some(u32::try_from(as_index(n)?).map_err(|_| {
+                        DeError("max_splits exceeds the 32-bit split budget".into())
+                    })?),
+                    None => None,
+                },
+                deadline_ms: match opt_field(v, "deadline_ms") {
+                    Some(ms) => Some(as_index(ms)? as u64),
+                    None => None,
+                },
             }),
             other => Err(DeError(format!("unknown request type `{other}`"))),
         }
@@ -410,6 +541,11 @@ impl Serialize for ModelStatsWire {
                 Value::Num(self.fast_pass_resolved as f64),
             ),
             ("escalated", Value::Num(self.escalated as f64)),
+            ("expired_dropped", Value::Num(self.expired_dropped as f64)),
+            ("splits", Value::Num(self.splits as f64)),
+            ("frontier_peak", Value::Num(self.frontier_peak as f64)),
+            ("proven_by_split", Value::Num(self.proven_by_split as f64)),
+            ("cex_found", Value::Num(self.cex_found as f64)),
         ])
     }
 }
@@ -435,6 +571,11 @@ impl<'de> Deserialize<'de> for ModelStatsWire {
             ewma_ms_per_cost: v.field("ewma_ms_per_cost")?.as_f64()?,
             fast_pass_resolved: num("fast_pass_resolved")?,
             escalated: num("escalated")?,
+            expired_dropped: num("expired_dropped")?,
+            splits: num("splits")?,
+            frontier_peak: num("frontier_peak")?,
+            proven_by_split: num("proven_by_split")?,
+            cex_found: num("cex_found")?,
         })
     }
 }
@@ -462,6 +603,34 @@ impl Serialize for Reply {
                 ("verified", Value::Bool(*verified)),
                 ("margins", margins.to_value()),
             ]),
+            Reply::Complete {
+                model,
+                status,
+                splits,
+                frontier_remaining,
+                counterexample,
+                adversary,
+            } => Value::obj([
+                ("type", Value::Str("complete".into())),
+                ("model", Value::Str(model.clone())),
+                ("status", Value::Str(status.as_str().into())),
+                ("splits", Value::Num(*splits as f64)),
+                ("frontier_remaining", Value::Num(*frontier_remaining as f64)),
+                (
+                    "counterexample",
+                    match counterexample {
+                        Some(cx) => cx.to_value(),
+                        None => Value::Null,
+                    },
+                ),
+                (
+                    "adversary",
+                    match adversary {
+                        Some(a) => Value::Num(*a as f64),
+                        None => Value::Null,
+                    },
+                ),
+            ]),
             Reply::Error { code, message } => Value::obj([
                 ("type", Value::Str("error".into())),
                 ("code", Value::Str(code.as_str().into())),
@@ -487,6 +656,24 @@ impl<'de> Deserialize<'de> for Reply {
                 verified: bool::from_value(v.field("verified")?)?,
                 margins: Vec::from_value(v.field("margins")?)?,
             }),
+            "complete" => {
+                let status = v.field("status")?.as_str()?;
+                Ok(Reply::Complete {
+                    model: v.field("model")?.as_str()?.to_string(),
+                    status: CompleteStatus::parse(status)
+                        .ok_or_else(|| DeError(format!("unknown complete status `{status}`")))?,
+                    splits: as_index(v.field("splits")?)? as u64,
+                    frontier_remaining: as_index(v.field("frontier_remaining")?)? as u64,
+                    counterexample: match opt_field(v, "counterexample") {
+                        Some(cx) => Some(Vec::from_value(cx)?),
+                        None => None,
+                    },
+                    adversary: match opt_field(v, "adversary") {
+                        Some(a) => Some(as_index(a)?),
+                        None => None,
+                    },
+                })
+            }
             "error" => {
                 let code = v.field("code")?.as_str()?;
                 Ok(Reply::Error {
@@ -528,6 +715,38 @@ mod tests {
             label: 7,
             eps: 8.0 / 255.0,
         });
+        round_trip_request(&Request::VerifyComplete {
+            model: "mnist_6x500".into(),
+            image: vec![0.1, 0.25, 1.0],
+            label: 7,
+            eps: 8.0 / 255.0,
+            max_splits: Some(64),
+            deadline_ms: None,
+        });
+        round_trip_request(&Request::VerifyComplete {
+            model: "m".into(),
+            image: vec![0.5],
+            label: 0,
+            eps: 0.1,
+            max_splits: None,
+            deadline_ms: Some(2500),
+        });
+        // Omitted optional budget fields parse as None.
+        let sparse: Request = serde_json::from_str(
+            r#"{"type":"verify_complete","model":"m","image":[0.5],"label":0,"eps":0.1}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            sparse,
+            Request::VerifyComplete {
+                model: "m".into(),
+                image: vec![0.5],
+                label: 0,
+                eps: 0.1,
+                max_splits: None,
+                deadline_ms: None,
+            }
+        );
     }
 
     #[test]
@@ -588,8 +807,37 @@ mod tests {
                 ewma_ms_per_cost: 0.25,
                 fast_pass_resolved: 14,
                 escalated: 15,
+                expired_dropped: 16,
+                splits: 17,
+                frontier_peak: 18,
+                proven_by_split: 19,
+                cex_found: 20,
             }],
         }));
+        round_trip_reply(&Reply::Complete {
+            model: "m".into(),
+            status: CompleteStatus::Proven,
+            splits: 5,
+            frontier_remaining: 0,
+            counterexample: None,
+            adversary: None,
+        });
+        round_trip_reply(&Reply::Complete {
+            model: "m".into(),
+            status: CompleteStatus::Falsified,
+            splits: 0,
+            frontier_remaining: 0,
+            counterexample: Some(vec![0.125, 0.75, 1.0e-12]),
+            adversary: Some(3),
+        });
+        round_trip_reply(&Reply::Complete {
+            model: "m".into(),
+            status: CompleteStatus::Unknown,
+            splits: 32,
+            frontier_remaining: 33,
+            counterexample: None,
+            adversary: None,
+        });
         round_trip_reply(&Reply::error(ErrorCode::Overloaded, "queue full"));
     }
 

@@ -20,11 +20,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use gpupoly_core::VerifyConfig;
+use gpupoly_core::{RefineBudget, VerifyConfig};
 use gpupoly_device::{Backend, Device};
 use gpupoly_nn::{store, Network};
 
-use crate::batcher::{spawn_worker, BatchPolicy, WorkItem, WorkReply};
+use crate::batcher::{spawn_worker, BatchPolicy, WorkItem, WorkKind, WorkReply};
 use crate::protocol::{ModelInfo, ModelStatsWire};
 use crate::stats::{cost_admission_ok, ModelStats};
 
@@ -46,6 +46,11 @@ pub struct RegistryConfig {
     /// the backstop (and governs alone while the EWMA is cold or this is
     /// `None`). A query is never bounced into an empty backlog.
     pub queue_cost_cap: Option<Duration>,
+    /// How long a requester waits for a verdict once admitted. Stamped
+    /// into every queued item as its expiry deadline: items still queued
+    /// past it are dropped by the worker with a typed `Expired` reply
+    /// instead of verified — nobody is listening for that verdict anymore.
+    pub request_timeout: Duration,
     /// Device-memory budget in bytes for resident models (`None` =
     /// whatever the device allows).
     pub memory_budget: Option<usize>,
@@ -67,6 +72,7 @@ impl RegistryConfig {
             policy: BatchPolicy::default(),
             queue_cap: 128,
             queue_cost_cap: Some(Duration::from_secs(30)),
+            request_timeout: Duration::from_secs(120),
             memory_budget: None,
             verify: VerifyConfig::default(),
             precision_tier: false,
@@ -181,6 +187,37 @@ impl<B: Backend> Registry<B> {
         label: usize,
         eps: f32,
     ) -> Result<Receiver<WorkReply>, SubmitError> {
+        self.submit_kind(model, image, label, eps, WorkKind::Plain)
+    }
+
+    /// Submits one *complete-mode* query: plain analysis first, then
+    /// branch-and-bound refinement under `budget` if the verdict is
+    /// Unknown. Admission prices the query at up to `1 + max_splits`
+    /// analyses, so a deep refinement budget weighs accordingly against
+    /// the cost cap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Registry::submit`].
+    pub fn submit_complete(
+        &self,
+        model: &str,
+        image: Vec<f32>,
+        label: usize,
+        eps: f32,
+        budget: RefineBudget,
+    ) -> Result<Receiver<WorkReply>, SubmitError> {
+        self.submit_kind(model, image, label, eps, WorkKind::Complete(budget))
+    }
+
+    fn submit_kind(
+        &self,
+        model: &str,
+        image: Vec<f32>,
+        label: usize,
+        eps: f32,
+        kind: WorkKind,
+    ) -> Result<Receiver<WorkReply>, SubmitError> {
         /// Removes the loading-gate map entry even if the claim owner
         /// unwinds (a leaked gate would wedge the model forever: later
         /// submitters would find an ownerless gate, lock it instantly and
@@ -204,7 +241,7 @@ impl<B: Backend> Registry<B> {
             {
                 let mut entries = self.entries.lock();
                 if entries.contains_key(model) {
-                    return self.enqueue_locked(&mut entries, model, image, label, eps);
+                    return self.enqueue_locked(&mut entries, model, image, label, eps, kind);
                 }
             }
             // Cold path only (a resident model must stay serveable even if
@@ -266,6 +303,7 @@ impl<B: Backend> Registry<B> {
         image: Vec<f32>,
         label: usize,
         eps: f32,
+        kind: WorkKind,
     ) -> Result<Receiver<WorkReply>, SubmitError> {
         let entry = entries.get(model).expect("caller checked");
         entry
@@ -275,8 +313,17 @@ impl<B: Backend> Registry<B> {
 
         // Cost-aware admission: weigh the backlog by estimated wall time
         // (cost hint × measured EWMA), not only by query count. Same
-        // structured bounce as a full queue.
-        let cost_us = entry.stats.estimate_cost_us(&image, eps);
+        // structured bounce as a full queue. A complete-mode query may run
+        // up to `1 + 2·max_splits` sub-box analyses on top of the base
+        // pass; scale its hint by the split budget so deep refinements
+        // cannot sneak past the cap priced as a single analysis.
+        let cost_us = match kind {
+            WorkKind::Plain => entry.stats.estimate_cost_us(&image, eps),
+            WorkKind::Complete(budget) => entry
+                .stats
+                .estimate_cost_us(&image, eps)
+                .saturating_mul(1 + u64::from(budget.max_splits)),
+        };
         if let Some(cap) = self.cfg.queue_cost_cap {
             let pending = entry.stats.pending_cost_us.load(Ordering::Acquire);
             let cap_us = u64::try_from(cap.as_micros()).unwrap_or(u64::MAX);
@@ -307,6 +354,11 @@ impl<B: Backend> Registry<B> {
             image,
             label,
             eps,
+            kind,
+            // Admission-time deadline: the serving layer stops waiting for
+            // this item's reply after `request_timeout`, so any later
+            // verification would go unread — the worker drops it instead.
+            deadline: Some(Instant::now() + self.cfg.request_timeout),
             cost_us,
             reply,
         }) {
@@ -521,6 +573,11 @@ impl<B: Backend> Registry<B> {
                     ewma_ms_per_cost: s.ewma_ms_per_cost(),
                     fast_pass_resolved: load(&s.fast_pass_resolved),
                     escalated: load(&s.escalated),
+                    expired_dropped: load(&s.expired_dropped),
+                    splits: load(&s.splits),
+                    frontier_peak: load(&s.frontier_peak),
+                    proven_by_split: load(&s.proven_by_split),
+                    cex_found: load(&s.cex_found),
                 }
             })
             .collect();

@@ -16,11 +16,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use gpupoly_core::{VerifyConfig, VerifyError};
+use gpupoly_core::{CompleteVerdict, RefineBudget, VerifyConfig, VerifyError};
 use gpupoly_device::{Backend, Device, DeviceConfig};
 
-use crate::batcher::{BatchPolicy, WorkError};
-use crate::protocol::{DeviceStatsWire, ErrorCode, Reply, Request, StatsReply, WireMargin};
+use crate::batcher::{BatchPolicy, WorkError, WorkOutput};
+use crate::protocol::{
+    CompleteStatus, DeviceStatsWire, ErrorCode, Reply, Request, StatsReply, WireMargin,
+};
 use crate::registry::{Registry, RegistryConfig, SubmitError};
 
 /// Daemon configuration (CLI flags map 1:1 onto this).
@@ -111,6 +113,7 @@ impl<B: Backend + Default> Server<B> {
                 policy: cfg.policy,
                 queue_cap: cfg.queue_cap,
                 queue_cost_cap: cfg.queue_cost_cap,
+                request_timeout: cfg.request_timeout,
                 memory_budget: cfg.memory_budget,
                 verify: cfg.verify,
                 precision_tier: cfg.precision_tier,
@@ -366,6 +369,21 @@ fn handle_line<B: Backend>(line: &str, registry: &Registry<B>, request_timeout: 
             label,
             eps,
         } => handle_verify(registry, model, image, label, eps, request_timeout),
+        Request::VerifyComplete {
+            model,
+            image,
+            label,
+            eps,
+            max_splits,
+            deadline_ms,
+        } => {
+            let budget = RefineBudget {
+                max_splits: max_splits.unwrap_or(RefineBudget::default().max_splits),
+                deadline: deadline_ms.map(Duration::from_millis),
+                ..RefineBudget::default()
+            };
+            handle_verify_complete(registry, model, image, label, eps, budget, request_timeout)
+        }
     }
 }
 
@@ -388,6 +406,53 @@ fn stats_snapshot<B: Backend>(registry: &Registry<B>) -> StatsReply {
     }
 }
 
+fn submit_error_reply(err: SubmitError) -> Reply {
+    match err {
+        SubmitError::UnknownModel(msg) => Reply::error(ErrorCode::UnknownModel, msg),
+        SubmitError::LoadFailed(msg) => Reply::error(ErrorCode::ModelLoadFailed, msg),
+        SubmitError::Overloaded(msg) => Reply::error(ErrorCode::Overloaded, msg),
+    }
+}
+
+/// Awaits one worker reply, folding every failure into a typed error
+/// reply. `Ok` carries the successful output for the caller to shape.
+/// (The error side is boxed: `Reply` is a wide enum and this sits on the
+/// per-request hot path.)
+fn await_output(
+    rx: &std::sync::mpsc::Receiver<crate::batcher::WorkReply>,
+    request_timeout: Duration,
+) -> Result<WorkOutput, Box<Reply>> {
+    let error = |code, message: String| Err(Box::new(Reply::error(code, message)));
+    match rx.recv_timeout(request_timeout) {
+        Ok(Ok(output)) => Ok(output),
+        Ok(Err(WorkError::Verify(e))) => {
+            let code = match &e {
+                VerifyError::BadQuery(_) => ErrorCode::BadQuery,
+                VerifyError::Device(_) => ErrorCode::DeviceOom,
+                VerifyError::Network(_) => ErrorCode::ModelLoadFailed,
+                VerifyError::Internal(_) => ErrorCode::Internal,
+            };
+            error(code, e.to_string())
+        }
+        Ok(Err(WorkError::Panicked)) => error(
+            ErrorCode::Internal,
+            "verification panicked inside the worker; the model stays resident".to_string(),
+        ),
+        Ok(Err(WorkError::Expired)) => error(
+            ErrorCode::Timeout,
+            "the request expired in the admission queue before dispatch".to_string(),
+        ),
+        Err(RecvTimeoutError::Timeout) => error(
+            ErrorCode::Timeout,
+            format!("no verdict within {request_timeout:?}"),
+        ),
+        Err(RecvTimeoutError::Disconnected) => error(
+            ErrorCode::Internal,
+            "model worker dropped the request; retry to reload the model".to_string(),
+        ),
+    }
+}
+
 fn handle_verify<B: Backend>(
     registry: &Registry<B>,
     model: String,
@@ -398,12 +463,10 @@ fn handle_verify<B: Backend>(
 ) -> Reply {
     let rx = match registry.submit(&model, image, label, eps) {
         Ok(rx) => rx,
-        Err(SubmitError::UnknownModel(msg)) => return Reply::error(ErrorCode::UnknownModel, msg),
-        Err(SubmitError::LoadFailed(msg)) => return Reply::error(ErrorCode::ModelLoadFailed, msg),
-        Err(SubmitError::Overloaded(msg)) => return Reply::error(ErrorCode::Overloaded, msg),
+        Err(err) => return submit_error_reply(err),
     };
-    match rx.recv_timeout(request_timeout) {
-        Ok(Ok(verdict)) => Reply::Verdict {
+    match await_output(&rx, request_timeout) {
+        Ok(WorkOutput::Plain(verdict)) => Reply::Verdict {
             model,
             verified: verdict.verified,
             margins: verdict
@@ -416,25 +479,66 @@ fn handle_verify<B: Backend>(
                 })
                 .collect(),
         },
-        Ok(Err(WorkError::Verify(e))) => {
-            let code = match &e {
-                VerifyError::BadQuery(_) => ErrorCode::BadQuery,
-                VerifyError::Device(_) => ErrorCode::DeviceOom,
-                VerifyError::Network(_) => ErrorCode::ModelLoadFailed,
-            };
-            Reply::error(code, e.to_string())
-        }
-        Ok(Err(WorkError::Panicked)) => Reply::error(
+        Ok(other) => Reply::error(
             ErrorCode::Internal,
-            "verification panicked inside the worker; the model stays resident",
+            format!("worker answered a plain query with {other:?}"),
         ),
-        Err(RecvTimeoutError::Timeout) => Reply::error(
-            ErrorCode::Timeout,
-            format!("no verdict within {request_timeout:?}"),
-        ),
-        Err(RecvTimeoutError::Disconnected) => Reply::error(
+        Err(reply) => *reply,
+    }
+}
+
+fn handle_verify_complete<B: Backend>(
+    registry: &Registry<B>,
+    model: String,
+    image: Vec<f32>,
+    label: usize,
+    eps: f32,
+    budget: RefineBudget,
+    request_timeout: Duration,
+) -> Reply {
+    let rx = match registry.submit_complete(&model, image, label, eps, budget) {
+        Ok(rx) => rx,
+        Err(err) => return submit_error_reply(err),
+    };
+    match await_output(&rx, request_timeout) {
+        Ok(WorkOutput::Complete(verdict)) => match verdict {
+            CompleteVerdict::Proven { splits, .. } => Reply::Complete {
+                model,
+                status: CompleteStatus::Proven,
+                splits,
+                frontier_remaining: 0,
+                counterexample: None,
+                adversary: None,
+            },
+            CompleteVerdict::Falsified {
+                counterexample,
+                adversary,
+                splits,
+            } => Reply::Complete {
+                model,
+                status: CompleteStatus::Falsified,
+                splits,
+                frontier_remaining: 0,
+                counterexample: Some(counterexample),
+                adversary: Some(adversary),
+            },
+            CompleteVerdict::Unknown {
+                splits_exhausted,
+                frontier_remaining,
+                ..
+            } => Reply::Complete {
+                model,
+                status: CompleteStatus::Unknown,
+                splits: splits_exhausted,
+                frontier_remaining: frontier_remaining as u64,
+                counterexample: None,
+                adversary: None,
+            },
+        },
+        Ok(other) => Reply::error(
             ErrorCode::Internal,
-            "model worker dropped the request; retry to reload the model",
+            format!("worker answered a complete-mode query with {other:?}"),
         ),
+        Err(reply) => *reply,
     }
 }

@@ -47,6 +47,20 @@ pub struct ModelStats {
     pub fast_pass_resolved: AtomicU64,
     /// Queries escalated to the `f64` tier (mirrored likewise).
     pub escalated: AtomicU64,
+    /// Queued items dropped unverified because their admission deadline
+    /// had already passed when the worker popped them (each gets a typed
+    /// `Expired` reply instead of burning engine time on a dead query).
+    pub expired_dropped: AtomicU64,
+    /// Branch-and-bound bisections spent across all `verify_complete`
+    /// queries (mirrored from the engine).
+    pub splits: AtomicU64,
+    /// Largest refinement frontier any single generation held (mirrored).
+    pub frontier_peak: AtomicU64,
+    /// Queries whose verdict flipped Unknown → Proven via splitting
+    /// (mirrored).
+    pub proven_by_split: AtomicU64,
+    /// Queries refuted by a verified concrete counterexample (mirrored).
+    pub cex_found: AtomicU64,
     /// Milliseconds since the registry epoch at last use (LRU key).
     pub last_used_ms: AtomicU64,
 }

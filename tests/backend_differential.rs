@@ -376,6 +376,135 @@ fn check_tiered_parity<B: gpupoly::device::Backend>(
     stats.fast_pass_resolved
 }
 
+/// Branch-and-bound refinement over the zoo: for every Table-1 build, the
+/// complete tier must classify each query **identically** on both backends
+/// — same outcome class and the same number of bisections spent. The
+/// frontier walk is driven entirely by certified margins, so the backends'
+/// bit-reproducibility contract extends transitively to split decisions.
+/// Three more properties ride along:
+///
+/// * the complete verdict never contradicts plain `verify` (a base-proven
+///   query comes back `Proven { base: Some(_), splits: 0 }`);
+/// * every `Falsified` carries a concrete counterexample that this test
+///   re-verifies *independently* through interval evaluation at a point
+///   box — refutation is never taken on the relaxation's word;
+/// * across the whole zoo, at least one base-`Unknown` query is converted
+///   (here a wrong-label query, whose center is a real misclassification
+///   the refinement must surface as a verified counterexample).
+#[test]
+fn zoo_complete_verdicts_identical_across_backends_and_convert() {
+    use gpupoly::core::{CompleteVerdict, RefineBudget};
+    use gpupoly::interval::Itv;
+
+    let mut converted_total = 0u64;
+    for (arch, dataset, net) in zoo_builds() {
+        let id = format!("{}/{}", arch.name(), dataset.name());
+        let eps = family_eps(arch);
+        // Debug-build budget: the residual walks pay 18–34 layers per leaf
+        // analysis, so they get one bisection; the shallow families get a
+        // real (if small) frontier.
+        let budget = RefineBudget::with_max_splits(if arch.is_residual() { 1 } else { 4 });
+
+        // One honest query plus one wrong-label query. The wrong label is
+        // base-Unknown by construction — the center itself misclassifies —
+        // and must be refuted, not proven, no matter how loose the bounds.
+        let image = test_image(dataset.input_shape().len(), 7);
+        let label = net.classify(&image);
+        let wrong = (label + 1) % net.infer(&image).len();
+        let qs = vec![
+            Query::new(image.clone(), label, eps),
+            Query::new(image.clone(), wrong, eps),
+        ];
+
+        let cpusim = Engine::new(
+            Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .expect("cpusim engine");
+        let reference = Engine::new(
+            Device::reference(DeviceConfig::new().workers(1)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .expect("reference engine");
+
+        let plain = cpusim.verify_batch(&qs);
+        let got_cpu = cpusim.verify_complete_batch(&qs, &budget);
+        let got_ref = reference.verify_complete_batch(&qs, &budget);
+        for (qi, (q, (c, r))) in qs.iter().zip(got_cpu.iter().zip(&got_ref)).enumerate() {
+            let c = c.as_ref().expect("cpusim complete query");
+            let r = r.as_ref().expect("reference complete query");
+            assert_eq!(
+                std::mem::discriminant(c),
+                std::mem::discriminant(r),
+                "{id}: complete outcome drifted across backends ({c:?} vs {r:?})"
+            );
+            assert_eq!(
+                c.splits(),
+                r.splits(),
+                "{id}: split count drifted across backends"
+            );
+
+            // Complete never contradicts plain: base-proven queries pass
+            // through undisturbed.
+            if plain[qi].as_ref().expect("plain query").verified {
+                assert!(
+                    matches!(
+                        c,
+                        CompleteVerdict::Proven {
+                            base: Some(_),
+                            splits: 0
+                        }
+                    ),
+                    "{id}: plain-proven query not passed through ({c:?})"
+                );
+            }
+
+            match c {
+                CompleteVerdict::Falsified {
+                    counterexample,
+                    adversary,
+                    ..
+                } => {
+                    // Independent re-verification: the counterexample must
+                    // lie in the clamped ball and provably misclassify
+                    // under interval evaluation at a point box.
+                    assert_eq!(counterexample.len(), q.image.len(), "{id}");
+                    for (&cx, &xi) in counterexample.iter().zip(&q.image) {
+                        assert!(
+                            cx >= (xi - eps).clamp(0.0, 1.0) && cx <= (xi + eps).clamp(0.0, 1.0),
+                            "{id}: counterexample leaves the clamped ball"
+                        );
+                    }
+                    let cx_box: Vec<Itv<f32>> =
+                        counterexample.iter().map(|&v| Itv::point(v)).collect();
+                    let bounds = net.graph().eval_itv(&cx_box);
+                    let outs = &bounds[net.graph().output()];
+                    assert!(
+                        outs[q.label].sub(outs[*adversary]).hi < 0.0,
+                        "{id}: counterexample does not provably misclassify"
+                    );
+                    converted_total += 1;
+                }
+                CompleteVerdict::Proven { base: None, .. } => converted_total += 1,
+                _ => {}
+            }
+        }
+
+        // The wrong-label query specifically can never come back Proven —
+        // its center is a real misclassification.
+        assert!(
+            !got_cpu[1].as_ref().expect("wrong-label query").is_proven(),
+            "{id}: proved a query whose center misclassifies"
+        );
+    }
+    assert!(
+        converted_total > 0,
+        "the refinement tier converted no base-Unknown query across the whole zoo"
+    );
+}
+
 #[test]
 fn zoo_margins_match_cpu_deeppoly_baseline() {
     // Parity against the sparse CPU DeepPoly baseline on the MNIST
