@@ -1,0 +1,278 @@
+//! Tensor-parallel sharding benchmark: throughput versus device count at a
+//! fixed fused batch, margins pinned bit-identical across every point.
+//!
+//! `ShardedEngine` splits the fused expression batch's row space into
+//! contiguous blocks, one per device, and gathers the results in order —
+//! pure scheduling, so the margins cannot move. What *can* move is the
+//! wall clock: each device walks only its rows, so the makespan is the
+//! busiest device's share of the work instead of all of it.
+//!
+//! The devices here are CPU-simulated and share the host's cores, so raw
+//! wall time at N > 1 measures core contention, not scaling. The scaling
+//! number reported is therefore **modeled from the FLOP meters**: each
+//! device's kernel-metered flops over the timed batch give its busy time
+//! as a fraction of the measured 1-device wall, and the N-device makespan
+//! is the busiest device's fraction. Balanced shards give speedup ≈ N;
+//! imbalance (uneven rows, stopped-row compaction) shows up as the max
+//! pulling away from the mean. Raw wall numbers ride along for honesty.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench shard` — full sweep N ∈ {1, 2, 4} at K = 32,
+//!   writes the machine-readable `BENCH_shard.json` baseline (override the
+//!   path with `BENCH_SHARD_OUT`);
+//! * `cargo bench --bench shard -- --smoke` — one tiny workload at N = 2,
+//!   no timing, no JSON; asserts bit-identity to the 1-device run and that
+//!   every device metered real kernel work. Honors
+//!   `GPUPOLY_BACKEND=cpusim|reference`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gpupoly_core::{
+    EngineOptions, Query, RobustnessVerdict, ShardedEngine, VerifyConfig, VerifyError,
+};
+use gpupoly_device::{Backend, CpuSimBackend, Device, DeviceConfig, ReferenceBackend};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+fn mlp(inputs: usize, width: usize, depth: usize, outputs: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(inputs);
+    let mut in_len = inputs;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5) * 0.25)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.05; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(outputs, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+fn queries(net: &Network<f32>, n: usize, eps: f32) -> Vec<Query<f32>> {
+    let inputs = net.input_shape().len();
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..inputs)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            let label = net.classify(&image);
+            Query::new(image, label, eps)
+        })
+        .collect()
+}
+
+fn devices<B: Backend + Default>(n: usize) -> Vec<Device<B>> {
+    (0..n)
+        .map(|i| {
+            Device::with_backend(
+                B::default(),
+                DeviceConfig::new().workers(1).name(format!("d{i}")),
+            )
+        })
+        .collect()
+}
+
+type Verdicts = Vec<Result<RobustnessVerdict<f32>, VerifyError>>;
+
+fn assert_bit_identical(id: &str, got: &Verdicts, want: &Verdicts) {
+    assert_eq!(got.len(), want.len(), "{id}");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let g = g.as_ref().expect("sharded verdict");
+        let w = w.as_ref().expect("baseline verdict");
+        assert_eq!(g.verified, w.verified, "{id}: query {i}");
+        for (gm, wm) in g.margins.iter().zip(&w.margins) {
+            assert_eq!(
+                gm.lower.to_bits(),
+                wm.lower.to_bits(),
+                "{id}: query {i} margin vs class {} drifted",
+                gm.adversary
+            );
+        }
+    }
+}
+
+struct Point {
+    devices: usize,
+    wall_s: f64,
+    qps_wall: f64,
+    flops_per_device: Vec<u64>,
+    /// Modeled parallel speedup over 1 device: Σ flops / max flops.
+    modeled_speedup: f64,
+    /// Modeled throughput: 1-device measured q/s × modeled speedup.
+    qps_modeled: f64,
+}
+
+impl Point {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("devices", Value::Num(self.devices as f64)),
+            ("wall_s", Value::Num(self.wall_s)),
+            ("qps_wall", Value::Num(self.qps_wall)),
+            (
+                "flops_per_device",
+                Value::Arr(
+                    self.flops_per_device
+                        .iter()
+                        .map(|&f| Value::Num(f as f64))
+                        .collect(),
+                ),
+            ),
+            ("modeled_speedup", Value::Num(self.modeled_speedup)),
+            ("qps_modeled", Value::Num(self.qps_modeled)),
+        ])
+    }
+}
+
+/// One (device count) measurement: a fresh sharded engine (analysis cache
+/// off, so every pass does full work), one warm batch to populate buffer
+/// pools, then a timed batch with per-device FLOP deltas.
+fn run_point(
+    net: &Network<f32>,
+    qs: &[Query<f32>],
+    n: usize,
+    qps_one_device: Option<f64>,
+) -> (Point, Verdicts) {
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+    let sharded = ShardedEngine::new(
+        devices::<CpuSimBackend>(n),
+        net,
+        VerifyConfig::default(),
+        opts,
+    )
+    .expect("sharded engine");
+    let warm = sharded.verify_batch_sharded(qs);
+    assert!(warm.iter().all(Result::is_ok));
+    let flops0: Vec<u64> = sharded.per_device_stats().iter().map(|s| s.flops).collect();
+    let t = Instant::now();
+    let verdicts = sharded.verify_batch_sharded(qs);
+    let wall_s = t.elapsed().as_secs_f64();
+    black_box(&verdicts);
+    let flops_per_device: Vec<u64> = sharded
+        .per_device_stats()
+        .iter()
+        .zip(&flops0)
+        .map(|(s, f0)| s.flops - f0)
+        .collect();
+
+    let total: u64 = flops_per_device.iter().sum();
+    let busiest: u64 = flops_per_device.iter().copied().max().unwrap_or(0).max(1);
+    let modeled_speedup = total as f64 / busiest as f64;
+    let qps_wall = qs.len() as f64 / wall_s.max(1e-9);
+    let qps_one = qps_one_device.unwrap_or(qps_wall);
+    (
+        Point {
+            devices: n,
+            wall_s,
+            qps_wall,
+            flops_per_device,
+            modeled_speedup,
+            qps_modeled: qps_one * modeled_speedup,
+        },
+        verdicts,
+    )
+}
+
+fn smoke() {
+    fn run<B: Backend + Default>(backend: &str) {
+        let net = mlp(8, 12, 2, 4);
+        let qs = queries(&net, 5, 0.01);
+        let opts = EngineOptions::default();
+        let one = ShardedEngine::new(devices::<B>(1), &net, VerifyConfig::default(), opts)
+            .expect("1-device engine");
+        let want = one.verify_batch_sharded(&qs);
+        let two = ShardedEngine::new(devices::<B>(2), &net, VerifyConfig::default(), opts)
+            .expect("2-device engine");
+        let got = two.verify_batch_sharded(&qs);
+        assert_bit_identical(backend, &got, &want);
+        let per = two.per_device_stats();
+        assert!(
+            per.iter().all(|s| s.flops > 0 && s.launches > 0),
+            "{backend}: the row-sharded walk must run kernels on every device: {per:?}"
+        );
+        println!(
+            "[shard --smoke] ok on {backend}: 2-device margins bit-identical, \
+             per-device flops {:?}",
+            per.iter().map(|s| s.flops).collect::<Vec<_>>()
+        );
+    }
+    match std::env::var("GPUPOLY_BACKEND").as_deref() {
+        Ok("reference") => run::<ReferenceBackend>("reference"),
+        _ => run::<CpuSimBackend>("cpusim"),
+    }
+}
+
+fn full() {
+    let net = mlp(16, 96, 3, 10);
+    const K: usize = 32;
+    let qs = queries(&net, K, 0.01);
+
+    let (base, want) = run_point(&net, &qs, 1, None);
+    let qps_one = base.qps_wall;
+    let mut points = vec![base];
+    for n in [2usize, 4] {
+        let (p, got) = run_point(&net, &qs, n, Some(qps_one));
+        assert_bit_identical(&format!("{n} devices"), &got, &want);
+        points.push(p);
+    }
+    for p in &points {
+        println!(
+            "[shard] N={} wall {:>7.4}s ({:>7.1} q/s) | flops/device {:?} | \
+             modeled speedup {:.2}x -> {:>8.1} q/s",
+            p.devices, p.wall_s, p.qps_wall, p.flops_per_device, p.modeled_speedup, p.qps_modeled
+        );
+    }
+    let two = &points[1];
+    assert!(
+        two.modeled_speedup > 1.5,
+        "2-device row sharding must model >1.5x over one device, got {:.2}x \
+         (flops {:?})",
+        two.modeled_speedup,
+        two.flops_per_device
+    );
+
+    let doc = Value::obj([
+        ("bench", Value::Str("shard".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench shard (release)".to_string()),
+        ),
+        ("net", Value::Str("mlp 16 -> 96x3 (relu) -> 10".to_string())),
+        ("batch_k", Value::Num(K as f64)),
+        (
+            "methodology",
+            Value::Str(
+                "simulated devices share host cores; scaling is modeled from \
+                 per-device kernel FLOP meters (speedup = total/busiest), \
+                 anchored to the measured 1-device wall; raw walls included"
+                    .to_string(),
+            ),
+        ),
+        (
+            "results",
+            Value::Arr(points.iter().map(Point::to_value).collect()),
+        ),
+    ]);
+    let out = std::env::var("BENCH_SHARD_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[shard] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench shard`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

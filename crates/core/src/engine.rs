@@ -544,7 +544,7 @@ impl<F: Fp> AnalysisCache<F> {
     }
 }
 
-fn box_key<F: Fp>(input: &[Itv<F>]) -> BoxKey {
+pub(crate) fn box_key<F: Fp>(input: &[Itv<F>]) -> BoxKey {
     input
         .iter()
         .flat_map(|b| [b.lo.bits(), b.hi.bits()])
@@ -1034,8 +1034,9 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             .collect())
     }
 
-    /// Shapes a robustness-spec verdict into per-adversary margins.
-    fn robustness_verdict(
+    /// Shapes a robustness-spec verdict into per-adversary margins (shared
+    /// with the sharded tensor-parallel path in [`crate::sharded`]).
+    pub(crate) fn robustness_verdict(
         label: usize,
         out_len: usize,
         verdict: SpecVerdict<F>,

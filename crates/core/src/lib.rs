@@ -46,6 +46,7 @@ mod engine;
 mod error;
 pub mod expr;
 mod relax;
+mod sharded;
 pub mod steps;
 mod tiered;
 mod verifier;
@@ -58,5 +59,6 @@ pub use engine::{query_cost_hint, Engine, EngineOptions, EngineStats, PreparedGr
 pub use error::VerifyError;
 pub use expr::ExprBatch;
 pub use relax::ReluRelax;
+pub use sharded::ShardedEngine;
 pub use tiered::{escalation_cost_weight, TieredEngine};
 pub use verifier::{GpuPoly, LinearSpec, Margin, RobustnessVerdict, SpecRow, SpecVerdict};

@@ -1,0 +1,416 @@
+//! Tensor-parallel sharded verification: one resident engine per pool
+//! device, with the fused spec walk's **row space partitioned across
+//! devices** per layer step.
+//!
+//! The fused cross-query path ([`Engine::verify_batch_fused`]) stacks every
+//! admitted query's robustness-spec rows into one [`ExprBatch`] per layer
+//! step. Every kernel in that walk — concretize, GEMM, GBC, ReLU
+//! substitution, compaction — is *per-row*: rows never read or write each
+//! other, relaxation tables depend only on the row's query segment, and
+//! each element accumulates in ascending-`k` order regardless of which rows
+//! share its launch (the backend bit-reproducibility contract). Splitting
+//! the stacked row space into contiguous shards, walking each shard on its
+//! own device, and gathering the concretized bounds back in ascending
+//! global row order is therefore *pure scheduling*: the merged margins are
+//! **bit-identical** to the single-device fused walk — the all-reduce of
+//! the FSDP-verification decomposition (arXiv 2606.09377) degenerates to an
+//! ordered gather because no partial sums ever cross a row boundary.
+//!
+//! Concrete bounds (the DeepPoly analysis per input box) are the
+//! *activations* of that decomposition: computed once — unique boxes are
+//! distributed across the pool — and broadcast to every shard as host-side
+//! `seg_bounds`, exactly like replicated activations under tensor
+//! parallelism. Analyses are deterministic per box, so which device
+//! computed one never shows in the bits.
+
+use std::sync::Arc;
+
+use gpupoly_device::{Backend, Device};
+use gpupoly_interval::{Fp, Itv};
+use gpupoly_nn::Network;
+
+use crate::engine::{box_key, Engine, EngineOptions, EngineStats, Query};
+use crate::error::VerifyError;
+use crate::expr::ExprBatch;
+use crate::verifier::{LinearSpec, RobustnessVerdict, SpecVerdict};
+use crate::walk::{StopRule, Walker};
+use crate::{CompleteVerdict, RefineBudget, VerifyConfig};
+
+/// A verification engine sharded across a pool of devices.
+///
+/// Construction packs the network's weights resident on **every** device
+/// (the replicated-parameters half of tensor parallelism — each shard walks
+/// its rows through the full layer stack). [`verify_batch_sharded`] then
+/// splits each batch's stacked spec rows contiguously across the pool and
+/// merges per-row results in ascending global row order, which keeps
+/// margins bit-identical to the 1-device fused run for every pool size.
+///
+/// [`verify_batch_sharded`]: ShardedEngine::verify_batch_sharded
+pub struct ShardedEngine<'n, F: Fp, B: Backend> {
+    engines: Vec<Engine<'n, F, B>>,
+}
+
+/// One shard's slice of the global spec-row space: the walk output plus
+/// enough bookkeeping to attribute stopped rows back to queries.
+struct ShardOutcome<F> {
+    /// Global row offset of this shard's first row.
+    start: usize,
+    /// Best interval per shard row, ascending global row order.
+    best: Vec<Itv<F>>,
+    /// Stopped-row count per *global* live-query index covered here.
+    stopped: Vec<(usize, usize)>,
+    /// Candidate evaluations this shard performed.
+    candidates: usize,
+}
+
+impl<'n, F: Fp, B: Backend> ShardedEngine<'n, F, B> {
+    /// Builds one resident [`Engine`] per pool device over the same
+    /// network. All engines share one configuration; each owns its device's
+    /// analysis cache and buffer pool.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] for an empty device list or a graph any
+    /// single engine would reject.
+    pub fn new(
+        devices: Vec<Device<B>>,
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+    ) -> Result<Self, VerifyError> {
+        if devices.is_empty() {
+            return Err(VerifyError::BadQuery(
+                "sharded engine needs at least one device".to_string(),
+            ));
+        }
+        let engines = devices
+            .into_iter()
+            .map(|d| Engine::with_options(d, net, cfg, options))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { engines })
+    }
+
+    /// Number of devices (= resident engines) in the pool.
+    pub fn device_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The per-device engines, in pool order.
+    pub fn engines(&self) -> &[Engine<'n, F, B>] {
+        &self.engines
+    }
+
+    /// Verifies a batch of robustness queries with the stacked spec-row
+    /// space partitioned contiguously across the device pool — margins are
+    /// **bit-identical** to [`Engine::verify_batch_fused`] on one device
+    /// (and hence to the sequential per-query path), at any pool size.
+    ///
+    /// Unique input boxes are analyzed once (distributed round-robin over
+    /// the pool) and their bounds broadcast to every shard; each shard then
+    /// walks only its own row slice, one launch per layer step. Malformed
+    /// queries get their [`VerifyError::BadQuery`] slot without touching a
+    /// device; any device failure inside the sharded walk falls back to the
+    /// per-query path on the first device (strictly more memory-frugal,
+    /// same bits).
+    pub fn verify_batch_sharded(
+        &self,
+        queries: &[Query<F>],
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let n = self.engines.len();
+        if n == 1 {
+            return self.engines[0].verify_batch_fused(queries);
+        }
+        let lead = &self.engines[0];
+
+        // Validation gate, shared with every other entry point.
+        let mut slots: Vec<Option<Result<RobustnessVerdict<F>, VerifyError>>> =
+            queries.iter().map(|_| None).collect();
+        let mut live: Vec<usize> = Vec::new();
+        let mut boxes: Vec<Vec<Itv<F>>> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            match lead.robustness_box(&q.image, q.label, q.eps) {
+                Ok(input) => {
+                    live.push(i);
+                    boxes.push(input);
+                }
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+        if live.is_empty() {
+            return slots
+                .into_iter()
+                .map(|s| s.expect("all slots are validation errors"))
+                .collect();
+        }
+
+        // Unique boxes in first-appearance order; `group_of[j]` maps the
+        // j-th live query to its analysis group.
+        let mut group_index: std::collections::HashMap<Arc<[u64]>, usize> =
+            std::collections::HashMap::new();
+        let mut groups: Vec<usize> = Vec::new(); // representative into `boxes`
+        let mut group_of: Vec<usize> = Vec::with_capacity(live.len());
+        for (j, b) in boxes.iter().enumerate() {
+            let key = box_key(b);
+            let next = groups.len();
+            let g = *group_index.entry(key).or_insert_with(|| {
+                groups.push(j);
+                next
+            });
+            group_of.push(g);
+        }
+
+        // Phase 1 — analyses, computed once and broadcast. Group g runs on
+        // engine g % n: deterministic placement, and the analysis itself is
+        // deterministic per box, so placement never shows in the bits.
+        let analyses = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (e, engine) in self.engines.iter().enumerate() {
+                let mine: Vec<(usize, &[Itv<F>])> = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(g, _)| g % n == e)
+                    .map(|(g, &rep)| (g, boxes[rep].as_slice()))
+                    .collect();
+                handles.push(scope.spawn(move || {
+                    mine.into_iter()
+                        .map(|(g, input)| (g, engine.analyze(input)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            let mut analyses: Vec<Option<Arc<crate::Analysis<F>>>> = vec![None; groups.len()];
+            let mut failed = false;
+            for handle in handles {
+                for (g, result) in handle.join().expect("analysis shard panicked") {
+                    match result {
+                        Ok(a) => analyses[g] = Some(a),
+                        Err(_) => failed = true,
+                    }
+                }
+            }
+            (!failed).then(|| {
+                analyses
+                    .into_iter()
+                    .map(|a| a.expect("every group assigned to exactly one engine"))
+                    .collect::<Vec<_>>()
+            })
+        });
+        let Some(analyses) = analyses else {
+            return self.finish_per_query(queries, slots, &live);
+        };
+
+        // Phase 2 — the sharded spec walk. Global row space: live query j
+        // owns rows [j·rpq, (j+1)·rpq) where rpq = out_len − 1 robustness
+        // rows per query. Contiguous balanced partition into one shard per
+        // device.
+        let out_node = lead.graph().output();
+        let out_shape = lead.graph().nodes[out_node].shape;
+        let out_len = out_shape.len();
+        let rpq = out_len - 1;
+        let total_rows = live.len() * rpq;
+        let labels: Vec<usize> = live.iter().map(|&i| queries[i].label).collect();
+        let rule = if lead.config().early_termination {
+            StopRule::ProvenPositive
+        } else {
+            StopRule::None
+        };
+
+        let shard_results: Vec<Result<ShardOutcome<F>, VerifyError>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (s, engine) in self.engines.iter().enumerate() {
+                    let start = total_rows * s / n;
+                    let end = total_rows * (s + 1) / n;
+                    let labels = &labels;
+                    let analyses = &analyses;
+                    let group_of = &group_of;
+                    handles.push(scope.spawn(move || {
+                        if start == end {
+                            return Ok(ShardOutcome {
+                                start,
+                                best: Vec::new(),
+                                stopped: Vec::new(),
+                                candidates: 0,
+                            });
+                        }
+                        // Per-query sub-batches covering this shard's row
+                        // slice, stacked so each query keeps its own
+                        // segment (and hence its own relaxation tables).
+                        let q_first = start / rpq;
+                        let q_last = (end - 1) / rpq;
+                        let mut sub_batches = Vec::with_capacity(q_last - q_first + 1);
+                        let mut seg_bounds = Vec::with_capacity(q_last - q_first + 1);
+                        let mut row_spans: Vec<(usize, usize)> = Vec::new();
+                        for q in q_first..=q_last {
+                            let lo = start.max(q * rpq) - q * rpq;
+                            let hi = end.min((q + 1) * rpq) - q * rpq;
+                            let spec = LinearSpec::robustness(labels[q], out_len);
+                            let rows = &spec.rows()[lo..hi];
+                            let mut batch = ExprBatch::zeroed(
+                                engine.device(),
+                                out_node,
+                                out_shape,
+                                (out_shape.h, out_shape.w),
+                                vec![(0, 0); rows.len()],
+                            )?;
+                            for (r, row) in rows.iter().enumerate() {
+                                for &(o, c) in &row.coeffs {
+                                    batch.set_coeff(r, o, Itv::point(c));
+                                }
+                                batch.add_cst(r, Itv::point(row.cst));
+                            }
+                            sub_batches.push(batch);
+                            seg_bounds.push(analyses[group_of[q]].bounds.as_slice());
+                            row_spans.push((q, hi - lo));
+                        }
+                        let stacked = ExprBatch::stack(engine.device(), sub_batches)?;
+                        let walker = Walker {
+                            device: engine.device(),
+                            graph: engine.graph(),
+                            prepared: engine.prepared(),
+                            seg_bounds,
+                            compact_dead_cols: engine.config().stable_zero_compaction,
+                        };
+                        let out = walker.run(stacked, rule)?;
+
+                        // Attribute stopped rows back to their query by the
+                        // shard-local row offsets.
+                        let mut offsets = Vec::with_capacity(row_spans.len());
+                        let mut at = 0usize;
+                        for &(_, rows) in &row_spans {
+                            offsets.push(at);
+                            at += rows;
+                        }
+                        let mut stopped = vec![0usize; row_spans.len()];
+                        for &r in &out.stopped_rows {
+                            let k = offsets
+                                .partition_point(|&o| o <= r as usize)
+                                .saturating_sub(1);
+                            stopped[k] += 1;
+                        }
+                        Ok(ShardOutcome {
+                            start,
+                            best: out.best,
+                            stopped: row_spans.iter().map(|&(q, _)| q).zip(stopped).collect(),
+                            candidates: out.candidates,
+                        })
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("walk shard panicked"))
+                    .collect()
+            });
+
+        // The all-reduce: gather per-row bounds in ascending global row
+        // order (shards are contiguous and sorted by `start`, so a plain
+        // ordered splice reproduces the single-device row order exactly).
+        let mut best: Vec<Option<Itv<F>>> = vec![None; total_rows];
+        let mut stopped_per_query = vec![0usize; live.len()];
+        let mut candidates = 0usize;
+        for result in shard_results {
+            match result {
+                Ok(shard) => {
+                    for (k, b) in shard.best.into_iter().enumerate() {
+                        best[shard.start + k] = Some(b);
+                    }
+                    for (q, count) in shard.stopped {
+                        stopped_per_query[q] += count;
+                    }
+                    candidates = candidates.max(shard.candidates);
+                }
+                // A device failure on any shard: the per-query path is
+                // strictly more memory-frugal and bit-identical — retry
+                // every live query through it rather than surfacing a
+                // sharding artifact.
+                Err(_) => return self.finish_per_query(queries, slots, &live),
+            }
+        }
+
+        for (j, &i) in live.iter().enumerate() {
+            let lower_bounds: Vec<F> = best[j * rpq..(j + 1) * rpq]
+                .iter()
+                .map(|b| b.expect("contiguous shards cover every row").lo)
+                .collect();
+            let proven: Vec<bool> = lower_bounds.iter().map(|&l| l > F::ZERO).collect();
+            let mut stats = analyses[group_of[j]].stats.clone();
+            stats.absorb_walk(stopped_per_query[j], candidates);
+            let verdict = SpecVerdict {
+                proven,
+                lower_bounds,
+                stats,
+            };
+            slots[i] = Some(Ok(Engine::<F, B>::robustness_verdict(
+                labels[j], out_len, verdict,
+            )));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Completes a batch through the first device's per-query path:
+    /// verifies the still-pending indices and fills their slots, leaving
+    /// already-resolved slots untouched.
+    fn finish_per_query(
+        &self,
+        queries: &[Query<F>],
+        mut slots: Vec<Option<Result<RobustnessVerdict<F>, VerifyError>>>,
+        pending: &[usize],
+    ) -> Vec<Result<RobustnessVerdict<F>, VerifyError>> {
+        let subset: Vec<Query<F>> = pending.iter().map(|&i| queries[i].clone()).collect();
+        for (&i, r) in pending.iter().zip(self.engines[0].verify_batch(&subset)) {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Budgeted branch-and-bound refinement, delegated to the first
+    /// device's engine. The refinement frontier re-dispatches generation by
+    /// generation and each generation is usually small; sharding it is an
+    /// open follow-up (work-stealing frontier), not a correctness gap —
+    /// verdicts are the single-device ones by construction.
+    pub fn verify_complete_batch(
+        &self,
+        queries: &[Query<F>],
+        budget: &RefineBudget,
+    ) -> Vec<Result<CompleteVerdict<F>, VerifyError>> {
+        self.engines[0].verify_complete_batch(queries, budget)
+    }
+
+    /// Aggregated counters across **all** pool devices: launches, FLOPs,
+    /// bytes moved, cache traffic and split counters are summed per engine
+    /// (each engine meters its own device), `resident_bytes` totals the
+    /// replicated weights, and schedule-shape fields (`relu_layers`, the
+    /// ms-per-cost EWMA) come from the first engine. Use
+    /// [`ShardedEngine::per_device_stats`] for the breakdown.
+    pub fn stats(&self) -> EngineStats {
+        let per = self.per_device_stats();
+        let mut total = per[0];
+        for s in &per[1..] {
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.monotone_hits += s.monotone_hits;
+            total.resident_bytes += s.resident_bytes;
+            total.fused_batches += s.fused_batches;
+            total.launches += s.launches;
+            total.flops += s.flops;
+            total.bytes_moved += s.bytes_moved;
+            total.fast_pass_resolved += s.fast_pass_resolved;
+            total.escalated += s.escalated;
+            total.splits += s.splits;
+            total.frontier_peak = total.frontier_peak.max(s.frontier_peak);
+            total.proven_by_split += s.proven_by_split;
+            total.cex_found += s.cex_found;
+        }
+        total
+    }
+
+    /// Per-device engine counters, in pool order.
+    pub fn per_device_stats(&self) -> Vec<EngineStats> {
+        self.engines.iter().map(Engine::stats).collect()
+    }
+}

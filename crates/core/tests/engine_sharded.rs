@@ -1,0 +1,247 @@
+//! Tensor-parallel sharded verification (`ShardedEngine`): bit-identity of
+//! the row-partitioned multi-device walk to the single-device fused path,
+//! error parity, fallback behavior and aggregated stats.
+
+use gpupoly_core::{Engine, EngineOptions, Query, ShardedEngine, VerifyConfig};
+use gpupoly_device::{Backend, CpuSimBackend, Device, DeviceConfig, ReferenceBackend};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::{Network, Shape};
+
+/// A deterministic dense ReLU network.
+fn random_net(seed: u64, depth: usize, width: usize, outputs: usize) -> Network<f32> {
+    let mix = |i: usize, s: u64| {
+        ((((i as u64 + 17) * (s + 29)) * 2654435761 % 2001) as f32 / 1000.0 - 1.0) * 0.5
+    };
+    let mut b = NetworkBuilder::new_flat(4);
+    let mut in_len = 4;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| mix(i, seed + layer as u64))
+            .collect();
+        let bias: Vec<f32> = (0..width)
+            .map(|i| mix(i, seed + 100 + layer as u64) * 0.4)
+            .collect();
+        b = b.dense_flat(width, w, bias).relu();
+        in_len = width;
+    }
+    let w: Vec<f32> = (0..outputs * in_len).map(|i| mix(i, seed + 999)).collect();
+    b.dense_flat(outputs, w, vec![0.0; outputs])
+        .build()
+        .expect("valid net")
+}
+
+/// A small conv+dense network so the sharded walk also crosses GBC steps.
+fn conv_net() -> Network<f32> {
+    NetworkBuilder::new(Shape::new(4, 4, 1))
+        .conv(
+            2,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            (0..2 * 3 * 3)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.15)
+                .collect(),
+            vec![0.05, -0.05],
+        )
+        .relu()
+        .flatten_dense(4, |i| ((i % 11) as f32 - 5.0) * 0.1, |_| 0.0)
+        .build()
+        .expect("conv net builds")
+}
+
+fn queries(n: usize, in_len: usize, outputs: usize) -> Vec<Query<f32>> {
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..in_len)
+                .map(|i| 0.2 + 0.6 * (((q * 31 + i * 7) % 97) as f32 / 97.0))
+                .collect();
+            Query::new(image, q % outputs, 0.01 + 0.004 * (q % 4) as f32)
+        })
+        .collect()
+}
+
+fn devices<B: Backend + Default>(n: usize) -> Vec<Device<B>> {
+    (0..n)
+        .map(|i| {
+            Device::with_backend(
+                B::default(),
+                DeviceConfig::new().workers(1).name(format!("d{i}")),
+            )
+        })
+        .collect()
+}
+
+fn assert_bit_identical<B: Backend + Default>(net: &Network<f32>, batch: &[Query<f32>]) {
+    let single = Engine::new(
+        Device::with_backend(B::default(), DeviceConfig::new().workers(1)),
+        net,
+        VerifyConfig::default(),
+    )
+    .expect("single engine");
+    let expected = single.verify_batch_fused(batch);
+    for n in [1usize, 2, 3, 4, 7] {
+        let sharded = ShardedEngine::new(
+            devices::<B>(n),
+            net,
+            VerifyConfig::default(),
+            EngineOptions::default(),
+        )
+        .expect("sharded engine");
+        let got = sharded.verify_batch_sharded(batch);
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(g), Ok(e)) => {
+                    assert_eq!(g.verified, e.verified, "query {i}, {n} devices");
+                    assert_eq!(g.margins.len(), e.margins.len());
+                    for (mg, me) in g.margins.iter().zip(&e.margins) {
+                        assert_eq!(mg.adversary, me.adversary, "query {i}, {n} devices");
+                        assert_eq!(mg.proven, me.proven, "query {i}, {n} devices");
+                        assert_eq!(
+                            mg.lower.to_bits(),
+                            me.lower.to_bits(),
+                            "query {i} adversary {} margin bits differ at {n} devices",
+                            mg.adversary
+                        );
+                    }
+                }
+                (Err(g), Err(e)) => assert_eq!(
+                    format!("{g}"),
+                    format!("{e}"),
+                    "query {i} error parity at {n} devices"
+                ),
+                other => panic!("query {i}: verdict class diverged at {n} devices: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_margins_bit_identical_dense_both_backends() {
+    let net = random_net(3, 3, 12, 5);
+    let batch = queries(9, 4, 5);
+    assert_bit_identical::<CpuSimBackend>(&net, &batch);
+    assert_bit_identical::<ReferenceBackend>(&net, &batch);
+}
+
+#[test]
+fn sharded_margins_bit_identical_conv() {
+    let net = conv_net();
+    let batch = queries(6, 16, 4);
+    assert_bit_identical::<CpuSimBackend>(&net, &batch);
+}
+
+#[test]
+fn sharded_handles_more_devices_than_rows() {
+    // 1 query × 2 margins across 7 devices: most shards are empty.
+    let net = random_net(11, 2, 8, 3);
+    let batch = queries(1, 4, 3);
+    assert_bit_identical::<CpuSimBackend>(&net, &batch);
+}
+
+#[test]
+fn sharded_preserves_validation_errors_in_place() {
+    let net = random_net(5, 2, 8, 3);
+    let sharded = ShardedEngine::new(
+        devices::<CpuSimBackend>(2),
+        &net,
+        VerifyConfig::default(),
+        EngineOptions::default(),
+    )
+    .expect("sharded engine");
+    let mut batch = queries(4, 4, 3);
+    batch[1] = Query::new(vec![0.5f32; 3], 0, 0.01); // wrong length
+    batch[2] = Query::new(vec![0.5f32; 4], 9, 0.01); // label out of range
+    let got = sharded.verify_batch_sharded(&batch);
+    assert!(got[0].is_ok() && got[3].is_ok());
+    assert!(got[1].is_err() && got[2].is_err());
+}
+
+#[test]
+fn sharded_rejects_empty_pool_and_counts_devices() {
+    let net = random_net(5, 2, 8, 3);
+    assert!(ShardedEngine::new(
+        Vec::<Device<CpuSimBackend>>::new(),
+        &net,
+        VerifyConfig::default(),
+        EngineOptions::default()
+    )
+    .is_err());
+    let sharded = ShardedEngine::new(
+        devices::<CpuSimBackend>(3),
+        &net,
+        VerifyConfig::default(),
+        EngineOptions::default(),
+    )
+    .expect("sharded engine");
+    assert_eq!(sharded.device_count(), 3);
+    assert_eq!(sharded.engines().len(), 3);
+}
+
+#[test]
+fn sharded_stats_aggregate_across_devices() {
+    let net = random_net(7, 3, 10, 4);
+    let batch = queries(8, 4, 4);
+    let sharded = ShardedEngine::new(
+        devices::<CpuSimBackend>(2),
+        &net,
+        VerifyConfig::default(),
+        EngineOptions::default(),
+    )
+    .expect("sharded engine");
+    let _ = sharded.verify_batch_sharded(&batch);
+
+    let per = sharded.per_device_stats();
+    assert_eq!(per.len(), 2);
+    // The walk was row-partitioned: every device did real work.
+    assert!(
+        per.iter().all(|s| s.launches > 0 && s.flops > 0),
+        "per-device: {per:?}"
+    );
+    let total = sharded.stats();
+    assert_eq!(total.launches, per.iter().map(|s| s.launches).sum::<u64>());
+    assert_eq!(total.flops, per.iter().map(|s| s.flops).sum::<u64>());
+    assert_eq!(
+        total.bytes_moved,
+        per.iter().map(|s| s.bytes_moved).sum::<u64>()
+    );
+    assert_eq!(
+        total.resident_bytes,
+        per.iter().map(|s| s.resident_bytes).sum::<usize>()
+    );
+    // Aggregate strictly exceeds any single device's meter — the old
+    // first-device-only report undercounted.
+    assert!(total.launches > per[0].launches);
+    assert!(total.launches > per[1].launches);
+}
+
+#[test]
+fn sharded_complete_mode_delegates_with_single_device_verdicts() {
+    let net = random_net(13, 2, 8, 3);
+    let q = Query::new(vec![0.4f32, 0.5, 0.6, 0.3], 0, 0.01);
+    let single = Engine::new(
+        Device::with_backend(CpuSimBackend, DeviceConfig::new().workers(1)),
+        &net,
+        VerifyConfig::default(),
+    )
+    .expect("engine");
+    let sharded = ShardedEngine::new(
+        devices::<CpuSimBackend>(2),
+        &net,
+        VerifyConfig::default(),
+        EngineOptions::default(),
+    )
+    .expect("sharded engine");
+    let budget = gpupoly_core::RefineBudget::default();
+    let a = single
+        .verify_complete_batch(std::slice::from_ref(&q), &budget)
+        .pop()
+        .unwrap()
+        .unwrap();
+    let b = sharded
+        .verify_complete_batch(std::slice::from_ref(&q), &budget)
+        .pop()
+        .unwrap()
+        .unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

@@ -26,19 +26,27 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpupoly_core::{
-    CompleteVerdict, Engine, EngineStats, Query, RefineBudget, RobustnessVerdict, TieredEngine,
-    VerifyConfig, VerifyError,
+    CompleteVerdict, Engine, EngineOptions, EngineStats, Query, RefineBudget, RobustnessVerdict,
+    ShardedEngine, TieredEngine, VerifyConfig, VerifyError,
 };
 use gpupoly_device::{Backend, Device};
 use gpupoly_nn::Network;
 
 use crate::stats::ModelStats;
 
+/// Called with the admission cost charge whenever an item is answered (on
+/// every path: verdict, per-query error, expiry, contained panic). The
+/// registry uses it to retire the item's charge from the device pool's load
+/// gauge, keeping least-loaded routing honest without coupling this module
+/// to the pool type.
+pub(crate) type RetireFn = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// What the batching loop needs from a resident verification engine: one
 /// fused batch call at serving precision, one branch-and-bound refinement
 /// call, and a stats snapshot to mirror. Implemented by the plain `f32`
-/// [`Engine`] and by the precision-tiered [`TieredEngine`], so one loop
-/// serves both worker flavors.
+/// [`Engine`], by the precision-tiered [`TieredEngine`], and by the
+/// tensor-parallel [`ShardedEngine`], so one loop serves every worker
+/// flavor.
 trait BatchVerifier {
     fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>>;
     /// Complete-mode verdicts always cross the worker boundary as `f64`:
@@ -84,6 +92,27 @@ impl<B: Backend> BatchVerifier for TieredEngine<'_, B> {
     }
     fn stats(&self) -> EngineStats {
         TieredEngine::stats(self)
+    }
+}
+
+impl<B: Backend> BatchVerifier for ShardedEngine<'_, f32, B> {
+    fn verify(&self, queries: &[Query<f32>]) -> Vec<Result<RobustnessVerdict<f32>, VerifyError>> {
+        self.verify_batch_sharded(queries)
+    }
+    fn verify_complete(
+        &self,
+        queries: &[Query<f32>],
+        budget: &RefineBudget,
+    ) -> Vec<Result<CompleteVerdict<f64>, VerifyError>> {
+        self.verify_complete_batch(queries, budget)
+            .into_iter()
+            .map(|r| r.map(|v| v.widen()))
+            .collect()
+    }
+    fn stats(&self) -> EngineStats {
+        // Aggregated across all pool devices — launch/FLOP/bytes meters sum
+        // the whole walk, not just the first device's shard.
+        ShardedEngine::stats(self)
     }
 }
 
@@ -165,27 +194,42 @@ pub(crate) struct WorkItem {
 /// up. On success the model is resident: `stats.resident_bytes` is set and
 /// the returned sender is the admission queue (capacity `queue_cap`).
 ///
+/// With one device the worker runs a plain [`Engine`] (or a
+/// [`TieredEngine`] when `precision_tier` is set); with several it runs a
+/// tensor-parallel [`ShardedEngine`] whose backsubstitution row space is
+/// partitioned across all of them per layer step. The tiered flavor is
+/// single-device only (the registry validates that), so `precision_tier`
+/// with several devices uses the first alone.
+///
+/// `retire` is invoked with the item's admission cost charge every time a
+/// reply goes out — the hook the registry uses to credit the device pool's
+/// load gauge.
+///
 /// # Errors
 ///
 /// The engine-construction error message when the network cannot be
-/// prepared on the device.
+/// prepared on the device(s).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_worker<B: Backend>(
     name: String,
     net: Network<f32>,
-    device: Device<B>,
+    devices: Vec<Device<B>>,
     verify: VerifyConfig,
     policy: BatchPolicy,
     queue_cap: usize,
     precision_tier: bool,
     stats: Arc<ModelStats>,
+    retire: RetireFn,
 ) -> Result<(SyncSender<WorkItem>, JoinHandle<()>), String> {
+    if devices.is_empty() {
+        return Err("worker needs at least one device".to_string());
+    }
     let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(queue_cap.max(1));
     let (startup_tx, startup_rx) = std::sync::mpsc::channel::<Result<(), String>>();
     let join = std::thread::Builder::new()
         .name(format!("gpupoly-serve-{name}"))
         .spawn(move || {
-            // Both engine flavors borrow networks living on this thread's
+            // Every engine flavor borrows networks living on this thread's
             // stack; the startup handshake and batching loop are shared.
             let startup = |engine: &dyn BatchVerifier| {
                 let snapshot = engine.stats();
@@ -201,6 +245,7 @@ pub(crate) fn spawn_worker<B: Backend>(
             if precision_tier {
                 // The widened copy also lives on this stack, so the tiered
                 // engine's two borrows share the worker as their owner.
+                let device = devices.into_iter().next().expect("checked non-empty");
                 let wide = net.widen();
                 let engine = match TieredEngine::new(device, &net, &wide, verify) {
                     Ok(engine) => engine,
@@ -210,8 +255,20 @@ pub(crate) fn spawn_worker<B: Backend>(
                     }
                 };
                 startup(&engine);
-                run_loop(&engine, &rx, policy, &stats);
+                run_loop(&engine, &rx, policy, &stats, &retire);
+            } else if devices.len() > 1 {
+                let engine =
+                    match ShardedEngine::new(devices, &net, verify, EngineOptions::default()) {
+                        Ok(engine) => engine,
+                        Err(e) => {
+                            let _ = startup_tx.send(Err(e.to_string()));
+                            return;
+                        }
+                    };
+                startup(&engine);
+                run_loop(&engine, &rx, policy, &stats, &retire);
             } else {
+                let device = devices.into_iter().next().expect("checked non-empty");
                 let engine = match Engine::new(device, &net, verify) {
                     Ok(engine) => engine,
                     Err(e) => {
@@ -220,7 +277,7 @@ pub(crate) fn spawn_worker<B: Backend>(
                     }
                 };
                 startup(&engine);
-                run_loop(&engine, &rx, policy, &stats);
+                run_loop(&engine, &rx, policy, &stats, &retire);
             }
         })
         .map_err(|e| format!("spawn worker thread: {e}"))?;
@@ -243,6 +300,7 @@ fn run_loop(
     rx: &Receiver<WorkItem>,
     policy: BatchPolicy,
     stats: &ModelStats,
+    retire: &RetireFn,
 ) {
     loop {
         // Block for the head of the next batch; channel closed = shut down.
@@ -264,7 +322,7 @@ fn run_loop(
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        run_batch(engine, batch, stats);
+        run_batch(engine, batch, stats, retire);
     }
 }
 
@@ -301,11 +359,21 @@ fn mirror_engine_stats(engine: &dyn BatchVerifier, stats: &ModelStats) {
         .store(snapshot.ewma_ms_per_cost.to_bits(), Ordering::Release);
 }
 
-fn run_batch(engine: &dyn BatchVerifier, batch: Vec<WorkItem>, stats: &ModelStats) {
+fn run_batch(
+    engine: &dyn BatchVerifier,
+    batch: Vec<WorkItem>,
+    stats: &ModelStats,
+    retire: &RetireFn,
+) {
     let answer = |reply: &Sender<WorkReply>, cost_us: u64, result: WorkReply| {
         stats.completed.fetch_add(1, Ordering::Relaxed);
         stats.in_flight.fetch_sub(1, Ordering::AcqRel);
         stats.pending_cost_us.fetch_sub(cost_us, Ordering::AcqRel);
+        // Release the admission pin and the pool load charge on every reply
+        // path — verdict, typed error, expiry, and contained panic alike —
+        // so eviction pinning and least-loaded routing both stay exact.
+        stats.unpin();
+        retire(cost_us);
         let _ = reply.send(result);
     };
 
@@ -432,6 +500,7 @@ mod tests {
         let (reply, rx) = std::sync::mpsc::channel();
         stats.queue_depth.fetch_add(1, Ordering::AcqRel);
         stats.in_flight.fetch_add(1, Ordering::AcqRel);
+        stats.pin();
         tx.try_send(WorkItem {
             image,
             label,
@@ -469,7 +538,7 @@ mod tests {
         let (tx, join) = spawn_worker(
             "tiny".into(),
             tiny_net(),
-            device.clone(),
+            vec![device.clone()],
             VerifyConfig::default(),
             BatchPolicy {
                 max_batch: 8,
@@ -478,6 +547,7 @@ mod tests {
             16,
             false,
             stats.clone(),
+            Arc::new(|_| {}),
         )
         .unwrap();
         assert!(stats.resident_bytes.load(Ordering::Acquire) > 0);
@@ -516,7 +586,7 @@ mod tests {
         let (tx, join) = spawn_worker(
             "tiny-tiered".into(),
             tiny_net(),
-            device.clone(),
+            vec![device.clone()],
             VerifyConfig::default(),
             BatchPolicy {
                 max_batch: 8,
@@ -525,6 +595,7 @@ mod tests {
             16,
             true,
             stats.clone(),
+            Arc::new(|_| {}),
         )
         .unwrap();
         // Both precisions' weights are resident.
@@ -564,13 +635,20 @@ mod tests {
     }
 
     #[test]
-    fn expired_items_are_dropped_before_dispatch_with_typed_replies() {
-        let device = Device::default();
+    fn sharded_worker_spans_devices_retires_charges_and_frees_all() {
+        use gpupoly_device::DeviceConfig;
+        use std::sync::atomic::AtomicU64;
+        let devices: Vec<Device> = (0..2)
+            .map(|i| Device::new(DeviceConfig::new().workers(1).name(format!("w{i}"))))
+            .collect();
+        let handles = devices.clone();
         let stats = Arc::new(ModelStats::default());
+        let retired = Arc::new(AtomicU64::new(0));
+        let retired_in_worker = retired.clone();
         let (tx, join) = spawn_worker(
-            "expiry".into(),
+            "tiny-sharded".into(),
             tiny_net(),
-            device,
+            devices,
             VerifyConfig::default(),
             BatchPolicy {
                 max_batch: 8,
@@ -579,6 +657,65 @@ mod tests {
             16,
             false,
             stats.clone(),
+            Arc::new(move |cost| {
+                retired_in_worker.fetch_add(cost.max(1), Ordering::AcqRel);
+            }),
+        )
+        .unwrap();
+        // Weights resident on *both* devices; resident_bytes sums them.
+        assert!(handles.iter().all(|d| d.memory_in_use() > 0));
+        assert!(
+            stats.resident_bytes.load(Ordering::Acquire) as usize
+                >= handles.iter().map(|d| d.memory_in_use()).sum::<usize>()
+        );
+
+        let replies: Vec<Receiver<WorkReply>> = (0..5)
+            .map(|i| submit(&tx, &stats, vec![0.4, 0.6], 0, 0.01 + 0.004 * i as f32))
+            .collect();
+        for rx in replies {
+            let verdict = plain(
+                rx.recv_timeout(Duration::from_secs(10))
+                    .expect("worker replies")
+                    .expect("query succeeds"),
+            );
+            assert!(verdict.verified);
+        }
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            retired.load(Ordering::Acquire),
+            5,
+            "every reply retires its charge"
+        );
+        assert_eq!(
+            stats.pinned.load(Ordering::Acquire),
+            0,
+            "every reply unpins"
+        );
+
+        drop(tx);
+        join.join().expect("sharded worker exits cleanly");
+        for d in &handles {
+            assert_eq!(d.memory_in_use(), 0, "eviction frees every device");
+        }
+    }
+
+    #[test]
+    fn expired_items_are_dropped_before_dispatch_with_typed_replies() {
+        let device = Device::default();
+        let stats = Arc::new(ModelStats::default());
+        let (tx, join) = spawn_worker(
+            "expiry".into(),
+            tiny_net(),
+            vec![device],
+            VerifyConfig::default(),
+            BatchPolicy {
+                max_batch: 8,
+                max_delay: Duration::from_millis(20),
+            },
+            16,
+            false,
+            stats.clone(),
+            Arc::new(|_| {}),
         )
         .unwrap();
 
@@ -630,7 +767,7 @@ mod tests {
         let (tx, join) = spawn_worker(
             "complete".into(),
             tiny_net(),
-            device,
+            vec![device],
             VerifyConfig::default(),
             BatchPolicy {
                 max_batch: 8,
@@ -639,6 +776,7 @@ mod tests {
             16,
             false,
             stats.clone(),
+            Arc::new(|_| {}),
         )
         .unwrap();
 
@@ -683,12 +821,13 @@ mod tests {
         let err = spawn_worker(
             "mismatched".into(),
             net,
-            device.clone(),
+            vec![device.clone()],
             VerifyConfig::default(),
             BatchPolicy::default(),
             4,
             false,
             stats,
+            Arc::new(|_| {}),
         )
         .map(|_| ())
         .unwrap_err();

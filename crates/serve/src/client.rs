@@ -10,7 +10,8 @@ use std::time::Duration;
 use serde::Deserialize;
 
 use crate::protocol::{
-    CompleteStatus, ErrorCode, ModelInfo, Reply, Request, StatsReply, WireMargin,
+    frame_with_id, reply_id, CompleteStatus, ErrorCode, ModelInfo, Reply, Request, StatsReply,
+    WireMargin,
 };
 
 /// Client-side failure.
@@ -141,6 +142,49 @@ impl Client {
             &serde_json::from_str(&reply_line).map_err(|e| ClientError::Protocol(e.to_string()))?,
         )
         .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request *without* waiting for its reply, tagging it with
+    /// a multiplexing id so the reply (read later via
+    /// [`Client::recv_any`]) can be matched back out of order. Pass
+    /// `id: None` for an untagged frame (the server then answers in
+    /// order). Many sends may be outstanding at once on one connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] when the send
+    /// itself fails.
+    pub fn send_request(&mut self, request: &Request, id: Option<u64>) -> Result<(), ClientError> {
+        let framed = frame_with_id(request, id);
+        let line =
+            serde_json::to_string(&framed).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next reply frame off the connection, whichever request it
+    /// answers, together with its echoed id (`None` for replies to
+    /// untagged frames). Pipelined requests sent with distinct ids may be
+    /// answered in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] when the read
+    /// itself fails. A typed error *reply* is a successful read.
+    pub fn recv_any(&mut self) -> Result<(Option<u64>, Reply), ClientError> {
+        let mut reply_line = String::new();
+        let n = self.reader.read_line(&mut reply_line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        let value: serde::Value =
+            serde_json::from_str(&reply_line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let reply = Reply::from_value(&value).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok((reply_id(&value), reply))
     }
 
     fn expect_ok(reply: Reply) -> Result<Reply, ClientError> {

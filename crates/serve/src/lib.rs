@@ -8,19 +8,28 @@
 //!
 //! * **registry** ([`Registry`]) — models live as `<name>.json` files in a
 //!   directory; the first query for a name loads the network and makes it
-//!   resident on the shared device. A device-memory budget is enforced by
-//!   reclaiming shelved pool bytes, then evicting idle models LRU-first.
-//! * **admission batcher** ([`BatchPolicy`]) — each resident model has a
+//!   resident on a pool device ([`gpupoly_shard::DevicePool`]), placed
+//!   least-loaded. A device-memory budget is enforced per device by
+//!   reclaiming shelved pool bytes, then evicting LRU-first among models
+//!   not *pinned* by in-flight work. On a multi-device pool a model whose
+//!   queues saturate replicates onto an idle device; with
+//!   `tensor_parallel` every model instead spans the whole pool through a
+//!   row-sharded [`gpupoly_core::ShardedEngine`] (margins bit-identical to
+//!   one device).
+//! * **admission batcher** ([`BatchPolicy`]) — each model replica has a
 //!   worker thread and a bounded queue; queued queries coalesce into one
 //!   `verify_batch` call per wakeup (up to `max_batch` queries or
 //!   `max_delay` of extra latency), so concurrent clients share batches,
 //!   analyses and pooled buffers. A full queue answers `overloaded`
 //!   immediately — backpressure is a reply, never a hang.
-//! * **protocol** ([`protocol`]) — line-delimited JSON over TCP. Every
-//!   failure maps to a typed [`protocol::ErrorCode`]; panics are contained
-//!   in workers and connection handlers. Margins cross the wire bit-exact.
+//! * **protocol** ([`protocol`]) — line-delimited JSON over TCP. Frames
+//!   may carry an `"id"` to multiplex many outstanding requests over one
+//!   connection (replies echo the id, possibly out of order); id-less
+//!   frames keep the synchronous in-order contract. Every failure maps to
+//!   a typed [`protocol::ErrorCode`]; panics are contained in workers and
+//!   connection handlers. Margins cross the wire bit-exact.
 //! * **client** ([`Client`]) — a small blocking client for tests, smoke
-//!   checks and load generation.
+//!   checks and load generation, including pipelined id-tagged sends.
 //!
 //! The daemon binary (`gpupoly-serve`) wires this to a CLI: a model
 //! directory, a port, budgets, and backend selection via the
@@ -53,6 +62,7 @@ mod stats;
 
 pub use batcher::{BatchPolicy, WorkError, WorkOutput, WorkReply};
 pub use client::{Client, ClientError, CompleteOutcome, Verdict};
+pub use gpupoly_shard::DevicePool;
 pub use registry::{Registry, RegistryConfig, SubmitError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::ModelStats;

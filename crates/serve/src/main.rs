@@ -5,6 +5,7 @@
 //!                     [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
 //!                     [--queue-cost-ms MS] [--memory-budget BYTES]
 //!                     [--workers N] [--request-timeout-ms MS]
+//!                     [--devices N] [--tensor-parallel]
 //! gpupoly-serve init-zoo DIR [--scale S] [--seed N]
 //! gpupoly-serve smoke ADDR [--ping-only]
 //! ```
@@ -48,7 +49,7 @@ USAGE:
                       [--max-delay-ms MS] [--queue-cap N] [--queue-cost-ms MS]
                       [--memory-budget BYTES] [--workers N]
                       [--request-timeout-ms MS] [--max-frame-bytes N]
-                      [--precision-tier]
+                      [--precision-tier] [--devices N] [--tensor-parallel]
   gpupoly-serve init-zoo DIR [--scale S] [--seed N]
   gpupoly-serve smoke ADDR [--ping-only]
 
@@ -154,6 +155,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     // f32 fast pass with sound f64 escalation; ~3× resident bytes/model.
     cfg.precision_tier = flags.take_bool("--precision-tier");
+    // Pool size: >1 enables least-loaded placement and hot-model
+    // replication (or, with --tensor-parallel, row-sharded walks).
+    if let Some(n) = flags.take_parsed::<usize>("--devices")? {
+        cfg.devices = n.max(1);
+    }
+    cfg.tensor_parallel = flags.take_bool("--tensor-parallel");
+    if cfg.tensor_parallel && cfg.precision_tier {
+        return Err("--tensor-parallel and --precision-tier are mutually exclusive".into());
+    }
     let rest = flags.finish()?;
     if !rest.is_empty() {
         return Err(format!("unexpected arguments {rest:?}"));
@@ -273,6 +283,48 @@ fn cmd_smoke(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Multiplexed pipelining: several id-tagged frames down one
+    // connection; replies come back matched by id, possibly out of order,
+    // and the connection then still serves plain in-order frames.
+    {
+        use gpupoly_serve::protocol::{Reply, Request};
+        let target = &models[0];
+        let image = vec![0.5f32; target.input_len];
+        const PIPELINED: u64 = 4;
+        for id in 0..PIPELINED {
+            client
+                .send_request(
+                    &Request::Verify {
+                        model: target.name.clone(),
+                        image: image.clone(),
+                        label: 0,
+                        eps: 1.0 / 255.0,
+                    },
+                    Some(id),
+                )
+                .map_err(|e| format!("mux send {id}: {e}"))?;
+        }
+        let mut seen = [false; PIPELINED as usize];
+        for _ in 0..PIPELINED {
+            let (id, reply) = client.recv_any().map_err(|e| format!("mux recv: {e}"))?;
+            let id = id.ok_or("mux reply carried no id")?;
+            if !matches!(reply, Reply::Verdict { .. }) {
+                return Err(format!("mux reply {id}: expected verdict, got {reply:?}"));
+            }
+            let slot = seen
+                .get_mut(id as usize)
+                .ok_or_else(|| format!("mux reply echoed unknown id {id}"))?;
+            if *slot {
+                return Err(format!("mux reply id {id} answered twice"));
+            }
+            *slot = true;
+        }
+        client
+            .ping()
+            .map_err(|e| format!("connection broken after mux exchange: {e}"))?;
+        println!("smoke: multiplexed {PIPELINED} pipelined verifies ok");
+    }
+
     // Complete mode round-trips: the same query refines under a small
     // split budget and must answer with a typed status, never an error.
     let first = &models[0];
@@ -337,9 +389,22 @@ fn cmd_smoke(args: &[String]) -> Result<(), String> {
             stats.device.launches, stats.device.flops
         ));
     }
+    // The aggregate row must cover the whole pool: per-device rows are
+    // present and their meters sum to the top-level meters exactly.
+    if stats.devices.is_empty() {
+        return Err("stats carry no per-device breakdown".into());
+    }
+    let summed: u64 = stats.devices.iter().map(|d| d.launches).sum();
+    if summed != stats.device.launches {
+        return Err(format!(
+            "aggregate launches ({}) disagree with the per-device sum ({summed})",
+            stats.device.launches
+        ));
+    }
     println!(
-        "smoke: ok — backend={} models={} completed={}",
+        "smoke: ok — backend={} devices={} models={} completed={}",
         stats.device.backend,
+        stats.devices.len(),
         stats.models.len(),
         stats.models.iter().map(|m| m.completed).sum::<u64>(),
     );

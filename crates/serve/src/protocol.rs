@@ -1,13 +1,24 @@
 //! The wire protocol: line-delimited JSON frames over TCP.
 //!
 //! Every request is one JSON object on one line; every request produces
-//! exactly one reply object on one line, in order. Malformed frames get an
-//! `error` reply with a typed [`ErrorCode`] and the connection stays open —
-//! a client can never crash a connection, only earn error replies.
+//! exactly one reply object on one line. Malformed frames get an `error`
+//! reply with a typed [`ErrorCode`] and the connection stays open — a client
+//! can never crash a connection, only earn error replies.
 //!
 //! Numbers ride as JSON numbers (f64). Every `f32` the verifier produces
 //! round-trips exactly through f64 and shortest-round-trip printing, so a
 //! margin read off the wire is bit-identical to the engine's.
+//!
+//! # Multiplexing
+//!
+//! A frame may carry an optional `"id"` (a non-negative integer ≤ 2⁵³). A
+//! frame *without* an id is answered synchronously, in order — the legacy
+//! one-at-a-time contract. A frame *with* an id is dispatched concurrently:
+//! the server may interleave replies out of order, and echoes the id back
+//! on the reply frame (including error replies, whenever the id could be
+//! parsed off the frame) so one connection can keep many verifications in
+//! flight. The server bounds the per-connection outstanding window; frames
+//! beyond it earn a typed `overloaded` reply carrying their id.
 //!
 //! # Frames
 //!
@@ -15,8 +26,9 @@
 //! |--------------------------------------------------------|-------|
 //! | `{"type":"ping"}`                                      | `{"type":"pong"}` |
 //! | `{"type":"models"}`                                    | `{"type":"models","models":[...]}` |
-//! | `{"type":"stats"}`                                     | `{"type":"stats","device":{...},"models":[...]}` |
+//! | `{"type":"stats"}`                                     | `{"type":"stats","device":{...},"devices":[...],"models":[...]}` |
 //! | `{"type":"verify","model":m,"image":[..],"label":l,"eps":e}` | `{"type":"verdict",...}` or `{"type":"error",...}` |
+//! | any of the above + `"id":n`                            | the same reply + `"id":n`, possibly out of order |
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -179,6 +191,8 @@ pub struct ModelInfo {
 pub struct DeviceStatsWire {
     /// Kernel backend label (`cpusim` / `reference` / ...).
     pub backend: String,
+    /// Device name (`pool[n]` for the aggregate row of a multi-device pool).
+    pub name: String,
     /// Device worker count.
     pub workers: u64,
     /// Bytes currently allocated on the device.
@@ -256,8 +270,12 @@ pub struct ModelStatsWire {
 /// Body of a [`Reply::Stats`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatsReply {
-    /// Device-level counters.
+    /// Pool-aggregate device counters (sums across every device; equals the
+    /// single device's counters on a 1-device pool). Launch/FLOP/byte meters
+    /// here cover the *whole* pool, not just device 0.
     pub device: DeviceStatsWire,
+    /// Per-device breakdown, one entry per pool device in index order.
+    pub devices: Vec<DeviceStatsWire>,
     /// One entry per *loaded* model.
     pub models: Vec<ModelStatsWire>,
 }
@@ -345,6 +363,35 @@ fn opt_field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
         Ok(Value::Null) | Err(_) => None,
         Ok(x) => Some(x),
     }
+}
+
+/// Extracts the optional multiplexing `"id"` off a raw frame value.
+///
+/// `Ok(None)` for id-less frames (the synchronous in-order path),
+/// `Ok(Some(id))` for multiplexed frames, `Err` when an `id` field is
+/// present but is not a non-negative integer — such frames are answered
+/// with a `bad_request` error that necessarily carries no id.
+pub fn frame_id(v: &Value) -> Result<Option<u64>, DeError> {
+    match opt_field(v, "id") {
+        None => Ok(None),
+        Some(n) => Ok(Some(as_index(n)? as u64)),
+    }
+}
+
+/// Serializes a frame (request or reply), attaching `id` when present.
+/// This is the only place frames acquire their id: the [`Request`] and
+/// [`Reply`] types themselves stay id-agnostic.
+pub fn frame_with_id(frame: &impl Serialize, id: Option<u64>) -> Value {
+    let mut v = frame.to_value();
+    if let (Some(id), Value::Obj(fields)) = (id, &mut v) {
+        fields.push(("id".to_string(), Value::Num(id as f64)));
+    }
+    v
+}
+
+/// Reads the echoed id off a reply frame (client side).
+pub fn reply_id(v: &Value) -> Option<u64> {
+    frame_id(v).ok().flatten()
 }
 
 impl Serialize for Request {
@@ -476,6 +523,7 @@ impl Serialize for DeviceStatsWire {
     fn to_value(&self) -> Value {
         Value::obj([
             ("backend", Value::Str(self.backend.clone())),
+            ("name", Value::Str(self.name.clone())),
             ("workers", Value::Num(self.workers as f64)),
             ("memory_in_use", Value::Num(self.memory_in_use as f64)),
             ("peak_memory", Value::Num(self.peak_memory as f64)),
@@ -499,6 +547,11 @@ impl<'de> Deserialize<'de> for DeviceStatsWire {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         Ok(DeviceStatsWire {
             backend: v.field("backend")?.as_str()?.to_string(),
+            // Absent on pre-pool frames: old daemons named no devices.
+            name: match opt_field(v, "name") {
+                Some(n) => n.as_str()?.to_string(),
+                None => String::new(),
+            },
             workers: as_index(v.field("workers")?)? as u64,
             memory_in_use: as_index(v.field("memory_in_use")?)? as u64,
             peak_memory: as_index(v.field("peak_memory")?)? as u64,
@@ -591,6 +644,7 @@ impl Serialize for Reply {
             Reply::Stats(stats) => Value::obj([
                 ("type", Value::Str("stats".into())),
                 ("device", stats.device.to_value()),
+                ("devices", stats.devices.to_value()),
                 ("models", stats.models.to_value()),
             ]),
             Reply::Verdict {
@@ -649,6 +703,11 @@ impl<'de> Deserialize<'de> for Reply {
             }),
             "stats" => Ok(Reply::Stats(StatsReply {
                 device: DeviceStatsWire::from_value(v.field("device")?)?,
+                // Absent on pre-pool frames: the aggregate was the only row.
+                devices: match opt_field(v, "devices") {
+                    Some(d) => Vec::from_value(d)?,
+                    None => Vec::new(),
+                },
                 models: Vec::from_value(v.field("models")?)?,
             })),
             "verdict" => Ok(Reply::Verdict {
@@ -779,6 +838,7 @@ mod tests {
         round_trip_reply(&Reply::Stats(StatsReply {
             device: DeviceStatsWire {
                 backend: "cpusim".into(),
+                name: "pool[2]".into(),
                 workers: 8,
                 memory_in_use: 123,
                 peak_memory: 456,
@@ -789,6 +849,34 @@ mod tests {
                 flops: 123_456,
                 bytes_moved: 7_890,
             },
+            devices: vec![
+                DeviceStatsWire {
+                    backend: "cpusim".into(),
+                    name: "d0".into(),
+                    workers: 4,
+                    memory_in_use: 100,
+                    peak_memory: 200,
+                    capacity: Some(1 << 20),
+                    bytes_allocated: 400,
+                    pool_bytes: 5,
+                    launches: 21,
+                    flops: 61_728,
+                    bytes_moved: 3_945,
+                },
+                DeviceStatsWire {
+                    backend: "cpusim".into(),
+                    name: "d1".into(),
+                    workers: 4,
+                    memory_in_use: 23,
+                    peak_memory: 256,
+                    capacity: Some(1 << 20),
+                    bytes_allocated: 389,
+                    pool_bytes: 5,
+                    launches: 20,
+                    flops: 61_728,
+                    bytes_moved: 3_945,
+                },
+            ],
             models: vec![ModelStatsWire {
                 name: "m".into(),
                 resident_bytes: 1,
@@ -839,6 +927,47 @@ mod tests {
             adversary: None,
         });
         round_trip_reply(&Reply::error(ErrorCode::Overloaded, "queue full"));
+    }
+
+    #[test]
+    fn frame_ids_extract_and_echo() {
+        // Requests parse unchanged with an id riding along.
+        let v: Value = serde_json::from_str(r#"{"type":"ping","id":42}"#).expect("frame parses");
+        assert_eq!(frame_id(&v), Ok(Some(42)));
+        assert_eq!(Request::from_value(&v), Ok(Request::Ping));
+        // Id-less frames are the synchronous path.
+        let bare: Value = serde_json::from_str(r#"{"type":"ping"}"#).unwrap();
+        assert_eq!(frame_id(&bare), Ok(None));
+        // Negative / fractional ids are rejected, not cast.
+        for bad in [r#"{"type":"ping","id":-3}"#, r#"{"type":"ping","id":1.5}"#] {
+            let v: Value = serde_json::from_str(bad).unwrap();
+            assert!(frame_id(&v).is_err(), "{bad}");
+        }
+        // Replies echo the id and the id survives reserialization.
+        let framed = frame_with_id(&Reply::Pong, Some(7));
+        let text = serde_json::to_string(&framed).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(reply_id(&back), Some(7));
+        assert_eq!(Reply::from_value(&back), Ok(Reply::Pong));
+        // No id: the frame is untouched.
+        assert_eq!(frame_with_id(&Reply::Pong, None), Reply::Pong.to_value());
+    }
+
+    #[test]
+    fn stats_tolerate_pre_pool_frames() {
+        // A frame from an old single-device daemon: no `name`, no `devices`.
+        let text = r#"{"type":"stats","device":{"backend":"cpusim","workers":2,
+            "memory_in_use":1,"peak_memory":2,"capacity":null,"bytes_allocated":3,
+            "pool_bytes":0,"launches":4,"flops":5,"bytes_moved":6},"models":[]}"#
+            .replace('\n', " ");
+        let reply: Reply = serde_json::from_str(&text).expect("old frame parses");
+        match reply {
+            Reply::Stats(s) => {
+                assert_eq!(s.device.name, "");
+                assert!(s.devices.is_empty());
+            }
+            other => panic!("wrong reply {other:?}"),
+        }
     }
 
     #[test]

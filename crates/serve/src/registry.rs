@@ -1,14 +1,26 @@
-//! The model registry: name → resident engine, loaded lazily, evicted LRU
-//! under a device-memory budget.
+//! The model registry: name → resident engine(s), loaded lazily onto a
+//! device pool, evicted LRU under a per-device memory budget.
 //!
-//! One shared [`Device`] backs every resident model, so
-//! `device.memory_in_use()` is the single source of truth the budget is
-//! enforced against. Loading a model that would exceed the budget reclaims
-//! memory in cost order: first the buffer pool's shelved (idle, recyclable)
-//! bytes, then whole idle models, least-recently-used first. When nothing
-//! reclaimable remains the submission is bounced with a structured
-//! overload — the daemon never wedges itself by thrashing models in and
-//! out under pressure.
+//! A [`DevicePool`] backs every resident model. Placement is sticky and
+//! least-loaded: a cold model lands on the pool's least-loaded device and
+//! stays there; a **hot** model whose admission queues saturate is
+//! *replicated* onto the least-loaded device not yet holding it, and
+//! admission then routes each query to the least-loaded replica. In
+//! tensor-parallel mode every model instead gets one worker whose
+//! backsubstitution row space is sharded across the whole pool
+//! ([`gpupoly_core::ShardedEngine`]), bit-identical to the single-device
+//! walk.
+//!
+//! Each device's `memory_in_use()` is the source of truth its budget is
+//! enforced against. Loading a model that would exceed the target device's
+//! budget reclaims memory in cost order: first the buffer pool's shelved
+//! (idle, recyclable) bytes, then whole **unpinned** models on that device,
+//! least-recently-used first. A model is pinned while it has any
+//! admitted-but-unanswered query (one refcount covering queue + in-flight +
+//! maintenance windows), so eviction can never race a worker that still
+//! owes replies. When nothing reclaimable remains the submission is
+//! bounced with a structured overload — the daemon never wedges itself by
+//! thrashing models in and out under pressure.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -23,6 +35,7 @@ use parking_lot::Mutex;
 use gpupoly_core::{RefineBudget, VerifyConfig};
 use gpupoly_device::{Backend, Device};
 use gpupoly_nn::{store, Network};
+use gpupoly_shard::DevicePool;
 
 use crate::batcher::{spawn_worker, BatchPolicy, WorkItem, WorkKind, WorkReply};
 use crate::protocol::{ModelInfo, ModelStatsWire};
@@ -60,8 +73,15 @@ pub struct RegistryConfig {
     /// pass with sound `f64` escalation for Unknown or narrow-margin
     /// verdicts. Costs roughly 3× the resident weight bytes per model
     /// (both precisions stay resident); escalated verdicts match an
-    /// all-`f64` engine exactly.
+    /// all-`f64` engine exactly. Mutually exclusive with
+    /// `tensor_parallel` (the tiered engine is single-device).
     pub precision_tier: bool,
+    /// Serve every model through one tensor-parallel worker whose fused
+    /// backsubstitution row space is sharded across *all* pool devices
+    /// per layer step (margins bit-identical to a single-device run).
+    /// Weights are resident on every device; with it off, devices instead
+    /// hold disjoint models with hot-model replication.
+    pub tensor_parallel: bool,
 }
 
 impl RegistryConfig {
@@ -76,6 +96,7 @@ impl RegistryConfig {
             memory_budget: None,
             verify: VerifyConfig::default(),
             precision_tier: false,
+            tensor_parallel: false,
         }
     }
 }
@@ -93,13 +114,31 @@ pub enum SubmitError {
     Overloaded(String),
 }
 
-struct ModelEntry {
-    queue: std::sync::mpsc::SyncSender<WorkItem>,
-    join: Option<JoinHandle<()>>,
-    stats: Arc<ModelStats>,
+/// What happened to a query inside `enqueue_locked`.
+enum EnqueueOutcome {
+    /// Admitted; the worker will answer on this receiver.
+    Enqueued(Receiver<WorkReply>),
+    /// Every live replica's queue is full. The image is handed back so the
+    /// caller can retry after replicating the model onto another device.
+    Saturated(Vec<f32>),
 }
 
-impl ModelEntry {
+/// One worker serving a model: its admission queue, thread and the device
+/// footprint it occupies.
+struct Replica {
+    queue: std::sync::mpsc::SyncSender<WorkItem>,
+    join: Option<JoinHandle<()>>,
+    /// Every pool device this worker holds weights on (all of them for a
+    /// tensor-parallel worker, one otherwise). `devices[0]` is the *home*
+    /// device whose load gauge this replica's admissions charge.
+    devices: Vec<usize>,
+}
+
+impl Replica {
+    fn home(&self) -> usize {
+        self.devices[0]
+    }
+
     /// Closes the admission queue and waits for the worker to drain and
     /// drop its engine.
     fn shut_down(mut self) {
@@ -110,16 +149,43 @@ impl ModelEntry {
     }
 }
 
+struct ModelEntry {
+    /// The workers serving this model, in spawn order. Always non-empty
+    /// while the entry is in the map.
+    replicas: Vec<Replica>,
+    /// Shared across replicas: admission gauges, the eviction pin and the
+    /// wire counters are per *model*, not per replica.
+    stats: Arc<ModelStats>,
+}
+
+impl ModelEntry {
+    /// Closes every admission queue first (so replicas drain in parallel),
+    /// then joins all workers.
+    fn shut_down(self) {
+        let joins: Vec<JoinHandle<()>> = self
+            .replicas
+            .into_iter()
+            .filter_map(|mut r| {
+                drop(r.queue);
+                r.join.take()
+            })
+            .collect();
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
 /// The registry of resident models. See the module docs.
 pub struct Registry<B: Backend> {
-    device: Device<B>,
+    pool: Arc<DevicePool<B>>,
     cfg: RegistryConfig,
     epoch: Instant,
     entries: Mutex<HashMap<String, ModelEntry>>,
-    /// Per-model gates serializing concurrent cold loads: the first
-    /// requester loads, the rest block on the gate and then re-check the
-    /// entries map. Never held together with a long-running operation's
-    /// data locks — see [`Registry::submit`].
+    /// Per-model gates serializing concurrent cold loads and replications:
+    /// the first requester loads, the rest block on the gate and then
+    /// re-check the entries map. Never held together with a long-running
+    /// operation's data locks — see [`Registry::submit`].
     loading: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// `(input_len, outputs)` per model name, filled on first listing/load.
     meta: Mutex<HashMap<String, (usize, usize)>>,
@@ -127,10 +193,17 @@ pub struct Registry<B: Backend> {
 }
 
 impl<B: Backend> Registry<B> {
-    /// Creates a registry serving models from `cfg.model_dir` on `device`.
+    /// Creates a single-device registry serving models from
+    /// `cfg.model_dir` on `device` (a one-device pool).
     pub fn new(device: Device<B>, cfg: RegistryConfig) -> Self {
+        Self::with_pool(Arc::new(DevicePool::from_devices(vec![device])), cfg)
+    }
+
+    /// Creates a registry serving models from `cfg.model_dir` across a
+    /// device pool.
+    pub fn with_pool(pool: Arc<DevicePool<B>>, cfg: RegistryConfig) -> Self {
         Self {
-            device,
+            pool,
             cfg,
             epoch: Instant::now(),
             entries: Mutex::new(HashMap::new()),
@@ -140,9 +213,14 @@ impl<B: Backend> Registry<B> {
         }
     }
 
-    /// The shared device all resident engines run on.
+    /// The pool's first device (the only one for a single-device registry).
     pub fn device(&self) -> &Device<B> {
-        &self.device
+        self.pool.device(0)
+    }
+
+    /// The device pool all resident engines run on.
+    pub fn pool(&self) -> &Arc<DevicePool<B>> {
+        &self.pool
     }
 
     /// The active configuration.
@@ -234,15 +312,48 @@ impl<B: Backend> Registry<B> {
         // enqueues (load/evict ping-pong). Retrying a few times absorbs
         // benign races; past that the honest answer is backpressure, not
         // an unbounded stall inside submit.
+        let mut image = image;
         for _attempt in 0..8 {
             if self.closed.load(Ordering::Acquire) {
                 return Err(SubmitError::Overloaded("daemon shutting down".into()));
             }
-            {
+            let saturated = {
                 let mut entries = self.entries.lock();
                 if entries.contains_key(model) {
-                    return self.enqueue_locked(&mut entries, model, image, label, eps, kind);
+                    match self.enqueue_locked(&mut entries, model, image, label, eps, kind)? {
+                        EnqueueOutcome::Enqueued(rx) => return Ok(rx),
+                        // Every replica's queue is full: maybe replicate.
+                        EnqueueOutcome::Saturated(img) => {
+                            image = img;
+                            true
+                        }
+                    }
+                } else {
+                    false
                 }
+            };
+            if saturated {
+                // A saturated model replicates onto a device not yet
+                // holding it — unless every model already spans the pool
+                // (tensor-parallel mode) or the pool is covered, in which
+                // case the honest answer is the same structured overload
+                // as a full single-device queue.
+                let can_replicate = !self.cfg.tensor_parallel
+                    && self.pool.len() > 1
+                    && self.pool.replication_candidate(model).is_some();
+                if can_replicate && self.replicate(model)? {
+                    continue; // retry through the widened replica set
+                }
+                if let Some(entry) = self.entries.lock().get(model) {
+                    entry
+                        .stats
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(SubmitError::Overloaded(format!(
+                    "admission queue for `{model}` is full ({} waiting)",
+                    self.cfg.queue_cap
+                )));
             }
             // Cold path only (a resident model must stay serveable even if
             // its backing file vanished, and hot traffic must not stat the
@@ -304,7 +415,7 @@ impl<B: Backend> Registry<B> {
         label: usize,
         eps: f32,
         kind: WorkKind,
-    ) -> Result<Receiver<WorkReply>, SubmitError> {
+    ) -> Result<EnqueueOutcome, SubmitError> {
         let entry = entries.get(model).expect("caller checked");
         entry
             .stats
@@ -343,14 +454,28 @@ impl<B: Backend> Registry<B> {
         let (reply, rx) = std::sync::mpsc::channel();
         // Gauge up *before* try_send: the worker decrements when it pops
         // (cost when it answers), so the pairs can never go negative, and a
-        // successfully queued item is always counted.
+        // successfully queued item is always counted. The eviction pin
+        // rides the same discipline — pinned at admission, released by the
+        // worker's reply (or the rollback below), so make_room can never
+        // observe a window where admitted work isn't pinned.
         entry.stats.queue_depth.fetch_add(1, Ordering::AcqRel);
         entry.stats.in_flight.fetch_add(1, Ordering::AcqRel);
         entry
             .stats
             .pending_cost_us
             .fetch_add(cost_us, Ordering::AcqRel);
-        match entry.queue.try_send(WorkItem {
+        entry.stats.pin();
+
+        // Route to the least-loaded replica, falling back through the rest
+        // in ascending load order when queues are full.
+        let mut order: Vec<usize> = (0..entry.replicas.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                self.pool.load(entry.replicas[i].home()),
+                entry.replicas[i].home(),
+            )
+        });
+        let mut item = WorkItem {
             image,
             label,
             eps,
@@ -361,40 +486,111 @@ impl<B: Backend> Registry<B> {
             deadline: Some(Instant::now() + self.cfg.request_timeout),
             cost_us,
             reply,
-        }) {
-            Ok(()) => Ok(rx),
-            Err(err) => {
-                entry.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
-                entry.stats.in_flight.fetch_sub(1, Ordering::AcqRel);
-                entry
-                    .stats
-                    .pending_cost_us
-                    .fetch_sub(cost_us, Ordering::AcqRel);
-                match err {
-                    TrySendError::Full(_) => {
-                        entry
-                            .stats
-                            .rejected_overload
-                            .fetch_add(1, Ordering::Relaxed);
-                        Err(SubmitError::Overloaded(format!(
-                            "admission queue for `{model}` is full ({} waiting)",
-                            self.cfg.queue_cap
-                        )))
-                    }
-                    TrySendError::Disconnected(_) => {
-                        // The worker died (it can only exit when its queue
-                        // closes or its thread panicked fatally at startup);
-                        // drop the corpse so a retry reloads cleanly.
-                        if let Some(dead) = entries.remove(model) {
-                            dead.shut_down();
-                        }
-                        Err(SubmitError::LoadFailed(format!(
-                            "model worker for `{model}` is gone; retry to reload"
-                        )))
-                    }
+        };
+        let mut dead: Vec<usize> = Vec::new();
+        for i in order {
+            let replica = &entry.replicas[i];
+            match replica.queue.try_send(item) {
+                Ok(()) => {
+                    // Charge the replica's home device so least-loaded
+                    // routing sees this item until the worker retires it.
+                    self.pool.note_enqueued(replica.home(), cost_us.max(1));
+                    return Ok(EnqueueOutcome::Enqueued(rx));
+                }
+                Err(TrySendError::Full(it)) => item = it,
+                Err(TrySendError::Disconnected(it)) => {
+                    item = it;
+                    dead.push(i);
                 }
             }
         }
+
+        // Nothing accepted the item: roll every admission gauge back.
+        entry.stats.queue_depth.fetch_sub(1, Ordering::AcqRel);
+        entry.stats.in_flight.fetch_sub(1, Ordering::AcqRel);
+        entry
+            .stats
+            .pending_cost_us
+            .fetch_sub(cost_us, Ordering::AcqRel);
+        entry.stats.unpin();
+
+        if !dead.is_empty() {
+            // A worker died (it can only exit when its queue closes or its
+            // thread panicked fatally); prune the corpses so retries route
+            // around them, and drop the whole entry when none survive.
+            let entry = entries.get_mut(model).expect("caller checked");
+            for &i in dead.iter().rev() {
+                let corpse = entry.replicas.remove(i);
+                self.pool.remove_replica(model, corpse.home());
+                corpse.shut_down();
+            }
+            if entry.replicas.is_empty() {
+                if let Some(empty) = entries.remove(model) {
+                    self.pool.remove_model(model);
+                    empty.shut_down();
+                }
+                return Err(SubmitError::LoadFailed(format!(
+                    "model worker for `{model}` is gone; retry to reload"
+                )));
+            }
+        }
+        Ok(EnqueueOutcome::Saturated(item.image))
+    }
+
+    /// The f32-weight bytes a resident copy of `net` will pin per device,
+    /// scaled for the tiered worker's double residency.
+    fn incoming_bytes(&self, net: &Network<f32>) -> usize {
+        // A tiered worker keeps both precisions resident: f32 + f64 weights
+        // are 3× the f32 bytes, so budget-driven eviction must make room
+        // for the real footprint up front.
+        let tier_factor = if self.cfg.precision_tier { 3 } else { 1 };
+        net.param_count() * std::mem::size_of::<f32>() * tier_factor
+    }
+
+    /// The devices a fresh worker for `model` should span: the whole pool
+    /// in tensor-parallel mode, else the model's sticky least-loaded
+    /// placement.
+    fn placement(&self, model: &str) -> Vec<usize> {
+        if self.cfg.tensor_parallel && self.pool.len() > 1 {
+            (0..self.pool.len()).collect()
+        } else {
+            vec![self.pool.place(model)]
+        }
+    }
+
+    /// Spawns one worker for `model` spanning `device_indices`, wiring its
+    /// reply path to retire admission charges from the home device's load
+    /// gauge.
+    fn spawn_replica(
+        &self,
+        model: &str,
+        net: Network<f32>,
+        device_indices: &[usize],
+        stats: Arc<ModelStats>,
+    ) -> Result<Replica, SubmitError> {
+        let devices: Vec<Device<B>> = device_indices
+            .iter()
+            .map(|&i| self.pool.device(i).clone())
+            .collect();
+        let home = device_indices[0];
+        let pool = self.pool.clone();
+        let (queue, join) = spawn_worker(
+            model.to_string(),
+            net,
+            devices,
+            self.cfg.verify,
+            self.cfg.policy,
+            self.cfg.queue_cap,
+            self.cfg.precision_tier,
+            stats,
+            Arc::new(move |cost| pool.note_done(home, cost.max(1))),
+        )
+        .map_err(SubmitError::LoadFailed)?;
+        Ok(Replica {
+            queue,
+            join: Some(join),
+            devices: device_indices.to_vec(),
+        })
     }
 
     /// Loads `model` into a resident worker. Caller holds the model's
@@ -412,31 +608,17 @@ impl<B: Backend> Registry<B> {
             model.to_string(),
             (net.input_shape().len(), net.output_len()),
         );
-        // A tiered worker keeps both precisions resident: f32 + f64 weights
-        // are 3× the f32 bytes, so budget-driven eviction must make room
-        // for the real footprint up front.
-        let tier_factor = if self.cfg.precision_tier { 3 } else { 1 };
-        let incoming = net.param_count() * std::mem::size_of::<f32>() * tier_factor;
+        let incoming = self.incoming_bytes(&net);
+        let device_indices = self.placement(model);
         {
             let mut entries = self.entries.lock();
-            self.make_room(&mut entries, incoming)?;
+            self.make_room(&mut entries, incoming, &device_indices)?;
         }
         let stats = Arc::new(ModelStats::default());
         stats.last_used_ms.store(self.now_ms(), Ordering::Release);
-        let (queue, join) = spawn_worker(
-            model.to_string(),
-            net,
-            self.device.clone(),
-            self.cfg.verify,
-            self.cfg.policy,
-            self.cfg.queue_cap,
-            self.cfg.precision_tier,
-            stats.clone(),
-        )
-        .map_err(SubmitError::LoadFailed)?;
+        let replica = self.spawn_replica(model, net, &device_indices, stats.clone())?;
         let entry = ModelEntry {
-            queue,
-            join: Some(join),
+            replicas: vec![replica],
             stats,
         };
         {
@@ -445,20 +627,133 @@ impl<B: Backend> Registry<B> {
             // already swept the map must not be followed by a late insert
             // whose worker nobody would ever join.
             if !self.closed.load(Ordering::Acquire) {
+                for &idx in &device_indices {
+                    self.pool.add_replica(model, idx);
+                }
                 entries.insert(model.to_string(), entry);
                 return Ok(());
             }
         }
+        self.pool.remove_model(model);
         entry.shut_down();
         Err(SubmitError::Overloaded("daemon shutting down".into()))
     }
 
-    /// Reclaims device memory until `incoming` more bytes fit under the
-    /// budget: shelved pool bytes first (an idle cache, cheaper to drop
-    /// than a model), then LRU idle models.
+    /// Adds one replica of a saturated resident model on the least-loaded
+    /// device not already holding it, serialized through the model's
+    /// loading gate. Returns `true` when the caller should retry admission
+    /// (a replica was added, or another thread changed the replica set
+    /// meanwhile) and `false` when replication cannot help right now —
+    /// the caller then bounces with the structured overload.
+    ///
+    /// The entry is **pinned** for the whole spawn: the new engine is built
+    /// outside the entries lock, and without the pin a concurrent load's
+    /// make-room sweep could evict the very model being replicated.
+    fn replicate(&self, model: &str) -> Result<bool, SubmitError> {
+        struct GateCleanup<'a, B: Backend>(&'a Registry<B>, &'a str);
+        impl<B: Backend> Drop for GateCleanup<'_, B> {
+            fn drop(&mut self) {
+                self.0.loading.lock().remove(self.1);
+            }
+        }
+        /// Drops the replication pin on every exit path, including unwinds.
+        struct Unpin<'a>(&'a ModelStats);
+        impl Drop for Unpin<'_> {
+            fn drop(&mut self) {
+                self.0.unpin();
+            }
+        }
+
+        let claimed = {
+            let mut loading = self.loading.lock();
+            match loading.get(model) {
+                Some(gate) => Err(gate.clone()),
+                None => {
+                    let gate = Arc::new(Mutex::new(()));
+                    loading.insert(model.to_string(), gate.clone());
+                    Ok(gate)
+                }
+            }
+        };
+        let gate = match claimed {
+            Err(gate) => {
+                // Someone else is loading or replicating this model: wait
+                // for them, then retry admission against their result.
+                drop(gate.lock());
+                return Ok(true);
+            }
+            Ok(gate) => gate,
+        };
+        let _cleanup = GateCleanup(self, model);
+        let _guard = gate.lock();
+
+        let (stats, replica_count) = {
+            let entries = self.entries.lock();
+            match entries.get(model) {
+                // Evicted while we claimed the gate; the cold-load path
+                // will reload it on retry.
+                None => return Ok(true),
+                Some(entry) => {
+                    entry.stats.pin();
+                    (entry.stats.clone(), entry.replicas.len())
+                }
+            }
+        };
+        let _unpin = Unpin(&stats);
+
+        let Some(candidate) = self.pool.replication_candidate(model) else {
+            return Ok(false);
+        };
+        // Failures from here on don't fail the request — the model is
+        // still serveable on its existing replicas, so the caller bounces
+        // with overload instead of surfacing a replication-internal error.
+        if !self.model_file_exists(model) {
+            return Ok(false);
+        }
+        let Ok(net) = store::load::<f32>(&self.cfg.model_dir, model) else {
+            return Ok(false);
+        };
+        let incoming = self.incoming_bytes(&net);
+        {
+            let mut entries = self.entries.lock();
+            if self
+                .make_room(&mut entries, incoming, &[candidate])
+                .is_err()
+            {
+                return Ok(false);
+            }
+        }
+        let Ok(replica) = self.spawn_replica(model, net, &[candidate], stats.clone()) else {
+            return Ok(false);
+        };
+        {
+            let mut entries = self.entries.lock();
+            if !self.closed.load(Ordering::Acquire) {
+                if let Some(entry) = entries.get_mut(model) {
+                    if entry.replicas.len() == replica_count {
+                        entry.replicas.push(replica);
+                        self.pool.add_replica(model, candidate);
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        // The entry changed (or the daemon is closing) while we were
+        // spawning: discard the fresh worker and let the caller retry.
+        replica.shut_down();
+        Ok(true)
+    }
+
+    /// Reclaims memory on each target device until `incoming` more bytes
+    /// fit under its (per-device) budget: shelved pool bytes first (an
+    /// idle cache, cheaper to drop than a model), then LRU **unpinned**
+    /// models resident on that device. A pinned model has admitted work a
+    /// worker still owes replies for (or a replica spawn in progress), so
+    /// evicting it would race the worker — it is never a victim, however
+    /// stale its LRU stamp.
     ///
     /// The budget is enforced at admission time; concurrent loads that
-    /// both passed this check can transiently overshoot it, and the
+    /// both passed this check can transiently overshoot it, and each
     /// device's own capacity (set to the budget by the server) is the
     /// hard backstop — engines fall back to host-resident weights and
     /// chunked backsubstitution rather than failing.
@@ -466,42 +761,51 @@ impl<B: Backend> Registry<B> {
         &self,
         entries: &mut HashMap<String, ModelEntry>,
         incoming: usize,
+        device_indices: &[usize],
     ) -> Result<(), SubmitError> {
         let Some(budget) = self.cfg.memory_budget else {
             return Ok(());
         };
-        // Clear the pool at most once per call: active workers re-shelve
-        // buffers continuously, so "pool non-empty" alone must never keep
-        // this loop (which holds the entries lock) spinning.
-        let mut pool_cleared = false;
-        loop {
-            if self.device.memory_in_use().saturating_add(incoming) <= budget {
-                return Ok(());
-            }
-            if !pool_cleared && self.device.buffer_pool_bytes() > 0 {
-                self.device.buffer_pool_clear();
-                pool_cleared = true;
-                continue;
-            }
-            let victim = entries
-                .iter()
-                .filter(|(_, e)| e.stats.idle())
-                .min_by_key(|(_, e)| e.stats.last_used_ms.load(Ordering::Acquire))
-                .map(|(name, _)| name.clone());
-            match victim {
-                Some(name) => {
-                    let entry = entries.remove(&name).expect("victim exists");
-                    entry.shut_down();
+        for &idx in device_indices {
+            let device = self.pool.device(idx);
+            // Clear the buffer pool at most once per device: active workers
+            // re-shelve buffers continuously, so "pool non-empty" alone must
+            // never keep this loop (which holds the entries lock) spinning.
+            let mut pool_cleared = false;
+            loop {
+                if device.memory_in_use().saturating_add(incoming) <= budget {
+                    break;
                 }
-                None => {
-                    return Err(SubmitError::Overloaded(format!(
-                        "memory budget exhausted ({} of {budget} bytes in use, \
-                         {incoming} more needed) and every resident model is busy",
-                        self.device.memory_in_use()
-                    )));
+                if !pool_cleared && device.buffer_pool_bytes() > 0 {
+                    device.buffer_pool_clear();
+                    pool_cleared = true;
+                    continue;
+                }
+                let victim = entries
+                    .iter()
+                    .filter(|(_, e)| !e.stats.is_pinned())
+                    .filter(|(_, e)| e.replicas.iter().any(|r| r.devices.contains(&idx)))
+                    .min_by_key(|(_, e)| e.stats.last_used_ms.load(Ordering::Acquire))
+                    .map(|(name, _)| name.clone());
+                match victim {
+                    Some(name) => {
+                        let entry = entries.remove(&name).expect("victim exists");
+                        self.pool.remove_model(&name);
+                        entry.shut_down();
+                    }
+                    None => {
+                        return Err(SubmitError::Overloaded(format!(
+                            "memory budget exhausted on device `{}` ({} of {budget} \
+                             bytes in use, {incoming} more needed) and every resident \
+                             model there is pinned by in-flight work",
+                            device.name(),
+                            device.memory_in_use()
+                        )));
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// Every model the daemon can serve (directory listing), with residency
@@ -590,6 +894,7 @@ impl<B: Backend> Registry<B> {
         let entry = self.entries.lock().remove(model);
         match entry {
             Some(entry) => {
+                self.pool.remove_model(model);
                 entry.shut_down();
                 true
             }
@@ -608,11 +913,12 @@ impl<B: Backend> Registry<B> {
     /// worker; all resident engines drop and their device memory returns.
     pub fn drain(&self) {
         self.closed.store(true, Ordering::Release);
-        let drained: Vec<ModelEntry> = {
+        let drained: Vec<(String, ModelEntry)> = {
             let mut entries = self.entries.lock();
-            entries.drain().map(|(_, e)| e).collect()
+            entries.drain().collect()
         };
-        for entry in drained {
+        for (name, entry) in drained {
+            self.pool.remove_model(&name);
             entry.shut_down();
         }
     }
@@ -769,6 +1075,158 @@ mod tests {
             stats[0].pending_cost_us, 0,
             "every admitted cost must be credited back on reply"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn models_with_in_flight_work_are_pinned_against_eviction() {
+        let dir = temp_dir("pinned");
+        write_model(&dir, "m1", 8, 24);
+        write_model(&dir, "m2", 8, 24);
+        // Budget fits exactly one ~1.2 KB resident model.
+        let mut cfg = RegistryConfig::new(&dir);
+        cfg.memory_budget = Some(2000);
+        // A long coalescing window keeps m1's query admitted-but-unanswered
+        // (hence pinned) while m2 tries to load.
+        cfg.policy = BatchPolicy {
+            max_batch: 16,
+            max_delay: Duration::from_millis(1500),
+        };
+        let registry = Registry::new(Device::default(), cfg);
+
+        let pending = registry.submit("m1", vec![0.5; 8], 0, 0.01).unwrap();
+        // m1 has one in-flight query: loading m2 needs its bytes, but the
+        // pin must win — the old idle()-based sweep raced the worker here.
+        match registry.submit("m2", vec![0.5; 8], 1, 0.01) {
+            Err(SubmitError::Overloaded(msg)) => {
+                assert!(msg.contains("pinned"), "untyped pressure bounce: {msg}")
+            }
+            other => panic!("expected Overloaded while m1 is pinned, got {other:?}"),
+        }
+        assert_eq!(registry.resident(), vec!["m1"]);
+        assert!(recv(pending).is_ok(), "the pinned model still answers");
+
+        // Once the reply is out the pin is gone: m2 now evicts m1 cleanly.
+        assert!(recv(registry.submit("m2", vec![0.5; 8], 1, 0.01).unwrap()).is_ok());
+        let resident = registry.resident();
+        assert!(resident.contains(&"m2".to_string()), "{resident:?}");
+        assert!(!resident.contains(&"m1".to_string()), "{resident:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saturated_models_replicate_onto_idle_devices() {
+        use gpupoly_device::DeviceConfig;
+        use gpupoly_shard::DevicePool;
+        let dir = temp_dir("replicate");
+        // A wide two-hidden-layer model so each single-query verify keeps
+        // its worker measurably busy — the saturation below is sequenced on
+        // that, not on sleeps.
+        let mix = |i: usize| ((((i + 5) * 2654435761) % 997) as f32 / 499.0 - 1.0) * 0.2;
+        let wide = NetworkBuilder::new_flat(8)
+            .dense_flat(150, (0..150 * 8).map(mix).collect(), vec![0.0; 150])
+            .relu()
+            .dense_flat(150, (0..150 * 150).map(mix).collect(), vec![0.0; 150])
+            .relu()
+            .dense_flat(3, (0..3 * 150).map(mix).collect(), vec![0.0; 3])
+            .build()
+            .unwrap();
+        store::save(&dir, "m", &wide).unwrap();
+
+        let mut cfg = RegistryConfig::new(&dir);
+        // Single-query batches + a one-slot queue: one verify in flight and
+        // one queued item saturate a replica.
+        cfg.queue_cap = 1;
+        cfg.policy = BatchPolicy {
+            max_batch: 1,
+            max_delay: Duration::from_millis(1),
+        };
+        let pool: Arc<DevicePool<gpupoly_device::CpuSimBackend>> =
+            Arc::new(DevicePool::build(2, DeviceConfig::new().workers(1)));
+        let registry = Registry::with_pool(pool.clone(), cfg);
+
+        // Waits until every queued item has been popped (the workers are
+        // busy verifying, their queues empty) so the next submission lands
+        // in a known queue state.
+        let drained_queues = |registry: &Registry<gpupoly_device::CpuSimBackend>| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let stats = registry.model_stats();
+                if stats[0].queue_depth == 0 {
+                    return;
+                }
+                assert!(Instant::now() < deadline, "workers never popped: {stats:?}");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        // q1 occupies the worker, q2 fills its one-slot queue.
+        let q1 = registry.submit("m", vec![0.5; 8], 0, 0.01).unwrap();
+        assert_eq!(pool.replicas("m").len(), 1, "cold load places one replica");
+        drained_queues(&registry);
+        let q2 = registry.submit("m", vec![0.45; 8], 1, 0.01).unwrap();
+        // q3 finds every queue full: the model replicates onto the second
+        // device instead of bouncing, and the query rides the new replica.
+        let q3 = registry.submit("m", vec![0.4; 8], 2, 0.01).unwrap();
+        assert_eq!(
+            pool.replicas("m").len(),
+            2,
+            "saturation must have replicated the model"
+        );
+        assert!(
+            pool.device(0).memory_in_use() > 0 && pool.device(1).memory_in_use() > 0,
+            "weights resident on both devices"
+        );
+        for rx in [q1, q2, q3] {
+            assert!(recv(rx).is_ok());
+        }
+        let stats = registry.model_stats();
+        assert_eq!(stats[0].completed, 3);
+        assert_eq!(stats[0].rejected_overload, 0, "nothing bounced");
+
+        // With the pool covered, saturation of both replicas bounces with
+        // the structured overload: two verifying workers, two full queues,
+        // and a fifth query with nowhere left to replicate.
+        let busy_a = registry.submit("m", vec![0.5; 8], 0, 0.01).unwrap();
+        drained_queues(&registry);
+        let busy_b = registry.submit("m", vec![0.44; 8], 1, 0.01).unwrap();
+        drained_queues(&registry);
+        let queued_a = registry.submit("m", vec![0.43; 8], 2, 0.01).unwrap();
+        let queued_b = registry.submit("m", vec![0.42; 8], 0, 0.01).unwrap();
+        match registry.submit("m", vec![0.41; 8], 1, 0.01) {
+            Err(SubmitError::Overloaded(msg)) => {
+                assert!(msg.contains("full"), "untyped bounce: {msg}")
+            }
+            other => panic!("expected Overloaded on a covered pool, got {other:?}"),
+        }
+        for rx in [busy_a, busy_b, queued_a, queued_b] {
+            assert!(recv(rx).is_ok());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tensor_parallel_registry_spans_the_pool_per_model() {
+        use gpupoly_device::DeviceConfig;
+        use gpupoly_shard::DevicePool;
+        let dir = temp_dir("tp");
+        write_model(&dir, "m", 8, 24);
+        let mut cfg = RegistryConfig::new(&dir);
+        cfg.tensor_parallel = true;
+        let pool: Arc<DevicePool<gpupoly_device::CpuSimBackend>> =
+            Arc::new(DevicePool::build(2, DeviceConfig::new().workers(1)));
+        let registry = Registry::with_pool(pool.clone(), cfg);
+
+        assert!(recv(registry.submit("m", vec![0.5; 8], 0, 0.01).unwrap()).is_ok());
+        // One worker, weights resident on every pool device.
+        assert_eq!(pool.replicas("m").len(), 2);
+        assert!(
+            pool.device(0).memory_in_use() > 0 && pool.device(1).memory_in_use() > 0,
+            "tensor-parallel weights span the pool"
+        );
+        registry.drain();
+        assert_eq!(pool.device(0).memory_in_use(), 0);
+        assert_eq!(pool.device(1).memory_in_use(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

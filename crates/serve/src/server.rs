@@ -2,15 +2,17 @@
 //! mapping from every failure to a typed protocol error.
 //!
 //! One thread per connection reads line-delimited JSON frames and answers
-//! each with exactly one reply line. All request handling is wrapped in
-//! `catch_unwind`, and worker replies are awaited with a deadline, so a
-//! connection can observe `error` replies but never a panic, a silent drop
-//! or an unbounded hang.
+//! each with exactly one reply line. Frames carrying an `"id"` are
+//! dispatched concurrently and may be answered out of order (the id is
+//! echoed back); id-less frames keep the legacy synchronous in-order
+//! contract. All request handling is wrapped in `catch_unwind`, and worker
+//! replies are awaited with a deadline, so a connection can observe `error`
+//! replies but never a panic, a silent drop or an unbounded hang.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -18,10 +20,14 @@ use std::time::Duration;
 
 use gpupoly_core::{CompleteVerdict, RefineBudget, VerifyConfig, VerifyError};
 use gpupoly_device::{Backend, Device, DeviceConfig};
+use gpupoly_shard::DevicePool;
+use parking_lot::Mutex;
+use serde::Value;
 
 use crate::batcher::{BatchPolicy, WorkError, WorkOutput};
 use crate::protocol::{
-    CompleteStatus, DeviceStatsWire, ErrorCode, Reply, Request, StatsReply, WireMargin,
+    frame_id, frame_with_id, CompleteStatus, DeviceStatsWire, ErrorCode, Reply, Request,
+    StatsReply, WireMargin,
 };
 use crate::registry::{Registry, RegistryConfig, SubmitError};
 
@@ -54,6 +60,14 @@ pub struct ServerConfig {
     /// Serve through precision-tiered engines (`f32` fast pass, sound
     /// `f64` escalation). See `RegistryConfig::precision_tier`.
     pub precision_tier: bool,
+    /// Number of pool devices to build (`workers` and `memory_budget`
+    /// apply per device). With more than one device, models are placed
+    /// least-loaded and hot models replicate onto idle devices.
+    pub devices: usize,
+    /// Serve every model tensor-parallel across the whole pool instead of
+    /// replicating (see `RegistryConfig::tensor_parallel`). Mutually
+    /// exclusive with `precision_tier`.
+    pub tensor_parallel: bool,
 }
 
 impl ServerConfig {
@@ -70,6 +84,8 @@ impl ServerConfig {
             max_frame_len: 8 << 20,
             verify: VerifyConfig::default(),
             precision_tier: false,
+            devices: 1,
+            tensor_parallel: false,
         }
     }
 }
@@ -89,25 +105,43 @@ pub struct Server<B: Backend> {
 }
 
 impl<B: Backend + Default> Server<B> {
-    /// Binds `addr` (port 0 = ephemeral) and builds the shared device and
+    /// Binds `addr` (port 0 = ephemeral) and builds the device pool and
     /// registry. Nothing is served until [`Server::run`] or
     /// [`Server::spawn`].
     ///
     /// # Errors
     ///
-    /// Any socket error from binding.
+    /// Any socket error from binding, or `InvalidInput` when
+    /// `tensor_parallel` is combined with `precision_tier` (the tiered
+    /// engine is single-device).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Self> {
+        if cfg.tensor_parallel && cfg.precision_tier {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "tensor-parallel serving and the precision tier are mutually exclusive",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
-        let mut dev_cfg = DeviceConfig::new().name("gpupoly-serve");
-        if let Some(workers) = cfg.workers {
-            dev_cfg = dev_cfg.workers(workers);
-        }
-        if let Some(budget) = cfg.memory_budget {
-            dev_cfg = dev_cfg.memory_capacity(budget);
-        }
-        let device = Device::with_backend(B::default(), dev_cfg);
-        let registry = Registry::new(
-            device,
+        let n = cfg.devices.max(1);
+        let devices: Vec<Device<B>> = (0..n)
+            .map(|i| {
+                let name = if n == 1 {
+                    "gpupoly-serve".to_string()
+                } else {
+                    format!("gpupoly-serve-d{i}")
+                };
+                let mut dev_cfg = DeviceConfig::new().name(name);
+                if let Some(workers) = cfg.workers {
+                    dev_cfg = dev_cfg.workers(workers);
+                }
+                if let Some(budget) = cfg.memory_budget {
+                    dev_cfg = dev_cfg.memory_capacity(budget);
+                }
+                Device::with_backend(B::default(), dev_cfg)
+            })
+            .collect();
+        let registry = Registry::with_pool(
+            Arc::new(DevicePool::from_devices(devices)),
             RegistryConfig {
                 model_dir: cfg.model_dir,
                 policy: cfg.policy,
@@ -117,6 +151,7 @@ impl<B: Backend + Default> Server<B> {
                 memory_budget: cfg.memory_budget,
                 verify: cfg.verify,
                 precision_tier: cfg.precision_tier,
+                tensor_parallel: cfg.tensor_parallel,
             },
         );
         Ok(Self {
@@ -246,15 +281,24 @@ impl<B: Backend> Drop for ServerHandle<B> {
     }
 }
 
+/// Maximum concurrently-outstanding multiplexed requests per connection.
+/// Id-carrying frames beyond this window earn a typed `overloaded` reply
+/// (with their id) instead of an unbounded thread pile-up.
+const MUX_WINDOW: usize = 64;
+
 fn handle_connection<B: Backend>(stream: TcpStream, registry: &Registry<B>, limits: ConnLimits) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut writer = stream;
+    let writer = Mutex::new(stream);
     let mut reader = BufReader::new(read_half);
     let mut buf = Vec::new();
-    loop {
+    let outstanding = AtomicUsize::new(0);
+    // The scope joins every in-flight multiplexed request before the
+    // connection thread exits, so a reply is never written to a socket the
+    // loop has already abandoned to another connection's reuse.
+    std::thread::scope(|scope| loop {
         let line = match read_frame(&mut reader, &mut buf, limits.max_frame_len) {
             FrameRead::Frame(line) => line,
             FrameRead::TooLong => {
@@ -266,7 +310,7 @@ fn handle_connection<B: Backend>(stream: TcpStream, registry: &Registry<B>, limi
                     ErrorCode::ParseError,
                     format!("frame exceeds {} bytes", limits.max_frame_len),
                 );
-                if write_reply(&mut writer, &reply).is_err() {
+                if write_framed(&writer, &reply, None).is_err() {
                     break;
                 }
                 continue;
@@ -276,21 +320,76 @@ fn handle_connection<B: Backend>(stream: TcpStream, registry: &Registry<B>, limi
         if line.trim().is_empty() {
             continue;
         }
-        // A panic anywhere below must surface as a typed reply on this
-        // connection, not as a dead socket.
-        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_line(&line, registry, limits.request_timeout)
-        }))
-        .unwrap_or_else(|_| {
-            Reply::error(
-                ErrorCode::Internal,
-                "request handling panicked; the connection survives",
-            )
-        });
-        if write_reply(&mut writer, &reply).is_err() {
-            break;
+        let value: Value = match serde_json::from_str(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                let reply = Reply::error(ErrorCode::ParseError, format!("invalid JSON: {e}"));
+                if write_framed(&writer, &reply, None).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let id = match frame_id(&value) {
+            Ok(id) => id,
+            Err(e) => {
+                // The id itself is malformed, so no id can be echoed.
+                let reply = Reply::error(ErrorCode::BadRequest, format!("bad frame id: {e}"));
+                if write_framed(&writer, &reply, None).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        match id {
+            // Id-less frame: the legacy synchronous contract — one reply,
+            // in order, before the next frame is read.
+            None => {
+                let reply = guarded_reply(&value, registry, limits.request_timeout);
+                if write_framed(&writer, &reply, None).is_err() {
+                    break;
+                }
+            }
+            // Multiplexed frame: dispatch concurrently, echo the id.
+            Some(id) => {
+                if outstanding.load(Ordering::Acquire) >= MUX_WINDOW {
+                    let reply = Reply::error(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "more than {MUX_WINDOW} multiplexed requests outstanding on this connection"
+                        ),
+                    );
+                    if write_framed(&writer, &reply, Some(id)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                outstanding.fetch_add(1, Ordering::AcqRel);
+                let (writer, outstanding) = (&writer, &outstanding);
+                scope.spawn(move || {
+                    let reply = guarded_reply(&value, registry, limits.request_timeout);
+                    // A write error here ends only this request; the read
+                    // loop observes the dead socket on its own.
+                    let _ = write_framed(writer, &reply, Some(id));
+                    outstanding.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
         }
-    }
+    });
+}
+
+/// Computes the reply for one parsed frame, converting panics into typed
+/// `internal` errors so a connection never observes a dead socket.
+fn guarded_reply<B: Backend>(value: &Value, registry: &Registry<B>, timeout: Duration) -> Reply {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_value(value, registry, timeout)
+    }))
+    .unwrap_or_else(|_| {
+        Reply::error(
+            ErrorCode::Internal,
+            "request handling panicked; the connection survives",
+        )
+    })
 }
 
 enum FrameRead {
@@ -334,25 +433,25 @@ fn read_frame(reader: &mut impl BufRead, buf: &mut Vec<u8>, max_len: usize) -> F
     }
 }
 
-/// Serializes one reply as a single line.
-///
-/// # Errors
-///
-/// Any socket write error (the caller drops the connection).
-pub(crate) fn write_reply(writer: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
-    let text = serde_json::to_string(reply).map_err(std::io::Error::other)?;
-    writer.write_all(text.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+/// Writes one reply line behind the connection's shared write lock,
+/// echoing the request id when present. The lock scope covers the whole
+/// line, so concurrent multiplexed replies never interleave bytes.
+fn write_framed(writer: &Mutex<TcpStream>, reply: &Reply, id: Option<u64>) -> std::io::Result<()> {
+    let framed = frame_with_id(reply, id);
+    let text = serde_json::to_string(&framed).map_err(std::io::Error::other)?;
+    let mut w = writer.lock();
+    w.write_all(text.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
 }
 
-fn handle_line<B: Backend>(line: &str, registry: &Registry<B>, request_timeout: Duration) -> Reply {
-    use serde::{Deserialize, Value};
-    let value: Value = match serde_json::from_str(line) {
-        Ok(v) => v,
-        Err(e) => return Reply::error(ErrorCode::ParseError, format!("invalid JSON: {e}")),
-    };
-    let request = match Request::from_value(&value) {
+fn handle_value<B: Backend>(
+    value: &Value,
+    registry: &Registry<B>,
+    request_timeout: Duration,
+) -> Reply {
+    use serde::Deserialize;
+    let request = match Request::from_value(value) {
         Ok(r) => r,
         Err(e) => return Reply::error(ErrorCode::BadRequest, e.to_string()),
     };
@@ -387,21 +486,56 @@ fn handle_line<B: Backend>(line: &str, registry: &Registry<B>, request_timeout: 
     }
 }
 
+fn device_wire<B: Backend>(device: &Device<B>) -> DeviceStatsWire {
+    DeviceStatsWire {
+        backend: device.backend().label().to_string(),
+        name: device.name().to_string(),
+        workers: device.workers() as u64,
+        memory_in_use: device.memory_in_use() as u64,
+        peak_memory: device.peak_memory() as u64,
+        capacity: device.memory_capacity().map(|c| c as u64),
+        bytes_allocated: device.stats().bytes_allocated(),
+        pool_bytes: device.buffer_pool_bytes() as u64,
+        launches: device.stats().launches(),
+        flops: device.stats().flops(),
+        bytes_moved: device.stats().bytes_moved(),
+    }
+}
+
+/// Sums a pool's per-device rows into the aggregate `device` row, so the
+/// top-level launch/FLOP/byte meters cover every device — not just device
+/// 0, which undercounts as soon as work shards or replicates. `capacity`
+/// is the pool total only when every device has a budget; a single-device
+/// pool reports that device verbatim.
+fn aggregate_device_stats(devices: &[DeviceStatsWire]) -> DeviceStatsWire {
+    if devices.len() == 1 {
+        return devices[0].clone();
+    }
+    DeviceStatsWire {
+        backend: devices
+            .first()
+            .map(|d| d.backend.clone())
+            .unwrap_or_default(),
+        name: format!("pool[{}]", devices.len()),
+        workers: devices.iter().map(|d| d.workers).sum(),
+        memory_in_use: devices.iter().map(|d| d.memory_in_use).sum(),
+        peak_memory: devices.iter().map(|d| d.peak_memory).sum(),
+        capacity: devices
+            .iter()
+            .try_fold(0u64, |acc, d| d.capacity.map(|c| acc + c)),
+        bytes_allocated: devices.iter().map(|d| d.bytes_allocated).sum(),
+        pool_bytes: devices.iter().map(|d| d.pool_bytes).sum(),
+        launches: devices.iter().map(|d| d.launches).sum(),
+        flops: devices.iter().map(|d| d.flops).sum(),
+        bytes_moved: devices.iter().map(|d| d.bytes_moved).sum(),
+    }
+}
+
 fn stats_snapshot<B: Backend>(registry: &Registry<B>) -> StatsReply {
-    let device = registry.device();
+    let devices: Vec<DeviceStatsWire> = registry.pool().devices().iter().map(device_wire).collect();
     StatsReply {
-        device: DeviceStatsWire {
-            backend: device.backend().label().to_string(),
-            workers: device.workers() as u64,
-            memory_in_use: device.memory_in_use() as u64,
-            peak_memory: device.peak_memory() as u64,
-            capacity: device.memory_capacity().map(|c| c as u64),
-            bytes_allocated: device.stats().bytes_allocated(),
-            pool_bytes: device.buffer_pool_bytes() as u64,
-            launches: device.stats().launches(),
-            flops: device.stats().flops(),
-            bytes_moved: device.stats().bytes_moved(),
-        },
+        device: aggregate_device_stats(&devices),
+        devices,
         models: registry.model_stats(),
     }
 }

@@ -63,12 +63,41 @@ pub struct ModelStats {
     pub cex_found: AtomicU64,
     /// Milliseconds since the registry epoch at last use (LRU key).
     pub last_used_ms: AtomicU64,
+    /// Eviction pin refcount: one pin per admitted-but-unanswered request,
+    /// plus one while a replica spawn is in progress. The registry's
+    /// make-room sweep may only evict models whose count is zero — a
+    /// **single** atomic, so there is no two-gauge read window in which a
+    /// model with live work can look evictable.
+    pub pinned: AtomicU64,
 }
 
 impl ModelStats {
     /// `true` when no request is queued or in flight — safe to evict.
     pub fn idle(&self) -> bool {
         self.queue_depth.load(Ordering::Acquire) == 0 && self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    /// Takes one eviction pin (admission, or a replica spawn in progress).
+    pub fn pin(&self) {
+        self.pinned.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Releases one eviction pin, saturating at zero so an unmatched
+    /// release can never wrap the count into a permanent pin. Every pin is
+    /// released on exactly one path: the worker's reply (including expiry
+    /// and panic replies) or the admission rollback when a send bounces.
+    pub fn unpin(&self) {
+        let _ = self
+            .pinned
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                Some(c.saturating_sub(1))
+            });
+    }
+
+    /// Whether any request or maintenance operation currently pins this
+    /// model against eviction.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned.load(Ordering::Acquire) > 0
     }
 
     /// Records one coalesced batch of `n` queries.

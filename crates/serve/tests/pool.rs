@@ -1,0 +1,226 @@
+//! End-to-end coverage of the sharded serving surface: the multiplexed
+//! wire (id-tagged pipelined frames over one connection) and a 2-device
+//! pool serving tensor-parallel — margins bit-identical to a single-device
+//! engine, per-device stats on the wire, both devices doing real work.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gpupoly_core::{Engine, Query, VerifyConfig};
+use gpupoly_device::{CpuSimBackend, Device, DeviceConfig};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::{store, Network};
+use gpupoly_serve::protocol::{Reply, Request};
+use gpupoly_serve::{Client, Server, ServerConfig};
+
+/// Deterministic dense ReLU net: `inputs → width (ReLU) → outputs`.
+fn make_net(seed: u64, inputs: usize, width: usize, outputs: usize) -> Network<f32> {
+    let mix = |i: usize, s: u64| {
+        ((((i as u64 + 11) * (s + 37)) * 2654435761 % 1999) as f32 / 999.0 - 1.0) * 0.4
+    };
+    NetworkBuilder::new_flat(inputs)
+        .dense_flat(
+            width,
+            (0..width * inputs).map(|i| mix(i, seed)).collect(),
+            (0..width).map(|i| mix(i, seed + 5) * 0.3).collect(),
+        )
+        .relu()
+        .dense_flat(
+            outputs,
+            (0..outputs * width).map(|i| mix(i, seed + 9)).collect(),
+            vec![0.0; outputs],
+        )
+        .build()
+        .expect("valid net")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gpupoly-pool-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One connection, many outstanding id-tagged requests: every reply comes
+/// back with its id (possibly out of order), an interleaved id-less frame
+/// keeps the synchronous contract, and the connection survives the lot.
+#[test]
+fn multiplexed_frames_answer_by_id_on_one_connection() {
+    let dir = temp_dir("mux");
+    let net = make_net(3, 6, 10, 3);
+    store::save(&dir, "alpha", &net).unwrap();
+    let server = Server::<CpuSimBackend>::bind("127.0.0.1:0", ServerConfig::new(&dir)).unwrap();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    // Pipeline 8 id-tagged verifies without reading a single reply.
+    const PIPELINED: u64 = 8;
+    for id in 0..PIPELINED {
+        let image: Vec<f32> = (0..6)
+            .map(|i| 0.2 + 0.05 * ((id as usize + i) % 9) as f32)
+            .collect();
+        client
+            .send_request(
+                &Request::Verify {
+                    model: "alpha".into(),
+                    image,
+                    label: id as usize % 3,
+                    eps: 0.01,
+                },
+                Some(id),
+            )
+            .expect("pipelined send");
+    }
+    let mut seen = [false; PIPELINED as usize];
+    for _ in 0..PIPELINED {
+        let (id, reply) = client.recv_any().expect("mux reply");
+        let id = id.expect("reply must echo its id") as usize;
+        assert!(matches!(reply, Reply::Verdict { .. }), "id {id}: {reply:?}");
+        assert!(!seen[id], "id {id} answered twice");
+        seen[id] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every pipelined id answered");
+
+    // An id-tagged error keeps its id too: bad label → typed error + id.
+    client
+        .send_request(
+            &Request::Verify {
+                model: "alpha".into(),
+                image: vec![0.5; 6],
+                label: 99,
+                eps: 0.01,
+            },
+            Some(1234),
+        )
+        .unwrap();
+    let (id, reply) = client.recv_any().unwrap();
+    assert_eq!(id, Some(1234));
+    assert!(matches!(reply, Reply::Error { .. }), "{reply:?}");
+
+    // Id-less frames still work on the same connection (legacy contract).
+    client.ping().expect("untagged frame after mux traffic");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A 2-device tensor-parallel pool serves margins bit-identical to a
+/// single-device engine, reports both devices on the stats wire, and the
+/// aggregate meters are the per-device sums — both devices did real work.
+#[test]
+fn tensor_parallel_pool_is_bit_identical_and_metered_per_device() {
+    let dir = temp_dir("tp");
+    let net = make_net(7, 8, 14, 4);
+    store::save(&dir, "beta", &net).unwrap();
+
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.devices = 2;
+    cfg.tensor_parallel = true;
+    cfg.workers = Some(1);
+    cfg.verify = VerifyConfig {
+        early_termination: false,
+        ..Default::default()
+    };
+    let server = Server::<CpuSimBackend>::bind("127.0.0.1:0", cfg).unwrap();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    let queries: Vec<(Vec<f32>, usize, f32)> = (0..6)
+        .map(|q| {
+            let image: Vec<f32> = (0..8)
+                .map(|i| 0.15 + 0.7 * (((q * 31 + i * 7) % 101) as f32 / 101.0))
+                .collect();
+            (image, q % 4, 0.005 + 0.003 * (q % 3) as f32)
+        })
+        .collect();
+    let mut served = Vec::new();
+    for (image, label, eps) in &queries {
+        served.push(client.verify("beta", image, *label, *eps).expect("verify"));
+    }
+
+    // Bit-identity against a direct single-device engine.
+    let direct_device = Device::with_backend(CpuSimBackend, DeviceConfig::new().workers(1));
+    let engine = Engine::new(
+        direct_device,
+        &net,
+        VerifyConfig {
+            early_termination: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let direct = engine.verify_batch(
+        &queries
+            .iter()
+            .map(|(image, label, eps)| Query::new(image.clone(), *label, *eps))
+            .collect::<Vec<_>>(),
+    );
+    for (s, d) in served.iter().zip(direct) {
+        let d = d.expect("direct verdict");
+        assert_eq!(s.verified, d.verified);
+        for (sm, dm) in s.margins.iter().zip(&d.margins) {
+            assert_eq!(sm.adversary, dm.adversary);
+            assert_eq!(sm.proven, dm.proven);
+            assert_eq!(
+                sm.lower.to_bits(),
+                dm.lower.to_bits(),
+                "tensor-parallel margin must be bit-identical to one device"
+            );
+        }
+    }
+
+    // Per-device breakdown on the wire: two named rows, both metered, and
+    // the aggregate row is their exact sum.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.devices.len(), 2, "{stats:?}");
+    assert!(stats.devices.iter().all(|d| !d.name.is_empty()));
+    assert!(
+        stats.devices.iter().all(|d| d.launches > 0 && d.flops > 0),
+        "the row-sharded walk must run kernels on every device: {:?}",
+        stats.devices
+    );
+    assert!(
+        stats.devices.iter().all(|d| d.memory_in_use > 0),
+        "tensor-parallel weights must be resident on every device"
+    );
+    assert_eq!(stats.device.name, "pool[2]");
+    assert_eq!(
+        stats.device.launches,
+        stats.devices.iter().map(|d| d.launches).sum::<u64>()
+    );
+    assert_eq!(
+        stats.device.flops,
+        stats.devices.iter().map(|d| d.flops).sum::<u64>()
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The tiered engine is single-device: combining it with tensor-parallel
+/// serving must be refused at bind time, not discovered at load time.
+#[test]
+fn tensor_parallel_excludes_precision_tier_at_bind() {
+    let dir = temp_dir("excl");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.devices = 2;
+    cfg.tensor_parallel = true;
+    cfg.precision_tier = true;
+    match Server::<CpuSimBackend>::bind("127.0.0.1:0", cfg) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(_) => panic!("tensor-parallel + precision-tier must be refused at bind"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

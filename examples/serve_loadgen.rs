@@ -9,13 +9,17 @@
 //!
 //! Run: `cargo run --release --example serve_loadgen`
 //! Env: `GPUPOLY_BACKEND=cpusim|reference` picks the kernel backend,
-//!      `LOADGEN_CLIENTS` / `LOADGEN_REQUESTS` scale the run.
+//!      `LOADGEN_CLIENTS` / `LOADGEN_REQUESTS` scale the run,
+//!      `LOADGEN_DEVICES` sizes the device pool (tensor-parallel when >1),
+//!      `LOADGEN_MUX` sets the pipelining window for the multiplexed leg
+//!      (0 disables it).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpupoly::device::{CpuSimBackend, ReferenceBackend};
 use gpupoly::nn::{builder::NetworkBuilder, store, Network};
+use gpupoly::serve::protocol::{Reply, Request};
 use gpupoly::serve::{BatchPolicy, Client, Server, ServerConfig};
 
 fn make_net(seed: u64, inputs: usize, width: usize, outputs: usize) -> Network<f32> {
@@ -66,6 +70,7 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive<B: gpupoly::device::Backend + Default>(
     dir: &std::path::Path,
     model: &str,
@@ -74,10 +79,14 @@ fn drive<B: gpupoly::device::Backend + Default>(
     policy: BatchPolicy,
     clients: usize,
     requests_per_client: usize,
+    devices: usize,
+    mux_window: usize,
 ) -> RunReport {
     let mut cfg = ServerConfig::new(dir);
     cfg.policy = policy;
     cfg.queue_cap = 4 * clients.max(1);
+    cfg.devices = devices;
+    cfg.tensor_parallel = devices > 1;
     let server = Server::<B>::bind("127.0.0.1:0", cfg).expect("bind");
     let registry = server.registry().clone();
     let handle = server.spawn();
@@ -96,8 +105,7 @@ fn drive<B: gpupoly::device::Backend + Default>(
         let model = model.clone();
         joins.push(std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect");
-            let mut latencies = Vec::with_capacity(requests_per_client);
-            for step in 0..requests_per_client {
+            let make_query = |step: usize| {
                 let image: Vec<f32> = (0..inputs)
                     .map(|i| {
                         0.15 + 0.7 * (((client_id * 131 + step * 29 + i * 7) % 101) as f32 / 101.0)
@@ -105,11 +113,52 @@ fn drive<B: gpupoly::device::Backend + Default>(
                     .collect();
                 let label = (client_id + step) % outputs;
                 let eps = 0.003 + 0.002 * ((client_id + step) % 4) as f32;
-                let t = Instant::now();
-                client
-                    .verify(&model, &image, label, eps)
-                    .expect("load query verifies");
+                (image, label, eps)
+            };
+            if mux_window == 0 {
+                // Classic closed loop: one id-less frame in flight.
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                for step in 0..requests_per_client {
+                    let (image, label, eps) = make_query(step);
+                    let t = Instant::now();
+                    client
+                        .verify(&model, &image, label, eps)
+                        .expect("load query verifies");
+                    latencies.push(t.elapsed());
+                }
+                return latencies;
+            }
+            // Multiplexed closed loop: keep up to `mux_window` id-tagged
+            // frames outstanding on the one connection, matching each
+            // (possibly out-of-order) reply back to its send time by id.
+            let mut sent_at = vec![None; requests_per_client];
+            let mut latencies = Vec::with_capacity(requests_per_client);
+            let mut next = 0usize;
+            let mut outstanding = 0usize;
+            while latencies.len() < requests_per_client {
+                while outstanding < mux_window && next < requests_per_client {
+                    let (image, label, eps) = make_query(next);
+                    sent_at[next] = Some(Instant::now());
+                    client
+                        .send_request(
+                            &Request::Verify {
+                                model: model.as_str().to_string(),
+                                image,
+                                label,
+                                eps,
+                            },
+                            Some(next as u64),
+                        )
+                        .expect("pipelined send");
+                    next += 1;
+                    outstanding += 1;
+                }
+                let (id, reply) = client.recv_any().expect("mux reply");
+                let id = id.expect("reply echoes its id") as usize;
+                assert!(matches!(reply, Reply::Verdict { .. }), "id {id}: {reply:?}");
+                let t = sent_at[id].take().expect("unknown or duplicate id");
                 latencies.push(t.elapsed());
+                outstanding -= 1;
             }
             latencies
         }));
@@ -140,6 +189,8 @@ fn main() {
     let backend = std::env::var("GPUPOLY_BACKEND").unwrap_or_else(|_| "cpusim".into());
     let clients = env_usize("LOADGEN_CLIENTS", 8);
     let requests = env_usize("LOADGEN_REQUESTS", 40);
+    let devices = env_usize("LOADGEN_DEVICES", 1).max(1);
+    let mux = env_usize("LOADGEN_MUX", 4);
 
     let dir = std::env::temp_dir().join(format!("gpupoly-loadgen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -180,23 +231,39 @@ fn main() {
 
     println!(
         "serve_loadgen: backend={backend} model={inputs}->{width}->{width}->{outputs} \
-         clients={clients} requests/client={requests}\n"
+         clients={clients} requests/client={requests} devices={devices}\n"
     );
     println!(
-        "{:<26} {:>10} {:>10} {:>10} {:>11}",
+        "{:<30} {:>10} {:>10} {:>10} {:>11}",
         "policy", "q/s", "p50", "p99", "mean batch"
     );
-    for (label, policy) in policies {
+    let mut runs: Vec<(String, BatchPolicy, usize)> = policies
+        .iter()
+        .map(|(label, policy)| (label.to_string(), *policy, 0))
+        .collect();
+    if mux > 0 {
+        // Re-run the coalescing-friendly policy with pipelined id-tagged
+        // frames: same connections, `mux` requests outstanding on each.
+        runs.push((
+            format!("batch<=32, delay 2ms, mux={mux}"),
+            BatchPolicy {
+                max_batch: 32,
+                max_delay: Duration::from_millis(2),
+            },
+            mux,
+        ));
+    }
+    for (label, policy, mux_window) in runs {
         let report = match backend.as_str() {
             "reference" => drive::<ReferenceBackend>(
-                &dir, "loadgen", inputs, outputs, policy, clients, requests,
+                &dir, "loadgen", inputs, outputs, policy, clients, requests, devices, mux_window,
             ),
-            _ => {
-                drive::<CpuSimBackend>(&dir, "loadgen", inputs, outputs, policy, clients, requests)
-            }
+            _ => drive::<CpuSimBackend>(
+                &dir, "loadgen", inputs, outputs, policy, clients, requests, devices, mux_window,
+            ),
         };
         println!(
-            "{:<26} {:>10.1} {:>10.2?} {:>10.2?} {:>11.2}",
+            "{:<30} {:>10.1} {:>10.2?} {:>10.2?} {:>11.2}",
             label, report.throughput, report.p50, report.p99, report.mean_batch
         );
     }

@@ -231,6 +231,65 @@ fn zoo_fused_margins_bit_identical_and_launches_collapse() {
     }
 }
 
+/// Tensor-parallel row sharding over the zoo: for every Table-1 build,
+/// `ShardedEngine::verify_batch_sharded` at N ∈ {1, 2, 4} devices returns
+/// margins **bit-identical** to the single-device fused path. Sharding is
+/// pure scheduling — contiguous row blocks with an ordered gather preserve
+/// each expression row's ascending-k accumulation exactly — so the margins
+/// must not drift by a single bit however the row space is split.
+#[test]
+fn zoo_sharded_margins_bit_identical_across_device_counts() {
+    use gpupoly::core::{EngineOptions, ShardedEngine};
+    for (arch, dataset, net) in zoo_builds() {
+        let id = format!("{}/{}", arch.name(), dataset.name());
+        let eps = family_eps(arch);
+        let k = if arch.is_residual() { 1 } else { 2 };
+        let qs = queries(&net, dataset.input_shape().len(), eps, k);
+
+        let single = Engine::new(
+            Device::new(DeviceConfig::new().workers(2)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .expect("single engine");
+        let want = single.verify_batch_fused(&qs);
+
+        for n in [1usize, 2, 4] {
+            let devices: Vec<_> = (0..n)
+                .map(|i| Device::new(DeviceConfig::new().workers(1).name(format!("d{i}"))))
+                .collect();
+            let sharded = ShardedEngine::new(
+                devices,
+                &net,
+                VerifyConfig::default(),
+                EngineOptions::default(),
+            )
+            .expect("sharded engine");
+            let got = sharded.verify_batch_sharded(&qs);
+            assert_eq!(got.len(), want.len(), "{id}");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                let g = g.as_ref().expect("sharded verdict");
+                let w = w.as_ref().expect("fused verdict");
+                assert_eq!(g.verified, w.verified, "{id}: query {i}, {n} devices");
+                assert_eq!(g.margins.len(), w.margins.len(), "{id}");
+                for (mg, mw) in g.margins.iter().zip(&w.margins) {
+                    assert_eq!(mg.adversary, mw.adversary, "{id}");
+                    assert_eq!(mg.proven, mw.proven, "{id}: query {i}, {n} devices");
+                    assert_eq!(
+                        mg.lower.to_bits(),
+                        mw.lower.to_bits(),
+                        "{id}: query {i} margin vs class {} drifted at {n} devices \
+                         ({} vs {})",
+                        mg.adversary,
+                        mg.lower,
+                        mw.lower
+                    );
+                }
+            }
+        }
+    }
+}
+
 fn count_sequential<B: gpupoly::device::Backend>(
     device: Device<B>,
     net: &Network<f32>,
