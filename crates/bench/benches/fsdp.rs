@@ -1,0 +1,335 @@
+//! Weight-sharded (FSDP-style) serving benchmark: per-device memory
+//! footprint versus device count, margins pinned bit-identical at every
+//! pool size.
+//!
+//! `ShardedEngine::new_weight_sharded` partitions the network's affine
+//! layers greedily across the pool so each device permanently holds
+//! ~1/N of the weight bytes; the walk runs on device 0 and all-gathers
+//! each remote layer just in time, prefetched one layer ahead into a
+//! two-entry MRU cache. The win measured here is **memory**, not speed:
+//! the busiest device's resident bytes shrink toward `full / N` (plus a
+//! bounded double-buffer of transient gather scratch), which is what
+//! lets a pool serve models bigger than any single device.
+//!
+//! Reported per point:
+//!
+//! * `resident_per_device` — persistent weight bytes each device holds
+//!   (the greedy plan, cross-checked against [`weight_shard_budget`]);
+//! * `worst_device_bytes` — busiest shard + `2 × max_layer_bytes`
+//!   double buffer: what an admission layer must budget per device;
+//! * `gathered_bytes_per_query` — bytes all-gathered onto the executing
+//!   device per query, from the `comms` kernel meter.
+//!
+//! Early termination is disabled for the timed sweep so every query
+//! walks the full layer stack — gather traffic is then deterministic
+//! instead of depending on how quickly margins prove. Devices are
+//! CPU-simulated and share host cores, so raw wall numbers ride along
+//! for honesty only.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench fsdp` — full sweep N ∈ {1, 2, 4} at K = 32,
+//!   writes the machine-readable `BENCH_fsdp.json` baseline (override
+//!   the path with `BENCH_FSDP_OUT`);
+//! * `cargo bench --bench fsdp -- --smoke` — one tiny workload at
+//!   N = 2, no timing, no JSON; asserts bit-identity to the 1-device
+//!   run, a real per-device memory win, and a live `comms` meter.
+//!   Honors `GPUPOLY_BACKEND=cpusim|reference`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gpupoly_core::{
+    weight_shard_budget, EngineOptions, Query, RobustnessVerdict, ShardedEngine, VerifyConfig,
+    VerifyError,
+};
+use gpupoly_device::{Backend, CpuSimBackend, Device, DeviceConfig, ReferenceBackend};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+fn mlp(inputs: usize, width: usize, depth: usize, outputs: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(inputs);
+    let mut in_len = inputs;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5) * 0.25)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.05; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(outputs, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+fn queries(net: &Network<f32>, n: usize, eps: f32) -> Vec<Query<f32>> {
+    let inputs = net.input_shape().len();
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..inputs)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            let label = net.classify(&image);
+            Query::new(image, label, eps)
+        })
+        .collect()
+}
+
+fn devices<B: Backend + Default>(n: usize) -> Vec<Device<B>> {
+    (0..n)
+        .map(|i| {
+            Device::with_backend(
+                B::default(),
+                DeviceConfig::new().workers(1).name(format!("d{i}")),
+            )
+        })
+        .collect()
+}
+
+/// Full walks only: gather traffic must not depend on how fast margins
+/// prove, or the baseline drifts with the workload's difficulty.
+fn full_walk_config() -> VerifyConfig {
+    VerifyConfig {
+        early_termination: false,
+        ..Default::default()
+    }
+}
+
+type Verdicts = Vec<Result<RobustnessVerdict<f32>, VerifyError>>;
+
+fn assert_bit_identical(id: &str, got: &Verdicts, want: &Verdicts) {
+    assert_eq!(got.len(), want.len(), "{id}");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let g = g.as_ref().expect("weight-sharded verdict");
+        let w = w.as_ref().expect("baseline verdict");
+        assert_eq!(g.verified, w.verified, "{id}: query {i}");
+        for (gm, wm) in g.margins.iter().zip(&w.margins) {
+            assert_eq!(
+                gm.lower.to_bits(),
+                wm.lower.to_bits(),
+                "{id}: query {i} margin vs class {} drifted",
+                gm.adversary
+            );
+        }
+    }
+}
+
+struct Point {
+    devices: usize,
+    wall_s: f64,
+    qps_wall: f64,
+    full_bytes: usize,
+    resident_per_device: Vec<usize>,
+    double_buffer_bytes: usize,
+    worst_device_bytes: usize,
+    gathered_bytes_per_query: f64,
+}
+
+impl Point {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("devices", Value::Num(self.devices as f64)),
+            ("wall_s", Value::Num(self.wall_s)),
+            ("qps_wall", Value::Num(self.qps_wall)),
+            ("full_bytes", Value::Num(self.full_bytes as f64)),
+            (
+                "resident_per_device",
+                Value::Arr(
+                    self.resident_per_device
+                        .iter()
+                        .map(|&b| Value::Num(b as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "double_buffer_bytes",
+                Value::Num(self.double_buffer_bytes as f64),
+            ),
+            (
+                "worst_device_bytes",
+                Value::Num(self.worst_device_bytes as f64),
+            ),
+            (
+                "gathered_bytes_per_query",
+                Value::Num(self.gathered_bytes_per_query),
+            ),
+        ])
+    }
+}
+
+/// One (device count) measurement: fresh weight-sharded engine (analysis
+/// cache off so every pass does full work), one warm batch to populate
+/// gather scratch pools, then a timed batch with the `comms` byte delta.
+fn run_point(net: &Network<f32>, qs: &[Query<f32>], n: usize) -> (Point, Verdicts) {
+    let pool = devices::<CpuSimBackend>(n);
+    let handles = pool.clone();
+    let opts = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+    let sharded = ShardedEngine::new_weight_sharded(pool, net, full_walk_config(), opts)
+        .expect("weight-sharded engine");
+
+    let warm = sharded.verify_batch_sharded(qs);
+    assert!(warm.iter().all(Result::is_ok));
+    let comms0 = handles[0].stats().kernel_work("comms").bytes_moved;
+    let t = Instant::now();
+    let verdicts = sharded.verify_batch_sharded(qs);
+    let wall_s = t.elapsed().as_secs_f64();
+    black_box(&verdicts);
+    let gathered = handles[0].stats().kernel_work("comms").bytes_moved - comms0;
+
+    let resident_per_device = sharded.shard_resident_bytes().to_vec();
+    let budget = weight_shard_budget(net, n);
+    assert_eq!(
+        resident_per_device, budget.per_device,
+        "{n} devices: the materialized shards must match the admission plan"
+    );
+    (
+        Point {
+            devices: n,
+            wall_s,
+            qps_wall: qs.len() as f64 / wall_s.max(1e-9),
+            full_bytes: resident_per_device.iter().sum(),
+            resident_per_device,
+            double_buffer_bytes: budget.double_buffer,
+            worst_device_bytes: budget.worst_device_bytes(),
+            gathered_bytes_per_query: gathered as f64 / qs.len() as f64,
+        },
+        verdicts,
+    )
+}
+
+fn smoke() {
+    fn run<B: Backend + Default>(backend: &str) {
+        let net = mlp(8, 12, 3, 4);
+        let qs = queries(&net, 5, 0.01);
+        let opts = EngineOptions::default();
+        let one =
+            ShardedEngine::new_weight_sharded(devices::<B>(1), &net, full_walk_config(), opts)
+                .expect("1-device engine");
+        let want = one.verify_batch_sharded(&qs);
+
+        let pool = devices::<B>(2);
+        let handles = pool.clone();
+        let two = ShardedEngine::new_weight_sharded(pool, &net, full_walk_config(), opts)
+            .expect("2-device engine");
+        let got = two.verify_batch_sharded(&qs);
+        assert_bit_identical(backend, &got, &want);
+
+        let bytes = two.shard_resident_bytes();
+        let full: usize = bytes.iter().sum();
+        let worst = bytes.iter().copied().max().expect("non-empty plan");
+        assert!(
+            worst < full && bytes.iter().all(|&b| b > 0),
+            "{backend}: both devices must hold a strict piece of the model: {bytes:?}"
+        );
+        let comms = handles[0].stats().kernel_work("comms").bytes_moved;
+        assert!(
+            comms > 0,
+            "{backend}: full walks over a split model must gather remote layers"
+        );
+        println!(
+            "[fsdp --smoke] ok on {backend}: 2-device margins bit-identical, \
+             shards {bytes:?} of {full} B, {comms} B gathered"
+        );
+    }
+    match std::env::var("GPUPOLY_BACKEND").as_deref() {
+        Ok("reference") => run::<ReferenceBackend>("reference"),
+        _ => run::<CpuSimBackend>("cpusim"),
+    }
+}
+
+fn full() {
+    // Deep enough that every device's remote set overflows the 2-entry
+    // gather cache: steady-state batches re-gather, which is the regime
+    // the double-buffer overlap exists for. A shallow net would fit its
+    // remote layers in cache after the warm batch and meter zero comms.
+    let net = mlp(16, 96, 6, 10);
+    const K: usize = 32;
+    let qs = queries(&net, K, 0.01);
+
+    let (base, want) = run_point(&net, &qs, 1);
+    let full_bytes = base.full_bytes;
+    let mut points = vec![base];
+    for n in [2usize, 4] {
+        let (p, got) = run_point(&net, &qs, n);
+        assert_bit_identical(&format!("{n} devices"), &got, &want);
+        assert_eq!(p.full_bytes, full_bytes, "the plan must conserve bytes");
+        // The greedy partition's bound: no device exceeds an even split
+        // by more than one layer's worth of bytes.
+        let worst = p
+            .resident_per_device
+            .iter()
+            .copied()
+            .max()
+            .expect("non-empty plan");
+        let max_layer = p.double_buffer_bytes / 2;
+        assert!(
+            worst <= full_bytes / n + max_layer,
+            "{n} devices: busiest shard {worst} B exceeds even split \
+             {} B + one layer {max_layer} B",
+            full_bytes / n
+        );
+        assert!(
+            p.gathered_bytes_per_query > 0.0,
+            "{n} devices: full walks must gather remote layers"
+        );
+        points.push(p);
+    }
+    for p in &points {
+        println!(
+            "[fsdp] N={} wall {:>7.4}s ({:>6.1} q/s) | resident/device {:?} of {} B \
+             (+{} B double buffer) | {:>9.1} B gathered/query",
+            p.devices,
+            p.wall_s,
+            p.qps_wall,
+            p.resident_per_device,
+            p.full_bytes,
+            p.double_buffer_bytes,
+            p.gathered_bytes_per_query
+        );
+    }
+
+    let doc = Value::obj([
+        ("bench", Value::Str("fsdp".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench fsdp (release)".to_string()),
+        ),
+        ("net", Value::Str("mlp 16 -> 96x6 (relu) -> 10".to_string())),
+        ("batch_k", Value::Num(K as f64)),
+        (
+            "methodology",
+            Value::Str(
+                "weight-sharded engine, early termination off so every query \
+                 walks the full stack; resident bytes are the greedy per-device \
+                 plan (cross-checked against weight_shard_budget), gathered \
+                 bytes from the executing device's `comms` kernel meter; \
+                 simulated devices share host cores so walls are indicative only"
+                    .to_string(),
+            ),
+        ),
+        (
+            "results",
+            Value::Arr(points.iter().map(Point::to_value).collect()),
+        ),
+    ]);
+    let out = std::env::var("BENCH_FSDP_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fsdp.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[fsdp] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench fsdp`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

@@ -420,7 +420,8 @@ pub(crate) fn initial_batch<F: Fp, B: Backend>(
         Op::Dense(d) => {
             let par = node.parents[0];
             let widen = cfg.account_inference_error.then(|| bounds[par].as_slice());
-            let (weight, bias) = prepared.weights(p);
+            let packed = prepared.weights(p)?;
+            let (weight, bias) = packed.slices();
             ExprBatch::from_dense_with(
                 device,
                 d,
@@ -435,7 +436,8 @@ pub(crate) fn initial_batch<F: Fp, B: Backend>(
         Op::Conv(c) => {
             let par = node.parents[0];
             let widen = cfg.account_inference_error.then(|| bounds[par].as_slice());
-            let (weight, bias) = prepared.weights(p);
+            let packed = prepared.weights(p)?;
+            let (weight, bias) = packed.slices();
             ExprBatch::from_conv_with(device, c, weight, bias, rows, par, widen)
         }
         _ => ExprBatch::identity(device, p, node.shape, rows),

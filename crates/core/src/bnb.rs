@@ -146,7 +146,7 @@ type Halves<F> = (Vec<Itv<F>>, Vec<Itv<F>>);
 /// when no dimension can be narrowed any further — the midpoint of the
 /// widest interval is not strictly interior, i.e. the box is at floating-
 /// point resolution.
-fn bisect_widest<F: Fp>(bx: &[Itv<F>]) -> Option<Halves<F>> {
+pub(crate) fn bisect_widest<F: Fp>(bx: &[Itv<F>]) -> Option<Halves<F>> {
     let mut dim = 0usize;
     let mut widest = F::ZERO;
     for (d, iv) in bx.iter().enumerate() {
@@ -386,7 +386,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// so `hi < 0` on some margin enclosure proves the *real* network
     /// output misclassifies there — a verified refutation, independent of
     /// any relaxation. Returns the point and the winning adversary class.
-    fn concrete_cex(&self, label: usize, bx: &[Itv<F>]) -> Option<(Vec<F>, usize)> {
+    pub(crate) fn concrete_cex(&self, label: usize, bx: &[Itv<F>]) -> Option<(Vec<F>, usize)> {
         let point: Vec<F> = bx.iter().map(|iv| iv.mid()).collect();
         let point_box: Vec<Itv<F>> = point.iter().map(|&x| Itv::point(x)).collect();
         let bounds = self.graph().eval_itv(&point_box);
@@ -404,7 +404,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     }
 
     /// Records one verified-counterexample refutation.
-    fn note_cex_found(&self) {
+    pub(crate) fn note_cex_found(&self) {
         self.split_counters()
             .cex_found
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

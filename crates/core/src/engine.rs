@@ -34,6 +34,7 @@ use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, Network, NodeId, Op};
 
 use crate::analysis::{analyze, analyze_fused, Analysis};
+use crate::fsdp::{build_shard, shard_plan, GatheredLayer, WeightShard};
 use crate::verifier::{LinearSpec, Margin, RobustnessVerdict, SpecVerdict};
 use crate::walk::{StopRule, Walker};
 use crate::{ExprBatch, VerifyConfig, VerifyError};
@@ -152,6 +153,12 @@ pub struct EngineStats {
     pub monotone_hits: u64,
     /// Bytes of network weights resident on the device.
     pub resident_bytes: usize,
+    /// High-water mark of persistent (weight) bytes ever simultaneously
+    /// resident on the engine's device
+    /// ([`gpupoly_device::DeviceStats::peak_resident_bytes`]; device-wide:
+    /// shared with other engines on the same device). Capacity planning
+    /// for shard budgets reads this.
+    pub peak_resident_bytes: u64,
     /// Refinable ReLU layers in the prepared schedule (the depth factor of
     /// [`Engine::query_cost`]).
     pub relu_layers: usize,
@@ -216,7 +223,9 @@ impl SplitCounters {
 }
 
 /// Per-layer weight storage: device-resident when packed, borrowed from the
-/// host network otherwise.
+/// host network otherwise, or resident on another pool device in a
+/// weight-sharded graph (gathered on demand through the graph's
+/// [`WeightShard`]).
 enum PackedAffine<'n, F: Fp, B: Backend> {
     Resident {
         weight: DeviceBuffer<F, B>,
@@ -226,13 +235,23 @@ enum PackedAffine<'n, F: Fp, B: Backend> {
         weight: &'n [F],
         bias: &'n [F],
     },
+    Sharded,
 }
 
-impl<F: Fp, B: Backend> PackedAffine<'_, F, B> {
-    fn slices(&self) -> (&[F], &[F]) {
+/// A walk's view of one affine layer's weights: borrowed storage (device
+/// buffers deref to slices; host weights are slices already) or a gathered
+/// shard kept alive by its `Arc` for the duration of the layer step.
+pub(crate) enum WeightRef<'a, F: Fp, B: Backend> {
+    Borrowed(&'a [F], &'a [F]),
+    Gathered(Arc<GatheredLayer<F, B>>),
+}
+
+impl<F: Fp, B: Backend> WeightRef<'_, F, B> {
+    /// The `(weight, bias)` slices, wherever they live.
+    pub(crate) fn slices(&self) -> (&[F], &[F]) {
         match self {
-            PackedAffine::Resident { weight, bias } => (weight, bias),
-            PackedAffine::Host { weight, bias } => (weight, bias),
+            WeightRef::Borrowed(weight, bias) => (weight, bias),
+            WeightRef::Gathered(g) => (&g.weight, &g.bias),
         }
     }
 }
@@ -257,8 +276,15 @@ pub struct PreparedGraph<'n, F: Fp, B: Backend> {
     /// Worst-case device bytes per backsubstitution row (from the largest
     /// padded dependence-set window over all nodes).
     bytes_per_row: usize,
-    /// Bytes of weights resident on the device.
+    /// Bytes of weights resident on the executing device.
     resident_bytes: usize,
+    /// Weight-shard state (gather cache + prefetch thread) when this graph
+    /// was built with [`PreparedGraph::new_weight_sharded`]; `None` for
+    /// single-device graphs.
+    shard: Option<WeightShard<F, B>>,
+    /// Per-pool-device resident weight bytes of a weight-sharded graph
+    /// (index 0 = the executing device); empty for single-device graphs.
+    shard_bytes: Vec<usize>,
 }
 
 impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
@@ -332,7 +358,71 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
             weights_finite,
             bytes_per_row: Self::bytes_per_row(graph),
             resident_bytes,
+            shard: None,
+            shard_bytes: Vec::new(),
         })
+    }
+
+    /// Validates the graph and packs its weights **layer-sharded** across a
+    /// device pool: each affine layer is uploaded persistently onto exactly
+    /// one pool device (deterministic greedy balance by bytes), so every
+    /// device holds ~1/N of the model. `devices[0]` is the executing
+    /// device — its own layers are packed locally; the other devices'
+    /// layers are all-gathered into transient scratch on demand during the
+    /// walk, with prefetch double-buffering (see [`crate::fsdp`]). A layer
+    /// whose upload fails falls back to borrowing host weights, exactly
+    /// like the single-device packing path.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
+    pub fn new_weight_sharded(
+        devices: &[Device<B>],
+        graph: &Graph<'n, F>,
+    ) -> Result<Self, VerifyError> {
+        assert!(!devices.is_empty(), "weight sharding needs >= 1 device");
+        let mut base = Self::new(&devices[0], graph, false)?;
+        let (owner, _) = shard_plan(graph, devices.len());
+        let mut shard_bytes = vec![0usize; devices.len()];
+        let mut uploads = Vec::new();
+        for (id, node) in graph.nodes.iter().enumerate() {
+            let (weight, bias): (&'n [F], &'n [F]) = match node.op {
+                Op::Dense(d) => (&d.weight, &d.bias),
+                Op::Conv(c) => (&c.weight, &c.bias),
+                _ => continue,
+            };
+            let dev = owner[id].expect("affine node has an owner");
+            let bytes = std::mem::size_of_val(weight) + std::mem::size_of_val(bias);
+            if dev == 0 {
+                // The executing device's own shard: packed exactly like a
+                // single-device resident layer.
+                base.affine[id] = Some(Self::pack_one(
+                    &devices[0],
+                    weight,
+                    bias,
+                    true,
+                    &mut base.resident_bytes,
+                ));
+                if matches!(base.affine[id], Some(PackedAffine::Resident { .. })) {
+                    shard_bytes[0] += bytes;
+                }
+                continue;
+            }
+            // A remote shard: persistent on its owner device. On upload
+            // failure the layer stays a host borrow — correct, just not
+            // sharded.
+            if let (Ok(wb), Ok(bb)) = (
+                DeviceBuffer::from_slice(&devices[dev], weight).map(DeviceBuffer::into_persistent),
+                DeviceBuffer::from_slice(&devices[dev], bias).map(DeviceBuffer::into_persistent),
+            ) {
+                shard_bytes[dev] += bytes;
+                uploads.push((id, wb, bb));
+                base.affine[id] = Some(PackedAffine::Sharded);
+            }
+        }
+        base.shard = build_shard(&devices[0], graph.nodes.len(), uploads);
+        base.shard_bytes = shard_bytes;
+        Ok(base)
     }
 
     /// Uploads one layer's weights, falling back to host borrows when the
@@ -371,16 +461,34 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
     }
 
     /// The weight/bias storage for an affine node — device-resident when
-    /// packed.
+    /// packed, borrowed from the host otherwise, or all-gathered onto the
+    /// executing device for a weight-sharded layer (the only fallible
+    /// case: the gather allocates transient scratch and can OOM).
     ///
     /// # Panics
     ///
     /// Panics when `node` is not a dense/conv node.
-    pub(crate) fn weights(&self, node: NodeId) -> (&[F], &[F]) {
-        self.affine[node]
+    pub(crate) fn weights(&self, node: NodeId) -> Result<WeightRef<'_, F, B>, VerifyError> {
+        match self.affine[node]
             .as_ref()
             .expect("weights() called on a non-affine node")
-            .slices()
+        {
+            PackedAffine::Resident { weight, bias } => Ok(WeightRef::Borrowed(weight, bias)),
+            PackedAffine::Host { weight, bias } => Ok(WeightRef::Borrowed(weight, bias)),
+            PackedAffine::Sharded => {
+                let shard = self
+                    .shard
+                    .as_ref()
+                    .expect("sharded layer without shard state");
+                Ok(WeightRef::Gathered(shard.acquire(node)?))
+            }
+        }
+    }
+
+    /// Per-pool-device resident weight bytes of a weight-sharded graph
+    /// (index 0 = the executing device). Empty for single-device graphs.
+    pub fn shard_resident_bytes(&self) -> &[usize] {
+        &self.shard_bytes
     }
 
     /// The precomputed `(relu, parent)` refinement schedule.
@@ -664,6 +772,42 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         })
     }
 
+    /// Builds an engine whose [`PreparedGraph`] is **weight-sharded**
+    /// layer-wise across a device pool ([`PreparedGraph::new_weight_sharded`]).
+    /// The engine itself runs on `devices[0]`; the other devices only hold
+    /// their weight shards. [`EngineOptions::pack_weights`] is implied
+    /// (sharded packing *is* the packing).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
+    pub(crate) fn with_options_weight_sharded(
+        devices: &[Device<B>],
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+    ) -> Result<Self, VerifyError> {
+        let graph = net.graph();
+        let prepared = PreparedGraph::new_weight_sharded(devices, &graph)?;
+        let device = devices[0].clone();
+        if options.recycle_buffers {
+            device.buffer_pool_retain();
+        }
+        Ok(Self {
+            device,
+            graph,
+            cfg,
+            prepared,
+            cache: Mutex::new(AnalysisCache::new(options.analysis_cache)),
+            in_flight: Mutex::new(HashMap::new()),
+            options,
+            monotone_hits: AtomicU64::new(0),
+            fused_batches: AtomicU64::new(0),
+            ewma_ms_per_cost: AtomicU64::new(0),
+            split_counters: SplitCounters::default(),
+        })
+    }
+
     /// The device this engine runs on.
     pub fn device(&self) -> &Device<B> {
         &self.device
@@ -703,6 +847,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             cache_misses,
             monotone_hits: self.monotone_hits.load(Ordering::Relaxed),
             resident_bytes: self.prepared.resident_bytes(),
+            peak_resident_bytes: device.peak_resident_bytes(),
             relu_layers: self.prepared.relu_plan().len(),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),
             launches: device.launches(),

@@ -1,0 +1,244 @@
+//! FSDP-style weight sharding for the backsubstitution walk.
+//!
+//! A weight-sharded [`crate::PreparedGraph`] partitions the network's
+//! affine layers across a device pool so each device permanently holds
+//! ~1/N of the weight bytes. The walk always executes on device 0; when it
+//! reaches a layer owned by another device, that layer's exact weight and
+//! bias bytes are **all-gathered** into a transient, pool-recycled scratch
+//! buffer on the executing device. Because the gather copies the owner's
+//! exact bit pattern and the walk arithmetic is unchanged, margins are
+//! bit-identical to a single-device run at any N.
+//!
+//! Two mechanisms bound the gather cost:
+//!
+//! * a two-entry MRU **double buffer** of gathered layers, so the layer
+//!   being walked and the next layer coexist on the executing device while
+//!   everything older is released back to the buffer pool;
+//! * a **prefetch thread**: acquiring layer *l* enqueues the gather of the
+//!   next sharded layer the walk will need (the next-lower affine node),
+//!   so that copy overlaps the walk over layer *l*. Prefetching is pure
+//!   scheduling — a missed or failed prefetch just means the walk gathers
+//!   synchronously — and can never change results.
+//!
+//! Gathered bytes are metered on the executing device under the `comms`
+//! kernel label through [`gpupoly_device::DeviceStats::record_copy`], so
+//! benchmarks and the serving stats endpoint can report the communication
+//! cost per query.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use gpupoly_device::{Backend, Device, DeviceBuffer, DeviceError};
+use gpupoly_interval::Fp;
+use gpupoly_nn::{Graph, NodeId, Op};
+
+/// Launch label under which gathered shard bytes are metered (a copy, not
+/// a kernel: tracked per label and in `bytes_moved`, never in `launches`).
+pub(crate) const COMMS_LABEL: &str = "comms";
+
+/// One layer's weights gathered onto the executing device. Shared by
+/// `Arc` between the gather cache and any walk currently using the layer,
+/// so cache eviction can never free a buffer mid-step.
+pub(crate) struct GatheredLayer<F: Fp, B: Backend> {
+    pub(crate) weight: DeviceBuffer<F, B>,
+    pub(crate) bias: DeviceBuffer<F, B>,
+}
+
+/// A sharded layer resident on its owner device.
+struct RemoteLayer<F: Fp, B: Backend> {
+    weight: DeviceBuffer<F, B>,
+    bias: DeviceBuffer<F, B>,
+}
+
+/// One MRU entry: a gathered layer keyed by its node id.
+type GatherEntry<F, B> = (NodeId, Arc<GatheredLayer<F, B>>);
+
+/// A remote layer's owner-resident upload: `(node, weight, bias)`.
+pub(crate) type LayerUpload<F, B> = (NodeId, DeviceBuffer<F, B>, DeviceBuffer<F, B>);
+
+/// Shared shard state: owner-resident layers plus the gather double
+/// buffer. `Arc`-held by the prefetch thread, so it borrows nothing.
+struct ShardInner<F: Fp, B: Backend> {
+    /// The executing device (device 0 of the pool) — gathers land here.
+    exec: Device<B>,
+    /// Per-node sharded storage (`None` for local / host / non-affine).
+    remote: Vec<Option<RemoteLayer<F, B>>>,
+    /// MRU double buffer of gathered layers, most recent first.
+    cache: Mutex<Vec<GatherEntry<F, B>>>,
+}
+
+impl<F: Fp, B: Backend> ShardInner<F, B> {
+    /// Returns the gathered form of a sharded layer, copying it onto the
+    /// executing device on a cache miss. The copy reconstructs the owner's
+    /// exact bytes — gathering is bit-transparent to the walk.
+    fn gather(&self, node: NodeId) -> Result<Arc<GatheredLayer<F, B>>, DeviceError> {
+        let mut cache = self.cache.lock();
+        if let Some(pos) = cache.iter().position(|(n, _)| *n == node) {
+            if pos != 0 {
+                let entry = cache.remove(pos);
+                cache.insert(0, entry);
+            }
+            return Ok(cache[0].1.clone());
+        }
+        let remote = self.remote[node]
+            .as_ref()
+            .expect("gather on a layer that is not sharded");
+        // Transient scratch on the executing device: pool-recycled when the
+        // engine runs with buffer recycling, charged against its capacity
+        // either way.
+        let weight = DeviceBuffer::from_slice(&self.exec, remote.weight.as_slice())?;
+        let bias = DeviceBuffer::from_slice(&self.exec, remote.bias.as_slice())?;
+        self.exec
+            .stats()
+            .record_copy(COMMS_LABEL, (weight.bytes() + bias.bytes()) as u64);
+        let gathered = Arc::new(GatheredLayer { weight, bias });
+        cache.insert(0, (node, gathered.clone()));
+        // Double buffer: the layer in use plus the prefetched next one.
+        // Evicted entries stay alive while a walk still holds their Arc.
+        cache.truncate(2);
+        Ok(gathered)
+    }
+}
+
+/// The weight-shard handle owned by a [`crate::PreparedGraph`]: shard
+/// state plus the prefetch thread (shut down on drop).
+pub(crate) struct WeightShard<F: Fp, B: Backend> {
+    inner: Arc<ShardInner<F, B>>,
+    /// For each sharded node, the next sharded node the walk will need
+    /// (the walk visits nodes in descending order) — the prefetch schedule.
+    next_sharded: Vec<Option<NodeId>>,
+    prefetch_tx: Option<mpsc::Sender<NodeId>>,
+    prefetch_join: Option<JoinHandle<()>>,
+}
+
+impl<F: Fp, B: Backend> WeightShard<F, B> {
+    /// Acquires a sharded layer for the walk, then enqueues the prefetch
+    /// of the next sharded layer so its gather overlaps this layer's step.
+    pub(crate) fn acquire(&self, node: NodeId) -> Result<Arc<GatheredLayer<F, B>>, DeviceError> {
+        let gathered = self.inner.gather(node)?;
+        if let Some(tx) = &self.prefetch_tx {
+            if let Some(next) = self.next_sharded[node] {
+                let _ = tx.send(next);
+            }
+        }
+        Ok(gathered)
+    }
+}
+
+impl<F: Fp, B: Backend> Drop for WeightShard<F, B> {
+    fn drop(&mut self) {
+        // Close the channel, then join: the thread exits its recv loop.
+        drop(self.prefetch_tx.take());
+        if let Some(join) = self.prefetch_join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The deterministic layer→device partition: affine nodes in topological
+/// order, each assigned to the device with the least accumulated weight
+/// bytes so far (ties to the lowest index). Returns the owner of each
+/// node (`None` for non-affine nodes) and the per-device byte totals.
+pub(crate) fn shard_plan<F: Fp>(
+    graph: &Graph<'_, F>,
+    devices: usize,
+) -> (Vec<Option<usize>>, Vec<usize>) {
+    let mut owner: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut bytes = vec![0usize; devices.max(1)];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let layer = match node.op {
+            Op::Dense(d) => {
+                std::mem::size_of_val(d.weight.as_slice())
+                    + std::mem::size_of_val(d.bias.as_slice())
+            }
+            Op::Conv(c) => {
+                std::mem::size_of_val(c.weight.as_slice())
+                    + std::mem::size_of_val(c.bias.as_slice())
+            }
+            _ => continue,
+        };
+        let dev = (0..bytes.len()).min_by_key(|&i| (bytes[i], i)).unwrap_or(0);
+        owner[id] = Some(dev);
+        bytes[dev] += layer;
+    }
+    (owner, bytes)
+}
+
+/// The largest single affine layer's weight+bias bytes — the unit of the
+/// double-buffer overhead on the executing device (two gathered layers
+/// may coexist).
+pub(crate) fn max_layer_bytes<F: Fp>(graph: &Graph<'_, F>) -> usize {
+    graph
+        .nodes
+        .iter()
+        .map(|node| match node.op {
+            Op::Dense(d) => {
+                std::mem::size_of_val(d.weight.as_slice())
+                    + std::mem::size_of_val(d.bias.as_slice())
+            }
+            Op::Conv(c) => {
+                std::mem::size_of_val(c.weight.as_slice())
+                    + std::mem::size_of_val(c.bias.as_slice())
+            }
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Builds the shard state for the prepared graph: uploads each remote
+/// layer onto its owner device (persistent — counted in the owner's
+/// resident gauge) and spawns the prefetch thread. `uploads[i]` pairs a
+/// node id with its owner-resident buffers.
+pub(crate) fn build_shard<F: Fp, B: Backend>(
+    exec: &Device<B>,
+    nodes: usize,
+    uploads: Vec<LayerUpload<F, B>>,
+) -> Option<WeightShard<F, B>> {
+    if uploads.is_empty() {
+        return None;
+    }
+    let mut remote: Vec<Option<RemoteLayer<F, B>>> = (0..nodes).map(|_| None).collect();
+    let mut sharded_ids: Vec<NodeId> = Vec::with_capacity(uploads.len());
+    for (id, weight, bias) in uploads {
+        sharded_ids.push(id);
+        remote[id] = Some(RemoteLayer { weight, bias });
+    }
+    sharded_ids.sort_unstable();
+    // next_sharded[id] = the largest sharded node id strictly below `id`
+    // (the next one a descending walk will reach).
+    let mut next_sharded: Vec<Option<NodeId>> = vec![None; nodes];
+    for w in sharded_ids.windows(2) {
+        next_sharded[w[1]] = Some(w[0]);
+    }
+    let inner = Arc::new(ShardInner {
+        exec: exec.clone(),
+        remote,
+        cache: Mutex::new(Vec::with_capacity(2)),
+    });
+    let (tx, rx) = mpsc::channel::<NodeId>();
+    let thread_inner = inner.clone();
+    let prefetch_join = std::thread::Builder::new()
+        .name("gpupoly-fsdp-prefetch".to_string())
+        .spawn(move || {
+            // Best-effort: a failed prefetch (e.g. transient OOM on the
+            // executing device) is dropped; the walk gathers synchronously
+            // and surfaces any real error itself.
+            while let Ok(node) = rx.recv() {
+                let _ = thread_inner.gather(node);
+            }
+        })
+        .ok();
+    // If the thread could not spawn, run without prefetch: every gather is
+    // synchronous, results unchanged.
+    let prefetch_tx = prefetch_join.is_some().then_some(tx);
+    Some(WeightShard {
+        inner,
+        next_sharded,
+        prefetch_tx,
+        prefetch_join,
+    })
+}

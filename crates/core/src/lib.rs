@@ -45,6 +45,7 @@ pub mod depset;
 mod engine;
 mod error;
 pub mod expr;
+mod fsdp;
 mod relax;
 mod sharded;
 pub mod steps;
@@ -59,6 +60,6 @@ pub use engine::{query_cost_hint, Engine, EngineOptions, EngineStats, PreparedGr
 pub use error::VerifyError;
 pub use expr::ExprBatch;
 pub use relax::ReluRelax;
-pub use sharded::ShardedEngine;
+pub use sharded::{weight_shard_budget, ShardMode, ShardedEngine, WeightShardBudget};
 pub use tiered::{escalation_cost_weight, TieredEngine};
 pub use verifier::{GpuPoly, LinearSpec, Margin, RobustnessVerdict, SpecRow, SpecVerdict};

@@ -350,6 +350,9 @@ impl<'n, B: Backend> TieredEngine<'n, B> {
             cache_misses: fast.cache_misses + full.cache_misses,
             monotone_hits: fast.monotone_hits + full.monotone_hits,
             resident_bytes: fast.resident_bytes + full.resident_bytes,
+            // Device-wide high-water of the tiers' shared device: taken
+            // once, like launches/flops.
+            peak_resident_bytes: fast.peak_resident_bytes,
             relu_layers: fast.relu_layers,
             fused_batches: fast.fused_batches + full.fused_batches,
             launches: fast.launches,

@@ -136,7 +136,8 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
         match op {
             Op::Dense(d) => {
                 let p = self.graph.nodes[node].parents[0];
-                let (weight, bias) = self.prepared.weights(node);
+                let packed = self.prepared.weights(node)?;
+                let (weight, bias) = packed.slices();
                 step_dense_with(
                     self.device,
                     batch,
@@ -149,7 +150,8 @@ impl<F: Fp, B: Backend> Walker<'_, '_, F, B> {
             }
             Op::Conv(c) => {
                 let p = self.graph.nodes[node].parents[0];
-                let (weight, bias) = self.prepared.weights(node);
+                let packed = self.prepared.weights(node)?;
+                let (weight, bias) = packed.slices();
                 Ok(step_conv_with(self.device, batch, c, weight, bias, p)?)
             }
             Op::Relu => {

@@ -47,6 +47,9 @@ pub struct DeviceBuffer<T: Send + 'static, B: Backend = CpuSimBackend> {
     /// `true` when this allocation may be shelved in the device's buffer
     /// pool on drop (it was created while the pool was active).
     pooled: bool,
+    /// `true` once [`DeviceBuffer::into_persistent`] has run: the bytes are
+    /// counted in the device's resident-bytes gauge until freed.
+    persistent: bool,
 }
 
 impl<T: Send + fmt::Debug, B: Backend> fmt::Debug for DeviceBuffer<T, B> {
@@ -97,6 +100,7 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
                 bytes: len.saturating_mul(mem::size_of::<T>()),
                 device: device.clone(),
                 pooled: true,
+                persistent: false,
             });
         }
         device.note_pool_miss();
@@ -106,6 +110,7 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
             bytes,
             device: device.clone(),
             pooled: device.buffer_pool_active(),
+            persistent: false,
         })
     }
 
@@ -128,6 +133,7 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
                 bytes: len.saturating_mul(mem::size_of::<T>()),
                 device: device.clone(),
                 pooled: true,
+                persistent: false,
             });
         }
         Self::zeroed(device, len)
@@ -152,6 +158,7 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
                 bytes: src.len().saturating_mul(mem::size_of::<T>()),
                 device: device.clone(),
                 pooled: true,
+                persistent: false,
             });
         }
         device.note_pool_miss();
@@ -163,6 +170,7 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
             bytes,
             device: device.clone(),
             pooled: device.buffer_pool_active(),
+            persistent: false,
         })
     }
 
@@ -179,15 +187,23 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
             bytes,
             device: device.clone(),
             pooled: device.buffer_pool_active(),
+            persistent: false,
         })
     }
 
     /// Exempts this buffer from pool recycling: on drop its memory is
     /// always returned to the device, never shelved. For long-lived
     /// allocations (e.g. packed model weights) that a transient buffer
-    /// pool active on the same device must not capture.
+    /// pool active on the same device must not capture. The bytes are
+    /// additionally counted in the device's resident-bytes gauge
+    /// ([`DeviceStats::resident_bytes`](crate::DeviceStats::resident_bytes))
+    /// and its high-water mark until the buffer is freed.
     pub fn into_persistent(mut self) -> Self {
         self.pooled = false;
+        if !self.persistent && self.bytes > 0 {
+            self.persistent = true;
+            self.device.stats().note_resident_alloc(self.bytes as u64);
+        }
         self
     }
 
@@ -232,6 +248,10 @@ impl<T: Send + 'static, B: Backend> DeviceBuffer<T, B> {
 
     /// Downloads the contents, releasing the device allocation.
     pub fn into_vec(mut self) -> Vec<T> {
+        if self.persistent {
+            self.persistent = false;
+            self.device.stats().note_resident_free(self.bytes as u64);
+        }
         self.device.track_free(self.bytes);
         self.bytes = 0;
         mem::take(&mut self.data)
@@ -242,6 +262,9 @@ impl<T: Send + 'static, B: Backend> Drop for DeviceBuffer<T, B> {
     fn drop(&mut self) {
         if self.bytes == 0 {
             return;
+        }
+        if self.persistent {
+            self.device.stats().note_resident_free(self.bytes as u64);
         }
         if self.pooled {
             let data = mem::take(&mut self.data);
@@ -399,6 +422,32 @@ mod tests {
         assert_eq!(dev.memory_in_use(), 0, "dropped buffer freed immediately");
         assert_eq!(dev.stats().pool_hits(), 0);
         dev.buffer_pool_release();
+    }
+
+    #[test]
+    fn persistent_buffers_drive_the_resident_gauge() {
+        let dev = Device::default();
+        assert_eq!(dev.stats().resident_bytes(), 0);
+        let a = DeviceBuffer::from_slice(&dev, &[1.0f32; 256])
+            .unwrap()
+            .into_persistent();
+        assert_eq!(dev.stats().resident_bytes(), 1024);
+        assert_eq!(dev.stats().peak_resident_bytes(), 1024);
+        let b = DeviceBuffer::from_slice(&dev, &[2.0f32; 128])
+            .unwrap()
+            .into_persistent()
+            .into_persistent(); // idempotent: counted once
+        assert_eq!(dev.stats().resident_bytes(), 1536);
+        drop(a);
+        assert_eq!(dev.stats().resident_bytes(), 512);
+        assert_eq!(
+            dev.stats().peak_resident_bytes(),
+            1536,
+            "peak is a high-water mark, not a gauge"
+        );
+        assert_eq!(b.into_vec().len(), 128);
+        assert_eq!(dev.stats().resident_bytes(), 0);
+        assert_eq!(dev.stats().peak_resident_bytes(), 1536);
     }
 
     #[test]

@@ -126,6 +126,8 @@ pub struct DeviceStats {
     bytes_allocated: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    resident_bytes: AtomicU64,
+    peak_resident_bytes: AtomicU64,
     kernel_counts: Mutex<HashMap<&'static str, KernelWork>>,
 }
 
@@ -232,6 +234,32 @@ impl DeviceStats {
         let work = counts.entry(label).or_default();
         work.launches += 1;
         work.bytes_moved += bytes_moved;
+    }
+
+    /// Bytes currently held by *persistent* allocations
+    /// ([`crate::DeviceBuffer::into_persistent`]) — in practice, packed
+    /// model weights resident on the device. Unlike
+    /// [`Device::memory_in_use`] this gauge excludes transient working
+    /// buffers and shelved pool storage, so it answers "how much of this
+    /// device is pinned by loaded models".
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`DeviceStats::resident_bytes`]: the most
+    /// persistent (weight) bytes ever simultaneously resident on this
+    /// device. Capacity planning for shard budgets reads this.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_resident_alloc(&self, bytes: u64) {
+        let new = self.resident_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_resident_bytes.fetch_max(new, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_resident_free(&self, bytes: u64) {
+        self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn add_bytes(&self, n: usize) {

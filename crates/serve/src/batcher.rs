@@ -199,7 +199,11 @@ pub(crate) struct WorkItem {
 /// tensor-parallel [`ShardedEngine`] whose backsubstitution row space is
 /// partitioned across all of them per layer step. The tiered flavor is
 /// single-device only (the registry validates that), so `precision_tier`
-/// with several devices uses the first alone.
+/// with several devices uses the first alone. When `weight_sharded` is set
+/// the worker instead runs an FSDP-style weight-sharded [`ShardedEngine`]:
+/// the model's layers are partitioned across all devices (each holds ~1/N
+/// of the weight bytes) and all-gathered just in time per layer step — the
+/// registry refuses to combine it with the other two flavors.
 ///
 /// `retire` is invoked with the item's admission cost charge every time a
 /// reply goes out — the hook the registry uses to credit the device pool's
@@ -207,8 +211,10 @@ pub(crate) struct WorkItem {
 ///
 /// # Errors
 ///
-/// The engine-construction error message when the network cannot be
-/// prepared on the device(s).
+/// The typed engine-construction error when the network cannot be prepared
+/// on the device(s) — `VerifyError::Device` in particular keeps its type so
+/// the registry can answer a model that simply doesn't fit with a
+/// structured `device_oom` instead of a generic load failure.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_worker<B: Backend>(
     name: String,
@@ -218,14 +224,17 @@ pub(crate) fn spawn_worker<B: Backend>(
     policy: BatchPolicy,
     queue_cap: usize,
     precision_tier: bool,
+    weight_sharded: bool,
     stats: Arc<ModelStats>,
     retire: RetireFn,
-) -> Result<(SyncSender<WorkItem>, JoinHandle<()>), String> {
+) -> Result<(SyncSender<WorkItem>, JoinHandle<()>), VerifyError> {
     if devices.is_empty() {
-        return Err("worker needs at least one device".to_string());
+        return Err(VerifyError::Internal(
+            "worker needs at least one device".to_string(),
+        ));
     }
     let (tx, rx) = std::sync::mpsc::sync_channel::<WorkItem>(queue_cap.max(1));
-    let (startup_tx, startup_rx) = std::sync::mpsc::channel::<Result<(), String>>();
+    let (startup_tx, startup_rx) = std::sync::mpsc::channel::<Result<(), VerifyError>>();
     let join = std::thread::Builder::new()
         .name(format!("gpupoly-serve-{name}"))
         .spawn(move || {
@@ -242,7 +251,22 @@ pub(crate) fn spawn_worker<B: Backend>(
                     .store(snapshot.relu_layers as u64, Ordering::Release);
                 let _ = startup_tx.send(Ok(()));
             };
-            if precision_tier {
+            if weight_sharded {
+                let engine = match ShardedEngine::new_weight_sharded(
+                    devices,
+                    &net,
+                    verify,
+                    EngineOptions::default(),
+                ) {
+                    Ok(engine) => engine,
+                    Err(e) => {
+                        let _ = startup_tx.send(Err(e));
+                        return;
+                    }
+                };
+                startup(&engine);
+                run_loop(&engine, &rx, policy, &stats, &retire);
+            } else if precision_tier {
                 // The widened copy also lives on this stack, so the tiered
                 // engine's two borrows share the worker as their owner.
                 let device = devices.into_iter().next().expect("checked non-empty");
@@ -250,7 +274,7 @@ pub(crate) fn spawn_worker<B: Backend>(
                 let engine = match TieredEngine::new(device, &net, &wide, verify) {
                     Ok(engine) => engine,
                     Err(e) => {
-                        let _ = startup_tx.send(Err(e.to_string()));
+                        let _ = startup_tx.send(Err(e));
                         return;
                     }
                 };
@@ -261,7 +285,7 @@ pub(crate) fn spawn_worker<B: Backend>(
                     match ShardedEngine::new(devices, &net, verify, EngineOptions::default()) {
                         Ok(engine) => engine,
                         Err(e) => {
-                            let _ = startup_tx.send(Err(e.to_string()));
+                            let _ = startup_tx.send(Err(e));
                             return;
                         }
                     };
@@ -272,7 +296,7 @@ pub(crate) fn spawn_worker<B: Backend>(
                 let engine = match Engine::new(device, &net, verify) {
                     Ok(engine) => engine,
                     Err(e) => {
-                        let _ = startup_tx.send(Err(e.to_string()));
+                        let _ = startup_tx.send(Err(e));
                         return;
                     }
                 };
@@ -280,17 +304,19 @@ pub(crate) fn spawn_worker<B: Backend>(
                 run_loop(&engine, &rx, policy, &stats, &retire);
             }
         })
-        .map_err(|e| format!("spawn worker thread: {e}"))?;
+        .map_err(|e| VerifyError::Internal(format!("spawn worker thread: {e}")))?;
     match startup_rx.recv() {
         Ok(Ok(())) => Ok((tx, join)),
-        Ok(Err(msg)) => {
+        Ok(Err(e)) => {
             let _ = join.join();
-            Err(msg)
+            Err(e)
         }
         Err(_) => {
             // The worker died before reporting: surface it as a load failure.
             let _ = join.join();
-            Err("model worker exited during startup".to_string())
+            Err(VerifyError::Internal(
+                "model worker exited during startup".to_string(),
+            ))
         }
     }
 }
@@ -546,6 +572,7 @@ mod tests {
             },
             16,
             false,
+            false,
             stats.clone(),
             Arc::new(|_| {}),
         )
@@ -594,6 +621,7 @@ mod tests {
             },
             16,
             true,
+            false,
             stats.clone(),
             Arc::new(|_| {}),
         )
@@ -656,6 +684,7 @@ mod tests {
             },
             16,
             false,
+            false,
             stats.clone(),
             Arc::new(move |cost| {
                 retired_in_worker.fetch_add(cost.max(1), Ordering::AcqRel);
@@ -713,6 +742,7 @@ mod tests {
                 max_delay: Duration::from_millis(20),
             },
             16,
+            false,
             false,
             stats.clone(),
             Arc::new(|_| {}),
@@ -775,6 +805,7 @@ mod tests {
             },
             16,
             false,
+            false,
             stats.clone(),
             Arc::new(|_| {}),
         )
@@ -826,11 +857,13 @@ mod tests {
             BatchPolicy::default(),
             4,
             false,
+            false,
             stats,
             Arc::new(|_| {}),
         )
         .map(|_| ())
-        .unwrap_err();
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("shape"), "unhelpful startup error: {err}");
         assert_eq!(device.memory_in_use(), 0, "failed startup leaks nothing");
     }

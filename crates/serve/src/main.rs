@@ -5,7 +5,7 @@
 //!                     [--max-batch N] [--max-delay-ms MS] [--queue-cap N]
 //!                     [--queue-cost-ms MS] [--memory-budget BYTES]
 //!                     [--workers N] [--request-timeout-ms MS]
-//!                     [--devices N] [--tensor-parallel]
+//!                     [--devices N] [--tensor-parallel] [--weight-sharded]
 //! gpupoly-serve init-zoo DIR [--scale S] [--seed N]
 //! gpupoly-serve smoke ADDR [--ping-only]
 //! ```
@@ -50,6 +50,7 @@ USAGE:
                       [--memory-budget BYTES] [--workers N]
                       [--request-timeout-ms MS] [--max-frame-bytes N]
                       [--precision-tier] [--devices N] [--tensor-parallel]
+                      [--weight-sharded]
   gpupoly-serve init-zoo DIR [--scale S] [--seed N]
   gpupoly-serve smoke ADDR [--ping-only]
 
@@ -161,8 +162,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.devices = n.max(1);
     }
     cfg.tensor_parallel = flags.take_bool("--tensor-parallel");
+    // FSDP-style: each device holds ~1/N of every model's weight bytes,
+    // layer shards are all-gathered just in time during backsubstitution.
+    cfg.weight_sharded = flags.take_bool("--weight-sharded");
     if cfg.tensor_parallel && cfg.precision_tier {
         return Err("--tensor-parallel and --precision-tier are mutually exclusive".into());
+    }
+    if cfg.weight_sharded && cfg.tensor_parallel {
+        return Err("--weight-sharded and --tensor-parallel are mutually exclusive".into());
+    }
+    if cfg.weight_sharded && cfg.precision_tier {
+        return Err("--weight-sharded and --precision-tier are mutually exclusive".into());
     }
     let rest = flags.finish()?;
     if !rest.is_empty() {

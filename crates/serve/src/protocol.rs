@@ -211,6 +211,14 @@ pub struct DeviceStatsWire {
     pub flops: u64,
     /// Bytes read + written by the device's kernels.
     pub bytes_moved: u64,
+    /// Bytes of model weights currently resident on the device. On a
+    /// weight-sharded pool each device reports only its own shard here.
+    pub resident_bytes: u64,
+    /// High-water mark of resident model-weight bytes on the device.
+    pub peak_resident_bytes: u64,
+    /// Bytes all-gathered between devices by weight-sharded walks (the
+    /// `comms` kernel label); `0` on row-sharded or single-device pools.
+    pub comms_bytes: u64,
 }
 
 /// Per-model counters of a [`Reply::Stats`].
@@ -539,6 +547,12 @@ impl Serialize for DeviceStatsWire {
             ("launches", Value::Num(self.launches as f64)),
             ("flops", Value::Num(self.flops as f64)),
             ("bytes_moved", Value::Num(self.bytes_moved as f64)),
+            ("resident_bytes", Value::Num(self.resident_bytes as f64)),
+            (
+                "peak_resident_bytes",
+                Value::Num(self.peak_resident_bytes as f64),
+            ),
+            ("comms_bytes", Value::Num(self.comms_bytes as f64)),
         ])
     }
 }
@@ -564,6 +578,19 @@ impl<'de> Deserialize<'de> for DeviceStatsWire {
             launches: as_index(v.field("launches")?)? as u64,
             flops: as_index(v.field("flops")?)? as u64,
             bytes_moved: as_index(v.field("bytes_moved")?)? as u64,
+            // Absent on pre-weight-sharding frames: default to zero.
+            resident_bytes: match opt_field(v, "resident_bytes") {
+                Some(n) => as_index(n)? as u64,
+                None => 0,
+            },
+            peak_resident_bytes: match opt_field(v, "peak_resident_bytes") {
+                Some(n) => as_index(n)? as u64,
+                None => 0,
+            },
+            comms_bytes: match opt_field(v, "comms_bytes") {
+                Some(n) => as_index(n)? as u64,
+                None => 0,
+            },
         })
     }
 }
@@ -848,6 +875,9 @@ mod tests {
                 launches: 41,
                 flops: 123_456,
                 bytes_moved: 7_890,
+                resident_bytes: 2_000,
+                peak_resident_bytes: 2_100,
+                comms_bytes: 512,
             },
             devices: vec![
                 DeviceStatsWire {
@@ -862,6 +892,9 @@ mod tests {
                     launches: 21,
                     flops: 61_728,
                     bytes_moved: 3_945,
+                    resident_bytes: 1_000,
+                    peak_resident_bytes: 1_050,
+                    comms_bytes: 512,
                 },
                 DeviceStatsWire {
                     backend: "cpusim".into(),
@@ -875,6 +908,9 @@ mod tests {
                     launches: 20,
                     flops: 61_728,
                     bytes_moved: 3_945,
+                    resident_bytes: 1_000,
+                    peak_resident_bytes: 1_050,
+                    comms_bytes: 0,
                 },
             ],
             models: vec![ModelStatsWire {
@@ -965,6 +1001,10 @@ mod tests {
             Reply::Stats(s) => {
                 assert_eq!(s.device.name, "");
                 assert!(s.devices.is_empty());
+                // Pre-weight-sharding fields default rather than fail.
+                assert_eq!(s.device.resident_bytes, 0);
+                assert_eq!(s.device.peak_resident_bytes, 0);
+                assert_eq!(s.device.comms_bytes, 0);
             }
             other => panic!("wrong reply {other:?}"),
         }

@@ -82,6 +82,15 @@ pub struct RegistryConfig {
     /// Weights are resident on every device; with it off, devices instead
     /// hold disjoint models with hot-model replication.
     pub tensor_parallel: bool,
+    /// Serve every model through one FSDP-style weight-sharded worker: the
+    /// model's layers are partitioned across *all* pool devices (each holds
+    /// ~1/N of the weight bytes) and all-gathered onto the executing device
+    /// just in time per layer step (margins bit-identical to a
+    /// single-device run). Admission accounts per-device *shard* bytes, so
+    /// a model bigger than any one device's budget still loads across the
+    /// pool. Mutually exclusive with `tensor_parallel` and
+    /// `precision_tier`.
+    pub weight_sharded: bool,
 }
 
 impl RegistryConfig {
@@ -97,6 +106,7 @@ impl RegistryConfig {
             verify: VerifyConfig::default(),
             precision_tier: false,
             tensor_parallel: false,
+            weight_sharded: false,
         }
     }
 }
@@ -108,6 +118,11 @@ pub enum SubmitError {
     UnknownModel(String),
     /// The model file exists but could not be loaded or prepared.
     LoadFailed(String),
+    /// Engine construction hit the device's memory capacity: the model's
+    /// resident weights do not fit on the device(s) it was placed on.
+    /// (Weight-sharded pools spread the footprint, so a model that earns
+    /// this on one device can still load across several.)
+    DeviceOom(String),
     /// Queue full, memory budget exhausted, or the registry is shutting
     /// down; the client should retry later (against this or another
     /// replica).
@@ -339,6 +354,7 @@ impl<B: Backend> Registry<B> {
                 // case the honest answer is the same structured overload
                 // as a full single-device queue.
                 let can_replicate = !self.cfg.tensor_parallel
+                    && !self.cfg.weight_sharded
                     && self.pool.len() > 1
                     && self.pool.replication_candidate(model).is_some();
                 if can_replicate && self.replicate(model)? {
@@ -540,6 +556,12 @@ impl<B: Backend> Registry<B> {
     /// The f32-weight bytes a resident copy of `net` will pin per device,
     /// scaled for the tiered worker's double residency.
     fn incoming_bytes(&self, net: &Network<f32>) -> usize {
+        // A weight-sharded worker pins only its worst device's shard (plus
+        // the gather double buffer) per device — that per-device figure is
+        // what lets a model bigger than any one device's budget admit.
+        if self.cfg.weight_sharded {
+            return gpupoly_core::weight_shard_budget(net, self.pool.len()).worst_device_bytes();
+        }
         // A tiered worker keeps both precisions resident: f32 + f64 weights
         // are 3× the f32 bytes, so budget-driven eviction must make room
         // for the real footprint up front.
@@ -548,10 +570,10 @@ impl<B: Backend> Registry<B> {
     }
 
     /// The devices a fresh worker for `model` should span: the whole pool
-    /// in tensor-parallel mode, else the model's sticky least-loaded
-    /// placement.
+    /// in tensor-parallel or weight-sharded mode, else the model's sticky
+    /// least-loaded placement.
     fn placement(&self, model: &str) -> Vec<usize> {
-        if self.cfg.tensor_parallel && self.pool.len() > 1 {
+        if (self.cfg.tensor_parallel || self.cfg.weight_sharded) && self.pool.len() > 1 {
             (0..self.pool.len()).collect()
         } else {
             vec![self.pool.place(model)]
@@ -582,10 +604,14 @@ impl<B: Backend> Registry<B> {
             self.cfg.policy,
             self.cfg.queue_cap,
             self.cfg.precision_tier,
+            self.cfg.weight_sharded,
             stats,
             Arc::new(move |cost| pool.note_done(home, cost.max(1))),
         )
-        .map_err(SubmitError::LoadFailed)?;
+        .map_err(|e| match e {
+            gpupoly_core::VerifyError::Device(_) => SubmitError::DeviceOom(e.to_string()),
+            other => SubmitError::LoadFailed(other.to_string()),
+        })?;
         Ok(Replica {
             queue,
             join: Some(join),
@@ -766,6 +792,18 @@ impl<B: Backend> Registry<B> {
         let Some(budget) = self.cfg.memory_budget else {
             return Ok(());
         };
+        // A footprint over the per-device budget can never fit, however
+        // much is evicted — a permanent, typed condition, not a retriable
+        // overload. (Weight sharding shrinks `incoming` to the worst
+        // device's shard + gather buffer, which is how a model bigger than
+        // one device still clears this gate across a pool.)
+        if incoming > budget {
+            return Err(SubmitError::DeviceOom(format!(
+                "model needs {incoming} resident bytes but the per-device memory \
+                 budget is {budget}; it can never fit on one device \
+                 (a multi-device pool can still serve it with --weight-sharded)"
+            )));
+        }
         for &idx in device_indices {
             let device = self.pool.device(idx);
             // Clear the buffer pool at most once per device: active workers

@@ -68,6 +68,11 @@ pub struct ServerConfig {
     /// replicating (see `RegistryConfig::tensor_parallel`). Mutually
     /// exclusive with `precision_tier`.
     pub tensor_parallel: bool,
+    /// Serve every model FSDP-style weight-sharded across the whole pool:
+    /// each device holds ~1/N of the weight bytes and layers are
+    /// all-gathered just in time (see `RegistryConfig::weight_sharded`).
+    /// Mutually exclusive with `tensor_parallel` and `precision_tier`.
+    pub weight_sharded: bool,
 }
 
 impl ServerConfig {
@@ -86,6 +91,7 @@ impl ServerConfig {
             precision_tier: false,
             devices: 1,
             tensor_parallel: false,
+            weight_sharded: false,
         }
     }
 }
@@ -113,12 +119,26 @@ impl<B: Backend + Default> Server<B> {
     ///
     /// Any socket error from binding, or `InvalidInput` when
     /// `tensor_parallel` is combined with `precision_tier` (the tiered
-    /// engine is single-device).
+    /// engine is single-device), or when `weight_sharded` is combined with
+    /// either (one worker cannot shard both its rows and its weights, and
+    /// the tiered engine keeps full weights on one device).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Self> {
         if cfg.tensor_parallel && cfg.precision_tier {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "tensor-parallel serving and the precision tier are mutually exclusive",
+            ));
+        }
+        if cfg.weight_sharded && cfg.tensor_parallel {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "weight-sharded serving and tensor-parallel serving are mutually exclusive",
+            ));
+        }
+        if cfg.weight_sharded && cfg.precision_tier {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "weight-sharded serving and the precision tier are mutually exclusive",
             ));
         }
         let listener = TcpListener::bind(addr)?;
@@ -152,6 +172,7 @@ impl<B: Backend + Default> Server<B> {
                 verify: cfg.verify,
                 precision_tier: cfg.precision_tier,
                 tensor_parallel: cfg.tensor_parallel,
+                weight_sharded: cfg.weight_sharded,
             },
         );
         Ok(Self {
@@ -499,6 +520,9 @@ fn device_wire<B: Backend>(device: &Device<B>) -> DeviceStatsWire {
         launches: device.stats().launches(),
         flops: device.stats().flops(),
         bytes_moved: device.stats().bytes_moved(),
+        resident_bytes: device.stats().resident_bytes(),
+        peak_resident_bytes: device.stats().peak_resident_bytes(),
+        comms_bytes: device.stats().kernel_work("comms").bytes_moved,
     }
 }
 
@@ -528,6 +552,9 @@ fn aggregate_device_stats(devices: &[DeviceStatsWire]) -> DeviceStatsWire {
         launches: devices.iter().map(|d| d.launches).sum(),
         flops: devices.iter().map(|d| d.flops).sum(),
         bytes_moved: devices.iter().map(|d| d.bytes_moved).sum(),
+        resident_bytes: devices.iter().map(|d| d.resident_bytes).sum(),
+        peak_resident_bytes: devices.iter().map(|d| d.peak_resident_bytes).sum(),
+        comms_bytes: devices.iter().map(|d| d.comms_bytes).sum(),
     }
 }
 
@@ -544,6 +571,7 @@ fn submit_error_reply(err: SubmitError) -> Reply {
     match err {
         SubmitError::UnknownModel(msg) => Reply::error(ErrorCode::UnknownModel, msg),
         SubmitError::LoadFailed(msg) => Reply::error(ErrorCode::ModelLoadFailed, msg),
+        SubmitError::DeviceOom(msg) => Reply::error(ErrorCode::DeviceOom, msg),
         SubmitError::Overloaded(msg) => Reply::error(ErrorCode::Overloaded, msg),
     }
 }

@@ -11,10 +11,14 @@
 //!   model?" deterministically: an existing replica if one exists (the
 //!   least-loaded of them), otherwise the least-loaded device overall,
 //!   recorded as the model's new affinity.
-//! * **tensor-parallel walks** — [`ShardedEngine`] (re-exported from
-//!   `gpupoly_core`) packs one resident engine per pool device and
-//!   partitions the fused backsubstitution row space across them per layer
-//!   step, with margins bit-identical to the single-device walk.
+//! * **sharded walks** — [`ShardedEngine`] (re-exported from
+//!   `gpupoly_core`) spans the pool in either mode: tensor-parallel *row*
+//!   sharding packs one resident engine per device and partitions the fused
+//!   backsubstitution row space across them per layer step, while
+//!   FSDP-style *weight* sharding partitions the model's layers across the
+//!   pool (each device holds ~1/N of the weight bytes) and all-gathers them
+//!   onto device 0 just in time — serving models bigger than any one
+//!   device. Both keep margins bit-identical to the single-device walk.
 //!
 //! The pool itself is policy + bookkeeping over cheap-clone [`Device`]
 //! handles; it spawns no threads and owns no model state — the serving

@@ -11,6 +11,8 @@
 //! Env: `GPUPOLY_BACKEND=cpusim|reference` picks the kernel backend,
 //!      `LOADGEN_CLIENTS` / `LOADGEN_REQUESTS` scale the run,
 //!      `LOADGEN_DEVICES` sizes the device pool (tensor-parallel when >1),
+//!      `LOADGEN_WEIGHT_SHARD=1` switches a multi-device pool from
+//!      tensor-parallel row sharding to FSDP-style weight sharding,
 //!      `LOADGEN_MUX` sets the pipelining window for the multiplexed leg
 //!      (0 disables it).
 
@@ -80,13 +82,15 @@ fn drive<B: gpupoly::device::Backend + Default>(
     clients: usize,
     requests_per_client: usize,
     devices: usize,
+    weight_shard: bool,
     mux_window: usize,
 ) -> RunReport {
     let mut cfg = ServerConfig::new(dir);
     cfg.policy = policy;
     cfg.queue_cap = 4 * clients.max(1);
     cfg.devices = devices;
-    cfg.tensor_parallel = devices > 1;
+    cfg.weight_sharded = weight_shard && devices > 1;
+    cfg.tensor_parallel = !cfg.weight_sharded && devices > 1;
     let server = Server::<B>::bind("127.0.0.1:0", cfg).expect("bind");
     let registry = server.registry().clone();
     let handle = server.spawn();
@@ -190,6 +194,7 @@ fn main() {
     let clients = env_usize("LOADGEN_CLIENTS", 8);
     let requests = env_usize("LOADGEN_REQUESTS", 40);
     let devices = env_usize("LOADGEN_DEVICES", 1).max(1);
+    let weight_shard = env_usize("LOADGEN_WEIGHT_SHARD", 0) != 0;
     let mux = env_usize("LOADGEN_MUX", 4);
 
     let dir = std::env::temp_dir().join(format!("gpupoly-loadgen-{}", std::process::id()));
@@ -231,7 +236,13 @@ fn main() {
 
     println!(
         "serve_loadgen: backend={backend} model={inputs}->{width}->{width}->{outputs} \
-         clients={clients} requests/client={requests} devices={devices}\n"
+         clients={clients} requests/client={requests} devices={devices} \
+         sharding={}\n",
+        match (devices > 1, weight_shard) {
+            (false, _) => "none",
+            (true, false) => "tensor-parallel",
+            (true, true) => "weights",
+        }
     );
     println!(
         "{:<30} {:>10} {:>10} {:>10} {:>11}",
@@ -256,10 +267,28 @@ fn main() {
     for (label, policy, mux_window) in runs {
         let report = match backend.as_str() {
             "reference" => drive::<ReferenceBackend>(
-                &dir, "loadgen", inputs, outputs, policy, clients, requests, devices, mux_window,
+                &dir,
+                "loadgen",
+                inputs,
+                outputs,
+                policy,
+                clients,
+                requests,
+                devices,
+                weight_shard,
+                mux_window,
             ),
             _ => drive::<CpuSimBackend>(
-                &dir, "loadgen", inputs, outputs, policy, clients, requests, devices, mux_window,
+                &dir,
+                "loadgen",
+                inputs,
+                outputs,
+                policy,
+                clients,
+                requests,
+                devices,
+                weight_shard,
+                mux_window,
             ),
         };
         println!(

@@ -290,6 +290,99 @@ fn zoo_sharded_margins_bit_identical_across_device_counts() {
     }
 }
 
+/// FSDP-style weight sharding over the zoo: for every Table-1 build and
+/// both backends, `ShardedEngine::new_weight_sharded` at N ∈ {1, 2, 4}
+/// devices returns margins **bit-identical** to the single-device fused
+/// path. Gathering reconstructs each layer's weight buffer byte-for-byte
+/// on the executing device and the walk itself is unchanged, so the split
+/// of weight *residency* across the pool must never show up in a margin —
+/// while the per-device resident split and the gathered `comms` bytes must
+/// show up in the meters.
+#[test]
+fn zoo_weight_sharded_margins_bit_identical_across_device_counts() {
+    weight_sharded_zoo_case("cpusim", &|cfg| Device::new(cfg));
+    weight_sharded_zoo_case("reference", &|cfg| Device::reference(cfg));
+}
+
+fn weight_sharded_zoo_case<B: gpupoly::device::Backend>(
+    tag: &str,
+    make: &dyn Fn(DeviceConfig) -> Device<B>,
+) {
+    use gpupoly::core::{EngineOptions, ShardedEngine};
+    // Gathered bytes across the whole zoo sweep: individual archs may
+    // prove their margins before the walk ever descends to a remote shard
+    // (early termination is exactly the point), but a zoo-wide sweep at
+    // N > 1 must gather *somewhere* or the comms meter is broken.
+    let mut total_comms: u64 = 0;
+    for (arch, dataset, net) in zoo_builds() {
+        let id = format!("{}/{} ({tag})", arch.name(), dataset.name());
+        let eps = family_eps(arch);
+        let k = if arch.is_residual() { 1 } else { 2 };
+        let qs = queries(&net, dataset.input_shape().len(), eps, k);
+
+        let single = Engine::new(
+            make(DeviceConfig::new().workers(1)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .expect("single engine");
+        let want = single.verify_batch_fused(&qs);
+
+        for n in [1usize, 2, 4] {
+            let devices: Vec<_> = (0..n)
+                .map(|i| make(DeviceConfig::new().workers(1).name(format!("wd{i}"))))
+                .collect();
+            let handles = devices.clone();
+            let sharded = ShardedEngine::new_weight_sharded(
+                devices,
+                &net,
+                VerifyConfig::default(),
+                EngineOptions::default(),
+            )
+            .expect("weight-sharded engine");
+            let got = sharded.verify_batch_sharded(&qs);
+            assert_eq!(got.len(), want.len(), "{id}");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                let g = g.as_ref().expect("weight-sharded verdict");
+                let w = w.as_ref().expect("fused verdict");
+                assert_eq!(g.verified, w.verified, "{id}: query {i}, {n} devices");
+                assert_eq!(g.margins.len(), w.margins.len(), "{id}");
+                for (mg, mw) in g.margins.iter().zip(&w.margins) {
+                    assert_eq!(mg.adversary, mw.adversary, "{id}");
+                    assert_eq!(mg.proven, mw.proven, "{id}: query {i}, {n} devices");
+                    assert_eq!(
+                        mg.lower.to_bits(),
+                        mw.lower.to_bits(),
+                        "{id}: query {i} margin vs class {} drifted at {n} devices \
+                         ({} vs {})",
+                        mg.adversary,
+                        mg.lower,
+                        mw.lower
+                    );
+                }
+            }
+            if n > 1 {
+                // The memory win is unconditional: no device holds the
+                // full model. Gathered bytes land on the executing device
+                // under the `comms` label whenever the walk reaches a
+                // remote shard.
+                let bytes = sharded.shard_resident_bytes();
+                let full: usize = bytes.iter().sum();
+                let worst = bytes.iter().copied().max().expect("non-empty plan");
+                assert!(
+                    worst < full,
+                    "{id}: worst device still holds the full model at {n} devices"
+                );
+                total_comms += handles[0].stats().kernel_work("comms").bytes_moved;
+            }
+        }
+    }
+    assert!(
+        total_comms > 0,
+        "({tag}) zoo sweep gathered nothing: comms meter is broken"
+    );
+}
+
 fn count_sequential<B: gpupoly::device::Backend>(
     device: Device<B>,
     net: &Network<f32>,
