@@ -1,0 +1,437 @@
+//! Hybrid 2D sharding benchmark: gather traffic versus cache capacity,
+//! and the per-device compute win of walking rows on every device.
+//!
+//! `ShardedEngine::new_hybrid` keeps the FSDP-style greedy weight
+//! partition (each device permanently holds ~1/N of the weight bytes)
+//! and splits each fused expression batch's row space into contiguous
+//! per-device blocks: every device walks its own rows over the gathered
+//! layers, gathering remote layers onto *itself*. Two effects are
+//! measured here, on a net whose per-device remote set overflows the
+//! two-layer double-buffer floor but fits in an ample cache:
+//!
+//! * **Cache capacity sweep** — steady-state gathered bytes per query at
+//!   increasing `gather_cache_bytes`. The floor point (capacity clamped
+//!   to `2 × max_layer_bytes`) reproduces the old two-entry MRU: every
+//!   batch re-gathers the remote set. With capacity to hold the whole
+//!   remote set, next-use eviction keeps gathered layers resident and
+//!   steady-state comms collapse toward zero.
+//! * **Modeled per-device speedup** — busiest device's FLOPs per batch,
+//!   weight-shard-only (device 0 walks everything) versus hybrid (rows
+//!   split N ways). Devices are CPU-simulated and share host cores, so
+//!   the FLOP ratio is the honest model of the speedup a real pool gets;
+//!   raw walls ride along for reference only.
+//!
+//! Early termination is disabled so gather traffic and FLOPs are
+//! deterministic instead of depending on how quickly margins prove.
+//!
+//! Modes:
+//!
+//! * `cargo bench --bench hybrid` — capacity sweep at N = 2 plus an
+//!   N = 4 point, writes `BENCH_hybrid.json` (override the path with
+//!   `BENCH_HYBRID_OUT`);
+//! * `cargo bench --bench hybrid -- --smoke` — one tiny N = 2 workload,
+//!   no timing, no JSON; asserts bit-identity to the 1-device run and
+//!   that every device both walks rows and gathers. Honors
+//!   `GPUPOLY_BACKEND=cpusim|reference`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gpupoly_core::{
+    weight_shard_budget, EngineOptions, Query, RobustnessVerdict, ShardedEngine, VerifyConfig,
+    VerifyError,
+};
+use gpupoly_device::{Backend, CpuSimBackend, Device, DeviceConfig, ReferenceBackend};
+use gpupoly_nn::builder::NetworkBuilder;
+use gpupoly_nn::Network;
+use serde::Value;
+
+fn mlp(inputs: usize, width: usize, depth: usize, outputs: usize) -> Network<f32> {
+    let mut b = NetworkBuilder::new_flat(inputs);
+    let mut in_len = inputs;
+    for layer in 0..depth {
+        let w: Vec<f32> = (0..width * in_len)
+            .map(|i| (((i * 2654435761 + layer * 131) % 1000) as f32 / 1000.0 - 0.5) * 0.25)
+            .collect();
+        b = b.dense_flat(width, w, vec![0.05; width]).relu();
+        in_len = width;
+    }
+    b.flatten_dense(outputs, |i| (((i * 31) % 17) as f32 - 8.0) * 0.05, |_| 0.0)
+        .build()
+        .expect("mlp builds")
+}
+
+fn queries(net: &Network<f32>, n: usize, eps: f32) -> Vec<Query<f32>> {
+    let inputs = net.input_shape().len();
+    (0..n)
+        .map(|q| {
+            let image: Vec<f32> = (0..inputs)
+                .map(|i| 0.3 + 0.4 * (((q * 37 + i * 11) % 100) as f32 / 100.0))
+                .collect();
+            let label = net.classify(&image);
+            Query::new(image, label, eps)
+        })
+        .collect()
+}
+
+fn devices<B: Backend + Default>(n: usize) -> Vec<Device<B>> {
+    (0..n)
+        .map(|i| {
+            Device::with_backend(
+                B::default(),
+                DeviceConfig::new().workers(1).name(format!("h{i}")),
+            )
+        })
+        .collect()
+}
+
+/// Full walks only: gather traffic and per-device FLOPs must not depend
+/// on how fast margins prove, or the baseline drifts with difficulty.
+fn full_walk_config() -> VerifyConfig {
+    VerifyConfig {
+        early_termination: false,
+        ..Default::default()
+    }
+}
+
+type Verdicts = Vec<Result<RobustnessVerdict<f32>, VerifyError>>;
+
+fn assert_bit_identical(id: &str, got: &Verdicts, want: &Verdicts) {
+    assert_eq!(got.len(), want.len(), "{id}");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let g = g.as_ref().expect("hybrid verdict");
+        let w = w.as_ref().expect("baseline verdict");
+        assert_eq!(g.verified, w.verified, "{id}: query {i}");
+        for (gm, wm) in g.margins.iter().zip(&w.margins) {
+            assert_eq!(
+                gm.lower.to_bits(),
+                wm.lower.to_bits(),
+                "{id}: query {i} margin vs class {} drifted",
+                gm.adversary
+            );
+        }
+    }
+}
+
+struct Measure {
+    wall_s: f64,
+    /// Steady-state gathered bytes over the timed batch, pool-wide.
+    comms_bytes: u64,
+    /// Gather hits/misses/evictions over the timed batch, pool-wide.
+    gather: (u64, u64, u64),
+    /// Per-device FLOPs over the timed batch.
+    flops_per_device: Vec<u64>,
+}
+
+/// One steady-state measurement: fresh engine (analysis cache off so
+/// every pass does full work), a warm batch to populate the gather
+/// cache, then a timed batch with per-device counter deltas.
+fn run_steady(
+    engine: &ShardedEngine<'_, f32, CpuSimBackend>,
+    handles: &[Device<CpuSimBackend>],
+    qs: &[Query<f32>],
+) -> (Measure, Verdicts) {
+    let warm = engine.verify_batch_sharded(qs);
+    assert!(warm.iter().all(Result::is_ok));
+
+    let comms0: u64 = handles
+        .iter()
+        .map(|h| h.stats().kernel_work("comms").bytes_moved)
+        .sum();
+    let stats0 = engine.stats();
+    let flops0: Vec<u64> = handles.iter().map(|h| h.stats().flops()).collect();
+
+    let t = Instant::now();
+    let verdicts = engine.verify_batch_sharded(qs);
+    let wall_s = t.elapsed().as_secs_f64();
+    black_box(&verdicts);
+
+    let comms: u64 = handles
+        .iter()
+        .map(|h| h.stats().kernel_work("comms").bytes_moved)
+        .sum::<u64>()
+        - comms0;
+    let stats = engine.stats();
+    let flops_per_device = handles
+        .iter()
+        .zip(&flops0)
+        .map(|(h, f0)| h.stats().flops() - f0)
+        .collect();
+    (
+        Measure {
+            wall_s,
+            comms_bytes: comms,
+            gather: (
+                stats.gather_hits - stats0.gather_hits,
+                stats.gather_misses - stats0.gather_misses,
+                stats.gather_evictions - stats0.gather_evictions,
+            ),
+            flops_per_device,
+        },
+        verdicts,
+    )
+}
+
+fn smoke() {
+    fn run<B: Backend + Default>(backend: &str) {
+        let net = mlp(8, 12, 4, 4);
+        let qs = queries(&net, 5, 0.01);
+        let opts = EngineOptions::default();
+        let one = ShardedEngine::new_hybrid(devices::<B>(1), &net, full_walk_config(), opts)
+            .expect("1-device engine");
+        let want = one.verify_batch_sharded(&qs);
+
+        let pool = devices::<B>(2);
+        let handles = pool.clone();
+        let two = ShardedEngine::new_hybrid(pool, &net, full_walk_config(), opts)
+            .expect("2-device hybrid engine");
+        let got = two.verify_batch_sharded(&qs);
+        assert_bit_identical(backend, &got, &want);
+
+        let bytes = two.shard_resident_bytes();
+        let full: usize = bytes.iter().sum();
+        let worst = bytes.iter().copied().max().expect("non-empty plan");
+        assert!(
+            worst < full && bytes.iter().all(|&b| b > 0),
+            "{backend}: both devices must hold a strict piece of the model: {bytes:?}"
+        );
+        for (d, h) in handles.iter().enumerate() {
+            assert!(
+                h.stats().flops() > 0,
+                "{backend}: device {d} walked no rows"
+            );
+            assert!(
+                h.stats().kernel_work("comms").bytes_moved > 0,
+                "{backend}: device {d} gathered nothing on a full walk over a split model"
+            );
+        }
+        let stats = two.stats();
+        println!(
+            "[hybrid --smoke] ok on {backend}: 2-device margins bit-identical, \
+             shards {bytes:?} of {full} B, gather hits/misses/evictions \
+             {}/{}/{}",
+            stats.gather_hits, stats.gather_misses, stats.gather_evictions
+        );
+    }
+    match std::env::var("GPUPOLY_BACKEND").as_deref() {
+        Ok("reference") => run::<ReferenceBackend>("reference"),
+        _ => run::<CpuSimBackend>("cpusim"),
+    }
+}
+
+fn full() {
+    // Deep enough that each device's remote set at N = 2 (three-plus
+    // layers) overflows the two-layer double-buffer floor yet fits in a
+    // modest cache: the regime where capacity-aware next-use eviction
+    // beats the fixed two-entry MRU.
+    let net = mlp(16, 96, 6, 10);
+    const K: usize = 32;
+    let qs = queries(&net, K, 0.01);
+    let budget2 = weight_shard_budget(&net, 2);
+    let max_layer = budget2.double_buffer / 2;
+
+    let opts_base = EngineOptions {
+        analysis_cache: 0,
+        ..Default::default()
+    };
+
+    // Oracle + weight-shard-only compute baseline at N = 2: everything
+    // walks on device 0.
+    let pool = devices::<CpuSimBackend>(1);
+    let handles = pool.clone();
+    let engine = ShardedEngine::new_weight_sharded(pool, &net, full_walk_config(), opts_base)
+        .expect("1-device engine");
+    let (_, want) = run_steady(&engine, &handles, &qs);
+    drop(engine);
+
+    let pool = devices::<CpuSimBackend>(2);
+    let handles = pool.clone();
+    let engine = ShardedEngine::new_weight_sharded(pool, &net, full_walk_config(), opts_base)
+        .expect("2-device weight-sharded engine");
+    let (weight_only, got) = run_steady(&engine, &handles, &qs);
+    drop(engine);
+    assert_bit_identical("weight-only N=2", &got, &want);
+    let weight_only_busiest = *weight_only
+        .flops_per_device
+        .iter()
+        .max()
+        .expect("2 devices");
+
+    // Capacity sweep at N = 2. `Some(1)` clamps to the double-buffer
+    // floor — exactly the old fixed two-entry MRU. `None` sizes the
+    // cache from the device's free pool (uncapped here → unbounded).
+    let mut sweep = Vec::new();
+    let mut floor_comms = None;
+    let mut ample = None;
+    let caps: [(&str, Option<usize>); 4] = [
+        ("floor (2-entry MRU)", Some(1)),
+        ("3 layers", Some(3 * max_layer)),
+        ("4 layers", Some(4 * max_layer)),
+        ("auto (free pool)", None),
+    ];
+    for (label, cap) in caps {
+        let pool = devices::<CpuSimBackend>(2);
+        let handles = pool.clone();
+        let opts = EngineOptions {
+            gather_cache_bytes: cap,
+            ..opts_base
+        };
+        let engine = ShardedEngine::new_hybrid(pool, &net, full_walk_config(), opts)
+            .expect("2-device hybrid engine");
+        let (m, got) = run_steady(&engine, &handles, &qs);
+        drop(engine);
+        assert_bit_identical(&format!("hybrid N=2 cache={label}"), &got, &want);
+        if cap == Some(1) {
+            floor_comms = Some(m.comms_bytes);
+        }
+        if cap.is_none() {
+            ample = Some((
+                m.comms_bytes,
+                *m.flops_per_device.iter().max().expect("2 devices"),
+            ));
+        }
+        println!(
+            "[hybrid] N=2 cache {label:<18} wall {:>7.4}s | {:>10} B gathered/batch \
+             | hits/misses/evictions {}/{}/{} | flops/device {:?}",
+            m.wall_s, m.comms_bytes, m.gather.0, m.gather.1, m.gather.2, m.flops_per_device
+        );
+        sweep.push(Value::obj([
+            ("cache", Value::Str(label.to_string())),
+            (
+                "cache_bytes",
+                match cap {
+                    Some(b) => Value::Num(b.max(budget2.double_buffer) as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("wall_s", Value::Num(m.wall_s)),
+            ("comms_bytes_per_batch", Value::Num(m.comms_bytes as f64)),
+            ("gather_hits", Value::Num(m.gather.0 as f64)),
+            ("gather_misses", Value::Num(m.gather.1 as f64)),
+            ("gather_evictions", Value::Num(m.gather.2 as f64)),
+            (
+                "flops_per_device",
+                Value::Arr(
+                    m.flops_per_device
+                        .iter()
+                        .map(|&f| Value::Num(f as f64))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    let floor_comms = floor_comms.expect("floor point ran");
+    let (ample_comms, hybrid_busiest) = ample.expect("ample point ran");
+    assert!(
+        ample_comms < floor_comms,
+        "capacity-aware cache must beat the 2-entry MRU floor in steady state: \
+         {ample_comms} B vs {floor_comms} B"
+    );
+    let speedup = weight_only_busiest as f64 / hybrid_busiest.max(1) as f64;
+    assert!(
+        speedup >= 1.8,
+        "hybrid must cut the busiest device's FLOPs ~N-fold at N=2: got {speedup:.2}x \
+         ({weight_only_busiest} vs {hybrid_busiest})"
+    );
+    println!(
+        "[hybrid] N=2 steady-state comms {ample_comms} B (capacity-aware) vs \
+         {floor_comms} B (2-entry MRU floor); modeled per-device speedup {speedup:.2}x"
+    );
+
+    // One N = 4 point with the auto cache, for the scaling shape.
+    let pool = devices::<CpuSimBackend>(4);
+    let handles = pool.clone();
+    let engine = ShardedEngine::new_hybrid(pool, &net, full_walk_config(), opts_base)
+        .expect("4-device hybrid engine");
+    let (m4, got) = run_steady(&engine, &handles, &qs);
+    drop(engine);
+    assert_bit_identical("hybrid N=4", &got, &want);
+    let busiest4 = *m4.flops_per_device.iter().max().expect("4 devices");
+    println!(
+        "[hybrid] N=4 auto cache wall {:>7.4}s | {:>10} B gathered/batch | \
+         flops/device {:?}",
+        m4.wall_s, m4.comms_bytes, m4.flops_per_device
+    );
+
+    let doc = Value::obj([
+        ("bench", Value::Str("hybrid".to_string())),
+        (
+            "source",
+            Value::Str("cargo bench --bench hybrid (release)".to_string()),
+        ),
+        ("net", Value::Str("mlp 16 -> 96x6 (relu) -> 10".to_string())),
+        ("batch_k", Value::Num(K as f64)),
+        (
+            "methodology",
+            Value::Str(
+                "hybrid 2D sharded engine, early termination off so every query \
+                 walks the full stack; one warm batch then a timed batch, all \
+                 counters are steady-state deltas summed pool-wide; the floor \
+                 cache point (gather_cache_bytes=1, clamped to the double \
+                 buffer) reproduces the old fixed two-entry MRU; modeled \
+                 speedup is busiest-device FLOPs weight-shard-only over \
+                 busiest-device FLOPs hybrid at the same N; simulated devices \
+                 share host cores so walls are indicative only"
+                    .to_string(),
+            ),
+        ),
+        (
+            "weight_only_n2",
+            Value::obj([
+                ("wall_s", Value::Num(weight_only.wall_s)),
+                (
+                    "comms_bytes_per_batch",
+                    Value::Num(weight_only.comms_bytes as f64),
+                ),
+                (
+                    "flops_per_device",
+                    Value::Arr(
+                        weight_only
+                            .flops_per_device
+                            .iter()
+                            .map(|&f| Value::Num(f as f64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("cache_sweep_n2", Value::Arr(sweep)),
+        (
+            "modeled_per_device_speedup_n2",
+            Value::Num((speedup * 100.0).round() / 100.0),
+        ),
+        (
+            "hybrid_n4",
+            Value::obj([
+                ("wall_s", Value::Num(m4.wall_s)),
+                ("comms_bytes_per_batch", Value::Num(m4.comms_bytes as f64)),
+                (
+                    "flops_per_device",
+                    Value::Arr(
+                        m4.flops_per_device
+                            .iter()
+                            .map(|&f| Value::Num(f as f64))
+                            .collect(),
+                    ),
+                ),
+                ("busiest_device_flops", Value::Num(busiest4 as f64)),
+            ]),
+        ),
+    ]);
+    let out = std::env::var("BENCH_HYBRID_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hybrid.json").to_string()
+    });
+    let text = serde_json::to_string(&doc).expect("serialize baseline");
+    std::fs::write(&out, text + "\n").expect("write baseline");
+    println!("[hybrid] baseline written to {out}");
+}
+
+fn main() {
+    // This target has `test = false`: it only ever runs under
+    // `cargo bench --bench hybrid`, with `--smoke` as the CI guard.
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

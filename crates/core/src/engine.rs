@@ -34,7 +34,7 @@ use gpupoly_interval::{Fp, Itv};
 use gpupoly_nn::{Graph, Network, NodeId, Op};
 
 use crate::analysis::{analyze, analyze_fused, Analysis};
-use crate::fsdp::{build_shard, shard_plan, GatheredLayer, WeightShard};
+use crate::fsdp::{GatheredLayer, ShardStore, WeightShard};
 use crate::verifier::{LinearSpec, Margin, RobustnessVerdict, SpecVerdict};
 use crate::walk::{StopRule, Walker};
 use crate::{ExprBatch, VerifyConfig, VerifyError};
@@ -111,6 +111,21 @@ pub struct EngineOptions {
     /// pure-`f64` behavior behind the tiered API. Ignored by a plain
     /// single-precision [`Engine`].
     pub precision_tier: bool,
+    /// Byte capacity of the gather cache of a weight-sharded / hybrid
+    /// engine (how many remote layers stay resident on the executing
+    /// device between uses). `None` (the default) auto-sizes to half the
+    /// executing device's free bytes at construction — unlimited on an
+    /// uncapped device. Either way the cache never shrinks below the
+    /// double-buffer floor of two max-size layers
+    /// ([`crate::WeightShardBudget::double_buffer`]). Scheduling only:
+    /// capacity changes gather traffic, never margins. Ignored by
+    /// non-sharded engines.
+    pub gather_cache_bytes: Option<usize>,
+    /// How many upcoming remote layers each walk acquisition prefetches
+    /// onto a weight-sharded / hybrid engine's executing device (in walk
+    /// order, overlapping the current layer's step). `0` disables the
+    /// prefetch thread. Ignored by non-sharded engines.
+    pub gather_prefetch_depth: usize,
 }
 
 impl Default for EngineOptions {
@@ -122,6 +137,8 @@ impl Default for EngineOptions {
             monotone_cache_reuse: false,
             fusion_min_overlap: 0.05,
             precision_tier: false,
+            gather_cache_bytes: None,
+            gather_prefetch_depth: 1,
         }
     }
 }
@@ -202,6 +219,16 @@ pub struct EngineStats {
     /// Queries refinement refuted with a *verified* concrete
     /// counterexample (sound interval evaluation at a point).
     pub cex_found: u64,
+    /// Weight-sharded / hybrid engines: remote-layer gathers served from
+    /// the executing device's gather cache (always `0` otherwise).
+    pub gather_hits: u64,
+    /// Weight-sharded / hybrid engines: remote-layer gathers that copied
+    /// bytes onto the executing device — the `comms` traffic, in events.
+    pub gather_misses: u64,
+    /// Weight-sharded / hybrid engines: gathered layers evicted by the
+    /// next-use-distance policy to stay inside
+    /// [`EngineOptions::gather_cache_bytes`].
+    pub gather_evictions: u64,
 }
 
 /// The branch-and-bound refinement counters of an engine (split off so the
@@ -367,11 +394,12 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
     /// device pool: each affine layer is uploaded persistently onto exactly
     /// one pool device (deterministic greedy balance by bytes), so every
     /// device holds ~1/N of the model. `devices[0]` is the executing
-    /// device — its own layers are packed locally; the other devices'
-    /// layers are all-gathered into transient scratch on demand during the
-    /// walk, with prefetch double-buffering (see [`crate::fsdp`]). A layer
-    /// whose upload fails falls back to borrowing host weights, exactly
-    /// like the single-device packing path.
+    /// device — layers it owns resolve to their owner-resident buffers
+    /// copy-free; the other devices' layers are all-gathered into transient
+    /// scratch on demand during the walk, cached capacity-aware and
+    /// prefetched ahead (see [`crate::fsdp`]). A layer whose upload fails
+    /// falls back to borrowing host weights, exactly like the
+    /// single-device packing path.
     ///
     /// # Errors
     ///
@@ -379,49 +407,40 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
     pub fn new_weight_sharded(
         devices: &[Device<B>],
         graph: &Graph<'n, F>,
+        options: &EngineOptions,
     ) -> Result<Self, VerifyError> {
         assert!(!devices.is_empty(), "weight sharding needs >= 1 device");
-        let mut base = Self::new(&devices[0], graph, false)?;
-        let (owner, _) = shard_plan(graph, devices.len());
-        let mut shard_bytes = vec![0usize; devices.len()];
-        let mut uploads = Vec::new();
-        for (id, node) in graph.nodes.iter().enumerate() {
-            let (weight, bias): (&'n [F], &'n [F]) = match node.op {
-                Op::Dense(d) => (&d.weight, &d.bias),
-                Op::Conv(c) => (&c.weight, &c.bias),
-                _ => continue,
-            };
-            let dev = owner[id].expect("affine node has an owner");
-            let bytes = std::mem::size_of_val(weight) + std::mem::size_of_val(bias);
-            if dev == 0 {
-                // The executing device's own shard: packed exactly like a
-                // single-device resident layer.
-                base.affine[id] = Some(Self::pack_one(
-                    &devices[0],
-                    weight,
-                    bias,
-                    true,
-                    &mut base.resident_bytes,
-                ));
-                if matches!(base.affine[id], Some(PackedAffine::Resident { .. })) {
-                    shard_bytes[0] += bytes;
-                }
-                continue;
-            }
-            // A remote shard: persistent on its owner device. On upload
-            // failure the layer stays a host borrow — correct, just not
-            // sharded.
-            if let (Ok(wb), Ok(bb)) = (
-                DeviceBuffer::from_slice(&devices[dev], weight).map(DeviceBuffer::into_persistent),
-                DeviceBuffer::from_slice(&devices[dev], bias).map(DeviceBuffer::into_persistent),
-            ) {
-                shard_bytes[dev] += bytes;
-                uploads.push((id, wb, bb));
+        let store = ShardStore::build(devices, graph);
+        Self::new_sharded_view(devices, 0, graph, store, options)
+    }
+
+    /// One executing device's view of a pool-shared weight shard
+    /// ([`ShardStore`]): the hybrid building block — every view shares the
+    /// same owner-resident uploads, marks the same layers `Sharded`, and
+    /// gathers remote layers onto *its own* device. `new_weight_sharded`
+    /// is the single-view (device 0) special case.
+    pub(crate) fn new_sharded_view(
+        devices: &[Device<B>],
+        exec_idx: usize,
+        graph: &Graph<'n, F>,
+        store: Arc<ShardStore<F, B>>,
+        options: &EngineOptions,
+    ) -> Result<Self, VerifyError> {
+        let mut base = Self::new(&devices[exec_idx], graph, false)?;
+        for id in 0..graph.nodes.len() {
+            if store.is_sharded(id) {
                 base.affine[id] = Some(PackedAffine::Sharded);
             }
         }
-        base.shard = build_shard(&devices[0], graph.nodes.len(), uploads);
-        base.shard_bytes = shard_bytes;
+        base.resident_bytes = store.shard_bytes()[exec_idx];
+        base.shard_bytes = store.shard_bytes().to_vec();
+        base.shard = WeightShard::new_view(
+            store,
+            devices[exec_idx].clone(),
+            exec_idx,
+            options.gather_cache_bytes,
+            options.gather_prefetch_depth,
+        );
         Ok(base)
     }
 
@@ -485,10 +504,16 @@ impl<'n, F: Fp, B: Backend> PreparedGraph<'n, F, B> {
         }
     }
 
-    /// Per-pool-device resident weight bytes of a weight-sharded graph
-    /// (index 0 = the executing device). Empty for single-device graphs.
+    /// Per-pool-device resident weight bytes of a weight-sharded or hybrid
+    /// graph, in pool order. Empty for single-device graphs.
     pub fn shard_resident_bytes(&self) -> &[usize] {
         &self.shard_bytes
+    }
+
+    /// `(hits, misses, evictions)` of the gather cache; all zero for
+    /// non-sharded graphs.
+    pub(crate) fn gather_counters(&self) -> (u64, u64, u64) {
+        self.shard.as_ref().map_or((0, 0, 0), WeightShard::counters)
     }
 
     /// The precomputed `(relu, parent)` refinement schedule.
@@ -788,8 +813,38 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
         options: EngineOptions,
     ) -> Result<Self, VerifyError> {
         let graph = net.graph();
-        let prepared = PreparedGraph::new_weight_sharded(devices, &graph)?;
-        let device = devices[0].clone();
+        let prepared = PreparedGraph::new_weight_sharded(devices, &graph, &options)?;
+        Self::from_sharded_parts(devices[0].clone(), graph, cfg, options, prepared)
+    }
+
+    /// Builds one hybrid pool member: an engine on `devices[exec_idx]`
+    /// whose [`PreparedGraph`] is a per-device view over the pool-shared
+    /// [`ShardStore`] ([`PreparedGraph::new_sharded_view`]). Every member
+    /// walks its own row shard and gathers remote layers onto itself.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] when residual branches disagree on shape.
+    pub(crate) fn with_options_sharded_view(
+        devices: &[Device<B>],
+        exec_idx: usize,
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+        store: Arc<ShardStore<F, B>>,
+    ) -> Result<Self, VerifyError> {
+        let graph = net.graph();
+        let prepared = PreparedGraph::new_sharded_view(devices, exec_idx, &graph, store, &options)?;
+        Self::from_sharded_parts(devices[exec_idx].clone(), graph, cfg, options, prepared)
+    }
+
+    fn from_sharded_parts(
+        device: Device<B>,
+        graph: Graph<'n, F>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+        prepared: PreparedGraph<'n, F, B>,
+    ) -> Result<Self, VerifyError> {
         if options.recycle_buffers {
             device.buffer_pool_retain();
         }
@@ -841,6 +896,7 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
     /// per-cost batch-time EWMA.
     pub fn stats(&self) -> EngineStats {
         let (cache_hits, cache_misses) = self.cache_stats();
+        let (gather_hits, gather_misses, gather_evictions) = self.prepared.gather_counters();
         let device = self.device.stats();
         EngineStats {
             cache_hits,
@@ -860,6 +916,9 @@ impl<'n, F: Fp, B: Backend> Engine<'n, F, B> {
             frontier_peak: self.split_counters.frontier_peak.load(Ordering::Relaxed),
             proven_by_split: self.split_counters.proven_by_split.load(Ordering::Relaxed),
             cex_found: self.split_counters.cex_found.load(Ordering::Relaxed),
+            gather_hits,
+            gather_misses,
+            gather_evictions,
         }
     }
 

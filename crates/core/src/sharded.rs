@@ -32,11 +32,26 @@
 //! across the pool (each device permanently holds ~1/N of the weight
 //! bytes, [`weight_shard_budget`] gives the exact plan) and the walk runs
 //! on device 0, all-gathering each remote layer's exact bytes into a
-//! transient double buffer just in time — with the next layer's gather
-//! prefetched so it overlaps the current layer's step (see
+//! capacity-aware gather cache just in time — with upcoming layers'
+//! gathers prefetched so they overlap the current layer's step (see
 //! [`crate::fsdp`]). Gathers reconstruct bit patterns, never values, so
 //! margins stay **bit-identical** to a single-device run at any pool size.
 //! Gathered traffic is metered under the `comms` kernel label on device 0.
+//!
+//! # Hybrid 2D sharding ([`ShardMode::Hybrid`])
+//!
+//! Weight sharding alone buys capacity but zero throughput: N devices hold
+//! the model, one walks. Hybrid mode composes the two splits — the weight
+//! partition is exactly the weight-mode plan (one owner per layer, one
+//! copy of the model pool-wide), but **every** device runs an engine over
+//! its own view of the shared [`crate::fsdp::ShardStore`], and each fused
+//! batch's row space is split into contiguous per-device blocks exactly
+//! like row mode. Each device walks its own rows through the full layer
+//! stack, gathering remote layers onto *itself* (metered under `comms` on
+//! that device) and resolving its own layers copy-free. Gathers move
+//! bytes, not arithmetic, and row sharding is pure scheduling, so hybrid
+//! margins stay **bit-identical** to the 1-device fused run at any N —
+//! while the per-device FLOP share drops to ~1/N of the weight-only walk.
 //!
 //! # Distributed refinement
 //!
@@ -75,9 +90,15 @@ pub enum ShardMode {
     Rows,
     /// FSDP-style weight sharding: each device permanently holds ~1/N of
     /// the weight bytes, layers are all-gathered onto device 0 just in
-    /// time (prefetched one layer ahead). Serves models bigger than any
-    /// single device.
+    /// time (cached capacity-aware, prefetched ahead). Serves models
+    /// bigger than any single device.
     Weights,
+    /// 2D row×weight sharding: the weight-mode layer partition (one model
+    /// pool-wide) plus the row-mode walk split — every device walks its
+    /// own contiguous row block through the layer stack, gathering remote
+    /// layers onto itself. Serves models bigger than any single device
+    /// *and* scales throughput with the pool.
+    Hybrid,
 }
 
 /// The per-device memory plan of a weight-sharded deployment
@@ -138,8 +159,8 @@ pub struct ShardedEngine<'n, F: Fp, B: Backend> {
     /// Every pool device, in order — in weight mode, `engines` has one
     /// entry but devices `1..` still hold weight shards to meter.
     devices: Vec<Device<B>>,
-    /// Weight mode only: persistent weight bytes per device (empty in row
-    /// mode — every engine reports its own replicated residency).
+    /// Weight/hybrid modes: persistent weight bytes per device (empty in
+    /// row mode — every engine reports its own replicated residency).
     shard_bytes: Vec<usize>,
 }
 
@@ -238,6 +259,49 @@ impl<'n, F: Fp, B: Backend> ShardedEngine<'n, F, B> {
         })
     }
 
+    /// Builds a hybrid 2D-sharded pool: the network's affine layers are
+    /// partitioned across `devices` exactly like
+    /// [`ShardedEngine::new_weight_sharded`] (one model pool-wide,
+    /// [`weight_shard_budget`] gives the plan), but **every** device runs
+    /// an engine over its own view of the shared store — each walks its
+    /// contiguous row block of every fused batch, gathering remote layers
+    /// onto itself (metered under `comms` per device, cached
+    /// capacity-aware, prefetched ahead). Margins are bit-identical to a
+    /// 1-device fused run at any pool size.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadQuery`] for an empty device list or a rejected
+    /// graph.
+    pub fn new_hybrid(
+        devices: Vec<Device<B>>,
+        net: &'n Network<F>,
+        cfg: VerifyConfig,
+        options: EngineOptions,
+    ) -> Result<Self, VerifyError> {
+        if devices.is_empty() {
+            return Err(VerifyError::BadQuery(
+                "hybrid-sharded engine needs at least one device".to_string(),
+            ));
+        }
+        let store = {
+            let graph = net.graph();
+            crate::fsdp::ShardStore::build(&devices, &graph)
+        };
+        let shard_bytes = store.shard_bytes().to_vec();
+        let engines = (0..devices.len())
+            .map(|i| {
+                Engine::with_options_sharded_view(&devices, i, net, cfg, options, store.clone())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            engines,
+            mode: ShardMode::Hybrid,
+            devices,
+            shard_bytes,
+        })
+    }
+
     /// Number of pool devices. In weight mode this exceeds the (single)
     /// engine count — devices `1..` hold weight shards only.
     pub fn device_count(&self) -> usize {
@@ -254,9 +318,10 @@ impl<'n, F: Fp, B: Backend> ShardedEngine<'n, F, B> {
         &self.devices
     }
 
-    /// Weight mode: persistent weight bytes resident per device under the
-    /// materialized shard plan. Empty in row mode (weights are replicated;
-    /// read each engine's `resident_bytes` instead).
+    /// Weight and hybrid modes: persistent weight bytes resident per
+    /// device under the materialized shard plan. Empty in row mode
+    /// (weights are replicated; read each engine's `resident_bytes`
+    /// instead).
     pub fn shard_resident_bytes(&self) -> &[usize] {
         &self.shard_bytes
     }
@@ -756,18 +821,23 @@ impl<'n, F: Fp, B: Backend> ShardedEngine<'n, F, B> {
             total.frontier_peak = total.frontier_peak.max(s.frontier_peak);
             total.proven_by_split += s.proven_by_split;
             total.cex_found += s.cex_found;
+            total.gather_hits += s.gather_hits;
+            total.gather_misses += s.gather_misses;
+            total.gather_evictions += s.gather_evictions;
         }
         total
     }
 
-    /// Per-device counters, in pool order. Row mode: each engine's stats.
-    /// Weight mode: device 0 is the lead engine's full stats; devices `1..`
-    /// are shard holders — their rows carry the shard's resident bytes,
-    /// the device's peak-resident high-water and its raw device counters,
-    /// with engine-level fields zero.
+    /// Per-device counters, in pool order. Row and hybrid modes: each
+    /// engine's stats (a hybrid engine's `resident_bytes` is its shard,
+    /// so the pool aggregate stays one model). Weight mode: device 0 is
+    /// the lead engine's full stats; devices `1..` are shard holders —
+    /// their rows carry the shard's resident bytes, the device's
+    /// peak-resident high-water and its raw device counters, with
+    /// engine-level fields zero.
     pub fn per_device_stats(&self) -> Vec<EngineStats> {
         match self.mode {
-            ShardMode::Rows => self.engines.iter().map(Engine::stats).collect(),
+            ShardMode::Rows | ShardMode::Hybrid => self.engines.iter().map(Engine::stats).collect(),
             ShardMode::Weights => {
                 let mut rows = Vec::with_capacity(self.devices.len());
                 rows.push(self.engines[0].stats());
@@ -910,6 +980,85 @@ mod tests {
                 // The aggregate residency is one model, not n copies.
                 let full: usize = bytes.iter().sum();
                 assert_eq!(sharded.stats().resident_bytes, full);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_margins_bit_identical_and_every_device_walks() {
+        let net = deep_net();
+        let qs = test_queries(&net);
+        // Full-depth walks on both sides (same config ⇒ same bits), so
+        // every device's row block provably reaches every remote layer.
+        let cfg = VerifyConfig {
+            early_termination: false,
+            ..VerifyConfig::default()
+        };
+        let single = Engine::new(Device::new(DeviceConfig::new().workers(1)), &net, cfg)
+            .expect("single engine");
+        let want = single.verify_batch_fused(&qs);
+
+        for n in [1usize, 2, 4] {
+            let devs = pool(n);
+            let hybrid =
+                ShardedEngine::new_hybrid(devs.clone(), &net, cfg, EngineOptions::default())
+                    .expect("hybrid engine");
+            assert_eq!(hybrid.mode(), ShardMode::Hybrid);
+            assert_eq!(hybrid.device_count(), n);
+            assert_eq!(hybrid.engines().len(), n, "one walking engine per device");
+
+            let got = hybrid.verify_batch_sharded(&qs);
+            for (g, w) in got.iter().zip(&want) {
+                let g = g.as_ref().expect("hybrid verdict");
+                let w = w.as_ref().expect("fused verdict");
+                assert_eq!(g.verified, w.verified);
+                for (mg, mw) in g.margins.iter().zip(&w.margins) {
+                    assert_eq!(
+                        mg.lower.to_bits(),
+                        mw.lower.to_bits(),
+                        "hybrid margins must be bit-identical at {n} devices"
+                    );
+                }
+            }
+
+            let bytes = hybrid.shard_resident_bytes();
+            assert_eq!(bytes.len(), n);
+            // The weight partition is the weight-mode plan: one model
+            // pool-wide, the dry-run budget predicts it exactly.
+            let budget = weight_shard_budget(&net, n);
+            assert_eq!(budget.per_device, bytes);
+            let full: usize = bytes.iter().sum();
+            assert_eq!(hybrid.stats().resident_bytes, full, "one model pool-wide");
+
+            if n > 1 {
+                // Every device did arithmetic (walked its own rows)…
+                for d in &devs {
+                    assert!(d.stats().flops() > 0, "every hybrid device must walk");
+                }
+                // …and every device with remote layers gathered onto
+                // itself (the 3-affine-layer net leaves every device at
+                // n ∈ {2,4} with at least one remote layer).
+                for d in &devs {
+                    assert!(
+                        d.stats().kernel_work("comms").bytes_moved > 0,
+                        "hybrid gathers land on the walking device itself"
+                    );
+                }
+                // The gather counters roll up pool-wide.
+                let total = hybrid.stats();
+                assert!(total.gather_misses > 0);
+                assert_eq!(
+                    total.gather_misses,
+                    devs.iter()
+                        .map(|d| d.stats().kernel_work("comms").launches)
+                        .sum::<u64>()
+                );
+                // Per-device rows mirror each engine, shard residency each.
+                let per = hybrid.per_device_stats();
+                assert_eq!(per.len(), n);
+                for (i, row) in per.iter().enumerate() {
+                    assert_eq!(row.resident_bytes, bytes[i]);
+                }
             }
         }
     }

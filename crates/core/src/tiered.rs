@@ -365,6 +365,9 @@ impl<'n, B: Backend> TieredEngine<'n, B> {
             frontier_peak: fast.frontier_peak.max(full.frontier_peak),
             proven_by_split: fast.proven_by_split + full.proven_by_split,
             cex_found: fast.cex_found + full.cex_found,
+            gather_hits: fast.gather_hits + full.gather_hits,
+            gather_misses: fast.gather_misses + full.gather_misses,
+            gather_evictions: fast.gather_evictions + full.gather_evictions,
         }
     }
 

@@ -202,8 +202,12 @@ pub(crate) struct WorkItem {
 /// with several devices uses the first alone. When `weight_sharded` is set
 /// the worker instead runs an FSDP-style weight-sharded [`ShardedEngine`]:
 /// the model's layers are partitioned across all devices (each holds ~1/N
-/// of the weight bytes) and all-gathered just in time per layer step — the
-/// registry refuses to combine it with the other two flavors.
+/// of the weight bytes) and all-gathered just in time per layer step. Set
+/// **together with** `tensor_parallel` on a multi-device pool, the worker
+/// runs the hybrid 2D-sharded flavor — every device walks its own row
+/// block through the shared weight shards, gathering remote layers onto
+/// itself. Only the precision tier refuses to combine (the registry
+/// validates that).
 ///
 /// `retire` is invoked with the item's admission cost charge every time a
 /// reply goes out — the hook the registry uses to credit the device pool's
@@ -225,6 +229,7 @@ pub(crate) fn spawn_worker<B: Backend>(
     queue_cap: usize,
     precision_tier: bool,
     weight_sharded: bool,
+    tensor_parallel: bool,
     stats: Arc<ModelStats>,
     retire: RetireFn,
 ) -> Result<(SyncSender<WorkItem>, JoinHandle<()>), VerifyError> {
@@ -252,12 +257,16 @@ pub(crate) fn spawn_worker<B: Backend>(
                 let _ = startup_tx.send(Ok(()));
             };
             if weight_sharded {
-                let engine = match ShardedEngine::new_weight_sharded(
-                    devices,
-                    &net,
-                    verify,
-                    EngineOptions::default(),
-                ) {
+                // Weight shards alone walk on device 0; with
+                // tensor_parallel riding along, every device walks its own
+                // row block over the shared shards (hybrid 2D sharding).
+                let hybrid = tensor_parallel && devices.len() > 1;
+                let build = if hybrid {
+                    ShardedEngine::new_hybrid
+                } else {
+                    ShardedEngine::new_weight_sharded
+                };
+                let engine = match build(devices, &net, verify, EngineOptions::default()) {
                     Ok(engine) => engine,
                     Err(e) => {
                         let _ = startup_tx.send(Err(e));
@@ -573,6 +582,7 @@ mod tests {
             16,
             false,
             false,
+            false,
             stats.clone(),
             Arc::new(|_| {}),
         )
@@ -621,6 +631,7 @@ mod tests {
             },
             16,
             true,
+            false,
             false,
             stats.clone(),
             Arc::new(|_| {}),
@@ -685,6 +696,7 @@ mod tests {
             16,
             false,
             false,
+            false,
             stats.clone(),
             Arc::new(move |cost| {
                 retired_in_worker.fetch_add(cost.max(1), Ordering::AcqRel);
@@ -742,6 +754,7 @@ mod tests {
                 max_delay: Duration::from_millis(20),
             },
             16,
+            false,
             false,
             false,
             stats.clone(),
@@ -806,6 +819,7 @@ mod tests {
             16,
             false,
             false,
+            false,
             stats.clone(),
             Arc::new(|_| {}),
         )
@@ -856,6 +870,7 @@ mod tests {
             VerifyConfig::default(),
             BatchPolicy::default(),
             4,
+            false,
             false,
             false,
             stats,

@@ -10,6 +10,11 @@
 //! gpupoly-serve smoke ADDR [--ping-only]
 //! ```
 //!
+//! `--weight-sharded` and `--tensor-parallel` compose: passing both with
+//! `--devices N` (N > 1) serves each model with hybrid 2D sharding —
+//! weights partitioned across devices and every device walking its own
+//! contiguous row block over the gathered layers.
+//!
 //! The kernel backend is selected with `GPUPOLY_BACKEND=cpusim|reference`
 //! (default `cpusim`), mirroring the test suite's backend matrix.
 
@@ -53,6 +58,8 @@ USAGE:
                       [--weight-sharded]
   gpupoly-serve init-zoo DIR [--scale S] [--seed N]
   gpupoly-serve smoke ADDR [--ping-only]
+
+`--weight-sharded --tensor-parallel` together select hybrid 2D sharding.
 
 ENVIRONMENT:
   GPUPOLY_BACKEND   kernel backend: cpusim (default) | reference
@@ -164,12 +171,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     cfg.tensor_parallel = flags.take_bool("--tensor-parallel");
     // FSDP-style: each device holds ~1/N of every model's weight bytes,
     // layer shards are all-gathered just in time during backsubstitution.
+    // Combined with --tensor-parallel this becomes hybrid 2D sharding:
+    // every device walks its own row block over the gathered layers.
     cfg.weight_sharded = flags.take_bool("--weight-sharded");
     if cfg.tensor_parallel && cfg.precision_tier {
         return Err("--tensor-parallel and --precision-tier are mutually exclusive".into());
-    }
-    if cfg.weight_sharded && cfg.tensor_parallel {
-        return Err("--weight-sharded and --tensor-parallel are mutually exclusive".into());
     }
     if cfg.weight_sharded && cfg.precision_tier {
         return Err("--weight-sharded and --precision-tier are mutually exclusive".into());

@@ -216,9 +216,20 @@ pub struct DeviceStatsWire {
     pub resident_bytes: u64,
     /// High-water mark of resident model-weight bytes on the device.
     pub peak_resident_bytes: u64,
-    /// Bytes all-gathered between devices by weight-sharded walks (the
-    /// `comms` kernel label); `0` on row-sharded or single-device pools.
+    /// Bytes all-gathered between devices by weight-sharded / hybrid walks
+    /// (the `comms` kernel label); `0` on row-sharded or single-device
+    /// pools.
     pub comms_bytes: u64,
+    /// Remote-layer gathers served from this device's gather cache
+    /// (weight-sharded / hybrid pools; `0` otherwise and on frames from
+    /// older servers).
+    pub gather_hits: u64,
+    /// Remote-layer gathers that copied bytes onto this device — the
+    /// `comms` traffic, in events (`0` on frames from older servers).
+    pub gather_misses: u64,
+    /// Gathered layers evicted from this device's cache by the
+    /// next-use-distance policy (`0` on frames from older servers).
+    pub gather_evictions: u64,
 }
 
 /// Per-model counters of a [`Reply::Stats`].
@@ -553,6 +564,9 @@ impl Serialize for DeviceStatsWire {
                 Value::Num(self.peak_resident_bytes as f64),
             ),
             ("comms_bytes", Value::Num(self.comms_bytes as f64)),
+            ("gather_hits", Value::Num(self.gather_hits as f64)),
+            ("gather_misses", Value::Num(self.gather_misses as f64)),
+            ("gather_evictions", Value::Num(self.gather_evictions as f64)),
         ])
     }
 }
@@ -588,6 +602,19 @@ impl<'de> Deserialize<'de> for DeviceStatsWire {
                 None => 0,
             },
             comms_bytes: match opt_field(v, "comms_bytes") {
+                Some(n) => as_index(n)? as u64,
+                None => 0,
+            },
+            // Absent on pre-hybrid frames: default to zero.
+            gather_hits: match opt_field(v, "gather_hits") {
+                Some(n) => as_index(n)? as u64,
+                None => 0,
+            },
+            gather_misses: match opt_field(v, "gather_misses") {
+                Some(n) => as_index(n)? as u64,
+                None => 0,
+            },
+            gather_evictions: match opt_field(v, "gather_evictions") {
                 Some(n) => as_index(n)? as u64,
                 None => 0,
             },
@@ -878,6 +905,9 @@ mod tests {
                 resident_bytes: 2_000,
                 peak_resident_bytes: 2_100,
                 comms_bytes: 512,
+                gather_hits: 30,
+                gather_misses: 2,
+                gather_evictions: 1,
             },
             devices: vec![
                 DeviceStatsWire {
@@ -895,6 +925,9 @@ mod tests {
                     resident_bytes: 1_000,
                     peak_resident_bytes: 1_050,
                     comms_bytes: 512,
+                    gather_hits: 18,
+                    gather_misses: 2,
+                    gather_evictions: 1,
                 },
                 DeviceStatsWire {
                     backend: "cpusim".into(),
@@ -911,6 +944,9 @@ mod tests {
                     resident_bytes: 1_000,
                     peak_resident_bytes: 1_050,
                     comms_bytes: 0,
+                    gather_hits: 12,
+                    gather_misses: 0,
+                    gather_evictions: 0,
                 },
             ],
             models: vec![ModelStatsWire {
@@ -1005,6 +1041,10 @@ mod tests {
                 assert_eq!(s.device.resident_bytes, 0);
                 assert_eq!(s.device.peak_resident_bytes, 0);
                 assert_eq!(s.device.comms_bytes, 0);
+                // Pre-hybrid gather-cache fields default rather than fail.
+                assert_eq!(s.device.gather_hits, 0);
+                assert_eq!(s.device.gather_misses, 0);
+                assert_eq!(s.device.gather_evictions, 0);
             }
             other => panic!("wrong reply {other:?}"),
         }

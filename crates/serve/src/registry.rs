@@ -88,8 +88,10 @@ pub struct RegistryConfig {
     /// just in time per layer step (margins bit-identical to a
     /// single-device run). Admission accounts per-device *shard* bytes, so
     /// a model bigger than any one device's budget still loads across the
-    /// pool. Mutually exclusive with `tensor_parallel` and
-    /// `precision_tier`.
+    /// pool. Combined with `tensor_parallel` this becomes **hybrid 2D
+    /// sharding**: the same weight partition, but every device walks its
+    /// own row block and gathers remote layers onto itself. Mutually
+    /// exclusive with `precision_tier`.
     pub weight_sharded: bool,
 }
 
@@ -556,9 +558,12 @@ impl<B: Backend> Registry<B> {
     /// The f32-weight bytes a resident copy of `net` will pin per device,
     /// scaled for the tiered worker's double residency.
     fn incoming_bytes(&self, net: &Network<f32>) -> usize {
-        // A weight-sharded worker pins only its worst device's shard (plus
-        // the gather double buffer) per device — that per-device figure is
-        // what lets a model bigger than any one device's budget admit.
+        // A weight-sharded (or hybrid) worker pins only its worst device's
+        // shard plus the gather working set (whose floor is the double
+        // buffer) per device — that per-device figure is what lets a model
+        // bigger than any one device's budget admit. In hybrid mode every
+        // device both holds a shard and gathers, so the same worst-device
+        // charge covers each of them.
         if self.cfg.weight_sharded {
             return gpupoly_core::weight_shard_budget(net, self.pool.len()).worst_device_bytes();
         }
@@ -605,6 +610,7 @@ impl<B: Backend> Registry<B> {
             self.cfg.queue_cap,
             self.cfg.precision_tier,
             self.cfg.weight_sharded,
+            self.cfg.tensor_parallel,
             stats,
             Arc::new(move |cost| pool.note_done(home, cost.max(1))),
         )

@@ -71,7 +71,10 @@ pub struct ServerConfig {
     /// Serve every model FSDP-style weight-sharded across the whole pool:
     /// each device holds ~1/N of the weight bytes and layers are
     /// all-gathered just in time (see `RegistryConfig::weight_sharded`).
-    /// Mutually exclusive with `tensor_parallel` and `precision_tier`.
+    /// Combined with `tensor_parallel`, serving is **hybrid**: every
+    /// device walks its own row block through the shared weight shards,
+    /// gathering remote layers onto itself. Mutually exclusive with
+    /// `precision_tier`.
     pub weight_sharded: bool,
 }
 
@@ -118,21 +121,15 @@ impl<B: Backend + Default> Server<B> {
     /// # Errors
     ///
     /// Any socket error from binding, or `InvalidInput` when
-    /// `tensor_parallel` is combined with `precision_tier` (the tiered
-    /// engine is single-device), or when `weight_sharded` is combined with
-    /// either (one worker cannot shard both its rows and its weights, and
-    /// the tiered engine keeps full weights on one device).
+    /// `tensor_parallel` or `weight_sharded` is combined with
+    /// `precision_tier` (the tiered engine is single-device and keeps full
+    /// weights on one device). `tensor_parallel` + `weight_sharded`
+    /// composes as hybrid 2D sharding.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Self> {
         if cfg.tensor_parallel && cfg.precision_tier {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "tensor-parallel serving and the precision tier are mutually exclusive",
-            ));
-        }
-        if cfg.weight_sharded && cfg.tensor_parallel {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "weight-sharded serving and tensor-parallel serving are mutually exclusive",
             ));
         }
         if cfg.weight_sharded && cfg.precision_tier {
@@ -523,6 +520,12 @@ fn device_wire<B: Backend>(device: &Device<B>) -> DeviceStatsWire {
         resident_bytes: device.stats().resident_bytes(),
         peak_resident_bytes: device.stats().peak_resident_bytes(),
         comms_bytes: device.stats().kernel_work("comms").bytes_moved,
+        // Per-label launch counts of the zero-byte gather-cache records
+        // (see `gpupoly_core`'s fsdp module): misses are the `comms`
+        // copies themselves.
+        gather_hits: device.stats().kernel_work("gather_hit").launches,
+        gather_misses: device.stats().kernel_work("comms").launches,
+        gather_evictions: device.stats().kernel_work("gather_evict").launches,
     }
 }
 
@@ -555,6 +558,9 @@ fn aggregate_device_stats(devices: &[DeviceStatsWire]) -> DeviceStatsWire {
         resident_bytes: devices.iter().map(|d| d.resident_bytes).sum(),
         peak_resident_bytes: devices.iter().map(|d| d.peak_resident_bytes).sum(),
         comms_bytes: devices.iter().map(|d| d.comms_bytes).sum(),
+        gather_hits: devices.iter().map(|d| d.gather_hits).sum(),
+        gather_misses: devices.iter().map(|d| d.gather_misses).sum(),
+        gather_evictions: devices.iter().map(|d| d.gather_evictions).sum(),
     }
 }
 

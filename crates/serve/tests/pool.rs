@@ -362,6 +362,139 @@ fn weight_sharded_pool_is_bit_identical_and_metered_per_device() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Hybrid 2D sharding over the wire: `--weight-sharded --tensor-parallel`
+/// on a 2-device pool serves margins bit-identical to one device while
+/// *every* device both walks rows (launches, flops) and gathers remote
+/// layers onto itself (`comms_bytes`, gather hit/miss counters) — unlike
+/// plain weight sharding, where only device 0 executes.
+#[test]
+fn hybrid_sharded_pool_walks_and_gathers_on_every_device() {
+    let dir = temp_dir("hybrid");
+    let net = make_deep_net(11, 8, 12, 4, 4);
+    store::save(&dir, "delta", &net).unwrap();
+
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.devices = 2;
+    cfg.weight_sharded = true;
+    cfg.tensor_parallel = true;
+    cfg.workers = Some(1);
+    cfg.verify = VerifyConfig {
+        early_termination: false,
+        ..Default::default()
+    };
+    let server = Server::<CpuSimBackend>::bind("127.0.0.1:0", cfg).unwrap();
+    let handle = server.spawn();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    let queries: Vec<(Vec<f32>, usize, f32)> = (0..6)
+        .map(|q| {
+            let image: Vec<f32> = (0..8)
+                .map(|i| 0.15 + 0.7 * (((q * 29 + i * 13) % 101) as f32 / 101.0))
+                .collect();
+            (image, q % 4, 0.004 + 0.002 * (q % 3) as f32)
+        })
+        .collect();
+    let mut served = Vec::new();
+    for (image, label, eps) in &queries {
+        served.push(client.verify("delta", image, *label, *eps).expect("verify"));
+    }
+
+    let direct_device = Device::with_backend(CpuSimBackend, DeviceConfig::new().workers(1));
+    let engine = Engine::new(
+        direct_device,
+        &net,
+        VerifyConfig {
+            early_termination: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let direct = engine.verify_batch(
+        &queries
+            .iter()
+            .map(|(image, label, eps)| Query::new(image.clone(), *label, *eps))
+            .collect::<Vec<_>>(),
+    );
+    for (s, d) in served.iter().zip(direct) {
+        let d = d.expect("direct verdict");
+        assert_eq!(s.verified, d.verified);
+        for (sm, dm) in s.margins.iter().zip(&d.margins) {
+            assert_eq!(sm.adversary, dm.adversary);
+            assert_eq!(sm.proven, dm.proven);
+            assert_eq!(
+                sm.lower.to_bits(),
+                dm.lower.to_bits(),
+                "hybrid margin must be bit-identical to one device"
+            );
+        }
+    }
+
+    // Every device is metered on the wire: rows walked (launches, flops),
+    // a shard held resident, and remote layers gathered onto it (comms,
+    // gather counters). The aggregate row is the exact per-field sum.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.devices.len(), 2, "{stats:?}");
+    assert!(
+        stats.devices.iter().all(|d| d.launches > 0 && d.flops > 0),
+        "every device must walk its own row block: {:?}",
+        stats.devices
+    );
+    assert!(
+        stats
+            .devices
+            .iter()
+            .all(|d| d.resident_bytes > 0 && d.memory_in_use > 0),
+        "every device must hold a weight shard: {:?}",
+        stats.devices
+    );
+    assert!(
+        stats.devices.iter().all(|d| d.comms_bytes > 0),
+        "every device must gather remote layers onto itself: {:?}",
+        stats.devices
+    );
+    assert!(
+        stats.devices.iter().all(|d| d.gather_misses > 0),
+        "gather misses are the metered copies: {:?}",
+        stats.devices
+    );
+    assert_eq!(stats.device.name, "pool[2]");
+    for (sum, agg, what) in [
+        (
+            stats.devices.iter().map(|d| d.comms_bytes).sum::<u64>(),
+            stats.device.comms_bytes,
+            "comms_bytes",
+        ),
+        (
+            stats.devices.iter().map(|d| d.gather_hits).sum::<u64>(),
+            stats.device.gather_hits,
+            "gather_hits",
+        ),
+        (
+            stats.devices.iter().map(|d| d.gather_misses).sum::<u64>(),
+            stats.device.gather_misses,
+            "gather_misses",
+        ),
+        (
+            stats
+                .devices
+                .iter()
+                .map(|d| d.gather_evictions)
+                .sum::<u64>(),
+            stats.device.gather_evictions,
+            "gather_evictions",
+        ),
+    ] {
+        assert_eq!(agg, sum, "aggregate {what} must be the per-device sum");
+    }
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Eviction interaction of weight-sharded workers: a model pinned by
 /// admitted-but-unanswered work survives memory pressure; once unpinned it
 /// is evicted whole — and eviction frees the shard on *every* pool device,
@@ -527,21 +660,21 @@ fn oversized_model_loads_weight_sharded_and_device_ooms_without() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Weight sharding owns the whole pool: combining it with tensor-parallel
-/// serving or the precision tier must be refused at bind time.
+/// Weight sharding composes with tensor-parallel serving (hybrid 2D
+/// sharding) but still refuses the single-device precision tier at bind.
 #[test]
 fn weight_sharded_excludes_tensor_parallel_and_precision_tier_at_bind() {
     let dir = temp_dir("ws-excl");
     store::save(&dir, "m", &make_net(1, 6, 8, 3)).unwrap();
 
+    // Hybrid is a supported composition: bind must succeed.
     let mut cfg = ServerConfig::new(&dir);
     cfg.devices = 2;
     cfg.weight_sharded = true;
     cfg.tensor_parallel = true;
-    match Server::<CpuSimBackend>::bind("127.0.0.1:0", cfg) {
-        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{err}"),
-        Ok(_) => panic!("bind must refuse --weight-sharded with --tensor-parallel"),
-    }
+    let server = Server::<CpuSimBackend>::bind("127.0.0.1:0", cfg)
+        .expect("hybrid (--weight-sharded --tensor-parallel) must bind");
+    drop(server);
 
     let mut cfg = ServerConfig::new(&dir);
     cfg.devices = 2;

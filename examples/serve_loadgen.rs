@@ -13,6 +13,8 @@
 //!      `LOADGEN_DEVICES` sizes the device pool (tensor-parallel when >1),
 //!      `LOADGEN_WEIGHT_SHARD=1` switches a multi-device pool from
 //!      tensor-parallel row sharding to FSDP-style weight sharding,
+//!      `LOADGEN_HYBRID=1` turns both on — hybrid 2D sharding: weight
+//!      shards on every device and row-parallel walks across the pool,
 //!      `LOADGEN_MUX` sets the pipelining window for the multiplexed leg
 //!      (0 disables it).
 
@@ -83,14 +85,17 @@ fn drive<B: gpupoly::device::Backend + Default>(
     requests_per_client: usize,
     devices: usize,
     weight_shard: bool,
+    hybrid: bool,
     mux_window: usize,
 ) -> RunReport {
     let mut cfg = ServerConfig::new(dir);
     cfg.policy = policy;
     cfg.queue_cap = 4 * clients.max(1);
     cfg.devices = devices;
-    cfg.weight_sharded = weight_shard && devices > 1;
-    cfg.tensor_parallel = !cfg.weight_sharded && devices > 1;
+    // Hybrid = both flags: weight shards on every device AND row-parallel
+    // walks across the pool.
+    cfg.weight_sharded = (weight_shard || hybrid) && devices > 1;
+    cfg.tensor_parallel = (hybrid || !weight_shard) && devices > 1;
     let server = Server::<B>::bind("127.0.0.1:0", cfg).expect("bind");
     let registry = server.registry().clone();
     let handle = server.spawn();
@@ -195,6 +200,7 @@ fn main() {
     let requests = env_usize("LOADGEN_REQUESTS", 40);
     let devices = env_usize("LOADGEN_DEVICES", 1).max(1);
     let weight_shard = env_usize("LOADGEN_WEIGHT_SHARD", 0) != 0;
+    let hybrid = env_usize("LOADGEN_HYBRID", 0) != 0;
     let mux = env_usize("LOADGEN_MUX", 4);
 
     let dir = std::env::temp_dir().join(format!("gpupoly-loadgen-{}", std::process::id()));
@@ -238,10 +244,11 @@ fn main() {
         "serve_loadgen: backend={backend} model={inputs}->{width}->{width}->{outputs} \
          clients={clients} requests/client={requests} devices={devices} \
          sharding={}\n",
-        match (devices > 1, weight_shard) {
-            (false, _) => "none",
-            (true, false) => "tensor-parallel",
-            (true, true) => "weights",
+        match (devices > 1, weight_shard, hybrid) {
+            (false, _, _) => "none",
+            (true, _, true) => "hybrid-2d",
+            (true, false, false) => "tensor-parallel",
+            (true, true, false) => "weights",
         }
     );
     println!(
@@ -276,6 +283,7 @@ fn main() {
                 requests,
                 devices,
                 weight_shard,
+                hybrid,
                 mux_window,
             ),
             _ => drive::<CpuSimBackend>(
@@ -288,6 +296,7 @@ fn main() {
                 requests,
                 devices,
                 weight_shard,
+                hybrid,
                 mux_window,
             ),
         };

@@ -383,6 +383,104 @@ fn weight_sharded_zoo_case<B: gpupoly::device::Backend>(
     );
 }
 
+/// Hybrid 2D sharding over the zoo: for every Table-1 build and both
+/// backends, `ShardedEngine::new_hybrid` at N ∈ {1, 2, 4} devices returns
+/// margins **bit-identical** to the single-device fused path. Row
+/// sharding splits the expression batch into contiguous per-device blocks
+/// and weight gathering reconstructs each remote layer byte-for-byte on
+/// the walking device, so neither axis of the 2D split may show up in a
+/// margin — while every device's row walk and its own gathers must show
+/// up in the meters.
+#[test]
+fn zoo_hybrid_sharded_margins_bit_identical_across_device_counts() {
+    hybrid_sharded_zoo_case("cpusim", &|cfg| Device::new(cfg));
+    hybrid_sharded_zoo_case("reference", &|cfg| Device::reference(cfg));
+}
+
+fn hybrid_sharded_zoo_case<B: gpupoly::device::Backend>(
+    tag: &str,
+    make: &dyn Fn(DeviceConfig) -> Device<B>,
+) {
+    use gpupoly::core::{EngineOptions, ShardedEngine};
+    // Gathered bytes across the whole zoo sweep, summed over every pool
+    // device: individual archs may prove their margins before any row
+    // block descends to a remote shard, but a zoo-wide sweep at N > 1
+    // must gather *somewhere* or the comms meter is broken.
+    let mut total_comms: u64 = 0;
+    for (arch, dataset, net) in zoo_builds() {
+        let id = format!("{}/{} ({tag})", arch.name(), dataset.name());
+        let eps = family_eps(arch);
+        let k = if arch.is_residual() { 1 } else { 2 };
+        let qs = queries(&net, dataset.input_shape().len(), eps, k);
+
+        let single = Engine::new(
+            make(DeviceConfig::new().workers(1)),
+            &net,
+            VerifyConfig::default(),
+        )
+        .expect("single engine");
+        let want = single.verify_batch_fused(&qs);
+
+        for n in [1usize, 2, 4] {
+            let devices: Vec<_> = (0..n)
+                .map(|i| make(DeviceConfig::new().workers(1).name(format!("hd{i}"))))
+                .collect();
+            let handles = devices.clone();
+            let sharded = ShardedEngine::new_hybrid(
+                devices,
+                &net,
+                VerifyConfig::default(),
+                EngineOptions::default(),
+            )
+            .expect("hybrid engine");
+            let got = sharded.verify_batch_sharded(&qs);
+            assert_eq!(got.len(), want.len(), "{id}");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                let g = g.as_ref().expect("hybrid verdict");
+                let w = w.as_ref().expect("fused verdict");
+                assert_eq!(g.verified, w.verified, "{id}: query {i}, {n} devices");
+                assert_eq!(g.margins.len(), w.margins.len(), "{id}");
+                for (mg, mw) in g.margins.iter().zip(&w.margins) {
+                    assert_eq!(mg.adversary, mw.adversary, "{id}");
+                    assert_eq!(mg.proven, mw.proven, "{id}: query {i}, {n} devices");
+                    assert_eq!(
+                        mg.lower.to_bits(),
+                        mw.lower.to_bits(),
+                        "{id}: query {i} margin vs class {} drifted at {n} devices \
+                         ({} vs {})",
+                        mg.adversary,
+                        mg.lower,
+                        mw.lower
+                    );
+                }
+            }
+            if n > 1 {
+                // Both 2D axes are live: the weight split means no device
+                // holds the full model, and the row split means the fused
+                // walk's flops land on every device, not just device 0.
+                let bytes = sharded.shard_resident_bytes();
+                let full: usize = bytes.iter().sum();
+                let worst = bytes.iter().copied().max().expect("non-empty plan");
+                assert!(
+                    worst < full,
+                    "{id}: worst device still holds the full model at {n} devices"
+                );
+                for (d, handle) in handles.iter().enumerate() {
+                    assert!(
+                        handle.stats().flops() > 0,
+                        "{id}: device {d} of {n} walked no rows"
+                    );
+                    total_comms += handle.stats().kernel_work("comms").bytes_moved;
+                }
+            }
+        }
+    }
+    assert!(
+        total_comms > 0,
+        "({tag}) zoo sweep gathered nothing: comms meter is broken"
+    );
+}
+
 fn count_sequential<B: gpupoly::device::Backend>(
     device: Device<B>,
     net: &Network<f32>,
